@@ -1,0 +1,180 @@
+//! Regenerate every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! cargo run --release -p vapor-bench --bin report            # everything
+//! cargo run --release -p vapor-bench --bin report fig5a      # one experiment
+//! cargo run --release -p vapor-bench --bin report --quick    # test-scale sizes
+//! ```
+
+use vapor_bench::{
+    ablation, fig5, fig6, format_table, geomean, realign_reuse_ablation, size_and_time,
+    size_time_summary, table3,
+};
+use vapor_kernels::Scale;
+use vapor_targets::{altivec, neon64, sse};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let scale = if quick { Scale::Test } else { Scale::Full };
+    let wanted: Vec<&str> = args.iter().filter(|a| !a.starts_with("--")).map(|s| s.as_str()).collect();
+    let want = |name: &str| wanted.is_empty() || wanted.contains(&name);
+
+    if want("fig5a") {
+        print_fig5("Figure 5a — Mono-class JIT, normalized vectorization impact, SSE", &sse(), scale);
+    }
+    if want("fig5b") {
+        print_fig5(
+            "Figure 5b — Mono-class JIT, normalized vectorization impact, AltiVec",
+            &altivec(),
+            scale,
+        );
+    }
+    if want("ablation") {
+        let rows = ablation(scale);
+        let table: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.name.clone(),
+                    r.target.clone(),
+                    r.with_opts.to_string(),
+                    r.without_opts.to_string(),
+                    format!("{:.2}x", r.degradation),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            format_table(
+                "§V-A(b) — alignment optimizations disabled (naive JIT)",
+                &["kernel", "target", "with", "without", "degradation"],
+                &table
+            )
+        );
+        println!(
+            "average degradation factor: {:.2}x (paper: ~2.5x)\n",
+            geomean(rows.iter().map(|r| r.degradation))
+        );
+    }
+    if want("realign") {
+        let rows = realign_reuse_ablation(scale);
+        let table: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.name.clone(),
+                    r.with_opts.to_string(),
+                    r.without_opts.to_string(),
+                    format!("{:.2}x", r.degradation),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            format_table(
+                "§III-A design-choice ablation — optimized realignment disabled (AltiVec, opt online)",
+                &["kernel", "with reuse", "without", "slowdown"],
+                &table
+            )
+        );
+    }
+    if want("size") {
+        let rows = size_and_time(&sse());
+        let table: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.name.clone(),
+                    r.scalar_bytes.to_string(),
+                    r.vector_bytes.to_string(),
+                    format!("{:.2}x", r.vector_bytes as f64 / r.scalar_bytes as f64),
+                    format!("{:.1}", r.scalar_us),
+                    format!("{:.1}", r.vector_us),
+                    format!("{:.2}x", r.vector_us / r.scalar_us),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            format_table(
+                "§V-A(c) — bytecode size and online compile time (naive JIT, SSE)",
+                &["kernel", "scalar B", "vector B", "size ratio", "scalar µs", "vector µs", "time ratio"],
+                &table
+            )
+        );
+        let (s, t) = size_time_summary(&rows);
+        println!("geomean size ratio: {s:.2}x (paper: ~5x); geomean compile-time ratio: {t:.2}x (paper: 4.85x/5.37x)\n");
+    }
+    if want("fig6a") {
+        print_fig6("Figure 6a — split/native normalized execution time, SSE", &sse(), scale);
+    }
+    if want("fig6b") {
+        print_fig6("Figure 6b — split/native normalized execution time, AltiVec", &altivec(), scale);
+    }
+    if want("fig6c") {
+        print_fig6("Figure 6c — split/native normalized execution time, NEON (64-bit)", &neon64(), scale);
+    }
+    if want("table3") {
+        let rows = table3(scale);
+        let table: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.name.clone(),
+                    r.native.to_string(),
+                    r.split.to_string(),
+                    if r.validated { "ok".into() } else { "FAIL".into() },
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            format_table(
+                "Table 3 — AVX cycles per vector-loop iteration (IACA-style static analysis)",
+                &["kernel", "native", "split", "SDE validation"],
+                &table
+            )
+        );
+    }
+}
+
+fn print_fig5(title: &str, target: &vapor_targets::TargetDesc, scale: Scale) {
+    let rows = fig5(target, scale);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            let f = |v: f64| {
+                if v.is_nan() {
+                    "-".to_string()
+                } else {
+                    format!("{v:.2}")
+                }
+            };
+            vec![r.name.clone(), f(r.jit_speedup), f(r.native_speedup), format!("{:.2}x", r.impact)]
+        })
+        .collect();
+    println!(
+        "{}",
+        format_table(title, &["kernel", "JIT speedup", "native speedup", "impact"], &table)
+    );
+}
+
+fn print_fig6(title: &str, target: &vapor_targets::TargetDesc, scale: Scale) {
+    let rows = fig6(target, scale);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.clone(),
+                r.split.to_string(),
+                r.native.to_string(),
+                format!("{:.2}x", r.ratio),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        format_table(title, &["kernel", "split cycles", "native cycles", "ratio"], &table)
+    );
+}

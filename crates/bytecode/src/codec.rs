@@ -1,0 +1,952 @@
+//! Binary encoding and decoding of bytecode modules.
+//!
+//! The encoding is a compact tagged byte stream (LEB128 varints, zigzag
+//! signed integers). It serves two purposes: it is the artifact whose
+//! size the §V-A(c) experiment measures (vectorized vs. scalar bytecode,
+//! ~5× in the paper), and it is the interoperability boundary between
+//! the offline and online toolchains.
+
+use std::fmt;
+
+use vapor_ir::{ArrayKind, BinOp, ScalarTy, UnOp};
+
+use crate::func::{BcArray, BcFunction, BcModule, BcParam};
+use crate::op::{Op, ShiftAmt};
+use crate::stmt::{BcStmt, GuardCond, LoopKind, OpClass, Step};
+use crate::ty::{Addr, ArraySym, BcTy, Operand, Reg};
+
+/// Magic bytes at the start of every encoded module (`"VSBC"`).
+pub const MAGIC: [u8; 4] = *b"VSBC";
+/// Format version.
+pub const VERSION: u8 = 1;
+
+const BINOPS: [BinOp; 13] = [
+    BinOp::Add,
+    BinOp::Sub,
+    BinOp::Mul,
+    BinOp::Div,
+    BinOp::Shl,
+    BinOp::Shr,
+    BinOp::And,
+    BinOp::Or,
+    BinOp::Xor,
+    BinOp::Min,
+    BinOp::Max,
+    BinOp::CmpEq,
+    BinOp::CmpLt,
+];
+const UNOPS: [UnOp; 3] = [UnOp::Neg, UnOp::Abs, UnOp::Sqrt];
+
+/// Decoding error with stream offset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecodeError {
+    /// Byte offset where decoding failed.
+    pub offset: usize,
+    /// Explanation.
+    pub msg: String,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "decode error at byte {}: {}", self.offset, self.msg)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+// ---------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------
+
+struct W {
+    buf: Vec<u8>,
+}
+
+impl W {
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    fn varu(&mut self, mut v: u64) {
+        loop {
+            let b = (v & 0x7f) as u8;
+            v >>= 7;
+            if v == 0 {
+                self.buf.push(b);
+                break;
+            }
+            self.buf.push(b | 0x80);
+        }
+    }
+    fn vari(&mut self, v: i64) {
+        self.varu(((v << 1) ^ (v >> 63)) as u64);
+    }
+    fn f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn str(&mut self, s: &str) {
+        self.varu(s.len() as u64);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+    fn ty(&mut self, t: ScalarTy) {
+        self.u8(t.encoding());
+    }
+    fn bcty(&mut self, t: BcTy) {
+        match t {
+            BcTy::Scalar(e) => {
+                self.u8(0);
+                self.ty(e);
+            }
+            BcTy::Vec(e) => {
+                self.u8(1);
+                self.ty(e);
+            }
+            BcTy::RealignToken => self.u8(2),
+        }
+    }
+    fn reg(&mut self, r: Reg) {
+        self.varu(r.0 as u64);
+    }
+    fn opt_reg(&mut self, r: Option<Reg>) {
+        match r {
+            Some(r) => {
+                self.u8(1);
+                self.reg(r);
+            }
+            None => self.u8(0),
+        }
+    }
+    fn operand(&mut self, o: &Operand) {
+        match o {
+            Operand::Reg(r) => {
+                self.u8(0);
+                self.reg(*r);
+            }
+            Operand::ConstI(v) => {
+                self.u8(1);
+                self.vari(*v);
+            }
+            Operand::ConstF(v) => {
+                self.u8(2);
+                self.f64(*v);
+            }
+        }
+    }
+    fn addr(&mut self, a: &Addr) {
+        self.varu(a.base.0 as u64);
+        self.operand(&a.index);
+        self.vari(a.offset);
+    }
+    fn binop(&mut self, op: BinOp) {
+        self.u8(BINOPS.iter().position(|&b| b == op).unwrap() as u8);
+    }
+    fn unop(&mut self, op: UnOp) {
+        self.u8(UNOPS.iter().position(|&b| b == op).unwrap() as u8);
+    }
+    fn amt(&mut self, a: &ShiftAmt) {
+        match a {
+            ShiftAmt::Scalar(o) => {
+                self.u8(0);
+                self.operand(o);
+            }
+            ShiftAmt::PerLane(r) => {
+                self.u8(1);
+                self.reg(*r);
+            }
+        }
+    }
+
+    fn op(&mut self, op: &Op) {
+        match op {
+            Op::GetVf { ty, group } => {
+                self.u8(0);
+                self.ty(*ty);
+                self.varu(*group as u64);
+            }
+            Op::GetAlignLimit(t) => {
+                self.u8(1);
+                self.ty(*t);
+            }
+            Op::LoopBound { vect, scalar, group } => {
+                self.u8(2);
+                self.operand(vect);
+                self.operand(scalar);
+                self.varu(*group as u64);
+            }
+            Op::InitUniform(t, v) => {
+                self.u8(3);
+                self.ty(*t);
+                self.operand(v);
+            }
+            Op::InitAffine(t, v, i) => {
+                self.u8(4);
+                self.ty(*t);
+                self.operand(v);
+                self.operand(i);
+            }
+            Op::InitReduc(t, v, d) => {
+                self.u8(5);
+                self.ty(*t);
+                self.operand(v);
+                self.operand(d);
+            }
+            Op::ReducPlus(t, r) => {
+                self.u8(6);
+                self.ty(*t);
+                self.reg(*r);
+            }
+            Op::ReducMax(t, r) => {
+                self.u8(7);
+                self.ty(*t);
+                self.reg(*r);
+            }
+            Op::ReducMin(t, r) => {
+                self.u8(8);
+                self.ty(*t);
+                self.reg(*r);
+            }
+            Op::DotProduct(t, a, b, c) => {
+                self.u8(9);
+                self.ty(*t);
+                self.reg(*a);
+                self.reg(*b);
+                self.reg(*c);
+            }
+            Op::WidenMultHi(t, a, b) => {
+                self.u8(10);
+                self.ty(*t);
+                self.reg(*a);
+                self.reg(*b);
+            }
+            Op::WidenMultLo(t, a, b) => {
+                self.u8(11);
+                self.ty(*t);
+                self.reg(*a);
+                self.reg(*b);
+            }
+            Op::Pack(t, a, b) => {
+                self.u8(12);
+                self.ty(*t);
+                self.reg(*a);
+                self.reg(*b);
+            }
+            Op::UnpackHi(t, a) => {
+                self.u8(13);
+                self.ty(*t);
+                self.reg(*a);
+            }
+            Op::UnpackLo(t, a) => {
+                self.u8(14);
+                self.ty(*t);
+                self.reg(*a);
+            }
+            Op::CvtInt2Fp(t, a) => {
+                self.u8(15);
+                self.ty(*t);
+                self.reg(*a);
+            }
+            Op::CvtFp2Int(t, a) => {
+                self.u8(16);
+                self.ty(*t);
+                self.reg(*a);
+            }
+            Op::VBin(b, t, x, y) => {
+                self.u8(17);
+                self.binop(*b);
+                self.ty(*t);
+                self.reg(*x);
+                self.reg(*y);
+            }
+            Op::VUn(u, t, x) => {
+                self.u8(18);
+                self.unop(*u);
+                self.ty(*t);
+                self.reg(*x);
+            }
+            Op::VShl(t, v, a) => {
+                self.u8(19);
+                self.ty(*t);
+                self.reg(*v);
+                self.amt(a);
+            }
+            Op::VShr(t, v, a) => {
+                self.u8(20);
+                self.ty(*t);
+                self.reg(*v);
+                self.amt(a);
+            }
+            Op::Extract { ty, stride, offset, srcs } => {
+                self.u8(21);
+                self.ty(*ty);
+                self.u8(*stride);
+                self.u8(*offset);
+                self.varu(srcs.len() as u64);
+                for r in srcs {
+                    self.reg(*r);
+                }
+            }
+            Op::InterleaveHi(t, a, b) => {
+                self.u8(22);
+                self.ty(*t);
+                self.reg(*a);
+                self.reg(*b);
+            }
+            Op::InterleaveLo(t, a, b) => {
+                self.u8(23);
+                self.ty(*t);
+                self.reg(*a);
+                self.reg(*b);
+            }
+            Op::ALoad(t, a) => {
+                self.u8(24);
+                self.ty(*t);
+                self.addr(a);
+            }
+            Op::AlignLoad(t, a) => {
+                self.u8(25);
+                self.ty(*t);
+                self.addr(a);
+            }
+            Op::GetRt { ty, addr, mis, modulo } => {
+                self.u8(26);
+                self.ty(*ty);
+                self.addr(addr);
+                self.varu(*mis as u64);
+                self.varu(*modulo as u64);
+            }
+            Op::RealignLoad { ty, lo, hi, rt, addr, mis, modulo } => {
+                self.u8(27);
+                self.ty(*ty);
+                self.opt_reg(*lo);
+                self.opt_reg(*hi);
+                self.opt_reg(*rt);
+                self.addr(addr);
+                self.varu(*mis as u64);
+                self.varu(*modulo as u64);
+            }
+            Op::SBin(b, t, x, y) => {
+                self.u8(28);
+                self.binop(*b);
+                self.ty(*t);
+                self.operand(x);
+                self.operand(y);
+            }
+            Op::SUn(u, t, x) => {
+                self.u8(29);
+                self.unop(*u);
+                self.ty(*t);
+                self.operand(x);
+            }
+            Op::SCast { from, to, arg } => {
+                self.u8(30);
+                self.ty(*from);
+                self.ty(*to);
+                self.operand(arg);
+            }
+            Op::SLoad(t, a) => {
+                self.u8(31);
+                self.ty(*t);
+                self.addr(a);
+            }
+            Op::Copy(o) => {
+                self.u8(32);
+                self.operand(o);
+            }
+        }
+    }
+
+    fn guard(&mut self, g: &GuardCond) {
+        match g {
+            GuardCond::TypeSupported(t) => {
+                self.u8(0);
+                self.ty(*t);
+            }
+            GuardCond::BaseAligned(a) => {
+                self.u8(1);
+                self.varu(a.0 as u64);
+            }
+            GuardCond::NoAlias(a, b) => {
+                self.u8(2);
+                self.varu(a.0 as u64);
+                self.varu(b.0 as u64);
+            }
+            GuardCond::VsAtLeast(v) => {
+                self.u8(3);
+                self.varu(*v as u64);
+            }
+            GuardCond::StrideAligned { array, stride, ty } => {
+                self.u8(5);
+                self.varu(array.0 as u64);
+                self.operand(stride);
+                self.ty(*ty);
+            }
+            GuardCond::OpsSupported(cs) => {
+                self.u8(6);
+                self.varu(cs.len() as u64);
+                for c in cs {
+                    self.u8(match c {
+                        OpClass::FDiv => 0,
+                        OpClass::FSqrt => 1,
+                        OpClass::WidenMult => 2,
+                        OpClass::Cvt => 3,
+                        OpClass::DotProduct => 4,
+                        OpClass::PerLaneShift => 5,
+                    });
+                }
+            }
+            GuardCond::All(gs) => {
+                self.u8(4);
+                self.varu(gs.len() as u64);
+                for g in gs {
+                    self.guard(g);
+                }
+            }
+        }
+    }
+
+    fn stmt(&mut self, s: &BcStmt) {
+        match s {
+            BcStmt::Def { dst, op } => {
+                self.u8(0);
+                self.reg(*dst);
+                self.op(op);
+            }
+            BcStmt::VStore { ty, addr, src, mis, modulo } => {
+                self.u8(1);
+                self.ty(*ty);
+                self.addr(addr);
+                self.reg(*src);
+                self.varu(*mis as u64);
+                self.varu(*modulo as u64);
+            }
+            BcStmt::SStore { ty, addr, src } => {
+                self.u8(2);
+                self.ty(*ty);
+                self.addr(addr);
+                self.operand(src);
+            }
+            BcStmt::Loop { var, lo, limit, step, kind, group, body } => {
+                self.u8(3);
+                self.reg(*var);
+                self.operand(lo);
+                self.operand(limit);
+                match step {
+                    Step::Const(k) => {
+                        self.u8(0);
+                        self.vari(*k);
+                    }
+                    Step::Vf(t, k) => {
+                        self.u8(1);
+                        self.ty(*t);
+                        self.vari(*k);
+                    }
+                }
+                self.u8(match kind {
+                    LoopKind::Plain => 0,
+                    LoopKind::VectorMain => 1,
+                    LoopKind::ScalarPeel => 2,
+                    LoopKind::ScalarTail => 3,
+                });
+                self.varu(*group as u64);
+                self.varu(body.len() as u64);
+                for st in body {
+                    self.stmt(st);
+                }
+            }
+            BcStmt::Version { cond, then_body, else_body } => {
+                self.u8(4);
+                self.guard(cond);
+                self.varu(then_body.len() as u64);
+                for st in then_body {
+                    self.stmt(st);
+                }
+                self.varu(else_body.len() as u64);
+                for st in else_body {
+                    self.stmt(st);
+                }
+            }
+        }
+    }
+}
+
+/// Encode a module to bytes.
+pub fn encode_module(m: &BcModule) -> Vec<u8> {
+    let mut w = W { buf: Vec::new() };
+    w.buf.extend_from_slice(&MAGIC);
+    w.u8(VERSION);
+    w.varu(m.funcs.len() as u64);
+    for f in &m.funcs {
+        w.str(&f.name);
+        w.varu(f.params.len() as u64);
+        for p in &f.params {
+            w.str(&p.name);
+            w.ty(p.ty);
+        }
+        w.varu(f.arrays.len() as u64);
+        for a in &f.arrays {
+            w.str(&a.name);
+            w.ty(a.elem);
+            w.u8(matches!(a.kind, ArrayKind::Global) as u8);
+        }
+        w.varu(f.regs.len() as u64);
+        for &t in &f.regs {
+            w.bcty(t);
+        }
+        w.varu(f.body.len() as u64);
+        for s in &f.body {
+            w.stmt(s);
+        }
+    }
+    w.buf
+}
+
+/// Encoded size of a single function in bytes (the §V-A(c) size metric).
+pub fn encoded_size(f: &BcFunction) -> usize {
+    encode_module(&BcModule::single(f.clone())).len() - (MAGIC.len() + 2)
+}
+
+// ---------------------------------------------------------------------
+// Reader
+// ---------------------------------------------------------------------
+
+struct R<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> R<'a> {
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, DecodeError> {
+        Err(DecodeError { offset: self.pos, msg: msg.into() })
+    }
+    fn u8(&mut self) -> Result<u8, DecodeError> {
+        let b = *self
+            .buf
+            .get(self.pos)
+            .ok_or(DecodeError { offset: self.pos, msg: "unexpected end".into() })?;
+        self.pos += 1;
+        Ok(b)
+    }
+    fn varu(&mut self) -> Result<u64, DecodeError> {
+        let mut v = 0u64;
+        let mut shift = 0;
+        loop {
+            let b = self.u8()?;
+            if shift >= 64 {
+                return self.err("varint overflow");
+            }
+            v |= ((b & 0x7f) as u64) << shift;
+            if b & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+        }
+    }
+    fn vari(&mut self) -> Result<i64, DecodeError> {
+        let v = self.varu()?;
+        Ok(((v >> 1) as i64) ^ -((v & 1) as i64))
+    }
+    fn f64(&mut self) -> Result<f64, DecodeError> {
+        if self.pos + 8 > self.buf.len() {
+            return self.err("unexpected end in f64");
+        }
+        let v = f64::from_le_bytes(self.buf[self.pos..self.pos + 8].try_into().unwrap());
+        self.pos += 8;
+        Ok(v)
+    }
+    fn str(&mut self) -> Result<String, DecodeError> {
+        let n = self.varu()? as usize;
+        if self.pos + n > self.buf.len() {
+            return self.err("unexpected end in string");
+        }
+        let s = std::str::from_utf8(&self.buf[self.pos..self.pos + n])
+            .map_err(|_| DecodeError { offset: self.pos, msg: "invalid utf-8".into() })?
+            .to_owned();
+        self.pos += n;
+        Ok(s)
+    }
+    fn ty(&mut self) -> Result<ScalarTy, DecodeError> {
+        let b = self.u8()?;
+        ScalarTy::from_encoding(b).ok_or(DecodeError {
+            offset: self.pos - 1,
+            msg: format!("bad scalar type tag {b}"),
+        })
+    }
+    fn bcty(&mut self) -> Result<BcTy, DecodeError> {
+        match self.u8()? {
+            0 => Ok(BcTy::Scalar(self.ty()?)),
+            1 => Ok(BcTy::Vec(self.ty()?)),
+            2 => Ok(BcTy::RealignToken),
+            t => self.err(format!("bad BcTy tag {t}")),
+        }
+    }
+    fn reg(&mut self) -> Result<Reg, DecodeError> {
+        Ok(Reg(self.varu()? as u32))
+    }
+    fn opt_reg(&mut self) -> Result<Option<Reg>, DecodeError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.reg()?)),
+            t => self.err(format!("bad Option<Reg> tag {t}")),
+        }
+    }
+    fn operand(&mut self) -> Result<Operand, DecodeError> {
+        match self.u8()? {
+            0 => Ok(Operand::Reg(self.reg()?)),
+            1 => Ok(Operand::ConstI(self.vari()?)),
+            2 => Ok(Operand::ConstF(self.f64()?)),
+            t => self.err(format!("bad operand tag {t}")),
+        }
+    }
+    fn addr(&mut self) -> Result<Addr, DecodeError> {
+        Ok(Addr {
+            base: ArraySym(self.varu()? as u32),
+            index: self.operand()?,
+            offset: self.vari()?,
+        })
+    }
+    fn binop(&mut self) -> Result<BinOp, DecodeError> {
+        let b = self.u8()? as usize;
+        BINOPS.get(b).copied().ok_or(DecodeError {
+            offset: self.pos - 1,
+            msg: format!("bad binop tag {b}"),
+        })
+    }
+    fn unop(&mut self) -> Result<UnOp, DecodeError> {
+        let b = self.u8()? as usize;
+        UNOPS.get(b).copied().ok_or(DecodeError {
+            offset: self.pos - 1,
+            msg: format!("bad unop tag {b}"),
+        })
+    }
+    fn amt(&mut self) -> Result<ShiftAmt, DecodeError> {
+        match self.u8()? {
+            0 => Ok(ShiftAmt::Scalar(self.operand()?)),
+            1 => Ok(ShiftAmt::PerLane(self.reg()?)),
+            t => self.err(format!("bad shift-amount tag {t}")),
+        }
+    }
+
+    fn op(&mut self) -> Result<Op, DecodeError> {
+        let tag = self.u8()?;
+        Ok(match tag {
+            0 => Op::GetVf { ty: self.ty()?, group: self.varu()? as u32 },
+            1 => Op::GetAlignLimit(self.ty()?),
+            2 => Op::LoopBound { vect: self.operand()?, scalar: self.operand()?, group: self.varu()? as u32 },
+            3 => Op::InitUniform(self.ty()?, self.operand()?),
+            4 => Op::InitAffine(self.ty()?, self.operand()?, self.operand()?),
+            5 => Op::InitReduc(self.ty()?, self.operand()?, self.operand()?),
+            6 => Op::ReducPlus(self.ty()?, self.reg()?),
+            7 => Op::ReducMax(self.ty()?, self.reg()?),
+            8 => Op::ReducMin(self.ty()?, self.reg()?),
+            9 => Op::DotProduct(self.ty()?, self.reg()?, self.reg()?, self.reg()?),
+            10 => Op::WidenMultHi(self.ty()?, self.reg()?, self.reg()?),
+            11 => Op::WidenMultLo(self.ty()?, self.reg()?, self.reg()?),
+            12 => Op::Pack(self.ty()?, self.reg()?, self.reg()?),
+            13 => Op::UnpackHi(self.ty()?, self.reg()?),
+            14 => Op::UnpackLo(self.ty()?, self.reg()?),
+            15 => Op::CvtInt2Fp(self.ty()?, self.reg()?),
+            16 => Op::CvtFp2Int(self.ty()?, self.reg()?),
+            17 => Op::VBin(self.binop()?, self.ty()?, self.reg()?, self.reg()?),
+            18 => Op::VUn(self.unop()?, self.ty()?, self.reg()?),
+            19 => Op::VShl(self.ty()?, self.reg()?, self.amt()?),
+            20 => Op::VShr(self.ty()?, self.reg()?, self.amt()?),
+            21 => {
+                let ty = self.ty()?;
+                let stride = self.u8()?;
+                let offset = self.u8()?;
+                let n = self.varu()? as usize;
+                let mut srcs = Vec::with_capacity(n);
+                for _ in 0..n {
+                    srcs.push(self.reg()?);
+                }
+                Op::Extract { ty, stride, offset, srcs }
+            }
+            22 => Op::InterleaveHi(self.ty()?, self.reg()?, self.reg()?),
+            23 => Op::InterleaveLo(self.ty()?, self.reg()?, self.reg()?),
+            24 => Op::ALoad(self.ty()?, self.addr()?),
+            25 => Op::AlignLoad(self.ty()?, self.addr()?),
+            26 => Op::GetRt {
+                ty: self.ty()?,
+                addr: self.addr()?,
+                mis: self.varu()? as u32,
+                modulo: self.varu()? as u32,
+            },
+            27 => Op::RealignLoad {
+                ty: self.ty()?,
+                lo: self.opt_reg()?,
+                hi: self.opt_reg()?,
+                rt: self.opt_reg()?,
+                addr: self.addr()?,
+                mis: self.varu()? as u32,
+                modulo: self.varu()? as u32,
+            },
+            28 => Op::SBin(self.binop()?, self.ty()?, self.operand()?, self.operand()?),
+            29 => Op::SUn(self.unop()?, self.ty()?, self.operand()?),
+            30 => Op::SCast { from: self.ty()?, to: self.ty()?, arg: self.operand()? },
+            31 => Op::SLoad(self.ty()?, self.addr()?),
+            32 => Op::Copy(self.operand()?),
+            t => return self.err(format!("bad op tag {t}")),
+        })
+    }
+
+    fn guard(&mut self) -> Result<GuardCond, DecodeError> {
+        Ok(match self.u8()? {
+            0 => GuardCond::TypeSupported(self.ty()?),
+            1 => GuardCond::BaseAligned(ArraySym(self.varu()? as u32)),
+            2 => GuardCond::NoAlias(ArraySym(self.varu()? as u32), ArraySym(self.varu()? as u32)),
+            3 => GuardCond::VsAtLeast(self.varu()? as u32),
+            4 => {
+                let n = self.varu()? as usize;
+                let mut gs = Vec::with_capacity(n);
+                for _ in 0..n {
+                    gs.push(self.guard()?);
+                }
+                GuardCond::All(gs)
+            }
+            5 => GuardCond::StrideAligned {
+                array: ArraySym(self.varu()? as u32),
+                stride: self.operand()?,
+                ty: self.ty()?,
+            },
+            6 => {
+                let n = self.varu()? as usize;
+                let mut cs = Vec::with_capacity(n.min(16));
+                for _ in 0..n {
+                    cs.push(match self.u8()? {
+                        0 => OpClass::FDiv,
+                        1 => OpClass::FSqrt,
+                        2 => OpClass::WidenMult,
+                        3 => OpClass::Cvt,
+                        4 => OpClass::DotProduct,
+                        5 => OpClass::PerLaneShift,
+                        t => return self.err(format!("bad op class {t}")),
+                    });
+                }
+                GuardCond::OpsSupported(cs)
+            }
+            t => return self.err(format!("bad guard tag {t}")),
+        })
+    }
+
+    fn stmt(&mut self, depth: usize) -> Result<BcStmt, DecodeError> {
+        if depth > 64 {
+            return self.err("statement nesting too deep");
+        }
+        Ok(match self.u8()? {
+            0 => BcStmt::Def { dst: self.reg()?, op: self.op()? },
+            1 => BcStmt::VStore {
+                ty: self.ty()?,
+                addr: self.addr()?,
+                src: self.reg()?,
+                mis: self.varu()? as u32,
+                modulo: self.varu()? as u32,
+            },
+            2 => BcStmt::SStore { ty: self.ty()?, addr: self.addr()?, src: self.operand()? },
+            3 => {
+                let var = self.reg()?;
+                let lo = self.operand()?;
+                let limit = self.operand()?;
+                let step = match self.u8()? {
+                    0 => Step::Const(self.vari()?),
+                    1 => Step::Vf(self.ty()?, self.vari()?),
+                    t => return self.err(format!("bad step tag {t}")),
+                };
+                let kind = match self.u8()? {
+                    0 => LoopKind::Plain,
+                    1 => LoopKind::VectorMain,
+                    2 => LoopKind::ScalarPeel,
+                    3 => LoopKind::ScalarTail,
+                    t => return self.err(format!("bad loop kind {t}")),
+                };
+                let group = self.varu()? as u32;
+                let n = self.varu()? as usize;
+                let mut body = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    body.push(self.stmt(depth + 1)?);
+                }
+                BcStmt::Loop { var, lo, limit, step, kind, group, body }
+            }
+            4 => {
+                let cond = self.guard()?;
+                let n = self.varu()? as usize;
+                let mut then_body = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    then_body.push(self.stmt(depth + 1)?);
+                }
+                let n = self.varu()? as usize;
+                let mut else_body = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    else_body.push(self.stmt(depth + 1)?);
+                }
+                BcStmt::Version { cond, then_body, else_body }
+            }
+            t => return self.err(format!("bad statement tag {t}")),
+        })
+    }
+}
+
+/// Decode a module from bytes.
+///
+/// # Errors
+/// Returns a [`DecodeError`] for truncated or malformed input. The result
+/// is structurally valid but should still be run through
+/// [`crate::verify_module`] before compilation.
+pub fn decode_module(bytes: &[u8]) -> Result<BcModule, DecodeError> {
+    let mut r = R { buf: bytes, pos: 0 };
+    for (i, &m) in MAGIC.iter().enumerate() {
+        if r.u8()? != m {
+            return Err(DecodeError { offset: i, msg: "bad magic".into() });
+        }
+    }
+    let ver = r.u8()?;
+    if ver != VERSION {
+        return r.err(format!("unsupported version {ver}"));
+    }
+    let nf = r.varu()? as usize;
+    let mut funcs = Vec::with_capacity(nf.min(1024));
+    for _ in 0..nf {
+        let name = r.str()?;
+        let np = r.varu()? as usize;
+        let mut params = Vec::with_capacity(np.min(1024));
+        for _ in 0..np {
+            params.push(BcParam { name: r.str()?, ty: r.ty()? });
+        }
+        let na = r.varu()? as usize;
+        let mut arrays = Vec::with_capacity(na.min(1024));
+        for _ in 0..na {
+            arrays.push(BcArray {
+                name: r.str()?,
+                elem: r.ty()?,
+                kind: if r.u8()? == 1 { ArrayKind::Global } else { ArrayKind::PointerParam },
+            });
+        }
+        let nr = r.varu()? as usize;
+        let mut regs = Vec::with_capacity(nr.min(65536));
+        for _ in 0..nr {
+            regs.push(r.bcty()?);
+        }
+        let ns = r.varu()? as usize;
+        let mut body = Vec::with_capacity(ns.min(65536));
+        for _ in 0..ns {
+            body.push(r.stmt(0)?);
+        }
+        funcs.push(BcFunction { name, params, arrays, regs, body });
+    }
+    if r.pos != bytes.len() {
+        return r.err("trailing bytes after module");
+    }
+    Ok(BcModule { funcs })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_function() -> BcFunction {
+        let mut f = BcFunction::new(
+            "sum",
+            vec![BcParam { name: "n".into(), ty: ScalarTy::I64 }],
+            vec![BcArray { name: "a".into(), elem: ScalarTy::F32, kind: ArrayKind::Global }],
+        );
+        let vf = f.fresh_reg(BcTy::Scalar(ScalarTy::I64));
+        let vsum = f.fresh_reg(BcTy::Vec(ScalarTy::F32));
+        let i = f.fresh_reg(BcTy::Scalar(ScalarTy::I64));
+        let vx = f.fresh_reg(BcTy::Vec(ScalarTy::F32));
+        let s = f.fresh_reg(BcTy::Scalar(ScalarTy::F32));
+        f.body = vec![
+            BcStmt::Def { dst: vf, op: Op::GetVf { ty: ScalarTy::F32, group: 1 } },
+            BcStmt::Def { dst: vsum, op: Op::InitUniform(ScalarTy::F32, Operand::ConstF(0.0)) },
+            BcStmt::Loop {
+                var: i,
+                lo: Operand::ConstI(0),
+                limit: Operand::Reg(Reg(0)),
+                step: Step::Vf(ScalarTy::F32, 1),
+                kind: LoopKind::VectorMain,
+                group: 1,
+                body: vec![
+                    BcStmt::Def {
+                        dst: vx,
+                        op: Op::RealignLoad {
+                            ty: ScalarTy::F32,
+                            lo: None,
+                            hi: None,
+                            rt: None,
+                            addr: Addr::with_offset(ArraySym(0), Operand::Reg(i), 2),
+                            mis: 8,
+                            modulo: 32,
+                        },
+                    },
+                    BcStmt::Def {
+                        dst: vsum,
+                        op: Op::VBin(BinOp::Add, ScalarTy::F32, vx, vsum),
+                    },
+                ],
+            },
+            BcStmt::Def { dst: s, op: Op::ReducPlus(ScalarTy::F32, vsum) },
+            BcStmt::Version {
+                cond: GuardCond::All(vec![
+                    GuardCond::TypeSupported(ScalarTy::F64),
+                    GuardCond::BaseAligned(ArraySym(0)),
+                    GuardCond::StrideAligned {
+                        array: ArraySym(0),
+                        stride: Operand::Reg(Reg(0)),
+                        ty: ScalarTy::F32,
+                    },
+                    GuardCond::OpsSupported(vec![OpClass::FDiv, OpClass::Cvt]),
+                ]),
+                then_body: vec![BcStmt::SStore {
+                    ty: ScalarTy::F32,
+                    addr: Addr::new(ArraySym(0), Operand::ConstI(0)),
+                    src: Operand::Reg(s),
+                }],
+                else_body: vec![],
+            },
+        ];
+        f
+    }
+
+    #[test]
+    fn roundtrip_preserves_module() {
+        let m = BcModule::single(sample_function());
+        let bytes = encode_module(&m);
+        let back = decode_module(&bytes).unwrap();
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn rejects_truncation_everywhere() {
+        let m = BcModule::single(sample_function());
+        let bytes = encode_module(&m);
+        for cut in 0..bytes.len() {
+            assert!(
+                decode_module(&bytes[..cut]).is_err(),
+                "truncation at {cut} silently accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_version() {
+        let m = BcModule::new();
+        let mut bytes = encode_module(&m);
+        bytes[0] = b'X';
+        assert!(decode_module(&bytes).is_err());
+        let mut bytes = encode_module(&m);
+        bytes[4] = 99;
+        assert!(decode_module(&bytes).is_err());
+    }
+
+    #[test]
+    fn rejects_trailing_bytes() {
+        let m = BcModule::new();
+        let mut bytes = encode_module(&m);
+        bytes.push(0);
+        assert!(decode_module(&bytes).is_err());
+    }
+
+    #[test]
+    fn encoded_size_counts_function_body() {
+        let f = sample_function();
+        let small = BcFunction::new("empty", vec![], vec![]);
+        assert!(encoded_size(&f) > encoded_size(&small));
+    }
+}

@@ -1,0 +1,291 @@
+//! The vector idioms of the split layer (paper Table 1) plus the scalar
+//! operations needed for bounds/address bookkeeping and scalar loop
+//! bodies.
+
+use vapor_ir::{BinOp, ScalarTy, UnOp};
+
+use crate::ty::{Addr, Operand, Reg};
+
+/// Shift amount for `shift_left/right` (Table 1): either one scalar
+/// amount broadcast to all lanes (`val != 0` case) or per-lane amounts in
+/// a vector register (`val == 0` case).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ShiftAmt {
+    /// Same amount for every lane.
+    Scalar(Operand),
+    /// Per-lane amounts.
+    PerLane(Reg),
+}
+
+/// A pure operation defining one register (`dst = op`).
+///
+/// Vector operand/result lane counts follow Table 1 of the paper: `m`
+/// denotes `get_VF(T)` for the op's element type `T`; widening ops
+/// produce `m/2` lanes of the widened type, `pack` produces `m` lanes of
+/// the narrowed type from two inputs, and `dot_product` accumulates into
+/// `m/2` lanes of the widened type.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    // ----- machine parameters (materialized by the online stage) -----
+    /// `get_VF(T)`: lanes of `T` per vector register (scalar `long`).
+    ///
+    /// `group` ties the materialized value to one vectorized loop group:
+    /// the online stage materializes VF per group (the target's lane
+    /// count, or 1 when it direct-scalarizes that group, Figure 3b).
+    GetVf {
+        /// Element type `T`.
+        ty: ScalarTy,
+        /// Loop group this VF belongs to.
+        group: u32,
+    },
+    /// `get_align_limit(T)`: alignment requirement in elements of `T`.
+    GetAlignLimit(ScalarTy),
+    /// `loop_bound(vect, scalar)`: selects the bound according to whether
+    /// the online stage emits vector or scalar code for the loop group.
+    LoopBound {
+        /// Bound used when the associated loop is vectorized.
+        vect: Operand,
+        /// Bound used when the associated loop is scalarized.
+        scalar: Operand,
+        /// Loop group whose vector/scalar decision selects the arm.
+        group: u32,
+    },
+
+    // ----- vector initialization -----
+    /// `init_uniform(T, val)`: `m` copies of `val`.
+    InitUniform(ScalarTy, Operand),
+    /// `init_affine(T, val, inc)`: `(val, val+inc, ..., val+(m-1)inc)`.
+    InitAffine(ScalarTy, Operand, Operand),
+    /// `init_reduc(T, val, default)`: `(val, default, ..., default)`.
+    InitReduc(ScalarTy, Operand, Operand),
+
+    // ----- reductions -----
+    /// `reduc_plus(T, v)`: sum of lanes (scalar result).
+    ReducPlus(ScalarTy, Reg),
+    /// `reduc_max(T, v)`.
+    ReducMax(ScalarTy, Reg),
+    /// `reduc_min(T, v)`.
+    ReducMin(ScalarTy, Reg),
+
+    // ----- special computational idioms -----
+    /// `dot_product(T, v1, v2, acc)`: pairwise widening multiply of `v1`
+    /// and `v2` (element type `T`), pairs summed and added to `acc`
+    /// (element type `widened(T)`, `m/2` lanes).
+    DotProduct(ScalarTy, Reg, Reg, Reg),
+    /// `widen_mult_hi(T, v1, v2)`: widening multiply of high halves.
+    WidenMultHi(ScalarTy, Reg, Reg),
+    /// `widen_mult_lo(T, v1, v2)`: widening multiply of low halves.
+    WidenMultLo(ScalarTy, Reg, Reg),
+    /// `pack(T, v1, v2)`: demote the `2m` elements of type `T` in
+    /// `v1,v2` to `narrowed(T)`.
+    Pack(ScalarTy, Reg, Reg),
+    /// `unpack_hi(T, v)`: promote the high `m/2` elements to `widened(T)`.
+    UnpackHi(ScalarTy, Reg),
+    /// `unpack_lo(T, v)`: promote the low `m/2` elements to `widened(T)`.
+    UnpackLo(ScalarTy, Reg),
+    /// `cvt_int2fp(T, v)`: lane-wise int→float conversion (same width).
+    CvtInt2Fp(ScalarTy, Reg),
+    /// `cvt_fp2int(T, v)`: lane-wise float→int conversion (same width).
+    CvtFp2Int(ScalarTy, Reg),
+
+    // ----- elementwise arithmetic/logic -----
+    /// Elementwise binary op (`add/sub/mul/div/min/max/and/or/xor`).
+    VBin(BinOp, ScalarTy, Reg, Reg),
+    /// Elementwise unary op (`neg`, `abs`, `sqrt`).
+    VUn(UnOp, ScalarTy, Reg),
+    /// `shift_left(T, v, amt)`.
+    VShl(ScalarTy, Reg, ShiftAmt),
+    /// `shift_right(T, v, amt)` (arithmetic for signed `T`).
+    VShr(ScalarTy, Reg, ShiftAmt),
+
+    // ----- data reorganization -----
+    /// `extract(T, s, off, v...)`: lanes `off, off+s, off+2s, ...` from
+    /// the concatenation of the sources (strided de-interleave).
+    Extract {
+        /// Element type.
+        ty: ScalarTy,
+        /// Stride `s >= 1`.
+        stride: u8,
+        /// Starting offset `off < s`.
+        offset: u8,
+        /// `stride` source vectors.
+        srcs: Vec<Reg>,
+    },
+    /// `interleave_hi(T, v1, v2)`.
+    InterleaveHi(ScalarTy, Reg, Reg),
+    /// `interleave_lo(T, v1, v2)`.
+    InterleaveLo(ScalarTy, Reg, Reg),
+
+    // ----- memory -----
+    /// `aload(addr)`: aligned vector load (addr guaranteed aligned).
+    ALoad(ScalarTy, Addr),
+    /// `align_load(addr)`: vector load from `floor(addr / VS) * VS`.
+    AlignLoad(ScalarTy, Addr),
+    /// `get_rt(addr, mis, mod)`: realignment token for `addr`.
+    GetRt {
+        /// Element type of the loads this token serves.
+        ty: ScalarTy,
+        /// Address whose misalignment the token captures.
+        addr: Addr,
+        /// Static misalignment hint in bytes (relative to `mod`).
+        mis: u32,
+        /// Modulo for the hint; `0` means unknown at offline time.
+        modulo: u32,
+    },
+    /// `realign_load(v1, v2, rt, addr, mis, mod)`: functionally a vector
+    /// load of `m` elements from `addr`; on aligned-only targets it is
+    /// implemented by extracting from the surrounding aligned loads
+    /// `v1`/`v2` using `rt`.
+    RealignLoad {
+        /// Element type.
+        ty: ScalarTy,
+        /// Aligned load covering the low part (aligned-only targets).
+        lo: Option<Reg>,
+        /// Aligned load covering the high part (aligned-only targets).
+        hi: Option<Reg>,
+        /// Realignment token from [`Op::GetRt`].
+        rt: Option<Reg>,
+        /// The address actually loaded from on other targets.
+        addr: Addr,
+        /// Static misalignment hint in bytes.
+        mis: u32,
+        /// Hint modulo; `0` = unknown.
+        modulo: u32,
+    },
+
+    // ----- scalar operations -----
+    /// Scalar binary op at the given type.
+    SBin(BinOp, ScalarTy, Operand, Operand),
+    /// Scalar unary op.
+    SUn(UnOp, ScalarTy, Operand),
+    /// Scalar conversion.
+    SCast {
+        /// Source type.
+        from: ScalarTy,
+        /// Destination type.
+        to: ScalarTy,
+        /// Value converted.
+        arg: Operand,
+    },
+    /// Scalar load `base[index+offset]`.
+    SLoad(ScalarTy, Addr),
+    /// Copy a scalar or vector register / materialize a constant.
+    Copy(Operand),
+}
+
+impl Op {
+    /// Registers read by this op (order unspecified).
+    pub fn uses(&self) -> Vec<Reg> {
+        fn push_opnd(out: &mut Vec<Reg>, o: &Operand) {
+            if let Operand::Reg(r) = o {
+                out.push(*r);
+            }
+        }
+        let mut out = Vec::new();
+        match self {
+            Op::GetVf { .. } | Op::GetAlignLimit(_) => {}
+            Op::LoopBound { vect, scalar, .. } => {
+                push_opnd(&mut out, vect);
+                push_opnd(&mut out, scalar);
+            }
+            Op::InitUniform(_, a) => push_opnd(&mut out, a),
+            Op::InitAffine(_, a, b) | Op::InitReduc(_, a, b) => {
+                push_opnd(&mut out, a);
+                push_opnd(&mut out, b);
+            }
+            Op::ReducPlus(_, r) | Op::ReducMax(_, r) | Op::ReducMin(_, r) => out.push(*r),
+            Op::DotProduct(_, a, b, c) => out.extend([*a, *b, *c]),
+            Op::WidenMultHi(_, a, b) | Op::WidenMultLo(_, a, b) | Op::Pack(_, a, b) => {
+                out.extend([*a, *b])
+            }
+            Op::UnpackHi(_, a) | Op::UnpackLo(_, a) | Op::CvtInt2Fp(_, a) | Op::CvtFp2Int(_, a) => {
+                out.push(*a)
+            }
+            Op::VBin(_, _, a, b) => out.extend([*a, *b]),
+            Op::VUn(_, _, a) => out.push(*a),
+            Op::VShl(_, v, amt) | Op::VShr(_, v, amt) => {
+                out.push(*v);
+                match amt {
+                    ShiftAmt::Scalar(o) => push_opnd(&mut out, o),
+                    ShiftAmt::PerLane(r) => out.push(*r),
+                }
+            }
+            Op::Extract { srcs, .. } => out.extend(srcs.iter().copied()),
+            Op::InterleaveHi(_, a, b) | Op::InterleaveLo(_, a, b) => out.extend([*a, *b]),
+            Op::ALoad(_, addr) | Op::AlignLoad(_, addr) | Op::SLoad(_, addr) => {
+                push_opnd(&mut out, &addr.index)
+            }
+            Op::GetRt { addr, .. } => push_opnd(&mut out, &addr.index),
+            Op::RealignLoad { lo, hi, rt, addr, .. } => {
+                out.extend(lo.iter().copied());
+                out.extend(hi.iter().copied());
+                out.extend(rt.iter().copied());
+                push_opnd(&mut out, &addr.index);
+            }
+            Op::SBin(_, _, a, b) => {
+                push_opnd(&mut out, a);
+                push_opnd(&mut out, b);
+            }
+            Op::SUn(_, _, a) | Op::SCast { arg: a, .. } | Op::Copy(a) => push_opnd(&mut out, a),
+        }
+        out
+    }
+
+    /// Whether this op is one of the machine-parameter/alignment idioms
+    /// that may expand to *no code* on some targets (§III-C of the paper).
+    pub fn is_alignment_idiom(&self) -> bool {
+        matches!(
+            self,
+            Op::GetRt { .. } | Op::AlignLoad(_, _) | Op::GetAlignLimit(_)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ty::ArraySym;
+
+    #[test]
+    fn uses_collects_all_registers() {
+        let op = Op::DotProduct(ScalarTy::I16, Reg(1), Reg(2), Reg(3));
+        assert_eq!(op.uses(), vec![Reg(1), Reg(2), Reg(3)]);
+
+        let op = Op::RealignLoad {
+            ty: ScalarTy::F32,
+            lo: Some(Reg(4)),
+            hi: Some(Reg(5)),
+            rt: Some(Reg(6)),
+            addr: Addr::new(ArraySym(0), Reg(7)),
+            mis: 8,
+            modulo: 32,
+        };
+        let uses = op.uses();
+        for r in [4, 5, 6, 7] {
+            assert!(uses.contains(&Reg(r)), "missing %{r}");
+        }
+    }
+
+    #[test]
+    fn extract_uses_all_sources() {
+        let op = Op::Extract {
+            ty: ScalarTy::I16,
+            stride: 2,
+            offset: 1,
+            srcs: vec![Reg(1), Reg(9)],
+        };
+        assert_eq!(op.uses(), vec![Reg(1), Reg(9)]);
+    }
+
+    #[test]
+    fn alignment_idioms_flagged() {
+        assert!(Op::GetRt {
+            ty: ScalarTy::F32,
+            addr: Addr::new(ArraySym(0), Operand::ConstI(0)),
+            mis: 0,
+            modulo: 0
+        }
+        .is_alignment_idiom());
+        assert!(!Op::GetVf { ty: ScalarTy::F32, group: 0 }.is_alignment_idiom());
+    }
+}

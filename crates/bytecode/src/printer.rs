@@ -1,0 +1,286 @@
+//! Human-readable text form of the bytecode (the style of Figure 3a in
+//! the paper). Used by examples, error messages, and golden tests.
+
+use std::fmt::Write as _;
+
+use crate::func::{BcFunction, BcModule};
+use crate::op::{Op, ShiftAmt};
+use crate::stmt::{BcStmt, GuardCond, LoopKind, OpClass, Step};
+use crate::ty::{Addr, Operand};
+
+fn fmt_addr(f: &BcFunction, a: &Addr) -> String {
+    let name = &f.array(a.base).name;
+    match (a.index, a.offset) {
+        (Operand::ConstI(i), off) => format!("&{name}[{}]", i + off),
+        (idx, 0) => format!("&{name}[{idx}]"),
+        (idx, off) if off > 0 => format!("&{name}[{idx}+{off}]"),
+        (idx, off) => format!("&{name}[{idx}{off}]"),
+    }
+}
+
+fn fmt_op(f: &BcFunction, op: &Op) -> String {
+    match op {
+        Op::GetVf { ty, group } => format!("get_VF({ty}) @g{group}"),
+        Op::GetAlignLimit(t) => format!("get_align_limit({t})"),
+        Op::LoopBound { vect, scalar, group } => {
+            format!("loop_bound({vect}, {scalar}) @g{group}")
+        }
+        Op::InitUniform(t, v) => format!("init_uniform({t}, {v})"),
+        Op::InitAffine(t, v, i) => format!("init_affine({t}, {v}, {i})"),
+        Op::InitReduc(t, v, d) => format!("init_reduc({t}, {v}, {d})"),
+        Op::ReducPlus(t, r) => format!("reduc_plus({t}, {r})"),
+        Op::ReducMax(t, r) => format!("reduc_max({t}, {r})"),
+        Op::ReducMin(t, r) => format!("reduc_min({t}, {r})"),
+        Op::DotProduct(t, a, b, c) => format!("dot_product({t}, {a}, {b}, {c})"),
+        Op::WidenMultHi(t, a, b) => format!("widen_mult_hi({t}, {a}, {b})"),
+        Op::WidenMultLo(t, a, b) => format!("widen_mult_lo({t}, {a}, {b})"),
+        Op::Pack(t, a, b) => format!("pack({t}, {a}, {b})"),
+        Op::UnpackHi(t, a) => format!("unpack_hi({t}, {a})"),
+        Op::UnpackLo(t, a) => format!("unpack_lo({t}, {a})"),
+        Op::CvtInt2Fp(t, a) => format!("cvt_int2fp({t}, {a})"),
+        Op::CvtFp2Int(t, a) => format!("cvt_fp2int({t}, {a})"),
+        Op::VBin(op, t, a, b) => format!("v{}({t}, {a}, {b})", bin_name(*op)),
+        Op::VUn(op, t, a) => format!("v{}({t}, {a})", op.name()),
+        Op::VShl(t, v, amt) => format!("shift_left({t}, {v}, {})", fmt_amt(amt)),
+        Op::VShr(t, v, amt) => format!("shift_right({t}, {v}, {})", fmt_amt(amt)),
+        Op::Extract { ty, stride, offset, srcs } => {
+            let srcs: Vec<String> = srcs.iter().map(|r| r.to_string()).collect();
+            format!("extract({ty}, s={stride}, off={offset}, {})", srcs.join(", "))
+        }
+        Op::InterleaveHi(t, a, b) => format!("interleave_hi({t}, {a}, {b})"),
+        Op::InterleaveLo(t, a, b) => format!("interleave_lo({t}, {a}, {b})"),
+        Op::ALoad(t, a) => format!("aload({t}, {})", fmt_addr(f, a)),
+        Op::AlignLoad(t, a) => format!("align_load({t}, {})", fmt_addr(f, a)),
+        Op::GetRt { ty, addr, mis, modulo } => {
+            format!("get_rt({ty}, {}, mis={mis}, mod={modulo})", fmt_addr(f, addr))
+        }
+        Op::RealignLoad { ty, lo, hi, rt, addr, mis, modulo } => {
+            let opt = |r: &Option<crate::ty::Reg>| {
+                r.map(|x| x.to_string()).unwrap_or_else(|| "_".into())
+            };
+            format!(
+                "realign_load({ty}, {}, {}, {}, {}, mis={mis}, mod={modulo})",
+                opt(lo),
+                opt(hi),
+                opt(rt),
+                fmt_addr(f, addr)
+            )
+        }
+        Op::SBin(op, t, a, b) => format!("{}({t}, {a}, {b})", bin_name(*op)),
+        Op::SUn(op, t, a) => format!("{}({t}, {a})", op.name()),
+        Op::SCast { from, to, arg } => format!("cvt({from} -> {to}, {arg})"),
+        Op::SLoad(t, a) => format!("load({t}, {})", fmt_addr(f, a)),
+        Op::Copy(v) => format!("copy({v})"),
+    }
+}
+
+fn bin_name(op: vapor_ir::BinOp) -> &'static str {
+    use vapor_ir::BinOp::*;
+    match op {
+        Add => "add",
+        Sub => "sub",
+        Mul => "mul",
+        Div => "div",
+        Shl => "shl",
+        Shr => "shr",
+        And => "and",
+        Or => "or",
+        Xor => "xor",
+        Min => "min",
+        Max => "max",
+        CmpEq => "cmpeq",
+        CmpLt => "cmplt",
+    }
+}
+
+fn fmt_amt(amt: &ShiftAmt) -> String {
+    match amt {
+        ShiftAmt::Scalar(o) => o.to_string(),
+        ShiftAmt::PerLane(r) => format!("per_lane({r})"),
+    }
+}
+
+/// Render a guard condition.
+pub fn fmt_guard(f: &BcFunction, g: &GuardCond) -> String {
+    match g {
+        GuardCond::TypeSupported(t) => format!("type_supported({t})"),
+        GuardCond::BaseAligned(a) => format!("base_aligned({})", f.array(*a).name),
+        GuardCond::NoAlias(a, b) => {
+            format!("no_alias({}, {})", f.array(*a).name, f.array(*b).name)
+        }
+        GuardCond::VsAtLeast(b) => format!("vs_at_least({b})"),
+        GuardCond::StrideAligned { array, stride, ty } => {
+            format!("stride_aligned({}, {stride}, {ty})", f.array(*array).name)
+        }
+        GuardCond::OpsSupported(cs) => {
+            let parts: Vec<String> = cs
+                .iter()
+                .map(|c| {
+                    match c {
+                        OpClass::FDiv => "fdiv",
+                        OpClass::FSqrt => "fsqrt",
+                        OpClass::WidenMult => "widen_mult",
+                        OpClass::Cvt => "cvt",
+                        OpClass::DotProduct => "dot_product",
+                        OpClass::PerLaneShift => "per_lane_shift",
+                    }
+                    .to_owned()
+                })
+                .collect();
+            format!("ops_supported({})", parts.join(", "))
+        }
+        GuardCond::All(gs) => {
+            let parts: Vec<String> = gs.iter().map(|g| fmt_guard(f, g)).collect();
+            parts.join(" && ")
+        }
+    }
+}
+
+fn write_stmt(out: &mut String, f: &BcFunction, s: &BcStmt, indent: usize) {
+    let pad = "  ".repeat(indent);
+    match s {
+        BcStmt::Def { dst, op } => {
+            let _ = writeln!(out, "{pad}{dst}: {} = {}", f.reg_ty(*dst), fmt_op(f, op));
+        }
+        BcStmt::VStore { ty, addr, src, mis, modulo } => {
+            let _ = writeln!(
+                out,
+                "{pad}vstore({ty}, {}, {src}, mis={mis}, mod={modulo})",
+                fmt_addr(f, addr)
+            );
+        }
+        BcStmt::SStore { ty, addr, src } => {
+            let _ = writeln!(out, "{pad}store({ty}, {}, {src})", fmt_addr(f, addr));
+        }
+        BcStmt::Loop { var, lo, limit, step, kind, group, body } => {
+            let step_s = match step {
+                Step::Const(k) => format!("{k}"),
+                Step::Vf(t, 1) => format!("vf({t})"),
+                Step::Vf(t, k) => format!("{k}*vf({t})"),
+            };
+            let kind_s = match kind {
+                LoopKind::Plain => String::new(),
+                LoopKind::VectorMain => format!(" [vector @g{group}]"),
+                LoopKind::ScalarPeel => format!(" [peel @g{group}]"),
+                LoopKind::ScalarTail => format!(" [tail @g{group}]"),
+            };
+            let _ = writeln!(out, "{pad}loop {var} = {lo} .. {limit} step {step_s}{kind_s} {{");
+            for st in body {
+                write_stmt(out, f, st, indent + 1);
+            }
+            let _ = writeln!(out, "{pad}}}");
+        }
+        BcStmt::Version { cond, then_body, else_body } => {
+            let _ = writeln!(out, "{pad}version ({}) {{", fmt_guard(f, cond));
+            for st in then_body {
+                write_stmt(out, f, st, indent + 1);
+            }
+            let _ = writeln!(out, "{pad}}} else {{");
+            for st in else_body {
+                write_stmt(out, f, st, indent + 1);
+            }
+            let _ = writeln!(out, "{pad}}}");
+        }
+    }
+}
+
+/// Render one function.
+pub fn print_function(f: &BcFunction) -> String {
+    let mut out = String::new();
+    let params: Vec<String> = f
+        .params
+        .iter()
+        .enumerate()
+        .map(|(i, p)| format!("%{i}:{} {}", p.ty, p.name))
+        .collect();
+    let arrays: Vec<String> = f
+        .arrays
+        .iter()
+        .map(|a| {
+            let k = match a.kind {
+                vapor_ir::ArrayKind::Global => "global ",
+                vapor_ir::ArrayKind::PointerParam => "",
+            };
+            format!("{k}{} {}[]", a.elem, a.name)
+        })
+        .collect();
+    let _ = writeln!(out, "func {}({}; {}) {{", f.name, params.join(", "), arrays.join(", "));
+    for s in &f.body {
+        write_stmt(&mut out, f, s, 1);
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Render a whole module.
+pub fn print_module(m: &BcModule) -> String {
+    let mut out = String::new();
+    for f in &m.funcs {
+        out.push_str(&print_function(f));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::func::{BcArray, BcParam};
+    use crate::ty::{ArraySym, BcTy, Reg};
+    use vapor_ir::{ArrayKind, ScalarTy};
+
+    #[test]
+    fn prints_figure3_style() {
+        let mut f = BcFunction::new(
+            "sum",
+            vec![BcParam { name: "n".into(), ty: ScalarTy::I64 }],
+            vec![BcArray { name: "a".into(), elem: ScalarTy::F32, kind: ArrayKind::Global }],
+        );
+        let vf = f.fresh_reg(BcTy::Scalar(ScalarTy::I64));
+        let vsum = f.fresh_reg(BcTy::Vec(ScalarTy::F32));
+        let rt = f.fresh_reg(BcTy::RealignToken);
+        let i = f.fresh_reg(BcTy::Scalar(ScalarTy::I64));
+        let vx = f.fresh_reg(BcTy::Vec(ScalarTy::F32));
+        f.body = vec![
+            BcStmt::Def { dst: vf, op: Op::GetVf { ty: ScalarTy::F32, group: 1 } },
+            BcStmt::Def {
+                dst: vsum,
+                op: Op::InitUniform(ScalarTy::F32, Operand::ConstF(0.0)),
+            },
+            BcStmt::Def {
+                dst: rt,
+                op: Op::GetRt {
+                    ty: ScalarTy::F32,
+                    addr: Addr::with_offset(ArraySym(0), Operand::ConstI(0), 2),
+                    mis: 8,
+                    modulo: 32,
+                },
+            },
+            BcStmt::Loop {
+                var: i,
+                lo: Operand::ConstI(0),
+                limit: Operand::Reg(Reg(0)),
+                step: Step::Vf(ScalarTy::F32, 1),
+                kind: LoopKind::VectorMain,
+                group: 1,
+                body: vec![BcStmt::Def {
+                    dst: vx,
+                    op: Op::RealignLoad {
+                        ty: ScalarTy::F32,
+                        lo: None,
+                        hi: None,
+                        rt: Some(rt),
+                        addr: Addr::with_offset(ArraySym(0), Operand::Reg(i), 2),
+                        mis: 8,
+                        modulo: 32,
+                    },
+                }],
+            },
+        ];
+        let text = print_function(&f);
+        assert!(text.contains("get_VF(float) @g1"), "{text}");
+        assert!(text.contains("get_rt(float, &a[2], mis=8, mod=32)"), "{text}");
+        assert!(text.contains("realign_load(float, _, _, %3, &a[%4+2], mis=8, mod=32)"), "{text}");
+        assert!(text.contains("step vf(float) [vector @g1]"), "{text}");
+    }
+}

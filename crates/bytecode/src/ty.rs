@@ -1,0 +1,165 @@
+//! Types, registers and addressing of the vectorized bytecode.
+
+use std::fmt;
+
+use vapor_ir::ScalarTy;
+
+/// Type of a bytecode register.
+///
+/// `Vec(T)` is a **VF-parametric** vector of `T`: its lane count is
+/// `get_VF(T)` and is unknown until the online compilation stage picks a
+/// target (or 1 when scalarizing). This is the heart of the split layer:
+/// nothing in the bytecode depends on the actual vector size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BcTy {
+    /// A scalar of the given element type.
+    Scalar(ScalarTy),
+    /// A vector of `get_VF(T)` lanes of the given element type.
+    Vec(ScalarTy),
+    /// An opaque realignment token produced by `get_rt` (a permutation
+    /// vector, bit mask, or shift amount depending on the target).
+    RealignToken,
+}
+
+impl BcTy {
+    /// The element type, if this is a scalar or vector type.
+    pub fn elem(self) -> Option<ScalarTy> {
+        match self {
+            BcTy::Scalar(t) | BcTy::Vec(t) => Some(t),
+            BcTy::RealignToken => None,
+        }
+    }
+
+    /// Whether this is a vector type.
+    pub fn is_vec(self) -> bool {
+        matches!(self, BcTy::Vec(_))
+    }
+}
+
+impl fmt::Display for BcTy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BcTy::Scalar(t) => write!(f, "{t}"),
+            BcTy::Vec(t) => write!(f, "v{t}"),
+            BcTy::RealignToken => f.write_str("rt"),
+        }
+    }
+}
+
+/// A (mutable) virtual register of a bytecode function.
+///
+/// Registers are typed at declaration and may be re-assigned — loop
+/// accumulators are expressed as re-definitions, not SSA phis, keeping
+/// the online pass a single linear scan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Reg(pub u32);
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "%{}", self.0)
+    }
+}
+
+/// Index of an array symbol in the function's array table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ArraySym(pub u32);
+
+/// An operand: a register or an immediate constant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Operand {
+    /// Register reference.
+    Reg(Reg),
+    /// Integer immediate.
+    ConstI(i64),
+    /// Float immediate.
+    ConstF(f64),
+}
+
+impl Operand {
+    /// The register, if this is a register operand.
+    pub fn as_reg(self) -> Option<Reg> {
+        match self {
+            Operand::Reg(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The integer constant, if this is an integer immediate.
+    pub fn as_const_i(self) -> Option<i64> {
+        match self {
+            Operand::ConstI(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Reg(r) => write!(f, "{r}"),
+            Operand::ConstI(v) => write!(f, "{v}"),
+            Operand::ConstF(v) => write!(f, "{v:?}"),
+        }
+    }
+}
+
+impl From<Reg> for Operand {
+    fn from(r: Reg) -> Operand {
+        Operand::Reg(r)
+    }
+}
+
+/// A high-level address: `base[index + offset]` in *elements* of the
+/// array's element type.
+///
+/// The bytecode keeps addressing symbolic (CLI-style: no loss of type or
+/// base-object metadata), which is what lets the online stage reason
+/// about alignment and fold address arithmetic per target.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Addr {
+    /// Base array.
+    pub base: ArraySym,
+    /// Element index (must be a scalar `long` operand).
+    pub index: Operand,
+    /// Constant element offset added to the index.
+    pub offset: i64,
+}
+
+impl Addr {
+    /// Address of `base[index]`.
+    pub fn new(base: ArraySym, index: impl Into<Operand>) -> Addr {
+        Addr { base, index: index.into(), offset: 0 }
+    }
+
+    /// Address of `base[index + offset]`.
+    pub fn with_offset(base: ArraySym, index: impl Into<Operand>, offset: i64) -> Addr {
+        Addr { base, index: index.into(), offset }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(BcTy::Vec(ScalarTy::F32).to_string(), "vfloat");
+        assert_eq!(BcTy::Scalar(ScalarTy::I16).to_string(), "short");
+        assert_eq!(Reg(3).to_string(), "%3");
+        assert_eq!(Operand::ConstI(-2).to_string(), "-2");
+    }
+
+    #[test]
+    fn operand_accessors() {
+        assert_eq!(Operand::Reg(Reg(1)).as_reg(), Some(Reg(1)));
+        assert_eq!(Operand::ConstI(5).as_const_i(), Some(5));
+        assert_eq!(Operand::ConstF(1.0).as_reg(), None);
+    }
+
+    #[test]
+    fn vec_ty_properties() {
+        assert!(BcTy::Vec(ScalarTy::I8).is_vec());
+        assert_eq!(BcTy::Vec(ScalarTy::I8).elem(), Some(ScalarTy::I8));
+        assert_eq!(BcTy::RealignToken.elem(), None);
+    }
+}

@@ -1,0 +1,49 @@
+//! Decoder robustness: arbitrary byte soup must never panic — only
+//! return `DecodeError` — and valid prefixes with flipped bytes must
+//! never be silently misinterpreted as the original module.
+
+use proptest::prelude::*;
+
+use vapor_bytecode::{decode_module, encode_module, BcFunction, BcModule, BcParam};
+use vapor_ir::ScalarTy;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    #[test]
+    fn random_bytes_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let _ = decode_module(&bytes);
+    }
+
+    #[test]
+    fn random_bytes_with_valid_magic_never_panic(
+        mut bytes in prop::collection::vec(any::<u8>(), 5..512)
+    ) {
+        bytes[0..4].copy_from_slice(b"VSBC");
+        bytes[4] = 1;
+        let _ = decode_module(&bytes);
+    }
+}
+
+#[test]
+fn bitflips_never_roundtrip_to_the_original() {
+    let mut f = BcFunction::new(
+        "probe",
+        vec![BcParam { name: "n".into(), ty: ScalarTy::I64 }],
+        vec![],
+    );
+    let r = f.fresh_reg(vapor_bytecode::BcTy::Scalar(ScalarTy::I64));
+    f.body = vec![vapor_bytecode::BcStmt::Def {
+        dst: r,
+        op: vapor_bytecode::Op::Copy(vapor_bytecode::Operand::ConstI(7)),
+    }];
+    let m = BcModule::single(f);
+    let bytes = encode_module(&m);
+    for i in 0..bytes.len() {
+        let mut corrupted = bytes.clone();
+        corrupted[i] ^= 0x40;
+        if let Ok(back) = decode_module(&corrupted) {
+            assert_ne!(back, m, "bit flip at {i} decoded back to the original");
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! # vapor-core — the split-vectorization pipeline
+//!
+//! The public face of the Vapor SIMD reproduction: the compilation flows
+//! of the paper's Figure 4 ([`Flow`]), end-to-end compilation
+//! ([`compile`]) from mini-C kernels through the offline vectorizer, the
+//! portable encoded bytecode, and the online compilers, down to virtual
+//! SIMD machine code; plus the execution harness ([`run()`]) and the
+//! reference oracle ([`reference()`]).
+//!
+//! ```
+//! use vapor_core::{compile, run, reference, arrays_match, Flow, CompileConfig, AllocPolicy};
+//! use vapor_ir::{ArrayData, Bindings, ScalarTy};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let kernel = vapor_frontend::parse_kernel(
+//!     "kernel dscal(long n, float a, float x[]) {
+//!        for (long i = 0; i < n; i++) { x[i] = a * x[i]; }
+//!      }")?;
+//! let target = vapor_targets::sse();
+//!
+//! let mut env = Bindings::new();
+//! env.set_int("n", 16)
+//!    .set_float("a", 2.0)
+//!    .set_array("x", ArrayData::from_floats(ScalarTy::F32, &[1.0; 16]));
+//!
+//! let compiled = compile(&kernel, Flow::SplitVectorOpt, &target, &CompileConfig::default())?;
+//! let result = run(&target, &compiled, &env, AllocPolicy::Aligned)?;
+//! let oracle = reference(&kernel, &env)?;
+//! arrays_match(oracle.array("x").unwrap(), result.out.array("x").unwrap(), 1e-6)
+//!     .map_err(vapor_core::PipelineError)?;
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod pipeline;
+pub mod run;
+
+pub use pipeline::{compile, offline_compile, Compiled, CompileConfig, Flow, PipelineError};
+pub use run::{arrays_match, reference, run, AllocPolicy, RunResult};

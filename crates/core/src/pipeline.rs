@@ -1,0 +1,230 @@
+//! The compilation flows of the paper's Figure 4, end to end.
+//!
+//! * **Split flows** (the contribution): offline split-vectorization →
+//!   *encoded* portable bytecode → decode (the interoperability boundary)
+//!   → online compilation by the naive (Mono-class) or optimizing
+//!   (gcc4cli-class) pipeline.
+//! * **Native flows** (the baseline): target-aware vectorization →
+//!   native code generator, and the plain scalar variant.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+use vapor_bytecode::{decode_module, encode_module, BcFunction, BcModule};
+use vapor_ir::Kernel;
+use vapor_jit::{CompiledKernel, JitOptions, Pipeline};
+use vapor_targets::TargetDesc;
+use vapor_vectorizer::{emit_scalar_function, vectorize, LoopReport, VectorizeOptions};
+
+/// A compilation flow selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Flow {
+    /// Split vectorized bytecode → naive JIT (paper label A).
+    SplitVectorNaive,
+    /// Split scalar bytecode → naive JIT (paper label C).
+    SplitScalarNaive,
+    /// Split vectorized bytecode → optimizing online compiler (label D).
+    SplitVectorOpt,
+    /// Split scalar bytecode → optimizing online compiler.
+    SplitScalarOpt,
+    /// Target-aware vectorization → native code generator (label E).
+    NativeVector,
+    /// Plain scalar compilation by the native code generator (label F).
+    NativeScalar,
+}
+
+impl Flow {
+    /// All flows.
+    pub const ALL: [Flow; 6] = [
+        Flow::SplitVectorNaive,
+        Flow::SplitScalarNaive,
+        Flow::SplitVectorOpt,
+        Flow::SplitScalarOpt,
+        Flow::NativeVector,
+        Flow::NativeScalar,
+    ];
+
+    /// Whether this flow runs the offline vectorizer.
+    pub fn vectorized(self) -> bool {
+        matches!(self, Flow::SplitVectorNaive | Flow::SplitVectorOpt | Flow::NativeVector)
+    }
+
+    /// The online pipeline used.
+    pub fn pipeline(self) -> Pipeline {
+        match self {
+            Flow::SplitVectorNaive | Flow::SplitScalarNaive => Pipeline::NaiveJit,
+            Flow::SplitVectorOpt | Flow::SplitScalarOpt => Pipeline::OptJit,
+            Flow::NativeVector | Flow::NativeScalar => Pipeline::Native,
+        }
+    }
+}
+
+impl fmt::Display for Flow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Flow::SplitVectorNaive => "split-vector/naive-jit",
+            Flow::SplitScalarNaive => "split-scalar/naive-jit",
+            Flow::SplitVectorOpt => "split-vector/opt-online",
+            Flow::SplitScalarOpt => "split-scalar/opt-online",
+            Flow::NativeVector => "native-vector",
+            Flow::NativeScalar => "native-scalar",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Error of any pipeline stage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineError(pub String);
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pipeline error: {}", self.0)
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+/// Compilation knobs beyond the flow itself.
+#[derive(Debug, Clone, Default)]
+pub struct CompileConfig {
+    /// Disable the offline alignment optimizations/hints (§V-A(b)
+    /// ablation).
+    pub no_alignment_opts: bool,
+    /// Disable the offline optimized-realignment scheme (§III-A design
+    /// choice ablation).
+    pub no_realign_reuse: bool,
+}
+
+/// A fully compiled kernel plus the artifacts the experiments measure.
+#[derive(Debug, Clone)]
+pub struct Compiled {
+    /// Kernel name.
+    pub name: String,
+    /// The bytecode consumed by the online stage (post interop boundary
+    /// for split flows).
+    pub func: BcFunction,
+    /// Machine code + binding contract.
+    pub jit: CompiledKernel,
+    /// Encoded bytecode size in bytes (split flows measure this).
+    pub bytecode_bytes: usize,
+    /// Wall-clock time of the online stage only (the "JIT compile time"
+    /// of §V-A(c)).
+    pub online_time: Duration,
+    /// Offline vectorization reports (empty for scalar flows).
+    pub reports: Vec<LoopReport>,
+}
+
+/// Produce the offline artifact of a flow: the bytecode module.
+///
+/// # Errors
+/// Propagates verifier failures (offline-stage bugs).
+pub fn offline_compile(
+    kernel: &Kernel,
+    flow: Flow,
+    target: &TargetDesc,
+    cfg: &CompileConfig,
+) -> Result<(BcModule, Vec<LoopReport>), PipelineError> {
+    let (func, reports) = if flow.vectorized() {
+        let opts = VectorizeOptions {
+            native: matches!(flow, Flow::NativeVector).then(|| target.clone()),
+            no_alignment_opts: cfg.no_alignment_opts,
+            no_realign_reuse: cfg.no_realign_reuse,
+        };
+        let r = vectorize(kernel, &opts);
+        (r.func, r.reports)
+    } else {
+        (emit_scalar_function(kernel), Vec::new())
+    };
+    vapor_bytecode::verify_function(&func)
+        .map_err(|e| PipelineError(format!("{}: {e}", kernel.name)))?;
+    Ok((BcModule::single(func), reports))
+}
+
+/// Compile a kernel end to end for one flow on one target.
+///
+/// Split flows round-trip through the binary encoding — the actual
+/// interoperability boundary between the offline and online toolchains.
+///
+/// # Errors
+/// Returns a [`PipelineError`] if any stage rejects the kernel.
+pub fn compile(
+    kernel: &Kernel,
+    flow: Flow,
+    target: &TargetDesc,
+    cfg: &CompileConfig,
+) -> Result<Compiled, PipelineError> {
+    let (module, reports) = offline_compile(kernel, flow, target, cfg)?;
+    let bytes = encode_module(&module);
+    let bytecode_bytes = bytes.len();
+    let module = if flow.pipeline() == Pipeline::Native {
+        module // native flows keep the in-memory form
+    } else {
+        decode_module(&bytes).map_err(|e| PipelineError(e.to_string()))?
+    };
+    let func = module.funcs.into_iter().next().expect("single function module");
+
+    let opts = JitOptions::new(flow.pipeline());
+    let start = Instant::now();
+    let jit = vapor_jit::compile(&func, target, &opts)
+        .map_err(|e| PipelineError(format!("{flow}: {e}")))?;
+    let online_time = start.elapsed();
+
+    Ok(Compiled {
+        name: kernel.name.clone(),
+        func,
+        jit,
+        bytecode_bytes,
+        online_time,
+        reports,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vapor_frontend::parse_kernel;
+    use vapor_targets::sse;
+
+    fn saxpy() -> Kernel {
+        parse_kernel(
+            "kernel saxpy(long n, float a, float x[], float y[]) {
+               for (long i = 0; i < n; i++) { y[i] = a * x[i] + y[i]; }
+             }",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn all_flows_compile_saxpy_on_sse() {
+        let k = saxpy();
+        let t = sse();
+        for flow in Flow::ALL {
+            let c = compile(&k, flow, &t, &CompileConfig::default()).unwrap_or_else(|e| {
+                panic!("{flow}: {e}");
+            });
+            assert!(!c.jit.code.is_empty(), "{flow} produced empty code");
+            if flow.vectorized() {
+                assert!(
+                    c.reports.iter().any(|r| r.vectorized),
+                    "{flow}: saxpy should vectorize; reports: {:?}",
+                    c.reports
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn split_bytecode_is_larger_than_scalar() {
+        let k = saxpy();
+        let t = sse();
+        let vec = compile(&k, Flow::SplitVectorOpt, &t, &CompileConfig::default()).unwrap();
+        let sca = compile(&k, Flow::SplitScalarOpt, &t, &CompileConfig::default()).unwrap();
+        assert!(
+            vec.bytecode_bytes > 2 * sca.bytecode_bytes,
+            "vectorized bytecode should be much larger: {} vs {}",
+            vec.bytecode_bytes,
+            sca.bytecode_bytes
+        );
+    }
+}

@@ -1,0 +1,211 @@
+//! Execution harness: load a compiled kernel into the virtual SIMD
+//! machine, bind arguments and arrays, run, and read results back.
+
+use vapor_ir::{interpret, ArrayData, Bindings, Kernel, Value};
+use vapor_targets::{ExecStats, Machine, TargetDesc, Trap, MAX_VS};
+
+use crate::pipeline::Compiled;
+
+/// Array placement policy of the runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllocPolicy {
+    /// Every array on a `MAX_VS` (32-byte) boundary — what a JIT/runtime
+    /// that owns allocation guarantees.
+    Aligned,
+    /// Deliberately misalign every base by the given byte offset
+    /// (stress/ablation runs). Only meaningful for pipelines that do not
+    /// own allocation (the optimizing online and native flows): the
+    /// naive JIT folds `base_aligned` guards to true *because* its own
+    /// allocator aligns, so feeding its code misaligned bases violates
+    /// the contract and traps.
+    Misaligned(usize),
+}
+
+/// Result of one execution.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Final array contents, keyed by array name.
+    pub out: Bindings,
+    /// Cycle/instruction counts from the VM.
+    pub stats: ExecStats,
+}
+
+/// Execute compiled code against the given bindings.
+///
+/// # Errors
+/// Returns [`Trap`] on VM contract violations (always a compiler bug in
+/// this codebase) and missing bindings.
+pub fn run(
+    target: &TargetDesc,
+    compiled: &Compiled,
+    env: &Bindings,
+    policy: AllocPolicy,
+) -> Result<RunResult, Trap> {
+    let f = &compiled.func;
+    // Memory: all arrays + padding + slack for the guard zone.
+    let total: usize = f
+        .arrays
+        .iter()
+        .map(|a| {
+            env.array(&a.name)
+                .map(|d| d.bytes.len() + 4 * MAX_VS)
+                .unwrap_or(0)
+        })
+        .sum::<usize>()
+        + 4096;
+    let mut m = Machine::new(target, total);
+
+    for (i, p) in f.params.iter().enumerate() {
+        let v = env
+            .scalar(&p.name)
+            .ok_or_else(|| Trap(format!("unbound scalar parameter {}", p.name)))?;
+        m.set_sreg(compiled.jit.param_regs[i], coerce(p.ty, v));
+    }
+    let mut bases = Vec::new();
+    for (i, a) in f.arrays.iter().enumerate() {
+        let data = env
+            .array(&a.name)
+            .ok_or_else(|| Trap(format!("unbound array {}", a.name)))?;
+        if data.elem != a.elem {
+            return Err(Trap(format!(
+                "array {} bound with element type {}, declared {}",
+                a.name, data.elem, a.elem
+            )));
+        }
+        let base = match policy {
+            AllocPolicy::Aligned => m.mem.alloc(data.bytes.len(), MAX_VS),
+            AllocPolicy::Misaligned(k) => {
+                m.mem.alloc_with_misalignment(data.bytes.len(), MAX_VS, k)
+            }
+        };
+        m.mem.slice_mut(base, data.bytes.len()).copy_from_slice(&data.bytes);
+        m.set_sreg(compiled.jit.array_base_regs[i], Value::Int(base as i64));
+        m.set_sreg(compiled.jit.array_len_regs[i], Value::Int(data.bytes.len() as i64));
+        bases.push((a.name.clone(), base, data.bytes.len(), a.elem));
+    }
+
+    let stats = m.run(&compiled.jit.code)?;
+
+    let mut out = Bindings::new();
+    for (name, base, len, elem) in bases {
+        let bytes = m.mem.slice(base, len).to_vec();
+        out.set_array(&name, ArrayData { elem, bytes });
+    }
+    Ok(RunResult { out, stats })
+}
+
+fn coerce(ty: vapor_ir::ScalarTy, v: Value) -> Value {
+    match (ty.is_float(), v) {
+        (true, Value::Int(i)) => Value::Float(i as f64),
+        (false, Value::Float(f)) => Value::Int(f as i64),
+        _ => v,
+    }
+}
+
+/// Run the reference interpreter (the oracle) over the same bindings.
+///
+/// # Errors
+/// Propagates interpreter errors (unbound names, out-of-bounds).
+pub fn reference(kernel: &Kernel, env: &Bindings) -> Result<Bindings, vapor_ir::IrError> {
+    let mut b = env.clone();
+    interpret(kernel, &mut b)?;
+    Ok(b)
+}
+
+/// Compare two array states bit-exactly for integers and with a small
+/// relative tolerance for floats (vector reduction reassociates float
+/// sums, which is the paper's semantics too).
+pub fn arrays_match(expected: &ArrayData, actual: &ArrayData, tol: f64) -> Result<(), String> {
+    if expected.elem != actual.elem || expected.len() != actual.len() {
+        return Err(format!(
+            "shape mismatch: {}×{} vs {}×{}",
+            expected.elem,
+            expected.len(),
+            actual.elem,
+            actual.len()
+        ));
+    }
+    for i in 0..expected.len() {
+        match (expected.get(i), actual.get(i)) {
+            (Value::Int(a), Value::Int(b)) => {
+                if a != b {
+                    return Err(format!("element {i}: expected {a}, got {b}"));
+                }
+            }
+            (Value::Float(a), Value::Float(b)) => {
+                let scale = a.abs().max(b.abs()).max(1.0);
+                if (a - b).abs() > tol * scale {
+                    return Err(format!("element {i}: expected {a}, got {b}"));
+                }
+            }
+            _ => return Err(format!("element {i}: domain mismatch")),
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{compile, CompileConfig, Flow};
+    use vapor_frontend::parse_kernel;
+    use vapor_ir::ScalarTy;
+    use vapor_targets::{altivec, neon64, scalar_only, sse};
+
+    fn saxpy_env(n: usize) -> Bindings {
+        let mut env = Bindings::new();
+        let x: Vec<f64> = (0..n).map(|i| i as f64 * 0.5).collect();
+        let y: Vec<f64> = (0..n).map(|i| 100.0 - i as f64).collect();
+        env.set_int("n", n as i64)
+            .set_float("a", 3.0)
+            .set_array("x", ArrayData::from_floats(ScalarTy::F32, &x))
+            .set_array("y", ArrayData::from_floats(ScalarTy::F32, &y));
+        env
+    }
+
+    #[test]
+    fn saxpy_matches_oracle_on_every_flow_and_target() {
+        let k = parse_kernel(
+            "kernel saxpy(long n, float a, float x[], float y[]) {
+               for (long i = 0; i < n; i++) { y[i] = a * x[i] + y[i]; }
+             }",
+        )
+        .unwrap();
+        for n in [0usize, 1, 7, 64, 65] {
+            let env = saxpy_env(n);
+            let oracle = reference(&k, &env).unwrap();
+            for t in [sse(), altivec(), neon64(), scalar_only()] {
+                for flow in Flow::ALL {
+                    let c = compile(&k, flow, &t, &CompileConfig::default()).unwrap();
+                    let r = run(&t, &c, &env, AllocPolicy::Aligned)
+                        .unwrap_or_else(|e| panic!("{flow} on {}: {e}", t.name));
+                    arrays_match(oracle.array("y").unwrap(), r.out.array("y").unwrap(), 1e-6)
+                        .unwrap_or_else(|e| panic!("{flow} on {} (n={n}): {e}", t.name));
+                    assert!(r.stats.cycles > 0 || n == 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn vectorization_speeds_up_saxpy_on_sse() {
+        let k = parse_kernel(
+            "kernel saxpy(long n, float a, float x[], float y[]) {
+               for (long i = 0; i < n; i++) { y[i] = a * x[i] + y[i]; }
+             }",
+        )
+        .unwrap();
+        let t = sse();
+        let env = saxpy_env(1024);
+        let cfg = CompileConfig::default();
+        let vec = compile(&k, Flow::SplitVectorOpt, &t, &cfg).unwrap();
+        let sca = compile(&k, Flow::SplitScalarOpt, &t, &cfg).unwrap();
+        let cv = run(&t, &vec, &env, AllocPolicy::Aligned).unwrap().stats.cycles;
+        let cs = run(&t, &sca, &env, AllocPolicy::Aligned).unwrap().stats.cycles;
+        let speedup = cs as f64 / cv as f64;
+        assert!(
+            speedup > 2.0,
+            "expected >2x vector speedup on SSE (VF=4), got {speedup:.2} ({cs} vs {cv})"
+        );
+    }
+}

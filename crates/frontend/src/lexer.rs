@@ -1,0 +1,298 @@
+//! Lexer for the mini-C kernel language.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Identifier or type keyword.
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Floating literal.
+    Float(f64),
+    /// `kernel` keyword.
+    Kernel,
+    /// `for` keyword.
+    For,
+    /// `global` keyword.
+    Global,
+    /// Punctuation / operators.
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Comma,
+    Semi,
+    Assign,
+    PlusAssign,
+    PlusPlus,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Amp,
+    Pipe,
+    Caret,
+    Shl,
+    Shr,
+    EqEq,
+    Lt,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "identifier `{s}`"),
+            Tok::Int(v) => write!(f, "integer `{v}`"),
+            Tok::Float(v) => write!(f, "float `{v}`"),
+            Tok::Kernel => f.write_str("`kernel`"),
+            Tok::For => f.write_str("`for`"),
+            Tok::Global => f.write_str("`global`"),
+            Tok::LParen => f.write_str("`(`"),
+            Tok::RParen => f.write_str("`)`"),
+            Tok::LBrace => f.write_str("`{`"),
+            Tok::RBrace => f.write_str("`}`"),
+            Tok::LBracket => f.write_str("`[`"),
+            Tok::RBracket => f.write_str("`]`"),
+            Tok::Comma => f.write_str("`,`"),
+            Tok::Semi => f.write_str("`;`"),
+            Tok::Assign => f.write_str("`=`"),
+            Tok::PlusAssign => f.write_str("`+=`"),
+            Tok::PlusPlus => f.write_str("`++`"),
+            Tok::Plus => f.write_str("`+`"),
+            Tok::Minus => f.write_str("`-`"),
+            Tok::Star => f.write_str("`*`"),
+            Tok::Slash => f.write_str("`/`"),
+            Tok::Amp => f.write_str("`&`"),
+            Tok::Pipe => f.write_str("`|`"),
+            Tok::Caret => f.write_str("`^`"),
+            Tok::Shl => f.write_str("`<<`"),
+            Tok::Shr => f.write_str("`>>`"),
+            Tok::EqEq => f.write_str("`==`"),
+            Tok::Lt => f.write_str("`<`"),
+        }
+    }
+}
+
+/// A token with its source position (1-based line and column).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+/// Lexical or syntax error with source location.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// Human-readable message.
+    pub msg: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.line, self.col, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Tokenize mini-C source. `//` line comments and `/* */` block comments
+/// are skipped.
+///
+/// # Errors
+/// Returns a [`ParseError`] for unterminated comments, malformed numbers,
+/// or unexpected characters.
+pub fn lex(src: &str) -> Result<Vec<Spanned>, ParseError> {
+    let bytes: Vec<char> = src.chars().collect();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut col = 1u32;
+
+    macro_rules! err {
+        ($($arg:tt)*) => {
+            return Err(ParseError { msg: format!($($arg)*), line, col })
+        };
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        let (tline, tcol) = (line, col);
+        let advance = |i: &mut usize, line: &mut u32, col: &mut u32, n: usize| {
+            for k in 0..n {
+                if bytes[*i + k] == '\n' {
+                    *line += 1;
+                    *col = 1;
+                } else {
+                    *col += 1;
+                }
+            }
+            *i += n;
+        };
+        if c.is_whitespace() {
+            advance(&mut i, &mut line, &mut col, 1);
+            continue;
+        }
+        if c == '/' && i + 1 < bytes.len() && bytes[i + 1] == '/' {
+            while i < bytes.len() && bytes[i] != '\n' {
+                advance(&mut i, &mut line, &mut col, 1);
+            }
+            continue;
+        }
+        if c == '/' && i + 1 < bytes.len() && bytes[i + 1] == '*' {
+            advance(&mut i, &mut line, &mut col, 2);
+            loop {
+                if i + 1 >= bytes.len() {
+                    err!("unterminated block comment");
+                }
+                if bytes[i] == '*' && bytes[i + 1] == '/' {
+                    advance(&mut i, &mut line, &mut col, 2);
+                    break;
+                }
+                advance(&mut i, &mut line, &mut col, 1);
+            }
+            continue;
+        }
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == '_') {
+                advance(&mut i, &mut line, &mut col, 1);
+            }
+            let word: String = bytes[start..i].iter().collect();
+            let tok = match word.as_str() {
+                "kernel" => Tok::Kernel,
+                "for" => Tok::For,
+                "global" => Tok::Global,
+                _ => Tok::Ident(word),
+            };
+            toks.push(Spanned { tok, line: tline, col: tcol });
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let start = i;
+            let mut is_float = false;
+            while i < bytes.len()
+                && (bytes[i].is_ascii_digit()
+                    || bytes[i] == '.'
+                    || bytes[i] == 'e'
+                    || bytes[i] == 'E'
+                    || ((bytes[i] == '+' || bytes[i] == '-')
+                        && i > start
+                        && (bytes[i - 1] == 'e' || bytes[i - 1] == 'E')))
+            {
+                if bytes[i] == '.' || bytes[i] == 'e' || bytes[i] == 'E' {
+                    is_float = true;
+                }
+                advance(&mut i, &mut line, &mut col, 1);
+            }
+            let text: String = bytes[start..i].iter().collect();
+            let tok = if is_float {
+                match text.parse::<f64>() {
+                    Ok(v) => Tok::Float(v),
+                    Err(_) => err!("malformed float literal `{text}`"),
+                }
+            } else {
+                match text.parse::<i64>() {
+                    Ok(v) => Tok::Int(v),
+                    Err(_) => err!("malformed integer literal `{text}`"),
+                }
+            };
+            toks.push(Spanned { tok, line: tline, col: tcol });
+            continue;
+        }
+        let two: Option<Tok> = if i + 1 < bytes.len() {
+            match (c, bytes[i + 1]) {
+                ('+', '=') => Some(Tok::PlusAssign),
+                ('+', '+') => Some(Tok::PlusPlus),
+                ('<', '<') => Some(Tok::Shl),
+                ('>', '>') => Some(Tok::Shr),
+                ('=', '=') => Some(Tok::EqEq),
+                _ => None,
+            }
+        } else {
+            None
+        };
+        if let Some(tok) = two {
+            advance(&mut i, &mut line, &mut col, 2);
+            toks.push(Spanned { tok, line: tline, col: tcol });
+            continue;
+        }
+        let one = match c {
+            '(' => Tok::LParen,
+            ')' => Tok::RParen,
+            '{' => Tok::LBrace,
+            '}' => Tok::RBrace,
+            '[' => Tok::LBracket,
+            ']' => Tok::RBracket,
+            ',' => Tok::Comma,
+            ';' => Tok::Semi,
+            '=' => Tok::Assign,
+            '+' => Tok::Plus,
+            '-' => Tok::Minus,
+            '*' => Tok::Star,
+            '/' => Tok::Slash,
+            '&' => Tok::Amp,
+            '|' => Tok::Pipe,
+            '^' => Tok::Caret,
+            '<' => Tok::Lt,
+            _ => err!("unexpected character `{c}`"),
+        };
+        advance(&mut i, &mut line, &mut col, 1);
+        toks.push(Spanned { tok: one, line: tline, col: tcol });
+    }
+    Ok(toks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_operators_and_idents() {
+        let toks = lex("x += a[i] << 2; // comment\ny = 1.5e3;").unwrap();
+        let kinds: Vec<&Tok> = toks.iter().map(|t| &t.tok).collect();
+        assert!(matches!(kinds[0], Tok::Ident(s) if s == "x"));
+        assert_eq!(kinds[1], &Tok::PlusAssign);
+        assert_eq!(kinds[5], &Tok::RBracket);
+        assert_eq!(kinds[6], &Tok::Shl);
+        assert!(matches!(kinds[7], Tok::Int(2)));
+        assert!(toks.iter().any(|t| matches!(t.tok, Tok::Float(v) if v == 1500.0)));
+    }
+
+    #[test]
+    fn tracks_positions() {
+        let toks = lex("a\n  b").unwrap();
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn block_comments_skip() {
+        let toks = lex("a /* x\ny */ b").unwrap();
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[1].line, 2);
+    }
+
+    #[test]
+    fn reports_bad_char() {
+        let err = lex("a $ b").unwrap_err();
+        assert!(err.msg.contains('$'));
+        assert_eq!(err.col, 3);
+    }
+
+    #[test]
+    fn unterminated_comment() {
+        assert!(lex("/* nope").is_err());
+    }
+}

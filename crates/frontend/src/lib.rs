@@ -1,0 +1,32 @@
+//! # vapor-frontend — mini-C kernel language
+//!
+//! Parses the restricted C dialect used to write the paper's benchmark
+//! kernels (Table 2 + Polybench) into `vapor-ir` loop nests. The dialect
+//! covers what the GCC auto-vectorizer sees after normalization: counted
+//! loops, affine subscripts, scalar reductions, and the `min`/`max`/
+//! `abs`/`sqrt` builtins that replace if-converted control flow.
+//!
+//! # Examples
+//!
+//! ```
+//! let kernel = vapor_frontend::parse_kernel(r#"
+//!     kernel sfir(long n, long nt, float x[], float c[], float y[]) {
+//!       float sum;
+//!       for (long i = 0; i < n; i++) {
+//!         sum = 0.0;
+//!         for (long j = 0; j < nt; j++) {
+//!           sum += x[i + j] * c[j];
+//!         }
+//!         y[i] = sum;
+//!       }
+//!     }
+//! "#).unwrap();
+//! assert_eq!(kernel.name, "sfir");
+//! assert_eq!(kernel.body[0].loop_depth(), 2);
+//! ```
+
+pub mod lexer;
+pub mod parser;
+
+pub use lexer::{lex, ParseError, Spanned, Tok};
+pub use parser::parse_kernel;

@@ -1,0 +1,614 @@
+//! Recursive-descent parser from mini-C text to `vapor-ir` kernels.
+//!
+//! Grammar (tokens from [`crate::lexer`]):
+//!
+//! ```text
+//! kernel  := "kernel" IDENT "(" param,* ")" "{" local* stmt* "}"
+//! param   := TYPE IDENT                 // scalar parameter
+//!          | ["global"] TYPE IDENT "[]" // array (pointer unless global)
+//! local   := TYPE IDENT ";"
+//! stmt    := for | assign | store
+//! for     := "for" "(" "long" IDENT "=" expr ";" IDENT "<" expr ";"
+//!            (IDENT "++" | IDENT "+=" INT) ")" "{" stmt* "}"
+//! assign  := IDENT ("=" | "+=") expr ";"
+//! store   := IDENT "[" expr "]" ("=" | "+=") expr ";"
+//! ```
+//!
+//! Expression precedence, loosest to tightest: `== <`, `|`, `^`, `&`,
+//! `<< >>`, `+ -`, `* /`, unary (`-`, casts), primary. `min`, `max`,
+//! `abs`, `sqrt` are call-syntax builtins.
+
+use vapor_ir::{
+    ArrayDecl, ArrayId, ArrayKind, BinOp, Expr, Kernel, ScalarTy, Stmt, UnOp, VarDecl, VarId,
+    VarKind,
+};
+
+use crate::lexer::{lex, ParseError, Spanned, Tok};
+
+struct Parser {
+    toks: Vec<Spanned>,
+    pos: usize,
+    vars: Vec<VarDecl>,
+    arrays: Vec<ArrayDecl>,
+    open_loops: Vec<VarId>,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|s| &s.tok)
+    }
+
+    fn peek2(&self) -> Option<&Tok> {
+        self.toks.get(self.pos + 1).map(|s| &s.tok)
+    }
+
+    fn here(&self) -> (u32, u32) {
+        self.toks
+            .get(self.pos.min(self.toks.len().saturating_sub(1)))
+            .map(|s| (s.line, s.col))
+            .unwrap_or((0, 0))
+    }
+
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        let (line, col) = self.here();
+        ParseError { msg: msg.into(), line, col }
+    }
+
+    fn next(&mut self) -> Result<Tok, ParseError> {
+        let t = self
+            .toks
+            .get(self.pos)
+            .map(|s| s.tok.clone())
+            .ok_or_else(|| self.err("unexpected end of input"))?;
+        self.pos += 1;
+        Ok(t)
+    }
+
+    fn expect(&mut self, want: &Tok) -> Result<(), ParseError> {
+        let got = self.next()?;
+        if &got == want {
+            Ok(())
+        } else {
+            self.pos -= 1;
+            Err(self.err(format!("expected {want}, found {got}")))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, ParseError> {
+        match self.next()? {
+            Tok::Ident(s) => Ok(s),
+            got => {
+                self.pos -= 1;
+                Err(self.err(format!("expected identifier, found {got}")))
+            }
+        }
+    }
+
+    fn peek_type(&self) -> Option<ScalarTy> {
+        match self.peek() {
+            Some(Tok::Ident(s)) => ScalarTy::from_keyword(s),
+            _ => None,
+        }
+    }
+
+    fn expect_type(&mut self) -> Result<ScalarTy, ParseError> {
+        let name = self.expect_ident()?;
+        ScalarTy::from_keyword(&name).ok_or_else(|| {
+            self.pos -= 1;
+            self.err(format!("expected a type keyword, found `{name}`"))
+        })
+    }
+
+    fn var_named(&self, name: &str) -> Option<VarId> {
+        self.vars
+            .iter()
+            .position(|v| v.name == name)
+            .map(|i| VarId(i as u32))
+    }
+
+    fn array_named(&self, name: &str) -> Option<ArrayId> {
+        self.arrays
+            .iter()
+            .position(|a| a.name == name)
+            .map(|i| ArrayId(i as u32))
+    }
+
+    fn declare_var(&mut self, name: String, ty: ScalarTy, kind: VarKind) -> Result<VarId, ParseError> {
+        if self.var_named(&name).is_some() || self.array_named(&name).is_some() {
+            return Err(self.err(format!("duplicate declaration of `{name}`")));
+        }
+        self.vars.push(VarDecl { name, ty, kind });
+        Ok(VarId(self.vars.len() as u32 - 1))
+    }
+
+    // ----- expressions ---------------------------------------------------
+
+    fn parse_expr(&mut self) -> Result<Expr, ParseError> {
+        self.parse_bin(1)
+    }
+
+    fn bin_op_at(&self, level: u8) -> Option<BinOp> {
+        let t = self.peek()?;
+        let (op, l) = match t {
+            Tok::EqEq => (BinOp::CmpEq, 1),
+            Tok::Lt => (BinOp::CmpLt, 1),
+            Tok::Pipe => (BinOp::Or, 2),
+            Tok::Caret => (BinOp::Xor, 3),
+            Tok::Amp => (BinOp::And, 4),
+            Tok::Shl => (BinOp::Shl, 5),
+            Tok::Shr => (BinOp::Shr, 5),
+            Tok::Plus => (BinOp::Add, 6),
+            Tok::Minus => (BinOp::Sub, 6),
+            Tok::Star => (BinOp::Mul, 7),
+            Tok::Slash => (BinOp::Div, 7),
+            _ => return None,
+        };
+        (l == level).then_some(op)
+    }
+
+    fn parse_bin(&mut self, level: u8) -> Result<Expr, ParseError> {
+        if level > 7 {
+            return self.parse_unary();
+        }
+        let mut lhs = self.parse_bin(level + 1)?;
+        while let Some(op) = self.bin_op_at(level) {
+            self.pos += 1;
+            let rhs = self.parse_bin(level + 1)?;
+            lhs = Expr::bin(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr, ParseError> {
+        match self.peek() {
+            Some(Tok::Minus) => {
+                self.pos += 1;
+                let arg = self.parse_unary()?;
+                // Fold negation of literals so `-1` is a literal.
+                Ok(match arg {
+                    Expr::Int(v) => Expr::Int(-v),
+                    Expr::Float(v) => Expr::Float(-v),
+                    other => Expr::un(UnOp::Neg, other),
+                })
+            }
+            Some(Tok::LParen) => {
+                // Cast `(type) unary` vs parenthesized expression.
+                if let Some(Tok::Ident(s)) = self.peek2() {
+                    if ScalarTy::from_keyword(s).is_some()
+                        && self.toks.get(self.pos + 2).map(|t| &t.tok) == Some(&Tok::RParen)
+                    {
+                        self.pos += 1;
+                        let ty = self.expect_type()?;
+                        self.expect(&Tok::RParen)?;
+                        let arg = self.parse_unary()?;
+                        return Ok(Expr::cast(ty, arg));
+                    }
+                }
+                self.pos += 1;
+                let e = self.parse_expr()?;
+                self.expect(&Tok::RParen)?;
+                Ok(e)
+            }
+            _ => self.parse_primary(),
+        }
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr, ParseError> {
+        match self.next()? {
+            Tok::Int(v) => Ok(Expr::Int(v)),
+            Tok::Float(v) => Ok(Expr::Float(v)),
+            Tok::Ident(name) => {
+                match name.as_str() {
+                    "min" | "max" => {
+                        let op = if name == "min" { BinOp::Min } else { BinOp::Max };
+                        self.expect(&Tok::LParen)?;
+                        let a = self.parse_expr()?;
+                        self.expect(&Tok::Comma)?;
+                        let b = self.parse_expr()?;
+                        self.expect(&Tok::RParen)?;
+                        return Ok(Expr::bin(op, a, b));
+                    }
+                    "abs" | "sqrt" => {
+                        let op = if name == "abs" { UnOp::Abs } else { UnOp::Sqrt };
+                        self.expect(&Tok::LParen)?;
+                        let a = self.parse_expr()?;
+                        self.expect(&Tok::RParen)?;
+                        return Ok(Expr::un(op, a));
+                    }
+                    _ => {}
+                }
+                if self.peek() == Some(&Tok::LBracket) {
+                    let array = self.array_named(&name).ok_or_else(|| {
+                        self.err(format!("unknown array `{name}`"))
+                    })?;
+                    self.pos += 1;
+                    let idx = self.parse_expr()?;
+                    self.expect(&Tok::RBracket)?;
+                    Ok(Expr::load(array, idx))
+                } else {
+                    let var = self
+                        .var_named(&name)
+                        .ok_or_else(|| self.err(format!("unknown variable `{name}`")))?;
+                    Ok(Expr::Var(var))
+                }
+            }
+            got => {
+                self.pos -= 1;
+                Err(self.err(format!("expected expression, found {got}")))
+            }
+        }
+    }
+
+    // ----- statements ----------------------------------------------------
+
+    fn parse_stmt(&mut self) -> Result<Stmt, ParseError> {
+        if self.peek() == Some(&Tok::For) {
+            return self.parse_for();
+        }
+        let name = self.expect_ident()?;
+        if self.peek() == Some(&Tok::LBracket) {
+            let array = self
+                .array_named(&name)
+                .ok_or_else(|| self.err(format!("unknown array `{name}`")))?;
+            self.pos += 1;
+            let index = self.parse_expr()?;
+            self.expect(&Tok::RBracket)?;
+            let compound = match self.next()? {
+                Tok::Assign => false,
+                Tok::PlusAssign => true,
+                got => {
+                    self.pos -= 1;
+                    return Err(self.err(format!("expected `=` or `+=`, found {got}")));
+                }
+            };
+            let rhs = self.parse_expr()?;
+            self.expect(&Tok::Semi)?;
+            let value = if compound {
+                Expr::bin(BinOp::Add, Expr::load(array, index.clone()), rhs)
+            } else {
+                rhs
+            };
+            Ok(Stmt::Store { array, index, value })
+        } else {
+            let var = self
+                .var_named(&name)
+                .ok_or_else(|| self.err(format!("unknown variable `{name}`")))?;
+            let compound = match self.next()? {
+                Tok::Assign => false,
+                Tok::PlusAssign => true,
+                got => {
+                    self.pos -= 1;
+                    return Err(self.err(format!("expected `=` or `+=`, found {got}")));
+                }
+            };
+            let rhs = self.parse_expr()?;
+            self.expect(&Tok::Semi)?;
+            let value = if compound {
+                Expr::bin(BinOp::Add, Expr::Var(var), rhs)
+            } else {
+                rhs
+            };
+            Ok(Stmt::Assign { var, value })
+        }
+    }
+
+    fn parse_for(&mut self) -> Result<Stmt, ParseError> {
+        self.expect(&Tok::For)?;
+        self.expect(&Tok::LParen)?;
+        let ty = self.expect_type()?;
+        if ty != ScalarTy::I64 {
+            return Err(self.err("loop variables must be declared `long`"));
+        }
+        let name = self.expect_ident()?;
+        // Sequential loops may reuse a finished loop variable's name.
+        let var = match self.var_named(&name) {
+            Some(v) if self.vars[v.0 as usize].kind == VarKind::Loop => {
+                if self.open_loops.contains(&v) {
+                    return Err(self.err(format!("loop variable `{name}` already in use")));
+                }
+                v
+            }
+            Some(_) => {
+                return Err(self.err(format!("`{name}` is not a loop variable")));
+            }
+            None => self.declare_var(name.clone(), ScalarTy::I64, VarKind::Loop)?,
+        };
+        self.expect(&Tok::Assign)?;
+        let lo = self.parse_expr()?;
+        self.expect(&Tok::Semi)?;
+        let n2 = self.expect_ident()?;
+        if n2 != name {
+            return Err(self.err(format!(
+                "loop condition must test `{name}`, found `{n2}`"
+            )));
+        }
+        self.expect(&Tok::Lt)?;
+        let hi = self.parse_expr()?;
+        self.expect(&Tok::Semi)?;
+        let n3 = self.expect_ident()?;
+        if n3 != name {
+            return Err(self.err(format!(
+                "loop increment must update `{name}`, found `{n3}`"
+            )));
+        }
+        let step = match self.next()? {
+            Tok::PlusPlus => 1,
+            Tok::PlusAssign => match self.next()? {
+                Tok::Int(v) if v > 0 => v,
+                got => {
+                    self.pos -= 1;
+                    return Err(self.err(format!(
+                        "loop step must be a positive integer literal, found {got}"
+                    )));
+                }
+            },
+            got => {
+                self.pos -= 1;
+                return Err(self.err(format!("expected `++` or `+=`, found {got}")));
+            }
+        };
+        self.expect(&Tok::RParen)?;
+        self.expect(&Tok::LBrace)?;
+        self.open_loops.push(var);
+        let mut body = Vec::new();
+        while self.peek() != Some(&Tok::RBrace) {
+            body.push(self.parse_stmt()?);
+        }
+        self.expect(&Tok::RBrace)?;
+        self.open_loops.pop();
+        Ok(Stmt::For { var, lo, hi, step, body })
+    }
+
+    fn parse_kernel(&mut self) -> Result<Kernel, ParseError> {
+        self.expect(&Tok::Kernel)?;
+        let name = self.expect_ident()?;
+        self.expect(&Tok::LParen)?;
+        if self.peek() != Some(&Tok::RParen) {
+            loop {
+                let kind = if self.peek() == Some(&Tok::Global) {
+                    self.pos += 1;
+                    Some(ArrayKind::Global)
+                } else {
+                    None
+                };
+                let ty = self.expect_type()?;
+                let pname = self.expect_ident()?;
+                if self.peek() == Some(&Tok::LBracket) {
+                    self.pos += 1;
+                    self.expect(&Tok::RBracket)?;
+                    if self.var_named(&pname).is_some() || self.array_named(&pname).is_some() {
+                        return Err(self.err(format!("duplicate declaration of `{pname}`")));
+                    }
+                    self.arrays.push(ArrayDecl {
+                        name: pname,
+                        elem: ty,
+                        kind: kind.unwrap_or(ArrayKind::PointerParam),
+                    });
+                } else {
+                    if kind.is_some() {
+                        return Err(self.err("`global` only applies to arrays"));
+                    }
+                    self.declare_var(pname, ty, VarKind::Param)?;
+                }
+                if self.peek() == Some(&Tok::Comma) {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(&Tok::RParen)?;
+        self.expect(&Tok::LBrace)?;
+        // Local declarations: TYPE IDENT ";".
+        while let Some(ty) = self.peek_type() {
+            // Disambiguate from statements: declarations are TYPE IDENT ';'.
+            if matches!(self.peek2(), Some(Tok::Ident(_))) {
+                self.pos += 1;
+                let lname = self.expect_ident()?;
+                self.expect(&Tok::Semi)?;
+                self.declare_var(lname, ty, VarKind::Local)?;
+            } else {
+                break;
+            }
+        }
+        let mut body = Vec::new();
+        while self.peek() != Some(&Tok::RBrace) {
+            body.push(self.parse_stmt()?);
+        }
+        self.expect(&Tok::RBrace)?;
+        if self.pos != self.toks.len() {
+            return Err(self.err("trailing input after kernel"));
+        }
+        Ok(Kernel {
+            name,
+            vars: std::mem::take(&mut self.vars),
+            arrays: std::mem::take(&mut self.arrays),
+            body,
+        })
+    }
+}
+
+/// Parse and validate one kernel definition.
+///
+/// # Errors
+/// Returns a [`ParseError`] on lexical/syntax errors; IR-level type errors
+/// surface as a [`ParseError`] wrapping the validator message.
+///
+/// # Examples
+///
+/// ```
+/// let k = vapor_frontend::parse_kernel(r#"
+///     kernel dscal(long n, float alpha, float x[]) {
+///       for (long i = 0; i < n; i++) {
+///         x[i] = alpha * x[i];
+///       }
+///     }
+/// "#).unwrap();
+/// assert_eq!(k.name, "dscal");
+/// ```
+pub fn parse_kernel(src: &str) -> Result<Kernel, ParseError> {
+    let toks = lex(src)?;
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        vars: Vec::new(),
+        arrays: Vec::new(),
+        open_loops: Vec::new(),
+    };
+    let k = p.parse_kernel()?;
+    vapor_ir::validate(&k).map_err(|e| ParseError {
+        msg: format!("in kernel `{}`: {e}", k.name),
+        line: 0,
+        col: 0,
+    })?;
+    Ok(k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_saxpy() {
+        let k = parse_kernel(
+            "kernel saxpy(long n, float a, float x[], float y[]) {
+               for (long i = 0; i < n; i++) { y[i] = a * x[i] + y[i]; }
+             }",
+        )
+        .unwrap();
+        assert_eq!(k.arrays.len(), 2);
+        assert_eq!(k.body.len(), 1);
+    }
+
+    #[test]
+    fn parses_reduction_with_local_and_compound_assign() {
+        let k = parse_kernel(
+            "kernel sum(long n, int a[], int out[]) {
+               int s;
+               s = 0;
+               for (long i = 0; i < n; i++) { s += a[i]; }
+               out[0] = s;
+             }",
+        )
+        .unwrap();
+        assert_eq!(k.vars.iter().filter(|v| v.name == "s").count(), 1);
+    }
+
+    #[test]
+    fn global_marker_sets_array_kind() {
+        let k = parse_kernel(
+            "kernel t(long n, global float c[], float x[]) {
+               for (long i = 0; i < n; i++) { x[i] = c[i]; }
+             }",
+        )
+        .unwrap();
+        assert_eq!(k.array(ArrayId(0)).kind, ArrayKind::Global);
+        assert_eq!(k.array(ArrayId(1)).kind, ArrayKind::PointerParam);
+    }
+
+    #[test]
+    fn cast_and_builtins() {
+        let k = parse_kernel(
+            "kernel t(long n, int a[], float x[]) {
+               for (long i = 0; i < n; i++) {
+                 x[i] = sqrt((float)max(a[i], 0));
+               }
+             }",
+        )
+        .unwrap();
+        assert_eq!(k.name, "t");
+    }
+
+    #[test]
+    fn strided_for_and_reused_loop_var() {
+        let k = parse_kernel(
+            "kernel t(long n, float x[]) {
+               for (long i = 0; i < n; i += 2) { x[i] = 0.0; }
+               for (long i = 0; i < n; i++) { x[i] = 1.0; }
+             }",
+        )
+        .unwrap();
+        // The two sequential loops share one loop-variable slot.
+        assert_eq!(k.vars.iter().filter(|v| v.name == "i").count(), 1);
+    }
+
+    #[test]
+    fn rejects_unknown_names_and_bad_types() {
+        assert!(parse_kernel("kernel t(long n) { for (long i = 0; i < n; i++) { y[i] = 0.0; } }")
+            .is_err());
+        assert!(parse_kernel("kernel t(long n, float x[]) { x[0] = n; }").is_err());
+        assert!(parse_kernel("kernel t(int n, float x[]) { for (int i = 0; i < n; i++) { x[i] = 0.0; } }").is_err());
+    }
+
+    #[test]
+    fn precedence_matches_pretty_printer() {
+        let k = parse_kernel(
+            "kernel t(long n, int a[]) {
+               for (long i = 0; i < n; i++) {
+                 a[i] = (a[i] + 1) * 2 - a[i] / 4 & 255;
+               }
+             }",
+        )
+        .unwrap();
+        let printed = vapor_ir::print_kernel(&k);
+        let k2 = parse_kernel(&printed).unwrap();
+        assert_eq!(k.body, k2.body);
+    }
+}
+
+#[cfg(test)]
+mod diag_tests {
+    use super::*;
+
+    fn err_of(src: &str) -> ParseError {
+        parse_kernel(src).unwrap_err()
+    }
+
+    #[test]
+    fn error_positions_point_at_the_problem() {
+        let e = err_of("kernel t(long n) {\n  for (long i = 0; i < n; i++) { q[i] = 0.0; }\n}");
+        assert_eq!(e.line, 2);
+        assert!(e.msg.contains("unknown array `q`"), "{e}");
+    }
+
+    #[test]
+    fn loop_header_must_be_consistent() {
+        let e = err_of(
+            "kernel t(long n, float x[]) { for (long i = 0; j < n; i++) { x[i] = 0.0; } }",
+        );
+        assert!(e.msg.contains("must test `i`"), "{e}");
+        let e = err_of(
+            "kernel t(long n, float x[]) { for (long i = 0; i < n; i += 0) { x[i] = 0.0; } }",
+        );
+        assert!(e.msg.contains("positive"), "{e}");
+    }
+
+    #[test]
+    fn nested_loop_variable_reuse_rejected() {
+        let e = err_of(
+            "kernel t(long n, float x[]) {
+               for (long i = 0; i < n; i++) {
+                 for (long i = 0; i < n; i++) { x[i] = 0.0; }
+               }
+             }",
+        );
+        assert!(e.msg.contains("already in use"), "{e}");
+    }
+
+    #[test]
+    fn global_on_scalar_rejected() {
+        let e = err_of("kernel t(global long n, float x[]) { x[0] = 0.0; }");
+        assert!(e.msg.contains("only applies to arrays"), "{e}");
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let e = err_of("kernel t(long n, float x[]) { x[0] = 0.0; } extra");
+        assert!(e.msg.contains("trailing"), "{e}");
+    }
+
+    #[test]
+    fn min_needs_two_arguments() {
+        assert!(parse_kernel("kernel t(long n, int x[]) { x[0] = min(1); }").is_err());
+    }
+}

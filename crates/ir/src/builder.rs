@@ -1,0 +1,162 @@
+//! Fluent construction of [`Kernel`]s, used by tests and by kernels that
+//! are easier to build programmatically than to parse.
+
+use crate::expr::{ArrayId, Expr, VarId};
+use crate::kernel::{ArrayDecl, ArrayKind, Kernel, VarDecl, VarKind};
+use crate::stmt::Stmt;
+use crate::ty::ScalarTy;
+
+/// Builder for a [`Kernel`].
+///
+/// Statements are appended to the innermost open scope; [`KernelBuilder::for_loop`]
+/// opens a nested scope for the closure it runs.
+#[derive(Debug)]
+pub struct KernelBuilder {
+    name: String,
+    vars: Vec<VarDecl>,
+    arrays: Vec<ArrayDecl>,
+    scopes: Vec<Vec<Stmt>>,
+}
+
+impl KernelBuilder {
+    /// Start building a kernel with the given name.
+    pub fn new(name: impl Into<String>) -> KernelBuilder {
+        KernelBuilder {
+            name: name.into(),
+            vars: Vec::new(),
+            arrays: Vec::new(),
+            scopes: vec![Vec::new()],
+        }
+    }
+
+    fn add_var(&mut self, name: &str, ty: ScalarTy, kind: VarKind) -> VarId {
+        assert!(
+            !self.vars.iter().any(|v| v.name == name),
+            "duplicate scalar name {name:?}"
+        );
+        self.vars.push(VarDecl { name: name.to_owned(), ty, kind });
+        VarId(self.vars.len() as u32 - 1)
+    }
+
+    /// Declare a scalar parameter.
+    pub fn scalar_param(&mut self, name: &str, ty: ScalarTy) -> VarId {
+        self.add_var(name, ty, VarKind::Param)
+    }
+
+    /// Declare a scalar local.
+    pub fn local(&mut self, name: &str, ty: ScalarTy) -> VarId {
+        self.add_var(name, ty, VarKind::Local)
+    }
+
+    /// Declare a fresh loop variable (type `long`).
+    pub fn fresh_loop_var(&mut self, name: &str) -> VarId {
+        self.add_var(name, ScalarTy::I64, VarKind::Loop)
+    }
+
+    /// Declare an array parameter passed as a raw pointer
+    /// (alignment unknown to an offline compiler).
+    pub fn array_param(&mut self, name: &str, elem: ScalarTy) -> ArrayId {
+        self.add_array(name, elem, ArrayKind::PointerParam)
+    }
+
+    /// Declare a global array (alignment forcible by a native compiler).
+    pub fn global_array(&mut self, name: &str, elem: ScalarTy) -> ArrayId {
+        self.add_array(name, elem, ArrayKind::Global)
+    }
+
+    fn add_array(&mut self, name: &str, elem: ScalarTy, kind: ArrayKind) -> ArrayId {
+        assert!(
+            !self.arrays.iter().any(|a| a.name == name),
+            "duplicate array name {name:?}"
+        );
+        self.arrays.push(ArrayDecl { name: name.to_owned(), elem, kind });
+        ArrayId(self.arrays.len() as u32 - 1)
+    }
+
+    /// Append a `for` loop; `body` populates it through the builder.
+    pub fn for_loop(
+        &mut self,
+        var: VarId,
+        lo: Expr,
+        hi: Expr,
+        step: i64,
+        body: impl FnOnce(&mut KernelBuilder),
+    ) {
+        self.scopes.push(Vec::new());
+        body(self);
+        let stmts = self.scopes.pop().expect("builder scope underflow");
+        self.push(Stmt::For { var, lo, hi, step, body: stmts });
+    }
+
+    /// Append a scalar assignment.
+    pub fn assign(&mut self, var: VarId, value: Expr) {
+        self.push(Stmt::Assign { var, value });
+    }
+
+    /// Append an array store.
+    pub fn store(&mut self, array: ArrayId, index: Expr, value: Expr) {
+        self.push(Stmt::Store { array, index, value });
+    }
+
+    /// Append an arbitrary statement.
+    pub fn push(&mut self, s: Stmt) {
+        self.scopes.last_mut().expect("builder scope underflow").push(s);
+    }
+
+    /// Finish and return the kernel.
+    ///
+    /// # Panics
+    /// Panics if a `for_loop` scope was left open (cannot happen through
+    /// the public API).
+    pub fn finish(mut self) -> Kernel {
+        assert_eq!(self.scopes.len(), 1, "unbalanced builder scopes");
+        Kernel {
+            name: self.name,
+            vars: self.vars,
+            arrays: self.arrays,
+            body: self.scopes.pop().unwrap(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sem::BinOp;
+
+    #[test]
+    fn builds_nested_loops() {
+        let mut b = KernelBuilder::new("t");
+        let n = b.scalar_param("n", ScalarTy::I64);
+        let a = b.array_param("a", ScalarTy::F32);
+        let i = b.fresh_loop_var("i");
+        let j = b.fresh_loop_var("j");
+        b.for_loop(i, Expr::Int(0), Expr::Var(n), 1, |b| {
+            b.for_loop(j, Expr::Int(0), Expr::Var(n), 1, |b| {
+                b.store(
+                    a,
+                    Expr::bin(
+                        BinOp::Add,
+                        Expr::bin(BinOp::Mul, Expr::Var(i), Expr::Var(n)),
+                        Expr::Var(j),
+                    ),
+                    Expr::Float(0.0),
+                );
+            });
+        });
+        let k = b.finish();
+        assert_eq!(k.body.len(), 1);
+        assert_eq!(k.body[0].loop_depth(), 2);
+        assert_eq!(k.stmt_count(), 3);
+        assert_eq!(k.var_named("n"), Some(n));
+        assert_eq!(k.array_named("a"), Some(a));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate scalar name")]
+    fn rejects_duplicate_names() {
+        let mut b = KernelBuilder::new("t");
+        b.scalar_param("n", ScalarTy::I64);
+        b.local("n", ScalarTy::F32);
+    }
+}

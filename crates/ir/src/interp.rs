@@ -1,0 +1,392 @@
+//! Reference interpreter — the correctness oracle for the whole system.
+//!
+//! Every compiled configuration (native, split/JIT, scalarized) is checked
+//! against the output of this interpreter in the integration tests.
+
+use std::collections::HashMap;
+
+use crate::expr::{ArrayId, Expr, VarId};
+use crate::kernel::{Kernel, VarKind};
+use crate::sem::{eval_bin, eval_cast, eval_un, read_elem, write_elem, Value};
+use crate::stmt::Stmt;
+use crate::ty::ScalarTy;
+use crate::validate::{infer_expr, IrError};
+
+/// A typed array buffer (elements stored little-endian, matching the
+/// virtual machine's memory image).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArrayData {
+    /// Element type.
+    pub elem: ScalarTy,
+    /// Raw storage; length must be a multiple of `elem.size()`.
+    pub bytes: Vec<u8>,
+}
+
+impl ArrayData {
+    /// A zero-filled array of `len` elements.
+    pub fn zeroed(elem: ScalarTy, len: usize) -> ArrayData {
+        ArrayData { elem, bytes: vec![0; len * elem.size()] }
+    }
+
+    /// Build from `i64` element values (integer types only).
+    pub fn from_ints(elem: ScalarTy, vals: &[i64]) -> ArrayData {
+        let mut a = ArrayData::zeroed(elem, vals.len());
+        for (i, &v) in vals.iter().enumerate() {
+            a.set(i, Value::Int(v));
+        }
+        a
+    }
+
+    /// Build from `f64` element values (float types only).
+    pub fn from_floats(elem: ScalarTy, vals: &[f64]) -> ArrayData {
+        let mut a = ArrayData::zeroed(elem, vals.len());
+        for (i, &v) in vals.iter().enumerate() {
+            a.set(i, Value::Float(v));
+        }
+        a
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.bytes.len() / self.elem.size()
+    }
+
+    /// Whether the array has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Element at index `i`.
+    ///
+    /// # Panics
+    /// Panics when out of bounds.
+    pub fn get(&self, i: usize) -> Value {
+        read_elem(self.elem, &self.bytes, i * self.elem.size())
+    }
+
+    /// Set element at index `i`.
+    ///
+    /// # Panics
+    /// Panics when out of bounds.
+    pub fn set(&mut self, i: usize, v: Value) {
+        write_elem(self.elem, &mut self.bytes, i * self.elem.size(), v);
+    }
+
+    /// All elements as values.
+    pub fn values(&self) -> Vec<Value> {
+        (0..self.len()).map(|i| self.get(i)).collect()
+    }
+}
+
+/// Scalar and array bindings for one kernel execution.
+#[derive(Debug, Clone)]
+pub struct Bindings {
+    scalars: HashMap<String, Value>,
+    arrays: HashMap<String, ArrayData>,
+}
+
+impl Bindings {
+    /// Empty bindings.
+    pub fn new() -> Bindings {
+        Bindings { scalars: HashMap::new(), arrays: HashMap::new() }
+    }
+
+    /// Bind a scalar parameter by name.
+    pub fn set_scalar(&mut self, name: &str, v: Value) -> &mut Self {
+        self.scalars.insert(name.to_owned(), v);
+        self
+    }
+
+    /// Bind an integer scalar parameter by name.
+    pub fn set_int(&mut self, name: &str, v: i64) -> &mut Self {
+        self.set_scalar(name, Value::Int(v))
+    }
+
+    /// Bind a float scalar parameter by name.
+    pub fn set_float(&mut self, name: &str, v: f64) -> &mut Self {
+        self.set_scalar(name, Value::Float(v))
+    }
+
+    /// Bind an array by name.
+    pub fn set_array(&mut self, name: &str, a: ArrayData) -> &mut Self {
+        self.arrays.insert(name.to_owned(), a);
+        self
+    }
+
+    /// Read back an array after execution.
+    pub fn array(&self, name: &str) -> Option<&ArrayData> {
+        self.arrays.get(name)
+    }
+
+    /// Scalar binding by name.
+    pub fn scalar(&self, name: &str) -> Option<Value> {
+        self.scalars.get(name).copied()
+    }
+
+    /// Iterate over array bindings.
+    pub fn arrays(&self) -> impl Iterator<Item = (&String, &ArrayData)> {
+        self.arrays.iter()
+    }
+}
+
+impl Default for Bindings {
+    fn default() -> Self {
+        Bindings::new()
+    }
+}
+
+struct Interp<'a> {
+    k: &'a Kernel,
+    scalars: Vec<Option<Value>>,
+    arrays: Vec<ArrayData>,
+}
+
+impl<'a> Interp<'a> {
+    fn rerr(&self, msg: String) -> IrError {
+        IrError::Runtime(format!("{}: {msg}", self.k.name))
+    }
+
+    fn eval(&self, e: &Expr, expected: ScalarTy) -> Result<Value, IrError> {
+        match e {
+            Expr::Int(v) => Ok(if expected.is_float() {
+                Value::Float(*v as f64)
+            } else {
+                Value::Int(crate::sem::wrap_int(expected, *v))
+            }),
+            Expr::Float(v) => Ok(Value::Float(if expected == ScalarTy::F32 {
+                *v as f32 as f64
+            } else {
+                *v
+            })),
+            Expr::Var(v) => self.scalars[v.0 as usize]
+                .ok_or_else(|| self.rerr(format!("read of unset scalar {}", self.k.var(*v).name))),
+            Expr::Load { array, index } => {
+                let idx = self.eval(index, ScalarTy::I64)?.as_int();
+                let a = &self.arrays[array.0 as usize];
+                if idx < 0 || idx as usize >= a.len() {
+                    return Err(self.rerr(format!(
+                        "load {}[{idx}] out of bounds (len {})",
+                        self.k.array(*array).name,
+                        a.len()
+                    )));
+                }
+                Ok(a.get(idx as usize))
+            }
+            Expr::Bin { op, lhs, rhs } => {
+                if op.is_comparison() {
+                    let oty = infer_expr(self.k, lhs)
+                        .or_else(|| infer_expr(self.k, rhs))
+                        .unwrap_or(ScalarTy::I64);
+                    let a = self.eval(lhs, oty)?;
+                    let b = self.eval(rhs, oty)?;
+                    Ok(eval_bin(*op, oty, a, b))
+                } else {
+                    let a = self.eval(lhs, expected)?;
+                    let b = self.eval(rhs, expected)?;
+                    Ok(eval_bin(*op, expected, a, b))
+                }
+            }
+            Expr::Un { op, arg } => {
+                let a = self.eval(arg, expected)?;
+                Ok(eval_un(*op, expected, a))
+            }
+            Expr::Cast { ty, arg } => {
+                let src = infer_expr(self.k, arg).unwrap_or(match &**arg {
+                    Expr::Float(_) => ScalarTy::F64,
+                    _ => ScalarTy::I64,
+                });
+                let v = self.eval(arg, src)?;
+                Ok(eval_cast(src, *ty, v))
+            }
+        }
+    }
+
+    fn exec(&mut self, s: &Stmt) -> Result<(), IrError> {
+        match s {
+            Stmt::For { var, lo, hi, step, body } => {
+                let lo = self.eval(lo, ScalarTy::I64)?.as_int();
+                let hi = self.eval(hi, ScalarTy::I64)?.as_int();
+                let mut i = lo;
+                while i < hi {
+                    self.scalars[var.0 as usize] = Some(Value::Int(i));
+                    for st in body {
+                        self.exec(st)?;
+                    }
+                    i += step;
+                }
+                Ok(())
+            }
+            Stmt::Assign { var, value } => {
+                let ty = self.k.var(*var).ty;
+                let v = self.eval(value, ty)?;
+                self.scalars[var.0 as usize] = Some(v);
+                Ok(())
+            }
+            Stmt::Store { array, index, value } => {
+                let idx = self.eval(index, ScalarTy::I64)?.as_int();
+                let elem = self.k.array(*array).elem;
+                let v = self.eval(value, elem)?;
+                let a = &mut self.arrays[array.0 as usize];
+                if idx < 0 || idx as usize >= a.len() {
+                    let name = self.k.array(*array).name.clone();
+                    let len = a.len();
+                    return Err(self.rerr(format!(
+                        "store {name}[{idx}] out of bounds (len {len})"
+                    )));
+                }
+                a.set(idx as usize, v);
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Execute `k` against `bindings`, mutating bound arrays in place.
+///
+/// # Errors
+/// Reports unbound parameters, out-of-bounds accesses, and reads of unset
+/// locals as [`IrError::Runtime`].
+pub fn interpret(k: &Kernel, bindings: &mut Bindings) -> Result<(), IrError> {
+    let mut scalars = vec![None; k.vars.len()];
+    for (id, decl) in k.vars.iter().enumerate() {
+        if decl.kind == VarKind::Param {
+            let v = bindings.scalars.get(&decl.name).copied().ok_or_else(|| {
+                IrError::Runtime(format!("{}: unbound scalar parameter {}", k.name, decl.name))
+            })?;
+            scalars[id] = Some(v);
+        }
+    }
+    let mut arrays = Vec::with_capacity(k.arrays.len());
+    for decl in &k.arrays {
+        let a = bindings.arrays.get(&decl.name).cloned().ok_or_else(|| {
+            IrError::Runtime(format!("{}: unbound array {}", k.name, decl.name))
+        })?;
+        if a.elem != decl.elem {
+            return Err(IrError::Runtime(format!(
+                "{}: array {} bound with element type {}, declared {}",
+                k.name, decl.name, a.elem, decl.elem
+            )));
+        }
+        arrays.push(a);
+    }
+    let mut interp = Interp { k, scalars, arrays };
+    for s in &k.body {
+        interp.exec(s)?;
+    }
+    for (decl, a) in k.arrays.iter().zip(interp.arrays) {
+        bindings.arrays.insert(decl.name.clone(), a);
+    }
+    Ok(())
+}
+
+/// Convenience: run a kernel by id-indexed array list (used by harnesses
+/// that already resolved names). Returns the final array states.
+pub fn interpret_arrays(
+    k: &Kernel,
+    scalar_args: &[(VarId, Value)],
+    arrays: Vec<ArrayData>,
+) -> Result<Vec<ArrayData>, IrError> {
+    let mut scalars = vec![None; k.vars.len()];
+    for (id, v) in scalar_args {
+        scalars[id.0 as usize] = Some(*v);
+    }
+    let mut interp = Interp { k, scalars, arrays };
+    for s in &k.body {
+        interp.exec(s)?;
+    }
+    let _ = ArrayId(0);
+    Ok(interp.arrays)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::KernelBuilder;
+    use crate::sem::BinOp;
+
+    fn saxpy_kernel() -> Kernel {
+        let mut b = KernelBuilder::new("saxpy");
+        let n = b.scalar_param("n", ScalarTy::I64);
+        let a = b.scalar_param("alpha", ScalarTy::F32);
+        let x = b.array_param("x", ScalarTy::F32);
+        let y = b.array_param("y", ScalarTy::F32);
+        let i = b.fresh_loop_var("i");
+        b.for_loop(i, Expr::Int(0), Expr::Var(n), 1, |b| {
+            b.store(
+                y,
+                Expr::Var(i),
+                Expr::bin(
+                    BinOp::Add,
+                    Expr::bin(BinOp::Mul, Expr::Var(a), Expr::load(x, Expr::Var(i))),
+                    Expr::load(y, Expr::Var(i)),
+                ),
+            );
+        });
+        b.finish()
+    }
+
+    #[test]
+    fn saxpy_runs() {
+        let k = saxpy_kernel();
+        let mut b = Bindings::new();
+        b.set_int("n", 4)
+            .set_float("alpha", 2.0)
+            .set_array("x", ArrayData::from_floats(ScalarTy::F32, &[1.0, 2.0, 3.0, 4.0]))
+            .set_array("y", ArrayData::from_floats(ScalarTy::F32, &[10.0, 10.0, 10.0, 10.0]));
+        interpret(&k, &mut b).unwrap();
+        let y = b.array("y").unwrap();
+        assert_eq!(
+            y.values(),
+            vec![
+                Value::Float(12.0),
+                Value::Float(14.0),
+                Value::Float(16.0),
+                Value::Float(18.0)
+            ]
+        );
+    }
+
+    #[test]
+    fn reduction_with_local() {
+        let mut bld = KernelBuilder::new("sum");
+        let n = bld.scalar_param("n", ScalarTy::I64);
+        let a = bld.array_param("a", ScalarTy::I32);
+        let out = bld.array_param("out", ScalarTy::I32);
+        let s = bld.local("s", ScalarTy::I32);
+        let i = bld.fresh_loop_var("i");
+        bld.assign(s, Expr::Int(0));
+        bld.for_loop(i, Expr::Int(0), Expr::Var(n), 1, |b| {
+            b.assign(s, Expr::bin(BinOp::Add, Expr::Var(s), Expr::load(a, Expr::Var(i))));
+        });
+        bld.store(out, Expr::Int(0), Expr::Var(s));
+        let k = bld.finish();
+        crate::validate::validate(&k).unwrap();
+
+        let mut b = Bindings::new();
+        b.set_int("n", 5)
+            .set_array("a", ArrayData::from_ints(ScalarTy::I32, &[1, 2, 3, 4, 5]))
+            .set_array("out", ArrayData::zeroed(ScalarTy::I32, 1));
+        interpret(&k, &mut b).unwrap();
+        assert_eq!(b.array("out").unwrap().get(0), Value::Int(15));
+    }
+
+    #[test]
+    fn out_of_bounds_reported() {
+        let k = saxpy_kernel();
+        let mut b = Bindings::new();
+        b.set_int("n", 8)
+            .set_float("alpha", 1.0)
+            .set_array("x", ArrayData::zeroed(ScalarTy::F32, 4))
+            .set_array("y", ArrayData::zeroed(ScalarTy::F32, 4));
+        let err = interpret(&k, &mut b).unwrap_err();
+        assert!(matches!(err, IrError::Runtime(_)), "{err}");
+    }
+
+    #[test]
+    fn unbound_param_reported() {
+        let k = saxpy_kernel();
+        let mut b = Bindings::new();
+        let err = interpret(&k, &mut b).unwrap_err();
+        assert!(err.to_string().contains("unbound"));
+    }
+}

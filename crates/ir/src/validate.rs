@@ -1,0 +1,285 @@
+//! Type checking and structural validation of kernels.
+//!
+//! Validation is bidirectional: literals are checked against the type
+//! expected by their context (as in C, after the usual conversions have
+//! been made explicit), while variables, loads, and casts synthesize
+//! types that must match the context exactly — the IR has **no implicit
+//! conversions** apart from literal typing.
+
+use std::fmt;
+
+use crate::expr::{Expr, VarId};
+use crate::kernel::{Kernel, VarKind};
+use crate::sem::UnOp;
+use crate::stmt::Stmt;
+use crate::ty::ScalarTy;
+
+/// Validation/interpretation errors for the IR layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IrError {
+    /// A type mismatch with a human-readable explanation.
+    Type(String),
+    /// Structural rule violation (loop var assigned, bad step, ...).
+    Structure(String),
+    /// Runtime error in the reference interpreter.
+    Runtime(String),
+}
+
+impl fmt::Display for IrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IrError::Type(m) => write!(f, "type error: {m}"),
+            IrError::Structure(m) => write!(f, "structure error: {m}"),
+            IrError::Runtime(m) => write!(f, "runtime error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for IrError {}
+
+fn terr(msg: impl Into<String>) -> IrError {
+    IrError::Type(msg.into())
+}
+
+/// Synthesize the type of an expression where possible (literals are
+/// contextually typed and return `None`).
+pub fn infer_expr(k: &Kernel, e: &Expr) -> Option<ScalarTy> {
+    match e {
+        Expr::Int(_) | Expr::Float(_) => None,
+        Expr::Var(v) => Some(k.var(*v).ty),
+        Expr::Load { array, .. } => Some(k.array(*array).elem),
+        Expr::Cast { ty, .. } => Some(*ty),
+        Expr::Bin { op, lhs, rhs } => {
+            if op.is_comparison() {
+                Some(ScalarTy::I32)
+            } else {
+                infer_expr(k, lhs).or_else(|| infer_expr(k, rhs))
+            }
+        }
+        Expr::Un { op, arg } => match op {
+            UnOp::Neg | UnOp::Abs | UnOp::Sqrt => infer_expr(k, arg),
+        },
+    }
+}
+
+/// Check `e` against the expected type.
+pub fn check_expr(k: &Kernel, e: &Expr, expected: ScalarTy) -> Result<(), IrError> {
+    match e {
+        Expr::Int(_) => Ok(()), // integer literals coerce to any numeric type
+        Expr::Float(_) => {
+            if expected.is_float() {
+                Ok(())
+            } else {
+                Err(terr(format!("float literal used at integer type {expected}")))
+            }
+        }
+        Expr::Var(v) => {
+            let ty = k.var(*v).ty;
+            if ty == expected {
+                Ok(())
+            } else {
+                Err(terr(format!(
+                    "variable {} has type {ty}, expected {expected}",
+                    k.var(*v).name
+                )))
+            }
+        }
+        Expr::Load { array, index } => {
+            let elem = k.array(*array).elem;
+            if elem != expected {
+                return Err(terr(format!(
+                    "load from {}[] has type {elem}, expected {expected}",
+                    k.array(*array).name
+                )));
+            }
+            check_expr(k, index, ScalarTy::I64)
+        }
+        Expr::Bin { op, lhs, rhs } => {
+            if op.is_comparison() {
+                if expected != ScalarTy::I32 {
+                    return Err(terr(format!(
+                        "comparison yields int, expected {expected}"
+                    )));
+                }
+                let operand_ty = infer_expr(k, lhs)
+                    .or_else(|| infer_expr(k, rhs))
+                    .unwrap_or(ScalarTy::I64);
+                check_expr(k, lhs, operand_ty)?;
+                check_expr(k, rhs, operand_ty)
+            } else {
+                if op.int_only() && expected.is_float() {
+                    return Err(terr(format!(
+                        "integer-only operator {} at float type {expected}",
+                        op.symbol()
+                    )));
+                }
+                check_expr(k, lhs, expected)?;
+                check_expr(k, rhs, expected)
+            }
+        }
+        Expr::Un { op, arg } => {
+            if *op == UnOp::Sqrt && !expected.is_float() {
+                return Err(terr("sqrt at integer type".to_owned()));
+            }
+            check_expr(k, arg, expected)
+        }
+        Expr::Cast { ty, arg } => {
+            if *ty != expected {
+                return Err(terr(format!("cast to {ty}, expected {expected}")));
+            }
+            let src = infer_expr(k, arg).unwrap_or(match &**arg {
+                Expr::Float(_) => ScalarTy::F64,
+                _ => ScalarTy::I64,
+            });
+            check_expr(k, arg, src)
+        }
+    }
+}
+
+fn check_stmt(
+    k: &Kernel,
+    s: &Stmt,
+    open_loops: &mut Vec<VarId>,
+) -> Result<(), IrError> {
+    match s {
+        Stmt::For { var, lo, hi, step, body } => {
+            let decl = k.var(*var);
+            if decl.kind != VarKind::Loop {
+                return Err(IrError::Structure(format!(
+                    "for-loop variable {} must be declared as a loop variable",
+                    decl.name
+                )));
+            }
+            if decl.ty != ScalarTy::I64 {
+                return Err(IrError::Structure(format!(
+                    "loop variable {} must be long",
+                    decl.name
+                )));
+            }
+            if *step <= 0 {
+                return Err(IrError::Structure(format!(
+                    "loop step must be positive, got {step}"
+                )));
+            }
+            if open_loops.contains(var) {
+                return Err(IrError::Structure(format!(
+                    "loop variable {} reused in nested loop",
+                    decl.name
+                )));
+            }
+            check_expr(k, lo, ScalarTy::I64)?;
+            check_expr(k, hi, ScalarTy::I64)?;
+            open_loops.push(*var);
+            for st in body {
+                check_stmt(k, st, open_loops)?;
+            }
+            open_loops.pop();
+            Ok(())
+        }
+        Stmt::Assign { var, value } => {
+            let decl = k.var(*var);
+            if decl.kind != VarKind::Local {
+                return Err(IrError::Structure(format!(
+                    "only locals may be assigned; {} is {:?}",
+                    decl.name, decl.kind
+                )));
+            }
+            check_expr(k, value, decl.ty)
+        }
+        Stmt::Store { array, index, value } => {
+            check_expr(k, index, ScalarTy::I64)?;
+            check_expr(k, value, k.array(*array).elem)
+        }
+    }
+}
+
+/// Validate a kernel: every statement well-typed, loop structure sound.
+///
+/// # Errors
+/// Returns the first [`IrError`] found.
+pub fn validate(k: &Kernel) -> Result<(), IrError> {
+    for (i, v) in k.vars.iter().enumerate() {
+        for w in &k.vars[i + 1..] {
+            if v.name == w.name {
+                return Err(IrError::Structure(format!("duplicate scalar {}", v.name)));
+            }
+        }
+    }
+    let mut open = Vec::new();
+    for s in &k.body {
+        check_stmt(k, s, &mut open)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::KernelBuilder;
+    use crate::expr::Expr;
+    use crate::sem::BinOp;
+
+    fn saxpy() -> Kernel {
+        let mut b = KernelBuilder::new("saxpy");
+        let n = b.scalar_param("n", ScalarTy::I64);
+        let a = b.scalar_param("alpha", ScalarTy::F32);
+        let x = b.array_param("x", ScalarTy::F32);
+        let y = b.array_param("y", ScalarTy::F32);
+        let i = b.fresh_loop_var("i");
+        b.for_loop(i, Expr::Int(0), Expr::Var(n), 1, |b| {
+            b.store(
+                y,
+                Expr::Var(i),
+                Expr::bin(
+                    BinOp::Add,
+                    Expr::bin(BinOp::Mul, Expr::Var(a), Expr::load(x, Expr::Var(i))),
+                    Expr::load(y, Expr::Var(i)),
+                ),
+            );
+        });
+        b.finish()
+    }
+
+    #[test]
+    fn saxpy_validates() {
+        assert_eq!(validate(&saxpy()), Ok(()));
+    }
+
+    #[test]
+    fn type_mismatch_rejected() {
+        let mut k = saxpy();
+        // Store an int-typed variable into the float array.
+        if let Stmt::For { body, .. } = &mut k.body[0] {
+            if let Stmt::Store { value, .. } = &mut body[0] {
+                *value = Expr::Var(VarId(0)); // n: long
+            }
+        }
+        assert!(matches!(validate(&k), Err(IrError::Type(_))));
+    }
+
+    #[test]
+    fn int_literal_coerces_float_literal_does_not() {
+        let k = saxpy();
+        assert!(check_expr(&k, &Expr::Int(3), ScalarTy::F32).is_ok());
+        assert!(check_expr(&k, &Expr::Float(3.0), ScalarTy::I32).is_err());
+    }
+
+    #[test]
+    fn loop_var_not_assignable() {
+        let mut b = KernelBuilder::new("bad");
+        let i = b.fresh_loop_var("i");
+        b.for_loop(i, Expr::Int(0), Expr::Int(4), 1, |b| {
+            b.push(Stmt::Assign { var: i, value: Expr::Int(0) });
+        });
+        assert!(matches!(validate(&b.finish()), Err(IrError::Structure(_))));
+    }
+
+    #[test]
+    fn comparison_types() {
+        let k = saxpy();
+        let n = k.var_named("n").unwrap();
+        let cmp = Expr::bin(BinOp::CmpLt, Expr::Var(n), Expr::Int(4));
+        assert!(check_expr(&k, &cmp, ScalarTy::I32).is_ok());
+        assert!(check_expr(&k, &cmp, ScalarTy::F32).is_err());
+    }
+}

@@ -1,0 +1,229 @@
+//! Iterative global dead-code elimination.
+//!
+//! Removes pure definitions whose results are never read anywhere in the
+//! function — in particular the address arithmetic feeding `get_rt` /
+//! `align_load` when the target resolves realignment implicitly (the
+//! paper's "no code is generated for idioms get_rt and align_load").
+//!
+//! Liveness is *global* (a register used anywhere keeps every definition
+//! of it), which is trivially sound in the presence of loops; the
+//! precision is enough to clean up the straight-line idiom chains the
+//! lowering produces.
+
+use std::collections::HashSet;
+
+use vapor_targets::{AddrMode, MCode, MInst, SReg, ShiftSrc, VReg};
+
+fn note_addr(a: &AddrMode, s: &mut HashSet<SReg>) {
+    s.insert(a.base);
+    if let Some(i) = a.idx {
+        s.insert(i);
+    }
+}
+
+fn uses(inst: &MInst, s: &mut HashSet<SReg>, v: &mut HashSet<VReg>) {
+    match inst {
+        MInst::Label(_) | MInst::Jump(_) | MInst::MovImmI { .. } | MInst::MovImmF { .. } => {}
+        MInst::Branch { a, b, .. } => {
+            s.insert(*a);
+            s.insert(*b);
+        }
+        MInst::BranchImm { a, .. } => {
+            s.insert(*a);
+        }
+        MInst::MovS { src, .. } => {
+            s.insert(*src);
+        }
+        MInst::SBin { a, b, .. } | MInst::FpuBin { a, b, .. } => {
+            s.insert(*a);
+            s.insert(*b);
+        }
+        MInst::SBinImm { a, .. } | MInst::SUn { a, .. } | MInst::SCvt { a, .. } => {
+            s.insert(*a);
+        }
+        MInst::LoadS { addr, .. } => note_addr(addr, s),
+        MInst::StoreS { src, addr, .. } => {
+            s.insert(*src);
+            note_addr(addr, s);
+        }
+        MInst::LoadV { addr, .. } | MInst::LoadVFloor { addr, .. } => note_addr(addr, s),
+        MInst::StoreV { src, addr, .. } => {
+            v.insert(*src);
+            note_addr(addr, s);
+        }
+        MInst::Splat { src, .. } => {
+            s.insert(*src);
+        }
+        MInst::Iota { start, inc, .. } => {
+            s.insert(*start);
+            s.insert(*inc);
+        }
+        MInst::SetLane { dst, src, .. } => {
+            // Lane insertion reads the rest of the destination.
+            v.insert(*dst);
+            s.insert(*src);
+        }
+        MInst::GetLane { src, .. } => {
+            v.insert(*src);
+        }
+        MInst::VBin { a, b, .. } => {
+            v.insert(*a);
+            v.insert(*b);
+        }
+        MInst::VUn { a, .. } => {
+            v.insert(*a);
+        }
+        MInst::VShift { a, amt, .. } => {
+            v.insert(*a);
+            match amt {
+                ShiftSrc::Reg(r) => {
+                    s.insert(*r);
+                }
+                ShiftSrc::PerLane(r) => {
+                    v.insert(*r);
+                }
+                ShiftSrc::Imm(_) => {}
+            }
+        }
+        MInst::VWidenMul { a, b, .. } => {
+            v.insert(*a);
+            v.insert(*b);
+        }
+        MInst::VDotAcc { a, b, acc, .. } => {
+            v.insert(*a);
+            v.insert(*b);
+            v.insert(*acc);
+        }
+        MInst::VPack { a, b, .. } => {
+            v.insert(*a);
+            v.insert(*b);
+        }
+        MInst::VUnpack { a, .. } | MInst::VCvt { a, .. } => {
+            v.insert(*a);
+        }
+        MInst::VInterleave { a, b, .. } => {
+            v.insert(*a);
+            v.insert(*b);
+        }
+        MInst::VExtractStride { srcs, .. } => {
+            v.extend(srcs.iter().copied());
+        }
+        MInst::VPermCtrl { addr, .. } => note_addr(addr, s),
+        MInst::VPerm { a, b, ctrl, .. } => {
+            v.insert(*a);
+            v.insert(*b);
+            v.insert(*ctrl);
+        }
+        MInst::VReduce { src, .. } => {
+            v.insert(*src);
+        }
+        MInst::MovV { src, .. } => {
+            v.insert(*src);
+        }
+        MInst::SpillLd { .. } => {}
+        MInst::SpillSt { src, .. } => {
+            s.insert(*src);
+        }
+        MInst::VHelper { a, b, .. } => {
+            v.insert(*a);
+            if let Some(b) = b {
+                v.insert(*b);
+            }
+        }
+    }
+}
+
+/// Pure scalar/vector definition removable when its destination is dead.
+fn removable_def(inst: &MInst) -> Option<(Option<SReg>, Option<VReg>)> {
+    match inst {
+        MInst::MovImmI { dst, .. }
+        | MInst::MovImmF { dst, .. }
+        | MInst::MovS { dst, .. }
+        | MInst::SBin { dst, .. }
+        | MInst::SBinImm { dst, .. }
+        | MInst::SUn { dst, .. }
+        | MInst::SCvt { dst, .. }
+        | MInst::LoadS { dst, .. } => Some((Some(*dst), None)),
+        MInst::LoadV { dst, .. }
+        | MInst::LoadVFloor { dst, .. }
+        | MInst::Splat { dst, .. }
+        | MInst::Iota { dst, .. }
+        | MInst::VPermCtrl { dst, .. }
+        | MInst::MovV { dst, .. } => Some((None, Some(*dst))),
+        _ => None,
+    }
+}
+
+/// Remove dead pure definitions until a fixed point.
+pub fn run(code: &mut MCode) {
+    loop {
+        let mut used_s = HashSet::new();
+        let mut used_v = HashSet::new();
+        for inst in &code.insts {
+            uses(inst, &mut used_s, &mut used_v);
+        }
+        let before = code.insts.len();
+        code.insts.retain(|inst| match removable_def(inst) {
+            Some((Some(s), _)) => used_s.contains(&s),
+            Some((_, Some(v))) => used_v.contains(&v),
+            _ => true,
+        });
+        if code.insts.len() == before {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vapor_ir::{BinOp, ScalarTy};
+    use vapor_targets::MemAlign;
+
+    #[test]
+    fn removes_dead_chains() {
+        let mut code = MCode {
+            insts: vec![
+                // dead chain: r1 = r0*4; v0 = floor-load [r1]  (nothing uses v0)
+                MInst::SBinImm { op: BinOp::Mul, ty: ScalarTy::I64, dst: SReg(1), a: SReg(0), imm: 4 },
+                MInst::LoadVFloor { dst: VReg(0), addr: AddrMode::base_disp(SReg(1), 0) },
+                // live: store of v1 loaded from [r0]
+                MInst::LoadV {
+                    dst: VReg(1),
+                    addr: AddrMode::base_disp(SReg(0), 0),
+                    align: MemAlign::Unaligned,
+                },
+                MInst::StoreV {
+                    src: VReg(1),
+                    addr: AddrMode::base_disp(SReg(0), 0),
+                    align: MemAlign::Unaligned,
+                },
+            ],
+            n_sregs: 2,
+            n_vregs: 2,
+            note: "t".into(),
+        };
+        run(&mut code);
+        assert_eq!(code.insts.len(), 2);
+    }
+
+    #[test]
+    fn keeps_loop_carried_copies() {
+        // v0 used by store; MovV writing v0 must stay.
+        let mut code = MCode {
+            insts: vec![
+                MInst::MovV { dst: VReg(0), src: VReg(1) },
+                MInst::StoreV {
+                    src: VReg(0),
+                    addr: AddrMode::base_disp(SReg(0), 0),
+                    align: MemAlign::Unaligned,
+                },
+            ],
+            n_sregs: 1,
+            n_vregs: 2,
+            note: "t".into(),
+        };
+        run(&mut code);
+        assert_eq!(code.insts.len(), 2);
+    }
+}

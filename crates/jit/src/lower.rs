@@ -1,0 +1,1223 @@
+//! Bytecode → machine-code lowering: the heart of the online stage.
+//!
+//! One linear pass over the structured bytecode (plus a cheap planning
+//! pre-pass), exactly the complexity budget §III-A demands of the JIT:
+//! no loop-level or data-access analysis happens here — every decision
+//! is driven by the idioms and hints the offline stage encoded.
+
+use std::collections::HashMap;
+
+use vapor_bytecode::{
+    Addr, BcFunction, BcStmt, GuardCond, LoopKind, Op, Operand, Reg, ShiftAmt, Step,
+};
+use vapor_ir::{eval_bin, eval_cast, BinOp, ScalarTy, Value};
+use vapor_targets::{
+    AddrMode, Cond, CvtDir, Half, HelperOp, Label, MCode, MInst, MemAlign, ReduceOp, SReg,
+    ShiftSrc, TargetDesc, VReg,
+};
+
+use crate::options::JitOptions;
+use crate::plan::{fold_guard, groups_of, known_misalignment, plan_group, Fold, GroupMode};
+
+/// Compilation error of the online stage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JitError(pub String);
+
+impl std::fmt::Display for JitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "jit error: {}", self.0)
+    }
+}
+
+impl std::error::Error for JitError {}
+
+/// Statistics of one compilation (reported by experiments and tests).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CompileStats {
+    /// Executable instructions emitted.
+    pub insts: usize,
+    /// Guards folded at compile time.
+    pub guards_folded: usize,
+    /// Guards lowered to runtime tests.
+    pub guards_runtime: usize,
+    /// Loop groups lowered to vector code.
+    pub groups_vector: usize,
+    /// Loop groups direct-scalarized (Figure 3b).
+    pub groups_direct_scalar: usize,
+    /// Loop groups scalarized through the tail loop.
+    pub groups_tail_scalar: usize,
+    /// Library-helper calls emitted (the NEON fallback path).
+    pub helper_calls: usize,
+}
+
+/// A compiled kernel: machine code plus the register binding contract.
+///
+/// The caller (runtime harness) must place scalar arguments in
+/// `param_regs`, array base addresses in `array_base_regs`, and array
+/// lengths **in bytes** in `array_len_regs` before running the code.
+#[derive(Debug, Clone)]
+pub struct CompiledKernel {
+    /// Machine code.
+    pub code: MCode,
+    /// Register holding each scalar parameter.
+    pub param_regs: Vec<SReg>,
+    /// Register holding each array's base address.
+    pub array_base_regs: Vec<SReg>,
+    /// Register holding each array's length in bytes.
+    pub array_len_regs: Vec<SReg>,
+    /// Compilation statistics.
+    pub stats: CompileStats,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Bind {
+    S(SReg),
+    V(VReg),
+    ImmI(i64),
+    ImmF(f64),
+    Dead,
+}
+
+struct Lower<'a> {
+    f: &'a BcFunction,
+    t: &'a TargetDesc,
+    opts: &'a JitOptions,
+    insts: Vec<MInst>,
+    next_s: u32,
+    next_v: u32,
+    next_l: u32,
+    bind: HashMap<Reg, Bind>,
+    def_count: HashMap<Reg, u32>,
+    array_base: Vec<SReg>,
+    array_len: Vec<SReg>,
+    group_mode: HashMap<u32, GroupMode>,
+    /// Realign helper registers (lo/hi/rt of explicit realignment) that
+    /// must actually be materialized on this target.
+    realign_needed: std::collections::HashSet<Reg>,
+    /// Precomputed runtime-guard flags (Opt pipelines), consumed in
+    /// traversal order.
+    guard_flags: Vec<SReg>,
+    guard_cursor: usize,
+    /// Pointer-bump bindings: (induction bytecode reg, array) → pointer.
+    bump: HashMap<(Reg, u32), SReg>,
+    stats: CompileStats,
+}
+
+impl<'a> Lower<'a> {
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, JitError> {
+        Err(JitError(format!("{}: {}", self.f.name, msg.into())))
+    }
+
+    fn fresh_s(&mut self) -> SReg {
+        let r = SReg(self.next_s);
+        self.next_s += 1;
+        r
+    }
+
+    fn fresh_v(&mut self) -> VReg {
+        let r = VReg(self.next_v);
+        self.next_v += 1;
+        r
+    }
+
+    fn fresh_label(&mut self) -> Label {
+        let l = Label(self.next_l);
+        self.next_l += 1;
+        l
+    }
+
+    fn emit(&mut self, i: MInst) {
+        self.insts.push(i);
+    }
+
+    fn bind_of(&self, r: Reg) -> Bind {
+        self.bind.get(&r).copied().unwrap_or(Bind::Dead)
+    }
+
+    fn multi_def(&self, r: Reg) -> bool {
+        self.def_count.get(&r).copied().unwrap_or(0) > 1
+    }
+
+    /// Binding of an operand (registers resolve through the bind map).
+    fn operand_bind(&mut self, o: &Operand) -> Result<Bind, JitError> {
+        Ok(match o {
+            Operand::Reg(r) => match self.bind_of(*r) {
+                Bind::Dead => return self.err(format!("use of dead register {r}")),
+                b => b,
+            },
+            Operand::ConstI(v) => Bind::ImmI(*v),
+            Operand::ConstF(v) => Bind::ImmF(*v),
+        })
+    }
+
+    /// Materialize a binding into a scalar register.
+    fn as_sreg(&mut self, b: Bind) -> Result<SReg, JitError> {
+        match b {
+            Bind::S(r) => Ok(r),
+            Bind::ImmI(v) => {
+                let r = self.fresh_s();
+                self.emit(MInst::MovImmI { dst: r, imm: v });
+                Ok(r)
+            }
+            Bind::ImmF(v) => {
+                let r = self.fresh_s();
+                self.emit(MInst::MovImmF { dst: r, imm: v });
+                Ok(r)
+            }
+            Bind::V(_) => self.err("vector register used as scalar"),
+            Bind::Dead => self.err("dead register used as scalar"),
+        }
+    }
+
+    fn operand_sreg(&mut self, o: &Operand) -> Result<SReg, JitError> {
+        let b = self.operand_bind(o)?;
+        self.as_sreg(b)
+    }
+
+    fn as_vreg(&self, r: Reg) -> Result<VReg, JitError> {
+        match self.bind_of(r) {
+            Bind::V(v) => Ok(v),
+            other => self.err(format!("register {r} expected vector, bound {other:?}")),
+        }
+    }
+
+    /// Scalar register holding the value of a Vec-typed bytecode register
+    /// in a direct-scalarized group.
+    fn as_scalar_lane(&mut self, r: Reg) -> Result<SReg, JitError> {
+        match self.bind_of(r) {
+            Bind::S(s) => Ok(s),
+            Bind::ImmI(v) => self.as_sreg(Bind::ImmI(v)),
+            Bind::ImmF(v) => self.as_sreg(Bind::ImmF(v)),
+            other => self.err(format!("register {r} expected scalar lane, bound {other:?}")),
+        }
+    }
+
+    /// Destination register for a definition. Multi-def registers are
+    /// pinned to one machine register on first definition.
+    fn def_s(&mut self, dst: Reg) -> SReg {
+        match self.bind_of(dst) {
+            Bind::S(r) => r,
+            _ => {
+                let r = self.fresh_s();
+                self.bind.insert(dst, Bind::S(r));
+                r
+            }
+        }
+    }
+
+    fn def_v(&mut self, dst: Reg) -> VReg {
+        match self.bind_of(dst) {
+            Bind::V(r) => r,
+            _ => {
+                let r = self.fresh_v();
+                self.bind.insert(dst, Bind::V(r));
+                r
+            }
+        }
+    }
+
+    /// Bind `dst` to a value binding; multi-def registers are always
+    /// materialized so later redefinitions hit the same machine register.
+    fn bind_scalar_value(&mut self, dst: Reg, b: Bind) -> Result<(), JitError> {
+        if self.multi_def(dst) || matches!(self.bind_of(dst), Bind::S(_)) {
+            let d = self.def_s(dst);
+            match b {
+                Bind::S(r) => self.emit(MInst::MovS { dst: d, src: r }),
+                Bind::ImmI(v) => self.emit(MInst::MovImmI { dst: d, imm: v }),
+                Bind::ImmF(v) => self.emit(MInst::MovImmF { dst: d, imm: v }),
+                _ => return self.err("non-scalar value bound to scalar register"),
+            }
+        } else if self.opts.folds_constants() || matches!(b, Bind::S(_)) {
+            self.bind.insert(dst, b);
+        } else {
+            let d = self.def_s(dst);
+            match b {
+                Bind::ImmI(v) => self.emit(MInst::MovImmI { dst: d, imm: v }),
+                Bind::ImmF(v) => self.emit(MInst::MovImmF { dst: d, imm: v }),
+                Bind::S(r) => self.emit(MInst::MovS { dst: d, src: r }),
+                _ => return self.err("non-scalar value bound to scalar register"),
+            }
+        }
+        Ok(())
+    }
+
+    fn vf_of(&self, group: u32, ty: ScalarTy) -> i64 {
+        match self.group_mode.get(&group).copied().unwrap_or(GroupMode::Vector) {
+            GroupMode::Vector => self.t.lanes(ty) as i64,
+            _ => 1,
+        }
+    }
+
+    /// Byte address mode for `addr` with element size `esize`.
+    fn mem_addr(&mut self, addr: &Addr, esize: usize) -> Result<AddrMode, JitError> {
+        let base = self.array_base[addr.base.0 as usize];
+        let disp = addr.offset * esize as i64;
+        match self.operand_bind(&addr.index)? {
+            Bind::ImmI(v) => Ok(AddrMode::base_disp(base, v * esize as i64 + disp)),
+            Bind::S(idx) => {
+                // Pointer-bumped access (native codegen).
+                if let Operand::Reg(bc_idx) = addr.index {
+                    if let Some(&p) = self.bump.get(&(bc_idx, addr.base.0)) {
+                        return Ok(AddrMode::base_disp(p, disp));
+                    }
+                }
+                if self.opts.folds_constants() {
+                    Ok(AddrMode::fused(base, idx, esize as u8, disp))
+                } else {
+                    // Weak codegen: materialize the address arithmetic.
+                    let t1 = self.fresh_s();
+                    self.emit(MInst::SBinImm {
+                        op: BinOp::Mul,
+                        ty: ScalarTy::I64,
+                        dst: t1,
+                        a: idx,
+                        imm: esize as i64,
+                    });
+                    let t2 = self.fresh_s();
+                    self.emit(MInst::SBin {
+                        op: BinOp::Add,
+                        ty: ScalarTy::I64,
+                        dst: t2,
+                        a: base,
+                        b: t1,
+                    });
+                    Ok(AddrMode::base_disp(t2, disp))
+                }
+            }
+            other => self.err(format!("address index bound to {other:?}")),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Guards
+    // ------------------------------------------------------------------
+
+    fn vs_mask(&self) -> i64 {
+        (self.t.vs.max(1) as i64) - 1
+    }
+
+    /// Emit code computing a 0/1 flag for a conjunction of guards.
+    fn emit_guard_value(&mut self, conds: &[GuardCond]) -> Result<SReg, JitError> {
+        let mut acc: Option<SReg> = None;
+        for c in conds {
+            let v = self.emit_one_guard(c)?;
+            acc = Some(match acc {
+                None => v,
+                Some(a) => {
+                    let r = self.fresh_s();
+                    self.emit(MInst::SBin {
+                        op: BinOp::And,
+                        ty: ScalarTy::I32,
+                        dst: r,
+                        a,
+                        b: v,
+                    });
+                    r
+                }
+            });
+        }
+        match acc {
+            Some(r) => Ok(r),
+            None => self.as_sreg(Bind::ImmI(1)),
+        }
+    }
+
+    fn emit_aligned_test(&mut self, reg: SReg) -> SReg {
+        let t = self.fresh_s();
+        self.emit(MInst::SBinImm {
+            op: BinOp::And,
+            ty: ScalarTy::I64,
+            dst: t,
+            a: reg,
+            imm: self.vs_mask(),
+        });
+        let r = self.fresh_s();
+        self.emit(MInst::SBinImm { op: BinOp::CmpEq, ty: ScalarTy::I64, dst: r, a: t, imm: 0 });
+        r
+    }
+
+    fn emit_one_guard(&mut self, c: &GuardCond) -> Result<SReg, JitError> {
+        match c {
+            GuardCond::BaseAligned(a) => {
+                let base = self.array_base[a.0 as usize];
+                Ok(self.emit_aligned_test(base))
+            }
+            GuardCond::StrideAligned { array, stride, ty } => {
+                let base = self.array_base[array.0 as usize];
+                let b1 = self.emit_aligned_test(base);
+                let s = self.operand_sreg(stride)?;
+                let bytes = self.fresh_s();
+                self.emit(MInst::SBinImm {
+                    op: BinOp::Mul,
+                    ty: ScalarTy::I64,
+                    dst: bytes,
+                    a: s,
+                    imm: ty.size() as i64,
+                });
+                let b2 = self.emit_aligned_test(bytes);
+                let r = self.fresh_s();
+                self.emit(MInst::SBin { op: BinOp::And, ty: ScalarTy::I32, dst: r, a: b1, b: b2 });
+                Ok(r)
+            }
+            GuardCond::NoAlias(a, b) => {
+                let (ab, al) = (self.array_base[a.0 as usize], self.array_len[a.0 as usize]);
+                let (bb, bl) = (self.array_base[b.0 as usize], self.array_len[b.0 as usize]);
+                let a_end = self.fresh_s();
+                self.emit(MInst::SBin { op: BinOp::Add, ty: ScalarTy::I64, dst: a_end, a: ab, b: al });
+                let c1 = self.fresh_s();
+                // a_end <= b_base  ⇔  !(b_base < a_end)
+                self.emit(MInst::SBin { op: BinOp::CmpLt, ty: ScalarTy::I64, dst: c1, a: bb, b: a_end });
+                let c1n = self.fresh_s();
+                self.emit(MInst::SBinImm { op: BinOp::Xor, ty: ScalarTy::I32, dst: c1n, a: c1, imm: 1 });
+                let b_end = self.fresh_s();
+                self.emit(MInst::SBin { op: BinOp::Add, ty: ScalarTy::I64, dst: b_end, a: bb, b: bl });
+                let c2 = self.fresh_s();
+                self.emit(MInst::SBin { op: BinOp::CmpLt, ty: ScalarTy::I64, dst: c2, a: ab, b: b_end });
+                let c2n = self.fresh_s();
+                self.emit(MInst::SBinImm { op: BinOp::Xor, ty: ScalarTy::I32, dst: c2n, a: c2, imm: 1 });
+                let r = self.fresh_s();
+                self.emit(MInst::SBin { op: BinOp::Or, ty: ScalarTy::I32, dst: r, a: c1n, b: c2n });
+                Ok(r)
+            }
+            other => self.err(format!("guard {other:?} should have been folded")),
+        }
+    }
+
+    /// Collect residual runtime guards in traversal order (for entry
+    /// precomputation by optimizing pipelines).
+    fn collect_runtime_guards(&self, stmts: &[BcStmt], out: &mut Vec<Vec<GuardCond>>) {
+        for s in stmts {
+            match s {
+                BcStmt::Version { cond, then_body, else_body } => {
+                    match fold_guard(cond, self.t, self.opts) {
+                        Fold::True => self.collect_runtime_guards(then_body, out),
+                        Fold::False => self.collect_runtime_guards(else_body, out),
+                        Fold::Runtime(res) => {
+                            out.push(res);
+                            self.collect_runtime_guards(then_body, out);
+                            self.collect_runtime_guards(else_body, out);
+                        }
+                    }
+                }
+                BcStmt::Loop { body, .. } => self.collect_runtime_guards(body, out),
+                _ => {}
+            }
+        }
+    }
+
+    /// Mark lo/hi/rt registers needed for explicit realignment.
+    fn collect_realign_needed(&mut self, stmts: &[BcStmt]) {
+        if !self.t.explicit_realign {
+            return;
+        }
+        for s in stmts {
+            match s {
+                BcStmt::Loop { kind, group, body, .. } => {
+                    let vector = *kind != LoopKind::VectorMain
+                        || self.group_mode.get(group).copied() == Some(GroupMode::Vector);
+                    if vector {
+                        self.collect_realign_needed(body);
+                    }
+                }
+                BcStmt::Version { then_body, else_body, .. } => {
+                    self.collect_realign_needed(then_body);
+                    self.collect_realign_needed(else_body);
+                }
+                BcStmt::Def { op, .. } => {
+                    if let Op::RealignLoad { lo, hi, rt, mis, modulo, .. } = op {
+                        if known_misalignment(*mis, *modulo, self.t.vs) != Some(0) {
+                            for r in [lo, hi, rt].into_iter().flatten() {
+                                self.realign_needed.insert(*r);
+                            }
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Statement lowering
+    // ------------------------------------------------------------------
+
+    /// Ambient group of the statement at `idx` in `stmts`: the group of
+    /// the nearest group-tagged statement at or after it (vectorizer
+    /// layout contract; see DESIGN.md).
+    fn ambient_group(&self, stmts: &[BcStmt], idx: usize) -> Option<u32> {
+        for s in &stmts[idx..] {
+            match s {
+                BcStmt::Loop { kind: LoopKind::VectorMain | LoopKind::ScalarTail, group, .. } => {
+                    return Some(*group)
+                }
+                BcStmt::Def { op: Op::GetVf { group, .. }, .. }
+                | BcStmt::Def { op: Op::LoopBound { group, .. }, .. } => return Some(*group),
+                _ => {}
+            }
+        }
+        None
+    }
+
+    fn mode_of_group(&self, g: Option<u32>) -> GroupMode {
+        g.and_then(|g| self.group_mode.get(&g).copied()).unwrap_or(GroupMode::Vector)
+    }
+
+    fn lower_stmts(&mut self, stmts: &[BcStmt], inherited: Option<u32>) -> Result<(), JitError> {
+        for (i, s) in stmts.iter().enumerate() {
+            let ambient = self.ambient_group(stmts, i).or(inherited);
+            self.lower_stmt(s, ambient)?;
+        }
+        Ok(())
+    }
+
+    fn lower_stmt(&mut self, s: &BcStmt, ambient: Option<u32>) -> Result<(), JitError> {
+        match s {
+            BcStmt::Def { dst, op } => self.lower_def(*dst, op, ambient),
+            BcStmt::VStore { ty, addr, src, mis, modulo } => {
+                let mode = self.mode_of_group(ambient);
+                if mode.is_scalar() {
+                    let sv = self.as_scalar_lane(*src)?;
+                    let am = self.mem_addr(addr, ty.size())?;
+                    self.emit(MInst::StoreS { ty: *ty, src: sv, addr: am });
+                    return Ok(());
+                }
+                let v = self.as_vreg(*src)?;
+                let am = self.mem_addr(addr, ty.size())?;
+                let align = match known_misalignment(*mis, *modulo, self.t.vs) {
+                    Some(0) => MemAlign::Aligned,
+                    _ if self.t.misaligned_stores => MemAlign::Unaligned,
+                    _ => {
+                        return self.err(
+                            "misaligned vector store on an aligned-only target (planning bug)",
+                        )
+                    }
+                };
+                self.emit(MInst::StoreV { src: v, addr: am, align });
+                Ok(())
+            }
+            BcStmt::SStore { ty, addr, src } => {
+                let b = self.operand_bind(src)?;
+                let sv = self.as_sreg(b)?;
+                let am = self.mem_addr(addr, ty.size())?;
+                self.emit(MInst::StoreS { ty: *ty, src: sv, addr: am });
+                Ok(())
+            }
+            BcStmt::Loop { var, lo, limit, step, kind, group, body } => {
+                self.lower_loop(*var, lo, limit, *step, *kind, *group, body, ambient)
+            }
+            BcStmt::Version { cond, then_body, else_body } => {
+                match fold_guard(cond, self.t, self.opts) {
+                    Fold::True => {
+                        self.stats.guards_folded += 1;
+                        self.lower_stmts(then_body, ambient)
+                    }
+                    Fold::False => {
+                        self.stats.guards_folded += 1;
+                        self.lower_stmts(else_body, ambient)
+                    }
+                    Fold::Runtime(res) => {
+                        self.stats.guards_runtime += 1;
+                        let flag = if self.opts.hoists_guards() {
+                            let f = self.guard_flags[self.guard_cursor];
+                            self.guard_cursor += 1;
+                            f
+                        } else {
+                            self.emit_guard_value(&res)?
+                        };
+                        let l_else = self.fresh_label();
+                        let l_end = self.fresh_label();
+                        self.emit(MInst::BranchImm {
+                            cond: Cond::Eq,
+                            a: flag,
+                            imm: 0,
+                            target: l_else,
+                        });
+                        self.lower_stmts(then_body, ambient)?;
+                        self.emit(MInst::Jump(l_end));
+                        self.emit(MInst::Label(l_else));
+                        self.lower_stmts(else_body, ambient)?;
+                        self.emit(MInst::Label(l_end));
+                        Ok(())
+                    }
+                }
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn lower_loop(
+        &mut self,
+        var: Reg,
+        lo: &Operand,
+        limit: &Operand,
+        step: Step,
+        kind: LoopKind,
+        group: u32,
+        body: &[BcStmt],
+        ambient: Option<u32>,
+    ) -> Result<(), JitError> {
+        // Inside a VectorMain loop, nested serial loops and their bodies
+        // inherit the group of the vectorized loop.
+        let body_ambient = if kind == LoopKind::VectorMain { Some(group) } else { ambient };
+        if kind == LoopKind::VectorMain
+            && self.group_mode.get(&group).copied() == Some(GroupMode::TailScalar)
+        {
+            // The scalar tail loop executes the whole range instead.
+            return Ok(());
+        }
+        let step_val = match step {
+            Step::Const(k) => k,
+            Step::Vf(t, k) => k * self.vf_of(group, t),
+        };
+        let i = self.def_s(var);
+        match self.operand_bind(lo)? {
+            Bind::ImmI(v) => self.emit(MInst::MovImmI { dst: i, imm: v }),
+            Bind::S(r) => self.emit(MInst::MovS { dst: i, src: r }),
+            other => return self.err(format!("loop lower bound bound to {other:?}")),
+        }
+        let limit_b = self.operand_bind(limit)?;
+        // Pointer-bump setup (native pipeline): one pointer per array
+        // accessed directly through this induction variable.
+        let mut bumped: Vec<(Reg, u32, SReg, i64)> = Vec::new();
+        if self.opts.pointer_bump() {
+            let mut arrays: Vec<(u32, usize)> = Vec::new();
+            collect_induction_arrays(body, var, self.f, &mut arrays);
+            for (sym, esize) in arrays {
+                let p = self.fresh_s();
+                let base = self.array_base[sym as usize];
+                let scaled = self.fresh_s();
+                self.emit(MInst::SBinImm {
+                    op: BinOp::Mul,
+                    ty: ScalarTy::I64,
+                    dst: scaled,
+                    a: i,
+                    imm: esize as i64,
+                });
+                self.emit(MInst::SBin {
+                    op: BinOp::Add,
+                    ty: ScalarTy::I64,
+                    dst: p,
+                    a: base,
+                    b: scaled,
+                });
+                self.bump.insert((var, sym), p);
+                bumped.push((var, sym, p, (esize as i64) * step_val));
+            }
+        }
+
+        let l_exit = self.fresh_label();
+        let emit_exit_test = |this: &mut Self, cond: Cond, target: Label| -> Result<(), JitError> {
+            match limit_b {
+                Bind::ImmI(v) => this.emit(MInst::BranchImm { cond, a: i, imm: v, target }),
+                Bind::S(r) => this.emit(MInst::Branch { cond, a: i, b: r, target }),
+                other => return this.err(format!("loop limit bound to {other:?}")),
+            }
+            Ok(())
+        };
+
+        if self.opts.bottom_test_loops() {
+            emit_exit_test(self, Cond::Ge, l_exit)?;
+            let l_body = self.fresh_label();
+            self.emit(MInst::Label(l_body));
+            self.lower_stmts(body, body_ambient)?;
+            self.emit(MInst::SBinImm { op: BinOp::Add, ty: ScalarTy::I64, dst: i, a: i, imm: step_val });
+            for (_, _, p, bump) in &bumped {
+                self.emit(MInst::SBinImm {
+                    op: BinOp::Add,
+                    ty: ScalarTy::I64,
+                    dst: *p,
+                    a: *p,
+                    imm: *bump,
+                });
+            }
+            emit_exit_test(self, Cond::Lt, l_body)?;
+            self.emit(MInst::Label(l_exit));
+        } else {
+            let l_head = self.fresh_label();
+            self.emit(MInst::Label(l_head));
+            emit_exit_test(self, Cond::Ge, l_exit)?;
+            self.lower_stmts(body, body_ambient)?;
+            self.emit(MInst::SBinImm { op: BinOp::Add, ty: ScalarTy::I64, dst: i, a: i, imm: step_val });
+            for (_, _, p, bump) in &bumped {
+                self.emit(MInst::SBinImm {
+                    op: BinOp::Add,
+                    ty: ScalarTy::I64,
+                    dst: *p,
+                    a: *p,
+                    imm: *bump,
+                });
+            }
+            self.emit(MInst::Jump(l_head));
+            self.emit(MInst::Label(l_exit));
+        }
+        for (v, sym, _, _) in bumped {
+            self.bump.remove(&(v, sym));
+        }
+        Ok(())
+    }
+
+    fn lower_def(&mut self, dst: Reg, op: &Op, ambient: Option<u32>) -> Result<(), JitError> {
+        let mode = self.mode_of_group(ambient);
+        match op {
+            // ----- machine parameters -----
+            Op::GetVf { ty, group } => {
+                let vf = self.vf_of(*group, *ty);
+                self.bind_scalar_value(dst, Bind::ImmI(vf))
+            }
+            Op::GetAlignLimit(ty) => {
+                let lim = (self.t.align_limit_bytes() / ty.size()).max(1) as i64;
+                self.bind_scalar_value(dst, Bind::ImmI(lim))
+            }
+            Op::LoopBound { vect, scalar, group } => {
+                let m = self.group_mode.get(group).copied().unwrap_or(GroupMode::Vector);
+                let chosen = if m == GroupMode::TailScalar { scalar } else { vect };
+                let b = self.operand_bind(chosen)?;
+                self.bind_scalar_value(dst, b)
+            }
+
+            // ----- scalar ops -----
+            Op::SBin(bop, ty, a, b) => self.lower_sbin(dst, *bop, *ty, a, b),
+            Op::SUn(uop, ty, a) => {
+                let av = self.operand_sreg_coerced(a, *ty)?;
+                let d = self.def_s(dst);
+                self.emit(MInst::SUn { op: *uop, ty: *ty, dst: d, a: av });
+                Ok(())
+            }
+            Op::SCast { from, to, arg } => {
+                let b = self.operand_bind(arg)?;
+                if self.opts.folds_constants() {
+                    if let Some(v) = const_value(b) {
+                        let r = eval_cast(*from, *to, coerce(*from, v));
+                        return self.bind_scalar_value(dst, value_bind(r));
+                    }
+                }
+                let av = self.as_sreg(b)?;
+                let d = self.def_s(dst);
+                self.emit(MInst::SCvt { from: *from, to: *to, dst: d, a: av });
+                Ok(())
+            }
+            Op::SLoad(ty, addr) => {
+                let am = self.mem_addr(addr, ty.size())?;
+                let d = self.def_s(dst);
+                self.emit(MInst::LoadS { ty: *ty, dst: d, addr: am });
+                Ok(())
+            }
+            Op::Copy(o) => {
+                // Copies of dropped realignment values (the `va = vb`
+                // recycling) die with their source.
+                if let Operand::Reg(r) = o {
+                    if matches!(self.bind_of(*r), Bind::Dead) {
+                        self.bind.insert(dst, Bind::Dead);
+                        return Ok(());
+                    }
+                }
+                let b = self.operand_bind(o)?;
+                match b {
+                    Bind::V(v) => {
+                        let d = self.def_v(dst);
+                        self.emit(MInst::MovV { dst: d, src: v });
+                        Ok(())
+                    }
+                    Bind::Dead => {
+                        self.bind.insert(dst, Bind::Dead);
+                        Ok(())
+                    }
+                    other => self.bind_scalar_value(dst, other),
+                }
+            }
+
+            // ----- vector initialization -----
+            Op::InitUniform(ty, v) | Op::InitAffine(ty, v, _) | Op::InitReduc(ty, v, _)
+                if mode.is_scalar() =>
+            {
+                // VF = 1: the vector is its single lane.
+                let _ = ty;
+                let b = self.operand_bind(v)?;
+                self.bind_scalar_value(dst, b)
+            }
+            Op::InitUniform(ty, v) => {
+                let s = self.operand_sreg_coerced(v, *ty)?;
+                let d = self.def_v(dst);
+                self.emit(MInst::Splat { ty: *ty, dst: d, src: s });
+                Ok(())
+            }
+            Op::InitAffine(ty, v, inc) => {
+                let s = self.operand_sreg_coerced(v, *ty)?;
+                let i = self.operand_sreg_coerced(inc, *ty)?;
+                let d = self.def_v(dst);
+                self.emit(MInst::Iota { ty: *ty, dst: d, start: s, inc: i });
+                Ok(())
+            }
+            Op::InitReduc(ty, val, default) => {
+                let dv = self.operand_sreg_coerced(default, *ty)?;
+                let d = self.def_v(dst);
+                self.emit(MInst::Splat { ty: *ty, dst: d, src: dv });
+                let sv = self.operand_sreg_coerced(val, *ty)?;
+                self.emit(MInst::SetLane { ty: *ty, dst: d, lane: 0, src: sv });
+                Ok(())
+            }
+
+            // ----- reductions -----
+            Op::ReducPlus(ty, r) | Op::ReducMax(ty, r) | Op::ReducMin(ty, r) => {
+                let rop = match op {
+                    Op::ReducPlus(..) => ReduceOp::Plus,
+                    Op::ReducMax(..) => ReduceOp::Max,
+                    _ => ReduceOp::Min,
+                };
+                match self.bind_of(*r) {
+                    // Scalarized group: the "vector" is one lane (or the
+                    // untouched initial value when the main loop was
+                    // skipped entirely).
+                    Bind::S(s) => self.bind_scalar_value(dst, Bind::S(s)),
+                    Bind::ImmI(v) => self.bind_scalar_value(dst, Bind::ImmI(v)),
+                    Bind::ImmF(v) => self.bind_scalar_value(dst, Bind::ImmF(v)),
+                    Bind::V(v) => {
+                        let d = self.def_s(dst);
+                        self.emit(MInst::VReduce { op: rop, ty: *ty, dst: d, src: v });
+                        Ok(())
+                    }
+                    Bind::Dead => self.err("reduction of dead vector"),
+                }
+            }
+
+            // ----- memory -----
+            Op::ALoad(ty, addr) => {
+                if mode.is_scalar() {
+                    let am = self.mem_addr(addr, ty.size())?;
+                    let d = self.def_s(dst);
+                    self.emit(MInst::LoadS { ty: *ty, dst: d, addr: am });
+                    return Ok(());
+                }
+                let am = self.mem_addr(addr, ty.size())?;
+                let d = self.def_v(dst);
+                self.emit(MInst::LoadV { dst: d, addr: am, align: MemAlign::Aligned });
+                Ok(())
+            }
+            Op::AlignLoad(ty, addr) => {
+                if mode.is_scalar() || !self.realign_needed.contains(&dst) {
+                    self.bind.insert(dst, Bind::Dead);
+                    return Ok(());
+                }
+                let am = self.mem_addr(addr, ty.size())?;
+                let d = self.def_v(dst);
+                self.emit(MInst::LoadVFloor { dst: d, addr: am });
+                Ok(())
+            }
+            Op::GetRt { ty, addr, .. } => {
+                if mode.is_scalar() || !self.realign_needed.contains(&dst) {
+                    self.bind.insert(dst, Bind::Dead);
+                    return Ok(());
+                }
+                let am = self.mem_addr(addr, ty.size())?;
+                let d = self.def_v(dst);
+                self.emit(MInst::VPermCtrl { dst: d, addr: am });
+                Ok(())
+            }
+            Op::RealignLoad { ty, lo, hi, rt, addr, mis, modulo } => {
+                if mode.is_scalar() {
+                    let am = self.mem_addr(addr, ty.size())?;
+                    let d = self.def_s(dst);
+                    self.emit(MInst::LoadS { ty: *ty, dst: d, addr: am });
+                    return Ok(());
+                }
+                let k = known_misalignment(*mis, *modulo, self.t.vs);
+                if k == Some(0) {
+                    let am = self.mem_addr(addr, ty.size())?;
+                    let d = self.def_v(dst);
+                    self.emit(MInst::LoadV { dst: d, addr: am, align: MemAlign::Aligned });
+                    return Ok(());
+                }
+                if self.t.explicit_realign {
+                    match (lo, hi, rt) {
+                        (Some(l), Some(h), Some(r)) => {
+                            let (lv, hv, rv) =
+                                (self.as_vreg(*l)?, self.as_vreg(*h)?, self.as_vreg(*r)?);
+                            let d = self.def_v(dst);
+                            self.emit(MInst::VPerm { dst: d, a: lv, b: hv, ctrl: rv });
+                            Ok(())
+                        }
+                        _ => self.err("explicit realignment needs v1/v2/rt operands"),
+                    }
+                } else if self.t.misaligned_loads {
+                    let am = self.mem_addr(addr, ty.size())?;
+                    let d = self.def_v(dst);
+                    self.emit(MInst::LoadV { dst: d, addr: am, align: MemAlign::Unaligned });
+                    Ok(())
+                } else {
+                    self.err("no realignment strategy available (planning bug)")
+                }
+            }
+
+            // ----- elementwise -----
+            Op::VBin(bop, ty, a, b) => {
+                if mode.is_scalar() {
+                    let (av, bv) = (self.as_scalar_lane(*a)?, self.as_scalar_lane(*b)?);
+                    let d = self.def_s(dst);
+                    self.emit(MInst::SBin { op: *bop, ty: *ty, dst: d, a: av, b: bv });
+                    return Ok(());
+                }
+                let (av, bv) = (self.as_vreg(*a)?, self.as_vreg(*b)?);
+                let d = self.def_v(dst);
+                if *bop == BinOp::Div && !self.t.has_fdiv {
+                    self.stats.helper_calls += 1;
+                    self.emit(MInst::VHelper {
+                        op: HelperOp::FDiv,
+                        ty: *ty,
+                        dst: d,
+                        a: av,
+                        b: Some(bv),
+                    });
+                } else {
+                    self.emit(MInst::VBin { op: *bop, ty: *ty, dst: d, a: av, b: bv });
+                }
+                Ok(())
+            }
+            Op::VUn(uop, ty, a) => {
+                if mode.is_scalar() {
+                    let av = self.as_scalar_lane(*a)?;
+                    let d = self.def_s(dst);
+                    self.emit(MInst::SUn { op: *uop, ty: *ty, dst: d, a: av });
+                    return Ok(());
+                }
+                let av = self.as_vreg(*a)?;
+                let d = self.def_v(dst);
+                if *uop == vapor_ir::UnOp::Sqrt && !self.t.has_fsqrt {
+                    self.stats.helper_calls += 1;
+                    self.emit(MInst::VHelper { op: HelperOp::FSqrt, ty: *ty, dst: d, a: av, b: None });
+                } else {
+                    self.emit(MInst::VUn { op: *uop, ty: *ty, dst: d, a: av });
+                }
+                Ok(())
+            }
+            Op::VShl(ty, v, amt) | Op::VShr(ty, v, amt) => {
+                let left = matches!(op, Op::VShl(..));
+                if mode.is_scalar() {
+                    let av = self.as_scalar_lane(*v)?;
+                    let amt_s = match amt {
+                        ShiftAmt::Scalar(o) => self.operand_sreg(o)?,
+                        ShiftAmt::PerLane(r) => self.as_scalar_lane(*r)?,
+                    };
+                    let d = self.def_s(dst);
+                    self.emit(MInst::SBin {
+                        op: if left { BinOp::Shl } else { BinOp::Shr },
+                        ty: *ty,
+                        dst: d,
+                        a: av,
+                        b: amt_s,
+                    });
+                    return Ok(());
+                }
+                let av = self.as_vreg(*v)?;
+                let amt_m = match amt {
+                    ShiftAmt::Scalar(o) => match self.operand_bind(o)? {
+                        Bind::ImmI(k) => ShiftSrc::Imm(k as u8),
+                        b => ShiftSrc::Reg(self.as_sreg(b)?),
+                    },
+                    ShiftAmt::PerLane(r) => ShiftSrc::PerLane(self.as_vreg(*r)?),
+                };
+                let d = self.def_v(dst);
+                self.emit(MInst::VShift { left, ty: *ty, dst: d, a: av, amt: amt_m });
+                Ok(())
+            }
+
+            // ----- conversions -----
+            Op::CvtInt2Fp(ty, a) | Op::CvtFp2Int(ty, a) => {
+                let dir = if matches!(op, Op::CvtInt2Fp(..)) {
+                    CvtDir::IntToFloat
+                } else {
+                    CvtDir::FloatToInt
+                };
+                if mode.is_scalar() {
+                    let to = match dir {
+                        CvtDir::IntToFloat => vapor_targets::float_of_width(*ty),
+                        CvtDir::FloatToInt => vapor_targets::int_of_width(*ty),
+                    }
+                    .ok_or_else(|| JitError(format!("no conversion counterpart for {ty}")))?;
+                    let av = self.as_scalar_lane(*a)?;
+                    let d = self.def_s(dst);
+                    self.emit(MInst::SCvt { from: *ty, to, dst: d, a: av });
+                    return Ok(());
+                }
+                let av = self.as_vreg(*a)?;
+                let d = self.def_v(dst);
+                if self.t.cvt_via_helper {
+                    self.stats.helper_calls += 1;
+                    self.emit(MInst::VHelper { op: HelperOp::Cvt(dir), ty: *ty, dst: d, a: av, b: None });
+                } else {
+                    self.emit(MInst::VCvt { dir, ty: *ty, dst: d, a: av });
+                }
+                Ok(())
+            }
+
+            // ----- sub-vector idioms (never reached in scalar modes) -----
+            Op::DotProduct(ty, a, b, acc) => {
+                let (av, bv, cv) = (self.as_vreg(*a)?, self.as_vreg(*b)?, self.as_vreg(*acc)?);
+                let d = self.def_v(dst);
+                self.emit(MInst::VDotAcc { ty: *ty, dst: d, a: av, b: bv, acc: cv });
+                Ok(())
+            }
+            Op::WidenMultHi(ty, a, b) | Op::WidenMultLo(ty, a, b) => {
+                let half = if matches!(op, Op::WidenMultHi(..)) { Half::Hi } else { Half::Lo };
+                let (av, bv) = (self.as_vreg(*a)?, self.as_vreg(*b)?);
+                let d = self.def_v(dst);
+                if self.t.widen_mult_via_helper {
+                    self.stats.helper_calls += 1;
+                    self.emit(MInst::VHelper {
+                        op: HelperOp::WidenMult(half),
+                        ty: *ty,
+                        dst: d,
+                        a: av,
+                        b: Some(bv),
+                    });
+                } else {
+                    self.emit(MInst::VWidenMul { half, ty: *ty, dst: d, a: av, b: bv });
+                }
+                Ok(())
+            }
+            Op::Pack(ty, a, b) => {
+                let (av, bv) = (self.as_vreg(*a)?, self.as_vreg(*b)?);
+                let d = self.def_v(dst);
+                self.emit(MInst::VPack { ty: *ty, dst: d, a: av, b: bv });
+                Ok(())
+            }
+            Op::UnpackHi(ty, a) | Op::UnpackLo(ty, a) => {
+                let half = if matches!(op, Op::UnpackHi(..)) { Half::Hi } else { Half::Lo };
+                let av = self.as_vreg(*a)?;
+                let d = self.def_v(dst);
+                self.emit(MInst::VUnpack { half, ty: *ty, dst: d, a: av });
+                Ok(())
+            }
+            Op::Extract { ty, stride, offset, srcs } => {
+                let mut vs = Vec::with_capacity(srcs.len());
+                for r in srcs {
+                    vs.push(self.as_vreg(*r)?);
+                }
+                let d = self.def_v(dst);
+                self.emit(MInst::VExtractStride {
+                    ty: *ty,
+                    stride: *stride,
+                    offset: *offset,
+                    dst: d,
+                    srcs: vs,
+                });
+                Ok(())
+            }
+            Op::InterleaveHi(ty, a, b) | Op::InterleaveLo(ty, a, b) => {
+                let half = if matches!(op, Op::InterleaveHi(..)) { Half::Hi } else { Half::Lo };
+                let (av, bv) = (self.as_vreg(*a)?, self.as_vreg(*b)?);
+                let d = self.def_v(dst);
+                self.emit(MInst::VInterleave { half, ty: *ty, dst: d, a: av, b: bv });
+                Ok(())
+            }
+        }
+    }
+
+    fn operand_sreg_coerced(&mut self, o: &Operand, ty: ScalarTy) -> Result<SReg, JitError> {
+        let b = self.operand_bind(o)?;
+        let b = match (b, ty.is_float()) {
+            (Bind::ImmI(v), true) => Bind::ImmF(v as f64),
+            other => other.0,
+        };
+        self.as_sreg(b)
+    }
+
+    fn lower_sbin(
+        &mut self,
+        dst: Reg,
+        op: BinOp,
+        ty: ScalarTy,
+        a: &Operand,
+        b: &Operand,
+    ) -> Result<(), JitError> {
+        let ab = self.operand_bind(a)?;
+        let bb = self.operand_bind(b)?;
+        if self.opts.folds_constants() {
+            if let (Some(x), Some(y)) = (const_value(ab), const_value(bb)) {
+                let r = eval_bin(op, ty, coerce(ty, x), coerce(ty, y));
+                return self.bind_scalar_value(dst, value_bind(r));
+            }
+        }
+        let av = self.as_sreg(coerce_bind(ab, ty))?;
+        match coerce_bind(bb, ty) {
+            Bind::ImmI(v) if !ty.is_float() => {
+                let d = self.def_s(dst);
+                self.emit(MInst::SBinImm { op, ty, dst: d, a: av, imm: v });
+            }
+            other => {
+                let bv = self.as_sreg(other)?;
+                let d = self.def_s(dst);
+                self.emit(MInst::SBin { op, ty, dst: d, a: av, b: bv });
+            }
+        }
+        Ok(())
+    }
+}
+
+fn const_value(b: Bind) -> Option<Value> {
+    match b {
+        Bind::ImmI(v) => Some(Value::Int(v)),
+        Bind::ImmF(v) => Some(Value::Float(v)),
+        _ => None,
+    }
+}
+
+fn coerce(ty: ScalarTy, v: Value) -> Value {
+    match (ty.is_float(), v) {
+        (true, Value::Int(i)) => Value::Float(i as f64),
+        (false, Value::Float(f)) => Value::Int(f as i64),
+        _ => v,
+    }
+}
+
+fn coerce_bind(b: Bind, ty: ScalarTy) -> Bind {
+    match (b, ty.is_float()) {
+        (Bind::ImmI(v), true) => Bind::ImmF(v as f64),
+        _ => b,
+    }
+}
+
+fn value_bind(v: Value) -> Bind {
+    match v {
+        Value::Int(i) => Bind::ImmI(i),
+        Value::Float(f) => Bind::ImmF(f),
+    }
+}
+
+fn collect_induction_arrays(
+    body: &[BcStmt],
+    var: Reg,
+    f: &BcFunction,
+    out: &mut Vec<(u32, usize)>,
+) {
+    fn consider(out: &mut Vec<(u32, usize)>, var: Reg, addr: &Addr, esize: usize) {
+        if addr.index == Operand::Reg(var) && !out.iter().any(|(s, _)| *s == addr.base.0) {
+            out.push((addr.base.0, esize));
+        }
+    }
+    for s in body {
+        match s {
+            BcStmt::Def { op, .. } => match op {
+                Op::ALoad(t, a) | Op::AlignLoad(t, a) | Op::SLoad(t, a) => {
+                    consider(out, var, a, t.size())
+                }
+                Op::RealignLoad { ty, addr, .. } => consider(out, var, addr, ty.size()),
+                Op::GetRt { ty, addr, .. } => consider(out, var, addr, ty.size()),
+                _ => {}
+            },
+            BcStmt::VStore { ty, addr, .. } | BcStmt::SStore { ty, addr, .. } => {
+                consider(out, var, addr, ty.size())
+            }
+            BcStmt::Loop { body, .. } => collect_induction_arrays(body, var, f, out),
+            BcStmt::Version { then_body, else_body, .. } => {
+                collect_induction_arrays(then_body, var, f, out);
+                collect_induction_arrays(else_body, var, f, out);
+            }
+        }
+    }
+}
+
+fn count_defs(stmts: &[BcStmt], counts: &mut HashMap<Reg, u32>) {
+    for s in stmts {
+        match s {
+            BcStmt::Def { dst, .. } => *counts.entry(*dst).or_insert(0) += 1,
+            BcStmt::Loop { var, body, .. } => {
+                *counts.entry(*var).or_insert(0) += 2; // loop vars mutate
+                count_defs(body, counts);
+            }
+            BcStmt::Version { then_body, else_body, .. } => {
+                count_defs(then_body, counts);
+                count_defs(else_body, counts);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Compile one bytecode function for a target with the given options.
+///
+/// # Errors
+/// Returns a [`JitError`] for malformed bytecode or idiom/target
+/// combinations the planner failed to reject (both indicate bugs in the
+/// offline stage).
+pub fn compile(
+    f: &BcFunction,
+    target: &TargetDesc,
+    opts: &JitOptions,
+) -> Result<CompiledKernel, JitError> {
+    let nparams = f.params.len() as u32;
+    let narrays = f.arrays.len() as u32;
+    let array_base: Vec<SReg> = (0..narrays).map(|i| SReg(nparams + 2 * i)).collect();
+    let array_len: Vec<SReg> = (0..narrays).map(|i| SReg(nparams + 2 * i + 1)).collect();
+
+    let mut group_mode = HashMap::new();
+    for g in groups_of(f) {
+        group_mode.insert(g, plan_group(f, g, target));
+    }
+
+    let mut lw = Lower {
+        f,
+        t: target,
+        opts,
+        insts: Vec::new(),
+        next_s: nparams + 2 * narrays,
+        next_v: 0,
+        next_l: 0,
+        bind: HashMap::new(),
+        def_count: HashMap::new(),
+        array_base,
+        array_len,
+        group_mode,
+        realign_needed: Default::default(),
+        guard_flags: Vec::new(),
+        guard_cursor: 0,
+        bump: HashMap::new(),
+        stats: CompileStats::default(),
+    };
+    for (i, _) in f.params.iter().enumerate() {
+        lw.bind.insert(Reg(i as u32), Bind::S(SReg(i as u32)));
+    }
+    count_defs(&f.body, &mut lw.def_count);
+    lw.collect_realign_needed(&f.body);
+
+    // Optimizing pipelines precompute runtime guard conditions once at
+    // function entry (the LICM the naive JIT lacks).
+    if opts.hoists_guards() {
+        let mut residuals = Vec::new();
+        lw.collect_runtime_guards(&f.body, &mut residuals);
+        for res in residuals {
+            let flag = lw.emit_guard_value(&res)?;
+            lw.guard_flags.push(flag);
+        }
+    }
+
+    lw.lower_stmts(&f.body, None)?;
+
+    for (g, m) in &lw.group_mode {
+        let _ = g;
+        match m {
+            GroupMode::Vector => lw.stats.groups_vector += 1,
+            GroupMode::DirectScalar => lw.stats.groups_direct_scalar += 1,
+            GroupMode::TailScalar => lw.stats.groups_tail_scalar += 1,
+        }
+    }
+
+    let mut code = MCode {
+        insts: lw.insts,
+        n_sregs: lw.next_s,
+        n_vregs: lw.next_v,
+        note: format!("{} [{:?} on {}]", f.name, opts.pipeline, target.name),
+    };
+    if opts.folds_constants() {
+        crate::dce::run(&mut code);
+    }
+    let param_regs: Vec<SReg> = (0..nparams).map(SReg).collect();
+    let (array_base_regs, array_len_regs) = (lw.array_base.clone(), lw.array_len.clone());
+    let mut stats = lw.stats;
+
+    if opts.spills_everything() {
+        code = crate::spill::rewrite(&code, nparams + 2 * narrays, opts.use_x87(target));
+    }
+    stats.insts = code.len();
+
+    Ok(CompiledKernel { code, param_regs, array_base_regs, array_len_regs, stats })
+}

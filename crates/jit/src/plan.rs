@@ -1,0 +1,432 @@
+//! Online planning: version-guard folding and per-group vectorization
+//! strategy (§III-C of the paper).
+
+use vapor_bytecode::{BcFunction, BcStmt, GuardCond, LoopKind, Op, OpClass, ShiftAmt};
+use vapor_ir::ScalarTy;
+use vapor_targets::TargetDesc;
+
+use crate::options::JitOptions;
+
+/// How the online stage treats one vectorized loop group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GroupMode {
+    /// Lower to real vector instructions with the target's VF.
+    Vector,
+    /// Direct scalarization (Figure 3b): VF = 1, every idiom mapped to
+    /// its scalar counterpart; the main loop covers the whole range.
+    DirectScalar,
+    /// Zero-trip the vector main loop and let the always-present scalar
+    /// tail loop execute everything (used when the body contains
+    /// sub-vector idioms that have no VF=1 meaning).
+    TailScalar,
+}
+
+impl GroupMode {
+    /// Whether the group executes scalar code.
+    pub fn is_scalar(self) -> bool {
+        self != GroupMode::Vector
+    }
+}
+
+/// Result of folding one guard.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Fold {
+    /// Condition statically true: lower the then-version only.
+    True,
+    /// Condition statically false: lower the else-version only.
+    False,
+    /// Runtime test needed for the given residual conjuncts.
+    Runtime(Vec<GuardCond>),
+}
+
+/// Whether the target claims vector support for an operation class.
+pub fn target_claims(target: &TargetDesc, c: OpClass) -> bool {
+    match c {
+        OpClass::FDiv => target.has_fdiv,
+        OpClass::FSqrt => target.has_fsqrt,
+        // The 2011 NEON backend *claims* widening multiply and
+        // conversions but implements them via library helpers; claims
+        // stay true so the vector version is selected (paper §V-B).
+        OpClass::WidenMult => target.has_widen_mult,
+        OpClass::Cvt => target.has_cvt,
+        OpClass::DotProduct => target.has_dot_product,
+        OpClass::PerLaneShift => target.has_per_lane_shift,
+    }
+}
+
+/// Fold a guard condition as far as the pipeline's knowledge allows.
+pub fn fold_guard(cond: &GuardCond, target: &TargetDesc, opts: &JitOptions) -> Fold {
+    match cond {
+        GuardCond::TypeSupported(t) => {
+            if target.supports_elem(*t) {
+                Fold::True
+            } else {
+                Fold::False
+            }
+        }
+        GuardCond::VsAtLeast(b) => {
+            if target.vs as u32 >= *b {
+                Fold::True
+            } else {
+                Fold::False
+            }
+        }
+        GuardCond::OpsSupported(cs) => {
+            if cs.iter().all(|c| target_claims(target, *c)) {
+                Fold::True
+            } else {
+                Fold::False
+            }
+        }
+        GuardCond::BaseAligned(_) => {
+            if opts.owns_memory() {
+                // The JIT allocates arrays on MAX_VS boundaries.
+                Fold::True
+            } else {
+                // gcc4cli-class online compilers and native peel-or-version
+                // compilation both resolve base alignment at run time
+                // (hoisted to one check per call).
+                Fold::Runtime(vec![cond.clone()])
+            }
+        }
+        GuardCond::NoAlias(..) => {
+            if opts.owns_memory() || opts.assumes_no_alias() {
+                Fold::True
+            } else {
+                Fold::Runtime(vec![cond.clone()])
+            }
+        }
+        GuardCond::StrideAligned { stride, .. } => {
+            // Foldable only when the stride is a literal (and alignment of
+            // the base is knowable); our kernels pass runtime dimensions,
+            // so this is normally a runtime test for every pipeline —
+            // hoisted by optimizing compilers, re-evaluated in place by
+            // the naive JIT (the MMM case of §V-A).
+            if opts.folds_constants() {
+                if let vapor_bytecode::Operand::ConstI(s) = stride {
+                    let vs = target.vs.max(1) as i64;
+                    let esize = match cond {
+                        GuardCond::StrideAligned { ty, .. } => ty.size() as i64,
+                        _ => unreachable!(),
+                    };
+                    let base_ok = opts.owns_memory()
+                        || opts.pipeline == crate::options::Pipeline::Native;
+                    if (s * esize) % vs == 0 && base_ok {
+                        return Fold::True;
+                    } else if (s * esize) % vs != 0 {
+                        return Fold::False;
+                    }
+                }
+            }
+            Fold::Runtime(vec![cond.clone()])
+        }
+        GuardCond::All(gs) => {
+            let mut residual = Vec::new();
+            for g in gs {
+                match fold_guard(g, target, opts) {
+                    Fold::True => {}
+                    Fold::False => return Fold::False,
+                    Fold::Runtime(mut r) => residual.append(&mut r),
+                }
+            }
+            if residual.is_empty() {
+                Fold::True
+            } else {
+                Fold::Runtime(residual)
+            }
+        }
+    }
+}
+
+/// The effective misalignment of a hinted access on this target:
+/// `Some(k)` when the hint is usable (`mod != 0` and `VS` divides `mod`),
+/// `None` when alignment is unknown until run time.
+pub fn known_misalignment(mis: u32, modulo: u32, vs: usize) -> Option<u32> {
+    if modulo == 0 || vs == 0 || modulo as usize % vs != 0 {
+        None
+    } else {
+        Some(mis % vs as u32)
+    }
+}
+
+/// Reasons a group cannot be lowered to vector code on a target.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScalarReason {
+    /// An element type has no vector support (or fewer than 2 lanes).
+    Elem(ScalarTy),
+    /// A store with unknown alignment on a target without misaligned
+    /// stores.
+    UnalignedStore,
+    /// A load with unknown/nonzero misalignment on a target with neither
+    /// misaligned loads nor explicit realignment.
+    UnalignedLoad,
+    /// Per-lane shift amounts on a target without them.
+    PerLaneShift,
+    /// Float division/sqrt without vector support (should normally have
+    /// been guarded offline).
+    FloatOp,
+    /// The target has no SIMD at all.
+    NoSimd,
+}
+
+fn scan_group(
+    stmts: &[BcStmt],
+    group: u32,
+    target: &TargetDesc,
+    bad: &mut Vec<ScalarReason>,
+    has_subvector: &mut bool,
+) {
+    for s in stmts {
+        match s {
+            BcStmt::Loop { kind, group: g, body, .. } => {
+                if *kind == LoopKind::VectorMain && *g == group {
+                    scan_body(body, target, bad, has_subvector);
+                } else {
+                    scan_group(body, group, target, bad, has_subvector);
+                }
+            }
+            BcStmt::Version { then_body, else_body, .. } => {
+                scan_group(then_body, group, target, bad, has_subvector);
+                scan_group(else_body, group, target, bad, has_subvector);
+            }
+            _ => {}
+        }
+    }
+}
+
+fn check_elem(t: ScalarTy, target: &TargetDesc, bad: &mut Vec<ScalarReason>) {
+    if !target.supports_elem(t) {
+        bad.push(ScalarReason::Elem(t));
+    }
+}
+
+fn scan_body(
+    body: &[BcStmt],
+    target: &TargetDesc,
+    bad: &mut Vec<ScalarReason>,
+    has_subvector: &mut bool,
+) {
+    let vs = target.vs;
+    for s in body {
+        match s {
+            BcStmt::Loop { body, .. } => scan_body(body, target, bad, has_subvector),
+            BcStmt::Version { then_body, else_body, .. } => {
+                scan_body(then_body, target, bad, has_subvector);
+                scan_body(else_body, target, bad, has_subvector);
+            }
+            BcStmt::VStore { ty, mis, modulo, .. } => {
+                check_elem(*ty, target, bad);
+                match known_misalignment(*mis, *modulo, vs) {
+                    Some(0) => {}
+                    _ if target.misaligned_stores => {}
+                    _ => bad.push(ScalarReason::UnalignedStore),
+                }
+            }
+            BcStmt::SStore { .. } => {}
+            BcStmt::Def { op, .. } => match op {
+                Op::DotProduct(t, ..)
+                | Op::WidenMultHi(t, ..)
+                | Op::WidenMultLo(t, ..)
+                | Op::Pack(t, ..)
+                | Op::UnpackHi(t, ..)
+                | Op::UnpackLo(t, ..)
+                | Op::Extract { ty: t, .. }
+                | Op::InterleaveHi(t, ..)
+                | Op::InterleaveLo(t, ..) => {
+                    *has_subvector = true;
+                    check_elem(*t, target, bad);
+                }
+                Op::VBin(b, t, ..) => {
+                    check_elem(*t, target, bad);
+                    if *b == vapor_ir::BinOp::Div && !target.has_fdiv {
+                        bad.push(ScalarReason::FloatOp);
+                    }
+                }
+                Op::VUn(u, t, ..) => {
+                    check_elem(*t, target, bad);
+                    if *u == vapor_ir::UnOp::Sqrt && !target.has_fsqrt {
+                        bad.push(ScalarReason::FloatOp);
+                    }
+                }
+                Op::VShl(t, _, amt) | Op::VShr(t, _, amt) => {
+                    check_elem(*t, target, bad);
+                    if matches!(amt, ShiftAmt::PerLane(_)) && !target.has_per_lane_shift {
+                        bad.push(ScalarReason::PerLaneShift);
+                    }
+                }
+                Op::CvtInt2Fp(t, _) | Op::CvtFp2Int(t, _) => check_elem(*t, target, bad),
+                Op::InitUniform(t, _) | Op::InitAffine(t, ..) | Op::InitReduc(t, ..) => {
+                    check_elem(*t, target, bad)
+                }
+                Op::ReducPlus(t, _) | Op::ReducMax(t, _) | Op::ReducMin(t, _) => {
+                    check_elem(*t, target, bad)
+                }
+                Op::ALoad(t, _) => check_elem(*t, target, bad),
+                Op::RealignLoad { ty, mis, modulo, .. } => {
+                    check_elem(*ty, target, bad);
+                    match known_misalignment(*mis, *modulo, vs) {
+                        Some(0) => {}
+                        _ if target.misaligned_loads || target.explicit_realign => {}
+                        _ => bad.push(ScalarReason::UnalignedLoad),
+                    }
+                }
+                _ => {}
+            },
+        }
+    }
+}
+
+/// Decide the mode of one loop group by scanning its `VectorMain` body.
+pub fn plan_group(f: &BcFunction, group: u32, target: &TargetDesc) -> GroupMode {
+    let mut bad = Vec::new();
+    let mut has_subvector = false;
+    if !target.has_simd() {
+        bad.push(ScalarReason::NoSimd);
+    }
+    scan_group(&f.body, group, target, &mut bad, &mut has_subvector);
+    if bad.is_empty() {
+        GroupMode::Vector
+    } else if has_subvector {
+        GroupMode::TailScalar
+    } else {
+        GroupMode::DirectScalar
+    }
+}
+
+/// All loop groups present in a function.
+pub fn groups_of(f: &BcFunction) -> Vec<u32> {
+    let mut out = Vec::new();
+    f.walk(&mut |s| {
+        if let BcStmt::Loop { kind: LoopKind::VectorMain, group, .. } = s {
+            if !out.contains(group) {
+                out.push(*group);
+            }
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::options::Pipeline;
+    use vapor_bytecode::{Addr, ArraySym, BcArray, BcParam, BcTy, Operand, Reg, Step};
+    use vapor_ir::ArrayKind;
+    use vapor_targets::{altivec, neon64, scalar_only, sse};
+
+    #[test]
+    fn type_guard_folds_per_target() {
+        let naive = JitOptions::new(Pipeline::NaiveJit);
+        let g = GuardCond::TypeSupported(ScalarTy::F64);
+        assert_eq!(fold_guard(&g, &sse(), &naive), Fold::True);
+        assert_eq!(fold_guard(&g, &altivec(), &naive), Fold::False);
+    }
+
+    #[test]
+    fn base_aligned_folds_only_when_memory_owned() {
+        let g = GuardCond::BaseAligned(ArraySym(0));
+        assert_eq!(fold_guard(&g, &sse(), &JitOptions::new(Pipeline::NaiveJit)), Fold::True);
+        assert!(matches!(
+            fold_guard(&g, &sse(), &JitOptions::new(Pipeline::OptJit)),
+            Fold::Runtime(_)
+        ));
+        assert!(matches!(
+            fold_guard(&g, &sse(), &JitOptions::new(Pipeline::Native)),
+            Fold::Runtime(_)
+        ));
+    }
+
+    #[test]
+    fn all_collects_residuals() {
+        let g = GuardCond::All(vec![
+            GuardCond::TypeSupported(ScalarTy::F32),
+            GuardCond::BaseAligned(ArraySym(0)),
+            GuardCond::NoAlias(ArraySym(0), ArraySym(1)),
+        ]);
+        match fold_guard(&g, &sse(), &JitOptions::new(Pipeline::OptJit)) {
+            Fold::Runtime(r) => assert_eq!(r.len(), 2),
+            other => panic!("expected runtime fold, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn known_misalignment_requires_divisible_mod() {
+        assert_eq!(known_misalignment(8, 32, 16), Some(8));
+        assert_eq!(known_misalignment(16, 32, 16), Some(0));
+        assert_eq!(known_misalignment(8, 0, 16), None);
+        assert_eq!(known_misalignment(8, 32, 12), None);
+    }
+
+    fn func_with_group(body: Vec<BcStmt>) -> BcFunction {
+        let mut f = BcFunction::new(
+            "t",
+            vec![BcParam { name: "n".into(), ty: ScalarTy::I64 }],
+            vec![BcArray { name: "x".into(), elem: ScalarTy::F32, kind: ArrayKind::Global }],
+        );
+        let i = f.fresh_reg(BcTy::Scalar(ScalarTy::I64));
+        f.body = vec![BcStmt::Loop {
+            var: i,
+            lo: Operand::ConstI(0),
+            limit: Operand::Reg(Reg(0)),
+            step: Step::Vf(ScalarTy::F32, 1),
+            kind: LoopKind::VectorMain,
+            group: 1,
+            body,
+        }];
+        f
+    }
+
+    #[test]
+    fn unaligned_store_scalarizes_on_altivec_only() {
+        let mut proto = func_with_group(vec![]);
+        let v = proto.fresh_reg(BcTy::Vec(ScalarTy::F32));
+        let body = vec![
+            BcStmt::Def {
+                dst: v,
+                op: Op::RealignLoad {
+                    ty: ScalarTy::F32,
+                    lo: None,
+                    hi: None,
+                    rt: None,
+                    addr: Addr::new(ArraySym(0), Operand::ConstI(0)),
+                    mis: 0,
+                    modulo: 0,
+                },
+            },
+            BcStmt::VStore {
+                ty: ScalarTy::F32,
+                addr: Addr::new(ArraySym(0), Operand::ConstI(0)),
+                src: v,
+                mis: 0,
+                modulo: 0,
+            },
+        ];
+        let mut f = func_with_group(body);
+        f.regs = proto.regs.clone();
+        assert_eq!(plan_group(&f, 1, &sse()), GroupMode::Vector);
+        assert_eq!(plan_group(&f, 1, &neon64()), GroupMode::Vector);
+        assert_eq!(plan_group(&f, 1, &altivec()), GroupMode::DirectScalar);
+        assert_eq!(plan_group(&f, 1, &scalar_only()), GroupMode::DirectScalar);
+    }
+
+    #[test]
+    fn subvector_idioms_force_tail_scalarization() {
+        let mut proto = func_with_group(vec![]);
+        let a = proto.fresh_reg(BcTy::Vec(ScalarTy::I16));
+        let acc = proto.fresh_reg(BcTy::Vec(ScalarTy::I32));
+        let body = vec![BcStmt::Def {
+            dst: acc,
+            op: Op::DotProduct(ScalarTy::I16, a, a, acc),
+        }];
+        let mut f = func_with_group(body);
+        f.regs = proto.regs.clone();
+        assert_eq!(plan_group(&f, 1, &sse()), GroupMode::Vector);
+        assert_eq!(plan_group(&f, 1, &scalar_only()), GroupMode::TailScalar);
+    }
+
+    #[test]
+    fn groups_enumerated() {
+        let f = func_with_group(vec![]);
+        assert_eq!(groups_of(&f), vec![1]);
+    }
+}

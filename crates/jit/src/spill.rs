@@ -1,0 +1,287 @@
+//! The naive-JIT register rewrite: spill-everything allocation plus the
+//! x87 scalar-float substitution.
+//!
+//! Mono's JIT (§IV of the paper) lacked global register allocation —
+//! values live in stack slots and are reloaded around every operation —
+//! and routed x86 scalar float arithmetic through the x87 FPU. This pass
+//! reproduces both artifacts mechanically: every virtual scalar register
+//! becomes a spill slot, each instruction reloads its operands into a
+//! handful of scratch registers and spills its result, and scalar float
+//! ALU ops become [`MInst::FpuBin`].
+
+use std::collections::HashMap;
+
+use vapor_targets::{AddrMode, MCode, MInst, SReg};
+
+fn remap_addr(a: &AddrMode, m: &HashMap<SReg, SReg>) -> AddrMode {
+    AddrMode {
+        base: m[&a.base],
+        idx: a.idx.map(|r| m[&r]),
+        scale: a.scale,
+        disp: a.disp,
+    }
+}
+
+fn sreg_uses(inst: &MInst) -> Vec<SReg> {
+    let mut out = Vec::new();
+    let addr = |a: &AddrMode, out: &mut Vec<SReg>| {
+        out.push(a.base);
+        if let Some(i) = a.idx {
+            out.push(i);
+        }
+    };
+    match inst {
+        MInst::Label(_) | MInst::Jump(_) | MInst::MovImmI { .. } | MInst::MovImmF { .. } => {}
+        MInst::Branch { a, b, .. } => out.extend([*a, *b]),
+        MInst::BranchImm { a, .. } => out.push(*a),
+        MInst::MovS { src, .. } => out.push(*src),
+        MInst::SBin { a, b, .. } | MInst::FpuBin { a, b, .. } => out.extend([*a, *b]),
+        MInst::SBinImm { a, .. } | MInst::SUn { a, .. } | MInst::SCvt { a, .. } => out.push(*a),
+        MInst::LoadS { addr: am, .. } => addr(am, &mut out),
+        MInst::StoreS { src, addr: am, .. } => {
+            out.push(*src);
+            addr(am, &mut out);
+        }
+        MInst::LoadV { addr: am, .. } | MInst::LoadVFloor { addr: am, .. } => addr(am, &mut out),
+        MInst::StoreV { addr: am, .. } => addr(am, &mut out),
+        MInst::Splat { src, .. } => out.push(*src),
+        MInst::Iota { start, inc, .. } => out.extend([*start, *inc]),
+        MInst::SetLane { src, .. } => out.push(*src),
+        MInst::GetLane { .. } => {}
+        MInst::VShift { amt, .. } => {
+            if let vapor_targets::ShiftSrc::Reg(r) = amt {
+                out.push(*r);
+            }
+        }
+        MInst::VPermCtrl { addr: am, .. } => addr(am, &mut out),
+        MInst::SpillLd { .. } | MInst::SpillSt { .. } => {}
+        _ => {}
+    }
+    out
+}
+
+fn sreg_def(inst: &MInst) -> Option<SReg> {
+    match inst {
+        MInst::MovImmI { dst, .. }
+        | MInst::MovImmF { dst, .. }
+        | MInst::MovS { dst, .. }
+        | MInst::SBin { dst, .. }
+        | MInst::SBinImm { dst, .. }
+        | MInst::SUn { dst, .. }
+        | MInst::SCvt { dst, .. }
+        | MInst::FpuBin { dst, .. }
+        | MInst::LoadS { dst, .. }
+        | MInst::GetLane { dst, .. }
+        | MInst::VReduce { dst, .. } => Some(*dst),
+        _ => None,
+    }
+}
+
+fn substitute(inst: &MInst, m: &HashMap<SReg, SReg>) -> MInst {
+    let mut i = inst.clone();
+    match &mut i {
+        MInst::Branch { a, b, .. } => {
+            *a = m[a];
+            *b = m[b];
+        }
+        MInst::BranchImm { a, .. } => *a = m[a],
+        MInst::MovImmI { dst, .. } | MInst::MovImmF { dst, .. } => *dst = m[dst],
+        MInst::MovS { dst, src } => {
+            *dst = m[dst];
+            *src = m[src];
+        }
+        MInst::SBin { dst, a, b, .. } | MInst::FpuBin { dst, a, b, .. } => {
+            *dst = m[dst];
+            *a = m[a];
+            *b = m[b];
+        }
+        MInst::SBinImm { dst, a, .. } | MInst::SUn { dst, a, .. } | MInst::SCvt { dst, a, .. } => {
+            *dst = m[dst];
+            *a = m[a];
+        }
+        MInst::LoadS { dst, addr, .. } => {
+            *dst = m[dst];
+            *addr = remap_addr(addr, m);
+        }
+        MInst::StoreS { src, addr, .. } => {
+            *src = m[src];
+            *addr = remap_addr(addr, m);
+        }
+        MInst::LoadV { addr, .. } | MInst::LoadVFloor { addr, .. } | MInst::StoreV { addr, .. } => {
+            *addr = remap_addr(addr, m);
+        }
+        MInst::Splat { src, .. } => *src = m[src],
+        MInst::Iota { start, inc, .. } => {
+            *start = m[start];
+            *inc = m[inc];
+        }
+        MInst::SetLane { src, .. } => *src = m[src],
+        MInst::GetLane { dst, .. } => *dst = m[dst],
+        MInst::VShift { amt, .. } => {
+            if let vapor_targets::ShiftSrc::Reg(r) = amt {
+                *r = m[r];
+            }
+        }
+        MInst::VPermCtrl { addr, .. } => *addr = remap_addr(addr, m),
+        MInst::VReduce { dst, .. } => *dst = m[dst],
+        _ => {}
+    }
+    i
+}
+
+/// Rewrite `code` into spill-everything form.
+///
+/// `n_fixed` is the number of registers pre-set by the caller (params and
+/// array bases/lengths): an entry shim spills them to their slots first.
+/// When `x87` is set, scalar float binary ops become [`MInst::FpuBin`].
+pub fn rewrite(code: &MCode, n_fixed: u32, x87: bool) -> MCode {
+    let mut out: Vec<MInst> = Vec::with_capacity(code.insts.len() * 3 + n_fixed as usize);
+    for r in 0..n_fixed {
+        out.push(MInst::SpillSt { src: SReg(r), slot: r });
+    }
+    for inst in &code.insts {
+        // x87 substitution happens before the spill expansion so the
+        // FpuBin cost/port weights apply.
+        let inst = match inst {
+            MInst::SBin { op, ty, dst, a, b } if x87 && ty.is_float() => MInst::FpuBin {
+                op: *op,
+                ty: *ty,
+                dst: *dst,
+                a: *a,
+                b: *b,
+            },
+            other => other.clone(),
+        };
+        if matches!(inst, MInst::Label(_) | MInst::Jump(_)) {
+            out.push(inst);
+            continue;
+        }
+        let uses = sreg_uses(&inst);
+        let def = sreg_def(&inst);
+        let mut map: HashMap<SReg, SReg> = HashMap::new();
+        let mut next_scratch = 0u32;
+        for u in &uses {
+            if !map.contains_key(u) {
+                let scratch = SReg(next_scratch);
+                next_scratch += 1;
+                out.push(MInst::SpillLd { dst: scratch, slot: u.0 });
+                map.insert(*u, scratch);
+            }
+        }
+        if let Some(d) = def {
+            // The def may coincide with a use (accumulators).
+            map.entry(d).or_insert_with(|| {
+                let scratch = SReg(next_scratch);
+                next_scratch += 1;
+                scratch
+            });
+        }
+        out.push(substitute(&inst, &map));
+        if let Some(d) = def {
+            out.push(MInst::SpillSt { src: map[&d], slot: d.0 });
+        }
+    }
+    MCode {
+        insts: out,
+        n_sregs: n_fixed.max(8),
+        n_vregs: code.n_vregs,
+        note: format!("{} +spilled", code.note),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vapor_ir::{BinOp, ScalarTy};
+    use vapor_targets::{Cond, Label};
+
+    #[test]
+    fn every_op_reloads_and_spills() {
+        let code = MCode {
+            insts: vec![
+                MInst::SBin {
+                    op: BinOp::Add,
+                    ty: ScalarTy::I64,
+                    dst: SReg(5),
+                    a: SReg(3),
+                    b: SReg(4),
+                },
+            ],
+            n_sregs: 6,
+            n_vregs: 0,
+            note: "t".into(),
+        };
+        let spilled = rewrite(&code, 2, false);
+        // 2 shim spills + 2 reloads + op + 1 spill.
+        assert_eq!(spilled.insts.len(), 6);
+        assert!(matches!(spilled.insts[2], MInst::SpillLd { slot: 3, .. }));
+        assert!(matches!(spilled.insts[5], MInst::SpillSt { slot: 5, .. }));
+    }
+
+    #[test]
+    fn x87_substitutes_float_ops_only() {
+        let code = MCode {
+            insts: vec![
+                MInst::SBin { op: BinOp::Mul, ty: ScalarTy::F32, dst: SReg(0), a: SReg(0), b: SReg(0) },
+                MInst::SBin { op: BinOp::Add, ty: ScalarTy::I64, dst: SReg(1), a: SReg(1), b: SReg(1) },
+            ],
+            n_sregs: 2,
+            n_vregs: 0,
+            note: "t".into(),
+        };
+        let spilled = rewrite(&code, 0, true);
+        assert!(spilled.insts.iter().any(|i| matches!(i, MInst::FpuBin { .. })));
+        assert!(spilled
+            .insts
+            .iter()
+            .any(|i| matches!(i, MInst::SBin { ty: ScalarTy::I64, .. })));
+    }
+
+    #[test]
+    fn control_flow_untouched_but_operands_reloaded() {
+        let code = MCode {
+            insts: vec![
+                MInst::Label(Label(0)),
+                MInst::Branch { cond: Cond::Lt, a: SReg(0), b: SReg(1), target: Label(0) },
+            ],
+            n_sregs: 2,
+            n_vregs: 0,
+            note: "t".into(),
+        };
+        let spilled = rewrite(&code, 2, false);
+        // shim(2) + label + 2 reloads + branch
+        assert_eq!(spilled.insts.len(), 6);
+        assert!(matches!(spilled.insts[2], MInst::Label(_)));
+    }
+
+    #[test]
+    fn accumulator_def_reuses_scratch() {
+        // dst == a: must not reload stale value after op.
+        let code = MCode {
+            insts: vec![MInst::SBinImm {
+                op: BinOp::Add,
+                ty: ScalarTy::I64,
+                dst: SReg(0),
+                a: SReg(0),
+                imm: 1,
+            }],
+            n_sregs: 1,
+            n_vregs: 0,
+            note: "t".into(),
+        };
+        let spilled = rewrite(&code, 1, false);
+        // shim + reload + op + spill
+        assert_eq!(spilled.insts.len(), 4);
+        match (&spilled.insts[1], &spilled.insts[2], &spilled.insts[3]) {
+            (
+                MInst::SpillLd { dst: ld, slot: 0 },
+                MInst::SBinImm { dst, a, .. },
+                MInst::SpillSt { src, slot: 0 },
+            ) => {
+                assert_eq!(ld, a);
+                assert_eq!(dst, src);
+            }
+            other => panic!("unexpected shape {other:?}"),
+        }
+    }
+}

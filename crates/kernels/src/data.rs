@@ -1,0 +1,332 @@
+//! Deterministic input generation for every kernel.
+//!
+//! Seeded per kernel name so experiments and tests are reproducible.
+//! Values are ranged so that float divisors stay away from zero and
+//! integer reductions stay within their types.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use vapor_ir::{ArrayData, Bindings, ScalarTy};
+
+use crate::suite::Scale;
+
+fn rng_for(name: &str) -> StdRng {
+    let mut seed = [0u8; 32];
+    for (i, b) in name.bytes().enumerate() {
+        seed[i % 32] ^= b.wrapping_mul(i as u8 + 31);
+    }
+    StdRng::from_seed(seed)
+}
+
+fn floats(rng: &mut StdRng, n: usize, lo: f64, hi: f64) -> ArrayData {
+    let v: Vec<f64> = (0..n).map(|_| rng.gen_range(lo..hi)).collect();
+    ArrayData::from_floats(ScalarTy::F32, &v)
+}
+
+fn doubles(rng: &mut StdRng, n: usize, lo: f64, hi: f64) -> ArrayData {
+    let v: Vec<f64> = (0..n).map(|_| rng.gen_range(lo..hi)).collect();
+    ArrayData::from_floats(ScalarTy::F64, &v)
+}
+
+fn bytes_u8(rng: &mut StdRng, n: usize) -> ArrayData {
+    let v: Vec<i64> = (0..n).map(|_| rng.gen_range(0..256)).collect();
+    ArrayData::from_ints(ScalarTy::U8, &v)
+}
+
+fn shorts(rng: &mut StdRng, n: usize, lo: i64, hi: i64) -> ArrayData {
+    let v: Vec<i64> = (0..n).map(|_| rng.gen_range(lo..hi)).collect();
+    ArrayData::from_ints(ScalarTy::I16, &v)
+}
+
+fn ints(rng: &mut StdRng, n: usize, lo: i64, hi: i64) -> ArrayData {
+    let v: Vec<i64> = (0..n).map(|_| rng.gen_range(lo..hi)).collect();
+    ArrayData::from_ints(ScalarTy::I32, &v)
+}
+
+fn zero_f32(n: usize) -> ArrayData {
+    ArrayData::zeroed(ScalarTy::F32, n)
+}
+
+/// Input bindings for one kernel at one scale.
+///
+/// # Panics
+/// Panics for unknown kernel names (registry and data must stay in sync).
+pub fn env_for(name: &str, scale: Scale) -> Bindings {
+    let full = scale == Scale::Full;
+    let mut rng = rng_for(name);
+    let mut env = Bindings::new();
+    let r = &mut rng;
+    match name {
+        "dissolve_s8" => {
+            let n = if full { 1024 } else { 37 };
+            let alpha = r.gen_range(0..256);
+            env.set_int("n", n as i64)
+                .set_int("alpha", alpha)
+                .set_int("beta", 255 - alpha)
+                .set_array("a", bytes_u8(r, n))
+                .set_array("b", bytes_u8(r, n))
+                .set_array("out", ArrayData::zeroed(ScalarTy::U8, n));
+        }
+        "sad_s8" => {
+            let nblk = if full { 64 } else { 3 };
+            env.set_int("nblk", nblk as i64)
+                .set_array("a", bytes_u8(r, 16 * nblk))
+                .set_array("b", bytes_u8(r, 16 * nblk))
+                .set_array("out", ArrayData::zeroed(ScalarTy::I32, nblk));
+        }
+        "sfir_s16" => {
+            let (n, nt) = if full { (1024, 16) } else { (23, 7) };
+            env.set_int("n", n as i64)
+                .set_int("nt", nt as i64)
+                .set_array("x", shorts(r, n + nt, -1000, 1000))
+                .set_array("c", shorts(r, nt, -100, 100))
+                .set_array("y", ArrayData::zeroed(ScalarTy::I32, n));
+        }
+        "interp_s16" => {
+            let n = if full { 512 } else { 19 };
+            env.set_int("n", n as i64)
+                .set_array("x", shorts(r, n + 1, -1000, 1000))
+                .set_array("y", ArrayData::zeroed(ScalarTy::I16, 2 * n));
+        }
+        "mix_streams_s16" => {
+            let n = if full { 256 } else { 9 };
+            env.set_int("n", n as i64)
+                .set_array("a", shorts(r, 4 * n, -1000, 1000))
+                .set_array("b", shorts(r, 4 * n, -1000, 1000))
+                .set_array("out", ArrayData::zeroed(ScalarTy::I16, 4 * n));
+        }
+        "convolve_s32" => {
+            let (n, nk) = if full { (1024, 16) } else { (21, 5) };
+            env.set_int("n", n as i64)
+                .set_int("nk", nk as i64)
+                .set_array("a", ints(r, n + nk, -1000, 1000))
+                .set_array("k", ints(r, nk, -100, 100))
+                .set_array("out", ArrayData::zeroed(ScalarTy::I32, n));
+        }
+        "alvinn_s32fp" => {
+            let (m, npat) = if full { (128, 64) } else { (13, 5) };
+            env.set_int("m", m as i64)
+                .set_int("npat", npat as i64)
+                .set_array("w", floats(r, m * npat, -0.5, 0.5))
+                .set_array("d", floats(r, npat, -0.5, 0.5))
+                .set_array("h", floats(r, m, -0.5, 0.5));
+        }
+        "dct_s32fp" => {
+            let m = if full { 128 } else { 11 };
+            env.set_int("m", m as i64)
+                .set_array("c", floats(r, 64, -0.5, 0.5))
+                .set_array("x", ints(r, 8 * m, -255, 256))
+                .set_array("y", ArrayData::zeroed(ScalarTy::I32, 8 * m));
+        }
+        "dissolve_fp" => {
+            let n = if full { 1024 } else { 33 };
+            env.set_int("n", n as i64)
+                .set_float("alpha", 0.7)
+                .set_array("a", floats(r, n, -1.0, 1.0))
+                .set_array("b", floats(r, n, -1.0, 1.0))
+                .set_array("out", zero_f32(n));
+        }
+        "sfir_fp" => {
+            let (n, nt) = if full { (1024, 16) } else { (23, 7) };
+            env.set_int("n", n as i64)
+                .set_int("nt", nt as i64)
+                .set_array("x", floats(r, n + nt, -1.0, 1.0))
+                .set_array("c", floats(r, nt, -1.0, 1.0))
+                .set_array("y", zero_f32(n));
+        }
+        "interp_fp" => {
+            let n = if full { 512 } else { 19 };
+            env.set_int("n", n as i64)
+                .set_float("h0", 0.6)
+                .set_float("h1", 0.4)
+                .set_array("x", floats(r, n + 1, -1.0, 1.0))
+                .set_array("y", zero_f32(2 * n));
+        }
+        "mmm_fp" => {
+            let n = if full { 48 } else { 9 };
+            env.set_int("n", n as i64)
+                .set_array("a", floats(r, n * n, -0.5, 0.5))
+                .set_array("b", floats(r, n * n, -0.5, 0.5))
+                .set_array("c", zero_f32(n * n));
+        }
+        "dscal_fp" => {
+            let n = if full { 1024 } else { 37 };
+            env.set_int("n", n as i64)
+                .set_float("alpha", 1.5)
+                .set_array("x", floats(r, n, -1.0, 1.0));
+        }
+        "saxpy_fp" => {
+            let n = if full { 1024 } else { 37 };
+            env.set_int("n", n as i64)
+                .set_float("alpha", 1.5)
+                .set_array("x", floats(r, n, -1.0, 1.0))
+                .set_array("y", floats(r, n, -1.0, 1.0));
+        }
+        "dscal_dp" => {
+            let n = if full { 1024 } else { 37 };
+            env.set_int("n", n as i64)
+                .set_float("alpha", 1.5)
+                .set_array("x", doubles(r, n, -1.0, 1.0));
+        }
+        "saxpy_dp" => {
+            let n = if full { 1024 } else { 37 };
+            env.set_int("n", n as i64)
+                .set_float("alpha", 1.5)
+                .set_array("x", doubles(r, n, -1.0, 1.0))
+                .set_array("y", doubles(r, n, -1.0, 1.0));
+        }
+        "correlation_fp" => {
+            let (nn, m) = if full { (48, 48) } else { (12, 12) };
+            env.set_int("nn", nn as i64)
+                .set_int("m", m as i64)
+                .set_array("data", floats(r, nn * m, 0.1, 1.0))
+                .set_array("mean", zero_f32(m))
+                .set_array("stdev", zero_f32(m))
+                .set_array("corr", zero_f32(m * m));
+        }
+        "covariance_fp" => {
+            let (nn, m) = if full { (48, 48) } else { (12, 12) };
+            env.set_int("nn", nn as i64)
+                .set_int("m", m as i64)
+                .set_array("data", floats(r, nn * m, 0.1, 1.0))
+                .set_array("mean", zero_f32(m))
+                .set_array("cov", zero_f32(m * m));
+        }
+        "2mm_fp" => {
+            let n = if full { 40 } else { 9 };
+            env.set_int("n", n as i64)
+                .set_array("a", floats(r, n * n, -0.5, 0.5))
+                .set_array("b", floats(r, n * n, -0.5, 0.5))
+                .set_array("c", floats(r, n * n, -0.5, 0.5))
+                .set_array("d", zero_f32(n * n))
+                .set_array("tmp", zero_f32(n * n));
+        }
+        "3mm_fp" => {
+            let n = if full { 40 } else { 9 };
+            env.set_int("n", n as i64)
+                .set_array("a", floats(r, n * n, -0.5, 0.5))
+                .set_array("b", floats(r, n * n, -0.5, 0.5))
+                .set_array("c", floats(r, n * n, -0.5, 0.5))
+                .set_array("d", floats(r, n * n, -0.5, 0.5))
+                .set_array("e", zero_f32(n * n))
+                .set_array("f", zero_f32(n * n))
+                .set_array("g", zero_f32(n * n));
+        }
+        "atax_fp" => {
+            let (nn, m) = if full { (128, 128) } else { (11, 13) };
+            env.set_int("nn", nn as i64)
+                .set_int("m", m as i64)
+                .set_array("a", floats(r, nn * m, -0.5, 0.5))
+                .set_array("x", floats(r, m, -0.5, 0.5))
+                .set_array("y", zero_f32(m))
+                .set_array("tmp", zero_f32(nn));
+        }
+        "gesummv_fp" => {
+            let n = if full { 128 } else { 13 };
+            env.set_int("n", n as i64)
+                .set_float("alpha", 1.2)
+                .set_float("beta", 0.8)
+                .set_array("a", floats(r, n * n, -0.5, 0.5))
+                .set_array("b", floats(r, n * n, -0.5, 0.5))
+                .set_array("x", floats(r, n, -0.5, 0.5))
+                .set_array("y", zero_f32(n));
+        }
+        "doitgen_fp" => {
+            let nr = if full { 8 } else { 2 };
+            env.set_int("nr", nr as i64)
+                .set_array("a", floats(r, nr * 1024, -0.5, 0.5))
+                .set_array("c4", floats(r, 1024, -0.5, 0.5))
+                .set_array("sum", zero_f32(nr * 1024));
+        }
+        "gemm_fp" => {
+            let n = if full { 48 } else { 9 };
+            env.set_int("n", n as i64)
+                .set_float("alpha", 1.1)
+                .set_float("beta", 0.9)
+                .set_array("a", floats(r, n * n, -0.5, 0.5))
+                .set_array("b", floats(r, n * n, -0.5, 0.5))
+                .set_array("c", floats(r, n * n, -0.5, 0.5));
+        }
+        "gemver_fp" => {
+            let n = if full { 120 } else { 11 };
+            env.set_int("n", n as i64)
+                .set_float("alpha", 1.1)
+                .set_float("beta", 0.9)
+                .set_array("a", floats(r, n * n, -0.5, 0.5))
+                .set_array("u1", floats(r, n, -0.5, 0.5))
+                .set_array("v1", floats(r, n, -0.5, 0.5))
+                .set_array("u2", floats(r, n, -0.5, 0.5))
+                .set_array("v2", floats(r, n, -0.5, 0.5))
+                .set_array("w", zero_f32(n))
+                .set_array("x", floats(r, n, -0.5, 0.5))
+                .set_array("y", floats(r, n, -0.5, 0.5))
+                .set_array("z", floats(r, n, -0.5, 0.5));
+        }
+        "bicg_fp" => {
+            let (nn, m) = if full { (128, 128) } else { (11, 13) };
+            env.set_int("nn", nn as i64)
+                .set_int("m", m as i64)
+                .set_array("a", floats(r, nn * m, -0.5, 0.5))
+                .set_array("p", floats(r, m, -0.5, 0.5))
+                .set_array("q", zero_f32(nn))
+                .set_array("r", floats(r, nn, -0.5, 0.5))
+                .set_array("ss", zero_f32(m));
+        }
+        "gramschmidt_fp" => {
+            let n = if full { 32 } else { 8 };
+            env.set_int("n", n as i64)
+                .set_array("a", floats(r, n * n, 0.1, 1.0))
+                .set_array("r", zero_f32(n * n))
+                .set_array("q", zero_f32(n * n));
+        }
+        "lu_fp" => {
+            let n = if full { 48 } else { 10 };
+            env.set_int("n", n as i64).set_array("a", floats(r, n * n, 0.5, 1.5));
+        }
+        "ludcmp_fp" => {
+            let n = if full { 128 } else { 10 };
+            env.set_int("n", n as i64)
+                .set_array("a", floats(r, n * n, 0.5, 1.5))
+                .set_array("b", floats(r, n, -0.5, 0.5))
+                .set_array("y", zero_f32(n));
+        }
+        "adi_fp" => {
+            let n = if full { 128 } else { 10 };
+            env.set_int("n", n as i64)
+                .set_array("x", floats(r, n * n, -0.5, 0.5))
+                .set_array("a", floats(r, n * n, 0.0, 0.1))
+                .set_array("b", floats(r, n * n, 1.0, 2.0));
+        }
+        "jacobi_fp" => {
+            let n = if full { 128 } else { 10 };
+            env.set_int("n", n as i64)
+                .set_array("a", floats(r, n * n, -0.5, 0.5))
+                .set_array("b", zero_f32(n * n));
+        }
+        "seidel_fp" => {
+            let n = if full { 128 } else { 10 };
+            env.set_int("n", n as i64).set_array("a", floats(r, n * n, -0.5, 0.5));
+        }
+        other => panic!("no input generator for kernel {other}"),
+    }
+    env
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_calls() {
+        let a = env_for("saxpy_fp", Scale::Test);
+        let b = env_for("saxpy_fp", Scale::Test);
+        assert_eq!(a.array("x").unwrap(), b.array("x").unwrap());
+    }
+
+    #[test]
+    fn different_kernels_get_different_data() {
+        let a = env_for("dscal_fp", Scale::Full);
+        let b = env_for("saxpy_fp", Scale::Full);
+        assert_ne!(a.array("x").unwrap(), b.array("x").unwrap());
+    }
+}

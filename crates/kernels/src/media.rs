@@ -1,0 +1,182 @@
+//! The media/DSP/BLAS kernels of the paper's Table 2 (mini-C sources).
+//!
+//! Array parameters are raw pointers (`float x[]`) for the DSP/BLAS
+//! kernels — the alignment-provability distinction §III-B(c) relies on —
+//! while lookup tables and image planes that the paper's benchmarks keep
+//! in globals are marked `global`.
+
+/// Video image dissolve over `u8` pixels (widening multiplication).
+/// `alpha` ∈ 0..=255 blends `a` over `b`.
+pub const DISSOLVE_S8: &str = "
+kernel dissolve_s8(long n, uchar alpha, uchar beta, uchar a[], uchar b[], uchar out[]) {
+  for (long i = 0; i < n; i++) {
+    out[i] = (uchar)(((ushort)a[i] * (ushort)alpha + (ushort)b[i] * (ushort)beta) >> 8);
+  }
+}";
+
+/// Sum of absolute differences over 16-pixel blocks (abs pattern +
+/// widening reduction) — the motion-estimation primitive.
+pub const SAD_S8: &str = "
+kernel sad_s8(long nblk, global uchar a[], global uchar b[], int out[]) {
+  int s;
+  for (long blk = 0; blk < nblk; blk++) {
+    s = 0;
+    for (long i = 0; i < 16; i++) {
+      s += (int)abs((short)a[16*blk + i] - (short)b[16*blk + i]);
+    }
+    out[blk] = s;
+  }
+}";
+
+/// Single-sample FIR over `s16` samples with `s32` accumulation
+/// (dot-product idiom).
+pub const SFIR_S16: &str = "
+kernel sfir_s16(long n, long nt, short x[], short c[], int y[]) {
+  int s;
+  for (long i = 0; i < n; i++) {
+    s = 0;
+    for (long j = 0; j < nt; j++) {
+      s += (int)x[i + j] * (int)c[j];
+    }
+    y[i] = s;
+  }
+}";
+
+/// Rate-2 interpolation over `s16` samples (strided stores via
+/// `interleave`, realigned loads).
+pub const INTERP_S16: &str = "
+kernel interp_s16(long n, short x[], short y[]) {
+  for (long i = 0; i < n; i++) {
+    y[2*i] = x[i];
+    y[2*i + 1] = (x[i] + x[i + 1]) >> 1;
+  }
+}";
+
+/// Mix four interleaved `s16` audio channels (SLP vectorization: four
+/// isomorphic statements merged into one vector statement).
+pub const MIX_STREAMS_S16: &str = "
+kernel mix_streams_s16(long n, short a[], short b[], short out[]) {
+  for (long i = 0; i < n; i++) {
+    out[4*i] = (a[4*i] + b[4*i]) >> 1;
+    out[4*i + 1] = (a[4*i + 1] + b[4*i + 1]) >> 1;
+    out[4*i + 2] = (a[4*i + 2] + b[4*i + 2]) >> 1;
+    out[4*i + 3] = (a[4*i + 3] + b[4*i + 3]) >> 1;
+  }
+}";
+
+/// 1-D convolution with an `s32` kernel (reduction).
+pub const CONVOLVE_S32: &str = "
+kernel convolve_s32(long n, long nk, int a[], int k[], int out[]) {
+  int s;
+  for (long i = 0; i < n; i++) {
+    s = 0;
+    for (long j = 0; j < nk; j++) {
+      s += a[i + j] * k[j];
+    }
+    out[i] = s;
+  }
+}";
+
+/// Neural-net weight update from ALVINN (outer-loop vectorization over
+/// the per-neuron dimension).
+pub const ALVINN_S32FP: &str = "
+kernel alvinn_s32fp(long m, long npat, global float w[], global float d[], global float h[]) {
+  for (long j = 0; j < m; j++) {
+    for (long p = 0; p < npat; p++) {
+      w[m*p + j] = w[m*p + j] + d[p] * h[j];
+    }
+  }
+}";
+
+/// 8-point DCT applied to the columns of an 8×m `s32` image strip
+/// (outer-loop vectorization + int↔float conversions).
+pub const DCT_S32FP: &str = "
+kernel dct_s32fp(long m, global float c[], global int x[], global int y[]) {
+  float s;
+  for (long j = 0; j < m; j++) {
+    for (long u = 0; u < 8; u++) {
+      s = 0.0;
+      for (long k = 0; k < 8; k++) {
+        s += c[8*u + k] * (float)x[m*k + j];
+      }
+      y[m*u + j] = (int)s;
+    }
+  }
+}";
+
+/// Float image dissolve with a constant blend factor.
+pub const DISSOLVE_FP: &str = "
+kernel dissolve_fp(long n, float alpha, float a[], float b[], float out[]) {
+  for (long i = 0; i < n; i++) {
+    out[i] = a[i] * alpha + b[i] * (1.0 - alpha);
+  }
+}";
+
+/// Float FIR (plain float reduction).
+pub const SFIR_FP: &str = "
+kernel sfir_fp(long n, long nt, float x[], float c[], float y[]) {
+  float s;
+  for (long i = 0; i < n; i++) {
+    s = 0.0;
+    for (long j = 0; j < nt; j++) {
+      s += x[i + j] * c[j];
+    }
+    y[i] = s;
+  }
+}";
+
+/// Rate-2 float interpolation (strided stores + realigned loads).
+pub const INTERP_FP: &str = "
+kernel interp_fp(long n, float h0, float h1, float x[], float y[]) {
+  for (long i = 0; i < n; i++) {
+    y[2*i] = x[i] * h0 + x[i + 1] * h1;
+    y[2*i + 1] = x[i] * h1 + x[i + 1] * h0;
+  }
+}";
+
+/// Matrix-matrix multiply, `C += A·B`, j-innermost form. The row
+/// alignment of `b`/`c` depends on the runtime dimension — the
+/// `stride_aligned` versioning test of §V-A that Mono re-evaluates
+/// inside the loop nest.
+pub const MMM_FP: &str = "
+kernel mmm_fp(long n, float a[], float b[], float c[]) {
+  for (long i = 0; i < n; i++) {
+    for (long k = 0; k < n; k++) {
+      for (long j = 0; j < n; j++) {
+        c[n*i + j] = c[n*i + j] + a[n*i + k] * b[n*k + j];
+      }
+    }
+  }
+}";
+
+/// BLAS `dscal`: scale a vector.
+pub const DSCAL_FP: &str = "
+kernel dscal_fp(long n, float alpha, float x[]) {
+  for (long i = 0; i < n; i++) {
+    x[i] = alpha * x[i];
+  }
+}";
+
+/// BLAS `saxpy`.
+pub const SAXPY_FP: &str = "
+kernel saxpy_fp(long n, float alpha, float x[], float y[]) {
+  for (long i = 0; i < n; i++) {
+    y[i] = alpha * x[i] + y[i];
+  }
+}";
+
+/// Double-precision `dscal` (scalarized on AltiVec: no 64-bit elements).
+pub const DSCAL_DP: &str = "
+kernel dscal_dp(long n, double alpha, double x[]) {
+  for (long i = 0; i < n; i++) {
+    x[i] = alpha * x[i];
+  }
+}";
+
+/// Double-precision `saxpy` (scalarized on AltiVec).
+pub const SAXPY_DP: &str = "
+kernel saxpy_dp(long n, double alpha, double x[], double y[]) {
+  for (long i = 0; i < n; i++) {
+    y[i] = alpha * x[i] + y[i];
+  }
+}";

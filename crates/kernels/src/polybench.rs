@@ -1,0 +1,301 @@
+//! Polybench 1.0 kernels as mini-C sources, pre-transformed the way the
+//! paper prepared them (§IV-B): loop interchange and array layout
+//! transposition to expose unit strides, scalar promotion of
+//! accumulators. `lu`, `ludcmp`, and `seidel` are kept in their natural
+//! form — they "require loop skewing … incompatible with the current
+//! auto-vectorizer" and must be *rejected* by the vectorizer.
+//!
+//! All arrays are globals (Polybench style), which a native compiler may
+//! align; dimension parameters stay runtime values so the row-alignment
+//! (`stride_aligned`) versioning machinery is exercised.
+
+/// Data-mining: correlation matrix (mean, stddev with `sqrt`, normalize
+/// with division, correlation accumulation — outer-loop vectorization).
+pub const CORRELATION: &str = "
+kernel correlation_fp(long nn, long m, global float data[], global float mean[], global float stdev[], global float corr[]) {
+  float s;
+  float dv;
+  for (long j = 0; j < m; j++) {
+    s = 0.0;
+    for (long i = 0; i < nn; i++) { s += data[m*i + j]; }
+    mean[j] = s / (float)nn;
+  }
+  for (long j = 0; j < m; j++) {
+    s = 0.0;
+    for (long i = 0; i < nn; i++) {
+      dv = data[m*i + j] - mean[j];
+      s += dv * dv;
+    }
+    stdev[j] = sqrt(s / (float)nn) + 0.000001;
+  }
+  for (long i = 0; i < nn; i++) {
+    for (long j = 0; j < m; j++) {
+      data[m*i + j] = (data[m*i + j] - mean[j]) / stdev[j];
+    }
+  }
+  for (long j1 = 0; j1 < m; j1++) {
+    for (long j2 = 0; j2 < m; j2++) {
+      s = 0.0;
+      for (long i = 0; i < nn; i++) { s += data[m*i + j1] * data[m*i + j2]; }
+      corr[m*j1 + j2] = s / (float)nn;
+    }
+  }
+}";
+
+/// Data-mining: covariance matrix.
+pub const COVARIANCE: &str = "
+kernel covariance_fp(long nn, long m, global float data[], global float mean[], global float cov[]) {
+  float s;
+  for (long j = 0; j < m; j++) {
+    s = 0.0;
+    for (long i = 0; i < nn; i++) { s += data[m*i + j]; }
+    mean[j] = s / (float)nn;
+  }
+  for (long i = 0; i < nn; i++) {
+    for (long j = 0; j < m; j++) {
+      data[m*i + j] = data[m*i + j] - mean[j];
+    }
+  }
+  for (long j1 = 0; j1 < m; j1++) {
+    for (long j2 = 0; j2 < m; j2++) {
+      s = 0.0;
+      for (long i = 0; i < nn; i++) { s += data[m*i + j1] * data[m*i + j2]; }
+      cov[m*j1 + j2] = s / ((float)nn - 1.0);
+    }
+  }
+}";
+
+/// Linear algebra: `tmp = A·B; d = tmp·C`.
+pub const MM2: &str = "
+kernel mm2_fp(long n, global float a[], global float b[], global float c[], global float d[], global float tmp[]) {
+  for (long i = 0; i < n; i++) {
+    for (long j = 0; j < n; j++) { tmp[n*i + j] = 0.0; }
+    for (long k = 0; k < n; k++) {
+      for (long j = 0; j < n; j++) {
+        tmp[n*i + j] = tmp[n*i + j] + a[n*i + k] * b[n*k + j];
+      }
+    }
+  }
+  for (long i = 0; i < n; i++) {
+    for (long j = 0; j < n; j++) { d[n*i + j] = 0.0; }
+    for (long k = 0; k < n; k++) {
+      for (long j = 0; j < n; j++) {
+        d[n*i + j] = d[n*i + j] + tmp[n*i + k] * c[n*k + j];
+      }
+    }
+  }
+}";
+
+/// Linear algebra: `e = A·B; f = C·D; g = e·f`.
+pub const MM3: &str = "
+kernel mm3_fp(long n, global float a[], global float b[], global float c[], global float d[], global float e[], global float f[], global float g[]) {
+  for (long i = 0; i < n; i++) {
+    for (long j = 0; j < n; j++) { e[n*i + j] = 0.0; }
+    for (long k = 0; k < n; k++) {
+      for (long j = 0; j < n; j++) { e[n*i + j] = e[n*i + j] + a[n*i + k] * b[n*k + j]; }
+    }
+  }
+  for (long i = 0; i < n; i++) {
+    for (long j = 0; j < n; j++) { f[n*i + j] = 0.0; }
+    for (long k = 0; k < n; k++) {
+      for (long j = 0; j < n; j++) { f[n*i + j] = f[n*i + j] + c[n*i + k] * d[n*k + j]; }
+    }
+  }
+  for (long i = 0; i < n; i++) {
+    for (long j = 0; j < n; j++) { g[n*i + j] = 0.0; }
+    for (long k = 0; k < n; k++) {
+      for (long j = 0; j < n; j++) { g[n*i + j] = g[n*i + j] + e[n*i + k] * f[n*k + j]; }
+    }
+  }
+}";
+
+/// Linear algebra: `y = Aᵀ(Ax)`.
+pub const ATAX: &str = "
+kernel atax_fp(long nn, long m, global float a[], global float x[], global float y[], global float tmp[]) {
+  float s;
+  for (long j = 0; j < m; j++) { y[j] = 0.0; }
+  for (long i = 0; i < nn; i++) {
+    s = 0.0;
+    for (long j = 0; j < m; j++) { s += a[m*i + j] * x[j]; }
+    tmp[i] = s;
+    for (long j = 0; j < m; j++) { y[j] = y[j] + a[m*i + j] * tmp[i]; }
+  }
+}";
+
+/// Linear algebra: `y = (A + B)·x` with two simultaneous reductions.
+pub const GESUMMV: &str = "
+kernel gesummv_fp(long n, float alpha, float beta, global float a[], global float b[], global float x[], global float y[]) {
+  float s;
+  float t;
+  for (long i = 0; i < n; i++) {
+    s = 0.0;
+    t = 0.0;
+    for (long j = 0; j < n; j++) {
+      s += a[n*i + j] * x[j];
+      t += b[n*i + j] * x[j];
+    }
+    y[i] = alpha * s + beta * t;
+  }
+}";
+
+/// Linear algebra: multi-resolution analysis kernel (constant 32³ dims,
+/// outer-loop vectorized over the innermost output dimension).
+pub const DOITGEN: &str = "
+kernel doitgen_fp(long nr, global float a[], global float c4[], global float sum[]) {
+  float s;
+  for (long r = 0; r < nr; r++) {
+    for (long q = 0; q < 32; q++) {
+      for (long p = 0; p < 32; p++) {
+        s = 0.0;
+        for (long w = 0; w < 32; w++) {
+          s += a[1024*r + 32*q + w] * c4[32*w + p];
+        }
+        sum[1024*r + 32*q + p] = s;
+      }
+      for (long p = 0; p < 32; p++) {
+        a[1024*r + 32*q + p] = sum[1024*r + 32*q + p];
+      }
+    }
+  }
+}";
+
+/// Linear algebra: `C = β·C + α·A·B`.
+pub const GEMM: &str = "
+kernel gemm_fp(long n, float alpha, float beta, global float a[], global float b[], global float c[]) {
+  for (long i = 0; i < n; i++) {
+    for (long j = 0; j < n; j++) { c[n*i + j] = c[n*i + j] * beta; }
+    for (long k = 0; k < n; k++) {
+      for (long j = 0; j < n; j++) {
+        c[n*i + j] = c[n*i + j] + alpha * a[n*i + k] * b[n*k + j];
+      }
+    }
+  }
+}";
+
+/// Linear algebra: rank-2 update, transposed mat-vec, vector add,
+/// mat-vec (four nests).
+pub const GEMVER: &str = "
+kernel gemver_fp(long n, float alpha, float beta, global float a[], global float u1[], global float v1[], global float u2[], global float v2[], global float w[], global float x[], global float y[], global float z[]) {
+  float s;
+  for (long i = 0; i < n; i++) {
+    for (long j = 0; j < n; j++) {
+      a[n*i + j] = a[n*i + j] + u1[i] * v1[j] + u2[i] * v2[j];
+    }
+  }
+  for (long i = 0; i < n; i++) {
+    for (long j = 0; j < n; j++) {
+      x[j] = x[j] + beta * a[n*i + j] * y[i];
+    }
+  }
+  for (long i = 0; i < n; i++) { x[i] = x[i] + z[i]; }
+  for (long i = 0; i < n; i++) {
+    s = 0.0;
+    for (long j = 0; j < n; j++) { s += a[n*i + j] * x[j]; }
+    w[i] = alpha * s;
+  }
+}";
+
+/// Linear algebra: BiCG sub-kernel (simultaneous row update and
+/// reduction).
+pub const BICG: &str = "
+kernel bicg_fp(long nn, long m, global float a[], global float p[], global float q[], global float r[], global float ss[]) {
+  float acc;
+  for (long j = 0; j < m; j++) { ss[j] = 0.0; }
+  for (long i = 0; i < nn; i++) {
+    acc = 0.0;
+    for (long j = 0; j < m; j++) {
+      ss[j] = ss[j] + r[i] * a[m*i + j];
+      acc += a[m*i + j] * p[j];
+    }
+    q[i] = acc;
+  }
+}";
+
+/// Linear solver: Gram-Schmidt orthonormalization, column-major layout
+/// (the paper's layout transposition) so the i-dimension is contiguous.
+pub const GRAMSCHMIDT: &str = "
+kernel gramschmidt_fp(long n, global float a[], global float r[], global float q[]) {
+  float s;
+  float rkk;
+  for (long k = 0; k < n; k++) {
+    s = 0.0;
+    for (long i = 0; i < n; i++) { s += a[n*k + i] * a[n*k + i]; }
+    rkk = sqrt(s) + 0.000001;
+    for (long i = 0; i < n; i++) { q[n*k + i] = a[n*k + i] / rkk; }
+    for (long j = k + 1; j < n; j++) {
+      s = 0.0;
+      for (long i = 0; i < n; i++) { s += q[n*k + i] * a[n*j + i]; }
+      r[n*k + j] = s;
+      for (long i = 0; i < n; i++) { a[n*j + i] = a[n*j + i] - q[n*k + i] * s; }
+    }
+  }
+}";
+
+/// Linear solver: LU decomposition — *not vectorizable* without loop
+/// skewing (unanalyzable dependences); the vectorizer must reject it.
+pub const LU: &str = "
+kernel lu_fp(long n, global float a[]) {
+  for (long k = 0; k < n; k++) {
+    for (long i = k + 1; i < n; i++) {
+      a[n*i + k] = a[n*i + k] / (a[n*k + k] + 1.5);
+      for (long j = k + 1; j < n; j++) {
+        a[n*i + j] = a[n*i + j] - a[n*i + k] * a[n*k + j];
+      }
+    }
+  }
+}";
+
+/// Linear solver: LU with forward substitution — also rejected (inner
+/// bounds depend on outer variables; subtraction-shaped recurrence).
+pub const LUDCMP: &str = "
+kernel ludcmp_fp(long n, global float a[], global float b[], global float y[]) {
+  float s;
+  for (long i = 0; i < n; i++) {
+    s = b[i];
+    for (long j = 0; j < i; j++) { s = s - a[n*i + j] * y[j]; }
+    y[i] = s / (a[n*i + i] + 1.5);
+  }
+}";
+
+/// Stencil: alternating-direction implicit sweeps. The recurrence runs
+/// across rows (distance ~n), so the contiguous row dimension vectorizes
+/// — the interchange the paper applied to expose vectorization.
+pub const ADI: &str = "
+kernel adi_fp(long n, global float x[], global float a[], global float b[]) {
+  for (long j = 1; j < n; j++) {
+    for (long i = 0; i < n; i++) {
+      x[n*j + i] = x[n*j + i] - x[n*j + i - n] * a[n*j + i] / b[n*j + i - n];
+    }
+  }
+  for (long j = 1; j < n; j++) {
+    for (long i = 0; i < n; i++) {
+      b[n*j + i] = b[n*j + i] - a[n*j + i] * a[n*j + i] / b[n*j + i - n];
+    }
+  }
+}";
+
+/// Stencil: Jacobi 5-point, out of place (realigned stencil loads).
+pub const JACOBI: &str = "
+kernel jacobi_fp(long n, global float a[], global float b[]) {
+  for (long i = 1; i < n - 1; i++) {
+    for (long j = 1; j < n - 1; j++) {
+      b[n*i + j] = 0.2 * (a[n*i + j] + a[n*i + j - 1] + a[n*i + j + 1] + a[n*i + j + n] + a[n*i + j - n]);
+    }
+  }
+  for (long i = 1; i < n - 1; i++) {
+    for (long j = 1; j < n - 1; j++) {
+      a[n*i + j] = b[n*i + j];
+    }
+  }
+}";
+
+/// Stencil: Gauss-Seidel, in place — carried dependence of distance 1;
+/// the vectorizer must reject it (paper: requires skewing).
+pub const SEIDEL: &str = "
+kernel seidel_fp(long n, global float a[]) {
+  for (long i = 1; i < n - 1; i++) {
+    for (long j = 1; j < n - 1; j++) {
+      a[n*i + j] = 0.2 * (a[n*i + j - 1] + a[n*i + j] + a[n*i + j + 1] + a[n*i + j - n] + a[n*i + j + n]);
+    }
+  }
+}";

@@ -1,0 +1,188 @@
+//! The benchmark registry: every kernel of the paper's Table 2 plus the
+//! 16 Polybench kernels, with figure membership and the vectorization
+//! features each one must exercise.
+
+use vapor_frontend::parse_kernel;
+use vapor_ir::{Bindings, Kernel};
+use vapor_vectorizer::Feature;
+
+use crate::{data, media, polybench};
+
+/// Which benchmark collection a kernel belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SuiteKind {
+    /// Table 2 media/DSP/BLAS kernels.
+    Media,
+    /// Polybench 1.0.
+    Polybench,
+}
+
+/// Problem sizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Small, odd sizes for correctness tests (exercises tail loops).
+    Test,
+    /// Paper-scale sizes for the experiments.
+    Full,
+}
+
+/// One benchmark kernel.
+#[derive(Debug, Clone)]
+pub struct KernelSpec {
+    /// Registry name (matches the paper's figures).
+    pub name: &'static str,
+    /// Mini-C source.
+    pub source: &'static str,
+    /// Collection.
+    pub suite: SuiteKind,
+    /// Appears in Figure 5a (Mono/SSE).
+    pub fig5a: bool,
+    /// Appears in Figure 5b (Mono/AltiVec).
+    pub fig5b: bool,
+    /// Appears in Table 3 (AVX static analysis).
+    pub table3: bool,
+    /// The offline vectorizer must vectorize at least one loop.
+    pub expect_vectorized: bool,
+    /// Features the vectorizer must report (subset check).
+    pub features: &'static [Feature],
+}
+
+impl KernelSpec {
+    /// Parse the kernel source.
+    ///
+    /// # Panics
+    /// Panics if the bundled source fails to parse (a build-time bug).
+    pub fn kernel(&self) -> Kernel {
+        parse_kernel(self.source)
+            .unwrap_or_else(|e| panic!("kernel {} failed to parse: {e}", self.name))
+    }
+
+    /// Deterministic input bindings for the given scale.
+    pub fn env(&self, scale: Scale) -> Bindings {
+        data::env_for(self.name, scale)
+    }
+}
+
+/// The full suite in the paper's figure order.
+pub fn suite() -> Vec<KernelSpec> {
+    use Feature::*;
+    let m = |name, source, fig5a, fig5b, table3, expect, features| KernelSpec {
+        name,
+        source,
+        suite: SuiteKind::Media,
+        fig5a,
+        fig5b,
+        table3,
+        expect_vectorized: expect,
+        features,
+    };
+    let p = |name, source, expect, features| KernelSpec {
+        name,
+        source,
+        suite: SuiteKind::Polybench,
+        fig5a: false,
+        fig5b: false,
+        table3: false,
+        expect_vectorized: expect,
+        features,
+    };
+    vec![
+        m("dissolve_s8", media::DISSOLVE_S8, false, false, false, true, &[WidenMult][..]),
+        m("sad_s8", media::SAD_S8, true, true, false, true, &[AbsDiff, Reduction]),
+        m("sfir_s16", media::SFIR_S16, true, true, false, true, &[DotProduct, Reduction, Realign]),
+        m("interp_s16", media::INTERP_S16, true, true, false, true, &[Strided, Realign]),
+        m("mix_streams_s16", media::MIX_STREAMS_S16, true, true, false, true, &[Slp]),
+        m("convolve_s32", media::CONVOLVE_S32, true, true, false, true, &[Reduction, Realign]),
+        m("alvinn_s32fp", media::ALVINN_S32FP, false, true, false, true, &[OuterLoop]),
+        m("dct_s32fp", media::DCT_S32FP, true, true, false, true, &[OuterLoop, Cvt]),
+        m("dissolve_fp", media::DISSOLVE_FP, true, true, true, true, &[]),
+        m("sfir_fp", media::SFIR_FP, true, true, true, true, &[Reduction, Realign]),
+        m("interp_fp", media::INTERP_FP, true, true, true, true, &[Strided, Realign]),
+        m("mmm_fp", media::MMM_FP, true, true, true, true, &[Versioned]),
+        m("dscal_fp", media::DSCAL_FP, true, true, true, true, &[]),
+        m("saxpy_fp", media::SAXPY_FP, true, true, true, true, &[]),
+        m("dscal_dp", media::DSCAL_DP, true, true, true, true, &[Versioned]),
+        m("saxpy_dp", media::SAXPY_DP, true, true, true, true, &[Versioned]),
+        p("correlation_fp", polybench::CORRELATION, true, &[OuterLoop]),
+        p("covariance_fp", polybench::COVARIANCE, true, &[OuterLoop]),
+        p("2mm_fp", polybench::MM2, true, &[Versioned]),
+        p("3mm_fp", polybench::MM3, true, &[Versioned]),
+        p("atax_fp", polybench::ATAX, true, &[Reduction]),
+        p("gesummv_fp", polybench::GESUMMV, true, &[Reduction]),
+        p("doitgen_fp", polybench::DOITGEN, true, &[OuterLoop]),
+        p("gemm_fp", polybench::GEMM, true, &[Versioned]),
+        p("gemver_fp", polybench::GEMVER, true, &[Reduction]),
+        p("bicg_fp", polybench::BICG, true, &[Reduction]),
+        p("gramschmidt_fp", polybench::GRAMSCHMIDT, true, &[Reduction]),
+        p("lu_fp", polybench::LU, false, &[]),
+        p("ludcmp_fp", polybench::LUDCMP, false, &[]),
+        p("adi_fp", polybench::ADI, true, &[]),
+        p("jacobi_fp", polybench::JACOBI, true, &[Realign]),
+        p("seidel_fp", polybench::SEIDEL, false, &[]),
+    ]
+}
+
+/// Look up one kernel by name.
+pub fn find(name: &str) -> Option<KernelSpec> {
+    suite().into_iter().find(|s| s.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_sources_parse_and_validate() {
+        for spec in suite() {
+            let k = spec.kernel();
+            assert_eq!(vapor_ir::validate(&k), Ok(()), "{}", spec.name);
+        }
+    }
+
+    #[test]
+    fn suite_has_32_kernels() {
+        let s = suite();
+        assert_eq!(s.len(), 32);
+        assert_eq!(s.iter().filter(|k| k.suite == SuiteKind::Media).count(), 16);
+        assert_eq!(s.iter().filter(|k| k.suite == SuiteKind::Polybench).count(), 16);
+        assert_eq!(s.iter().filter(|k| k.table3).count(), 8);
+        // Figure 5a has 14 media kernels (no dissolve_s8, no alvinn);
+        // 5b adds alvinn.
+        assert_eq!(s.iter().filter(|k| k.fig5a).count(), 14);
+        assert_eq!(s.iter().filter(|k| k.fig5b).count(), 15);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let s = suite();
+        for (i, a) in s.iter().enumerate() {
+            for b in &s[i + 1..] {
+                assert_ne!(a.name, b.name);
+            }
+        }
+    }
+
+    #[test]
+    fn envs_bind_every_parameter() {
+        for spec in suite() {
+            let k = spec.kernel();
+            let env = spec.env(Scale::Test);
+            for (_, v) in k.scalar_params() {
+                assert!(env.scalar(&v.name).is_some(), "{}: scalar {}", spec.name, v.name);
+            }
+            for a in &k.arrays {
+                assert!(env.array(&a.name).is_some(), "{}: array {}", spec.name, a.name);
+            }
+        }
+    }
+
+    #[test]
+    fn oracle_runs_every_kernel_at_test_scale() {
+        for spec in suite() {
+            let k = spec.kernel();
+            let mut env = spec.env(Scale::Test);
+            vapor_ir::interpret(&k, &mut env)
+                .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+        }
+    }
+}

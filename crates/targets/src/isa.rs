@@ -1,0 +1,630 @@
+//! The virtual machine instruction set ("machine code" of the simulated
+//! targets).
+//!
+//! The online compiler lowers bytecode into this ISA; the VM executes it
+//! with a per-target cycle model. The ISA is deliberately close to the
+//! common shape of SSE/AltiVec/NEON/AVX: two register files, explicit
+//! aligned/unaligned memory ops, permute-based realignment, and a small
+//! set of widening/packing/conversion operations.
+
+use std::fmt;
+
+use vapor_ir::{BinOp, ScalarTy, UnOp};
+
+/// Scalar register (i64 or f64 payload).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SReg(pub u32);
+
+/// Vector register (up to 32 bytes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VReg(pub u32);
+
+/// Branch label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Label(pub u32);
+
+impl fmt::Display for SReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl fmt::Display for VReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+/// Memory addressing mode.
+///
+/// `Fused` is the rich `[base + idx*scale + disp]` form an optimizing
+/// code generator uses; a weaker generator computes the address into a
+/// register first and uses `[base + disp]` only — this difference is one
+/// of the paper's observed native-vs-split code-generation deltas.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AddrMode {
+    /// Base address register.
+    pub base: SReg,
+    /// Optional scaled index register.
+    pub idx: Option<SReg>,
+    /// Scale applied to the index (bytes).
+    pub scale: u8,
+    /// Constant displacement (bytes).
+    pub disp: i64,
+}
+
+impl AddrMode {
+    /// `[base + disp]`.
+    pub fn base_disp(base: SReg, disp: i64) -> AddrMode {
+        AddrMode { base, idx: None, scale: 1, disp }
+    }
+
+    /// `[base + idx*scale + disp]`.
+    pub fn fused(base: SReg, idx: SReg, scale: u8, disp: i64) -> AddrMode {
+        AddrMode { base, idx: Some(idx), scale, disp }
+    }
+}
+
+/// Branch condition on two scalar integers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cond {
+    /// `a < b` (signed).
+    Lt,
+    /// `a >= b` (signed).
+    Ge,
+    /// `a == b`.
+    Eq,
+    /// `a != b`.
+    Ne,
+}
+
+/// Alignment contract of a vector memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemAlign {
+    /// Must be VS-aligned; the VM traps otherwise (a miscompile).
+    Aligned,
+    /// May be misaligned (`movdqu`-class; slower on most targets).
+    Unaligned,
+}
+
+/// Which half of the input(s) a widening/interleave op consumes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Half {
+    /// Low half.
+    Lo,
+    /// High half.
+    Hi,
+}
+
+/// Direction of a lane-wise conversion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CvtDir {
+    /// Integer to float (same lane width).
+    IntToFloat,
+    /// Float to integer (same lane width, saturating).
+    FloatToInt,
+}
+
+/// Reduction operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReduceOp {
+    /// Sum of lanes.
+    Plus,
+    /// Maximum lane.
+    Max,
+    /// Minimum lane.
+    Min,
+}
+
+/// Shift amount source.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ShiftSrc {
+    /// Immediate amount.
+    Imm(u8),
+    /// Scalar register amount (broadcast).
+    Reg(SReg),
+    /// Per-lane amounts in a vector register.
+    PerLane(VReg),
+}
+
+/// Library-helper operations used when a target's backend lacks an idiom
+/// (the paper's NEON `dissolve`/`dct` fallback). Executed correctly but
+/// charged a call + per-lane software cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HelperOp {
+    /// Widening multiply of a half.
+    WidenMult(Half),
+    /// Lane-wise conversion.
+    Cvt(CvtDir),
+    /// Vector float division.
+    FDiv,
+    /// Vector square root.
+    FSqrt,
+    /// Pack/demote.
+    Pack,
+    /// Unpack/promote a half.
+    Unpack(Half),
+}
+
+/// One machine instruction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MInst {
+    // ----- control -----
+    /// Branch target marker (resolved at load time; free at run time).
+    Label(Label),
+    /// Unconditional jump.
+    Jump(Label),
+    /// Conditional branch comparing two scalar registers.
+    Branch {
+        /// Condition.
+        cond: Cond,
+        /// Left operand.
+        a: SReg,
+        /// Right operand.
+        b: SReg,
+        /// Target label.
+        target: Label,
+    },
+    /// Conditional branch against an immediate.
+    BranchImm {
+        /// Condition.
+        cond: Cond,
+        /// Left operand.
+        a: SReg,
+        /// Immediate right operand.
+        imm: i64,
+        /// Target label.
+        target: Label,
+    },
+
+    // ----- scalar -----
+    /// Load integer immediate.
+    MovImmI {
+        /// Destination.
+        dst: SReg,
+        /// Value.
+        imm: i64,
+    },
+    /// Load float immediate.
+    MovImmF {
+        /// Destination.
+        dst: SReg,
+        /// Value.
+        imm: f64,
+    },
+    /// Register copy.
+    MovS {
+        /// Destination.
+        dst: SReg,
+        /// Source.
+        src: SReg,
+    },
+    /// Scalar binary ALU op at type `ty`.
+    SBin {
+        /// Operator.
+        op: BinOp,
+        /// Operation type.
+        ty: ScalarTy,
+        /// Destination.
+        dst: SReg,
+        /// Left operand.
+        a: SReg,
+        /// Right operand.
+        b: SReg,
+    },
+    /// Scalar binary ALU op with immediate.
+    SBinImm {
+        /// Operator.
+        op: BinOp,
+        /// Operation type.
+        ty: ScalarTy,
+        /// Destination.
+        dst: SReg,
+        /// Left operand.
+        a: SReg,
+        /// Immediate.
+        imm: i64,
+    },
+    /// Scalar unary op.
+    SUn {
+        /// Operator.
+        op: UnOp,
+        /// Operation type.
+        ty: ScalarTy,
+        /// Destination.
+        dst: SReg,
+        /// Operand.
+        a: SReg,
+    },
+    /// Scalar conversion.
+    SCvt {
+        /// Source type.
+        from: ScalarTy,
+        /// Destination type.
+        to: ScalarTy,
+        /// Destination register.
+        dst: SReg,
+        /// Operand.
+        a: SReg,
+    },
+    /// Scalar float op routed through an x87-style FPU stack — the Mono
+    /// x86 artifact of §V-A; same semantics as [`MInst::SBin`], higher
+    /// cost.
+    FpuBin {
+        /// Operator.
+        op: BinOp,
+        /// Operation type (float).
+        ty: ScalarTy,
+        /// Destination.
+        dst: SReg,
+        /// Left operand.
+        a: SReg,
+        /// Right operand.
+        b: SReg,
+    },
+    /// Scalar load.
+    LoadS {
+        /// Element type.
+        ty: ScalarTy,
+        /// Destination.
+        dst: SReg,
+        /// Address.
+        addr: AddrMode,
+    },
+    /// Scalar store.
+    StoreS {
+        /// Element type.
+        ty: ScalarTy,
+        /// Source.
+        src: SReg,
+        /// Address.
+        addr: AddrMode,
+    },
+
+    // ----- vector memory -----
+    /// Vector load.
+    LoadV {
+        /// Destination.
+        dst: VReg,
+        /// Address.
+        addr: AddrMode,
+        /// Alignment contract.
+        align: MemAlign,
+    },
+    /// Floor-aligned vector load (`lvx` semantics: low address bits are
+    /// ignored). Never traps on misalignment.
+    LoadVFloor {
+        /// Destination.
+        dst: VReg,
+        /// Address (rounded down to VS).
+        addr: AddrMode,
+    },
+    /// Vector store.
+    StoreV {
+        /// Source.
+        src: VReg,
+        /// Address.
+        addr: AddrMode,
+        /// Alignment contract.
+        align: MemAlign,
+    },
+
+    // ----- vector compute -----
+    /// Broadcast a scalar to all lanes.
+    Splat {
+        /// Element type.
+        ty: ScalarTy,
+        /// Destination.
+        dst: VReg,
+        /// Source scalar.
+        src: SReg,
+    },
+    /// Lane `k` gets `start + k*inc` (for `init_affine`).
+    Iota {
+        /// Element type.
+        ty: ScalarTy,
+        /// Destination.
+        dst: VReg,
+        /// Start value.
+        start: SReg,
+        /// Increment.
+        inc: SReg,
+    },
+    /// Insert a scalar into one lane.
+    SetLane {
+        /// Element type.
+        ty: ScalarTy,
+        /// Destination (modified in place).
+        dst: VReg,
+        /// Lane index.
+        lane: u8,
+        /// Source scalar.
+        src: SReg,
+    },
+    /// Extract one lane to a scalar.
+    GetLane {
+        /// Element type.
+        ty: ScalarTy,
+        /// Destination scalar.
+        dst: SReg,
+        /// Source vector.
+        src: VReg,
+        /// Lane index.
+        lane: u8,
+    },
+    /// Elementwise binary op.
+    VBin {
+        /// Operator.
+        op: BinOp,
+        /// Element type.
+        ty: ScalarTy,
+        /// Destination.
+        dst: VReg,
+        /// Left operand.
+        a: VReg,
+        /// Right operand.
+        b: VReg,
+    },
+    /// Elementwise unary op.
+    VUn {
+        /// Operator.
+        op: UnOp,
+        /// Element type.
+        ty: ScalarTy,
+        /// Destination.
+        dst: VReg,
+        /// Operand.
+        a: VReg,
+    },
+    /// Vector shift.
+    VShift {
+        /// Left (`true`) or right shift.
+        left: bool,
+        /// Element type.
+        ty: ScalarTy,
+        /// Destination.
+        dst: VReg,
+        /// Operand.
+        a: VReg,
+        /// Amount.
+        amt: ShiftSrc,
+    },
+    /// Widening multiply of one half of the inputs.
+    VWidenMul {
+        /// Which half.
+        half: Half,
+        /// Source element type.
+        ty: ScalarTy,
+        /// Destination.
+        dst: VReg,
+        /// Left operand.
+        a: VReg,
+        /// Right operand.
+        b: VReg,
+    },
+    /// Dot-product accumulate (`pmaddwd`-class): pairwise widening
+    /// multiply, pairs summed, added to `acc`.
+    VDotAcc {
+        /// Source element type.
+        ty: ScalarTy,
+        /// Destination.
+        dst: VReg,
+        /// Left operand.
+        a: VReg,
+        /// Right operand.
+        b: VReg,
+        /// Accumulator (widened type).
+        acc: VReg,
+    },
+    /// Demote two vectors into one (modular truncation).
+    VPack {
+        /// Source element type.
+        ty: ScalarTy,
+        /// Destination.
+        dst: VReg,
+        /// Low source.
+        a: VReg,
+        /// High source.
+        b: VReg,
+    },
+    /// Promote one half of a vector.
+    VUnpack {
+        /// Which half.
+        half: Half,
+        /// Source element type.
+        ty: ScalarTy,
+        /// Destination.
+        dst: VReg,
+        /// Operand.
+        a: VReg,
+    },
+    /// Lane-wise conversion.
+    VCvt {
+        /// Direction.
+        dir: CvtDir,
+        /// Source element type.
+        ty: ScalarTy,
+        /// Destination.
+        dst: VReg,
+        /// Operand.
+        a: VReg,
+    },
+    /// Interleave one half of two vectors.
+    VInterleave {
+        /// Which half.
+        half: Half,
+        /// Element type.
+        ty: ScalarTy,
+        /// Destination.
+        dst: VReg,
+        /// First source.
+        a: VReg,
+        /// Second source.
+        b: VReg,
+    },
+    /// Strided lane extraction from concatenated sources (lowered from
+    /// the `extract` idiom; costed as `stride` shuffles).
+    VExtractStride {
+        /// Element type.
+        ty: ScalarTy,
+        /// Stride.
+        stride: u8,
+        /// Phase offset.
+        offset: u8,
+        /// Destination.
+        dst: VReg,
+        /// `stride` sources.
+        srcs: Vec<VReg>,
+    },
+    /// Build a realignment control from an address (`lvsr` role): the
+    /// control captures `addr % VS`.
+    VPermCtrl {
+        /// Destination control register.
+        dst: VReg,
+        /// Address whose misalignment is captured.
+        addr: AddrMode,
+    },
+    /// Byte-window extraction `concat(a,b)[ctrl .. ctrl+VS]` (`vperm`
+    /// role; implements realignment).
+    VPerm {
+        /// Destination.
+        dst: VReg,
+        /// Low source.
+        a: VReg,
+        /// High source.
+        b: VReg,
+        /// Control from [`MInst::VPermCtrl`].
+        ctrl: VReg,
+    },
+    /// Horizontal reduction to a scalar.
+    VReduce {
+        /// Reduction operator.
+        op: ReduceOp,
+        /// Element type.
+        ty: ScalarTy,
+        /// Destination scalar.
+        dst: SReg,
+        /// Source vector.
+        src: VReg,
+    },
+    /// Vector register copy.
+    MovV {
+        /// Destination.
+        dst: VReg,
+        /// Source.
+        src: VReg,
+    },
+    /// Reload a scalar from a spill slot (naive register allocation).
+    SpillLd {
+        /// Destination register.
+        dst: SReg,
+        /// Slot index.
+        slot: u32,
+    },
+    /// Spill a scalar to a slot (naive register allocation).
+    SpillSt {
+        /// Source register.
+        src: SReg,
+        /// Slot index.
+        slot: u32,
+    },
+    /// Library-helper call for an idiom the backend lacks.
+    VHelper {
+        /// Which operation.
+        op: HelperOp,
+        /// Source element type.
+        ty: ScalarTy,
+        /// Destination.
+        dst: VReg,
+        /// First operand.
+        a: VReg,
+        /// Second operand (ops that need one).
+        b: Option<VReg>,
+    },
+}
+
+impl MInst {
+    /// Whether this instruction is a pure marker (no execution cost).
+    pub fn is_label(&self) -> bool {
+        matches!(self, MInst::Label(_))
+    }
+}
+
+/// A compiled function: a flat instruction list plus register counts.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MCode {
+    /// Instructions.
+    pub insts: Vec<MInst>,
+    /// Number of scalar registers used.
+    pub n_sregs: u32,
+    /// Number of vector registers used.
+    pub n_vregs: u32,
+    /// Human-readable provenance (kernel + pipeline), for reports.
+    pub note: String,
+}
+
+impl MCode {
+    /// Count non-label instructions (static code size).
+    pub fn len(&self) -> usize {
+        self.insts.iter().filter(|i| !i.is_label()).count()
+    }
+
+    /// Whether there are no executable instructions.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Resolve labels to instruction indices.
+    ///
+    /// # Panics
+    /// Panics if a label is defined twice.
+    pub fn label_map(&self) -> std::collections::HashMap<Label, usize> {
+        let mut m = std::collections::HashMap::new();
+        for (i, inst) in self.insts.iter().enumerate() {
+            if let MInst::Label(l) = inst {
+                let prev = m.insert(*l, i);
+                assert!(prev.is_none(), "label {l} defined twice");
+            }
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn label_map_resolves() {
+        let code = MCode {
+            insts: vec![
+                MInst::Label(Label(0)),
+                MInst::MovImmI { dst: SReg(0), imm: 1 },
+                MInst::Label(Label(1)),
+            ],
+            n_sregs: 1,
+            n_vregs: 0,
+            note: String::new(),
+        };
+        let m = code.label_map();
+        assert_eq!(m[&Label(0)], 0);
+        assert_eq!(m[&Label(1)], 2);
+        assert_eq!(code.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "defined twice")]
+    fn duplicate_labels_panic() {
+        let code = MCode {
+            insts: vec![MInst::Label(Label(0)), MInst::Label(Label(0))],
+            ..Default::default()
+        };
+        let _ = code.label_map();
+    }
+}

@@ -1,0 +1,51 @@
+//! # vapor-targets — simulated SIMD hardware
+//!
+//! The substrate the paper runs on: SSE, AltiVec, NEON and AVX machines.
+//! Since no such hardware is available here, this crate implements each
+//! target as data + a virtual machine:
+//!
+//! * [`TargetDesc`] — the ISA facts of §IV-A (vector size, alignment
+//!   rules, supported element types and idioms);
+//! * [`MInst`]/[`MCode`] — the "machine code" the online compiler emits;
+//! * [`Machine`] — a functionally faithful executor with per-target
+//!   cycle accounting (stands in for the physical boards and for the
+//!   Intel SDE AVX emulator);
+//! * [`ports`] — a static loop-body throughput analyzer standing in for
+//!   Intel IACA (Table 3).
+
+pub mod cost;
+pub mod disasm;
+pub mod isa;
+pub mod machine;
+pub mod ports;
+pub mod target;
+
+pub use cost::{helper_name, CostModel};
+pub use disasm::{disasm, disasm_inst};
+pub use isa::{
+    AddrMode, Cond, CvtDir, Half, HelperOp, Label, MCode, MInst, MemAlign, ReduceOp, SReg,
+    ShiftSrc, VReg,
+};
+pub use machine::{ExecStats, Machine, Memory, Trap, VBytes, GUARD, MAX_VS};
+pub use ports::{analyze_body, analyze_inner_loop, PortModel, PortPressure, Throughput};
+pub use target::{altivec, avx, neon64, scalar_only, sse, target, TargetDesc, TargetKind};
+
+use vapor_ir::ScalarTy;
+
+/// The float type with the same lane width as `t` (conversion targets).
+pub fn float_of_width(t: ScalarTy) -> Option<ScalarTy> {
+    match t {
+        ScalarTy::I32 | ScalarTy::U32 => Some(ScalarTy::F32),
+        ScalarTy::I64 => Some(ScalarTy::F64),
+        _ => None,
+    }
+}
+
+/// The signed integer type with the same lane width as `t`.
+pub fn int_of_width(t: ScalarTy) -> Option<ScalarTy> {
+    match t {
+        ScalarTy::F32 => Some(ScalarTy::I32),
+        ScalarTy::F64 => Some(ScalarTy::I64),
+        _ => None,
+    }
+}

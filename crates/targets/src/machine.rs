@@ -1,0 +1,966 @@
+//! The virtual SIMD machine: executes [`MCode`] over a byte-addressed
+//! memory with real lane semantics and per-target cycle accounting.
+//!
+//! This is the substitute for the paper's physical Core2 / G5 / Cortex A8
+//! machines and for the Intel SDE AVX emulator: functionally faithful
+//! execution plus a deterministic cycle model (see `cost.rs`).
+
+use std::fmt;
+
+use vapor_ir::sem::{eval_bin, eval_cast, eval_un, read_elem, write_elem, Value};
+use vapor_ir::{BinOp, ScalarTy};
+
+use crate::isa::{AddrMode, Cond, CvtDir, Half, HelperOp, MCode, MInst, MemAlign, ReduceOp, ShiftSrc};
+use crate::target::TargetDesc;
+
+/// Maximum vector register width in bytes (the paper's "largest SIMD
+/// width available today", used as the `mod` base for misalignment hints).
+pub const MAX_VS: usize = 32;
+
+/// Guard zone at the bottom of memory; address 0 is never valid.
+pub const GUARD: usize = 64;
+
+/// Execution error (a *trap*): misalignment contract violations,
+/// out-of-bounds accesses, type-domain confusion, or fuel exhaustion.
+/// Any trap in the test suite indicates a compiler bug.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trap(pub String);
+
+impl fmt::Display for Trap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "machine trap: {}", self.0)
+    }
+}
+
+impl std::error::Error for Trap {}
+
+/// Simulated memory: a bump arena with aligned allocation and padding so
+/// floor-aligned vector loads near array ends stay in bounds (the same
+/// guarantee a real runtime provides for `lvx`-style realignment).
+#[derive(Debug, Clone)]
+pub struct Memory {
+    bytes: Vec<u8>,
+    next: usize,
+}
+
+impl Memory {
+    /// Memory with the given capacity in bytes.
+    pub fn new(capacity: usize) -> Memory {
+        Memory { bytes: vec![0; capacity.max(GUARD + MAX_VS)], next: GUARD }
+    }
+
+    /// Allocate `size` bytes aligned to `align` (power of two), plus
+    /// `MAX_VS` padding on both sides. Returns the base address.
+    ///
+    /// # Panics
+    /// Panics if `align` is not a power of two or memory is exhausted.
+    pub fn alloc(&mut self, size: usize, align: usize) -> u64 {
+        self.alloc_with_misalignment(size, align, 0)
+    }
+
+    /// Allocate with a deliberate misalignment of `mis` bytes past an
+    /// `align` boundary — used by experiments that deny the runtime the
+    /// ability to align arrays.
+    ///
+    /// # Panics
+    /// Panics if `align` is not a power of two or memory is exhausted.
+    pub fn alloc_with_misalignment(&mut self, size: usize, align: usize, mis: usize) -> u64 {
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        let start = (self.next + MAX_VS + align - 1) & !(align - 1);
+        let base = start + mis;
+        let end = base + size + MAX_VS;
+        assert!(end <= self.bytes.len(), "simulated memory exhausted");
+        self.next = end;
+        base as u64
+    }
+
+    /// Raw view of a byte range.
+    ///
+    /// # Panics
+    /// Panics when out of range.
+    pub fn slice(&self, addr: u64, len: usize) -> &[u8] {
+        &self.bytes[addr as usize..addr as usize + len]
+    }
+
+    /// Mutable raw view of a byte range.
+    ///
+    /// # Panics
+    /// Panics when out of range.
+    pub fn slice_mut(&mut self, addr: u64, len: usize) -> &mut [u8] {
+        &mut self.bytes[addr as usize..addr as usize + len]
+    }
+
+    /// Read a typed element.
+    pub fn read(&self, ty: ScalarTy, addr: u64) -> Value {
+        read_elem(ty, &self.bytes, addr as usize)
+    }
+
+    /// Write a typed element.
+    pub fn write(&mut self, ty: ScalarTy, addr: u64, v: Value) {
+        write_elem(ty, &mut self.bytes, addr as usize, v);
+    }
+
+    fn check(&self, addr: u64, size: usize) -> Result<(), Trap> {
+        let a = addr as usize;
+        if a < GUARD || a + size > self.bytes.len() {
+            return Err(Trap(format!("access of {size} bytes at {addr} out of bounds")));
+        }
+        Ok(())
+    }
+}
+
+/// Statistics of one execution.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ExecStats {
+    /// Modeled cycles (the quantity the figures report).
+    pub cycles: u64,
+    /// Dynamic instructions executed.
+    pub insts: u64,
+}
+
+/// One 32-byte vector register.
+pub type VBytes = [u8; MAX_VS];
+
+/// The virtual machine.
+#[derive(Debug)]
+pub struct Machine<'t> {
+    target: &'t TargetDesc,
+    /// Memory image (arrays live here).
+    pub mem: Memory,
+    sregs: Vec<Value>,
+    vregs: Vec<VBytes>,
+    slots: Vec<Value>,
+    /// Instruction budget; a trap fires when exhausted (runaway guard).
+    pub fuel: u64,
+}
+
+impl<'t> Machine<'t> {
+    /// A machine for `target` with `mem_capacity` bytes of memory.
+    pub fn new(target: &'t TargetDesc, mem_capacity: usize) -> Machine<'t> {
+        Machine {
+            target,
+            mem: Memory::new(mem_capacity),
+            sregs: Vec::new(),
+            vregs: Vec::new(),
+            slots: Vec::new(),
+            fuel: 2_000_000_000,
+        }
+    }
+
+    /// Set a scalar register (to pass arguments / array base addresses).
+    pub fn set_sreg(&mut self, r: crate::isa::SReg, v: Value) {
+        if self.sregs.len() <= r.0 as usize {
+            self.sregs.resize(r.0 as usize + 1, Value::Int(0));
+        }
+        self.sregs[r.0 as usize] = v;
+    }
+
+    /// Read a scalar register after execution.
+    pub fn sreg(&self, r: crate::isa::SReg) -> Value {
+        self.sregs.get(r.0 as usize).copied().unwrap_or(Value::Int(0))
+    }
+
+    fn vs(&self) -> usize {
+        self.target.vs.max(1)
+    }
+
+    fn lanes(&self, ty: ScalarTy) -> usize {
+        (self.vs() / ty.size()).max(1)
+    }
+
+    fn sval(&self, r: crate::isa::SReg) -> Result<Value, Trap> {
+        self.sregs
+            .get(r.0 as usize)
+            .copied()
+            .ok_or_else(|| Trap(format!("read of undefined scalar register r{}", r.0)))
+    }
+
+    fn sint(&self, r: crate::isa::SReg) -> Result<i64, Trap> {
+        match self.sval(r)? {
+            Value::Int(v) => Ok(v),
+            Value::Float(v) => Err(Trap(format!("r{} holds float {v}, expected int", r.0))),
+        }
+    }
+
+    fn addr(&self, m: &AddrMode) -> Result<u64, Trap> {
+        let mut a = self.sint(m.base)?;
+        if let Some(idx) = m.idx {
+            a = a.wrapping_add(self.sint(idx)?.wrapping_mul(m.scale as i64));
+        }
+        a = a.wrapping_add(m.disp);
+        if a < 0 {
+            return Err(Trap(format!("negative address {a}")));
+        }
+        Ok(a as u64)
+    }
+
+    fn vbytes(&self, r: crate::isa::VReg) -> Result<VBytes, Trap> {
+        self.vregs
+            .get(r.0 as usize)
+            .copied()
+            .ok_or_else(|| Trap(format!("read of undefined vector register v{}", r.0)))
+    }
+
+    fn set_vreg(&mut self, r: crate::isa::VReg, v: VBytes) {
+        if self.vregs.len() <= r.0 as usize {
+            self.vregs.resize(r.0 as usize + 1, [0; MAX_VS]);
+        }
+        self.vregs[r.0 as usize] = v;
+    }
+
+    fn set_sreg_checked(&mut self, r: crate::isa::SReg, ty: ScalarTy, v: Value) {
+        // Canonicalize domain per type to keep register file consistent.
+        let v = match (ty.is_float(), v) {
+            (true, Value::Float(_)) | (false, Value::Int(_)) => v,
+            (true, Value::Int(i)) => Value::Float(i as f64),
+            (false, Value::Float(f)) => Value::Int(f as i64),
+        };
+        self.set_sreg(r, v);
+    }
+
+    fn lane(&self, bytes: &VBytes, ty: ScalarTy, k: usize) -> Value {
+        read_elem(ty, bytes, k * ty.size())
+    }
+
+    fn with_lanes(
+        &self,
+        ty: ScalarTy,
+        n: usize,
+        mut f: impl FnMut(usize) -> Result<Value, Trap>,
+    ) -> Result<VBytes, Trap> {
+        let mut out = [0u8; MAX_VS];
+        for k in 0..n {
+            let v = f(k)?;
+            write_elem(ty, &mut out, k * ty.size(), v);
+        }
+        Ok(out)
+    }
+
+    /// Execute `code` from its first instruction until it falls off the
+    /// end. Returns modeled cycles and instruction counts.
+    ///
+    /// # Errors
+    /// Returns a [`Trap`] on contract violations (see type docs).
+    pub fn run(&mut self, code: &MCode) -> Result<ExecStats, Trap> {
+        let labels = code.label_map();
+        let mut pc = 0usize;
+        let mut stats = ExecStats::default();
+        let cost = &self.target.cost;
+        let vs = self.vs();
+
+        while pc < code.insts.len() {
+            if stats.insts >= self.fuel {
+                return Err(Trap(format!("fuel exhausted after {} instructions", stats.insts)));
+            }
+            let inst = &code.insts[pc];
+            let mut next = pc + 1;
+
+            match inst {
+                MInst::Label(_) => {}
+                MInst::Jump(l) => {
+                    next = *labels
+                        .get(l)
+                        .ok_or_else(|| Trap(format!("undefined label {l}")))?;
+                }
+                MInst::Branch { cond, a, b, target } => {
+                    let (x, y) = (self.sint(*a)?, self.sint(*b)?);
+                    if take(*cond, x, y) {
+                        next = *labels
+                            .get(target)
+                            .ok_or_else(|| Trap(format!("undefined label {target}")))?;
+                    }
+                }
+                MInst::BranchImm { cond, a, imm, target } => {
+                    let x = self.sint(*a)?;
+                    if take(*cond, x, *imm) {
+                        next = *labels
+                            .get(target)
+                            .ok_or_else(|| Trap(format!("undefined label {target}")))?;
+                    }
+                }
+                MInst::MovImmI { dst, imm } => self.set_sreg(*dst, Value::Int(*imm)),
+                MInst::MovImmF { dst, imm } => self.set_sreg(*dst, Value::Float(*imm)),
+                MInst::MovS { dst, src } => {
+                    let v = self.sval(*src)?;
+                    self.set_sreg(*dst, v);
+                }
+                MInst::SBin { op, ty, dst, a, b } | MInst::FpuBin { op, ty, dst, a, b } => {
+                    let (x, y) = (self.coerce(*ty, self.sval(*a)?), self.coerce(*ty, self.sval(*b)?));
+                    let r = eval_bin(*op, *ty, x, y);
+                    let rty = if op.is_comparison() { ScalarTy::I32 } else { *ty };
+                    self.set_sreg_checked(*dst, rty, r);
+                }
+                MInst::SBinImm { op, ty, dst, a, imm } => {
+                    let x = self.coerce(*ty, self.sval(*a)?);
+                    let y = self.coerce(*ty, Value::Int(*imm));
+                    let r = eval_bin(*op, *ty, x, y);
+                    let rty = if op.is_comparison() { ScalarTy::I32 } else { *ty };
+                    self.set_sreg_checked(*dst, rty, r);
+                }
+                MInst::SUn { op, ty, dst, a } => {
+                    let x = self.coerce(*ty, self.sval(*a)?);
+                    let r = eval_un(*op, *ty, x);
+                    self.set_sreg_checked(*dst, *ty, r);
+                }
+                MInst::SCvt { from, to, dst, a } => {
+                    let x = self.coerce(*from, self.sval(*a)?);
+                    let r = eval_cast(*from, *to, x);
+                    self.set_sreg_checked(*dst, *to, r);
+                }
+                MInst::LoadS { ty, dst, addr } => {
+                    let a = self.addr(addr)?;
+                    self.mem.check(a, ty.size())?;
+                    let v = self.mem.read(*ty, a);
+                    self.set_sreg_checked(*dst, *ty, v);
+                }
+                MInst::StoreS { ty, src, addr } => {
+                    let a = self.addr(addr)?;
+                    self.mem.check(a, ty.size())?;
+                    let v = self.coerce(*ty, self.sval(*src)?);
+                    self.mem.write(*ty, a, v);
+                }
+                MInst::LoadV { dst, addr, align } => {
+                    let a = self.addr(addr)?;
+                    self.mem.check(a, vs)?;
+                    if *align == MemAlign::Aligned && a as usize % vs != 0 {
+                        return Err(Trap(format!(
+                            "aligned vector load from misaligned address {a} (VS={vs})"
+                        )));
+                    }
+                    let mut out = [0u8; MAX_VS];
+                    out[..vs].copy_from_slice(self.mem.slice(a, vs));
+                    self.set_vreg(*dst, out);
+                }
+                MInst::LoadVFloor { dst, addr } => {
+                    let a = self.addr(addr)? & !(vs as u64 - 1);
+                    self.mem.check(a, vs)?;
+                    let mut out = [0u8; MAX_VS];
+                    out[..vs].copy_from_slice(self.mem.slice(a, vs));
+                    self.set_vreg(*dst, out);
+                }
+                MInst::StoreV { src, addr, align } => {
+                    let a = self.addr(addr)?;
+                    self.mem.check(a, vs)?;
+                    if *align == MemAlign::Aligned && a as usize % vs != 0 {
+                        return Err(Trap(format!(
+                            "aligned vector store to misaligned address {a} (VS={vs})"
+                        )));
+                    }
+                    let v = self.vbytes(*src)?;
+                    self.mem.slice_mut(a, vs).copy_from_slice(&v[..vs]);
+                }
+                MInst::Splat { ty, dst, src } => {
+                    let v = self.coerce(*ty, self.sval(*src)?);
+                    let n = self.lanes(*ty);
+                    let out = self.with_lanes(*ty, n, |_| Ok(v))?;
+                    self.set_vreg(*dst, out);
+                }
+                MInst::Iota { ty, dst, start, inc } => {
+                    let s = self.coerce(*ty, self.sval(*start)?);
+                    let i = self.coerce(*ty, self.sval(*inc)?);
+                    let n = self.lanes(*ty);
+                    let out = self.with_lanes(*ty, n, |k| {
+                        let mut v = s;
+                        for _ in 0..k {
+                            v = eval_bin(BinOp::Add, *ty, v, i);
+                        }
+                        Ok(v)
+                    })?;
+                    self.set_vreg(*dst, out);
+                }
+                MInst::SetLane { ty, dst, lane, src } => {
+                    let v = self.coerce(*ty, self.sval(*src)?);
+                    let mut cur = self.vbytes(*dst)?;
+                    let off = *lane as usize * ty.size();
+                    if off + ty.size() > MAX_VS {
+                        return Err(Trap(format!("lane {lane} out of range for {ty}")));
+                    }
+                    write_elem(*ty, &mut cur, off, v);
+                    self.set_vreg(*dst, cur);
+                }
+                MInst::GetLane { ty, dst, src, lane } => {
+                    let v = self.vbytes(*src)?;
+                    let off = *lane as usize * ty.size();
+                    if off + ty.size() > MAX_VS {
+                        return Err(Trap(format!("lane {lane} out of range for {ty}")));
+                    }
+                    let x = read_elem(*ty, &v, off);
+                    self.set_sreg_checked(*dst, *ty, x);
+                }
+                MInst::VBin { op, ty, dst, a, b } => {
+                    let (x, y) = (self.vbytes(*a)?, self.vbytes(*b)?);
+                    let n = self.lanes(*ty);
+                    let out = self.with_lanes(*ty, n, |k| {
+                        Ok(eval_bin(*op, *ty, self.lane(&x, *ty, k), self.lane(&y, *ty, k)))
+                    })?;
+                    self.set_vreg(*dst, out);
+                }
+                MInst::VUn { op, ty, dst, a } => {
+                    let x = self.vbytes(*a)?;
+                    let n = self.lanes(*ty);
+                    let out =
+                        self.with_lanes(*ty, n, |k| Ok(eval_un(*op, *ty, self.lane(&x, *ty, k))))?;
+                    self.set_vreg(*dst, out);
+                }
+                MInst::VShift { left, ty, dst, a, amt } => {
+                    let x = self.vbytes(*a)?;
+                    let n = self.lanes(*ty);
+                    let op = if *left { BinOp::Shl } else { BinOp::Shr };
+                    let out = match amt {
+                        ShiftSrc::Imm(v) => {
+                            let amt = Value::Int(*v as i64);
+                            self.with_lanes(*ty, n, |k| {
+                                Ok(eval_bin(op, *ty, self.lane(&x, *ty, k), amt))
+                            })?
+                        }
+                        ShiftSrc::Reg(r) => {
+                            let amt = Value::Int(self.sint(*r)?);
+                            self.with_lanes(*ty, n, |k| {
+                                Ok(eval_bin(op, *ty, self.lane(&x, *ty, k), amt))
+                            })?
+                        }
+                        ShiftSrc::PerLane(r) => {
+                            let amts = self.vbytes(*r)?;
+                            self.with_lanes(*ty, n, |k| {
+                                Ok(eval_bin(
+                                    op,
+                                    *ty,
+                                    self.lane(&x, *ty, k),
+                                    self.lane(&amts, *ty, k),
+                                ))
+                            })?
+                        }
+                    };
+                    self.set_vreg(*dst, out);
+                }
+                MInst::VWidenMul { half, ty, dst, a, b } => {
+                    let out = self.widen_mul(*half, *ty, *a, *b)?;
+                    self.set_vreg(*dst, out);
+                }
+                MInst::VDotAcc { ty, dst, a, b, acc } => {
+                    let wide = ty
+                        .widened()
+                        .ok_or_else(|| Trap(format!("dot: {ty} has no widened type")))?;
+                    let (x, y, z) = (self.vbytes(*a)?, self.vbytes(*b)?, self.vbytes(*acc)?);
+                    let n = self.lanes(*ty);
+                    let out = self.with_lanes(wide, n / 2, |j| {
+                        let mut sum = self.lane(&z, wide, j);
+                        for k in [2 * j, 2 * j + 1] {
+                            let p = eval_bin(
+                                BinOp::Mul,
+                                wide,
+                                eval_cast(*ty, wide, self.lane(&x, *ty, k)),
+                                eval_cast(*ty, wide, self.lane(&y, *ty, k)),
+                            );
+                            sum = eval_bin(BinOp::Add, wide, sum, p);
+                        }
+                        Ok(sum)
+                    })?;
+                    self.set_vreg(*dst, out);
+                }
+                MInst::VPack { ty, dst, a, b } => {
+                    let out = self.pack(*ty, *a, *b)?;
+                    self.set_vreg(*dst, out);
+                }
+                MInst::VUnpack { half, ty, dst, a } => {
+                    let out = self.unpack(*half, *ty, *a)?;
+                    self.set_vreg(*dst, out);
+                }
+                MInst::VCvt { dir, ty, dst, a } => {
+                    let out = self.cvt(*dir, *ty, *a)?;
+                    self.set_vreg(*dst, out);
+                }
+                MInst::VInterleave { half, ty, dst, a, b } => {
+                    let (x, y) = (self.vbytes(*a)?, self.vbytes(*b)?);
+                    let n = self.lanes(*ty);
+                    let base = if *half == Half::Lo { 0 } else { n / 2 };
+                    let out = self.with_lanes(*ty, n, |k| {
+                        let src = if k % 2 == 0 { &x } else { &y };
+                        Ok(self.lane(src, *ty, base + k / 2))
+                    })?;
+                    self.set_vreg(*dst, out);
+                }
+                MInst::VExtractStride { ty, stride, offset, dst, srcs } => {
+                    let n = self.lanes(*ty);
+                    let mut all = Vec::with_capacity(srcs.len());
+                    for r in srcs {
+                        all.push(self.vbytes(*r)?);
+                    }
+                    let out = self.with_lanes(*ty, n, |k| {
+                        let pos = *offset as usize + k * *stride as usize;
+                        let (vi, li) = (pos / n, pos % n);
+                        let v = all
+                            .get(vi)
+                            .ok_or_else(|| Trap("extract reads past sources".into()))?;
+                        Ok(self.lane(v, *ty, li))
+                    })?;
+                    self.set_vreg(*dst, out);
+                }
+                MInst::VPermCtrl { dst, addr } => {
+                    let a = self.addr(addr)?;
+                    let mut out = [0u8; MAX_VS];
+                    out[0] = (a as usize % vs) as u8;
+                    self.set_vreg(*dst, out);
+                }
+                MInst::VPerm { dst, a, b, ctrl } => {
+                    let (x, y, c) = (self.vbytes(*a)?, self.vbytes(*b)?, self.vbytes(*ctrl)?);
+                    let mis = c[0] as usize % vs;
+                    let mut concat = [0u8; 2 * MAX_VS];
+                    concat[..vs].copy_from_slice(&x[..vs]);
+                    concat[vs..2 * vs].copy_from_slice(&y[..vs]);
+                    let mut out = [0u8; MAX_VS];
+                    out[..vs].copy_from_slice(&concat[mis..mis + vs]);
+                    self.set_vreg(*dst, out);
+                }
+                MInst::VReduce { op, ty, dst, src } => {
+                    let x = self.vbytes(*src)?;
+                    let n = self.lanes(*ty);
+                    let bop = match op {
+                        ReduceOp::Plus => BinOp::Add,
+                        ReduceOp::Max => BinOp::Max,
+                        ReduceOp::Min => BinOp::Min,
+                    };
+                    let mut acc = self.lane(&x, *ty, 0);
+                    for k in 1..n {
+                        acc = eval_bin(bop, *ty, acc, self.lane(&x, *ty, k));
+                    }
+                    self.set_sreg_checked(*dst, *ty, acc);
+                }
+                MInst::MovV { dst, src } => {
+                    let v = self.vbytes(*src)?;
+                    self.set_vreg(*dst, v);
+                }
+                MInst::SpillLd { dst, slot } => {
+                    let v = self
+                        .slots
+                        .get(*slot as usize)
+                        .copied()
+                        .ok_or_else(|| Trap(format!("reload of unwritten slot {slot}")))?;
+                    self.set_sreg(*dst, v);
+                }
+                MInst::SpillSt { src, slot } => {
+                    let v = self.sval(*src)?;
+                    if self.slots.len() <= *slot as usize {
+                        self.slots.resize(*slot as usize + 1, Value::Int(0));
+                    }
+                    self.slots[*slot as usize] = v;
+                }
+                MInst::VHelper { op, ty, dst, a, b } => {
+                    let out = match op {
+                        HelperOp::WidenMult(h) => {
+                            let b = b.ok_or_else(|| Trap("widen_mult helper needs b".into()))?;
+                            self.widen_mul(*h, *ty, *a, b)?
+                        }
+                        HelperOp::Cvt(d) => self.cvt(*d, *ty, *a)?,
+                        HelperOp::FDiv => {
+                            let b = b.ok_or_else(|| Trap("fdiv helper needs b".into()))?;
+                            let (x, y) = (self.vbytes(*a)?, self.vbytes(b)?);
+                            let n = self.lanes(*ty);
+                            self.with_lanes(*ty, n, |k| {
+                                Ok(eval_bin(
+                                    BinOp::Div,
+                                    *ty,
+                                    self.lane(&x, *ty, k),
+                                    self.lane(&y, *ty, k),
+                                ))
+                            })?
+                        }
+                        HelperOp::FSqrt => {
+                            let x = self.vbytes(*a)?;
+                            let n = self.lanes(*ty);
+                            self.with_lanes(*ty, n, |k| {
+                                Ok(eval_un(vapor_ir::UnOp::Sqrt, *ty, self.lane(&x, *ty, k)))
+                            })?
+                        }
+                        HelperOp::Pack => {
+                            let b = b.ok_or_else(|| Trap("pack helper needs b".into()))?;
+                            self.pack(*ty, *a, b)?
+                        }
+                        HelperOp::Unpack(h) => self.unpack(*h, *ty, *a)?,
+                    };
+                    self.set_vreg(*dst, out);
+                }
+            }
+
+            stats.insts += 1;
+            let lanes = match inst {
+                MInst::VReduce { ty, .. } | MInst::VHelper { ty, .. } => self.lanes(*ty),
+                _ => 1,
+            };
+            stats.cycles += cost.cost(inst, lanes);
+            pc = next;
+        }
+        Ok(stats)
+    }
+
+    fn coerce(&self, ty: ScalarTy, v: Value) -> Value {
+        match (ty.is_float(), v) {
+            (true, Value::Float(_)) | (false, Value::Int(_)) => v,
+            (true, Value::Int(i)) => Value::Float(i as f64),
+            (false, Value::Float(f)) => Value::Int(f as i64),
+        }
+    }
+
+    fn widen_mul(
+        &self,
+        half: Half,
+        ty: ScalarTy,
+        a: crate::isa::VReg,
+        b: crate::isa::VReg,
+    ) -> Result<VBytes, Trap> {
+        let wide = ty
+            .widened()
+            .ok_or_else(|| Trap(format!("widen_mult: {ty} has no widened type")))?;
+        let (x, y) = (self.vbytes(a)?, self.vbytes(b)?);
+        let n = self.lanes(ty);
+        let base = if half == Half::Lo { 0 } else { n / 2 };
+        self.with_lanes(wide, n / 2, |j| {
+            Ok(eval_bin(
+                BinOp::Mul,
+                wide,
+                eval_cast(ty, wide, self.lane(&x, ty, base + j)),
+                eval_cast(ty, wide, self.lane(&y, ty, base + j)),
+            ))
+        })
+    }
+
+    fn pack(
+        &self,
+        ty: ScalarTy,
+        a: crate::isa::VReg,
+        b: crate::isa::VReg,
+    ) -> Result<VBytes, Trap> {
+        let narrow = ty
+            .narrowed()
+            .ok_or_else(|| Trap(format!("pack: {ty} has no narrowed type")))?;
+        let (x, y) = (self.vbytes(a)?, self.vbytes(b)?);
+        let n = self.lanes(ty);
+        self.with_lanes(narrow, 2 * n, |k| {
+            let src = if k < n { &x } else { &y };
+            Ok(eval_cast(ty, narrow, self.lane(src, ty, k % n)))
+        })
+    }
+
+    fn cvt(&self, dir: CvtDir, ty: ScalarTy, a: crate::isa::VReg) -> Result<VBytes, Trap> {
+        let to = match dir {
+            CvtDir::IntToFloat => crate::float_of_width(ty)
+                .ok_or_else(|| Trap(format!("cvt_int2fp: no float of width of {ty}")))?,
+            CvtDir::FloatToInt => crate::int_of_width(ty)
+                .ok_or_else(|| Trap(format!("cvt_fp2int: no int of width of {ty}")))?,
+        };
+        let x = self.vbytes(a)?;
+        let n = self.lanes(ty);
+        self.with_lanes(to, n, |k| Ok(eval_cast(ty, to, self.lane(&x, ty, k))))
+    }
+
+    fn unpack(&self, half: Half, ty: ScalarTy, a: crate::isa::VReg) -> Result<VBytes, Trap> {
+        let wide = ty
+            .widened()
+            .ok_or_else(|| Trap(format!("unpack: {ty} has no widened type")))?;
+        let x = self.vbytes(a)?;
+        let n = self.lanes(ty);
+        let base = if half == Half::Lo { 0 } else { n / 2 };
+        self.with_lanes(wide, n / 2, |j| Ok(eval_cast(ty, wide, self.lane(&x, ty, base + j))))
+    }
+}
+
+fn take(cond: Cond, a: i64, b: i64) -> bool {
+    match cond {
+        Cond::Lt => a < b,
+        Cond::Ge => a >= b,
+        Cond::Eq => a == b,
+        Cond::Ne => a != b,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{Label, SReg, VReg};
+    use crate::target::{altivec, sse};
+
+    fn code(insts: Vec<MInst>) -> MCode {
+        MCode { insts, n_sregs: 16, n_vregs: 16, note: String::new() }
+    }
+
+    #[test]
+    fn scalar_loop_sums() {
+        // r2 = 0; for (r0 = 0; r0 < 10; r0++) r2 += r0;
+        let t = sse();
+        let mut m = Machine::new(&t, 4096);
+        let c = code(vec![
+            MInst::MovImmI { dst: SReg(0), imm: 0 },
+            MInst::MovImmI { dst: SReg(2), imm: 0 },
+            MInst::Label(Label(0)),
+            MInst::SBin { op: BinOp::Add, ty: ScalarTy::I64, dst: SReg(2), a: SReg(2), b: SReg(0) },
+            MInst::SBinImm { op: BinOp::Add, ty: ScalarTy::I64, dst: SReg(0), a: SReg(0), imm: 1 },
+            MInst::BranchImm { cond: Cond::Lt, a: SReg(0), imm: 10, target: Label(0) },
+        ]);
+        let stats = m.run(&c).unwrap();
+        assert_eq!(m.sreg(SReg(2)), Value::Int(45));
+        assert!(stats.cycles > 0 && stats.insts > 20);
+    }
+
+    #[test]
+    fn vector_add_roundtrip_through_memory() {
+        let t = sse();
+        let mut m = Machine::new(&t, 4096);
+        let a = m.mem.alloc(16, 16);
+        let b = m.mem.alloc(16, 16);
+        for k in 0..4 {
+            m.mem.write(ScalarTy::F32, a + 4 * k, Value::Float(k as f64));
+            m.mem.write(ScalarTy::F32, b + 4 * k, Value::Float(10.0));
+        }
+        m.set_sreg(SReg(0), Value::Int(a as i64));
+        m.set_sreg(SReg(1), Value::Int(b as i64));
+        let c = code(vec![
+            MInst::LoadV { dst: VReg(0), addr: AddrMode::base_disp(SReg(0), 0), align: MemAlign::Aligned },
+            MInst::LoadV { dst: VReg(1), addr: AddrMode::base_disp(SReg(1), 0), align: MemAlign::Aligned },
+            MInst::VBin { op: BinOp::Add, ty: ScalarTy::F32, dst: VReg(2), a: VReg(0), b: VReg(1) },
+            MInst::StoreV { src: VReg(2), addr: AddrMode::base_disp(SReg(0), 0), align: MemAlign::Aligned },
+        ]);
+        m.run(&c).unwrap();
+        for k in 0..4 {
+            assert_eq!(m.mem.read(ScalarTy::F32, a + 4 * k), Value::Float(10.0 + k as f64));
+        }
+    }
+
+    #[test]
+    fn aligned_access_traps_on_misaligned_address() {
+        let t = sse();
+        let mut m = Machine::new(&t, 4096);
+        let a = m.mem.alloc(64, 16);
+        m.set_sreg(SReg(0), Value::Int(a as i64 + 4));
+        let c = code(vec![MInst::LoadV {
+            dst: VReg(0),
+            addr: AddrMode::base_disp(SReg(0), 0),
+            align: MemAlign::Aligned,
+        }]);
+        let err = m.run(&c).unwrap_err();
+        assert!(err.0.contains("misaligned"), "{err}");
+    }
+
+    #[test]
+    fn realignment_via_perm_matches_unaligned_load() {
+        // AltiVec-style: floor loads + permctrl + perm == the unaligned window.
+        let t = altivec();
+        let mut m = Machine::new(&t, 4096);
+        let a = m.mem.alloc(64, 16);
+        for k in 0..16 {
+            m.mem.write(ScalarTy::I32, a + 4 * k, Value::Int(k as i64));
+        }
+        let addr = a + 8; // misaligned by 8
+        m.set_sreg(SReg(0), Value::Int(addr as i64));
+        let c = code(vec![
+            MInst::LoadVFloor { dst: VReg(0), addr: AddrMode::base_disp(SReg(0), 0) },
+            MInst::LoadVFloor { dst: VReg(1), addr: AddrMode::base_disp(SReg(0), 16) },
+            MInst::VPermCtrl { dst: VReg(2), addr: AddrMode::base_disp(SReg(0), 0) },
+            MInst::VPerm { dst: VReg(3), a: VReg(0), b: VReg(1), ctrl: VReg(2) },
+            MInst::StoreV { src: VReg(3), addr: AddrMode::base_disp(SReg(1), 0), align: MemAlign::Aligned },
+        ]);
+        let out = m.mem.alloc(16, 16);
+        m.set_sreg(SReg(1), Value::Int(out as i64));
+        m.run(&c).unwrap();
+        for k in 0..4u64 {
+            assert_eq!(m.mem.read(ScalarTy::I32, out + 4 * k), Value::Int(2 + k as i64));
+        }
+    }
+
+    #[test]
+    fn widen_mul_and_pack_roundtrip() {
+        let t = sse();
+        let mut m = Machine::new(&t, 4096);
+        // v0 = [1..8] i16, v1 = all 3.
+        let a = m.mem.alloc(16, 16);
+        for k in 0..8 {
+            m.mem.write(ScalarTy::I16, a + 2 * k, Value::Int(k as i64 + 1));
+        }
+        m.set_sreg(SReg(0), Value::Int(a as i64));
+        m.set_sreg(SReg(1), Value::Int(3));
+        let out = m.mem.alloc(32, 16);
+        m.set_sreg(SReg(2), Value::Int(out as i64));
+        let c = code(vec![
+            MInst::LoadV { dst: VReg(0), addr: AddrMode::base_disp(SReg(0), 0), align: MemAlign::Aligned },
+            MInst::Splat { ty: ScalarTy::I16, dst: VReg(1), src: SReg(1) },
+            MInst::VWidenMul { half: Half::Lo, ty: ScalarTy::I16, dst: VReg(2), a: VReg(0), b: VReg(1) },
+            MInst::VWidenMul { half: Half::Hi, ty: ScalarTy::I16, dst: VReg(3), a: VReg(0), b: VReg(1) },
+            MInst::VPack { ty: ScalarTy::I32, dst: VReg(4), a: VReg(2), b: VReg(3) },
+            MInst::StoreV { src: VReg(4), addr: AddrMode::base_disp(SReg(2), 0), align: MemAlign::Aligned },
+        ]);
+        m.run(&c).unwrap();
+        for k in 0..8 {
+            assert_eq!(m.mem.read(ScalarTy::I16, out + 2 * k), Value::Int(3 * (k as i64 + 1)));
+        }
+    }
+
+    #[test]
+    fn dot_product_accumulates_pairs() {
+        let t = sse();
+        let mut m = Machine::new(&t, 4096);
+        let a = m.mem.alloc(16, 16);
+        for k in 0..8 {
+            m.mem.write(ScalarTy::I16, a + 2 * k, Value::Int(2));
+        }
+        m.set_sreg(SReg(0), Value::Int(a as i64));
+        let c = code(vec![
+            MInst::LoadV { dst: VReg(0), addr: AddrMode::base_disp(SReg(0), 0), align: MemAlign::Aligned },
+            MInst::MovImmI { dst: SReg(1), imm: 0 },
+            MInst::Splat { ty: ScalarTy::I32, dst: VReg(1), src: SReg(1) },
+            MInst::VDotAcc { ty: ScalarTy::I16, dst: VReg(2), a: VReg(0), b: VReg(0), acc: VReg(1) },
+            MInst::VReduce { op: ReduceOp::Plus, ty: ScalarTy::I32, dst: SReg(2), src: VReg(2) },
+        ]);
+        m.run(&c).unwrap();
+        // 8 lanes of 2*2 = 32.
+        assert_eq!(m.sreg(SReg(2)), Value::Int(32));
+    }
+
+    #[test]
+    fn fuel_exhaustion_traps() {
+        let t = sse();
+        let mut m = Machine::new(&t, 1024);
+        m.fuel = 100;
+        let c = code(vec![
+            MInst::Label(Label(0)),
+            MInst::Jump(Label(0)),
+        ]);
+        let err = m.run(&c).unwrap_err();
+        assert!(err.0.contains("fuel"));
+    }
+
+    #[test]
+    fn oob_access_traps() {
+        let t = sse();
+        let mut m = Machine::new(&t, 1024);
+        m.set_sreg(SReg(0), Value::Int(0));
+        let c = code(vec![MInst::LoadS {
+            ty: ScalarTy::I32,
+            dst: SReg(1),
+            addr: AddrMode::base_disp(SReg(0), 0),
+        }]);
+        assert!(m.run(&c).is_err());
+    }
+
+    #[test]
+    fn extract_stride_deinterleaves() {
+        let t = sse();
+        let mut m = Machine::new(&t, 4096);
+        let a = m.mem.alloc(32, 16);
+        for k in 0..8 {
+            m.mem.write(ScalarTy::I32, a + 4 * k, Value::Int(k as i64));
+        }
+        m.set_sreg(SReg(0), Value::Int(a as i64));
+        let c = code(vec![
+            MInst::LoadV { dst: VReg(0), addr: AddrMode::base_disp(SReg(0), 0), align: MemAlign::Aligned },
+            MInst::LoadV { dst: VReg(1), addr: AddrMode::base_disp(SReg(0), 16), align: MemAlign::Aligned },
+            MInst::VExtractStride {
+                ty: ScalarTy::I32,
+                stride: 2,
+                offset: 1,
+                dst: VReg(2),
+                srcs: vec![VReg(0), VReg(1)],
+            },
+            MInst::VReduce { op: ReduceOp::Plus, ty: ScalarTy::I32, dst: SReg(1), src: VReg(2) },
+        ]);
+        m.run(&c).unwrap();
+        // odd elements: 1+3+5+7 = 16
+        assert_eq!(m.sreg(SReg(1)), Value::Int(16));
+    }
+}
+
+#[cfg(test)]
+mod more_tests {
+    use super::*;
+    use crate::isa::{AddrMode, MInst, SReg, ShiftSrc, VReg};
+    use crate::target::{neon64, sse};
+    use vapor_ir::ScalarTy;
+
+    fn mcode(insts: Vec<MInst>) -> crate::isa::MCode {
+        crate::isa::MCode { insts, n_sregs: 8, n_vregs: 8, note: String::new() }
+    }
+
+    #[test]
+    fn iota_and_lane_ops() {
+        let t = sse();
+        let mut m = Machine::new(&t, 2048);
+        m.set_sreg(SReg(0), Value::Int(5));
+        m.set_sreg(SReg(1), Value::Int(3));
+        m.set_sreg(SReg(2), Value::Int(-9));
+        let c = mcode(vec![
+            MInst::Iota { ty: ScalarTy::I32, dst: VReg(0), start: SReg(0), inc: SReg(1) },
+            MInst::SetLane { ty: ScalarTy::I32, dst: VReg(0), lane: 2, src: SReg(2) },
+            MInst::GetLane { ty: ScalarTy::I32, dst: SReg(3), src: VReg(0), lane: 2 },
+            MInst::GetLane { ty: ScalarTy::I32, dst: SReg(4), src: VReg(0), lane: 3 },
+        ]);
+        m.run(&c).unwrap();
+        assert_eq!(m.sreg(SReg(3)), Value::Int(-9));
+        assert_eq!(m.sreg(SReg(4)), Value::Int(5 + 3 * 3));
+    }
+
+    #[test]
+    fn per_lane_shift_matches_scalar_semantics() {
+        let t = neon64();
+        let mut m = Machine::new(&t, 2048);
+        m.set_sreg(SReg(0), Value::Int(-64));
+        m.set_sreg(SReg(1), Value::Int(1));
+        m.set_sreg(SReg(2), Value::Int(3));
+        let c = mcode(vec![
+            MInst::Splat { ty: ScalarTy::I16, dst: VReg(0), src: SReg(0) },
+            MInst::Iota { ty: ScalarTy::I16, dst: VReg(1), start: SReg(1), inc: SReg(1) },
+            MInst::VShift {
+                left: false,
+                ty: ScalarTy::I16,
+                dst: VReg(2),
+                a: VReg(0),
+                amt: ShiftSrc::PerLane(VReg(1)),
+            },
+            MInst::GetLane { ty: ScalarTy::I16, dst: SReg(3), src: VReg(2), lane: 0 },
+            MInst::GetLane { ty: ScalarTy::I16, dst: SReg(4), src: VReg(2), lane: 2 },
+        ]);
+        m.run(&c).unwrap();
+        assert_eq!(m.sreg(SReg(3)), Value::Int(-64 >> 1));
+        assert_eq!(m.sreg(SReg(4)), Value::Int(-64 >> 3));
+    }
+
+    #[test]
+    fn helper_semantics_match_native_instructions() {
+        // VHelper(widen_mult) must compute exactly what VWidenMul does.
+        let t = neon64();
+        let mut m = Machine::new(&t, 2048);
+        let a = m.mem.alloc(8, 8);
+        for k in 0..8 {
+            m.mem.write(ScalarTy::U8, a + k, Value::Int(k as i64 + 250)); // wraps u8
+        }
+        m.set_sreg(SReg(0), Value::Int(a as i64));
+        let c = mcode(vec![
+            MInst::LoadV {
+                dst: VReg(0),
+                addr: AddrMode::base_disp(SReg(0), 0),
+                align: MemAlign::Aligned,
+            },
+            MInst::VWidenMul { half: Half::Lo, ty: ScalarTy::U8, dst: VReg(1), a: VReg(0), b: VReg(0) },
+            MInst::VHelper {
+                op: HelperOp::WidenMult(Half::Lo),
+                ty: ScalarTy::U8,
+                dst: VReg(2),
+                a: VReg(0),
+                b: Some(VReg(0)),
+            },
+            MInst::GetLane { ty: ScalarTy::U16, dst: SReg(1), src: VReg(1), lane: 1 },
+            MInst::GetLane { ty: ScalarTy::U16, dst: SReg(2), src: VReg(2), lane: 1 },
+        ]);
+        m.run(&c).unwrap();
+        assert_eq!(m.sreg(SReg(1)), m.sreg(SReg(2)));
+        // 251*251 mod 2^16
+        assert_eq!(m.sreg(SReg(1)), Value::Int((251 * 251) & 0xffff));
+    }
+
+    #[test]
+    fn misaligned_allocation_is_really_misaligned() {
+        let t = sse();
+        let mut m = Machine::new(&t, 2048);
+        let base = m.mem.alloc_with_misalignment(64, 32, 4);
+        assert_eq!(base % 32, 4);
+        let aligned = m.mem.alloc(64, 32);
+        assert_eq!(aligned % 32, 0);
+    }
+}

@@ -1,0 +1,273 @@
+//! IR → scalar bytecode emission.
+//!
+//! Used for three things: the plain scalar bytecode baselines of the
+//! experiments (unvectorized flow), the scalar arms/tail loops the
+//! vectorizer emits next to every vector loop, and the scalar bound and
+//! address computations inside vectorized code.
+
+use std::collections::HashMap;
+
+use vapor_bytecode::{Addr, ArraySym, BcArray, BcFunction, BcParam, BcStmt, BcTy, Op, Operand, Reg};
+use vapor_bytecode::LoopKind;
+use vapor_ir::{infer_expr, BinOp, Expr, Kernel, ScalarTy, Stmt, VarId, VarKind};
+
+/// Emits scalar bytecode for a kernel's IR, maintaining the IR-variable →
+/// bytecode-register mapping (shared with the vectorizer so vector and
+/// scalar arms agree on where locals live).
+#[derive(Debug)]
+pub struct ScalarEmitter<'k> {
+    /// The source kernel.
+    pub kernel: &'k Kernel,
+    /// Variable bindings (params pre-bound).
+    pub vmap: HashMap<VarId, Reg>,
+}
+
+impl<'k> ScalarEmitter<'k> {
+    /// New emitter over a function created by [`new_function`].
+    pub fn new(kernel: &'k Kernel) -> ScalarEmitter<'k> {
+        let mut vmap = HashMap::new();
+        let mut idx = 0u32;
+        for (vid, decl) in kernel.vars.iter().enumerate() {
+            if decl.kind == VarKind::Param {
+                vmap.insert(VarId(vid as u32), Reg(idx));
+                idx += 1;
+            }
+        }
+        ScalarEmitter { kernel, vmap }
+    }
+
+    /// The bytecode register of an IR variable, creating one if needed.
+    pub fn var_reg(&mut self, f: &mut BcFunction, v: VarId) -> Reg {
+        if let Some(r) = self.vmap.get(&v) {
+            return *r;
+        }
+        let ty = self.kernel.var(v).ty;
+        let r = f.fresh_reg(BcTy::Scalar(ty));
+        self.vmap.insert(v, r);
+        r
+    }
+
+    /// Emit `e` at type `ty` into `out`, returning the value operand.
+    pub fn emit_expr(
+        &mut self,
+        f: &mut BcFunction,
+        out: &mut Vec<BcStmt>,
+        e: &Expr,
+        ty: ScalarTy,
+    ) -> Operand {
+        match e {
+            Expr::Int(v) => {
+                if ty.is_float() {
+                    Operand::ConstF(*v as f64)
+                } else {
+                    Operand::ConstI(vapor_ir::sem::wrap_int(ty, *v))
+                }
+            }
+            Expr::Float(v) => Operand::ConstF(*v),
+            Expr::Var(v) => Operand::Reg(self.var_reg(f, *v)),
+            Expr::Load { array, index } => {
+                let addr = self.emit_addr(f, out, *array, index);
+                let dst = f.fresh_reg(BcTy::Scalar(ty));
+                out.push(BcStmt::Def { dst, op: Op::SLoad(ty, addr) });
+                Operand::Reg(dst)
+            }
+            Expr::Bin { op, lhs, rhs } => {
+                let operand_ty = if op.is_comparison() {
+                    infer_expr(self.kernel, lhs)
+                        .or_else(|| infer_expr(self.kernel, rhs))
+                        .unwrap_or(ScalarTy::I64)
+                } else {
+                    ty
+                };
+                let a = self.emit_expr(f, out, lhs, operand_ty);
+                let b = self.emit_expr(f, out, rhs, operand_ty);
+                let rty = if op.is_comparison() { ScalarTy::I32 } else { ty };
+                let dst = f.fresh_reg(BcTy::Scalar(rty));
+                out.push(BcStmt::Def { dst, op: Op::SBin(*op, operand_ty, a, b) });
+                Operand::Reg(dst)
+            }
+            Expr::Un { op, arg } => {
+                let a = self.emit_expr(f, out, arg, ty);
+                let dst = f.fresh_reg(BcTy::Scalar(ty));
+                out.push(BcStmt::Def { dst, op: Op::SUn(*op, ty, a) });
+                Operand::Reg(dst)
+            }
+            Expr::Cast { ty: to, arg } => {
+                let from = infer_expr(self.kernel, arg).unwrap_or(match &**arg {
+                    Expr::Float(_) => ScalarTy::F64,
+                    _ => ScalarTy::I64,
+                });
+                let a = self.emit_expr(f, out, arg, from);
+                let dst = f.fresh_reg(BcTy::Scalar(*to));
+                out.push(BcStmt::Def { dst, op: Op::SCast { from, to: *to, arg: a } });
+                Operand::Reg(dst)
+            }
+        }
+    }
+
+    /// Emit an address for `array[index]`, splitting a trailing constant
+    /// offset into the `Addr` displacement.
+    pub fn emit_addr(
+        &mut self,
+        f: &mut BcFunction,
+        out: &mut Vec<BcStmt>,
+        array: vapor_ir::ArrayId,
+        index: &Expr,
+    ) -> Addr {
+        let (core, offset) = split_const_offset(index);
+        let idx = self.emit_expr(f, out, core, ScalarTy::I64);
+        Addr { base: ArraySym(array.0), index: idx, offset }
+    }
+
+    /// Emit a statement (and its nested loops) as scalar bytecode.
+    pub fn emit_stmt(&mut self, f: &mut BcFunction, out: &mut Vec<BcStmt>, s: &Stmt) {
+        match s {
+            Stmt::Assign { var, value } => {
+                let ty = self.kernel.var(*var).ty;
+                let v = self.emit_expr(f, out, value, ty);
+                let dst = self.var_reg(f, *var);
+                out.push(BcStmt::Def { dst, op: Op::Copy(v) });
+            }
+            Stmt::Store { array, index, value } => {
+                let elem = self.kernel.array(*array).elem;
+                let v = self.emit_expr(f, out, value, elem);
+                let addr = self.emit_addr(f, out, *array, index);
+                out.push(BcStmt::SStore { ty: elem, addr, src: v });
+            }
+            Stmt::For { var, lo, hi, step, body } => {
+                let lo_v = self.emit_expr(f, out, lo, ScalarTy::I64);
+                let hi_v = self.emit_expr(f, out, hi, ScalarTy::I64);
+                let ivar = self.var_reg(f, *var);
+                let mut inner = Vec::new();
+                for st in body {
+                    self.emit_stmt(f, &mut inner, st);
+                }
+                out.push(BcStmt::Loop {
+                    var: ivar,
+                    lo: lo_v,
+                    limit: hi_v,
+                    step: vapor_bytecode::Step::Const(*step),
+                    kind: LoopKind::Plain,
+                    group: 0,
+                    body: inner,
+                });
+            }
+        }
+    }
+}
+
+/// Split `e + c` / `e - c` into `(e, c)`; otherwise `(e, 0)`.
+pub fn split_const_offset(e: &Expr) -> (&Expr, i64) {
+    if let Expr::Bin { op, lhs, rhs } = e {
+        match (op, &**rhs) {
+            (BinOp::Add, Expr::Int(c)) => return (lhs, *c),
+            (BinOp::Sub, Expr::Int(c)) => return (lhs, -*c),
+            _ => {}
+        }
+        if let (BinOp::Add, Expr::Int(c)) = (op, &**lhs) {
+            return (rhs, *c);
+        }
+    }
+    (e, 0)
+}
+
+/// Create the bytecode function shell for a kernel (params and arrays
+/// carried over with their declaration kinds).
+pub fn new_function(kernel: &Kernel) -> BcFunction {
+    let params: Vec<BcParam> = kernel
+        .vars
+        .iter()
+        .filter(|v| v.kind == VarKind::Param)
+        .map(|v| BcParam { name: v.name.clone(), ty: v.ty })
+        .collect();
+    let arrays: Vec<BcArray> = kernel
+        .arrays
+        .iter()
+        .map(|a| BcArray { name: a.name.clone(), elem: a.elem, kind: a.kind })
+        .collect();
+    BcFunction::new(kernel.name.clone(), params, arrays)
+}
+
+/// Compile a kernel to purely scalar bytecode (no vectorization at all) —
+/// the baseline bytecode of the experiments.
+pub fn emit_scalar_function(kernel: &Kernel) -> BcFunction {
+    let mut f = new_function(kernel);
+    let mut em = ScalarEmitter::new(kernel);
+    let mut body = Vec::new();
+    for s in &kernel.body {
+        em.emit_stmt(&mut f, &mut body, s);
+    }
+    f.body = body;
+    f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vapor_frontend::parse_kernel;
+
+    #[test]
+    fn saxpy_scalar_bytecode_verifies() {
+        let k = parse_kernel(
+            "kernel saxpy(long n, float a, float x[], float y[]) {
+               for (long i = 0; i < n; i++) { y[i] = a * x[i] + y[i]; }
+             }",
+        )
+        .unwrap();
+        let f = emit_scalar_function(&k);
+        vapor_bytecode::verify_function(&f).unwrap();
+        assert!(!f.has_vector_code());
+        assert!(f.stmt_count() > 4);
+    }
+
+    #[test]
+    fn const_offsets_fold_into_addr() {
+        let k = parse_kernel(
+            "kernel t(long n, float x[], float y[]) {
+               for (long i = 0; i < n; i++) { y[i] = x[i + 2]; }
+             }",
+        )
+        .unwrap();
+        let f = emit_scalar_function(&k);
+        let mut found = false;
+        f.walk(&mut |s| {
+            if let BcStmt::Def { op: Op::SLoad(_, addr), .. } = s {
+                if addr.offset == 2 {
+                    found = true;
+                }
+            }
+        });
+        assert!(found, "expected &x[i+2] addressing:\n{}", vapor_bytecode::print_function(&f));
+    }
+
+    #[test]
+    fn nested_loops_and_locals() {
+        let k = parse_kernel(
+            "kernel sfir(long n, long nt, short x[], short c[], int y[]) {
+               int s;
+               for (long i = 0; i < n; i++) {
+                 s = 0;
+                 for (long j = 0; j < nt; j++) { s += (int)x[i + j] * (int)c[j]; }
+                 y[i] = s;
+               }
+             }",
+        )
+        .unwrap();
+        let f = emit_scalar_function(&k);
+        vapor_bytecode::verify_function(&f).unwrap();
+        // two nested Plain loops
+        let mut depth = 0;
+        fn max_depth(stmts: &[BcStmt]) -> usize {
+            stmts
+                .iter()
+                .map(|s| match s {
+                    BcStmt::Loop { body, .. } => 1 + max_depth(body),
+                    _ => 0,
+                })
+                .max()
+                .unwrap_or(0)
+        }
+        depth += max_depth(&f.body);
+        assert_eq!(depth, 2);
+    }
+}

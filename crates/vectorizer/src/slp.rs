@@ -1,0 +1,224 @@
+//! Straight-line (superword-level) pre-pass.
+//!
+//! Detects loops whose body is a group of `G` isomorphic stores at
+//! `G*i + k` for `k = 0..G-1` (the mix-streams shape: one statement per
+//! audio channel) and flattens them into a single-statement loop over
+//! `G*n` contiguous elements, which the loop vectorizer then handles.
+//! This mirrors how SLP groups isomorphic statements and picks an
+//! unrolling factor so the group fills a vector (§II(c) of the paper).
+
+use vapor_ir::{Expr, Kernel, Stmt, VarId};
+
+use crate::affine::{analyze, Coeff};
+
+/// Check `e2` is `e1` with every load/store subscript shifted by exactly
+/// `delta` elements (same arrays, same operators, same literals).
+fn isomorphic(k: &Kernel, e1: &Expr, e2: &Expr, delta: i64) -> bool {
+    match (e1, e2) {
+        (Expr::Int(a), Expr::Int(b)) => a == b,
+        (Expr::Float(a), Expr::Float(b)) => a == b,
+        (Expr::Var(a), Expr::Var(b)) => a == b,
+        (Expr::Load { array: a1, index: i1 }, Expr::Load { array: a2, index: i2 }) => {
+            a1 == a2
+                && match (analyze(k, i1), analyze(k, i2)) {
+                    (Some(x), Some(y)) => {
+                        y.minus(&x).and_then(|d| d.as_const()) == Some(delta)
+                    }
+                    _ => false,
+                }
+        }
+        (Expr::Bin { op: o1, lhs: l1, rhs: r1 }, Expr::Bin { op: o2, lhs: l2, rhs: r2 }) => {
+            o1 == o2 && isomorphic(k, l1, l2, delta) && isomorphic(k, r1, r2, delta)
+        }
+        (Expr::Un { op: o1, arg: a1 }, Expr::Un { op: o2, arg: a2 }) => {
+            o1 == o2 && isomorphic(k, a1, a2, delta)
+        }
+        (Expr::Cast { ty: t1, arg: a1 }, Expr::Cast { ty: t2, arg: a2 }) => {
+            t1 == t2 && isomorphic(k, a1, a2, delta)
+        }
+        _ => false,
+    }
+}
+
+/// Rewrite every load subscript `G*i + c` as `i + c` (`i` now counts
+/// elements); requires the template's loads all have coefficient `G`.
+fn reindex(k: &Kernel, e: &Expr, iv: VarId, g: i64) -> Option<Expr> {
+    Some(match e {
+        Expr::Int(_) | Expr::Float(_) | Expr::Var(_) => e.clone(),
+        Expr::Load { array, index } => {
+            let aff = analyze(k, index)?;
+            match aff.coeff_of(iv) {
+                Coeff::Const(c) if c == g => {}
+                _ => return None,
+            }
+            // New subscript: i + (konst + other terms); other loop terms
+            // unsupported in SLP bodies.
+            if aff.loops.len() != 1 || !aff.params.is_empty() {
+                return None;
+            }
+            Expr::Load {
+                array: *array,
+                index: Box::new(Expr::bin(
+                    vapor_ir::BinOp::Add,
+                    Expr::Var(iv),
+                    Expr::Int(aff.konst),
+                )),
+            }
+        }
+        Expr::Bin { op, lhs, rhs } => Expr::Bin {
+            op: *op,
+            lhs: Box::new(reindex(k, lhs, iv, g)?),
+            rhs: Box::new(reindex(k, rhs, iv, g)?),
+        },
+        Expr::Un { op, arg } => Expr::Un { op: *op, arg: Box::new(reindex(k, arg, iv, g)?) },
+        Expr::Cast { ty, arg } => Expr::Cast { ty: *ty, arg: Box::new(reindex(k, arg, iv, g)?) },
+    })
+}
+
+fn try_merge_loop(k: &Kernel, s: &Stmt) -> Option<Stmt> {
+    let Stmt::For { var, lo, hi, step: 1, body } = s else { return None };
+    if !matches!(lo, Expr::Int(0)) {
+        return None;
+    }
+    let g = body.len() as i64;
+    if g < 2 {
+        return None;
+    }
+    // All statements must be stores to the same array at G*i + k.
+    let mut template: Option<(&vapor_ir::ArrayId, &Expr)> = None;
+    for (idx, st) in body.iter().enumerate() {
+        let Stmt::Store { array, index, value } = st else { return None };
+        let aff = analyze(k, index)?;
+        if aff.coeff_of(*var) != Coeff::Const(g) || aff.konst != idx as i64 {
+            return None;
+        }
+        if aff.loops.len() != 1 || !aff.params.is_empty() {
+            return None;
+        }
+        match &template {
+            None => template = Some((array, value)),
+            Some((a0, v0)) => {
+                if *a0 != array || !isomorphic(k, v0, value, idx as i64) {
+                    return None;
+                }
+            }
+        }
+    }
+    let (array, v0) = template?;
+    let new_value = reindex(k, v0, *var, g)?;
+    Some(Stmt::For {
+        var: *var,
+        lo: Expr::Int(0),
+        hi: Expr::bin(vapor_ir::BinOp::Mul, hi.clone(), Expr::Int(g)),
+        step: 1,
+        body: vec![Stmt::Store {
+            array: *array,
+            index: Expr::Var(*var),
+            value: new_value,
+        }],
+    })
+}
+
+fn rewrite_stmt(k: &Kernel, s: &Stmt, changed: &mut bool) -> Stmt {
+    if let Some(merged) = try_merge_loop(k, s) {
+        *changed = true;
+        return merged;
+    }
+    match s {
+        Stmt::For { var, lo, hi, step, body } => Stmt::For {
+            var: *var,
+            lo: lo.clone(),
+            hi: hi.clone(),
+            step: *step,
+            body: body.iter().map(|st| rewrite_stmt(k, st, changed)).collect(),
+        },
+        other => other.clone(),
+    }
+}
+
+/// Apply the SLP pre-pass; `Some(kernel')` if any group was merged.
+pub fn apply(k: &Kernel) -> Option<Kernel> {
+    let mut changed = false;
+    let body: Vec<Stmt> = k.body.iter().map(|s| rewrite_stmt(k, s, &mut changed)).collect();
+    if changed {
+        Some(Kernel { name: k.name.clone(), vars: k.vars.clone(), arrays: k.arrays.clone(), body })
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vapor_frontend::parse_kernel;
+    use vapor_ir::{interpret, ArrayData, Bindings, ScalarTy};
+
+    fn mix() -> Kernel {
+        parse_kernel(
+            "kernel mix(long n, short a[], short b[], short out[]) {
+               for (long i = 0; i < n; i++) {
+                 out[4*i] = (a[4*i] + b[4*i]) >> 1;
+                 out[4*i + 1] = (a[4*i + 1] + b[4*i + 1]) >> 1;
+                 out[4*i + 2] = (a[4*i + 2] + b[4*i + 2]) >> 1;
+                 out[4*i + 3] = (a[4*i + 3] + b[4*i + 3]) >> 1;
+               }
+             }",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn merges_isomorphic_group() {
+        let k = mix();
+        let merged = apply(&k).expect("SLP group should merge");
+        let Stmt::For { body, .. } = &merged.body[0] else { panic!() };
+        assert_eq!(body.len(), 1, "group collapsed to one statement");
+        vapor_ir::validate(&merged).unwrap();
+    }
+
+    #[test]
+    fn merged_kernel_computes_the_same() {
+        let k = mix();
+        let merged = apply(&k).unwrap();
+        let a: Vec<i64> = (0..32).map(|x| x * 3 - 7).collect();
+        let b: Vec<i64> = (0..32).map(|x| 100 - x).collect();
+        let run = |kk: &Kernel| {
+            let mut env = Bindings::new();
+            env.set_int("n", 8)
+                .set_array("a", ArrayData::from_ints(ScalarTy::I16, &a))
+                .set_array("b", ArrayData::from_ints(ScalarTy::I16, &b))
+                .set_array("out", ArrayData::zeroed(ScalarTy::I16, 32));
+            interpret(kk, &mut env).unwrap();
+            env.array("out").unwrap().values()
+        };
+        assert_eq!(run(&k), run(&merged));
+    }
+
+    #[test]
+    fn non_isomorphic_group_untouched() {
+        let k = parse_kernel(
+            "kernel t(long n, short a[], short out[]) {
+               for (long i = 0; i < n; i++) {
+                 out[2*i] = a[2*i];
+                 out[2*i + 1] = a[2*i + 1] + 1;
+               }
+             }",
+        )
+        .unwrap();
+        assert!(apply(&k).is_none());
+    }
+
+    #[test]
+    fn partial_residues_untouched() {
+        let k = parse_kernel(
+            "kernel t(long n, short a[], short out[]) {
+               for (long i = 0; i < n; i++) {
+                 out[2*i] = a[2*i];
+                 out[2*i] = a[2*i];
+               }
+             }",
+        )
+        .unwrap();
+        assert!(apply(&k).is_none());
+    }
+}

@@ -1,0 +1,33 @@
+//! Target capability queries used by the native-mode vectorizer (the
+//! split-mode vectorizer never consults a target — that is the point).
+
+use vapor_bytecode::OpClass;
+use vapor_targets::TargetDesc;
+
+/// Whether a target claims vector support for an operation class (the
+/// same notion the online stage folds `ops_supported` guards with).
+pub fn target_claims_class(t: &TargetDesc, c: OpClass) -> bool {
+    match c {
+        OpClass::FDiv => t.has_fdiv,
+        OpClass::FSqrt => t.has_fsqrt,
+        OpClass::WidenMult => t.has_widen_mult,
+        OpClass::Cvt => t.has_cvt,
+        OpClass::DotProduct => t.has_dot_product,
+        OpClass::PerLaneShift => t.has_per_lane_shift,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vapor_targets::{altivec, neon64, sse};
+
+    #[test]
+    fn altivec_lacks_fdiv_but_neon_claims_cvt() {
+        assert!(!target_claims_class(&altivec(), OpClass::FDiv));
+        assert!(target_claims_class(&sse(), OpClass::FDiv));
+        // NEON claims cvt (and implements it via a helper) — the claim is
+        // what guard folding sees.
+        assert!(target_claims_class(&neon64(), OpClass::Cvt));
+    }
+}

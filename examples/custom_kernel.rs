@@ -1,0 +1,80 @@
+//! Build a kernel programmatically with [`vapor_ir::KernelBuilder`]
+//! (no parser involved), inspect what the offline vectorizer makes of
+//! it, and run the split flow end to end.
+//!
+//! The kernel is a fused multiply-add stencil with a misaligned load —
+//! enough to trigger realignment handling and version guards.
+//!
+//! ```text
+//! cargo run --release --example custom_kernel
+//! ```
+
+use vapor_core::{compile, reference, run, AllocPolicy, CompileConfig, Flow};
+use vapor_ir::{ArrayData, BinOp, Bindings, Expr, KernelBuilder, ScalarTy};
+use vapor_targets::{altivec, sse};
+use vapor_vectorizer::{vectorize, VectorizeOptions};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // y[i] = w0*x[i] + w1*x[i+1] - a three-point blur without the parser.
+    let mut b = KernelBuilder::new("blur2");
+    let n = b.scalar_param("n", ScalarTy::I64);
+    let w0 = b.scalar_param("w0", ScalarTy::F32);
+    let w1 = b.scalar_param("w1", ScalarTy::F32);
+    let x = b.array_param("x", ScalarTy::F32);
+    let y = b.array_param("y", ScalarTy::F32);
+    let i = b.fresh_loop_var("i");
+    b.for_loop(i, Expr::Int(0), Expr::Var(n), 1, |b| {
+        let x_i = Expr::load(x, Expr::Var(i));
+        let x_i1 = Expr::load(x, Expr::bin(BinOp::Add, Expr::Var(i), Expr::Int(1)));
+        b.store(
+            y,
+            Expr::Var(i),
+            Expr::bin(
+                BinOp::Add,
+                Expr::bin(BinOp::Mul, Expr::Var(w0), x_i),
+                Expr::bin(BinOp::Mul, Expr::Var(w1), x_i1),
+            ),
+        );
+    });
+    let kernel = b.finish();
+    vapor_ir::validate(&kernel)?;
+
+    println!("=== kernel (pretty-printed mini-C) ===\n");
+    println!("{}", vapor_ir::print_kernel(&kernel));
+
+    let result = vectorize(&kernel, &VectorizeOptions::default());
+    println!("=== offline vectorizer reports ===");
+    for r in &result.reports {
+        println!(
+            "  {}: vectorized={} features={:?}",
+            r.description, r.vectorized, r.features
+        );
+    }
+
+    let n_elems = 509usize; // odd on purpose: the scalar tail loop runs
+    let mut env = Bindings::new();
+    let xs: Vec<f64> = (0..n_elems + 1).map(|k| (k as f64 * 0.1).sin()).collect();
+    env.set_int("n", n_elems as i64)
+        .set_float("w0", 0.75)
+        .set_float("w1", 0.25)
+        .set_array("x", ArrayData::from_floats(ScalarTy::F32, &xs))
+        .set_array("y", ArrayData::zeroed(ScalarTy::F32, n_elems));
+
+    let oracle = reference(&kernel, &env)?;
+    for target in [sse(), altivec()] {
+        let c = compile(&kernel, Flow::SplitVectorOpt, &target, &CompileConfig::default())?;
+        let r = run(&target, &c, &env, AllocPolicy::Aligned)?;
+        vapor_core::arrays_match(oracle.array("y").unwrap(), r.out.array("y").unwrap(), 1e-5)
+            .map_err(vapor_core::PipelineError)?;
+        println!(
+            "\n{}: {} cycles, {} dynamic insts, guards folded {}, runtime {}",
+            target.name,
+            r.stats.cycles,
+            r.stats.insts,
+            c.jit.stats.guards_folded,
+            c.jit.stats.guards_runtime,
+        );
+    }
+    println!("\nresults match the oracle on every target ✓ (n = {n_elems}, tail exercised)");
+    Ok(())
+}

@@ -1,0 +1,47 @@
+//! The interoperability boundary: every artifact the offline stage
+//! produces for the full suite must encode, decode bit-identically, and
+//! re-verify — in both split and scalar forms.
+
+use vapor_bytecode::{decode_module, encode_module, verify_function, BcModule};
+use vapor_kernels::suite;
+use vapor_vectorizer::{emit_scalar_function, vectorize, VectorizeOptions};
+
+#[test]
+fn every_suite_artifact_roundtrips() {
+    for spec in suite() {
+        let kernel = spec.kernel();
+        for (what, func) in [
+            ("split", vectorize(&kernel, &VectorizeOptions::default()).func),
+            (
+                "split-noalign",
+                vectorize(
+                    &kernel,
+                    &VectorizeOptions { no_alignment_opts: true, ..Default::default() },
+                )
+                .func,
+            ),
+            ("scalar", emit_scalar_function(&kernel)),
+        ] {
+            verify_function(&func).unwrap_or_else(|e| panic!("{} ({what}): {e}", spec.name));
+            let module = BcModule::single(func);
+            let bytes = encode_module(&module);
+            let back = decode_module(&bytes)
+                .unwrap_or_else(|e| panic!("{} ({what}): {e}", spec.name));
+            assert_eq!(module, back, "{} ({what}): lossy round-trip", spec.name);
+            // And the decoded form still verifies.
+            verify_function(&back.funcs[0]).unwrap();
+        }
+    }
+}
+
+#[test]
+fn truncated_suite_bytecode_never_decodes() {
+    // Spot-check a large artifact at many truncation points.
+    let spec = vapor_kernels::find("gemver_fp").unwrap();
+    let func = vectorize(&spec.kernel(), &VectorizeOptions::default()).func;
+    let bytes = encode_module(&BcModule::single(func));
+    let step = (bytes.len() / 97).max(1);
+    for cut in (0..bytes.len()).step_by(step) {
+        assert!(decode_module(&bytes[..cut]).is_err(), "cut at {cut} accepted");
+    }
+}

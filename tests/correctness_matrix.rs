@@ -1,0 +1,65 @@
+//! The central integration test: every kernel of the suite, compiled
+//! through every flow, executed on every target, must match the
+//! reference interpreter.
+
+use vapor_core::{arrays_match, compile, reference, run, AllocPolicy, CompileConfig, Flow};
+use vapor_kernels::{suite, Scale};
+use vapor_targets::{altivec, avx, neon64, scalar_only, sse, TargetDesc};
+
+fn targets() -> Vec<TargetDesc> {
+    vec![sse(), altivec(), neon64(), avx(), scalar_only()]
+}
+
+#[test]
+fn every_kernel_every_flow_every_target_matches_oracle() {
+    let cfg = CompileConfig::default();
+    for spec in suite() {
+        let kernel = spec.kernel();
+        let env = spec.env(Scale::Test);
+        let oracle = reference(&kernel, &env)
+            .unwrap_or_else(|e| panic!("{}: oracle failed: {e}", spec.name));
+        for target in targets() {
+            for flow in Flow::ALL {
+                let compiled = compile(&kernel, flow, &target, &cfg).unwrap_or_else(|e| {
+                    panic!("{} [{flow} on {}]: compile failed: {e}", spec.name, target.name)
+                });
+                let result = run(&target, &compiled, &env, AllocPolicy::Aligned)
+                    .unwrap_or_else(|e| {
+                        panic!("{} [{flow} on {}]: {e}", spec.name, target.name)
+                    });
+                for (name, expected) in oracle.arrays() {
+                    let actual = result.out.array(name).unwrap();
+                    arrays_match(expected, actual, 2e-4).unwrap_or_else(|e| {
+                        panic!(
+                            "{} [{flow} on {}]: array {name} mismatch: {e}",
+                            spec.name, target.name
+                        )
+                    });
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn misaligned_arrays_still_execute_correctly() {
+    // The fall-back (no-hints) versions must be correct when the runtime
+    // cannot align arrays (split flows; the runtime check then fails).
+    let cfg = CompileConfig::default();
+    for spec in suite().into_iter().filter(|s| s.expect_vectorized) {
+        let kernel = spec.kernel();
+        let env = spec.env(Scale::Test);
+        let oracle = reference(&kernel, &env).unwrap();
+        for target in [sse(), altivec(), neon64()] {
+            let flow = Flow::SplitVectorOpt;
+            let compiled = compile(&kernel, flow, &target, &cfg).unwrap();
+            let result = run(&target, &compiled, &env, AllocPolicy::Misaligned(4))
+                .unwrap_or_else(|e| panic!("{} on {}: {e}", spec.name, target.name));
+            for (name, expected) in oracle.arrays() {
+                arrays_match(expected, result.out.array(name).unwrap(), 2e-4).unwrap_or_else(
+                    |e| panic!("{} on {} (misaligned): {name}: {e}", spec.name, target.name),
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! Each kernel must exercise exactly the vectorization features the
+//! paper's Table 2 annotates it with (and the non-vectorizable Polybench
+//! solvers must be rejected).
+
+use vapor_kernels::{suite, Scale};
+use vapor_vectorizer::{vectorize, VectorizeOptions};
+
+#[test]
+fn suite_vectorization_and_features_match_table2() {
+    for spec in suite() {
+        let kernel = spec.kernel();
+        let result = vectorize(&kernel, &VectorizeOptions::default());
+        let vectorized = result.reports.iter().any(|r| r.vectorized);
+        assert_eq!(
+            vectorized,
+            spec.expect_vectorized,
+            "{}: vectorized={vectorized}; reports: {:#?}",
+            spec.name,
+            result.reports
+        );
+        let mut seen: Vec<vapor_vectorizer::Feature> = Vec::new();
+        for r in &result.reports {
+            for f in &r.features {
+                if !seen.contains(f) {
+                    seen.push(*f);
+                }
+            }
+        }
+        for want in spec.features {
+            assert!(
+                seen.contains(want),
+                "{}: expected feature {want:?}, saw {seen:?}",
+                spec.name
+            );
+        }
+        // The vectorized bytecode must verify.
+        vapor_bytecode::verify_function(&result.func)
+            .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+        let _ = spec.env(Scale::Test);
+    }
+}
+
+#[test]
+fn rejected_solvers_have_reasons() {
+    for name in ["lu_fp", "ludcmp_fp", "seidel_fp"] {
+        let spec = vapor_kernels::find(name).unwrap();
+        let result = vectorize(&spec.kernel(), &VectorizeOptions::default());
+        assert!(result.reports.iter().all(|r| !r.vectorized), "{name}");
+        assert!(
+            result.reports.iter().any(|r| r.reason.is_some()),
+            "{name}: rejection must be explained"
+        );
+    }
+}
