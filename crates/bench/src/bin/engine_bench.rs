@@ -1,0 +1,172 @@
+//! Engine benchmark: quantifies the two wins of the engine layer and
+//! writes them to `BENCH_engine.json`.
+//!
+//! 1. **Compilation caching** — a cache-hit `Engine::compile` versus a
+//!    cold end-to-end compile, over every suite kernel.
+//! 2. **Pre-decoded VM dispatch** — wall-clock `Machine` throughput of
+//!    the decoded program (`run`) versus the seed per-instruction
+//!    interpreter (`run_baseline`) on the saxpy/polybench suite.
+//!
+//! ```text
+//! cargo run --release -p vapor-bench --bin engine_bench [out.json]
+//! ```
+
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+
+use vapor_bench::Engine;
+use vapor_core::{run, run_baseline, AllocPolicy, CompileConfig, Flow};
+use vapor_kernels::{suite, KernelSpec, Scale, SuiteKind};
+use vapor_targets::sse;
+
+/// Best-of-`reps` wall time of `f`, in seconds.
+fn best_secs<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        black_box(f());
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+struct CacheRow {
+    name: String,
+    cold_us: f64,
+    hit_us: f64,
+}
+
+struct DispatchRow {
+    name: String,
+    baseline_us: f64,
+    decoded_us: f64,
+    cycles: u64,
+}
+
+fn cache_experiment(engine: &Engine) -> Vec<CacheRow> {
+    let target = sse();
+    let cfg = CompileConfig::default();
+    let flow = Flow::SplitVectorOpt;
+    let mut rows = Vec::new();
+    for spec in suite() {
+        let kernel = spec.kernel();
+        let cold_us = best_secs(5, || {
+            engine
+                .compile_uncached(&kernel, flow, &target, &cfg)
+                .unwrap()
+        }) * 1e6;
+        engine.compile(&kernel, flow, &target, &cfg).unwrap(); // warm
+        let hit_us = best_secs(5, || {
+            // 100 hits per rep: a single lookup is near the clock's
+            // resolution.
+            for _ in 0..100 {
+                black_box(engine.compile(&kernel, flow, &target, &cfg).unwrap());
+            }
+        }) * 1e6
+            / 100.0;
+        rows.push(CacheRow {
+            name: spec.name.to_owned(),
+            cold_us,
+            hit_us,
+        });
+    }
+    rows
+}
+
+fn dispatch_suite() -> Vec<KernelSpec> {
+    suite()
+        .into_iter()
+        .filter(|s| s.suite == SuiteKind::Polybench || s.name.starts_with("saxpy"))
+        .collect()
+}
+
+fn dispatch_experiment(engine: &Engine) -> Vec<DispatchRow> {
+    let target = sse();
+    let cfg = CompileConfig::default();
+    let flow = Flow::SplitVectorOpt;
+    let mut rows = Vec::new();
+    for spec in dispatch_suite() {
+        let kernel = spec.kernel();
+        let env = spec.env(Scale::Full);
+        let c = engine.compile(&kernel, flow, &target, &cfg).unwrap();
+        let decoded_us =
+            best_secs(5, || run(&target, &c, &env, AllocPolicy::Aligned).unwrap()) * 1e6;
+        let baseline_us = best_secs(5, || {
+            run_baseline(&target, &c, &env, AllocPolicy::Aligned).unwrap()
+        }) * 1e6;
+        let cycles = run(&target, &c, &env, AllocPolicy::Aligned)
+            .unwrap()
+            .stats
+            .cycles;
+        rows.push(DispatchRow {
+            name: spec.name.to_owned(),
+            baseline_us,
+            decoded_us,
+            cycles,
+        });
+    }
+    rows
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_engine.json".to_string());
+    let engine = Engine::new();
+
+    eprintln!("[1/2] compilation cache: cold vs hit ...");
+    let cache = cache_experiment(&engine);
+    let cold_total: f64 = cache.iter().map(|r| r.cold_us).sum();
+    let hit_total: f64 = cache.iter().map(|r| r.hit_us).sum();
+    let cache_speedup = cold_total / hit_total;
+
+    eprintln!("[2/2] VM dispatch: seed interpreter vs pre-decoded ...");
+    let dispatch = dispatch_experiment(&engine);
+    let base_total: f64 = dispatch.iter().map(|r| r.baseline_us).sum();
+    let dec_total: f64 = dispatch.iter().map(|r| r.decoded_us).sum();
+    let dispatch_speedup = base_total / dec_total;
+
+    let mut j = String::new();
+    j.push_str("{\n");
+    let _ = writeln!(j, "  \"target\": \"{}\",", sse().name);
+    let _ = writeln!(j, "  \"flow\": \"{}\",", Flow::SplitVectorOpt);
+    let _ = writeln!(j, "  \"cache_speedup\": {cache_speedup:.1},");
+    let _ = writeln!(j, "  \"dispatch_speedup\": {dispatch_speedup:.3},");
+    j.push_str("  \"compile\": [\n");
+    for (i, r) in cache.iter().enumerate() {
+        let sep = if i + 1 == cache.len() { "" } else { "," };
+        let _ = writeln!(
+            j,
+            "    {{\"kernel\": \"{}\", \"cold_us\": {:.2}, \"hit_us\": {:.3}, \"speedup\": {:.1}}}{sep}",
+            r.name,
+            r.cold_us,
+            r.hit_us,
+            r.cold_us / r.hit_us
+        );
+    }
+    j.push_str("  ],\n");
+    j.push_str("  \"dispatch\": [\n");
+    for (i, r) in dispatch.iter().enumerate() {
+        let sep = if i + 1 == dispatch.len() { "" } else { "," };
+        let _ = writeln!(
+            j,
+            "    {{\"kernel\": \"{}\", \"baseline_us\": {:.2}, \"decoded_us\": {:.2}, \"speedup\": {:.3}, \"vm_cycles\": {}}}{sep}",
+            r.name,
+            r.baseline_us,
+            r.decoded_us,
+            r.baseline_us / r.decoded_us,
+            r.cycles
+        );
+    }
+    j.push_str("  ]\n}\n");
+
+    std::fs::write(&out_path, &j).unwrap_or_else(|e| panic!("write {out_path}: {e}"));
+    println!("cache-hit compile speedup:   {cache_speedup:.1}x (target ≥ 10x)");
+    println!("pre-decoded dispatch speedup: {dispatch_speedup:.3}x (target ≥ 1.2x)");
+    println!("wrote {out_path}");
+    if cache_speedup < 10.0 || dispatch_speedup < 1.2 {
+        eprintln!("BELOW TARGET");
+        std::process::exit(1);
+    }
+}

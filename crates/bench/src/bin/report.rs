@@ -1,39 +1,143 @@
 //! Regenerate every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! cargo run --release -p vapor-bench --bin report            # everything
-//! cargo run --release -p vapor-bench --bin report fig5a      # one experiment
-//! cargo run --release -p vapor-bench --bin report --quick    # test-scale sizes
+//! cargo run --release -p vapor-bench --bin report              # everything
+//! cargo run --release -p vapor-bench --bin report fig5a       # one experiment
+//! cargo run --release -p vapor-bench --bin report --quick     # test-scale sizes
+//! cargo run --release -p vapor-bench --bin report --target=sse        # one target's figures
+//! cargo run --release -p vapor-bench --bin report --flow=native-vector --kernel=saxpy_fp
 //! ```
+//!
+//! All compilation goes through one [`Engine`]: the full suite touches
+//! many (kernel, flow, target) tuples more than once across figures, and
+//! the cache compiles each exactly once. `--flow` (optionally narrowed
+//! by `--target`/`--kernel`) reproduces a single flow's cycle column
+//! without running any other experiment.
 
 use vapor_bench::{
-    ablation, fig5, fig6, format_table, geomean, realign_reuse_ablation, size_and_time,
-    size_time_summary, table3,
+    ablation, cycles, fig5, fig6, format_table, geomean, realign_reuse_ablation, size_and_time,
+    size_time_summary, table3, CompileJob, Engine,
 };
-use vapor_kernels::Scale;
-use vapor_targets::{altivec, neon64, sse};
+use vapor_core::{CompileConfig, Flow};
+use vapor_kernels::{suite, Scale};
+use vapor_targets::{altivec, avx, neon64, scalar_only, sse, TargetDesc};
+
+fn parse_flow(name: &str) -> Option<Flow> {
+    Flow::ALL.into_iter().find(|f| f.to_string() == name)
+}
+
+fn parse_target(name: &str) -> Option<TargetDesc> {
+    // Accept the short alias the help text advertises ("sse") as well as
+    // the full display name ("SSE (128-bit)").
+    let alias = |t: &TargetDesc| match t.kind {
+        vapor_targets::TargetKind::Sse => "sse",
+        vapor_targets::TargetKind::Altivec => "altivec",
+        vapor_targets::TargetKind::Neon64 => "neon64",
+        vapor_targets::TargetKind::Avx => "avx",
+        vapor_targets::TargetKind::ScalarOnly => "scalar",
+    };
+    [sse(), altivec(), neon64(), avx(), scalar_only()]
+        .into_iter()
+        .find(|t| alias(t).eq_ignore_ascii_case(name) || t.name.eq_ignore_ascii_case(name))
+}
+
+fn flag_value<'a>(args: &'a [String], key: &str) -> Option<&'a str> {
+    args.iter().find_map(|a| a.strip_prefix(key))
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let scale = if quick { Scale::Test } else { Scale::Full };
-    let wanted: Vec<&str> = args.iter().filter(|a| !a.starts_with("--")).map(|s| s.as_str()).collect();
-    let want = |name: &str| wanted.is_empty() || wanted.contains(&name);
 
-    if want("fig5a") {
-        print_fig5("Figure 5a — Mono-class JIT, normalized vectorization impact, SSE", &sse(), scale);
+    let flow_filter = flag_value(&args, "--flow=").map(|v| {
+        parse_flow(v).unwrap_or_else(|| {
+            let known: Vec<String> = Flow::ALL.iter().map(|f| f.to_string()).collect();
+            eprintln!("unknown flow {v:?}; known flows: {}", known.join(", "));
+            std::process::exit(2);
+        })
+    });
+    let target_filter = flag_value(&args, "--target=").map(|v| {
+        parse_target(v).unwrap_or_else(|| {
+            eprintln!("unknown target {v:?}; known: sse, altivec, neon64, avx, scalar");
+            std::process::exit(2);
+        })
+    });
+    let kernel_filter = flag_value(&args, "--kernel=");
+
+    let engine = Engine::new();
+
+    // Focused mode: one flow's cycle counts, nothing else.
+    if let Some(flow) = flow_filter {
+        let target = target_filter.unwrap_or_else(sse);
+        print_flow(&engine, flow, &target, kernel_filter, scale);
+        return;
     }
-    if want("fig5b") {
+    // The figure drivers run whole-suite experiments; --kernel only
+    // means something in the focused --flow mode. Reject it instead of
+    // silently running the full (paper-scale) suite.
+    if kernel_filter.is_some() {
+        eprintln!("--kernel= requires --flow= (figures always cover the whole suite)");
+        std::process::exit(2);
+    }
+
+    let wanted: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|s| s.as_str())
+        .collect();
+    let want = |name: &str| wanted.is_empty() || wanted.contains(&name);
+    let want_target = |t: &TargetDesc| target_filter.as_ref().is_none_or(|f| f.name == t.name);
+
+    // Pre-compile the whole working set across threads: every figure
+    // below is then pure cache hits + VM execution.
+    if wanted.is_empty() && target_filter.is_none() {
+        let specs = suite();
+        let kernels: Vec<_> = specs.iter().map(|s| s.kernel()).collect();
+        let targets = [sse(), altivec(), neon64(), avx()];
+        let mut jobs = Vec::new();
+        for k in &kernels {
+            for t in &targets {
+                for flow in Flow::ALL {
+                    jobs.push(CompileJob::new(k, flow, t));
+                }
+            }
+        }
+        let failures = engine
+            .compile_batch(&jobs)
+            .iter()
+            .filter(|r| r.is_err())
+            .count();
+        let s = engine.stats();
+        eprintln!(
+            "[engine] pre-compiled {} tuples across threads ({} cached, {} failed)",
+            jobs.len(),
+            s.entries,
+            failures
+        );
+    }
+
+    if want("fig5a") && want_target(&sse()) {
         print_fig5(
+            &engine,
+            "Figure 5a — Mono-class JIT, normalized vectorization impact, SSE",
+            &sse(),
+            scale,
+        );
+    }
+    if want("fig5b") && want_target(&altivec()) {
+        print_fig5(
+            &engine,
             "Figure 5b — Mono-class JIT, normalized vectorization impact, AltiVec",
             &altivec(),
             scale,
         );
     }
     if want("ablation") {
-        let rows = ablation(scale);
+        let rows = ablation(&engine, scale);
         let table: Vec<Vec<String>> = rows
             .iter()
+            .filter(|r| target_filter.as_ref().is_none_or(|t| t.name == r.target))
             .map(|r| {
                 vec![
                     r.name.clone(),
@@ -57,8 +161,8 @@ fn main() {
             geomean(rows.iter().map(|r| r.degradation))
         );
     }
-    if want("realign") {
-        let rows = realign_reuse_ablation(scale);
+    if want("realign") && want_target(&altivec()) {
+        let rows = realign_reuse_ablation(&engine, scale);
         let table: Vec<Vec<String>> = rows
             .iter()
             .map(|r| {
@@ -79,8 +183,8 @@ fn main() {
             )
         );
     }
-    if want("size") {
-        let rows = size_and_time(&sse());
+    if want("size") && want_target(&sse()) {
+        let rows = size_and_time(&engine, &sse());
         let table: Vec<Vec<String>> = rows
             .iter()
             .map(|r| {
@@ -99,24 +203,47 @@ fn main() {
             "{}",
             format_table(
                 "§V-A(c) — bytecode size and online compile time (naive JIT, SSE)",
-                &["kernel", "scalar B", "vector B", "size ratio", "scalar µs", "vector µs", "time ratio"],
+                &[
+                    "kernel",
+                    "scalar B",
+                    "vector B",
+                    "size ratio",
+                    "scalar µs",
+                    "vector µs",
+                    "time ratio"
+                ],
                 &table
             )
         );
         let (s, t) = size_time_summary(&rows);
         println!("geomean size ratio: {s:.2}x (paper: ~5x); geomean compile-time ratio: {t:.2}x (paper: 4.85x/5.37x)\n");
     }
-    if want("fig6a") {
-        print_fig6("Figure 6a — split/native normalized execution time, SSE", &sse(), scale);
+    if want("fig6a") && want_target(&sse()) {
+        print_fig6(
+            &engine,
+            "Figure 6a — split/native normalized execution time, SSE",
+            &sse(),
+            scale,
+        );
     }
-    if want("fig6b") {
-        print_fig6("Figure 6b — split/native normalized execution time, AltiVec", &altivec(), scale);
+    if want("fig6b") && want_target(&altivec()) {
+        print_fig6(
+            &engine,
+            "Figure 6b — split/native normalized execution time, AltiVec",
+            &altivec(),
+            scale,
+        );
     }
-    if want("fig6c") {
-        print_fig6("Figure 6c — split/native normalized execution time, NEON (64-bit)", &neon64(), scale);
+    if want("fig6c") && want_target(&neon64()) {
+        print_fig6(
+            &engine,
+            "Figure 6c — split/native normalized execution time, NEON (64-bit)",
+            &neon64(),
+            scale,
+        );
     }
-    if want("table3") {
-        let rows = table3(scale);
+    if want("table3") && want_target(&avx()) {
+        let rows = table3(&engine, scale);
         let table: Vec<Vec<String>> = rows
             .iter()
             .map(|r| {
@@ -124,7 +251,11 @@ fn main() {
                     r.name.clone(),
                     r.native.to_string(),
                     r.split.to_string(),
-                    if r.validated { "ok".into() } else { "FAIL".into() },
+                    if r.validated {
+                        "ok".into()
+                    } else {
+                        "FAIL".into()
+                    },
                 ]
             })
             .collect();
@@ -137,10 +268,48 @@ fn main() {
             )
         );
     }
+
+    let s = engine.stats();
+    eprintln!(
+        "[engine] cache: {} entries, {} hits, {} misses",
+        s.entries, s.hits, s.misses
+    );
 }
 
-fn print_fig5(title: &str, target: &vapor_targets::TargetDesc, scale: Scale) {
-    let rows = fig5(target, scale);
+fn print_flow(
+    engine: &Engine,
+    flow: Flow,
+    target: &TargetDesc,
+    kernel_filter: Option<&str>,
+    scale: Scale,
+) {
+    let cfg = CompileConfig::default();
+    let mut rows = Vec::new();
+    for spec in suite() {
+        if kernel_filter.is_some_and(|k| k != spec.name) {
+            continue;
+        }
+        let kernel = spec.kernel();
+        let env = spec.env(scale);
+        let c = cycles(engine, &kernel, flow, target, &env, &cfg);
+        rows.push(vec![spec.name.to_owned(), c.to_string()]);
+    }
+    if rows.is_empty() {
+        eprintln!("no kernel matches {:?}", kernel_filter.unwrap_or(""));
+        std::process::exit(2);
+    }
+    println!(
+        "{}",
+        format_table(
+            &format!("{flow} on {} — VM cycles", target.name),
+            &["kernel", "cycles"],
+            &rows
+        )
+    );
+}
+
+fn print_fig5(engine: &Engine, title: &str, target: &TargetDesc, scale: Scale) {
+    let rows = fig5(engine, target, scale);
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
@@ -151,17 +320,26 @@ fn print_fig5(title: &str, target: &vapor_targets::TargetDesc, scale: Scale) {
                     format!("{v:.2}")
                 }
             };
-            vec![r.name.clone(), f(r.jit_speedup), f(r.native_speedup), format!("{:.2}x", r.impact)]
+            vec![
+                r.name.clone(),
+                f(r.jit_speedup),
+                f(r.native_speedup),
+                format!("{:.2}x", r.impact),
+            ]
         })
         .collect();
     println!(
         "{}",
-        format_table(title, &["kernel", "JIT speedup", "native speedup", "impact"], &table)
+        format_table(
+            title,
+            &["kernel", "JIT speedup", "native speedup", "impact"],
+            &table
+        )
     );
 }
 
-fn print_fig6(title: &str, target: &vapor_targets::TargetDesc, scale: Scale) {
-    let rows = fig6(target, scale);
+fn print_fig6(engine: &Engine, title: &str, target: &TargetDesc, scale: Scale) {
+    let rows = fig6(engine, target, scale);
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
@@ -175,6 +353,10 @@ fn print_fig6(title: &str, target: &vapor_targets::TargetDesc, scale: Scale) {
         .collect();
     println!(
         "{}",
-        format_table(title, &["kernel", "split cycles", "native cycles", "ratio"], &table)
+        format_table(
+            title,
+            &["kernel", "split cycles", "native cycles", "ratio"],
+            &table
+        )
     );
 }

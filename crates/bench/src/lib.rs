@@ -10,24 +10,30 @@
 
 use std::collections::BTreeMap;
 
-use vapor_core::{compile, run, AllocPolicy, CompileConfig, Flow};
+use vapor_core::{run, AllocPolicy, CompileConfig, Flow};
+
+pub use vapor_core::{CompileJob, Engine};
 use vapor_ir::Kernel;
 use vapor_kernels::{suite, KernelSpec, Scale, SuiteKind};
 use vapor_targets::{altivec, avx, neon64, sse, TargetDesc, TargetKind};
 
-/// Cycle count of one kernel under one flow.
+/// Cycle count of one kernel under one flow. Compilation goes through
+/// `engine`, so regenerating several figures over the same suite
+/// compiles each (kernel, flow, target, config) tuple once.
 ///
 /// # Panics
 /// Panics when compilation or execution fails — the correctness matrix
 /// guarantees they cannot for suite kernels.
 pub fn cycles(
+    engine: &Engine,
     kernel: &Kernel,
     flow: Flow,
     target: &TargetDesc,
     env: &vapor_ir::Bindings,
     cfg: &CompileConfig,
 ) -> u64 {
-    let c = compile(kernel, flow, target, cfg)
+    let c = engine
+        .compile(kernel, flow, target, cfg)
         .unwrap_or_else(|e| panic!("{} [{flow}]: {e}", kernel.name));
     run(target, &c, env, AllocPolicy::Aligned)
         .unwrap_or_else(|e| panic!("{} [{flow} on {}]: {e}", kernel.name, target.name))
@@ -52,7 +58,7 @@ pub struct ImpactRow {
 /// Figure 5 (a: SSE, b: AltiVec): Mono-class JIT vectorization impact.
 /// Returns per-kernel rows, the Polybench average row, and the arithmetic
 /// mean row — the same series the paper plots.
-pub fn fig5(target: &TargetDesc, scale: Scale) -> Vec<ImpactRow> {
+pub fn fig5(engine: &Engine, target: &TargetDesc, scale: Scale) -> Vec<ImpactRow> {
     let cfg = CompileConfig::default();
     let members = |s: &KernelSpec| match target.kind {
         TargetKind::Sse => s.fig5a,
@@ -67,10 +73,10 @@ pub fn fig5(target: &TargetDesc, scale: Scale) -> Vec<ImpactRow> {
         }
         let kernel = spec.kernel();
         let env = spec.env(scale);
-        let a = cycles(&kernel, Flow::SplitVectorNaive, target, &env, &cfg) as f64;
-        let c = cycles(&kernel, Flow::SplitScalarNaive, target, &env, &cfg) as f64;
-        let e = cycles(&kernel, Flow::NativeVector, target, &env, &cfg) as f64;
-        let f = cycles(&kernel, Flow::NativeScalar, target, &env, &cfg) as f64;
+        let a = cycles(engine, &kernel, Flow::SplitVectorNaive, target, &env, &cfg) as f64;
+        let c = cycles(engine, &kernel, Flow::SplitScalarNaive, target, &env, &cfg) as f64;
+        let e = cycles(engine, &kernel, Flow::NativeVector, target, &env, &cfg) as f64;
+        let f = cycles(engine, &kernel, Flow::NativeScalar, target, &env, &cfg) as f64;
         let row = ImpactRow {
             name: spec.name.to_owned(),
             jit_speedup: c / a,
@@ -117,14 +123,14 @@ pub struct RatioRow {
 
 /// Figure 6 (a: SSE, b: AltiVec, c: NEON): split-vectorized execution
 /// time normalized to native-vectorized, all 32 kernels + harmonic mean.
-pub fn fig6(target: &TargetDesc, scale: Scale) -> Vec<RatioRow> {
+pub fn fig6(engine: &Engine, target: &TargetDesc, scale: Scale) -> Vec<RatioRow> {
     let cfg = CompileConfig::default();
     let mut rows = Vec::new();
     for spec in suite() {
         let kernel = spec.kernel();
         let env = spec.env(scale);
-        let d = cycles(&kernel, Flow::SplitVectorOpt, target, &env, &cfg);
-        let e = cycles(&kernel, Flow::NativeVector, target, &env, &cfg);
+        let d = cycles(engine, &kernel, Flow::SplitVectorOpt, target, &env, &cfg);
+        let e = cycles(engine, &kernel, Flow::NativeVector, target, &env, &cfg);
         rows.push(RatioRow {
             name: spec.name.to_owned(),
             split: d,
@@ -133,7 +139,12 @@ pub fn fig6(target: &TargetDesc, scale: Scale) -> Vec<RatioRow> {
         });
     }
     let hmean = rows.len() as f64 / rows.iter().map(|r| 1.0 / r.ratio).sum::<f64>();
-    rows.push(RatioRow { name: "Har. Mean".into(), split: 0, native: 0, ratio: hmean });
+    rows.push(RatioRow {
+        name: "Har. Mean".into(),
+        split: 0,
+        native: 0,
+        ratio: hmean,
+    });
     rows
 }
 
@@ -153,7 +164,7 @@ pub struct Table3Row {
 /// Table 3: IACA-style throughput analysis of the vectorized inner loop
 /// on the 256-bit AVX target, native vs split, plus SDE-style execution
 /// validation.
-pub fn table3(scale: Scale) -> Vec<Table3Row> {
+pub fn table3(engine: &Engine, scale: Scale) -> Vec<Table3Row> {
     let target = avx();
     let cfg = CompileConfig::default();
     let mut rows = Vec::new();
@@ -161,7 +172,7 @@ pub fn table3(scale: Scale) -> Vec<Table3Row> {
         let kernel = spec.kernel();
         let env = spec.env(scale);
         let analyze = |flow: Flow| {
-            let c = compile(&kernel, flow, &target, &cfg).unwrap();
+            let c = engine.compile(&kernel, flow, &target, &cfg).unwrap();
             vapor_targets::analyze_inner_loop(&c.jit.code, &target.ports)
                 .map(|t| t.cycles_per_iter)
                 .unwrap_or(0)
@@ -173,7 +184,7 @@ pub fn table3(scale: Scale) -> Vec<Table3Row> {
         let oracle = vapor_core::reference(&kernel, &env).unwrap();
         let mut validated = true;
         for flow in [Flow::NativeVector, Flow::SplitVectorOpt] {
-            let c = compile(&kernel, flow, &target, &cfg).unwrap();
+            let c = engine.compile(&kernel, flow, &target, &cfg).unwrap();
             let r = run(&target, &c, &env, AllocPolicy::Aligned).unwrap();
             for (name, expected) in oracle.arrays() {
                 if vapor_core::arrays_match(expected, r.out.array(name).unwrap(), 2e-4).is_err() {
@@ -181,7 +192,12 @@ pub fn table3(scale: Scale) -> Vec<Table3Row> {
                 }
             }
         }
-        rows.push(Table3Row { name: spec.name.to_owned(), native, split, validated });
+        rows.push(Table3Row {
+            name: spec.name.to_owned(),
+            native,
+            split,
+            validated,
+        });
     }
     rows
 }
@@ -205,13 +221,14 @@ pub struct AblationRow {
 /// §V-A(b): re-run the Mono-class experiment with alignment
 /// optimizations/hints disabled; the paper reports an average 2.5×
 /// degradation, with AltiVec falling back to scalar code.
-pub fn ablation(scale: Scale) -> Vec<AblationRow> {
+pub fn ablation(engine: &Engine, scale: Scale) -> Vec<AblationRow> {
     let mut rows = Vec::new();
     for target in [sse(), altivec()] {
         for spec in suite().into_iter().filter(|s| s.expect_vectorized) {
             let kernel = spec.kernel();
             let env = spec.env(scale);
             let with_opts = cycles(
+                engine,
                 &kernel,
                 Flow::SplitVectorNaive,
                 &target,
@@ -219,11 +236,15 @@ pub fn ablation(scale: Scale) -> Vec<AblationRow> {
                 &CompileConfig::default(),
             );
             let without = cycles(
+                engine,
                 &kernel,
                 Flow::SplitVectorNaive,
                 &target,
                 &env,
-                &CompileConfig { no_alignment_opts: true, ..Default::default() },
+                &CompileConfig {
+                    no_alignment_opts: true,
+                    ..Default::default()
+                },
             );
             rows.push(AblationRow {
                 name: spec.name.to_owned(),
@@ -255,17 +276,21 @@ pub struct SizeRow {
 /// §V-A(c): bytecode size increase (~5× in the paper) and JIT compile
 /// time increase (~4.85×/5.37×), measured on real encoded bytes and real
 /// wall-clock online compilation.
-pub fn size_and_time(target: &TargetDesc) -> Vec<SizeRow> {
+pub fn size_and_time(engine: &Engine, target: &TargetDesc) -> Vec<SizeRow> {
     let cfg = CompileConfig::default();
     let mut rows = Vec::new();
     for spec in suite() {
         let kernel = spec.kernel();
-        // Best-of-5 wall times to de-noise.
+        // Best-of-5 wall times to de-noise. Deliberately uncached: this
+        // experiment measures the real online stage, which a cache hit
+        // would collapse to a map lookup.
         let timed = |flow: Flow| {
             let mut best = f64::INFINITY;
             let mut bytes = 0;
             for _ in 0..5 {
-                let c = compile(&kernel, flow, target, &cfg).unwrap();
+                let c = engine
+                    .compile_uncached(&kernel, flow, target, &cfg)
+                    .unwrap();
                 best = best.min(c.online_time.as_secs_f64() * 1e6);
                 bytes = c.bytecode_bytes;
             }
@@ -331,7 +356,10 @@ pub fn format_table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> Stri
 
 /// The §V-A(c) summary: (geomean size ratio, geomean time ratio).
 pub fn size_time_summary(rows: &[SizeRow]) -> (f64, f64) {
-    let size = geomean(rows.iter().map(|r| r.vector_bytes as f64 / r.scalar_bytes as f64));
+    let size = geomean(
+        rows.iter()
+            .map(|r| r.vector_bytes as f64 / r.scalar_bytes as f64),
+    );
     let time = geomean(rows.iter().map(|r| r.vector_us / r.scalar_us));
     (size, time)
 }
@@ -346,21 +374,31 @@ pub fn fig6_targets() -> Vec<TargetDesc> {
 /// aligned load) rather than per-access realignment. Only matters on
 /// explicit-realignment targets (AltiVec); returns (kernel, reuse
 /// cycles, no-reuse cycles, slowdown-without-reuse).
-pub fn realign_reuse_ablation(scale: Scale) -> Vec<AblationRow> {
+pub fn realign_reuse_ablation(engine: &Engine, scale: Scale) -> Vec<AblationRow> {
     let target = altivec();
     let mut rows = Vec::new();
     for name in ["sfir_s16", "sfir_fp", "convolve_s32", "jacobi_fp"] {
         let spec = suite().into_iter().find(|s| s.name == name).unwrap();
         let kernel = spec.kernel();
         let env = spec.env(scale);
-        let with_reuse =
-            cycles(&kernel, Flow::SplitVectorOpt, &target, &env, &CompileConfig::default());
-        let without = cycles(
+        let with_reuse = cycles(
+            engine,
             &kernel,
             Flow::SplitVectorOpt,
             &target,
             &env,
-            &CompileConfig { no_realign_reuse: true, ..Default::default() },
+            &CompileConfig::default(),
+        );
+        let without = cycles(
+            engine,
+            &kernel,
+            Flow::SplitVectorOpt,
+            &target,
+            &env,
+            &CompileConfig {
+                no_realign_reuse: true,
+                ..Default::default()
+            },
         );
         rows.push(AblationRow {
             name: name.to_owned(),
@@ -378,8 +416,15 @@ pub fn realign_reuse_ablation(scale: Scale) -> Vec<AblationRow> {
 pub fn named_outliers(rows: &[RatioRow]) -> BTreeMap<String, f64> {
     rows.iter()
         .filter(|r| {
-            ["sad_s8", "mix_streams_s16", "dissolve_s8", "dct_s32fp", "dscal_dp", "saxpy_dp"]
-                .contains(&r.name.as_str())
+            [
+                "sad_s8",
+                "mix_streams_s16",
+                "dissolve_s8",
+                "dct_s32fp",
+                "dscal_dp",
+                "saxpy_dp",
+            ]
+            .contains(&r.name.as_str())
         })
         .map(|r| (r.name.clone(), r.ratio))
         .collect()
@@ -391,17 +436,22 @@ mod tests {
 
     #[test]
     fn fig5_shapes_at_test_scale() {
-        let rows = fig5(&sse(), Scale::Test);
+        let rows = fig5(&Engine::new(), &sse(), Scale::Test);
         assert!(rows.iter().any(|r| r.name == "Arith. Mean"));
         assert!(rows.iter().any(|r| r.name == "polybench_avg"));
         for r in &rows {
-            assert!(r.impact.is_finite() && r.impact > 0.0, "{}: {}", r.name, r.impact);
+            assert!(
+                r.impact.is_finite() && r.impact > 0.0,
+                "{}: {}",
+                r.name,
+                r.impact
+            );
         }
     }
 
     #[test]
     fn table3_split_never_beats_native() {
-        for row in table3(Scale::Test) {
+        for row in table3(&Engine::new(), Scale::Test) {
             assert!(row.validated, "{} failed SDE validation", row.name);
             assert!(
                 row.split >= row.native,
@@ -415,7 +465,7 @@ mod tests {
 
     #[test]
     fn ablation_degrades() {
-        let rows = ablation(Scale::Test);
+        let rows = ablation(&Engine::new(), Scale::Test);
         let mean = geomean(rows.iter().map(|r| r.degradation));
         assert!(mean > 1.2, "alignment ablation should hurt, got {mean:.2}");
     }
@@ -425,9 +475,14 @@ mod tests {
         // Paper-scale trip counts: the reuse scheme amortizes its setup.
         // (At toy sizes the setup dominates, which is exactly why §III-A
         // leaves this decision to the *offline* cost model.)
-        let rows = realign_reuse_ablation(Scale::Full);
+        let rows = realign_reuse_ablation(&Engine::new(), Scale::Full);
         for r in &rows {
-            assert!(r.degradation >= 0.95, "{}: reuse much slower? {:.2}", r.name, r.degradation);
+            assert!(
+                r.degradation >= 0.95,
+                "{}: reuse much slower? {:.2}",
+                r.name,
+                r.degradation
+            );
         }
         assert!(
             rows.iter().any(|r| r.degradation > 1.02),
@@ -437,8 +492,11 @@ mod tests {
 
     #[test]
     fn bytecode_size_ratio_is_large() {
-        let rows = size_and_time(&sse());
+        let rows = size_and_time(&Engine::new(), &sse());
         let (size, _) = size_time_summary(&rows);
-        assert!(size > 2.5, "vectorized bytecode should be much larger, got {size:.2}x");
+        assert!(
+            size > 2.5,
+            "vectorized bytecode should be much larger, got {size:.2}x"
+        );
     }
 }

@@ -166,7 +166,11 @@ impl W {
                 self.u8(1);
                 self.ty(*t);
             }
-            Op::LoopBound { vect, scalar, group } => {
+            Op::LoopBound {
+                vect,
+                scalar,
+                group,
+            } => {
                 self.u8(2);
                 self.operand(vect);
                 self.operand(scalar);
@@ -274,7 +278,12 @@ impl W {
                 self.reg(*v);
                 self.amt(a);
             }
-            Op::Extract { ty, stride, offset, srcs } => {
+            Op::Extract {
+                ty,
+                stride,
+                offset,
+                srcs,
+            } => {
                 self.u8(21);
                 self.ty(*ty);
                 self.u8(*stride);
@@ -306,14 +315,27 @@ impl W {
                 self.ty(*t);
                 self.addr(a);
             }
-            Op::GetRt { ty, addr, mis, modulo } => {
+            Op::GetRt {
+                ty,
+                addr,
+                mis,
+                modulo,
+            } => {
                 self.u8(26);
                 self.ty(*ty);
                 self.addr(addr);
                 self.varu(*mis as u64);
                 self.varu(*modulo as u64);
             }
-            Op::RealignLoad { ty, lo, hi, rt, addr, mis, modulo } => {
+            Op::RealignLoad {
+                ty,
+                lo,
+                hi,
+                rt,
+                addr,
+                mis,
+                modulo,
+            } => {
                 self.u8(27);
                 self.ty(*ty);
                 self.opt_reg(*lo);
@@ -410,7 +432,13 @@ impl W {
                 self.reg(*dst);
                 self.op(op);
             }
-            BcStmt::VStore { ty, addr, src, mis, modulo } => {
+            BcStmt::VStore {
+                ty,
+                addr,
+                src,
+                mis,
+                modulo,
+            } => {
                 self.u8(1);
                 self.ty(*ty);
                 self.addr(addr);
@@ -424,7 +452,15 @@ impl W {
                 self.addr(addr);
                 self.operand(src);
             }
-            BcStmt::Loop { var, lo, limit, step, kind, group, body } => {
+            BcStmt::Loop {
+                var,
+                lo,
+                limit,
+                step,
+                kind,
+                group,
+                body,
+            } => {
                 self.u8(3);
                 self.reg(*var);
                 self.operand(lo);
@@ -452,7 +488,11 @@ impl W {
                     self.stmt(st);
                 }
             }
-            BcStmt::Version { cond, then_body, else_body } => {
+            BcStmt::Version {
+                cond,
+                then_body,
+                else_body,
+            } => {
                 self.u8(4);
                 self.guard(cond);
                 self.varu(then_body.len() as u64);
@@ -515,13 +555,16 @@ struct R<'a> {
 
 impl<'a> R<'a> {
     fn err<T>(&self, msg: impl Into<String>) -> Result<T, DecodeError> {
-        Err(DecodeError { offset: self.pos, msg: msg.into() })
+        Err(DecodeError {
+            offset: self.pos,
+            msg: msg.into(),
+        })
     }
     fn u8(&mut self) -> Result<u8, DecodeError> {
-        let b = *self
-            .buf
-            .get(self.pos)
-            .ok_or(DecodeError { offset: self.pos, msg: "unexpected end".into() })?;
+        let b = *self.buf.get(self.pos).ok_or(DecodeError {
+            offset: self.pos,
+            msg: "unexpected end".into(),
+        })?;
         self.pos += 1;
         Ok(b)
     }
@@ -558,7 +601,10 @@ impl<'a> R<'a> {
             return self.err("unexpected end in string");
         }
         let s = std::str::from_utf8(&self.buf[self.pos..self.pos + n])
-            .map_err(|_| DecodeError { offset: self.pos, msg: "invalid utf-8".into() })?
+            .map_err(|_| DecodeError {
+                offset: self.pos,
+                msg: "invalid utf-8".into(),
+            })?
             .to_owned();
         self.pos += n;
         Ok(s)
@@ -628,9 +674,16 @@ impl<'a> R<'a> {
     fn op(&mut self) -> Result<Op, DecodeError> {
         let tag = self.u8()?;
         Ok(match tag {
-            0 => Op::GetVf { ty: self.ty()?, group: self.varu()? as u32 },
+            0 => Op::GetVf {
+                ty: self.ty()?,
+                group: self.varu()? as u32,
+            },
             1 => Op::GetAlignLimit(self.ty()?),
-            2 => Op::LoopBound { vect: self.operand()?, scalar: self.operand()?, group: self.varu()? as u32 },
+            2 => Op::LoopBound {
+                vect: self.operand()?,
+                scalar: self.operand()?,
+                group: self.varu()? as u32,
+            },
             3 => Op::InitUniform(self.ty()?, self.operand()?),
             4 => Op::InitAffine(self.ty()?, self.operand()?, self.operand()?),
             5 => Op::InitReduc(self.ty()?, self.operand()?, self.operand()?),
@@ -658,7 +711,12 @@ impl<'a> R<'a> {
                 for _ in 0..n {
                     srcs.push(self.reg()?);
                 }
-                Op::Extract { ty, stride, offset, srcs }
+                Op::Extract {
+                    ty,
+                    stride,
+                    offset,
+                    srcs,
+                }
             }
             22 => Op::InterleaveHi(self.ty()?, self.reg()?, self.reg()?),
             23 => Op::InterleaveLo(self.ty()?, self.reg()?, self.reg()?),
@@ -681,7 +739,11 @@ impl<'a> R<'a> {
             },
             28 => Op::SBin(self.binop()?, self.ty()?, self.operand()?, self.operand()?),
             29 => Op::SUn(self.unop()?, self.ty()?, self.operand()?),
-            30 => Op::SCast { from: self.ty()?, to: self.ty()?, arg: self.operand()? },
+            30 => Op::SCast {
+                from: self.ty()?,
+                to: self.ty()?,
+                arg: self.operand()?,
+            },
             31 => Op::SLoad(self.ty()?, self.addr()?),
             32 => Op::Copy(self.operand()?),
             t => return self.err(format!("bad op tag {t}")),
@@ -732,7 +794,10 @@ impl<'a> R<'a> {
             return self.err("statement nesting too deep");
         }
         Ok(match self.u8()? {
-            0 => BcStmt::Def { dst: self.reg()?, op: self.op()? },
+            0 => BcStmt::Def {
+                dst: self.reg()?,
+                op: self.op()?,
+            },
             1 => BcStmt::VStore {
                 ty: self.ty()?,
                 addr: self.addr()?,
@@ -740,7 +805,11 @@ impl<'a> R<'a> {
                 mis: self.varu()? as u32,
                 modulo: self.varu()? as u32,
             },
-            2 => BcStmt::SStore { ty: self.ty()?, addr: self.addr()?, src: self.operand()? },
+            2 => BcStmt::SStore {
+                ty: self.ty()?,
+                addr: self.addr()?,
+                src: self.operand()?,
+            },
             3 => {
                 let var = self.reg()?;
                 let lo = self.operand()?;
@@ -763,7 +832,15 @@ impl<'a> R<'a> {
                 for _ in 0..n {
                     body.push(self.stmt(depth + 1)?);
                 }
-                BcStmt::Loop { var, lo, limit, step, kind, group, body }
+                BcStmt::Loop {
+                    var,
+                    lo,
+                    limit,
+                    step,
+                    kind,
+                    group,
+                    body,
+                }
             }
             4 => {
                 let cond = self.guard()?;
@@ -777,7 +854,11 @@ impl<'a> R<'a> {
                 for _ in 0..n {
                     else_body.push(self.stmt(depth + 1)?);
                 }
-                BcStmt::Version { cond, then_body, else_body }
+                BcStmt::Version {
+                    cond,
+                    then_body,
+                    else_body,
+                }
             }
             t => return self.err(format!("bad statement tag {t}")),
         })
@@ -794,7 +875,10 @@ pub fn decode_module(bytes: &[u8]) -> Result<BcModule, DecodeError> {
     let mut r = R { buf: bytes, pos: 0 };
     for (i, &m) in MAGIC.iter().enumerate() {
         if r.u8()? != m {
-            return Err(DecodeError { offset: i, msg: "bad magic".into() });
+            return Err(DecodeError {
+                offset: i,
+                msg: "bad magic".into(),
+            });
         }
     }
     let ver = r.u8()?;
@@ -808,7 +892,10 @@ pub fn decode_module(bytes: &[u8]) -> Result<BcModule, DecodeError> {
         let np = r.varu()? as usize;
         let mut params = Vec::with_capacity(np.min(1024));
         for _ in 0..np {
-            params.push(BcParam { name: r.str()?, ty: r.ty()? });
+            params.push(BcParam {
+                name: r.str()?,
+                ty: r.ty()?,
+            });
         }
         let na = r.varu()? as usize;
         let mut arrays = Vec::with_capacity(na.min(1024));
@@ -816,7 +903,11 @@ pub fn decode_module(bytes: &[u8]) -> Result<BcModule, DecodeError> {
             arrays.push(BcArray {
                 name: r.str()?,
                 elem: r.ty()?,
-                kind: if r.u8()? == 1 { ArrayKind::Global } else { ArrayKind::PointerParam },
+                kind: if r.u8()? == 1 {
+                    ArrayKind::Global
+                } else {
+                    ArrayKind::PointerParam
+                },
             });
         }
         let nr = r.varu()? as usize;
@@ -829,7 +920,13 @@ pub fn decode_module(bytes: &[u8]) -> Result<BcModule, DecodeError> {
         for _ in 0..ns {
             body.push(r.stmt(0)?);
         }
-        funcs.push(BcFunction { name, params, arrays, regs, body });
+        funcs.push(BcFunction {
+            name,
+            params,
+            arrays,
+            regs,
+            body,
+        });
     }
     if r.pos != bytes.len() {
         return r.err("trailing bytes after module");
@@ -844,8 +941,15 @@ mod tests {
     fn sample_function() -> BcFunction {
         let mut f = BcFunction::new(
             "sum",
-            vec![BcParam { name: "n".into(), ty: ScalarTy::I64 }],
-            vec![BcArray { name: "a".into(), elem: ScalarTy::F32, kind: ArrayKind::Global }],
+            vec![BcParam {
+                name: "n".into(),
+                ty: ScalarTy::I64,
+            }],
+            vec![BcArray {
+                name: "a".into(),
+                elem: ScalarTy::F32,
+                kind: ArrayKind::Global,
+            }],
         );
         let vf = f.fresh_reg(BcTy::Scalar(ScalarTy::I64));
         let vsum = f.fresh_reg(BcTy::Vec(ScalarTy::F32));
@@ -853,8 +957,17 @@ mod tests {
         let vx = f.fresh_reg(BcTy::Vec(ScalarTy::F32));
         let s = f.fresh_reg(BcTy::Scalar(ScalarTy::F32));
         f.body = vec![
-            BcStmt::Def { dst: vf, op: Op::GetVf { ty: ScalarTy::F32, group: 1 } },
-            BcStmt::Def { dst: vsum, op: Op::InitUniform(ScalarTy::F32, Operand::ConstF(0.0)) },
+            BcStmt::Def {
+                dst: vf,
+                op: Op::GetVf {
+                    ty: ScalarTy::F32,
+                    group: 1,
+                },
+            },
+            BcStmt::Def {
+                dst: vsum,
+                op: Op::InitUniform(ScalarTy::F32, Operand::ConstF(0.0)),
+            },
             BcStmt::Loop {
                 var: i,
                 lo: Operand::ConstI(0),
@@ -881,7 +994,10 @@ mod tests {
                     },
                 ],
             },
-            BcStmt::Def { dst: s, op: Op::ReducPlus(ScalarTy::F32, vsum) },
+            BcStmt::Def {
+                dst: s,
+                op: Op::ReducPlus(ScalarTy::F32, vsum),
+            },
             BcStmt::Version {
                 cond: GuardCond::All(vec![
                     GuardCond::TypeSupported(ScalarTy::F64),

@@ -49,7 +49,13 @@ impl BcFunction {
     /// parameters.
     pub fn new(name: impl Into<String>, params: Vec<BcParam>, arrays: Vec<BcArray>) -> BcFunction {
         let regs = params.iter().map(|p| BcTy::Scalar(p.ty)).collect();
-        BcFunction { name: name.into(), params, arrays, regs, body: Vec::new() }
+        BcFunction {
+            name: name.into(),
+            params,
+            arrays,
+            regs,
+            body: Vec::new(),
+        }
     }
 
     /// Allocate a fresh register of the given type.
@@ -142,10 +148,20 @@ mod tests {
         let f = BcFunction::new(
             "t",
             vec![
-                BcParam { name: "n".into(), ty: ScalarTy::I64 },
-                BcParam { name: "alpha".into(), ty: ScalarTy::F32 },
+                BcParam {
+                    name: "n".into(),
+                    ty: ScalarTy::I64,
+                },
+                BcParam {
+                    name: "alpha".into(),
+                    ty: ScalarTy::F32,
+                },
             ],
-            vec![BcArray { name: "x".into(), elem: ScalarTy::F32, kind: ArrayKind::PointerParam }],
+            vec![BcArray {
+                name: "x".into(),
+                elem: ScalarTy::F32,
+                kind: ArrayKind::PointerParam,
+            }],
         );
         assert_eq!(f.param_reg("alpha"), Some(Reg(1)));
         assert_eq!(f.reg_ty(Reg(0)), BcTy::Scalar(ScalarTy::I64));

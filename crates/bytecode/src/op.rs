@@ -216,7 +216,9 @@ impl Op {
                 push_opnd(&mut out, &addr.index)
             }
             Op::GetRt { addr, .. } => push_opnd(&mut out, &addr.index),
-            Op::RealignLoad { lo, hi, rt, addr, .. } => {
+            Op::RealignLoad {
+                lo, hi, rt, addr, ..
+            } => {
                 out.extend(lo.iter().copied());
                 out.extend(hi.iter().copied());
                 out.extend(rt.iter().copied());
@@ -286,6 +288,10 @@ mod tests {
             modulo: 0
         }
         .is_alignment_idiom());
-        assert!(!Op::GetVf { ty: ScalarTy::F32, group: 0 }.is_alignment_idiom());
+        assert!(!Op::GetVf {
+            ty: ScalarTy::F32,
+            group: 0
+        }
+        .is_alignment_idiom());
     }
 }

@@ -22,7 +22,11 @@ fn fmt_op(f: &BcFunction, op: &Op) -> String {
     match op {
         Op::GetVf { ty, group } => format!("get_VF({ty}) @g{group}"),
         Op::GetAlignLimit(t) => format!("get_align_limit({t})"),
-        Op::LoopBound { vect, scalar, group } => {
+        Op::LoopBound {
+            vect,
+            scalar,
+            group,
+        } => {
             format!("loop_bound({vect}, {scalar}) @g{group}")
         }
         Op::InitUniform(t, v) => format!("init_uniform({t}, {v})"),
@@ -43,21 +47,44 @@ fn fmt_op(f: &BcFunction, op: &Op) -> String {
         Op::VUn(op, t, a) => format!("v{}({t}, {a})", op.name()),
         Op::VShl(t, v, amt) => format!("shift_left({t}, {v}, {})", fmt_amt(amt)),
         Op::VShr(t, v, amt) => format!("shift_right({t}, {v}, {})", fmt_amt(amt)),
-        Op::Extract { ty, stride, offset, srcs } => {
+        Op::Extract {
+            ty,
+            stride,
+            offset,
+            srcs,
+        } => {
             let srcs: Vec<String> = srcs.iter().map(|r| r.to_string()).collect();
-            format!("extract({ty}, s={stride}, off={offset}, {})", srcs.join(", "))
+            format!(
+                "extract({ty}, s={stride}, off={offset}, {})",
+                srcs.join(", ")
+            )
         }
         Op::InterleaveHi(t, a, b) => format!("interleave_hi({t}, {a}, {b})"),
         Op::InterleaveLo(t, a, b) => format!("interleave_lo({t}, {a}, {b})"),
         Op::ALoad(t, a) => format!("aload({t}, {})", fmt_addr(f, a)),
         Op::AlignLoad(t, a) => format!("align_load({t}, {})", fmt_addr(f, a)),
-        Op::GetRt { ty, addr, mis, modulo } => {
-            format!("get_rt({ty}, {}, mis={mis}, mod={modulo})", fmt_addr(f, addr))
+        Op::GetRt {
+            ty,
+            addr,
+            mis,
+            modulo,
+        } => {
+            format!(
+                "get_rt({ty}, {}, mis={mis}, mod={modulo})",
+                fmt_addr(f, addr)
+            )
         }
-        Op::RealignLoad { ty, lo, hi, rt, addr, mis, modulo } => {
-            let opt = |r: &Option<crate::ty::Reg>| {
-                r.map(|x| x.to_string()).unwrap_or_else(|| "_".into())
-            };
+        Op::RealignLoad {
+            ty,
+            lo,
+            hi,
+            rt,
+            addr,
+            mis,
+            modulo,
+        } => {
+            let opt =
+                |r: &Option<crate::ty::Reg>| r.map(|x| x.to_string()).unwrap_or_else(|| "_".into());
             format!(
                 "realign_load({ty}, {}, {}, {}, {}, mis={mis}, mod={modulo})",
                 opt(lo),
@@ -142,7 +169,13 @@ fn write_stmt(out: &mut String, f: &BcFunction, s: &BcStmt, indent: usize) {
         BcStmt::Def { dst, op } => {
             let _ = writeln!(out, "{pad}{dst}: {} = {}", f.reg_ty(*dst), fmt_op(f, op));
         }
-        BcStmt::VStore { ty, addr, src, mis, modulo } => {
+        BcStmt::VStore {
+            ty,
+            addr,
+            src,
+            mis,
+            modulo,
+        } => {
             let _ = writeln!(
                 out,
                 "{pad}vstore({ty}, {}, {src}, mis={mis}, mod={modulo})",
@@ -152,7 +185,15 @@ fn write_stmt(out: &mut String, f: &BcFunction, s: &BcStmt, indent: usize) {
         BcStmt::SStore { ty, addr, src } => {
             let _ = writeln!(out, "{pad}store({ty}, {}, {src})", fmt_addr(f, addr));
         }
-        BcStmt::Loop { var, lo, limit, step, kind, group, body } => {
+        BcStmt::Loop {
+            var,
+            lo,
+            limit,
+            step,
+            kind,
+            group,
+            body,
+        } => {
             let step_s = match step {
                 Step::Const(k) => format!("{k}"),
                 Step::Vf(t, 1) => format!("vf({t})"),
@@ -164,13 +205,20 @@ fn write_stmt(out: &mut String, f: &BcFunction, s: &BcStmt, indent: usize) {
                 LoopKind::ScalarPeel => format!(" [peel @g{group}]"),
                 LoopKind::ScalarTail => format!(" [tail @g{group}]"),
             };
-            let _ = writeln!(out, "{pad}loop {var} = {lo} .. {limit} step {step_s}{kind_s} {{");
+            let _ = writeln!(
+                out,
+                "{pad}loop {var} = {lo} .. {limit} step {step_s}{kind_s} {{"
+            );
             for st in body {
                 write_stmt(out, f, st, indent + 1);
             }
             let _ = writeln!(out, "{pad}}}");
         }
-        BcStmt::Version { cond, then_body, else_body } => {
+        BcStmt::Version {
+            cond,
+            then_body,
+            else_body,
+        } => {
             let _ = writeln!(out, "{pad}version ({}) {{", fmt_guard(f, cond));
             for st in then_body {
                 write_stmt(out, f, st, indent + 1);
@@ -204,7 +252,13 @@ pub fn print_function(f: &BcFunction) -> String {
             format!("{k}{} {}[]", a.elem, a.name)
         })
         .collect();
-    let _ = writeln!(out, "func {}({}; {}) {{", f.name, params.join(", "), arrays.join(", "));
+    let _ = writeln!(
+        out,
+        "func {}({}; {}) {{",
+        f.name,
+        params.join(", "),
+        arrays.join(", ")
+    );
     for s in &f.body {
         write_stmt(&mut out, f, s, 1);
     }
@@ -233,8 +287,15 @@ mod tests {
     fn prints_figure3_style() {
         let mut f = BcFunction::new(
             "sum",
-            vec![BcParam { name: "n".into(), ty: ScalarTy::I64 }],
-            vec![BcArray { name: "a".into(), elem: ScalarTy::F32, kind: ArrayKind::Global }],
+            vec![BcParam {
+                name: "n".into(),
+                ty: ScalarTy::I64,
+            }],
+            vec![BcArray {
+                name: "a".into(),
+                elem: ScalarTy::F32,
+                kind: ArrayKind::Global,
+            }],
         );
         let vf = f.fresh_reg(BcTy::Scalar(ScalarTy::I64));
         let vsum = f.fresh_reg(BcTy::Vec(ScalarTy::F32));
@@ -242,7 +303,13 @@ mod tests {
         let i = f.fresh_reg(BcTy::Scalar(ScalarTy::I64));
         let vx = f.fresh_reg(BcTy::Vec(ScalarTy::F32));
         f.body = vec![
-            BcStmt::Def { dst: vf, op: Op::GetVf { ty: ScalarTy::F32, group: 1 } },
+            BcStmt::Def {
+                dst: vf,
+                op: Op::GetVf {
+                    ty: ScalarTy::F32,
+                    group: 1,
+                },
+            },
             BcStmt::Def {
                 dst: vsum,
                 op: Op::InitUniform(ScalarTy::F32, Operand::ConstF(0.0)),
@@ -279,8 +346,14 @@ mod tests {
         ];
         let text = print_function(&f);
         assert!(text.contains("get_VF(float) @g1"), "{text}");
-        assert!(text.contains("get_rt(float, &a[2], mis=8, mod=32)"), "{text}");
-        assert!(text.contains("realign_load(float, _, _, %3, &a[%4+2], mis=8, mod=32)"), "{text}");
+        assert!(
+            text.contains("get_rt(float, &a[2], mis=8, mod=32)"),
+            "{text}"
+        );
+        assert!(
+            text.contains("realign_load(float, _, _, %3, &a[%4+2], mis=8, mod=32)"),
+            "{text}"
+        );
         assert!(text.contains("step vf(float) [vector @g1]"), "{text}");
     }
 }

@@ -158,7 +158,11 @@ impl BcStmt {
                     s.walk(f);
                 }
             }
-            BcStmt::Version { then_body, else_body, .. } => {
+            BcStmt::Version {
+                then_body,
+                else_body,
+                ..
+            } => {
                 for s in then_body.iter().chain(else_body) {
                     s.walk(f);
                 }
@@ -240,14 +244,22 @@ mod tests {
     fn scalar_only_detected() {
         let s = BcStmt::Def {
             dst: Reg(0),
-            op: Op::SBin(BinOp::Add, ScalarTy::I64, Operand::ConstI(1), Operand::ConstI(2)),
+            op: Op::SBin(
+                BinOp::Add,
+                ScalarTy::I64,
+                Operand::ConstI(1),
+                Operand::ConstI(2),
+            ),
         };
         assert!(!s.has_vector_code());
     }
 
     #[test]
     fn version_walk_covers_both_arms() {
-        let leaf = |r| BcStmt::Def { dst: Reg(r), op: Op::Copy(Operand::ConstI(0)) };
+        let leaf = |r| BcStmt::Def {
+            dst: Reg(r),
+            op: Op::Copy(Operand::ConstI(0)),
+        };
         let s = BcStmt::Version {
             cond: GuardCond::TypeSupported(ScalarTy::F64),
             then_body: vec![leaf(1)],

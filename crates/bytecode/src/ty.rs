@@ -128,12 +128,20 @@ pub struct Addr {
 impl Addr {
     /// Address of `base[index]`.
     pub fn new(base: ArraySym, index: impl Into<Operand>) -> Addr {
-        Addr { base, index: index.into(), offset: 0 }
+        Addr {
+            base,
+            index: index.into(),
+            offset: 0,
+        }
     }
 
     /// Address of `base[index + offset]`.
     pub fn with_offset(base: ArraySym, index: impl Into<Operand>, offset: i64) -> Addr {
-        Addr { base, index: index.into(), offset }
+        Addr {
+            base,
+            index: index.into(),
+            offset,
+        }
     }
 }
 

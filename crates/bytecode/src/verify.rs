@@ -210,7 +210,12 @@ impl<'a> Checker<'a> {
                 }
                 Ok(V(*t))
             }
-            Op::Extract { ty, stride, offset, srcs } => {
+            Op::Extract {
+                ty,
+                stride,
+                offset,
+                srcs,
+            } => {
                 if *stride == 0 || srcs.len() != *stride as usize {
                     return err(format!(
                         "extract: needs exactly `stride` sources, got {} for stride {stride}",
@@ -234,14 +239,27 @@ impl<'a> Checker<'a> {
                 self.check_addr(a, *t, "vector load")?;
                 Ok(V(*t))
             }
-            Op::GetRt { ty, addr, modulo, mis } => {
+            Op::GetRt {
+                ty,
+                addr,
+                modulo,
+                mis,
+            } => {
                 self.check_addr(addr, *ty, "get_rt")?;
                 if *modulo != 0 && mis >= modulo {
                     return err("get_rt: mis must be < mod when mod != 0");
                 }
                 Ok(BcTy::RealignToken)
             }
-            Op::RealignLoad { ty, lo, hi, rt, addr, mis, modulo } => {
+            Op::RealignLoad {
+                ty,
+                lo,
+                hi,
+                rt,
+                addr,
+                mis,
+                modulo,
+            } => {
                 self.check_addr(addr, *ty, "realign_load")?;
                 if *modulo != 0 && mis >= modulo {
                     return err("realign_load: mis must be < mod when mod != 0");
@@ -265,7 +283,11 @@ impl<'a> Checker<'a> {
                 }
                 self.expect_scalar(a, *t, "sbin.lhs")?;
                 self.expect_scalar(b, *t, "sbin.rhs")?;
-                Ok(Scalar(if op.is_comparison() { ScalarTy::I32 } else { *t }))
+                Ok(Scalar(if op.is_comparison() {
+                    ScalarTy::I32
+                } else {
+                    *t
+                }))
             }
             Op::SUn(op, t, a) => {
                 if *op == UnOp::Sqrt && !t.is_float() {
@@ -296,7 +318,11 @@ impl<'a> Checker<'a> {
             GuardCond::TypeSupported(_) | GuardCond::VsAtLeast(_) | GuardCond::OpsSupported(_) => {
                 Ok(())
             }
-            GuardCond::StrideAligned { array, stride, ty: _ } => {
+            GuardCond::StrideAligned {
+                array,
+                stride,
+                ty: _,
+            } => {
                 if (array.0 as usize) >= self.f.arrays.len() {
                     return err("stride_aligned guard references unknown array");
                 }
@@ -346,7 +372,13 @@ impl<'a> Checker<'a> {
                 }
                 Ok(())
             }
-            BcStmt::VStore { ty, addr, src, mis, modulo } => {
+            BcStmt::VStore {
+                ty,
+                addr,
+                src,
+                mis,
+                modulo,
+            } => {
                 if *modulo != 0 && mis >= modulo {
                     return err("vector store: mis must be < mod when mod != 0");
                 }
@@ -357,7 +389,14 @@ impl<'a> Checker<'a> {
                 self.check_addr(addr, *ty, "scalar store")?;
                 self.expect_scalar(src, *ty, "scalar store src")
             }
-            BcStmt::Loop { var, lo, limit, step, body, .. } => {
+            BcStmt::Loop {
+                var,
+                lo,
+                limit,
+                step,
+                body,
+                ..
+            } => {
                 match self.reg_ty(*var)? {
                     BcTy::Scalar(ScalarTy::I64) => {}
                     got => return err(format!("loop variable {var} must be long, is {got}")),
@@ -374,7 +413,11 @@ impl<'a> Checker<'a> {
                 }
                 Ok(())
             }
-            BcStmt::Version { cond, then_body, else_body } => {
+            BcStmt::Version {
+                cond,
+                then_body,
+                else_body,
+            } => {
                 self.check_guard(cond)?;
                 for st in then_body.iter().chain(else_body) {
                     self.check_stmt(st)?;
@@ -429,8 +472,15 @@ mod tests {
     fn base_func() -> BcFunction {
         BcFunction::new(
             "t",
-            vec![BcParam { name: "n".into(), ty: ScalarTy::I64 }],
-            vec![BcArray { name: "x".into(), elem: ScalarTy::F32, kind: ArrayKind::Global }],
+            vec![BcParam {
+                name: "n".into(),
+                ty: ScalarTy::I64,
+            }],
+            vec![BcArray {
+                name: "x".into(),
+                elem: ScalarTy::F32,
+                kind: ArrayKind::Global,
+            }],
         )
     }
 
@@ -440,8 +490,14 @@ mod tests {
         let v = f.fresh_reg(BcTy::Vec(ScalarTy::F32));
         let i = f.fresh_reg(BcTy::Scalar(ScalarTy::I64));
         f.body = vec![
-            BcStmt::Def { dst: i, op: Op::Copy(Operand::ConstI(0)) },
-            BcStmt::Def { dst: v, op: Op::ALoad(ScalarTy::F32, Addr::new(ArraySym(0), i)) },
+            BcStmt::Def {
+                dst: i,
+                op: Op::Copy(Operand::ConstI(0)),
+            },
+            BcStmt::Def {
+                dst: v,
+                op: Op::ALoad(ScalarTy::F32, Addr::new(ArraySym(0), i)),
+            },
             BcStmt::VStore {
                 ty: ScalarTy::F32,
                 addr: Addr::new(ArraySym(0), i),
@@ -470,7 +526,10 @@ mod tests {
         let a = f.fresh_reg(BcTy::Vec(ScalarTy::F64));
         let b = f.fresh_reg(BcTy::Vec(ScalarTy::F64));
         let d = f.fresh_reg(BcTy::Vec(ScalarTy::F64));
-        f.body = vec![BcStmt::Def { dst: d, op: Op::WidenMultHi(ScalarTy::F64, a, b) }];
+        f.body = vec![BcStmt::Def {
+            dst: d,
+            op: Op::WidenMultHi(ScalarTy::F64, a, b),
+        }];
         assert!(verify_function(&f).is_err());
     }
 
@@ -499,7 +558,10 @@ mod tests {
         let mut f = base_func();
         let a = f.fresh_reg(BcTy::Vec(ScalarTy::I32));
         let d = f.fresh_reg(BcTy::Vec(ScalarTy::I32));
-        f.body = vec![BcStmt::Def { dst: d, op: Op::VBin(BinOp::Div, ScalarTy::I32, a, a) }];
+        f.body = vec![BcStmt::Def {
+            dst: d,
+            op: Op::VBin(BinOp::Div, ScalarTy::I32, a, a),
+        }];
         assert!(verify_function(&f).is_err());
     }
 
@@ -510,7 +572,12 @@ mod tests {
         let d = f.fresh_reg(BcTy::Vec(ScalarTy::F32));
         f.body = vec![BcStmt::Def {
             dst: d,
-            op: Op::Extract { ty: ScalarTy::F32, stride: 2, offset: 0, srcs: vec![a] },
+            op: Op::Extract {
+                ty: ScalarTy::F32,
+                stride: 2,
+                offset: 0,
+                srcs: vec![a],
+            },
         }];
         assert!(verify_function(&f).is_err());
     }

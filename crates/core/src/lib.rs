@@ -1,14 +1,20 @@
 //! # vapor-core — the split-vectorization pipeline
 //!
 //! The public face of the Vapor SIMD reproduction: the compilation flows
-//! of the paper's Figure 4 ([`Flow`]), end-to-end compilation
-//! ([`compile`]) from mini-C kernels through the offline vectorizer, the
-//! portable encoded bytecode, and the online compilers, down to virtual
-//! SIMD machine code; plus the execution harness ([`run()`]) and the
-//! reference oracle ([`reference()`]).
+//! of the paper's Figure 4 ([`Flow`]), the persistent compilation service
+//! ([`Engine`]) that caches end-to-end compilations from mini-C kernels
+//! through the offline vectorizer, the portable encoded bytecode, and the
+//! online compilers, down to pre-decoded virtual SIMD machine code; plus
+//! the execution harness ([`run()`]) and the reference oracle
+//! ([`reference()`]).
+//!
+//! The one-shot [`compile`] function remains for the pipeline's own
+//! tests; everything else — examples, experiment drivers, services —
+//! routes compilations through an [`Engine`] so repeated (kernel, flow,
+//! target, config) tuples are compiled once and shared.
 //!
 //! ```
-//! use vapor_core::{compile, run, reference, arrays_match, Flow, CompileConfig, AllocPolicy};
+//! use vapor_core::{run, reference, arrays_match, Engine, Flow, CompileConfig, AllocPolicy};
 //! use vapor_ir::{ArrayData, Bindings, ScalarTy};
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -23,17 +29,21 @@
 //!    .set_float("a", 2.0)
 //!    .set_array("x", ArrayData::from_floats(ScalarTy::F32, &[1.0; 16]));
 //!
-//! let compiled = compile(&kernel, Flow::SplitVectorOpt, &target, &CompileConfig::default())?;
+//! let engine = Engine::new();
+//! let compiled = engine.compile(&kernel, Flow::SplitVectorOpt, &target, &CompileConfig::default())?;
 //! let result = run(&target, &compiled, &env, AllocPolicy::Aligned)?;
 //! let oracle = reference(&kernel, &env)?;
 //! arrays_match(oracle.array("x").unwrap(), result.out.array("x").unwrap(), 1e-6)
 //!     .map_err(vapor_core::PipelineError)?;
+//! assert_eq!(engine.stats().misses, 1);
 //! # Ok(())
 //! # }
 //! ```
 
+pub mod engine;
 pub mod pipeline;
 pub mod run;
 
-pub use pipeline::{compile, offline_compile, Compiled, CompileConfig, Flow, PipelineError};
-pub use run::{arrays_match, reference, run, AllocPolicy, RunResult};
+pub use engine::{CompileJob, Engine, EngineStats};
+pub use pipeline::{compile, offline_compile, CompileConfig, Compiled, Flow, PipelineError};
+pub use run::{arrays_match, reference, run, run_baseline, AllocPolicy, RunResult};

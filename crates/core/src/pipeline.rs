@@ -46,7 +46,10 @@ impl Flow {
 
     /// Whether this flow runs the offline vectorizer.
     pub fn vectorized(self) -> bool {
-        matches!(self, Flow::SplitVectorNaive | Flow::SplitVectorOpt | Flow::NativeVector)
+        matches!(
+            self,
+            Flow::SplitVectorNaive | Flow::SplitVectorOpt | Flow::NativeVector
+        )
     }
 
     /// The online pipeline used.
@@ -86,7 +89,9 @@ impl fmt::Display for PipelineError {
 impl std::error::Error for PipelineError {}
 
 /// Compilation knobs beyond the flow itself.
-#[derive(Debug, Clone, Default)]
+///
+/// `Eq + Hash` because the engine's compilation cache keys on it.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
 pub struct CompileConfig {
     /// Disable the offline alignment optimizations/hints (§V-A(b)
     /// ablation).
@@ -162,7 +167,11 @@ pub fn compile(
     } else {
         decode_module(&bytes).map_err(|e| PipelineError(e.to_string()))?
     };
-    let func = module.funcs.into_iter().next().expect("single function module");
+    let func = module
+        .funcs
+        .into_iter()
+        .next()
+        .expect("single function module");
 
     let opts = JitOptions::new(flow.pipeline());
     let start = Instant::now();

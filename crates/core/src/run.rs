@@ -41,18 +41,55 @@ pub fn run(
     env: &Bindings,
     policy: AllocPolicy,
 ) -> Result<RunResult, Trap> {
+    let (mut m, bases) = setup_machine(target, compiled, env, policy)?;
+    let stats = m.run_decoded(&compiled.jit.decoded)?;
+    Ok(read_back(&m, bases, stats))
+}
+
+/// Like [`run()`], but executing through the seed per-instruction
+/// dispatch loop instead of the pre-decoded program. Kept as the
+/// baseline the engine benchmark measures the decoded dispatch against;
+/// results are identical (the dispatch loops share one instruction
+/// semantics).
+///
+/// # Errors
+/// Same contract as [`run()`].
+pub fn run_baseline(
+    target: &TargetDesc,
+    compiled: &Compiled,
+    env: &Bindings,
+    policy: AllocPolicy,
+) -> Result<RunResult, Trap> {
+    let (mut m, bases) = setup_machine(target, compiled, env, policy)?;
+    let stats = m.run(&compiled.jit.code)?;
+    Ok(read_back(&m, bases, stats))
+}
+
+/// Array placements of one execution: (name, base, length, element type).
+type Placements = Vec<(String, u64, usize, vapor_ir::ScalarTy)>;
+
+/// Build a machine, bind scalars, and place arrays per `policy`.
+fn setup_machine<'t>(
+    target: &'t TargetDesc,
+    compiled: &Compiled,
+    env: &Bindings,
+    policy: AllocPolicy,
+) -> Result<(Machine<'t>, Placements), Trap> {
     let f = &compiled.func;
-    // Memory: all arrays + padding + slack for the guard zone.
-    let total: usize = f
-        .arrays
-        .iter()
-        .map(|a| {
-            env.array(&a.name)
-                .map(|d| d.bytes.len() + 4 * MAX_VS)
-                .unwrap_or(0)
-        })
-        .sum::<usize>()
-        + 4096;
+    // Memory: all arrays + padding + slack for the guard zone. Checking
+    // bindings here (not with `unwrap_or(0)`) so a missing array is
+    // reported by name up front instead of trapping later with a
+    // confusing out-of-bounds message from undersized memory.
+    let mut total = 4096usize;
+    for a in &f.arrays {
+        let data = env.array(&a.name).ok_or_else(|| {
+            Trap(format!(
+                "unbound array {} (kernel {})",
+                a.name, compiled.name
+            ))
+        })?;
+        total += data.bytes.len() + 4 * MAX_VS;
+    }
     let mut m = Machine::new(target, total);
 
     for (i, p) in f.params.iter().enumerate() {
@@ -63,9 +100,7 @@ pub fn run(
     }
     let mut bases = Vec::new();
     for (i, a) in f.arrays.iter().enumerate() {
-        let data = env
-            .array(&a.name)
-            .ok_or_else(|| Trap(format!("unbound array {}", a.name)))?;
+        let data = env.array(&a.name).expect("checked during memory sizing");
         if data.elem != a.elem {
             return Err(Trap(format!(
                 "array {} bound with element type {}, declared {}",
@@ -78,20 +113,27 @@ pub fn run(
                 m.mem.alloc_with_misalignment(data.bytes.len(), MAX_VS, k)
             }
         };
-        m.mem.slice_mut(base, data.bytes.len()).copy_from_slice(&data.bytes);
+        m.mem
+            .slice_mut(base, data.bytes.len())
+            .copy_from_slice(&data.bytes);
         m.set_sreg(compiled.jit.array_base_regs[i], Value::Int(base as i64));
-        m.set_sreg(compiled.jit.array_len_regs[i], Value::Int(data.bytes.len() as i64));
+        m.set_sreg(
+            compiled.jit.array_len_regs[i],
+            Value::Int(data.bytes.len() as i64),
+        );
         bases.push((a.name.clone(), base, data.bytes.len(), a.elem));
     }
+    Ok((m, bases))
+}
 
-    let stats = m.run(&compiled.jit.code)?;
-
+/// Copy final array contents out of machine memory.
+fn read_back(m: &Machine<'_>, bases: Placements, stats: vapor_targets::ExecStats) -> RunResult {
     let mut out = Bindings::new();
     for (name, base, len, elem) in bases {
         let bytes = m.mem.slice(base, len).to_vec();
         out.set_array(&name, ArrayData { elem, bytes });
     }
-    Ok(RunResult { out, stats })
+    RunResult { out, stats }
 }
 
 fn coerce(ty: vapor_ir::ScalarTy, v: Value) -> Value {
@@ -188,6 +230,113 @@ mod tests {
     }
 
     #[test]
+    fn baseline_and_decoded_dispatch_agree() {
+        let k = parse_kernel(
+            "kernel saxpy(long n, float a, float x[], float y[]) {
+               for (long i = 0; i < n; i++) { y[i] = a * x[i] + y[i]; }
+             }",
+        )
+        .unwrap();
+        let t = sse();
+        let env = saxpy_env(129);
+        let c = compile(&k, Flow::SplitVectorOpt, &t, &CompileConfig::default()).unwrap();
+        let fast = run(&t, &c, &env, AllocPolicy::Aligned).unwrap();
+        let slow = run_baseline(&t, &c, &env, AllocPolicy::Aligned).unwrap();
+        arrays_match(
+            slow.out.array("y").unwrap(),
+            fast.out.array("y").unwrap(),
+            0.0,
+        )
+        .unwrap();
+        assert_eq!(fast.stats.cycles, slow.stats.cycles);
+    }
+
+    #[test]
+    fn missing_array_is_reported_by_name_up_front() {
+        let k = parse_kernel(
+            "kernel saxpy(long n, float a, float x[], float y[]) {
+               for (long i = 0; i < n; i++) { y[i] = a * x[i] + y[i]; }
+             }",
+        )
+        .unwrap();
+        let t = sse();
+        let c = compile(&k, Flow::SplitVectorOpt, &t, &CompileConfig::default()).unwrap();
+        let mut env = Bindings::new();
+        env.set_int("n", 8)
+            .set_float("a", 3.0)
+            .set_array("x", ArrayData::from_floats(ScalarTy::F32, &[1.0; 8]));
+        // "y" is unbound: the error must name it, not trap later with an
+        // out-of-bounds access into undersized memory.
+        let err = run(&t, &c, &env, AllocPolicy::Aligned).unwrap_err();
+        assert!(err.0.contains("unbound array y"), "{err}");
+    }
+
+    #[test]
+    fn misaligned_bases_work_on_optimizing_and_native_flows() {
+        // The opt-online and native pipelines do not own allocation:
+        // their code carries runtime alignment guards (or unaligned
+        // accesses) and must stay correct when the caller hands over
+        // deliberately misaligned arrays.
+        let k = parse_kernel(
+            "kernel saxpy(long n, float a, float x[], float y[]) {
+               for (long i = 0; i < n; i++) { y[i] = a * x[i] + y[i]; }
+             }",
+        )
+        .unwrap();
+        for n in [7usize, 64, 65] {
+            let env = saxpy_env(n);
+            let oracle = reference(&k, &env).unwrap();
+            for t in [sse(), altivec(), neon64(), scalar_only()] {
+                for flow in [
+                    Flow::SplitVectorOpt,
+                    Flow::SplitScalarOpt,
+                    Flow::NativeVector,
+                    Flow::NativeScalar,
+                ] {
+                    for mis in [4usize, 8, 12] {
+                        let c = compile(&k, flow, &t, &CompileConfig::default()).unwrap();
+                        let r =
+                            run(&t, &c, &env, AllocPolicy::Misaligned(mis)).unwrap_or_else(|e| {
+                                panic!("{flow} on {} (n={n}, mis={mis}): {e}", t.name)
+                            });
+                        arrays_match(oracle.array("y").unwrap(), r.out.array("y").unwrap(), 1e-6)
+                            .unwrap_or_else(|e| {
+                                panic!("{flow} on {} (n={n}, mis={mis}): {e}", t.name)
+                            });
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn misaligned_bases_cost_more_than_aligned_on_sse() {
+        // The §V-B story: denied alignment, the optimizing flow's guards
+        // fail and it falls back to slower unaligned/scalar paths.
+        let k = parse_kernel(
+            "kernel saxpy(long n, float a, float x[], float y[]) {
+               for (long i = 0; i < n; i++) { y[i] = a * x[i] + y[i]; }
+             }",
+        )
+        .unwrap();
+        let t = sse();
+        let env = saxpy_env(1024);
+        let c = compile(&k, Flow::SplitVectorOpt, &t, &CompileConfig::default()).unwrap();
+        let aligned = run(&t, &c, &env, AllocPolicy::Aligned)
+            .unwrap()
+            .stats
+            .cycles;
+        let misaligned = run(&t, &c, &env, AllocPolicy::Misaligned(4))
+            .unwrap()
+            .stats
+            .cycles;
+        assert!(
+            misaligned > aligned,
+            "misaligned bases should cost extra cycles: {misaligned} vs {aligned}"
+        );
+    }
+
+    #[test]
     fn vectorization_speeds_up_saxpy_on_sse() {
         let k = parse_kernel(
             "kernel saxpy(long n, float a, float x[], float y[]) {
@@ -200,8 +349,14 @@ mod tests {
         let cfg = CompileConfig::default();
         let vec = compile(&k, Flow::SplitVectorOpt, &t, &cfg).unwrap();
         let sca = compile(&k, Flow::SplitScalarOpt, &t, &cfg).unwrap();
-        let cv = run(&t, &vec, &env, AllocPolicy::Aligned).unwrap().stats.cycles;
-        let cs = run(&t, &sca, &env, AllocPolicy::Aligned).unwrap().stats.cycles;
+        let cv = run(&t, &vec, &env, AllocPolicy::Aligned)
+            .unwrap()
+            .stats
+            .cycles;
+        let cs = run(&t, &sca, &env, AllocPolicy::Aligned)
+            .unwrap()
+            .stats
+            .cycles;
         let speedup = cs as f64 / cv as f64;
         assert!(
             speedup > 2.0,

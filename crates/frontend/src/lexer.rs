@@ -176,7 +176,11 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, ParseError> {
                 "global" => Tok::Global,
                 _ => Tok::Ident(word),
             };
-            toks.push(Spanned { tok, line: tline, col: tcol });
+            toks.push(Spanned {
+                tok,
+                line: tline,
+                col: tcol,
+            });
             continue;
         }
         if c.is_ascii_digit() {
@@ -208,7 +212,11 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, ParseError> {
                     Err(_) => err!("malformed integer literal `{text}`"),
                 }
             };
-            toks.push(Spanned { tok, line: tline, col: tcol });
+            toks.push(Spanned {
+                tok,
+                line: tline,
+                col: tcol,
+            });
             continue;
         }
         let two: Option<Tok> = if i + 1 < bytes.len() {
@@ -225,7 +233,11 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, ParseError> {
         };
         if let Some(tok) = two {
             advance(&mut i, &mut line, &mut col, 2);
-            toks.push(Spanned { tok, line: tline, col: tcol });
+            toks.push(Spanned {
+                tok,
+                line: tline,
+                col: tcol,
+            });
             continue;
         }
         let one = match c {
@@ -249,7 +261,11 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, ParseError> {
             _ => err!("unexpected character `{c}`"),
         };
         advance(&mut i, &mut line, &mut col, 1);
-        toks.push(Spanned { tok: one, line: tline, col: tcol });
+        toks.push(Spanned {
+            tok: one,
+            line: tline,
+            col: tcol,
+        });
     }
     Ok(toks)
 }
@@ -267,7 +283,9 @@ mod tests {
         assert_eq!(kinds[5], &Tok::RBracket);
         assert_eq!(kinds[6], &Tok::Shl);
         assert!(matches!(kinds[7], Tok::Int(2)));
-        assert!(toks.iter().any(|t| matches!(t.tok, Tok::Float(v) if v == 1500.0)));
+        assert!(toks
+            .iter()
+            .any(|t| matches!(t.tok, Tok::Float(v) if v == 1500.0)));
     }
 
     #[test]

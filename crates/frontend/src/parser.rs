@@ -51,7 +51,11 @@ impl Parser {
 
     fn err(&self, msg: impl Into<String>) -> ParseError {
         let (line, col) = self.here();
-        ParseError { msg: msg.into(), line, col }
+        ParseError {
+            msg: msg.into(),
+            line,
+            col,
+        }
     }
 
     fn next(&mut self) -> Result<Tok, ParseError> {
@@ -113,7 +117,12 @@ impl Parser {
             .map(|i| ArrayId(i as u32))
     }
 
-    fn declare_var(&mut self, name: String, ty: ScalarTy, kind: VarKind) -> Result<VarId, ParseError> {
+    fn declare_var(
+        &mut self,
+        name: String,
+        ty: ScalarTy,
+        kind: VarKind,
+    ) -> Result<VarId, ParseError> {
         if self.var_named(&name).is_some() || self.array_named(&name).is_some() {
             return Err(self.err(format!("duplicate declaration of `{name}`")));
         }
@@ -200,7 +209,11 @@ impl Parser {
             Tok::Ident(name) => {
                 match name.as_str() {
                     "min" | "max" => {
-                        let op = if name == "min" { BinOp::Min } else { BinOp::Max };
+                        let op = if name == "min" {
+                            BinOp::Min
+                        } else {
+                            BinOp::Max
+                        };
                         self.expect(&Tok::LParen)?;
                         let a = self.parse_expr()?;
                         self.expect(&Tok::Comma)?;
@@ -218,9 +231,9 @@ impl Parser {
                     _ => {}
                 }
                 if self.peek() == Some(&Tok::LBracket) {
-                    let array = self.array_named(&name).ok_or_else(|| {
-                        self.err(format!("unknown array `{name}`"))
-                    })?;
+                    let array = self
+                        .array_named(&name)
+                        .ok_or_else(|| self.err(format!("unknown array `{name}`")))?;
                     self.pos += 1;
                     let idx = self.parse_expr()?;
                     self.expect(&Tok::RBracket)?;
@@ -268,7 +281,11 @@ impl Parser {
             } else {
                 rhs
             };
-            Ok(Stmt::Store { array, index, value })
+            Ok(Stmt::Store {
+                array,
+                index,
+                value,
+            })
         } else {
             let var = self
                 .var_named(&name)
@@ -318,18 +335,14 @@ impl Parser {
         self.expect(&Tok::Semi)?;
         let n2 = self.expect_ident()?;
         if n2 != name {
-            return Err(self.err(format!(
-                "loop condition must test `{name}`, found `{n2}`"
-            )));
+            return Err(self.err(format!("loop condition must test `{name}`, found `{n2}`")));
         }
         self.expect(&Tok::Lt)?;
         let hi = self.parse_expr()?;
         self.expect(&Tok::Semi)?;
         let n3 = self.expect_ident()?;
         if n3 != name {
-            return Err(self.err(format!(
-                "loop increment must update `{name}`, found `{n3}`"
-            )));
+            return Err(self.err(format!("loop increment must update `{name}`, found `{n3}`")));
         }
         let step = match self.next()? {
             Tok::PlusPlus => 1,
@@ -356,7 +369,13 @@ impl Parser {
         }
         self.expect(&Tok::RBrace)?;
         self.open_loops.pop();
-        Ok(Stmt::For { var, lo, hi, step, body })
+        Ok(Stmt::For {
+            var,
+            lo,
+            hi,
+            step,
+            body,
+        })
     }
 
     fn parse_kernel(&mut self) -> Result<Kernel, ParseError> {
@@ -534,10 +553,15 @@ mod tests {
 
     #[test]
     fn rejects_unknown_names_and_bad_types() {
-        assert!(parse_kernel("kernel t(long n) { for (long i = 0; i < n; i++) { y[i] = 0.0; } }")
-            .is_err());
+        assert!(
+            parse_kernel("kernel t(long n) { for (long i = 0; i < n; i++) { y[i] = 0.0; } }")
+                .is_err()
+        );
         assert!(parse_kernel("kernel t(long n, float x[]) { x[0] = n; }").is_err());
-        assert!(parse_kernel("kernel t(int n, float x[]) { for (int i = 0; i < n; i++) { x[i] = 0.0; } }").is_err());
+        assert!(parse_kernel(
+            "kernel t(int n, float x[]) { for (int i = 0; i < n; i++) { x[i] = 0.0; } }"
+        )
+        .is_err());
     }
 
     #[test]
@@ -573,9 +597,8 @@ mod diag_tests {
 
     #[test]
     fn loop_header_must_be_consistent() {
-        let e = err_of(
-            "kernel t(long n, float x[]) { for (long i = 0; j < n; i++) { x[i] = 0.0; } }",
-        );
+        let e =
+            err_of("kernel t(long n, float x[]) { for (long i = 0; j < n; i++) { x[i] = 0.0; } }");
         assert!(e.msg.contains("must test `i`"), "{e}");
         let e = err_of(
             "kernel t(long n, float x[]) { for (long i = 0; i < n; i += 0) { x[i] = 0.0; } }",

@@ -34,7 +34,11 @@ impl KernelBuilder {
             !self.vars.iter().any(|v| v.name == name),
             "duplicate scalar name {name:?}"
         );
-        self.vars.push(VarDecl { name: name.to_owned(), ty, kind });
+        self.vars.push(VarDecl {
+            name: name.to_owned(),
+            ty,
+            kind,
+        });
         VarId(self.vars.len() as u32 - 1)
     }
 
@@ -69,7 +73,11 @@ impl KernelBuilder {
             !self.arrays.iter().any(|a| a.name == name),
             "duplicate array name {name:?}"
         );
-        self.arrays.push(ArrayDecl { name: name.to_owned(), elem, kind });
+        self.arrays.push(ArrayDecl {
+            name: name.to_owned(),
+            elem,
+            kind,
+        });
         ArrayId(self.arrays.len() as u32 - 1)
     }
 
@@ -85,7 +93,13 @@ impl KernelBuilder {
         self.scopes.push(Vec::new());
         body(self);
         let stmts = self.scopes.pop().expect("builder scope underflow");
-        self.push(Stmt::For { var, lo, hi, step, body: stmts });
+        self.push(Stmt::For {
+            var,
+            lo,
+            hi,
+            step,
+            body: stmts,
+        });
     }
 
     /// Append a scalar assignment.
@@ -95,12 +109,19 @@ impl KernelBuilder {
 
     /// Append an array store.
     pub fn store(&mut self, array: ArrayId, index: Expr, value: Expr) {
-        self.push(Stmt::Store { array, index, value });
+        self.push(Stmt::Store {
+            array,
+            index,
+            value,
+        });
     }
 
     /// Append an arbitrary statement.
     pub fn push(&mut self, s: Stmt) {
-        self.scopes.last_mut().expect("builder scope underflow").push(s);
+        self.scopes
+            .last_mut()
+            .expect("builder scope underflow")
+            .push(s);
     }
 
     /// Finish and return the kernel.

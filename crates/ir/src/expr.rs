@@ -27,7 +27,11 @@ pub enum Expr {
     /// `array[index]` load.
     Load { array: ArrayId, index: Box<Expr> },
     /// Binary operation. Operand types must match; comparisons yield `int`.
-    Bin { op: BinOp, lhs: Box<Expr>, rhs: Box<Expr> },
+    Bin {
+        op: BinOp,
+        lhs: Box<Expr>,
+        rhs: Box<Expr>,
+    },
     /// Unary operation.
     Un { op: UnOp, arg: Box<Expr> },
     /// Explicit conversion to `ty`.
@@ -37,22 +41,35 @@ pub enum Expr {
 impl Expr {
     /// Shorthand for a binary node.
     pub fn bin(op: BinOp, lhs: Expr, rhs: Expr) -> Expr {
-        Expr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs) }
+        Expr::Bin {
+            op,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+        }
     }
 
     /// Shorthand for a unary node.
     pub fn un(op: UnOp, arg: Expr) -> Expr {
-        Expr::Un { op, arg: Box::new(arg) }
+        Expr::Un {
+            op,
+            arg: Box::new(arg),
+        }
     }
 
     /// Shorthand for a cast node.
     pub fn cast(ty: ScalarTy, arg: Expr) -> Expr {
-        Expr::Cast { ty, arg: Box::new(arg) }
+        Expr::Cast {
+            ty,
+            arg: Box::new(arg),
+        }
     }
 
     /// Shorthand for a load node.
     pub fn load(array: ArrayId, index: Expr) -> Expr {
-        Expr::Load { array, index: Box::new(index) }
+        Expr::Load {
+            array,
+            index: Box::new(index),
+        }
     }
 
     /// Visit every sub-expression (including `self`), pre-order.
@@ -134,7 +151,10 @@ mod tests {
     fn uses_var_and_loads() {
         let e = Expr::bin(
             BinOp::Mul,
-            Expr::load(ArrayId(2), Expr::bin(BinOp::Add, Expr::Var(VarId(0)), Expr::Int(2))),
+            Expr::load(
+                ArrayId(2),
+                Expr::bin(BinOp::Add, Expr::Var(VarId(0)), Expr::Int(2)),
+            ),
             Expr::Var(VarId(3)),
         );
         assert!(e.uses_var(VarId(0)));

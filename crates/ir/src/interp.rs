@@ -25,7 +25,10 @@ pub struct ArrayData {
 impl ArrayData {
     /// A zero-filled array of `len` elements.
     pub fn zeroed(elem: ScalarTy, len: usize) -> ArrayData {
-        ArrayData { elem, bytes: vec![0; len * elem.size()] }
+        ArrayData {
+            elem,
+            bytes: vec![0; len * elem.size()],
+        }
     }
 
     /// Build from `i64` element values (integer types only).
@@ -88,7 +91,10 @@ pub struct Bindings {
 impl Bindings {
     /// Empty bindings.
     pub fn new() -> Bindings {
-        Bindings { scalars: HashMap::new(), arrays: HashMap::new() }
+        Bindings {
+            scalars: HashMap::new(),
+            arrays: HashMap::new(),
+        }
     }
 
     /// Bind a scalar parameter by name.
@@ -203,7 +209,13 @@ impl<'a> Interp<'a> {
 
     fn exec(&mut self, s: &Stmt) -> Result<(), IrError> {
         match s {
-            Stmt::For { var, lo, hi, step, body } => {
+            Stmt::For {
+                var,
+                lo,
+                hi,
+                step,
+                body,
+            } => {
                 let lo = self.eval(lo, ScalarTy::I64)?.as_int();
                 let hi = self.eval(hi, ScalarTy::I64)?.as_int();
                 let mut i = lo;
@@ -222,7 +234,11 @@ impl<'a> Interp<'a> {
                 self.scalars[var.0 as usize] = Some(v);
                 Ok(())
             }
-            Stmt::Store { array, index, value } => {
+            Stmt::Store {
+                array,
+                index,
+                value,
+            } => {
                 let idx = self.eval(index, ScalarTy::I64)?.as_int();
                 let elem = self.k.array(*array).elem;
                 let v = self.eval(value, elem)?;
@@ -230,9 +246,7 @@ impl<'a> Interp<'a> {
                 if idx < 0 || idx as usize >= a.len() {
                     let name = self.k.array(*array).name.clone();
                     let len = a.len();
-                    return Err(self.rerr(format!(
-                        "store {name}[{idx}] out of bounds (len {len})"
-                    )));
+                    return Err(self.rerr(format!("store {name}[{idx}] out of bounds (len {len})")));
                 }
                 a.set(idx as usize, v);
                 Ok(())
@@ -251,16 +265,20 @@ pub fn interpret(k: &Kernel, bindings: &mut Bindings) -> Result<(), IrError> {
     for (id, decl) in k.vars.iter().enumerate() {
         if decl.kind == VarKind::Param {
             let v = bindings.scalars.get(&decl.name).copied().ok_or_else(|| {
-                IrError::Runtime(format!("{}: unbound scalar parameter {}", k.name, decl.name))
+                IrError::Runtime(format!(
+                    "{}: unbound scalar parameter {}",
+                    k.name, decl.name
+                ))
             })?;
             scalars[id] = Some(v);
         }
     }
     let mut arrays = Vec::with_capacity(k.arrays.len());
     for decl in &k.arrays {
-        let a = bindings.arrays.get(&decl.name).cloned().ok_or_else(|| {
-            IrError::Runtime(format!("{}: unbound array {}", k.name, decl.name))
-        })?;
+        let a =
+            bindings.arrays.get(&decl.name).cloned().ok_or_else(|| {
+                IrError::Runtime(format!("{}: unbound array {}", k.name, decl.name))
+            })?;
         if a.elem != decl.elem {
             return Err(IrError::Runtime(format!(
                 "{}: array {} bound with element type {}, declared {}",
@@ -331,8 +349,14 @@ mod tests {
         let mut b = Bindings::new();
         b.set_int("n", 4)
             .set_float("alpha", 2.0)
-            .set_array("x", ArrayData::from_floats(ScalarTy::F32, &[1.0, 2.0, 3.0, 4.0]))
-            .set_array("y", ArrayData::from_floats(ScalarTy::F32, &[10.0, 10.0, 10.0, 10.0]));
+            .set_array(
+                "x",
+                ArrayData::from_floats(ScalarTy::F32, &[1.0, 2.0, 3.0, 4.0]),
+            )
+            .set_array(
+                "y",
+                ArrayData::from_floats(ScalarTy::F32, &[10.0, 10.0, 10.0, 10.0]),
+            );
         interpret(&k, &mut b).unwrap();
         let y = b.array("y").unwrap();
         assert_eq!(
@@ -356,7 +380,10 @@ mod tests {
         let i = bld.fresh_loop_var("i");
         bld.assign(s, Expr::Int(0));
         bld.for_loop(i, Expr::Int(0), Expr::Var(n), 1, |b| {
-            b.assign(s, Expr::bin(BinOp::Add, Expr::Var(s), Expr::load(a, Expr::Var(i))));
+            b.assign(
+                s,
+                Expr::bin(BinOp::Add, Expr::Var(s), Expr::load(a, Expr::Var(i))),
+            );
         });
         bld.store(out, Expr::Int(0), Expr::Var(s));
         let k = bld.finish();

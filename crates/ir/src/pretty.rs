@@ -66,7 +66,7 @@ fn write_expr(out: &mut String, k: &Kernel, e: &Expr, parent_prec: u8) {
         },
         Expr::Un { op, arg } => match op {
             UnOp::Neg => {
-                out.push_str("-");
+                out.push('-');
                 write_expr(out, k, arg, 9);
             }
             UnOp::Abs | UnOp::Sqrt => {
@@ -86,16 +86,22 @@ fn write_expr(out: &mut String, k: &Kernel, e: &Expr, parent_prec: u8) {
 fn write_stmt(out: &mut String, k: &Kernel, s: &Stmt, indent: usize) {
     let pad = "  ".repeat(indent);
     match s {
-        Stmt::For { var, lo, hi, step, body } => {
+        Stmt::For {
+            var,
+            lo,
+            hi,
+            step,
+            body,
+        } => {
             let name = &k.var(*var).name;
             let _ = write!(out, "{pad}for (long {name} = ");
             write_expr(out, k, lo, 0);
             let _ = write!(out, "; {name} < ");
             write_expr(out, k, hi, 0);
             if *step == 1 {
-                let _ = write!(out, "; {name}++) {{\n");
+                let _ = writeln!(out, "; {name}++) {{");
             } else {
-                let _ = write!(out, "; {name} += {step}) {{\n");
+                let _ = writeln!(out, "; {name} += {step}) {{");
             }
             for st in body {
                 write_stmt(out, k, st, indent + 1);
@@ -107,7 +113,11 @@ fn write_stmt(out: &mut String, k: &Kernel, s: &Stmt, indent: usize) {
             write_expr(out, k, value, 0);
             out.push_str(";\n");
         }
-        Stmt::Store { array, index, value } => {
+        Stmt::Store {
+            array,
+            index,
+            value,
+        } => {
             let _ = write!(out, "{pad}{}[", k.array(*array).name);
             write_expr(out, k, index, 0);
             out.push_str("] = ");
@@ -198,10 +208,18 @@ mod tests {
         let sum = Expr::bin(BinOp::Add, Expr::Var(x), Expr::Var(x));
         let e = Expr::bin(BinOp::Mul, sum.clone(), Expr::Var(x));
         assert_eq!(print_expr(&k, &e), "(x + x) * x");
-        let e = Expr::bin(BinOp::Add, Expr::Var(x), Expr::bin(BinOp::Mul, Expr::Var(x), Expr::Var(x)));
+        let e = Expr::bin(
+            BinOp::Add,
+            Expr::Var(x),
+            Expr::bin(BinOp::Mul, Expr::Var(x), Expr::Var(x)),
+        );
         assert_eq!(print_expr(&k, &e), "x + x * x");
         // Left-assoc: a - (b - c) must keep parens.
-        let e = Expr::bin(BinOp::Sub, Expr::Var(x), Expr::bin(BinOp::Sub, Expr::Var(x), Expr::Var(x)));
+        let e = Expr::bin(
+            BinOp::Sub,
+            Expr::Var(x),
+            Expr::bin(BinOp::Sub, Expr::Var(x), Expr::Var(x)),
+        );
         assert_eq!(print_expr(&k, &e), "x - (x - x)");
     }
 

@@ -174,6 +174,7 @@ impl UnOp {
 
 /// Truncate/sign-extend an `i64` payload to the integer type `ty`,
 /// returning the canonical sign-extended representation.
+#[inline]
 pub fn wrap_int(ty: ScalarTy, v: i64) -> i64 {
     match ty {
         ScalarTy::I8 => v as i8 as i64,
@@ -187,12 +188,14 @@ pub fn wrap_int(ty: ScalarTy, v: i64) -> i64 {
     }
 }
 
+#[inline]
 fn shift_mask(ty: ScalarTy) -> u32 {
     (ty.size() as u32 * 8) - 1
 }
 
 /// Evaluate a binary operation at type `ty` with the semantics in the
 /// module docs. Comparison operators return `Value::Int(0|1)`.
+#[inline]
 pub fn eval_bin(op: BinOp, ty: ScalarTy, a: Value, b: Value) -> Value {
     if ty.is_float() {
         let (x, y) = (a.as_float(), b.as_float());
@@ -207,7 +210,11 @@ pub fn eval_bin(op: BinOp, ty: ScalarTy, a: Value, b: Value) -> Value {
             BinOp::CmpLt => return Value::Int((x < y) as i64),
             _ => panic!("integer-only op {op:?} at float type {ty}"),
         };
-        let r = if ty == ScalarTy::F32 { r as f32 as f64 } else { r };
+        let r = if ty == ScalarTy::F32 {
+            r as f32 as f64
+        } else {
+            r
+        };
         Value::Float(r)
     } else {
         let (x, y) = (a.as_int(), b.as_int());
@@ -250,6 +257,7 @@ pub fn eval_bin(op: BinOp, ty: ScalarTy, a: Value, b: Value) -> Value {
 }
 
 /// Evaluate a unary operation at type `ty`.
+#[inline]
 pub fn eval_un(op: UnOp, ty: ScalarTy, a: Value) -> Value {
     if ty.is_float() {
         let x = a.as_float();
@@ -258,7 +266,11 @@ pub fn eval_un(op: UnOp, ty: ScalarTy, a: Value) -> Value {
             UnOp::Abs => x.abs(),
             UnOp::Sqrt => x.sqrt(),
         };
-        let r = if ty == ScalarTy::F32 { r as f32 as f64 } else { r };
+        let r = if ty == ScalarTy::F32 {
+            r as f32 as f64
+        } else {
+            r
+        };
         Value::Float(r)
     } else {
         let x = a.as_int();
@@ -275,12 +287,17 @@ pub fn eval_un(op: UnOp, ty: ScalarTy, a: Value) -> Value {
 ///
 /// Integer→integer wraps; integer→float is exact where representable;
 /// float→integer saturates (Rust `as`); `f64`→`f32` rounds.
+#[inline]
 pub fn eval_cast(from: ScalarTy, to: ScalarTy, v: Value) -> Value {
     match (from.is_float(), to.is_float()) {
         (false, false) => Value::Int(wrap_int(to, v.as_int())),
         (false, true) => {
             let f = v.as_int() as f64;
-            let f = if to == ScalarTy::F32 { f as f32 as f64 } else { f };
+            let f = if to == ScalarTy::F32 {
+                f as f32 as f64
+            } else {
+                f
+            };
             Value::Float(f)
         }
         (true, false) => {
@@ -299,7 +316,11 @@ pub fn eval_cast(from: ScalarTy, to: ScalarTy, v: Value) -> Value {
         }
         (true, true) => {
             let f = v.as_float();
-            let f = if to == ScalarTy::F32 { f as f32 as f64 } else { f };
+            let f = if to == ScalarTy::F32 {
+                f as f32 as f64
+            } else {
+                f
+            };
             Value::Float(f)
         }
     }
@@ -310,6 +331,7 @@ pub fn eval_cast(from: ScalarTy, to: ScalarTy, v: Value) -> Value {
 ///
 /// # Panics
 /// Panics if the access is out of bounds.
+#[inline]
 pub fn read_elem(ty: ScalarTy, bytes: &[u8], off: usize) -> Value {
     let s = ty.size();
     let raw = &bytes[off..off + s];
@@ -331,6 +353,7 @@ pub fn read_elem(ty: ScalarTy, bytes: &[u8], off: usize) -> Value {
 ///
 /// # Panics
 /// Panics if the access is out of bounds.
+#[inline]
 pub fn write_elem(ty: ScalarTy, bytes: &mut [u8], off: usize, v: Value) {
     match ty {
         ScalarTy::I8 | ScalarTy::U8 => bytes[off] = v.as_int() as u8,
@@ -341,9 +364,7 @@ pub fn write_elem(ty: ScalarTy, bytes: &mut [u8], off: usize, v: Value) {
             bytes[off..off + 4].copy_from_slice(&(v.as_int() as i32).to_le_bytes())
         }
         ScalarTy::I64 => bytes[off..off + 8].copy_from_slice(&v.as_int().to_le_bytes()),
-        ScalarTy::F32 => {
-            bytes[off..off + 4].copy_from_slice(&(v.as_float() as f32).to_le_bytes())
-        }
+        ScalarTy::F32 => bytes[off..off + 4].copy_from_slice(&(v.as_float() as f32).to_le_bytes()),
         ScalarTy::F64 => bytes[off..off + 8].copy_from_slice(&v.as_float().to_le_bytes()),
     }
 }
@@ -354,12 +375,7 @@ mod tests {
 
     #[test]
     fn int_arith_wraps() {
-        let v = eval_bin(
-            BinOp::Add,
-            ScalarTy::I8,
-            Value::Int(127),
-            Value::Int(1),
-        );
+        let v = eval_bin(BinOp::Add, ScalarTy::I8, Value::Int(127), Value::Int(1));
         assert_eq!(v, Value::Int(-128));
         let v = eval_bin(BinOp::Mul, ScalarTy::U8, Value::Int(16), Value::Int(16));
         assert_eq!(v, Value::Int(0));
@@ -393,7 +409,7 @@ mod tests {
             Value::Float(0.1),
             Value::Float(0.2),
         );
-        assert_eq!(v.as_float(), (0.1f32 as f32 + 0.2f32) as f64);
+        assert_eq!(v.as_float(), (0.1f32 + 0.2f32) as f64);
     }
 
     #[test]

@@ -75,9 +75,7 @@ impl Stmt {
     /// Maximum loop-nest depth of this statement (0 for non-loops).
     pub fn loop_depth(&self) -> usize {
         match self {
-            Stmt::For { body, .. } => {
-                1 + body.iter().map(Stmt::loop_depth).max().unwrap_or(0)
-            }
+            Stmt::For { body, .. } => 1 + body.iter().map(Stmt::loop_depth).max().unwrap_or(0),
             _ => 0,
         }
     }
@@ -89,14 +87,36 @@ mod tests {
     use crate::sem::BinOp;
 
     fn loop1(var: u32, body: Vec<Stmt>) -> Stmt {
-        Stmt::For { var: VarId(var), lo: Expr::Int(0), hi: Expr::Int(8), step: 1, body }
+        Stmt::For {
+            var: VarId(var),
+            lo: Expr::Int(0),
+            hi: Expr::Int(8),
+            step: 1,
+            body,
+        }
     }
 
     #[test]
     fn depth_counts_nesting() {
-        let s = loop1(0, vec![loop1(1, vec![Stmt::Assign { var: VarId(2), value: Expr::Int(1) }])]);
+        let s = loop1(
+            0,
+            vec![loop1(
+                1,
+                vec![Stmt::Assign {
+                    var: VarId(2),
+                    value: Expr::Int(1),
+                }],
+            )],
+        );
         assert_eq!(s.loop_depth(), 2);
-        assert_eq!(Stmt::Assign { var: VarId(2), value: Expr::Int(1) }.loop_depth(), 0);
+        assert_eq!(
+            Stmt::Assign {
+                var: VarId(2),
+                value: Expr::Int(1)
+            }
+            .loop_depth(),
+            0
+        );
     }
 
     #[test]

@@ -53,7 +53,7 @@ impl ScalarTy {
     ];
 
     /// Size of one element in bytes (`sizeof(T)` in the paper's Table 1).
-    pub fn size(self) -> usize {
+    pub const fn size(self) -> usize {
         match self {
             ScalarTy::I8 | ScalarTy::U8 => 1,
             ScalarTy::I16 | ScalarTy::U16 => 2,
@@ -74,7 +74,10 @@ impl ScalarTy {
 
     /// Whether this is a signed integer type.
     pub fn is_signed_int(self) -> bool {
-        matches!(self, ScalarTy::I8 | ScalarTy::I16 | ScalarTy::I32 | ScalarTy::I64)
+        matches!(
+            self,
+            ScalarTy::I8 | ScalarTy::I16 | ScalarTy::I32 | ScalarTy::I64
+        )
     }
 
     /// Whether this is an unsigned integer type.

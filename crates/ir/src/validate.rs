@@ -70,7 +70,9 @@ pub fn check_expr(k: &Kernel, e: &Expr, expected: ScalarTy) -> Result<(), IrErro
             if expected.is_float() {
                 Ok(())
             } else {
-                Err(terr(format!("float literal used at integer type {expected}")))
+                Err(terr(format!(
+                    "float literal used at integer type {expected}"
+                )))
             }
         }
         Expr::Var(v) => {
@@ -97,9 +99,7 @@ pub fn check_expr(k: &Kernel, e: &Expr, expected: ScalarTy) -> Result<(), IrErro
         Expr::Bin { op, lhs, rhs } => {
             if op.is_comparison() {
                 if expected != ScalarTy::I32 {
-                    return Err(terr(format!(
-                        "comparison yields int, expected {expected}"
-                    )));
+                    return Err(terr(format!("comparison yields int, expected {expected}")));
                 }
                 let operand_ty = infer_expr(k, lhs)
                     .or_else(|| infer_expr(k, rhs))
@@ -136,13 +136,15 @@ pub fn check_expr(k: &Kernel, e: &Expr, expected: ScalarTy) -> Result<(), IrErro
     }
 }
 
-fn check_stmt(
-    k: &Kernel,
-    s: &Stmt,
-    open_loops: &mut Vec<VarId>,
-) -> Result<(), IrError> {
+fn check_stmt(k: &Kernel, s: &Stmt, open_loops: &mut Vec<VarId>) -> Result<(), IrError> {
     match s {
-        Stmt::For { var, lo, hi, step, body } => {
+        Stmt::For {
+            var,
+            lo,
+            hi,
+            step,
+            body,
+        } => {
             let decl = k.var(*var);
             if decl.kind != VarKind::Loop {
                 return Err(IrError::Structure(format!(
@@ -186,7 +188,11 @@ fn check_stmt(
             }
             check_expr(k, value, decl.ty)
         }
-        Stmt::Store { array, index, value } => {
+        Stmt::Store {
+            array,
+            index,
+            value,
+        } => {
             check_expr(k, index, ScalarTy::I64)?;
             check_expr(k, value, k.array(*array).elem)
         }
@@ -269,7 +275,10 @@ mod tests {
         let mut b = KernelBuilder::new("bad");
         let i = b.fresh_loop_var("i");
         b.for_loop(i, Expr::Int(0), Expr::Int(4), 1, |b| {
-            b.push(Stmt::Assign { var: i, value: Expr::Int(0) });
+            b.push(Stmt::Assign {
+                var: i,
+                value: Expr::Int(0),
+            });
         });
         assert!(matches!(validate(&b.finish()), Err(IrError::Structure(_))));
     }

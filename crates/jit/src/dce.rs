@@ -185,8 +185,17 @@ mod tests {
         let mut code = MCode {
             insts: vec![
                 // dead chain: r1 = r0*4; v0 = floor-load [r1]  (nothing uses v0)
-                MInst::SBinImm { op: BinOp::Mul, ty: ScalarTy::I64, dst: SReg(1), a: SReg(0), imm: 4 },
-                MInst::LoadVFloor { dst: VReg(0), addr: AddrMode::base_disp(SReg(1), 0) },
+                MInst::SBinImm {
+                    op: BinOp::Mul,
+                    ty: ScalarTy::I64,
+                    dst: SReg(1),
+                    a: SReg(0),
+                    imm: 4,
+                },
+                MInst::LoadVFloor {
+                    dst: VReg(0),
+                    addr: AddrMode::base_disp(SReg(1), 0),
+                },
                 // live: store of v1 loaded from [r0]
                 MInst::LoadV {
                     dst: VReg(1),
@@ -212,7 +221,10 @@ mod tests {
         // v0 used by store; MovV writing v0 must stay.
         let mut code = MCode {
             insts: vec![
-                MInst::MovV { dst: VReg(0), src: VReg(1) },
+                MInst::MovV {
+                    dst: VReg(0),
+                    src: VReg(1),
+                },
                 MInst::StoreV {
                     src: VReg(0),
                     addr: AddrMode::base_disp(SReg(0), 0),

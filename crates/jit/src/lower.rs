@@ -6,14 +6,15 @@
 //! is driven by the idioms and hints the offline stage encoded.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use vapor_bytecode::{
     Addr, BcFunction, BcStmt, GuardCond, LoopKind, Op, Operand, Reg, ShiftAmt, Step,
 };
 use vapor_ir::{eval_bin, eval_cast, BinOp, ScalarTy, Value};
 use vapor_targets::{
-    AddrMode, Cond, CvtDir, Half, HelperOp, Label, MCode, MInst, MemAlign, ReduceOp, SReg,
-    ShiftSrc, TargetDesc, VReg,
+    AddrMode, Cond, CvtDir, DecodedProgram, Half, HelperOp, Label, MCode, MInst, MemAlign,
+    ReduceOp, SReg, ShiftSrc, TargetDesc, VReg,
 };
 
 use crate::options::JitOptions;
@@ -57,8 +58,13 @@ pub struct CompileStats {
 /// lengths **in bytes** in `array_len_regs` before running the code.
 #[derive(Debug, Clone)]
 pub struct CompiledKernel {
-    /// Machine code.
+    /// Machine code (symbolic, printable form).
     pub code: MCode,
+    /// The pre-decoded executable form of `code` for the compile target:
+    /// labels resolved to indices, per-instruction costs pre-computed.
+    /// Shared (`Arc`) so cloning a compiled kernel — e.g. handing cached
+    /// compilations to many executors — does not re-decode.
+    pub decoded: Arc<DecodedProgram>,
     /// Register holding each scalar parameter.
     pub param_regs: Vec<SReg>,
     /// Register holding each array's base address.
@@ -188,7 +194,9 @@ impl<'a> Lower<'a> {
             Bind::S(s) => Ok(s),
             Bind::ImmI(v) => self.as_sreg(Bind::ImmI(v)),
             Bind::ImmF(v) => self.as_sreg(Bind::ImmF(v)),
-            other => self.err(format!("register {r} expected scalar lane, bound {other:?}")),
+            other => self.err(format!(
+                "register {r} expected scalar lane, bound {other:?}"
+            )),
         }
     }
 
@@ -242,7 +250,12 @@ impl<'a> Lower<'a> {
     }
 
     fn vf_of(&self, group: u32, ty: ScalarTy) -> i64 {
-        match self.group_mode.get(&group).copied().unwrap_or(GroupMode::Vector) {
+        match self
+            .group_mode
+            .get(&group)
+            .copied()
+            .unwrap_or(GroupMode::Vector)
+        {
             GroupMode::Vector => self.t.lanes(ty) as i64,
             _ => 1,
         }
@@ -332,7 +345,13 @@ impl<'a> Lower<'a> {
             imm: self.vs_mask(),
         });
         let r = self.fresh_s();
-        self.emit(MInst::SBinImm { op: BinOp::CmpEq, ty: ScalarTy::I64, dst: r, a: t, imm: 0 });
+        self.emit(MInst::SBinImm {
+            op: BinOp::CmpEq,
+            ty: ScalarTy::I64,
+            dst: r,
+            a: t,
+            imm: 0,
+        });
         r
     }
 
@@ -356,27 +375,75 @@ impl<'a> Lower<'a> {
                 });
                 let b2 = self.emit_aligned_test(bytes);
                 let r = self.fresh_s();
-                self.emit(MInst::SBin { op: BinOp::And, ty: ScalarTy::I32, dst: r, a: b1, b: b2 });
+                self.emit(MInst::SBin {
+                    op: BinOp::And,
+                    ty: ScalarTy::I32,
+                    dst: r,
+                    a: b1,
+                    b: b2,
+                });
                 Ok(r)
             }
             GuardCond::NoAlias(a, b) => {
                 let (ab, al) = (self.array_base[a.0 as usize], self.array_len[a.0 as usize]);
                 let (bb, bl) = (self.array_base[b.0 as usize], self.array_len[b.0 as usize]);
                 let a_end = self.fresh_s();
-                self.emit(MInst::SBin { op: BinOp::Add, ty: ScalarTy::I64, dst: a_end, a: ab, b: al });
+                self.emit(MInst::SBin {
+                    op: BinOp::Add,
+                    ty: ScalarTy::I64,
+                    dst: a_end,
+                    a: ab,
+                    b: al,
+                });
                 let c1 = self.fresh_s();
                 // a_end <= b_base  ⇔  !(b_base < a_end)
-                self.emit(MInst::SBin { op: BinOp::CmpLt, ty: ScalarTy::I64, dst: c1, a: bb, b: a_end });
+                self.emit(MInst::SBin {
+                    op: BinOp::CmpLt,
+                    ty: ScalarTy::I64,
+                    dst: c1,
+                    a: bb,
+                    b: a_end,
+                });
                 let c1n = self.fresh_s();
-                self.emit(MInst::SBinImm { op: BinOp::Xor, ty: ScalarTy::I32, dst: c1n, a: c1, imm: 1 });
+                self.emit(MInst::SBinImm {
+                    op: BinOp::Xor,
+                    ty: ScalarTy::I32,
+                    dst: c1n,
+                    a: c1,
+                    imm: 1,
+                });
                 let b_end = self.fresh_s();
-                self.emit(MInst::SBin { op: BinOp::Add, ty: ScalarTy::I64, dst: b_end, a: bb, b: bl });
+                self.emit(MInst::SBin {
+                    op: BinOp::Add,
+                    ty: ScalarTy::I64,
+                    dst: b_end,
+                    a: bb,
+                    b: bl,
+                });
                 let c2 = self.fresh_s();
-                self.emit(MInst::SBin { op: BinOp::CmpLt, ty: ScalarTy::I64, dst: c2, a: ab, b: b_end });
+                self.emit(MInst::SBin {
+                    op: BinOp::CmpLt,
+                    ty: ScalarTy::I64,
+                    dst: c2,
+                    a: ab,
+                    b: b_end,
+                });
                 let c2n = self.fresh_s();
-                self.emit(MInst::SBinImm { op: BinOp::Xor, ty: ScalarTy::I32, dst: c2n, a: c2, imm: 1 });
+                self.emit(MInst::SBinImm {
+                    op: BinOp::Xor,
+                    ty: ScalarTy::I32,
+                    dst: c2n,
+                    a: c2,
+                    imm: 1,
+                });
                 let r = self.fresh_s();
-                self.emit(MInst::SBin { op: BinOp::Or, ty: ScalarTy::I32, dst: r, a: c1n, b: c2n });
+                self.emit(MInst::SBin {
+                    op: BinOp::Or,
+                    ty: ScalarTy::I32,
+                    dst: r,
+                    a: c1n,
+                    b: c2n,
+                });
                 Ok(r)
             }
             other => self.err(format!("guard {other:?} should have been folded")),
@@ -388,17 +455,19 @@ impl<'a> Lower<'a> {
     fn collect_runtime_guards(&self, stmts: &[BcStmt], out: &mut Vec<Vec<GuardCond>>) {
         for s in stmts {
             match s {
-                BcStmt::Version { cond, then_body, else_body } => {
-                    match fold_guard(cond, self.t, self.opts) {
-                        Fold::True => self.collect_runtime_guards(then_body, out),
-                        Fold::False => self.collect_runtime_guards(else_body, out),
-                        Fold::Runtime(res) => {
-                            out.push(res);
-                            self.collect_runtime_guards(then_body, out);
-                            self.collect_runtime_guards(else_body, out);
-                        }
+                BcStmt::Version {
+                    cond,
+                    then_body,
+                    else_body,
+                } => match fold_guard(cond, self.t, self.opts) {
+                    Fold::True => self.collect_runtime_guards(then_body, out),
+                    Fold::False => self.collect_runtime_guards(else_body, out),
+                    Fold::Runtime(res) => {
+                        out.push(res);
+                        self.collect_runtime_guards(then_body, out);
+                        self.collect_runtime_guards(else_body, out);
                     }
-                }
+                },
                 BcStmt::Loop { body, .. } => self.collect_runtime_guards(body, out),
                 _ => {}
             }
@@ -412,24 +481,37 @@ impl<'a> Lower<'a> {
         }
         for s in stmts {
             match s {
-                BcStmt::Loop { kind, group, body, .. } => {
+                BcStmt::Loop {
+                    kind, group, body, ..
+                } => {
                     let vector = *kind != LoopKind::VectorMain
                         || self.group_mode.get(group).copied() == Some(GroupMode::Vector);
                     if vector {
                         self.collect_realign_needed(body);
                     }
                 }
-                BcStmt::Version { then_body, else_body, .. } => {
+                BcStmt::Version {
+                    then_body,
+                    else_body,
+                    ..
+                } => {
                     self.collect_realign_needed(then_body);
                     self.collect_realign_needed(else_body);
                 }
-                BcStmt::Def { op, .. } => {
-                    if let Op::RealignLoad { lo, hi, rt, mis, modulo, .. } = op {
-                        if known_misalignment(*mis, *modulo, self.t.vs) != Some(0) {
-                            for r in [lo, hi, rt].into_iter().flatten() {
-                                self.realign_needed.insert(*r);
-                            }
-                        }
+                BcStmt::Def {
+                    op:
+                        Op::RealignLoad {
+                            lo,
+                            hi,
+                            rt,
+                            mis,
+                            modulo,
+                            ..
+                        },
+                    ..
+                } if known_misalignment(*mis, *modulo, self.t.vs) != Some(0) => {
+                    for r in [lo, hi, rt].into_iter().flatten() {
+                        self.realign_needed.insert(*r);
                     }
                 }
                 _ => {}
@@ -447,11 +529,19 @@ impl<'a> Lower<'a> {
     fn ambient_group(&self, stmts: &[BcStmt], idx: usize) -> Option<u32> {
         for s in &stmts[idx..] {
             match s {
-                BcStmt::Loop { kind: LoopKind::VectorMain | LoopKind::ScalarTail, group, .. } => {
-                    return Some(*group)
+                BcStmt::Loop {
+                    kind: LoopKind::VectorMain | LoopKind::ScalarTail,
+                    group,
+                    ..
+                } => return Some(*group),
+                BcStmt::Def {
+                    op: Op::GetVf { group, .. },
+                    ..
                 }
-                BcStmt::Def { op: Op::GetVf { group, .. }, .. }
-                | BcStmt::Def { op: Op::LoopBound { group, .. }, .. } => return Some(*group),
+                | BcStmt::Def {
+                    op: Op::LoopBound { group, .. },
+                    ..
+                } => return Some(*group),
                 _ => {}
             }
         }
@@ -459,7 +549,8 @@ impl<'a> Lower<'a> {
     }
 
     fn mode_of_group(&self, g: Option<u32>) -> GroupMode {
-        g.and_then(|g| self.group_mode.get(&g).copied()).unwrap_or(GroupMode::Vector)
+        g.and_then(|g| self.group_mode.get(&g).copied())
+            .unwrap_or(GroupMode::Vector)
     }
 
     fn lower_stmts(&mut self, stmts: &[BcStmt], inherited: Option<u32>) -> Result<(), JitError> {
@@ -473,12 +564,22 @@ impl<'a> Lower<'a> {
     fn lower_stmt(&mut self, s: &BcStmt, ambient: Option<u32>) -> Result<(), JitError> {
         match s {
             BcStmt::Def { dst, op } => self.lower_def(*dst, op, ambient),
-            BcStmt::VStore { ty, addr, src, mis, modulo } => {
+            BcStmt::VStore {
+                ty,
+                addr,
+                src,
+                mis,
+                modulo,
+            } => {
                 let mode = self.mode_of_group(ambient);
                 if mode.is_scalar() {
                     let sv = self.as_scalar_lane(*src)?;
                     let am = self.mem_addr(addr, ty.size())?;
-                    self.emit(MInst::StoreS { ty: *ty, src: sv, addr: am });
+                    self.emit(MInst::StoreS {
+                        ty: *ty,
+                        src: sv,
+                        addr: am,
+                    });
                     return Ok(());
                 }
                 let v = self.as_vreg(*src)?;
@@ -492,55 +593,71 @@ impl<'a> Lower<'a> {
                         )
                     }
                 };
-                self.emit(MInst::StoreV { src: v, addr: am, align });
+                self.emit(MInst::StoreV {
+                    src: v,
+                    addr: am,
+                    align,
+                });
                 Ok(())
             }
             BcStmt::SStore { ty, addr, src } => {
                 let b = self.operand_bind(src)?;
                 let sv = self.as_sreg(b)?;
                 let am = self.mem_addr(addr, ty.size())?;
-                self.emit(MInst::StoreS { ty: *ty, src: sv, addr: am });
+                self.emit(MInst::StoreS {
+                    ty: *ty,
+                    src: sv,
+                    addr: am,
+                });
                 Ok(())
             }
-            BcStmt::Loop { var, lo, limit, step, kind, group, body } => {
-                self.lower_loop(*var, lo, limit, *step, *kind, *group, body, ambient)
-            }
-            BcStmt::Version { cond, then_body, else_body } => {
-                match fold_guard(cond, self.t, self.opts) {
-                    Fold::True => {
-                        self.stats.guards_folded += 1;
-                        self.lower_stmts(then_body, ambient)
-                    }
-                    Fold::False => {
-                        self.stats.guards_folded += 1;
-                        self.lower_stmts(else_body, ambient)
-                    }
-                    Fold::Runtime(res) => {
-                        self.stats.guards_runtime += 1;
-                        let flag = if self.opts.hoists_guards() {
-                            let f = self.guard_flags[self.guard_cursor];
-                            self.guard_cursor += 1;
-                            f
-                        } else {
-                            self.emit_guard_value(&res)?
-                        };
-                        let l_else = self.fresh_label();
-                        let l_end = self.fresh_label();
-                        self.emit(MInst::BranchImm {
-                            cond: Cond::Eq,
-                            a: flag,
-                            imm: 0,
-                            target: l_else,
-                        });
-                        self.lower_stmts(then_body, ambient)?;
-                        self.emit(MInst::Jump(l_end));
-                        self.emit(MInst::Label(l_else));
-                        self.lower_stmts(else_body, ambient)?;
-                        self.emit(MInst::Label(l_end));
-                        Ok(())
-                    }
+            BcStmt::Loop {
+                var,
+                lo,
+                limit,
+                step,
+                kind,
+                group,
+                body,
+            } => self.lower_loop(*var, lo, limit, *step, *kind, *group, body, ambient),
+            BcStmt::Version {
+                cond,
+                then_body,
+                else_body,
+            } => match fold_guard(cond, self.t, self.opts) {
+                Fold::True => {
+                    self.stats.guards_folded += 1;
+                    self.lower_stmts(then_body, ambient)
                 }
-            }
+                Fold::False => {
+                    self.stats.guards_folded += 1;
+                    self.lower_stmts(else_body, ambient)
+                }
+                Fold::Runtime(res) => {
+                    self.stats.guards_runtime += 1;
+                    let flag = if self.opts.hoists_guards() {
+                        let f = self.guard_flags[self.guard_cursor];
+                        self.guard_cursor += 1;
+                        f
+                    } else {
+                        self.emit_guard_value(&res)?
+                    };
+                    let l_else = self.fresh_label();
+                    let l_end = self.fresh_label();
+                    self.emit(MInst::BranchImm {
+                        cond: Cond::Eq,
+                        a: flag,
+                        imm: 0,
+                        target: l_else,
+                    });
+                    self.lower_stmts(then_body, ambient)?;
+                    self.emit(MInst::Jump(l_end));
+                    self.emit(MInst::Label(l_else));
+                    self.lower_stmts(else_body, ambient)?;
+                    self.emit(MInst::Label(l_end));
+                    Ok(())
+                }
+            },
         }
     }
 
@@ -558,7 +675,11 @@ impl<'a> Lower<'a> {
     ) -> Result<(), JitError> {
         // Inside a VectorMain loop, nested serial loops and their bodies
         // inherit the group of the vectorized loop.
-        let body_ambient = if kind == LoopKind::VectorMain { Some(group) } else { ambient };
+        let body_ambient = if kind == LoopKind::VectorMain {
+            Some(group)
+        } else {
+            ambient
+        };
         if kind == LoopKind::VectorMain
             && self.group_mode.get(&group).copied() == Some(GroupMode::TailScalar)
         {
@@ -581,7 +702,7 @@ impl<'a> Lower<'a> {
         let mut bumped: Vec<(Reg, u32, SReg, i64)> = Vec::new();
         if self.opts.pointer_bump() {
             let mut arrays: Vec<(u32, usize)> = Vec::new();
-            collect_induction_arrays(body, var, self.f, &mut arrays);
+            collect_induction_arrays(body, var, &mut arrays);
             for (sym, esize) in arrays {
                 let p = self.fresh_s();
                 let base = self.array_base[sym as usize];
@@ -608,8 +729,18 @@ impl<'a> Lower<'a> {
         let l_exit = self.fresh_label();
         let emit_exit_test = |this: &mut Self, cond: Cond, target: Label| -> Result<(), JitError> {
             match limit_b {
-                Bind::ImmI(v) => this.emit(MInst::BranchImm { cond, a: i, imm: v, target }),
-                Bind::S(r) => this.emit(MInst::Branch { cond, a: i, b: r, target }),
+                Bind::ImmI(v) => this.emit(MInst::BranchImm {
+                    cond,
+                    a: i,
+                    imm: v,
+                    target,
+                }),
+                Bind::S(r) => this.emit(MInst::Branch {
+                    cond,
+                    a: i,
+                    b: r,
+                    target,
+                }),
                 other => return this.err(format!("loop limit bound to {other:?}")),
             }
             Ok(())
@@ -620,7 +751,13 @@ impl<'a> Lower<'a> {
             let l_body = self.fresh_label();
             self.emit(MInst::Label(l_body));
             self.lower_stmts(body, body_ambient)?;
-            self.emit(MInst::SBinImm { op: BinOp::Add, ty: ScalarTy::I64, dst: i, a: i, imm: step_val });
+            self.emit(MInst::SBinImm {
+                op: BinOp::Add,
+                ty: ScalarTy::I64,
+                dst: i,
+                a: i,
+                imm: step_val,
+            });
             for (_, _, p, bump) in &bumped {
                 self.emit(MInst::SBinImm {
                     op: BinOp::Add,
@@ -637,7 +774,13 @@ impl<'a> Lower<'a> {
             self.emit(MInst::Label(l_head));
             emit_exit_test(self, Cond::Ge, l_exit)?;
             self.lower_stmts(body, body_ambient)?;
-            self.emit(MInst::SBinImm { op: BinOp::Add, ty: ScalarTy::I64, dst: i, a: i, imm: step_val });
+            self.emit(MInst::SBinImm {
+                op: BinOp::Add,
+                ty: ScalarTy::I64,
+                dst: i,
+                a: i,
+                imm: step_val,
+            });
             for (_, _, p, bump) in &bumped {
                 self.emit(MInst::SBinImm {
                     op: BinOp::Add,
@@ -668,9 +811,21 @@ impl<'a> Lower<'a> {
                 let lim = (self.t.align_limit_bytes() / ty.size()).max(1) as i64;
                 self.bind_scalar_value(dst, Bind::ImmI(lim))
             }
-            Op::LoopBound { vect, scalar, group } => {
-                let m = self.group_mode.get(group).copied().unwrap_or(GroupMode::Vector);
-                let chosen = if m == GroupMode::TailScalar { scalar } else { vect };
+            Op::LoopBound {
+                vect,
+                scalar,
+                group,
+            } => {
+                let m = self
+                    .group_mode
+                    .get(group)
+                    .copied()
+                    .unwrap_or(GroupMode::Vector);
+                let chosen = if m == GroupMode::TailScalar {
+                    scalar
+                } else {
+                    vect
+                };
                 let b = self.operand_bind(chosen)?;
                 self.bind_scalar_value(dst, b)
             }
@@ -680,7 +835,12 @@ impl<'a> Lower<'a> {
             Op::SUn(uop, ty, a) => {
                 let av = self.operand_sreg_coerced(a, *ty)?;
                 let d = self.def_s(dst);
-                self.emit(MInst::SUn { op: *uop, ty: *ty, dst: d, a: av });
+                self.emit(MInst::SUn {
+                    op: *uop,
+                    ty: *ty,
+                    dst: d,
+                    a: av,
+                });
                 Ok(())
             }
             Op::SCast { from, to, arg } => {
@@ -693,13 +853,22 @@ impl<'a> Lower<'a> {
                 }
                 let av = self.as_sreg(b)?;
                 let d = self.def_s(dst);
-                self.emit(MInst::SCvt { from: *from, to: *to, dst: d, a: av });
+                self.emit(MInst::SCvt {
+                    from: *from,
+                    to: *to,
+                    dst: d,
+                    a: av,
+                });
                 Ok(())
             }
             Op::SLoad(ty, addr) => {
                 let am = self.mem_addr(addr, ty.size())?;
                 let d = self.def_s(dst);
-                self.emit(MInst::LoadS { ty: *ty, dst: d, addr: am });
+                self.emit(MInst::LoadS {
+                    ty: *ty,
+                    dst: d,
+                    addr: am,
+                });
                 Ok(())
             }
             Op::Copy(o) => {
@@ -738,22 +907,40 @@ impl<'a> Lower<'a> {
             Op::InitUniform(ty, v) => {
                 let s = self.operand_sreg_coerced(v, *ty)?;
                 let d = self.def_v(dst);
-                self.emit(MInst::Splat { ty: *ty, dst: d, src: s });
+                self.emit(MInst::Splat {
+                    ty: *ty,
+                    dst: d,
+                    src: s,
+                });
                 Ok(())
             }
             Op::InitAffine(ty, v, inc) => {
                 let s = self.operand_sreg_coerced(v, *ty)?;
                 let i = self.operand_sreg_coerced(inc, *ty)?;
                 let d = self.def_v(dst);
-                self.emit(MInst::Iota { ty: *ty, dst: d, start: s, inc: i });
+                self.emit(MInst::Iota {
+                    ty: *ty,
+                    dst: d,
+                    start: s,
+                    inc: i,
+                });
                 Ok(())
             }
             Op::InitReduc(ty, val, default) => {
                 let dv = self.operand_sreg_coerced(default, *ty)?;
                 let d = self.def_v(dst);
-                self.emit(MInst::Splat { ty: *ty, dst: d, src: dv });
+                self.emit(MInst::Splat {
+                    ty: *ty,
+                    dst: d,
+                    src: dv,
+                });
                 let sv = self.operand_sreg_coerced(val, *ty)?;
-                self.emit(MInst::SetLane { ty: *ty, dst: d, lane: 0, src: sv });
+                self.emit(MInst::SetLane {
+                    ty: *ty,
+                    dst: d,
+                    lane: 0,
+                    src: sv,
+                });
                 Ok(())
             }
 
@@ -773,7 +960,12 @@ impl<'a> Lower<'a> {
                     Bind::ImmF(v) => self.bind_scalar_value(dst, Bind::ImmF(v)),
                     Bind::V(v) => {
                         let d = self.def_s(dst);
-                        self.emit(MInst::VReduce { op: rop, ty: *ty, dst: d, src: v });
+                        self.emit(MInst::VReduce {
+                            op: rop,
+                            ty: *ty,
+                            dst: d,
+                            src: v,
+                        });
                         Ok(())
                     }
                     Bind::Dead => self.err("reduction of dead vector"),
@@ -785,12 +977,20 @@ impl<'a> Lower<'a> {
                 if mode.is_scalar() {
                     let am = self.mem_addr(addr, ty.size())?;
                     let d = self.def_s(dst);
-                    self.emit(MInst::LoadS { ty: *ty, dst: d, addr: am });
+                    self.emit(MInst::LoadS {
+                        ty: *ty,
+                        dst: d,
+                        addr: am,
+                    });
                     return Ok(());
                 }
                 let am = self.mem_addr(addr, ty.size())?;
                 let d = self.def_v(dst);
-                self.emit(MInst::LoadV { dst: d, addr: am, align: MemAlign::Aligned });
+                self.emit(MInst::LoadV {
+                    dst: d,
+                    addr: am,
+                    align: MemAlign::Aligned,
+                });
                 Ok(())
             }
             Op::AlignLoad(ty, addr) => {
@@ -813,18 +1013,34 @@ impl<'a> Lower<'a> {
                 self.emit(MInst::VPermCtrl { dst: d, addr: am });
                 Ok(())
             }
-            Op::RealignLoad { ty, lo, hi, rt, addr, mis, modulo } => {
+            Op::RealignLoad {
+                ty,
+                lo,
+                hi,
+                rt,
+                addr,
+                mis,
+                modulo,
+            } => {
                 if mode.is_scalar() {
                     let am = self.mem_addr(addr, ty.size())?;
                     let d = self.def_s(dst);
-                    self.emit(MInst::LoadS { ty: *ty, dst: d, addr: am });
+                    self.emit(MInst::LoadS {
+                        ty: *ty,
+                        dst: d,
+                        addr: am,
+                    });
                     return Ok(());
                 }
                 let k = known_misalignment(*mis, *modulo, self.t.vs);
                 if k == Some(0) {
                     let am = self.mem_addr(addr, ty.size())?;
                     let d = self.def_v(dst);
-                    self.emit(MInst::LoadV { dst: d, addr: am, align: MemAlign::Aligned });
+                    self.emit(MInst::LoadV {
+                        dst: d,
+                        addr: am,
+                        align: MemAlign::Aligned,
+                    });
                     return Ok(());
                 }
                 if self.t.explicit_realign {
@@ -833,7 +1049,12 @@ impl<'a> Lower<'a> {
                             let (lv, hv, rv) =
                                 (self.as_vreg(*l)?, self.as_vreg(*h)?, self.as_vreg(*r)?);
                             let d = self.def_v(dst);
-                            self.emit(MInst::VPerm { dst: d, a: lv, b: hv, ctrl: rv });
+                            self.emit(MInst::VPerm {
+                                dst: d,
+                                a: lv,
+                                b: hv,
+                                ctrl: rv,
+                            });
                             Ok(())
                         }
                         _ => self.err("explicit realignment needs v1/v2/rt operands"),
@@ -841,7 +1062,11 @@ impl<'a> Lower<'a> {
                 } else if self.t.misaligned_loads {
                     let am = self.mem_addr(addr, ty.size())?;
                     let d = self.def_v(dst);
-                    self.emit(MInst::LoadV { dst: d, addr: am, align: MemAlign::Unaligned });
+                    self.emit(MInst::LoadV {
+                        dst: d,
+                        addr: am,
+                        align: MemAlign::Unaligned,
+                    });
                     Ok(())
                 } else {
                     self.err("no realignment strategy available (planning bug)")
@@ -853,7 +1078,13 @@ impl<'a> Lower<'a> {
                 if mode.is_scalar() {
                     let (av, bv) = (self.as_scalar_lane(*a)?, self.as_scalar_lane(*b)?);
                     let d = self.def_s(dst);
-                    self.emit(MInst::SBin { op: *bop, ty: *ty, dst: d, a: av, b: bv });
+                    self.emit(MInst::SBin {
+                        op: *bop,
+                        ty: *ty,
+                        dst: d,
+                        a: av,
+                        b: bv,
+                    });
                     return Ok(());
                 }
                 let (av, bv) = (self.as_vreg(*a)?, self.as_vreg(*b)?);
@@ -868,7 +1099,13 @@ impl<'a> Lower<'a> {
                         b: Some(bv),
                     });
                 } else {
-                    self.emit(MInst::VBin { op: *bop, ty: *ty, dst: d, a: av, b: bv });
+                    self.emit(MInst::VBin {
+                        op: *bop,
+                        ty: *ty,
+                        dst: d,
+                        a: av,
+                        b: bv,
+                    });
                 }
                 Ok(())
             }
@@ -876,16 +1113,32 @@ impl<'a> Lower<'a> {
                 if mode.is_scalar() {
                     let av = self.as_scalar_lane(*a)?;
                     let d = self.def_s(dst);
-                    self.emit(MInst::SUn { op: *uop, ty: *ty, dst: d, a: av });
+                    self.emit(MInst::SUn {
+                        op: *uop,
+                        ty: *ty,
+                        dst: d,
+                        a: av,
+                    });
                     return Ok(());
                 }
                 let av = self.as_vreg(*a)?;
                 let d = self.def_v(dst);
                 if *uop == vapor_ir::UnOp::Sqrt && !self.t.has_fsqrt {
                     self.stats.helper_calls += 1;
-                    self.emit(MInst::VHelper { op: HelperOp::FSqrt, ty: *ty, dst: d, a: av, b: None });
+                    self.emit(MInst::VHelper {
+                        op: HelperOp::FSqrt,
+                        ty: *ty,
+                        dst: d,
+                        a: av,
+                        b: None,
+                    });
                 } else {
-                    self.emit(MInst::VUn { op: *uop, ty: *ty, dst: d, a: av });
+                    self.emit(MInst::VUn {
+                        op: *uop,
+                        ty: *ty,
+                        dst: d,
+                        a: av,
+                    });
                 }
                 Ok(())
             }
@@ -916,7 +1169,13 @@ impl<'a> Lower<'a> {
                     ShiftAmt::PerLane(r) => ShiftSrc::PerLane(self.as_vreg(*r)?),
                 };
                 let d = self.def_v(dst);
-                self.emit(MInst::VShift { left, ty: *ty, dst: d, a: av, amt: amt_m });
+                self.emit(MInst::VShift {
+                    left,
+                    ty: *ty,
+                    dst: d,
+                    a: av,
+                    amt: amt_m,
+                });
                 Ok(())
             }
 
@@ -935,16 +1194,32 @@ impl<'a> Lower<'a> {
                     .ok_or_else(|| JitError(format!("no conversion counterpart for {ty}")))?;
                     let av = self.as_scalar_lane(*a)?;
                     let d = self.def_s(dst);
-                    self.emit(MInst::SCvt { from: *ty, to, dst: d, a: av });
+                    self.emit(MInst::SCvt {
+                        from: *ty,
+                        to,
+                        dst: d,
+                        a: av,
+                    });
                     return Ok(());
                 }
                 let av = self.as_vreg(*a)?;
                 let d = self.def_v(dst);
                 if self.t.cvt_via_helper {
                     self.stats.helper_calls += 1;
-                    self.emit(MInst::VHelper { op: HelperOp::Cvt(dir), ty: *ty, dst: d, a: av, b: None });
+                    self.emit(MInst::VHelper {
+                        op: HelperOp::Cvt(dir),
+                        ty: *ty,
+                        dst: d,
+                        a: av,
+                        b: None,
+                    });
                 } else {
-                    self.emit(MInst::VCvt { dir, ty: *ty, dst: d, a: av });
+                    self.emit(MInst::VCvt {
+                        dir,
+                        ty: *ty,
+                        dst: d,
+                        a: av,
+                    });
                 }
                 Ok(())
             }
@@ -953,11 +1228,21 @@ impl<'a> Lower<'a> {
             Op::DotProduct(ty, a, b, acc) => {
                 let (av, bv, cv) = (self.as_vreg(*a)?, self.as_vreg(*b)?, self.as_vreg(*acc)?);
                 let d = self.def_v(dst);
-                self.emit(MInst::VDotAcc { ty: *ty, dst: d, a: av, b: bv, acc: cv });
+                self.emit(MInst::VDotAcc {
+                    ty: *ty,
+                    dst: d,
+                    a: av,
+                    b: bv,
+                    acc: cv,
+                });
                 Ok(())
             }
             Op::WidenMultHi(ty, a, b) | Op::WidenMultLo(ty, a, b) => {
-                let half = if matches!(op, Op::WidenMultHi(..)) { Half::Hi } else { Half::Lo };
+                let half = if matches!(op, Op::WidenMultHi(..)) {
+                    Half::Hi
+                } else {
+                    Half::Lo
+                };
                 let (av, bv) = (self.as_vreg(*a)?, self.as_vreg(*b)?);
                 let d = self.def_v(dst);
                 if self.t.widen_mult_via_helper {
@@ -970,24 +1255,49 @@ impl<'a> Lower<'a> {
                         b: Some(bv),
                     });
                 } else {
-                    self.emit(MInst::VWidenMul { half, ty: *ty, dst: d, a: av, b: bv });
+                    self.emit(MInst::VWidenMul {
+                        half,
+                        ty: *ty,
+                        dst: d,
+                        a: av,
+                        b: bv,
+                    });
                 }
                 Ok(())
             }
             Op::Pack(ty, a, b) => {
                 let (av, bv) = (self.as_vreg(*a)?, self.as_vreg(*b)?);
                 let d = self.def_v(dst);
-                self.emit(MInst::VPack { ty: *ty, dst: d, a: av, b: bv });
+                self.emit(MInst::VPack {
+                    ty: *ty,
+                    dst: d,
+                    a: av,
+                    b: bv,
+                });
                 Ok(())
             }
             Op::UnpackHi(ty, a) | Op::UnpackLo(ty, a) => {
-                let half = if matches!(op, Op::UnpackHi(..)) { Half::Hi } else { Half::Lo };
+                let half = if matches!(op, Op::UnpackHi(..)) {
+                    Half::Hi
+                } else {
+                    Half::Lo
+                };
                 let av = self.as_vreg(*a)?;
                 let d = self.def_v(dst);
-                self.emit(MInst::VUnpack { half, ty: *ty, dst: d, a: av });
+                self.emit(MInst::VUnpack {
+                    half,
+                    ty: *ty,
+                    dst: d,
+                    a: av,
+                });
                 Ok(())
             }
-            Op::Extract { ty, stride, offset, srcs } => {
+            Op::Extract {
+                ty,
+                stride,
+                offset,
+                srcs,
+            } => {
                 let mut vs = Vec::with_capacity(srcs.len());
                 for r in srcs {
                     vs.push(self.as_vreg(*r)?);
@@ -1003,10 +1313,20 @@ impl<'a> Lower<'a> {
                 Ok(())
             }
             Op::InterleaveHi(ty, a, b) | Op::InterleaveLo(ty, a, b) => {
-                let half = if matches!(op, Op::InterleaveHi(..)) { Half::Hi } else { Half::Lo };
+                let half = if matches!(op, Op::InterleaveHi(..)) {
+                    Half::Hi
+                } else {
+                    Half::Lo
+                };
                 let (av, bv) = (self.as_vreg(*a)?, self.as_vreg(*b)?);
                 let d = self.def_v(dst);
-                self.emit(MInst::VInterleave { half, ty: *ty, dst: d, a: av, b: bv });
+                self.emit(MInst::VInterleave {
+                    half,
+                    ty: *ty,
+                    dst: d,
+                    a: av,
+                    b: bv,
+                });
                 Ok(())
             }
         }
@@ -1041,12 +1361,24 @@ impl<'a> Lower<'a> {
         match coerce_bind(bb, ty) {
             Bind::ImmI(v) if !ty.is_float() => {
                 let d = self.def_s(dst);
-                self.emit(MInst::SBinImm { op, ty, dst: d, a: av, imm: v });
+                self.emit(MInst::SBinImm {
+                    op,
+                    ty,
+                    dst: d,
+                    a: av,
+                    imm: v,
+                });
             }
             other => {
                 let bv = self.as_sreg(other)?;
                 let d = self.def_s(dst);
-                self.emit(MInst::SBin { op, ty, dst: d, a: av, b: bv });
+                self.emit(MInst::SBin {
+                    op,
+                    ty,
+                    dst: d,
+                    a: av,
+                    b: bv,
+                });
             }
         }
         Ok(())
@@ -1083,12 +1415,7 @@ fn value_bind(v: Value) -> Bind {
     }
 }
 
-fn collect_induction_arrays(
-    body: &[BcStmt],
-    var: Reg,
-    f: &BcFunction,
-    out: &mut Vec<(u32, usize)>,
-) {
+fn collect_induction_arrays(body: &[BcStmt], var: Reg, out: &mut Vec<(u32, usize)>) {
     fn consider(out: &mut Vec<(u32, usize)>, var: Reg, addr: &Addr, esize: usize) {
         if addr.index == Operand::Reg(var) && !out.iter().any(|(s, _)| *s == addr.base.0) {
             out.push((addr.base.0, esize));
@@ -1107,10 +1434,14 @@ fn collect_induction_arrays(
             BcStmt::VStore { ty, addr, .. } | BcStmt::SStore { ty, addr, .. } => {
                 consider(out, var, addr, ty.size())
             }
-            BcStmt::Loop { body, .. } => collect_induction_arrays(body, var, f, out),
-            BcStmt::Version { then_body, else_body, .. } => {
-                collect_induction_arrays(then_body, var, f, out);
-                collect_induction_arrays(else_body, var, f, out);
+            BcStmt::Loop { body, .. } => collect_induction_arrays(body, var, out),
+            BcStmt::Version {
+                then_body,
+                else_body,
+                ..
+            } => {
+                collect_induction_arrays(then_body, var, out);
+                collect_induction_arrays(else_body, var, out);
             }
         }
     }
@@ -1124,7 +1455,11 @@ fn count_defs(stmts: &[BcStmt], counts: &mut HashMap<Reg, u32>) {
                 *counts.entry(*var).or_insert(0) += 2; // loop vars mutate
                 count_defs(body, counts);
             }
-            BcStmt::Version { then_body, else_body, .. } => {
+            BcStmt::Version {
+                then_body,
+                else_body,
+                ..
+            } => {
                 count_defs(then_body, counts);
                 count_defs(else_body, counts);
             }
@@ -1219,5 +1554,16 @@ pub fn compile(
     }
     stats.insts = code.len();
 
-    Ok(CompiledKernel { code, param_regs, array_base_regs, array_len_regs, stats })
+    let decoded = Arc::new(
+        DecodedProgram::decode(&code, target)
+            .map_err(|e| JitError(format!("decode of generated code failed: {e}")))?,
+    );
+    Ok(CompiledKernel {
+        code,
+        decoded,
+        param_regs,
+        array_base_regs,
+        array_len_regs,
+        stats,
+    })
 }

@@ -43,7 +43,10 @@ pub struct JitOptions {
 impl JitOptions {
     /// Options for a pipeline with default knobs.
     pub fn new(pipeline: Pipeline) -> JitOptions {
-        JitOptions { pipeline, x87_scalar_fp: None }
+        JitOptions {
+            pipeline,
+            x87_scalar_fp: None,
+        }
     }
 
     /// Whether the generated code should use x87-style scalar floats.

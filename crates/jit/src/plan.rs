@@ -109,8 +109,8 @@ pub fn fold_guard(cond: &GuardCond, target: &TargetDesc, opts: &JitOptions) -> F
                         GuardCond::StrideAligned { ty, .. } => ty.size() as i64,
                         _ => unreachable!(),
                     };
-                    let base_ok = opts.owns_memory()
-                        || opts.pipeline == crate::options::Pipeline::Native;
+                    let base_ok =
+                        opts.owns_memory() || opts.pipeline == crate::options::Pipeline::Native;
                     if (s * esize) % vs == 0 && base_ok {
                         return Fold::True;
                     } else if (s * esize) % vs != 0 {
@@ -142,7 +142,7 @@ pub fn fold_guard(cond: &GuardCond, target: &TargetDesc, opts: &JitOptions) -> F
 /// `Some(k)` when the hint is usable (`mod != 0` and `VS` divides `mod`),
 /// `None` when alignment is unknown until run time.
 pub fn known_misalignment(mis: u32, modulo: u32, vs: usize) -> Option<u32> {
-    if modulo == 0 || vs == 0 || modulo as usize % vs != 0 {
+    if modulo == 0 || vs == 0 || !(modulo as usize).is_multiple_of(vs) {
         None
     } else {
         Some(mis % vs as u32)
@@ -178,14 +178,23 @@ fn scan_group(
 ) {
     for s in stmts {
         match s {
-            BcStmt::Loop { kind, group: g, body, .. } => {
+            BcStmt::Loop {
+                kind,
+                group: g,
+                body,
+                ..
+            } => {
                 if *kind == LoopKind::VectorMain && *g == group {
                     scan_body(body, target, bad, has_subvector);
                 } else {
                     scan_group(body, group, target, bad, has_subvector);
                 }
             }
-            BcStmt::Version { then_body, else_body, .. } => {
+            BcStmt::Version {
+                then_body,
+                else_body,
+                ..
+            } => {
                 scan_group(then_body, group, target, bad, has_subvector);
                 scan_group(else_body, group, target, bad, has_subvector);
             }
@@ -210,11 +219,17 @@ fn scan_body(
     for s in body {
         match s {
             BcStmt::Loop { body, .. } => scan_body(body, target, bad, has_subvector),
-            BcStmt::Version { then_body, else_body, .. } => {
+            BcStmt::Version {
+                then_body,
+                else_body,
+                ..
+            } => {
                 scan_body(then_body, target, bad, has_subvector);
                 scan_body(else_body, target, bad, has_subvector);
             }
-            BcStmt::VStore { ty, mis, modulo, .. } => {
+            BcStmt::VStore {
+                ty, mis, modulo, ..
+            } => {
                 check_elem(*ty, target, bad);
                 match known_misalignment(*mis, *modulo, vs) {
                     Some(0) => {}
@@ -262,7 +277,9 @@ fn scan_body(
                     check_elem(*t, target, bad)
                 }
                 Op::ALoad(t, _) => check_elem(*t, target, bad),
-                Op::RealignLoad { ty, mis, modulo, .. } => {
+                Op::RealignLoad {
+                    ty, mis, modulo, ..
+                } => {
                     check_elem(*ty, target, bad);
                     match known_misalignment(*mis, *modulo, vs) {
                         Some(0) => {}
@@ -297,7 +314,12 @@ pub fn plan_group(f: &BcFunction, group: u32, target: &TargetDesc) -> GroupMode 
 pub fn groups_of(f: &BcFunction) -> Vec<u32> {
     let mut out = Vec::new();
     f.walk(&mut |s| {
-        if let BcStmt::Loop { kind: LoopKind::VectorMain, group, .. } = s {
+        if let BcStmt::Loop {
+            kind: LoopKind::VectorMain,
+            group,
+            ..
+        } = s
+        {
             if !out.contains(group) {
                 out.push(*group);
             }
@@ -325,7 +347,10 @@ mod tests {
     #[test]
     fn base_aligned_folds_only_when_memory_owned() {
         let g = GuardCond::BaseAligned(ArraySym(0));
-        assert_eq!(fold_guard(&g, &sse(), &JitOptions::new(Pipeline::NaiveJit)), Fold::True);
+        assert_eq!(
+            fold_guard(&g, &sse(), &JitOptions::new(Pipeline::NaiveJit)),
+            Fold::True
+        );
         assert!(matches!(
             fold_guard(&g, &sse(), &JitOptions::new(Pipeline::OptJit)),
             Fold::Runtime(_)
@@ -360,8 +385,15 @@ mod tests {
     fn func_with_group(body: Vec<BcStmt>) -> BcFunction {
         let mut f = BcFunction::new(
             "t",
-            vec![BcParam { name: "n".into(), ty: ScalarTy::I64 }],
-            vec![BcArray { name: "x".into(), elem: ScalarTy::F32, kind: ArrayKind::Global }],
+            vec![BcParam {
+                name: "n".into(),
+                ty: ScalarTy::I64,
+            }],
+            vec![BcArray {
+                name: "x".into(),
+                elem: ScalarTy::F32,
+                kind: ArrayKind::Global,
+            }],
         );
         let i = f.fresh_reg(BcTy::Scalar(ScalarTy::I64));
         f.body = vec![BcStmt::Loop {

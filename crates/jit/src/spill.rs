@@ -48,11 +48,10 @@ fn sreg_uses(inst: &MInst) -> Vec<SReg> {
         MInst::Iota { start, inc, .. } => out.extend([*start, *inc]),
         MInst::SetLane { src, .. } => out.push(*src),
         MInst::GetLane { .. } => {}
-        MInst::VShift { amt, .. } => {
-            if let vapor_targets::ShiftSrc::Reg(r) = amt {
-                out.push(*r);
-            }
-        }
+        MInst::VShift {
+            amt: vapor_targets::ShiftSrc::Reg(r),
+            ..
+        } => out.push(*r),
         MInst::VPermCtrl { addr: am, .. } => addr(am, &mut out),
         MInst::SpillLd { .. } | MInst::SpillSt { .. } => {}
         _ => {}
@@ -117,11 +116,10 @@ fn substitute(inst: &MInst, m: &HashMap<SReg, SReg>) -> MInst {
         }
         MInst::SetLane { src, .. } => *src = m[src],
         MInst::GetLane { dst, .. } => *dst = m[dst],
-        MInst::VShift { amt, .. } => {
-            if let vapor_targets::ShiftSrc::Reg(r) = amt {
-                *r = m[r];
-            }
-        }
+        MInst::VShift {
+            amt: vapor_targets::ShiftSrc::Reg(r),
+            ..
+        } => *r = m[r],
         MInst::VPermCtrl { addr, .. } => *addr = remap_addr(addr, m),
         MInst::VReduce { dst, .. } => *dst = m[dst],
         _ => {}
@@ -137,7 +135,10 @@ fn substitute(inst: &MInst, m: &HashMap<SReg, SReg>) -> MInst {
 pub fn rewrite(code: &MCode, n_fixed: u32, x87: bool) -> MCode {
     let mut out: Vec<MInst> = Vec::with_capacity(code.insts.len() * 3 + n_fixed as usize);
     for r in 0..n_fixed {
-        out.push(MInst::SpillSt { src: SReg(r), slot: r });
+        out.push(MInst::SpillSt {
+            src: SReg(r),
+            slot: r,
+        });
     }
     for inst in &code.insts {
         // x87 substitution happens before the spill expansion so the
@@ -164,7 +165,10 @@ pub fn rewrite(code: &MCode, n_fixed: u32, x87: bool) -> MCode {
             if !map.contains_key(u) {
                 let scratch = SReg(next_scratch);
                 next_scratch += 1;
-                out.push(MInst::SpillLd { dst: scratch, slot: u.0 });
+                out.push(MInst::SpillLd {
+                    dst: scratch,
+                    slot: u.0,
+                });
                 map.insert(*u, scratch);
             }
         }
@@ -178,7 +182,10 @@ pub fn rewrite(code: &MCode, n_fixed: u32, x87: bool) -> MCode {
         }
         out.push(substitute(&inst, &map));
         if let Some(d) = def {
-            out.push(MInst::SpillSt { src: map[&d], slot: d.0 });
+            out.push(MInst::SpillSt {
+                src: map[&d],
+                slot: d.0,
+            });
         }
     }
     MCode {
@@ -198,15 +205,13 @@ mod tests {
     #[test]
     fn every_op_reloads_and_spills() {
         let code = MCode {
-            insts: vec![
-                MInst::SBin {
-                    op: BinOp::Add,
-                    ty: ScalarTy::I64,
-                    dst: SReg(5),
-                    a: SReg(3),
-                    b: SReg(4),
-                },
-            ],
+            insts: vec![MInst::SBin {
+                op: BinOp::Add,
+                ty: ScalarTy::I64,
+                dst: SReg(5),
+                a: SReg(3),
+                b: SReg(4),
+            }],
             n_sregs: 6,
             n_vregs: 0,
             note: "t".into(),
@@ -222,19 +227,37 @@ mod tests {
     fn x87_substitutes_float_ops_only() {
         let code = MCode {
             insts: vec![
-                MInst::SBin { op: BinOp::Mul, ty: ScalarTy::F32, dst: SReg(0), a: SReg(0), b: SReg(0) },
-                MInst::SBin { op: BinOp::Add, ty: ScalarTy::I64, dst: SReg(1), a: SReg(1), b: SReg(1) },
+                MInst::SBin {
+                    op: BinOp::Mul,
+                    ty: ScalarTy::F32,
+                    dst: SReg(0),
+                    a: SReg(0),
+                    b: SReg(0),
+                },
+                MInst::SBin {
+                    op: BinOp::Add,
+                    ty: ScalarTy::I64,
+                    dst: SReg(1),
+                    a: SReg(1),
+                    b: SReg(1),
+                },
             ],
             n_sregs: 2,
             n_vregs: 0,
             note: "t".into(),
         };
         let spilled = rewrite(&code, 0, true);
-        assert!(spilled.insts.iter().any(|i| matches!(i, MInst::FpuBin { .. })));
         assert!(spilled
             .insts
             .iter()
-            .any(|i| matches!(i, MInst::SBin { ty: ScalarTy::I64, .. })));
+            .any(|i| matches!(i, MInst::FpuBin { .. })));
+        assert!(spilled.insts.iter().any(|i| matches!(
+            i,
+            MInst::SBin {
+                ty: ScalarTy::I64,
+                ..
+            }
+        )));
     }
 
     #[test]
@@ -242,7 +265,12 @@ mod tests {
         let code = MCode {
             insts: vec![
                 MInst::Label(Label(0)),
-                MInst::Branch { cond: Cond::Lt, a: SReg(0), b: SReg(1), target: Label(0) },
+                MInst::Branch {
+                    cond: Cond::Lt,
+                    a: SReg(0),
+                    b: SReg(1),
+                    target: Label(0),
+                },
             ],
             n_sregs: 2,
             n_vregs: 0,

@@ -281,7 +281,8 @@ pub fn env_for(name: &str, scale: Scale) -> Bindings {
         }
         "lu_fp" => {
             let n = if full { 48 } else { 10 };
-            env.set_int("n", n as i64).set_array("a", floats(r, n * n, 0.5, 1.5));
+            env.set_int("n", n as i64)
+                .set_array("a", floats(r, n * n, 0.5, 1.5));
         }
         "ludcmp_fp" => {
             let n = if full { 128 } else { 10 };
@@ -305,7 +306,8 @@ pub fn env_for(name: &str, scale: Scale) -> Bindings {
         }
         "seidel_fp" => {
             let n = if full { 128 } else { 10 };
-            env.set_int("n", n as i64).set_array("a", floats(r, n * n, -0.5, 0.5));
+            env.set_int("n", n as i64)
+                .set_array("a", floats(r, n * n, -0.5, 0.5));
         }
         other => panic!("no input generator for kernel {other}"),
     }

@@ -87,22 +87,134 @@ pub fn suite() -> Vec<KernelSpec> {
         features,
     };
     vec![
-        m("dissolve_s8", media::DISSOLVE_S8, false, false, false, true, &[WidenMult][..]),
-        m("sad_s8", media::SAD_S8, true, true, false, true, &[AbsDiff, Reduction]),
-        m("sfir_s16", media::SFIR_S16, true, true, false, true, &[DotProduct, Reduction, Realign]),
-        m("interp_s16", media::INTERP_S16, true, true, false, true, &[Strided, Realign]),
-        m("mix_streams_s16", media::MIX_STREAMS_S16, true, true, false, true, &[Slp]),
-        m("convolve_s32", media::CONVOLVE_S32, true, true, false, true, &[Reduction, Realign]),
-        m("alvinn_s32fp", media::ALVINN_S32FP, false, true, false, true, &[OuterLoop]),
-        m("dct_s32fp", media::DCT_S32FP, true, true, false, true, &[OuterLoop, Cvt]),
-        m("dissolve_fp", media::DISSOLVE_FP, true, true, true, true, &[]),
-        m("sfir_fp", media::SFIR_FP, true, true, true, true, &[Reduction, Realign]),
-        m("interp_fp", media::INTERP_FP, true, true, true, true, &[Strided, Realign]),
-        m("mmm_fp", media::MMM_FP, true, true, true, true, &[Versioned]),
+        m(
+            "dissolve_s8",
+            media::DISSOLVE_S8,
+            false,
+            false,
+            false,
+            true,
+            &[WidenMult][..],
+        ),
+        m(
+            "sad_s8",
+            media::SAD_S8,
+            true,
+            true,
+            false,
+            true,
+            &[AbsDiff, Reduction],
+        ),
+        m(
+            "sfir_s16",
+            media::SFIR_S16,
+            true,
+            true,
+            false,
+            true,
+            &[DotProduct, Reduction, Realign],
+        ),
+        m(
+            "interp_s16",
+            media::INTERP_S16,
+            true,
+            true,
+            false,
+            true,
+            &[Strided, Realign],
+        ),
+        m(
+            "mix_streams_s16",
+            media::MIX_STREAMS_S16,
+            true,
+            true,
+            false,
+            true,
+            &[Slp],
+        ),
+        m(
+            "convolve_s32",
+            media::CONVOLVE_S32,
+            true,
+            true,
+            false,
+            true,
+            &[Reduction, Realign],
+        ),
+        m(
+            "alvinn_s32fp",
+            media::ALVINN_S32FP,
+            false,
+            true,
+            false,
+            true,
+            &[OuterLoop],
+        ),
+        m(
+            "dct_s32fp",
+            media::DCT_S32FP,
+            true,
+            true,
+            false,
+            true,
+            &[OuterLoop, Cvt],
+        ),
+        m(
+            "dissolve_fp",
+            media::DISSOLVE_FP,
+            true,
+            true,
+            true,
+            true,
+            &[],
+        ),
+        m(
+            "sfir_fp",
+            media::SFIR_FP,
+            true,
+            true,
+            true,
+            true,
+            &[Reduction, Realign],
+        ),
+        m(
+            "interp_fp",
+            media::INTERP_FP,
+            true,
+            true,
+            true,
+            true,
+            &[Strided, Realign],
+        ),
+        m(
+            "mmm_fp",
+            media::MMM_FP,
+            true,
+            true,
+            true,
+            true,
+            &[Versioned],
+        ),
         m("dscal_fp", media::DSCAL_FP, true, true, true, true, &[]),
         m("saxpy_fp", media::SAXPY_FP, true, true, true, true, &[]),
-        m("dscal_dp", media::DSCAL_DP, true, true, true, true, &[Versioned]),
-        m("saxpy_dp", media::SAXPY_DP, true, true, true, true, &[Versioned]),
+        m(
+            "dscal_dp",
+            media::DSCAL_DP,
+            true,
+            true,
+            true,
+            true,
+            &[Versioned],
+        ),
+        m(
+            "saxpy_dp",
+            media::SAXPY_DP,
+            true,
+            true,
+            true,
+            true,
+            &[Versioned],
+        ),
         p("correlation_fp", polybench::CORRELATION, true, &[OuterLoop]),
         p("covariance_fp", polybench::COVARIANCE, true, &[OuterLoop]),
         p("2mm_fp", polybench::MM2, true, &[Versioned]),
@@ -144,7 +256,10 @@ mod tests {
         let s = suite();
         assert_eq!(s.len(), 32);
         assert_eq!(s.iter().filter(|k| k.suite == SuiteKind::Media).count(), 16);
-        assert_eq!(s.iter().filter(|k| k.suite == SuiteKind::Polybench).count(), 16);
+        assert_eq!(
+            s.iter().filter(|k| k.suite == SuiteKind::Polybench).count(),
+            16
+        );
         assert_eq!(s.iter().filter(|k| k.table3).count(), 8);
         // Figure 5a has 14 media kernels (no dissolve_s8, no alvinn);
         // 5b adds alvinn.
@@ -168,10 +283,20 @@ mod tests {
             let k = spec.kernel();
             let env = spec.env(Scale::Test);
             for (_, v) in k.scalar_params() {
-                assert!(env.scalar(&v.name).is_some(), "{}: scalar {}", spec.name, v.name);
+                assert!(
+                    env.scalar(&v.name).is_some(),
+                    "{}: scalar {}",
+                    spec.name,
+                    v.name
+                );
             }
             for a in &k.arrays {
-                assert!(env.array(&a.name).is_some(), "{}: array {}", spec.name, a.name);
+                assert!(
+                    env.array(&a.name).is_some(),
+                    "{}: array {}",
+                    spec.name,
+                    a.name
+                );
             }
         }
     }
@@ -181,8 +306,7 @@ mod tests {
         for spec in suite() {
             let k = spec.kernel();
             let mut env = spec.env(Scale::Test);
-            vapor_ir::interpret(&k, &mut env)
-                .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+            vapor_ir::interpret(&k, &mut env).unwrap_or_else(|e| panic!("{}: {e}", spec.name));
         }
     }
 }

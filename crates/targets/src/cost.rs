@@ -380,12 +380,17 @@ mod tests {
             )
         };
         assert!(h(8) > h(2));
-        assert!(h(2) > m.cost(&MInst::VCvt {
-            dir: crate::isa::CvtDir::IntToFloat,
-            ty: ScalarTy::I32,
-            dst: VReg(0),
-            a: VReg(1),
-        }, 2));
+        assert!(
+            h(2) > m.cost(
+                &MInst::VCvt {
+                    dir: crate::isa::CvtDir::IntToFloat,
+                    ty: ScalarTy::I32,
+                    dst: VReg(0),
+                    a: VReg(1),
+                },
+                2
+            )
+        );
     }
 
     #[test]

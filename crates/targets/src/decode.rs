@@ -1,0 +1,530 @@
+//! Pre-decoded machine code: the load-time form the VM dispatch loop
+//! actually executes.
+//!
+//! [`MCode`] is the portable, printable form the online compilers emit:
+//! branch targets are symbolic labels, and per-instruction metadata
+//! (cycle cost, lane counts) is implicit. The seed interpreter re-derived
+//! all of that *every step*: a `HashMap` lookup per taken branch and a
+//! full cost-model match per executed instruction. [`DecodedProgram`]
+//! resolves everything once per (code, target) pair at compile time:
+//!
+//! * labels are stripped and every branch target becomes an instruction
+//!   index into the decoded stream;
+//! * the cycle cost of every instruction is pre-computed against the
+//!   target's cost table (including the lane-count-dependent costs of
+//!   reductions and helper calls);
+//! * control flow is separated from computation, so the hot loop matches
+//!   a four-variant enum instead of a ~40-variant one.
+//!
+//! A decoded program is target-specific (costs and lane counts depend on
+//! the target) and immutable, so one decode is shared by every execution
+//! of a compiled kernel — `vapor_jit::CompiledKernel` carries it behind
+//! an `Arc`.
+
+use std::collections::HashMap;
+
+use vapor_ir::sem::{eval_bin, eval_un, read_elem, write_elem};
+use vapor_ir::{BinOp, ScalarTy, UnOp};
+
+use crate::isa::{Cond, Label, MCode, MInst, SReg, VReg};
+use crate::machine::{Trap, VBytes, MAX_VS};
+use crate::target::TargetDesc;
+
+/// Specialized all-lanes kernel of a binary vector op: the operator and
+/// element type are compile-time constants inside, so the per-lane
+/// `eval_bin`/`read_elem`/`write_elem` matches of the generic
+/// interpreter const-fold into a straight-line (auto-vectorizable) loop.
+pub type VBinFn = fn(&VBytes, &VBytes, usize) -> VBytes;
+
+/// Specialized all-lanes kernel of a unary vector op.
+pub type VUnFn = fn(&VBytes, usize) -> VBytes;
+
+/// Pick the specialized kernel for a (operator, element type) pair, if
+/// one is generated. Pairs the online compilers never emit (e.g. float
+/// comparisons as lane ops) fall back to the generic path.
+fn vbin_fn(op: BinOp, ty: ScalarTy) -> Option<VBinFn> {
+    macro_rules! k {
+        ($opvar:ident, $tyvar:ident) => {{
+            fn kernel(a: &VBytes, b: &VBytes, n: usize) -> VBytes {
+                const TY: ScalarTy = ScalarTy::$tyvar;
+                const SZ: usize = TY.size();
+                let mut out = [0u8; MAX_VS];
+                for k in 0..n {
+                    let off = k * SZ;
+                    let v = eval_bin(
+                        BinOp::$opvar,
+                        TY,
+                        read_elem(TY, a, off),
+                        read_elem(TY, b, off),
+                    );
+                    write_elem(TY, &mut out, off, v);
+                }
+                out
+            }
+            Some(kernel as VBinFn)
+        }};
+    }
+    use BinOp::*;
+    use ScalarTy::*;
+    match (op, ty) {
+        (Add, I8) => k!(Add, I8),
+        (Add, U8) => k!(Add, U8),
+        (Add, I16) => k!(Add, I16),
+        (Add, U16) => k!(Add, U16),
+        (Add, I32) => k!(Add, I32),
+        (Add, U32) => k!(Add, U32),
+        (Add, I64) => k!(Add, I64),
+        (Add, F32) => k!(Add, F32),
+        (Add, F64) => k!(Add, F64),
+        (Sub, I8) => k!(Sub, I8),
+        (Sub, U8) => k!(Sub, U8),
+        (Sub, I16) => k!(Sub, I16),
+        (Sub, U16) => k!(Sub, U16),
+        (Sub, I32) => k!(Sub, I32),
+        (Sub, U32) => k!(Sub, U32),
+        (Sub, I64) => k!(Sub, I64),
+        (Sub, F32) => k!(Sub, F32),
+        (Sub, F64) => k!(Sub, F64),
+        (Mul, I8) => k!(Mul, I8),
+        (Mul, U8) => k!(Mul, U8),
+        (Mul, I16) => k!(Mul, I16),
+        (Mul, U16) => k!(Mul, U16),
+        (Mul, I32) => k!(Mul, I32),
+        (Mul, U32) => k!(Mul, U32),
+        (Mul, I64) => k!(Mul, I64),
+        (Mul, F32) => k!(Mul, F32),
+        (Mul, F64) => k!(Mul, F64),
+        (Div, I8) => k!(Div, I8),
+        (Div, U8) => k!(Div, U8),
+        (Div, I16) => k!(Div, I16),
+        (Div, U16) => k!(Div, U16),
+        (Div, I32) => k!(Div, I32),
+        (Div, U32) => k!(Div, U32),
+        (Div, I64) => k!(Div, I64),
+        (Div, F32) => k!(Div, F32),
+        (Div, F64) => k!(Div, F64),
+        (Min, I8) => k!(Min, I8),
+        (Min, U8) => k!(Min, U8),
+        (Min, I16) => k!(Min, I16),
+        (Min, U16) => k!(Min, U16),
+        (Min, I32) => k!(Min, I32),
+        (Min, U32) => k!(Min, U32),
+        (Min, I64) => k!(Min, I64),
+        (Min, F32) => k!(Min, F32),
+        (Min, F64) => k!(Min, F64),
+        (Max, I8) => k!(Max, I8),
+        (Max, U8) => k!(Max, U8),
+        (Max, I16) => k!(Max, I16),
+        (Max, U16) => k!(Max, U16),
+        (Max, I32) => k!(Max, I32),
+        (Max, U32) => k!(Max, U32),
+        (Max, I64) => k!(Max, I64),
+        (Max, F32) => k!(Max, F32),
+        (Max, F64) => k!(Max, F64),
+        (And, I8) => k!(And, I8),
+        (And, U8) => k!(And, U8),
+        (And, I16) => k!(And, I16),
+        (And, U16) => k!(And, U16),
+        (And, I32) => k!(And, I32),
+        (And, U32) => k!(And, U32),
+        (And, I64) => k!(And, I64),
+        (Or, I8) => k!(Or, I8),
+        (Or, U8) => k!(Or, U8),
+        (Or, I16) => k!(Or, I16),
+        (Or, U16) => k!(Or, U16),
+        (Or, I32) => k!(Or, I32),
+        (Or, U32) => k!(Or, U32),
+        (Or, I64) => k!(Or, I64),
+        (Xor, I8) => k!(Xor, I8),
+        (Xor, U8) => k!(Xor, U8),
+        (Xor, I16) => k!(Xor, I16),
+        (Xor, U16) => k!(Xor, U16),
+        (Xor, I32) => k!(Xor, I32),
+        (Xor, U32) => k!(Xor, U32),
+        (Xor, I64) => k!(Xor, I64),
+        (CmpEq, I8) => k!(CmpEq, I8),
+        (CmpEq, U8) => k!(CmpEq, U8),
+        (CmpEq, I16) => k!(CmpEq, I16),
+        (CmpEq, U16) => k!(CmpEq, U16),
+        (CmpEq, I32) => k!(CmpEq, I32),
+        (CmpEq, U32) => k!(CmpEq, U32),
+        (CmpEq, I64) => k!(CmpEq, I64),
+        (CmpLt, I8) => k!(CmpLt, I8),
+        (CmpLt, U8) => k!(CmpLt, U8),
+        (CmpLt, I16) => k!(CmpLt, I16),
+        (CmpLt, U16) => k!(CmpLt, U16),
+        (CmpLt, I32) => k!(CmpLt, I32),
+        (CmpLt, U32) => k!(CmpLt, U32),
+        (CmpLt, I64) => k!(CmpLt, I64),
+        _ => None,
+    }
+}
+
+/// Pick the specialized kernel for a unary (operator, element type).
+fn vun_fn(op: UnOp, ty: ScalarTy) -> Option<VUnFn> {
+    macro_rules! k {
+        ($opvar:ident, $tyvar:ident) => {{
+            fn kernel(a: &VBytes, n: usize) -> VBytes {
+                const TY: ScalarTy = ScalarTy::$tyvar;
+                const SZ: usize = TY.size();
+                let mut out = [0u8; MAX_VS];
+                for k in 0..n {
+                    let off = k * SZ;
+                    write_elem(
+                        TY,
+                        &mut out,
+                        off,
+                        eval_un(UnOp::$opvar, TY, read_elem(TY, a, off)),
+                    );
+                }
+                out
+            }
+            Some(kernel as VUnFn)
+        }};
+    }
+    use ScalarTy::*;
+    use UnOp::*;
+    match (op, ty) {
+        (Neg, I8) => k!(Neg, I8),
+        (Neg, U8) => k!(Neg, U8),
+        (Neg, I16) => k!(Neg, I16),
+        (Neg, U16) => k!(Neg, U16),
+        (Neg, I32) => k!(Neg, I32),
+        (Neg, U32) => k!(Neg, U32),
+        (Neg, I64) => k!(Neg, I64),
+        (Neg, F32) => k!(Neg, F32),
+        (Neg, F64) => k!(Neg, F64),
+        (Abs, I8) => k!(Abs, I8),
+        (Abs, U8) => k!(Abs, U8),
+        (Abs, I16) => k!(Abs, I16),
+        (Abs, U16) => k!(Abs, U16),
+        (Abs, I32) => k!(Abs, I32),
+        (Abs, U32) => k!(Abs, U32),
+        (Abs, I64) => k!(Abs, I64),
+        (Abs, F32) => k!(Abs, F32),
+        (Abs, F64) => k!(Abs, F64),
+        (Sqrt, F32) => k!(Sqrt, F32),
+        (Sqrt, F64) => k!(Sqrt, F64),
+        _ => None,
+    }
+}
+
+/// Control-flow-resolved step of a decoded program.
+///
+/// No `PartialEq`: the fast variants hold function pointers, whose
+/// comparison is not meaningful. Compare the source [`MCode`] instead.
+#[derive(Debug, Clone)]
+pub enum DStep {
+    /// Unconditional jump to a decoded-instruction index.
+    Jump {
+        /// Target index.
+        target: u32,
+    },
+    /// Conditional branch on two scalar registers.
+    Branch {
+        /// Condition.
+        cond: Cond,
+        /// Left operand.
+        a: SReg,
+        /// Right operand.
+        b: SReg,
+        /// Target index.
+        target: u32,
+    },
+    /// Conditional branch against an immediate.
+    BranchImm {
+        /// Condition.
+        cond: Cond,
+        /// Left operand.
+        a: SReg,
+        /// Immediate right operand.
+        imm: i64,
+        /// Target index.
+        target: u32,
+    },
+    /// [`MInst::VBin`] with a specialized all-lanes kernel resolved at
+    /// decode time (operator/type matches hoisted out of the lane loop).
+    VBinFast {
+        /// Destination.
+        dst: VReg,
+        /// Left operand.
+        a: VReg,
+        /// Right operand.
+        b: VReg,
+        /// Specialized lane kernel.
+        f: VBinFn,
+        /// Lane count of the element type on the decode target.
+        lanes: u32,
+    },
+    /// [`MInst::VUn`] with a specialized all-lanes kernel.
+    VUnFast {
+        /// Destination.
+        dst: VReg,
+        /// Operand.
+        a: VReg,
+        /// Specialized lane kernel.
+        f: VUnFn,
+        /// Lane count of the element type on the decode target.
+        lanes: u32,
+    },
+    /// Any other non-control instruction, executed by the shared
+    /// (generic) semantics.
+    Op(MInst),
+}
+
+/// One decoded instruction: the step plus everything the seed dispatch
+/// loop used to re-derive per execution.
+#[derive(Debug, Clone)]
+pub struct DecodedInst {
+    /// What to execute.
+    pub step: DStep,
+    /// Pre-computed cycle cost on the decode target.
+    pub cost: u64,
+    /// Pre-computed lane count of the instruction's element type (1 for
+    /// scalar/control instructions).
+    pub lanes: u32,
+}
+
+/// A fully decoded, target-specific program.
+#[derive(Debug, Clone)]
+pub struct DecodedProgram {
+    steps: Vec<DecodedInst>,
+    /// Executable (non-label) instruction count.
+    pub len: usize,
+    /// Vector width in bytes of the decode target (sanity-checked at run
+    /// time: running a program decoded for one target on a machine of
+    /// another is a harness bug).
+    pub vs: usize,
+}
+
+impl DecodedProgram {
+    /// Decode `code` for `target`: strip labels, resolve branch targets
+    /// to instruction indices, and pre-compute per-instruction costs.
+    ///
+    /// # Errors
+    /// Returns a [`Trap`] for branches to undefined labels and for
+    /// duplicate label definitions (the seed interpreter deferred the
+    /// former to run time; a decoded program rejects malformed code up
+    /// front).
+    pub fn decode(code: &MCode, target: &TargetDesc) -> Result<DecodedProgram, Trap> {
+        let vs = target.vs.max(1);
+        let lanes_of = |ty: vapor_ir::ScalarTy| (vs / ty.size()).max(1);
+
+        // Pass 1: map every label to the index its successor instruction
+        // will have once labels are stripped.
+        let mut label_to_index: HashMap<Label, u32> = HashMap::new();
+        let mut idx = 0u32;
+        for inst in &code.insts {
+            if let MInst::Label(l) = inst {
+                if label_to_index.insert(*l, idx).is_some() {
+                    return Err(Trap(format!("label {l} defined twice")));
+                }
+            } else {
+                idx += 1;
+            }
+        }
+        let resolve = |l: &Label| {
+            label_to_index
+                .get(l)
+                .copied()
+                .ok_or_else(|| Trap(format!("undefined label {l}")))
+        };
+
+        // Pass 2: decode.
+        let mut steps = Vec::with_capacity(idx as usize);
+        for inst in &code.insts {
+            let step = match inst {
+                MInst::Label(_) => continue,
+                MInst::Jump(l) => DStep::Jump {
+                    target: resolve(l)?,
+                },
+                MInst::Branch { cond, a, b, target } => DStep::Branch {
+                    cond: *cond,
+                    a: *a,
+                    b: *b,
+                    target: resolve(target)?,
+                },
+                MInst::BranchImm {
+                    cond,
+                    a,
+                    imm,
+                    target,
+                } => DStep::BranchImm {
+                    cond: *cond,
+                    a: *a,
+                    imm: *imm,
+                    target: resolve(target)?,
+                },
+                MInst::VBin { op, ty, dst, a, b } => match vbin_fn(*op, *ty) {
+                    Some(f) => DStep::VBinFast {
+                        dst: *dst,
+                        a: *a,
+                        b: *b,
+                        f,
+                        lanes: lanes_of(*ty) as u32,
+                    },
+                    None => DStep::Op(inst.clone()),
+                },
+                MInst::VUn { op, ty, dst, a } => match vun_fn(*op, *ty) {
+                    Some(f) => DStep::VUnFast {
+                        dst: *dst,
+                        a: *a,
+                        f,
+                        lanes: lanes_of(*ty) as u32,
+                    },
+                    None => DStep::Op(inst.clone()),
+                },
+                other => DStep::Op(other.clone()),
+            };
+            let lanes = match inst {
+                MInst::VReduce { ty, .. } | MInst::VHelper { ty, .. } => lanes_of(*ty),
+                _ => 1,
+            };
+            steps.push(DecodedInst {
+                step,
+                cost: target.cost.cost(inst, lanes),
+                lanes: lanes as u32,
+            });
+        }
+        let len = steps.len();
+        Ok(DecodedProgram { steps, len, vs })
+    }
+
+    /// The decoded instruction stream.
+    pub fn steps(&self) -> &[DecodedInst] {
+        &self.steps
+    }
+
+    /// Whether there is nothing to execute.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{AddrMode, MemAlign, VReg};
+    use crate::target::{altivec, sse};
+    use vapor_ir::{BinOp, ScalarTy};
+
+    fn branchy_code() -> MCode {
+        MCode {
+            insts: vec![
+                MInst::MovImmI {
+                    dst: SReg(0),
+                    imm: 0,
+                },
+                MInst::Label(Label(0)),
+                MInst::SBinImm {
+                    op: BinOp::Add,
+                    ty: ScalarTy::I64,
+                    dst: SReg(0),
+                    a: SReg(0),
+                    imm: 1,
+                },
+                MInst::BranchImm {
+                    cond: Cond::Lt,
+                    a: SReg(0),
+                    imm: 5,
+                    target: Label(0),
+                },
+                MInst::Label(Label(1)),
+                MInst::Jump(Label(2)),
+                MInst::Label(Label(2)),
+            ],
+            n_sregs: 1,
+            n_vregs: 0,
+            note: String::new(),
+        }
+    }
+
+    #[test]
+    fn labels_are_stripped_and_targets_resolved() {
+        let p = DecodedProgram::decode(&branchy_code(), &sse()).unwrap();
+        assert_eq!(p.len, 4);
+        match &p.steps()[2].step {
+            DStep::BranchImm { target, .. } => assert_eq!(*target, 1),
+            s => panic!("expected BranchImm, got {s:?}"),
+        }
+        match &p.steps()[3].step {
+            // Label(2) is at the very end: the jump resolves to one past
+            // the last instruction, i.e. normal termination.
+            DStep::Jump { target } => assert_eq!(*target, 4),
+            s => panic!("expected Jump, got {s:?}"),
+        }
+    }
+
+    #[test]
+    fn costs_match_the_cost_model() {
+        let t = sse();
+        let code = MCode {
+            insts: vec![
+                MInst::LoadV {
+                    dst: VReg(0),
+                    addr: AddrMode::base_disp(SReg(0), 0),
+                    align: MemAlign::Unaligned,
+                },
+                MInst::VBin {
+                    op: BinOp::Mul,
+                    ty: ScalarTy::F32,
+                    dst: VReg(0),
+                    a: VReg(0),
+                    b: VReg(0),
+                },
+            ],
+            n_sregs: 1,
+            n_vregs: 1,
+            note: String::new(),
+        };
+        let p = DecodedProgram::decode(&code, &t).unwrap();
+        for (d, inst) in p.steps().iter().zip(&code.insts) {
+            assert_eq!(d.cost, t.cost.cost(inst, d.lanes as usize));
+        }
+    }
+
+    #[test]
+    fn reduce_lanes_depend_on_target() {
+        let code = MCode {
+            insts: vec![MInst::VReduce {
+                op: crate::isa::ReduceOp::Plus,
+                ty: ScalarTy::I16,
+                dst: SReg(0),
+                src: VReg(0),
+            }],
+            n_sregs: 1,
+            n_vregs: 1,
+            note: String::new(),
+        };
+        let p = DecodedProgram::decode(&code, &sse()).unwrap();
+        assert_eq!(p.steps()[0].lanes, 8); // 16 bytes / 2
+        let p = DecodedProgram::decode(&code, &altivec()).unwrap();
+        assert_eq!(p.steps()[0].lanes, 8);
+    }
+
+    #[test]
+    fn undefined_label_is_rejected_at_decode_time() {
+        let code = MCode {
+            insts: vec![MInst::Jump(Label(9))],
+            n_sregs: 0,
+            n_vregs: 0,
+            note: String::new(),
+        };
+        let err = DecodedProgram::decode(&code, &sse()).unwrap_err();
+        assert!(err.0.contains("undefined label"), "{err}");
+    }
+
+    #[test]
+    fn duplicate_label_is_rejected_at_decode_time() {
+        // `MCode` is freely constructible, so malformed programs must
+        // come back as `Err`, not abort the process.
+        let code = MCode {
+            insts: vec![MInst::Label(Label(0)), MInst::Label(Label(0))],
+            n_sregs: 0,
+            n_vregs: 0,
+            note: String::new(),
+        };
+        let err = DecodedProgram::decode(&code, &sse()).unwrap_err();
+        assert!(err.0.contains("defined twice"), "{err}");
+    }
+}

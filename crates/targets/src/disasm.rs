@@ -11,7 +11,12 @@ fn addr(a: &AddrMode) -> String {
         let _ = write!(s, " + {i}*{}", a.scale);
     }
     if a.disp != 0 {
-        let _ = write!(s, " {} {}", if a.disp < 0 { "-" } else { "+" }, a.disp.abs());
+        let _ = write!(
+            s,
+            " {} {}",
+            if a.disp < 0 { "-" } else { "+" },
+            a.disp.abs()
+        );
     }
     s.push(']');
     s
@@ -38,27 +43,57 @@ pub fn disasm_inst(inst: &MInst) -> String {
         Label(l) => format!("{l}:"),
         Jump(l) => format!("  jmp {l}"),
         Branch { cond, a, b, target } => format!("  b.{cond:?} {a}, {b} -> {target}"),
-        BranchImm { cond, a, imm, target } => format!("  b.{cond:?} {a}, #{imm} -> {target}"),
+        BranchImm {
+            cond,
+            a,
+            imm,
+            target,
+        } => format!("  b.{cond:?} {a}, #{imm} -> {target}"),
         MovImmI { dst, imm } => format!("  {dst} = #{imm}"),
         MovImmF { dst, imm } => format!("  {dst} = #{imm:?}"),
         MovS { dst, src } => format!("  {dst} = {src}"),
         SBin { op, ty, dst, a, b } => format!("  {dst} = {op:?}.{ty} {a}, {b}"),
-        SBinImm { op, ty, dst, a, imm } => format!("  {dst} = {op:?}.{ty} {a}, #{imm}"),
+        SBinImm {
+            op,
+            ty,
+            dst,
+            a,
+            imm,
+        } => format!("  {dst} = {op:?}.{ty} {a}, #{imm}"),
         SUn { op, ty, dst, a } => format!("  {dst} = {op:?}.{ty} {a}"),
         SCvt { from, to, dst, a } => format!("  {dst} = cvt.{from}->{to} {a}"),
         FpuBin { op, ty, dst, a, b } => format!("  {dst} = x87.{op:?}.{ty} {a}, {b}"),
         LoadS { ty, dst, addr: am } => format!("  {dst} = ld.{ty} {}", addr(am)),
         StoreS { ty, src, addr: am } => format!("  st.{ty} {}, {src}", addr(am)),
-        LoadV { dst, addr: am, align } => format!("  {dst} = vld.{} {}", mem(*align), addr(am)),
+        LoadV {
+            dst,
+            addr: am,
+            align,
+        } => format!("  {dst} = vld.{} {}", mem(*align), addr(am)),
         LoadVFloor { dst, addr: am } => format!("  {dst} = vld.floor {}", addr(am)),
-        StoreV { src, addr: am, align } => format!("  vst.{} {}, {src}", mem(*align), addr(am)),
+        StoreV {
+            src,
+            addr: am,
+            align,
+        } => format!("  vst.{} {}, {src}", mem(*align), addr(am)),
         Splat { ty, dst, src } => format!("  {dst} = splat.{ty} {src}"),
-        Iota { ty, dst, start, inc } => format!("  {dst} = iota.{ty} {start}, {inc}"),
+        Iota {
+            ty,
+            dst,
+            start,
+            inc,
+        } => format!("  {dst} = iota.{ty} {start}, {inc}"),
         SetLane { ty, dst, lane, src } => format!("  {dst}[{lane}].{ty} = {src}"),
         GetLane { ty, dst, src, lane } => format!("  {dst} = {src}[{lane}].{ty}"),
         VBin { op, ty, dst, a, b } => format!("  {dst} = v{op:?}.{ty} {a}, {b}"),
         VUn { op, ty, dst, a } => format!("  {dst} = v{op:?}.{ty} {a}"),
-        VShift { left, ty, dst, a, amt } => {
+        VShift {
+            left,
+            ty,
+            dst,
+            a,
+            amt,
+        } => {
             let dir = if *left { "shl" } else { "shr" };
             let amt = match amt {
                 ShiftSrc::Imm(v) => format!("#{v}"),
@@ -67,12 +102,23 @@ pub fn disasm_inst(inst: &MInst) -> String {
             };
             format!("  {dst} = v{dir}.{ty} {a}, {amt}")
         }
-        VWidenMul { half: h, ty, dst, a, b } => {
+        VWidenMul {
+            half: h,
+            ty,
+            dst,
+            a,
+            b,
+        } => {
             format!("  {dst} = vwidenmul.{}.{ty} {a}, {b}", half(*h))
         }
         VDotAcc { ty, dst, a, b, acc } => format!("  {dst} = vdot.{ty} {a}, {b} + {acc}"),
         VPack { ty, dst, a, b } => format!("  {dst} = vpack.{ty} {a}, {b}"),
-        VUnpack { half: h, ty, dst, a } => format!("  {dst} = vunpack.{}.{ty} {a}", half(*h)),
+        VUnpack {
+            half: h,
+            ty,
+            dst,
+            a,
+        } => format!("  {dst} = vunpack.{}.{ty} {a}", half(*h)),
         VCvt { dir, ty, dst, a } => {
             let d = match dir {
                 CvtDir::IntToFloat => "i2f",
@@ -80,12 +126,27 @@ pub fn disasm_inst(inst: &MInst) -> String {
             };
             format!("  {dst} = vcvt.{d}.{ty} {a}")
         }
-        VInterleave { half: h, ty, dst, a, b } => {
+        VInterleave {
+            half: h,
+            ty,
+            dst,
+            a,
+            b,
+        } => {
             format!("  {dst} = vinterleave.{}.{ty} {a}, {b}", half(*h))
         }
-        VExtractStride { ty, stride, offset, dst, srcs } => {
+        VExtractStride {
+            ty,
+            stride,
+            offset,
+            dst,
+            srcs,
+        } => {
             let srcs: Vec<String> = srcs.iter().map(|r| r.to_string()).collect();
-            format!("  {dst} = vextract.{ty} s={stride} off={offset} {}", srcs.join(", "))
+            format!(
+                "  {dst} = vextract.{ty} s={stride} off={offset} {}",
+                srcs.join(", ")
+            )
         }
         VPermCtrl { dst, addr: am } => format!("  {dst} = lvsr {}", addr(am)),
         VPerm { dst, a, b, ctrl } => format!("  {dst} = vperm {a}, {b}, {ctrl}"),
@@ -102,7 +163,10 @@ pub fn disasm_inst(inst: &MInst) -> String {
         SpillSt { src, slot } => format!("  spill slot{slot} = {src}"),
         VHelper { op, ty, dst, a, b } => {
             let b = b.map(|r| format!(", {r}")).unwrap_or_default();
-            format!("  {dst} = call {}.{ty}({a}{b})", crate::cost::helper_name(*op))
+            format!(
+                "  {dst} = call {}.{ty}({a}{b})",
+                crate::cost::helper_name(*op)
+            )
         }
     }
 }
@@ -133,7 +197,13 @@ mod tests {
                     addr: AddrMode::fused(SReg(0), SReg(2), 4, 8),
                     align: MemAlign::Unaligned,
                 },
-                MInst::VBin { op: BinOp::Add, ty: ScalarTy::F32, dst: VReg(1), a: VReg(1), b: VReg(0) },
+                MInst::VBin {
+                    op: BinOp::Add,
+                    ty: ScalarTy::F32,
+                    dst: VReg(1),
+                    a: VReg(1),
+                    b: VReg(0),
+                },
             ],
             n_sregs: 3,
             n_vregs: 2,

@@ -62,12 +62,22 @@ pub struct AddrMode {
 impl AddrMode {
     /// `[base + disp]`.
     pub fn base_disp(base: SReg, disp: i64) -> AddrMode {
-        AddrMode { base, idx: None, scale: 1, disp }
+        AddrMode {
+            base,
+            idx: None,
+            scale: 1,
+            disp,
+        }
     }
 
     /// `[base + idx*scale + disp]`.
     pub fn fused(base: SReg, idx: SReg, scale: u8, disp: i64) -> AddrMode {
-        AddrMode { base, idx: Some(idx), scale, disp }
+        AddrMode {
+            base,
+            idx: Some(idx),
+            scale,
+            disp,
+        }
     }
 }
 
@@ -605,7 +615,10 @@ mod tests {
         let code = MCode {
             insts: vec![
                 MInst::Label(Label(0)),
-                MInst::MovImmI { dst: SReg(0), imm: 1 },
+                MInst::MovImmI {
+                    dst: SReg(0),
+                    imm: 1,
+                },
                 MInst::Label(Label(1)),
             ],
             n_sregs: 1,

@@ -14,6 +14,7 @@
 //!   Intel IACA (Table 3).
 
 pub mod cost;
+pub mod decode;
 pub mod disasm;
 pub mod isa;
 pub mod machine;
@@ -21,6 +22,7 @@ pub mod ports;
 pub mod target;
 
 pub use cost::{helper_name, CostModel};
+pub use decode::{DStep, DecodedInst, DecodedProgram};
 pub use disasm::{disasm, disasm_inst};
 pub use isa::{
     AddrMode, Cond, CvtDir, Half, HelperOp, Label, MCode, MInst, MemAlign, ReduceOp, SReg,

@@ -10,7 +10,10 @@ use std::fmt;
 use vapor_ir::sem::{eval_bin, eval_cast, eval_un, read_elem, write_elem, Value};
 use vapor_ir::{BinOp, ScalarTy};
 
-use crate::isa::{AddrMode, Cond, CvtDir, Half, HelperOp, MCode, MInst, MemAlign, ReduceOp, ShiftSrc};
+use crate::decode::{DStep, DecodedProgram};
+use crate::isa::{
+    AddrMode, Cond, CvtDir, Half, HelperOp, MCode, MInst, MemAlign, ReduceOp, ShiftSrc,
+};
 use crate::target::TargetDesc;
 
 /// Maximum vector register width in bytes (the paper's "largest SIMD
@@ -46,7 +49,10 @@ pub struct Memory {
 impl Memory {
     /// Memory with the given capacity in bytes.
     pub fn new(capacity: usize) -> Memory {
-        Memory { bytes: vec![0; capacity.max(GUARD + MAX_VS)], next: GUARD }
+        Memory {
+            bytes: vec![0; capacity.max(GUARD + MAX_VS)],
+            next: GUARD,
+        }
     }
 
     /// Allocate `size` bytes aligned to `align` (power of two), plus
@@ -103,7 +109,9 @@ impl Memory {
     fn check(&self, addr: u64, size: usize) -> Result<(), Trap> {
         let a = addr as usize;
         if a < GUARD || a + size > self.bytes.len() {
-            return Err(Trap(format!("access of {size} bytes at {addr} out of bounds")));
+            return Err(Trap(format!(
+                "access of {size} bytes at {addr} out of bounds"
+            )));
         }
         Ok(())
     }
@@ -157,7 +165,10 @@ impl<'t> Machine<'t> {
 
     /// Read a scalar register after execution.
     pub fn sreg(&self, r: crate::isa::SReg) -> Value {
-        self.sregs.get(r.0 as usize).copied().unwrap_or(Value::Int(0))
+        self.sregs
+            .get(r.0 as usize)
+            .copied()
+            .unwrap_or(Value::Int(0))
     }
 
     fn vs(&self) -> usize {
@@ -201,6 +212,12 @@ impl<'t> Machine<'t> {
             .ok_or_else(|| Trap(format!("read of undefined vector register v{}", r.0)))
     }
 
+    fn vbytes_ref(&self, r: crate::isa::VReg) -> Result<&VBytes, Trap> {
+        self.vregs
+            .get(r.0 as usize)
+            .ok_or_else(|| Trap(format!("read of undefined vector register v{}", r.0)))
+    }
+
     fn set_vreg(&mut self, r: crate::isa::VReg, v: VBytes) {
         if self.vregs.len() <= r.0 as usize {
             self.vregs.resize(r.0 as usize + 1, [0; MAX_VS]);
@@ -237,7 +254,14 @@ impl<'t> Machine<'t> {
     }
 
     /// Execute `code` from its first instruction until it falls off the
-    /// end. Returns modeled cycles and instruction counts.
+    /// end, re-deriving branch targets and instruction costs every step.
+    /// Returns modeled cycles and instruction counts.
+    ///
+    /// This is the seed dispatch loop, kept as the baseline the decoded
+    /// path ([`Machine::run_decoded`]) is benchmarked against; production
+    /// callers go through the decoded form. Note one accounting nuance:
+    /// this loop counts [`MInst::Label`] markers in `insts` (at zero
+    /// cycles), while the decoded program strips them.
     ///
     /// # Errors
     /// Returns a [`Trap`] on contract violations (see type docs).
@@ -246,11 +270,13 @@ impl<'t> Machine<'t> {
         let mut pc = 0usize;
         let mut stats = ExecStats::default();
         let cost = &self.target.cost;
-        let vs = self.vs();
 
         while pc < code.insts.len() {
             if stats.insts >= self.fuel {
-                return Err(Trap(format!("fuel exhausted after {} instructions", stats.insts)));
+                return Err(Trap(format!(
+                    "fuel exhausted after {} instructions",
+                    stats.insts
+                )));
             }
             let inst = &code.insts[pc];
             let mut next = pc + 1;
@@ -270,7 +296,12 @@ impl<'t> Machine<'t> {
                             .ok_or_else(|| Trap(format!("undefined label {target}")))?;
                     }
                 }
-                MInst::BranchImm { cond, a, imm, target } => {
+                MInst::BranchImm {
+                    cond,
+                    a,
+                    imm,
+                    target,
+                } => {
                     let x = self.sint(*a)?;
                     if take(*cond, x, *imm) {
                         next = *labels
@@ -278,308 +309,7 @@ impl<'t> Machine<'t> {
                             .ok_or_else(|| Trap(format!("undefined label {target}")))?;
                     }
                 }
-                MInst::MovImmI { dst, imm } => self.set_sreg(*dst, Value::Int(*imm)),
-                MInst::MovImmF { dst, imm } => self.set_sreg(*dst, Value::Float(*imm)),
-                MInst::MovS { dst, src } => {
-                    let v = self.sval(*src)?;
-                    self.set_sreg(*dst, v);
-                }
-                MInst::SBin { op, ty, dst, a, b } | MInst::FpuBin { op, ty, dst, a, b } => {
-                    let (x, y) = (self.coerce(*ty, self.sval(*a)?), self.coerce(*ty, self.sval(*b)?));
-                    let r = eval_bin(*op, *ty, x, y);
-                    let rty = if op.is_comparison() { ScalarTy::I32 } else { *ty };
-                    self.set_sreg_checked(*dst, rty, r);
-                }
-                MInst::SBinImm { op, ty, dst, a, imm } => {
-                    let x = self.coerce(*ty, self.sval(*a)?);
-                    let y = self.coerce(*ty, Value::Int(*imm));
-                    let r = eval_bin(*op, *ty, x, y);
-                    let rty = if op.is_comparison() { ScalarTy::I32 } else { *ty };
-                    self.set_sreg_checked(*dst, rty, r);
-                }
-                MInst::SUn { op, ty, dst, a } => {
-                    let x = self.coerce(*ty, self.sval(*a)?);
-                    let r = eval_un(*op, *ty, x);
-                    self.set_sreg_checked(*dst, *ty, r);
-                }
-                MInst::SCvt { from, to, dst, a } => {
-                    let x = self.coerce(*from, self.sval(*a)?);
-                    let r = eval_cast(*from, *to, x);
-                    self.set_sreg_checked(*dst, *to, r);
-                }
-                MInst::LoadS { ty, dst, addr } => {
-                    let a = self.addr(addr)?;
-                    self.mem.check(a, ty.size())?;
-                    let v = self.mem.read(*ty, a);
-                    self.set_sreg_checked(*dst, *ty, v);
-                }
-                MInst::StoreS { ty, src, addr } => {
-                    let a = self.addr(addr)?;
-                    self.mem.check(a, ty.size())?;
-                    let v = self.coerce(*ty, self.sval(*src)?);
-                    self.mem.write(*ty, a, v);
-                }
-                MInst::LoadV { dst, addr, align } => {
-                    let a = self.addr(addr)?;
-                    self.mem.check(a, vs)?;
-                    if *align == MemAlign::Aligned && a as usize % vs != 0 {
-                        return Err(Trap(format!(
-                            "aligned vector load from misaligned address {a} (VS={vs})"
-                        )));
-                    }
-                    let mut out = [0u8; MAX_VS];
-                    out[..vs].copy_from_slice(self.mem.slice(a, vs));
-                    self.set_vreg(*dst, out);
-                }
-                MInst::LoadVFloor { dst, addr } => {
-                    let a = self.addr(addr)? & !(vs as u64 - 1);
-                    self.mem.check(a, vs)?;
-                    let mut out = [0u8; MAX_VS];
-                    out[..vs].copy_from_slice(self.mem.slice(a, vs));
-                    self.set_vreg(*dst, out);
-                }
-                MInst::StoreV { src, addr, align } => {
-                    let a = self.addr(addr)?;
-                    self.mem.check(a, vs)?;
-                    if *align == MemAlign::Aligned && a as usize % vs != 0 {
-                        return Err(Trap(format!(
-                            "aligned vector store to misaligned address {a} (VS={vs})"
-                        )));
-                    }
-                    let v = self.vbytes(*src)?;
-                    self.mem.slice_mut(a, vs).copy_from_slice(&v[..vs]);
-                }
-                MInst::Splat { ty, dst, src } => {
-                    let v = self.coerce(*ty, self.sval(*src)?);
-                    let n = self.lanes(*ty);
-                    let out = self.with_lanes(*ty, n, |_| Ok(v))?;
-                    self.set_vreg(*dst, out);
-                }
-                MInst::Iota { ty, dst, start, inc } => {
-                    let s = self.coerce(*ty, self.sval(*start)?);
-                    let i = self.coerce(*ty, self.sval(*inc)?);
-                    let n = self.lanes(*ty);
-                    let out = self.with_lanes(*ty, n, |k| {
-                        let mut v = s;
-                        for _ in 0..k {
-                            v = eval_bin(BinOp::Add, *ty, v, i);
-                        }
-                        Ok(v)
-                    })?;
-                    self.set_vreg(*dst, out);
-                }
-                MInst::SetLane { ty, dst, lane, src } => {
-                    let v = self.coerce(*ty, self.sval(*src)?);
-                    let mut cur = self.vbytes(*dst)?;
-                    let off = *lane as usize * ty.size();
-                    if off + ty.size() > MAX_VS {
-                        return Err(Trap(format!("lane {lane} out of range for {ty}")));
-                    }
-                    write_elem(*ty, &mut cur, off, v);
-                    self.set_vreg(*dst, cur);
-                }
-                MInst::GetLane { ty, dst, src, lane } => {
-                    let v = self.vbytes(*src)?;
-                    let off = *lane as usize * ty.size();
-                    if off + ty.size() > MAX_VS {
-                        return Err(Trap(format!("lane {lane} out of range for {ty}")));
-                    }
-                    let x = read_elem(*ty, &v, off);
-                    self.set_sreg_checked(*dst, *ty, x);
-                }
-                MInst::VBin { op, ty, dst, a, b } => {
-                    let (x, y) = (self.vbytes(*a)?, self.vbytes(*b)?);
-                    let n = self.lanes(*ty);
-                    let out = self.with_lanes(*ty, n, |k| {
-                        Ok(eval_bin(*op, *ty, self.lane(&x, *ty, k), self.lane(&y, *ty, k)))
-                    })?;
-                    self.set_vreg(*dst, out);
-                }
-                MInst::VUn { op, ty, dst, a } => {
-                    let x = self.vbytes(*a)?;
-                    let n = self.lanes(*ty);
-                    let out =
-                        self.with_lanes(*ty, n, |k| Ok(eval_un(*op, *ty, self.lane(&x, *ty, k))))?;
-                    self.set_vreg(*dst, out);
-                }
-                MInst::VShift { left, ty, dst, a, amt } => {
-                    let x = self.vbytes(*a)?;
-                    let n = self.lanes(*ty);
-                    let op = if *left { BinOp::Shl } else { BinOp::Shr };
-                    let out = match amt {
-                        ShiftSrc::Imm(v) => {
-                            let amt = Value::Int(*v as i64);
-                            self.with_lanes(*ty, n, |k| {
-                                Ok(eval_bin(op, *ty, self.lane(&x, *ty, k), amt))
-                            })?
-                        }
-                        ShiftSrc::Reg(r) => {
-                            let amt = Value::Int(self.sint(*r)?);
-                            self.with_lanes(*ty, n, |k| {
-                                Ok(eval_bin(op, *ty, self.lane(&x, *ty, k), amt))
-                            })?
-                        }
-                        ShiftSrc::PerLane(r) => {
-                            let amts = self.vbytes(*r)?;
-                            self.with_lanes(*ty, n, |k| {
-                                Ok(eval_bin(
-                                    op,
-                                    *ty,
-                                    self.lane(&x, *ty, k),
-                                    self.lane(&amts, *ty, k),
-                                ))
-                            })?
-                        }
-                    };
-                    self.set_vreg(*dst, out);
-                }
-                MInst::VWidenMul { half, ty, dst, a, b } => {
-                    let out = self.widen_mul(*half, *ty, *a, *b)?;
-                    self.set_vreg(*dst, out);
-                }
-                MInst::VDotAcc { ty, dst, a, b, acc } => {
-                    let wide = ty
-                        .widened()
-                        .ok_or_else(|| Trap(format!("dot: {ty} has no widened type")))?;
-                    let (x, y, z) = (self.vbytes(*a)?, self.vbytes(*b)?, self.vbytes(*acc)?);
-                    let n = self.lanes(*ty);
-                    let out = self.with_lanes(wide, n / 2, |j| {
-                        let mut sum = self.lane(&z, wide, j);
-                        for k in [2 * j, 2 * j + 1] {
-                            let p = eval_bin(
-                                BinOp::Mul,
-                                wide,
-                                eval_cast(*ty, wide, self.lane(&x, *ty, k)),
-                                eval_cast(*ty, wide, self.lane(&y, *ty, k)),
-                            );
-                            sum = eval_bin(BinOp::Add, wide, sum, p);
-                        }
-                        Ok(sum)
-                    })?;
-                    self.set_vreg(*dst, out);
-                }
-                MInst::VPack { ty, dst, a, b } => {
-                    let out = self.pack(*ty, *a, *b)?;
-                    self.set_vreg(*dst, out);
-                }
-                MInst::VUnpack { half, ty, dst, a } => {
-                    let out = self.unpack(*half, *ty, *a)?;
-                    self.set_vreg(*dst, out);
-                }
-                MInst::VCvt { dir, ty, dst, a } => {
-                    let out = self.cvt(*dir, *ty, *a)?;
-                    self.set_vreg(*dst, out);
-                }
-                MInst::VInterleave { half, ty, dst, a, b } => {
-                    let (x, y) = (self.vbytes(*a)?, self.vbytes(*b)?);
-                    let n = self.lanes(*ty);
-                    let base = if *half == Half::Lo { 0 } else { n / 2 };
-                    let out = self.with_lanes(*ty, n, |k| {
-                        let src = if k % 2 == 0 { &x } else { &y };
-                        Ok(self.lane(src, *ty, base + k / 2))
-                    })?;
-                    self.set_vreg(*dst, out);
-                }
-                MInst::VExtractStride { ty, stride, offset, dst, srcs } => {
-                    let n = self.lanes(*ty);
-                    let mut all = Vec::with_capacity(srcs.len());
-                    for r in srcs {
-                        all.push(self.vbytes(*r)?);
-                    }
-                    let out = self.with_lanes(*ty, n, |k| {
-                        let pos = *offset as usize + k * *stride as usize;
-                        let (vi, li) = (pos / n, pos % n);
-                        let v = all
-                            .get(vi)
-                            .ok_or_else(|| Trap("extract reads past sources".into()))?;
-                        Ok(self.lane(v, *ty, li))
-                    })?;
-                    self.set_vreg(*dst, out);
-                }
-                MInst::VPermCtrl { dst, addr } => {
-                    let a = self.addr(addr)?;
-                    let mut out = [0u8; MAX_VS];
-                    out[0] = (a as usize % vs) as u8;
-                    self.set_vreg(*dst, out);
-                }
-                MInst::VPerm { dst, a, b, ctrl } => {
-                    let (x, y, c) = (self.vbytes(*a)?, self.vbytes(*b)?, self.vbytes(*ctrl)?);
-                    let mis = c[0] as usize % vs;
-                    let mut concat = [0u8; 2 * MAX_VS];
-                    concat[..vs].copy_from_slice(&x[..vs]);
-                    concat[vs..2 * vs].copy_from_slice(&y[..vs]);
-                    let mut out = [0u8; MAX_VS];
-                    out[..vs].copy_from_slice(&concat[mis..mis + vs]);
-                    self.set_vreg(*dst, out);
-                }
-                MInst::VReduce { op, ty, dst, src } => {
-                    let x = self.vbytes(*src)?;
-                    let n = self.lanes(*ty);
-                    let bop = match op {
-                        ReduceOp::Plus => BinOp::Add,
-                        ReduceOp::Max => BinOp::Max,
-                        ReduceOp::Min => BinOp::Min,
-                    };
-                    let mut acc = self.lane(&x, *ty, 0);
-                    for k in 1..n {
-                        acc = eval_bin(bop, *ty, acc, self.lane(&x, *ty, k));
-                    }
-                    self.set_sreg_checked(*dst, *ty, acc);
-                }
-                MInst::MovV { dst, src } => {
-                    let v = self.vbytes(*src)?;
-                    self.set_vreg(*dst, v);
-                }
-                MInst::SpillLd { dst, slot } => {
-                    let v = self
-                        .slots
-                        .get(*slot as usize)
-                        .copied()
-                        .ok_or_else(|| Trap(format!("reload of unwritten slot {slot}")))?;
-                    self.set_sreg(*dst, v);
-                }
-                MInst::SpillSt { src, slot } => {
-                    let v = self.sval(*src)?;
-                    if self.slots.len() <= *slot as usize {
-                        self.slots.resize(*slot as usize + 1, Value::Int(0));
-                    }
-                    self.slots[*slot as usize] = v;
-                }
-                MInst::VHelper { op, ty, dst, a, b } => {
-                    let out = match op {
-                        HelperOp::WidenMult(h) => {
-                            let b = b.ok_or_else(|| Trap("widen_mult helper needs b".into()))?;
-                            self.widen_mul(*h, *ty, *a, b)?
-                        }
-                        HelperOp::Cvt(d) => self.cvt(*d, *ty, *a)?,
-                        HelperOp::FDiv => {
-                            let b = b.ok_or_else(|| Trap("fdiv helper needs b".into()))?;
-                            let (x, y) = (self.vbytes(*a)?, self.vbytes(b)?);
-                            let n = self.lanes(*ty);
-                            self.with_lanes(*ty, n, |k| {
-                                Ok(eval_bin(
-                                    BinOp::Div,
-                                    *ty,
-                                    self.lane(&x, *ty, k),
-                                    self.lane(&y, *ty, k),
-                                ))
-                            })?
-                        }
-                        HelperOp::FSqrt => {
-                            let x = self.vbytes(*a)?;
-                            let n = self.lanes(*ty);
-                            self.with_lanes(*ty, n, |k| {
-                                Ok(eval_un(vapor_ir::UnOp::Sqrt, *ty, self.lane(&x, *ty, k)))
-                            })?
-                        }
-                        HelperOp::Pack => {
-                            let b = b.ok_or_else(|| Trap("pack helper needs b".into()))?;
-                            self.pack(*ty, *a, b)?
-                        }
-                        HelperOp::Unpack(h) => self.unpack(*h, *ty, *a)?,
-                    };
-                    self.set_vreg(*dst, out);
-                }
+                other => self.exec_op(other)?,
             }
 
             stats.insts += 1;
@@ -591,6 +321,443 @@ impl<'t> Machine<'t> {
             pc = next;
         }
         Ok(stats)
+    }
+
+    /// Execute a pre-decoded program (see [`DecodedProgram`]): branch
+    /// targets are instruction indices and per-instruction costs are
+    /// table lookups, so the hot loop does no metadata derivation.
+    ///
+    /// # Errors
+    /// Returns a [`Trap`] on contract violations, or if the program was
+    /// decoded for a target with a different vector width.
+    pub fn run_decoded(&mut self, prog: &DecodedProgram) -> Result<ExecStats, Trap> {
+        if prog.vs != self.vs() {
+            return Err(Trap(format!(
+                "program decoded for VS={} executed on a VS={} machine",
+                prog.vs,
+                self.vs()
+            )));
+        }
+        let steps = prog.steps();
+        let mut pc = 0usize;
+        let mut stats = ExecStats::default();
+
+        while let Some(d) = steps.get(pc) {
+            if stats.insts >= self.fuel {
+                return Err(Trap(format!(
+                    "fuel exhausted after {} instructions",
+                    stats.insts
+                )));
+            }
+            let mut next = pc + 1;
+            match &d.step {
+                DStep::Jump { target } => next = *target as usize,
+                DStep::Branch { cond, a, b, target } => {
+                    let (x, y) = (self.sint(*a)?, self.sint(*b)?);
+                    if take(*cond, x, y) {
+                        next = *target as usize;
+                    }
+                }
+                DStep::BranchImm {
+                    cond,
+                    a,
+                    imm,
+                    target,
+                } => {
+                    let x = self.sint(*a)?;
+                    if take(*cond, x, *imm) {
+                        next = *target as usize;
+                    }
+                }
+                DStep::VBinFast {
+                    dst,
+                    a,
+                    b,
+                    f,
+                    lanes,
+                } => {
+                    let out = f(self.vbytes_ref(*a)?, self.vbytes_ref(*b)?, *lanes as usize);
+                    self.set_vreg(*dst, out);
+                }
+                DStep::VUnFast { dst, a, f, lanes } => {
+                    let out = f(self.vbytes_ref(*a)?, *lanes as usize);
+                    self.set_vreg(*dst, out);
+                }
+                DStep::Op(inst) => self.exec_op(inst)?,
+            }
+            stats.insts += 1;
+            stats.cycles += d.cost;
+            pc = next;
+        }
+        Ok(stats)
+    }
+
+    /// Execute one non-control instruction (shared by both dispatch
+    /// loops, so the two paths agree by construction).
+    ///
+    /// # Errors
+    /// Returns a [`Trap`] on contract violations.
+    fn exec_op(&mut self, inst: &MInst) -> Result<(), Trap> {
+        let vs = self.vs();
+        match inst {
+            MInst::Label(_) | MInst::Jump(_) | MInst::Branch { .. } | MInst::BranchImm { .. } => {
+                return Err(Trap(format!("control instruction in exec_op: {inst:?}")))
+            }
+            MInst::MovImmI { dst, imm } => self.set_sreg(*dst, Value::Int(*imm)),
+            MInst::MovImmF { dst, imm } => self.set_sreg(*dst, Value::Float(*imm)),
+            MInst::MovS { dst, src } => {
+                let v = self.sval(*src)?;
+                self.set_sreg(*dst, v);
+            }
+            MInst::SBin { op, ty, dst, a, b } | MInst::FpuBin { op, ty, dst, a, b } => {
+                let (x, y) = (
+                    self.coerce(*ty, self.sval(*a)?),
+                    self.coerce(*ty, self.sval(*b)?),
+                );
+                let r = eval_bin(*op, *ty, x, y);
+                let rty = if op.is_comparison() {
+                    ScalarTy::I32
+                } else {
+                    *ty
+                };
+                self.set_sreg_checked(*dst, rty, r);
+            }
+            MInst::SBinImm {
+                op,
+                ty,
+                dst,
+                a,
+                imm,
+            } => {
+                let x = self.coerce(*ty, self.sval(*a)?);
+                let y = self.coerce(*ty, Value::Int(*imm));
+                let r = eval_bin(*op, *ty, x, y);
+                let rty = if op.is_comparison() {
+                    ScalarTy::I32
+                } else {
+                    *ty
+                };
+                self.set_sreg_checked(*dst, rty, r);
+            }
+            MInst::SUn { op, ty, dst, a } => {
+                let x = self.coerce(*ty, self.sval(*a)?);
+                let r = eval_un(*op, *ty, x);
+                self.set_sreg_checked(*dst, *ty, r);
+            }
+            MInst::SCvt { from, to, dst, a } => {
+                let x = self.coerce(*from, self.sval(*a)?);
+                let r = eval_cast(*from, *to, x);
+                self.set_sreg_checked(*dst, *to, r);
+            }
+            MInst::LoadS { ty, dst, addr } => {
+                let a = self.addr(addr)?;
+                self.mem.check(a, ty.size())?;
+                let v = self.mem.read(*ty, a);
+                self.set_sreg_checked(*dst, *ty, v);
+            }
+            MInst::StoreS { ty, src, addr } => {
+                let a = self.addr(addr)?;
+                self.mem.check(a, ty.size())?;
+                let v = self.coerce(*ty, self.sval(*src)?);
+                self.mem.write(*ty, a, v);
+            }
+            MInst::LoadV { dst, addr, align } => {
+                let a = self.addr(addr)?;
+                self.mem.check(a, vs)?;
+                if *align == MemAlign::Aligned && !(a as usize).is_multiple_of(vs) {
+                    return Err(Trap(format!(
+                        "aligned vector load from misaligned address {a} (VS={vs})"
+                    )));
+                }
+                let mut out = [0u8; MAX_VS];
+                out[..vs].copy_from_slice(self.mem.slice(a, vs));
+                self.set_vreg(*dst, out);
+            }
+            MInst::LoadVFloor { dst, addr } => {
+                let a = self.addr(addr)? & !(vs as u64 - 1);
+                self.mem.check(a, vs)?;
+                let mut out = [0u8; MAX_VS];
+                out[..vs].copy_from_slice(self.mem.slice(a, vs));
+                self.set_vreg(*dst, out);
+            }
+            MInst::StoreV { src, addr, align } => {
+                let a = self.addr(addr)?;
+                self.mem.check(a, vs)?;
+                if *align == MemAlign::Aligned && !(a as usize).is_multiple_of(vs) {
+                    return Err(Trap(format!(
+                        "aligned vector store to misaligned address {a} (VS={vs})"
+                    )));
+                }
+                let v = self.vbytes(*src)?;
+                self.mem.slice_mut(a, vs).copy_from_slice(&v[..vs]);
+            }
+            MInst::Splat { ty, dst, src } => {
+                let v = self.coerce(*ty, self.sval(*src)?);
+                let n = self.lanes(*ty);
+                let out = self.with_lanes(*ty, n, |_| Ok(v))?;
+                self.set_vreg(*dst, out);
+            }
+            MInst::Iota {
+                ty,
+                dst,
+                start,
+                inc,
+            } => {
+                let s = self.coerce(*ty, self.sval(*start)?);
+                let i = self.coerce(*ty, self.sval(*inc)?);
+                let n = self.lanes(*ty);
+                let out = self.with_lanes(*ty, n, |k| {
+                    let mut v = s;
+                    for _ in 0..k {
+                        v = eval_bin(BinOp::Add, *ty, v, i);
+                    }
+                    Ok(v)
+                })?;
+                self.set_vreg(*dst, out);
+            }
+            MInst::SetLane { ty, dst, lane, src } => {
+                let v = self.coerce(*ty, self.sval(*src)?);
+                let mut cur = self.vbytes(*dst)?;
+                let off = *lane as usize * ty.size();
+                if off + ty.size() > MAX_VS {
+                    return Err(Trap(format!("lane {lane} out of range for {ty}")));
+                }
+                write_elem(*ty, &mut cur, off, v);
+                self.set_vreg(*dst, cur);
+            }
+            MInst::GetLane { ty, dst, src, lane } => {
+                let v = self.vbytes(*src)?;
+                let off = *lane as usize * ty.size();
+                if off + ty.size() > MAX_VS {
+                    return Err(Trap(format!("lane {lane} out of range for {ty}")));
+                }
+                let x = read_elem(*ty, &v, off);
+                self.set_sreg_checked(*dst, *ty, x);
+            }
+            MInst::VBin { op, ty, dst, a, b } => {
+                let (x, y) = (self.vbytes(*a)?, self.vbytes(*b)?);
+                let n = self.lanes(*ty);
+                let out = self.with_lanes(*ty, n, |k| {
+                    Ok(eval_bin(
+                        *op,
+                        *ty,
+                        self.lane(&x, *ty, k),
+                        self.lane(&y, *ty, k),
+                    ))
+                })?;
+                self.set_vreg(*dst, out);
+            }
+            MInst::VUn { op, ty, dst, a } => {
+                let x = self.vbytes(*a)?;
+                let n = self.lanes(*ty);
+                let out =
+                    self.with_lanes(*ty, n, |k| Ok(eval_un(*op, *ty, self.lane(&x, *ty, k))))?;
+                self.set_vreg(*dst, out);
+            }
+            MInst::VShift {
+                left,
+                ty,
+                dst,
+                a,
+                amt,
+            } => {
+                let x = self.vbytes(*a)?;
+                let n = self.lanes(*ty);
+                let op = if *left { BinOp::Shl } else { BinOp::Shr };
+                let out = match amt {
+                    ShiftSrc::Imm(v) => {
+                        let amt = Value::Int(*v as i64);
+                        self.with_lanes(*ty, n, |k| {
+                            Ok(eval_bin(op, *ty, self.lane(&x, *ty, k), amt))
+                        })?
+                    }
+                    ShiftSrc::Reg(r) => {
+                        let amt = Value::Int(self.sint(*r)?);
+                        self.with_lanes(*ty, n, |k| {
+                            Ok(eval_bin(op, *ty, self.lane(&x, *ty, k), amt))
+                        })?
+                    }
+                    ShiftSrc::PerLane(r) => {
+                        let amts = self.vbytes(*r)?;
+                        self.with_lanes(*ty, n, |k| {
+                            Ok(eval_bin(
+                                op,
+                                *ty,
+                                self.lane(&x, *ty, k),
+                                self.lane(&amts, *ty, k),
+                            ))
+                        })?
+                    }
+                };
+                self.set_vreg(*dst, out);
+            }
+            MInst::VWidenMul {
+                half,
+                ty,
+                dst,
+                a,
+                b,
+            } => {
+                let out = self.widen_mul(*half, *ty, *a, *b)?;
+                self.set_vreg(*dst, out);
+            }
+            MInst::VDotAcc { ty, dst, a, b, acc } => {
+                let wide = ty
+                    .widened()
+                    .ok_or_else(|| Trap(format!("dot: {ty} has no widened type")))?;
+                let (x, y, z) = (self.vbytes(*a)?, self.vbytes(*b)?, self.vbytes(*acc)?);
+                let n = self.lanes(*ty);
+                let out = self.with_lanes(wide, n / 2, |j| {
+                    let mut sum = self.lane(&z, wide, j);
+                    for k in [2 * j, 2 * j + 1] {
+                        let p = eval_bin(
+                            BinOp::Mul,
+                            wide,
+                            eval_cast(*ty, wide, self.lane(&x, *ty, k)),
+                            eval_cast(*ty, wide, self.lane(&y, *ty, k)),
+                        );
+                        sum = eval_bin(BinOp::Add, wide, sum, p);
+                    }
+                    Ok(sum)
+                })?;
+                self.set_vreg(*dst, out);
+            }
+            MInst::VPack { ty, dst, a, b } => {
+                let out = self.pack(*ty, *a, *b)?;
+                self.set_vreg(*dst, out);
+            }
+            MInst::VUnpack { half, ty, dst, a } => {
+                let out = self.unpack(*half, *ty, *a)?;
+                self.set_vreg(*dst, out);
+            }
+            MInst::VCvt { dir, ty, dst, a } => {
+                let out = self.cvt(*dir, *ty, *a)?;
+                self.set_vreg(*dst, out);
+            }
+            MInst::VInterleave {
+                half,
+                ty,
+                dst,
+                a,
+                b,
+            } => {
+                let (x, y) = (self.vbytes(*a)?, self.vbytes(*b)?);
+                let n = self.lanes(*ty);
+                let base = if *half == Half::Lo { 0 } else { n / 2 };
+                let out = self.with_lanes(*ty, n, |k| {
+                    let src = if k % 2 == 0 { &x } else { &y };
+                    Ok(self.lane(src, *ty, base + k / 2))
+                })?;
+                self.set_vreg(*dst, out);
+            }
+            MInst::VExtractStride {
+                ty,
+                stride,
+                offset,
+                dst,
+                srcs,
+            } => {
+                let n = self.lanes(*ty);
+                let mut all = Vec::with_capacity(srcs.len());
+                for r in srcs {
+                    all.push(self.vbytes(*r)?);
+                }
+                let out = self.with_lanes(*ty, n, |k| {
+                    let pos = *offset as usize + k * *stride as usize;
+                    let (vi, li) = (pos / n, pos % n);
+                    let v = all
+                        .get(vi)
+                        .ok_or_else(|| Trap("extract reads past sources".into()))?;
+                    Ok(self.lane(v, *ty, li))
+                })?;
+                self.set_vreg(*dst, out);
+            }
+            MInst::VPermCtrl { dst, addr } => {
+                let a = self.addr(addr)?;
+                let mut out = [0u8; MAX_VS];
+                out[0] = (a as usize % vs) as u8;
+                self.set_vreg(*dst, out);
+            }
+            MInst::VPerm { dst, a, b, ctrl } => {
+                let (x, y, c) = (self.vbytes(*a)?, self.vbytes(*b)?, self.vbytes(*ctrl)?);
+                let mis = c[0] as usize % vs;
+                let mut concat = [0u8; 2 * MAX_VS];
+                concat[..vs].copy_from_slice(&x[..vs]);
+                concat[vs..2 * vs].copy_from_slice(&y[..vs]);
+                let mut out = [0u8; MAX_VS];
+                out[..vs].copy_from_slice(&concat[mis..mis + vs]);
+                self.set_vreg(*dst, out);
+            }
+            MInst::VReduce { op, ty, dst, src } => {
+                let x = self.vbytes(*src)?;
+                let n = self.lanes(*ty);
+                let bop = match op {
+                    ReduceOp::Plus => BinOp::Add,
+                    ReduceOp::Max => BinOp::Max,
+                    ReduceOp::Min => BinOp::Min,
+                };
+                let mut acc = self.lane(&x, *ty, 0);
+                for k in 1..n {
+                    acc = eval_bin(bop, *ty, acc, self.lane(&x, *ty, k));
+                }
+                self.set_sreg_checked(*dst, *ty, acc);
+            }
+            MInst::MovV { dst, src } => {
+                let v = self.vbytes(*src)?;
+                self.set_vreg(*dst, v);
+            }
+            MInst::SpillLd { dst, slot } => {
+                let v = self
+                    .slots
+                    .get(*slot as usize)
+                    .copied()
+                    .ok_or_else(|| Trap(format!("reload of unwritten slot {slot}")))?;
+                self.set_sreg(*dst, v);
+            }
+            MInst::SpillSt { src, slot } => {
+                let v = self.sval(*src)?;
+                if self.slots.len() <= *slot as usize {
+                    self.slots.resize(*slot as usize + 1, Value::Int(0));
+                }
+                self.slots[*slot as usize] = v;
+            }
+            MInst::VHelper { op, ty, dst, a, b } => {
+                let out = match op {
+                    HelperOp::WidenMult(h) => {
+                        let b = b.ok_or_else(|| Trap("widen_mult helper needs b".into()))?;
+                        self.widen_mul(*h, *ty, *a, b)?
+                    }
+                    HelperOp::Cvt(d) => self.cvt(*d, *ty, *a)?,
+                    HelperOp::FDiv => {
+                        let b = b.ok_or_else(|| Trap("fdiv helper needs b".into()))?;
+                        let (x, y) = (self.vbytes(*a)?, self.vbytes(b)?);
+                        let n = self.lanes(*ty);
+                        self.with_lanes(*ty, n, |k| {
+                            Ok(eval_bin(
+                                BinOp::Div,
+                                *ty,
+                                self.lane(&x, *ty, k),
+                                self.lane(&y, *ty, k),
+                            ))
+                        })?
+                    }
+                    HelperOp::FSqrt => {
+                        let x = self.vbytes(*a)?;
+                        let n = self.lanes(*ty);
+                        self.with_lanes(*ty, n, |k| {
+                            Ok(eval_un(vapor_ir::UnOp::Sqrt, *ty, self.lane(&x, *ty, k)))
+                        })?
+                    }
+                    HelperOp::Pack => {
+                        let b = b.ok_or_else(|| Trap("pack helper needs b".into()))?;
+                        self.pack(*ty, *a, b)?
+                    }
+                    HelperOp::Unpack(h) => self.unpack(*h, *ty, *a)?,
+                };
+                self.set_vreg(*dst, out);
+            }
+        }
+        Ok(())
     }
 
     fn coerce(&self, ty: ScalarTy, v: Value) -> Value {
@@ -624,12 +791,7 @@ impl<'t> Machine<'t> {
         })
     }
 
-    fn pack(
-        &self,
-        ty: ScalarTy,
-        a: crate::isa::VReg,
-        b: crate::isa::VReg,
-    ) -> Result<VBytes, Trap> {
+    fn pack(&self, ty: ScalarTy, a: crate::isa::VReg, b: crate::isa::VReg) -> Result<VBytes, Trap> {
         let narrow = ty
             .narrowed()
             .ok_or_else(|| Trap(format!("pack: {ty} has no narrowed type")))?;
@@ -660,7 +822,9 @@ impl<'t> Machine<'t> {
         let x = self.vbytes(a)?;
         let n = self.lanes(ty);
         let base = if half == Half::Lo { 0 } else { n / 2 };
-        self.with_lanes(wide, n / 2, |j| Ok(eval_cast(ty, wide, self.lane(&x, ty, base + j))))
+        self.with_lanes(wide, n / 2, |j| {
+            Ok(eval_cast(ty, wide, self.lane(&x, ty, base + j)))
+        })
     }
 }
 
@@ -680,7 +844,12 @@ mod tests {
     use crate::target::{altivec, sse};
 
     fn code(insts: Vec<MInst>) -> MCode {
-        MCode { insts, n_sregs: 16, n_vregs: 16, note: String::new() }
+        MCode {
+            insts,
+            n_sregs: 16,
+            n_vregs: 16,
+            note: String::new(),
+        }
     }
 
     #[test]
@@ -689,12 +858,35 @@ mod tests {
         let t = sse();
         let mut m = Machine::new(&t, 4096);
         let c = code(vec![
-            MInst::MovImmI { dst: SReg(0), imm: 0 },
-            MInst::MovImmI { dst: SReg(2), imm: 0 },
+            MInst::MovImmI {
+                dst: SReg(0),
+                imm: 0,
+            },
+            MInst::MovImmI {
+                dst: SReg(2),
+                imm: 0,
+            },
             MInst::Label(Label(0)),
-            MInst::SBin { op: BinOp::Add, ty: ScalarTy::I64, dst: SReg(2), a: SReg(2), b: SReg(0) },
-            MInst::SBinImm { op: BinOp::Add, ty: ScalarTy::I64, dst: SReg(0), a: SReg(0), imm: 1 },
-            MInst::BranchImm { cond: Cond::Lt, a: SReg(0), imm: 10, target: Label(0) },
+            MInst::SBin {
+                op: BinOp::Add,
+                ty: ScalarTy::I64,
+                dst: SReg(2),
+                a: SReg(2),
+                b: SReg(0),
+            },
+            MInst::SBinImm {
+                op: BinOp::Add,
+                ty: ScalarTy::I64,
+                dst: SReg(0),
+                a: SReg(0),
+                imm: 1,
+            },
+            MInst::BranchImm {
+                cond: Cond::Lt,
+                a: SReg(0),
+                imm: 10,
+                target: Label(0),
+            },
         ]);
         let stats = m.run(&c).unwrap();
         assert_eq!(m.sreg(SReg(2)), Value::Int(45));
@@ -708,20 +900,42 @@ mod tests {
         let a = m.mem.alloc(16, 16);
         let b = m.mem.alloc(16, 16);
         for k in 0..4 {
-            m.mem.write(ScalarTy::F32, a + 4 * k, Value::Float(k as f64));
+            m.mem
+                .write(ScalarTy::F32, a + 4 * k, Value::Float(k as f64));
             m.mem.write(ScalarTy::F32, b + 4 * k, Value::Float(10.0));
         }
         m.set_sreg(SReg(0), Value::Int(a as i64));
         m.set_sreg(SReg(1), Value::Int(b as i64));
         let c = code(vec![
-            MInst::LoadV { dst: VReg(0), addr: AddrMode::base_disp(SReg(0), 0), align: MemAlign::Aligned },
-            MInst::LoadV { dst: VReg(1), addr: AddrMode::base_disp(SReg(1), 0), align: MemAlign::Aligned },
-            MInst::VBin { op: BinOp::Add, ty: ScalarTy::F32, dst: VReg(2), a: VReg(0), b: VReg(1) },
-            MInst::StoreV { src: VReg(2), addr: AddrMode::base_disp(SReg(0), 0), align: MemAlign::Aligned },
+            MInst::LoadV {
+                dst: VReg(0),
+                addr: AddrMode::base_disp(SReg(0), 0),
+                align: MemAlign::Aligned,
+            },
+            MInst::LoadV {
+                dst: VReg(1),
+                addr: AddrMode::base_disp(SReg(1), 0),
+                align: MemAlign::Aligned,
+            },
+            MInst::VBin {
+                op: BinOp::Add,
+                ty: ScalarTy::F32,
+                dst: VReg(2),
+                a: VReg(0),
+                b: VReg(1),
+            },
+            MInst::StoreV {
+                src: VReg(2),
+                addr: AddrMode::base_disp(SReg(0), 0),
+                align: MemAlign::Aligned,
+            },
         ]);
         m.run(&c).unwrap();
         for k in 0..4 {
-            assert_eq!(m.mem.read(ScalarTy::F32, a + 4 * k), Value::Float(10.0 + k as f64));
+            assert_eq!(
+                m.mem.read(ScalarTy::F32, a + 4 * k),
+                Value::Float(10.0 + k as f64)
+            );
         }
     }
 
@@ -752,17 +966,38 @@ mod tests {
         let addr = a + 8; // misaligned by 8
         m.set_sreg(SReg(0), Value::Int(addr as i64));
         let c = code(vec![
-            MInst::LoadVFloor { dst: VReg(0), addr: AddrMode::base_disp(SReg(0), 0) },
-            MInst::LoadVFloor { dst: VReg(1), addr: AddrMode::base_disp(SReg(0), 16) },
-            MInst::VPermCtrl { dst: VReg(2), addr: AddrMode::base_disp(SReg(0), 0) },
-            MInst::VPerm { dst: VReg(3), a: VReg(0), b: VReg(1), ctrl: VReg(2) },
-            MInst::StoreV { src: VReg(3), addr: AddrMode::base_disp(SReg(1), 0), align: MemAlign::Aligned },
+            MInst::LoadVFloor {
+                dst: VReg(0),
+                addr: AddrMode::base_disp(SReg(0), 0),
+            },
+            MInst::LoadVFloor {
+                dst: VReg(1),
+                addr: AddrMode::base_disp(SReg(0), 16),
+            },
+            MInst::VPermCtrl {
+                dst: VReg(2),
+                addr: AddrMode::base_disp(SReg(0), 0),
+            },
+            MInst::VPerm {
+                dst: VReg(3),
+                a: VReg(0),
+                b: VReg(1),
+                ctrl: VReg(2),
+            },
+            MInst::StoreV {
+                src: VReg(3),
+                addr: AddrMode::base_disp(SReg(1), 0),
+                align: MemAlign::Aligned,
+            },
         ]);
         let out = m.mem.alloc(16, 16);
         m.set_sreg(SReg(1), Value::Int(out as i64));
         m.run(&c).unwrap();
         for k in 0..4u64 {
-            assert_eq!(m.mem.read(ScalarTy::I32, out + 4 * k), Value::Int(2 + k as i64));
+            assert_eq!(
+                m.mem.read(ScalarTy::I32, out + 4 * k),
+                Value::Int(2 + k as i64)
+            );
         }
     }
 
@@ -773,23 +1008,56 @@ mod tests {
         // v0 = [1..8] i16, v1 = all 3.
         let a = m.mem.alloc(16, 16);
         for k in 0..8 {
-            m.mem.write(ScalarTy::I16, a + 2 * k, Value::Int(k as i64 + 1));
+            m.mem
+                .write(ScalarTy::I16, a + 2 * k, Value::Int(k as i64 + 1));
         }
         m.set_sreg(SReg(0), Value::Int(a as i64));
         m.set_sreg(SReg(1), Value::Int(3));
         let out = m.mem.alloc(32, 16);
         m.set_sreg(SReg(2), Value::Int(out as i64));
         let c = code(vec![
-            MInst::LoadV { dst: VReg(0), addr: AddrMode::base_disp(SReg(0), 0), align: MemAlign::Aligned },
-            MInst::Splat { ty: ScalarTy::I16, dst: VReg(1), src: SReg(1) },
-            MInst::VWidenMul { half: Half::Lo, ty: ScalarTy::I16, dst: VReg(2), a: VReg(0), b: VReg(1) },
-            MInst::VWidenMul { half: Half::Hi, ty: ScalarTy::I16, dst: VReg(3), a: VReg(0), b: VReg(1) },
-            MInst::VPack { ty: ScalarTy::I32, dst: VReg(4), a: VReg(2), b: VReg(3) },
-            MInst::StoreV { src: VReg(4), addr: AddrMode::base_disp(SReg(2), 0), align: MemAlign::Aligned },
+            MInst::LoadV {
+                dst: VReg(0),
+                addr: AddrMode::base_disp(SReg(0), 0),
+                align: MemAlign::Aligned,
+            },
+            MInst::Splat {
+                ty: ScalarTy::I16,
+                dst: VReg(1),
+                src: SReg(1),
+            },
+            MInst::VWidenMul {
+                half: Half::Lo,
+                ty: ScalarTy::I16,
+                dst: VReg(2),
+                a: VReg(0),
+                b: VReg(1),
+            },
+            MInst::VWidenMul {
+                half: Half::Hi,
+                ty: ScalarTy::I16,
+                dst: VReg(3),
+                a: VReg(0),
+                b: VReg(1),
+            },
+            MInst::VPack {
+                ty: ScalarTy::I32,
+                dst: VReg(4),
+                a: VReg(2),
+                b: VReg(3),
+            },
+            MInst::StoreV {
+                src: VReg(4),
+                addr: AddrMode::base_disp(SReg(2), 0),
+                align: MemAlign::Aligned,
+            },
         ]);
         m.run(&c).unwrap();
         for k in 0..8 {
-            assert_eq!(m.mem.read(ScalarTy::I16, out + 2 * k), Value::Int(3 * (k as i64 + 1)));
+            assert_eq!(
+                m.mem.read(ScalarTy::I16, out + 2 * k),
+                Value::Int(3 * (k as i64 + 1))
+            );
         }
     }
 
@@ -803,11 +1071,33 @@ mod tests {
         }
         m.set_sreg(SReg(0), Value::Int(a as i64));
         let c = code(vec![
-            MInst::LoadV { dst: VReg(0), addr: AddrMode::base_disp(SReg(0), 0), align: MemAlign::Aligned },
-            MInst::MovImmI { dst: SReg(1), imm: 0 },
-            MInst::Splat { ty: ScalarTy::I32, dst: VReg(1), src: SReg(1) },
-            MInst::VDotAcc { ty: ScalarTy::I16, dst: VReg(2), a: VReg(0), b: VReg(0), acc: VReg(1) },
-            MInst::VReduce { op: ReduceOp::Plus, ty: ScalarTy::I32, dst: SReg(2), src: VReg(2) },
+            MInst::LoadV {
+                dst: VReg(0),
+                addr: AddrMode::base_disp(SReg(0), 0),
+                align: MemAlign::Aligned,
+            },
+            MInst::MovImmI {
+                dst: SReg(1),
+                imm: 0,
+            },
+            MInst::Splat {
+                ty: ScalarTy::I32,
+                dst: VReg(1),
+                src: SReg(1),
+            },
+            MInst::VDotAcc {
+                ty: ScalarTy::I16,
+                dst: VReg(2),
+                a: VReg(0),
+                b: VReg(0),
+                acc: VReg(1),
+            },
+            MInst::VReduce {
+                op: ReduceOp::Plus,
+                ty: ScalarTy::I32,
+                dst: SReg(2),
+                src: VReg(2),
+            },
         ]);
         m.run(&c).unwrap();
         // 8 lanes of 2*2 = 32.
@@ -819,10 +1109,7 @@ mod tests {
         let t = sse();
         let mut m = Machine::new(&t, 1024);
         m.fuel = 100;
-        let c = code(vec![
-            MInst::Label(Label(0)),
-            MInst::Jump(Label(0)),
-        ]);
+        let c = code(vec![MInst::Label(Label(0)), MInst::Jump(Label(0))]);
         let err = m.run(&c).unwrap_err();
         assert!(err.0.contains("fuel"));
     }
@@ -850,8 +1137,16 @@ mod tests {
         }
         m.set_sreg(SReg(0), Value::Int(a as i64));
         let c = code(vec![
-            MInst::LoadV { dst: VReg(0), addr: AddrMode::base_disp(SReg(0), 0), align: MemAlign::Aligned },
-            MInst::LoadV { dst: VReg(1), addr: AddrMode::base_disp(SReg(0), 16), align: MemAlign::Aligned },
+            MInst::LoadV {
+                dst: VReg(0),
+                addr: AddrMode::base_disp(SReg(0), 0),
+                align: MemAlign::Aligned,
+            },
+            MInst::LoadV {
+                dst: VReg(1),
+                addr: AddrMode::base_disp(SReg(0), 16),
+                align: MemAlign::Aligned,
+            },
             MInst::VExtractStride {
                 ty: ScalarTy::I32,
                 stride: 2,
@@ -859,7 +1154,12 @@ mod tests {
                 dst: VReg(2),
                 srcs: vec![VReg(0), VReg(1)],
             },
-            MInst::VReduce { op: ReduceOp::Plus, ty: ScalarTy::I32, dst: SReg(1), src: VReg(2) },
+            MInst::VReduce {
+                op: ReduceOp::Plus,
+                ty: ScalarTy::I32,
+                dst: SReg(1),
+                src: VReg(2),
+            },
         ]);
         m.run(&c).unwrap();
         // odd elements: 1+3+5+7 = 16
@@ -875,7 +1175,12 @@ mod more_tests {
     use vapor_ir::ScalarTy;
 
     fn mcode(insts: Vec<MInst>) -> crate::isa::MCode {
-        crate::isa::MCode { insts, n_sregs: 8, n_vregs: 8, note: String::new() }
+        crate::isa::MCode {
+            insts,
+            n_sregs: 8,
+            n_vregs: 8,
+            note: String::new(),
+        }
     }
 
     #[test]
@@ -886,10 +1191,30 @@ mod more_tests {
         m.set_sreg(SReg(1), Value::Int(3));
         m.set_sreg(SReg(2), Value::Int(-9));
         let c = mcode(vec![
-            MInst::Iota { ty: ScalarTy::I32, dst: VReg(0), start: SReg(0), inc: SReg(1) },
-            MInst::SetLane { ty: ScalarTy::I32, dst: VReg(0), lane: 2, src: SReg(2) },
-            MInst::GetLane { ty: ScalarTy::I32, dst: SReg(3), src: VReg(0), lane: 2 },
-            MInst::GetLane { ty: ScalarTy::I32, dst: SReg(4), src: VReg(0), lane: 3 },
+            MInst::Iota {
+                ty: ScalarTy::I32,
+                dst: VReg(0),
+                start: SReg(0),
+                inc: SReg(1),
+            },
+            MInst::SetLane {
+                ty: ScalarTy::I32,
+                dst: VReg(0),
+                lane: 2,
+                src: SReg(2),
+            },
+            MInst::GetLane {
+                ty: ScalarTy::I32,
+                dst: SReg(3),
+                src: VReg(0),
+                lane: 2,
+            },
+            MInst::GetLane {
+                ty: ScalarTy::I32,
+                dst: SReg(4),
+                src: VReg(0),
+                lane: 3,
+            },
         ]);
         m.run(&c).unwrap();
         assert_eq!(m.sreg(SReg(3)), Value::Int(-9));
@@ -904,8 +1229,17 @@ mod more_tests {
         m.set_sreg(SReg(1), Value::Int(1));
         m.set_sreg(SReg(2), Value::Int(3));
         let c = mcode(vec![
-            MInst::Splat { ty: ScalarTy::I16, dst: VReg(0), src: SReg(0) },
-            MInst::Iota { ty: ScalarTy::I16, dst: VReg(1), start: SReg(1), inc: SReg(1) },
+            MInst::Splat {
+                ty: ScalarTy::I16,
+                dst: VReg(0),
+                src: SReg(0),
+            },
+            MInst::Iota {
+                ty: ScalarTy::I16,
+                dst: VReg(1),
+                start: SReg(1),
+                inc: SReg(1),
+            },
             MInst::VShift {
                 left: false,
                 ty: ScalarTy::I16,
@@ -913,8 +1247,18 @@ mod more_tests {
                 a: VReg(0),
                 amt: ShiftSrc::PerLane(VReg(1)),
             },
-            MInst::GetLane { ty: ScalarTy::I16, dst: SReg(3), src: VReg(2), lane: 0 },
-            MInst::GetLane { ty: ScalarTy::I16, dst: SReg(4), src: VReg(2), lane: 2 },
+            MInst::GetLane {
+                ty: ScalarTy::I16,
+                dst: SReg(3),
+                src: VReg(2),
+                lane: 0,
+            },
+            MInst::GetLane {
+                ty: ScalarTy::I16,
+                dst: SReg(4),
+                src: VReg(2),
+                lane: 2,
+            },
         ]);
         m.run(&c).unwrap();
         assert_eq!(m.sreg(SReg(3)), Value::Int(-64 >> 1));
@@ -937,7 +1281,13 @@ mod more_tests {
                 addr: AddrMode::base_disp(SReg(0), 0),
                 align: MemAlign::Aligned,
             },
-            MInst::VWidenMul { half: Half::Lo, ty: ScalarTy::U8, dst: VReg(1), a: VReg(0), b: VReg(0) },
+            MInst::VWidenMul {
+                half: Half::Lo,
+                ty: ScalarTy::U8,
+                dst: VReg(1),
+                a: VReg(0),
+                b: VReg(0),
+            },
             MInst::VHelper {
                 op: HelperOp::WidenMult(Half::Lo),
                 ty: ScalarTy::U8,
@@ -945,13 +1295,100 @@ mod more_tests {
                 a: VReg(0),
                 b: Some(VReg(0)),
             },
-            MInst::GetLane { ty: ScalarTy::U16, dst: SReg(1), src: VReg(1), lane: 1 },
-            MInst::GetLane { ty: ScalarTy::U16, dst: SReg(2), src: VReg(2), lane: 1 },
+            MInst::GetLane {
+                ty: ScalarTy::U16,
+                dst: SReg(1),
+                src: VReg(1),
+                lane: 1,
+            },
+            MInst::GetLane {
+                ty: ScalarTy::U16,
+                dst: SReg(2),
+                src: VReg(2),
+                lane: 1,
+            },
         ]);
         m.run(&c).unwrap();
         assert_eq!(m.sreg(SReg(1)), m.sreg(SReg(2)));
         // 251*251 mod 2^16
         assert_eq!(m.sreg(SReg(1)), Value::Int((251 * 251) & 0xffff));
+    }
+
+    #[test]
+    fn decoded_dispatch_matches_baseline() {
+        // Same code, both dispatch loops: identical register/memory
+        // state and identical cycle count (insts differ by the stripped
+        // labels only).
+        let t = sse();
+        let c = mcode(vec![
+            MInst::MovImmI {
+                dst: SReg(0),
+                imm: 0,
+            },
+            MInst::MovImmI {
+                dst: SReg(2),
+                imm: 0,
+            },
+            MInst::Label(crate::isa::Label(0)),
+            MInst::SBin {
+                op: vapor_ir::BinOp::Add,
+                ty: ScalarTy::I64,
+                dst: SReg(2),
+                a: SReg(2),
+                b: SReg(0),
+            },
+            MInst::SBinImm {
+                op: vapor_ir::BinOp::Add,
+                ty: ScalarTy::I64,
+                dst: SReg(0),
+                a: SReg(0),
+                imm: 1,
+            },
+            MInst::BranchImm {
+                cond: crate::isa::Cond::Lt,
+                a: SReg(0),
+                imm: 100,
+                target: crate::isa::Label(0),
+            },
+        ]);
+        let mut base = Machine::new(&t, 1024);
+        let s1 = base.run(&c).unwrap();
+        let prog = crate::decode::DecodedProgram::decode(&c, &t).unwrap();
+        let mut dec = Machine::new(&t, 1024);
+        let s2 = dec.run_decoded(&prog).unwrap();
+        assert_eq!(base.sreg(SReg(2)), dec.sreg(SReg(2)));
+        assert_eq!(base.sreg(SReg(2)), Value::Int(4950));
+        assert_eq!(s1.cycles, s2.cycles);
+        // The baseline counts the label marker once per iteration.
+        assert_eq!(s1.insts, s2.insts + 100);
+    }
+
+    #[test]
+    fn decoded_dispatch_rejects_wrong_vector_width() {
+        let t = sse();
+        let c = mcode(vec![MInst::MovImmI {
+            dst: SReg(0),
+            imm: 1,
+        }]);
+        let prog = crate::decode::DecodedProgram::decode(&c, &t).unwrap();
+        let wide = crate::target::avx();
+        let mut m = Machine::new(&wide, 1024);
+        let err = m.run_decoded(&prog).unwrap_err();
+        assert!(err.0.contains("decoded for VS="), "{err}");
+    }
+
+    #[test]
+    fn decoded_dispatch_honors_fuel() {
+        let t = sse();
+        let c = mcode(vec![
+            MInst::Label(crate::isa::Label(0)),
+            MInst::Jump(crate::isa::Label(0)),
+        ]);
+        let prog = crate::decode::DecodedProgram::decode(&c, &t).unwrap();
+        let mut m = Machine::new(&t, 1024);
+        m.fuel = 50;
+        let err = m.run_decoded(&prog).unwrap_err();
+        assert!(err.0.contains("fuel"), "{err}");
     }
 
     #[test]

@@ -28,29 +28,59 @@ impl PortModel {
     /// Intel Core2-class: 3 vector-capable ports (modeled as 2 usable
     /// for sustained vector work), one load, one store.
     pub fn core2() -> PortModel {
-        PortModel { vec_ports: 2, load_ports: 1, store_ports: 1, scalar_ports: 2, branch_ports: 1 }
+        PortModel {
+            vec_ports: 2,
+            load_ports: 1,
+            store_ports: 1,
+            scalar_ports: 2,
+            branch_ports: 1,
+        }
     }
 
     /// PowerPC 970/G5-class.
     pub fn g5() -> PortModel {
-        PortModel { vec_ports: 2, load_ports: 1, store_ports: 1, scalar_ports: 2, branch_ports: 1 }
+        PortModel {
+            vec_ports: 2,
+            load_ports: 1,
+            store_ports: 1,
+            scalar_ports: 2,
+            branch_ports: 1,
+        }
     }
 
     /// Cortex A8: dual-issue in-order, one NEON pipe, one load/store pipe.
     pub fn cortex_a8() -> PortModel {
-        PortModel { vec_ports: 1, load_ports: 1, store_ports: 1, scalar_ports: 1, branch_ports: 1 }
+        PortModel {
+            vec_ports: 1,
+            load_ports: 1,
+            store_ports: 1,
+            scalar_ports: 1,
+            branch_ports: 1,
+        }
     }
 
     /// Sandy-Bridge-class AVX core: two 256-bit vector ports, two load
     /// ports, one store port, two scalar ports — the configuration the
     /// Table 3 numbers are computed against.
     pub fn sandy_bridge() -> PortModel {
-        PortModel { vec_ports: 2, load_ports: 2, store_ports: 1, scalar_ports: 2, branch_ports: 1 }
+        PortModel {
+            vec_ports: 2,
+            load_ports: 2,
+            store_ports: 1,
+            scalar_ports: 2,
+            branch_ports: 1,
+        }
     }
 
     /// Single-issue scalar machine.
     pub fn single_issue() -> PortModel {
-        PortModel { vec_ports: 1, load_ports: 1, store_ports: 1, scalar_ports: 1, branch_ports: 1 }
+        PortModel {
+            vec_ports: 1,
+            load_ports: 1,
+            store_ports: 1,
+            scalar_ports: 1,
+            branch_ports: 1,
+        }
     }
 }
 
@@ -187,7 +217,10 @@ pub fn analyze_body(body: &[MInst], ports: &PortModel) -> Throughput {
     .max()
     .unwrap_or(0)
     .max(1);
-    Throughput { cycles_per_iter: cycles, pressure: p }
+    Throughput {
+        cycles_per_iter: cycles,
+        pressure: p,
+    }
 }
 
 /// Find the hot vectorized loop of compiled code and analyze it.
@@ -204,9 +237,9 @@ pub fn analyze_inner_loop(code: &MCode, ports: &PortModel) -> Option<Throughput>
     let mut candidates: Vec<(usize, usize)> = Vec::new();
     for (i, inst) in code.insts.iter().enumerate() {
         let target = match inst {
-            MInst::Jump(l) | MInst::Branch { target: l, .. } | MInst::BranchImm { target: l, .. } => {
-                Some(*l)
-            }
+            MInst::Jump(l)
+            | MInst::Branch { target: l, .. }
+            | MInst::BranchImm { target: l, .. } => Some(*l),
             _ => None,
         };
         if let Some(l) = target {
@@ -221,7 +254,9 @@ pub fn analyze_inner_loop(code: &MCode, ports: &PortModel) -> Option<Throughput>
         .iter()
         .copied()
         .filter(|&(s, e)| {
-            !candidates.iter().any(|&(s2, e2)| (s2, e2) != (s, e) && s <= s2 && e2 <= e)
+            !candidates
+                .iter()
+                .any(|&(s2, e2)| (s2, e2) != (s, e) && s <= s2 && e2 <= e)
         })
         .collect();
     let mut best: Option<(Throughput, u32, usize)> = None; // (tp, vec µops, span)
@@ -243,7 +278,9 @@ pub fn analyze_inner_loop(code: &MCode, ports: &PortModel) -> Option<Throughput>
 
 /// Convenience used in tests: does a label exist in code?
 pub fn has_label(code: &MCode, l: Label) -> bool {
-    code.insts.iter().any(|i| matches!(i, MInst::Label(x) if *x == l))
+    code.insts
+        .iter()
+        .any(|i| matches!(i, MInst::Label(x) if *x == l))
 }
 
 #[cfg(test)]
@@ -265,8 +302,20 @@ mod tests {
                 addr: AddrMode::base_disp(SReg(1), 0),
                 align: MemAlign::Aligned,
             },
-            MInst::VBin { op: BinOp::Mul, ty: ScalarTy::F32, dst: VReg(0), a: VReg(0), b: VReg(2) },
-            MInst::VBin { op: BinOp::Add, ty: ScalarTy::F32, dst: VReg(0), a: VReg(0), b: VReg(1) },
+            MInst::VBin {
+                op: BinOp::Mul,
+                ty: ScalarTy::F32,
+                dst: VReg(0),
+                a: VReg(0),
+                b: VReg(2),
+            },
+            MInst::VBin {
+                op: BinOp::Add,
+                ty: ScalarTy::F32,
+                dst: VReg(0),
+                a: VReg(0),
+                b: VReg(1),
+            },
             MInst::StoreV {
                 src: VReg(0),
                 addr: AddrMode::base_disp(SReg(1), 0),
@@ -332,10 +381,24 @@ mod tests {
     fn inner_loop_detection_picks_backward_branch() {
         let code = MCode {
             insts: vec![
-                MInst::MovImmI { dst: SReg(0), imm: 0 },
+                MInst::MovImmI {
+                    dst: SReg(0),
+                    imm: 0,
+                },
                 MInst::Label(Label(0)),
-                MInst::SBinImm { op: BinOp::Add, ty: ScalarTy::I64, dst: SReg(0), a: SReg(0), imm: 1 },
-                MInst::BranchImm { cond: Cond::Lt, a: SReg(0), imm: 10, target: Label(0) },
+                MInst::SBinImm {
+                    op: BinOp::Add,
+                    ty: ScalarTy::I64,
+                    dst: SReg(0),
+                    a: SReg(0),
+                    imm: 1,
+                },
+                MInst::BranchImm {
+                    cond: Cond::Lt,
+                    a: SReg(0),
+                    imm: 10,
+                    target: Label(0),
+                },
             ],
             n_sregs: 1,
             n_vregs: 0,
@@ -349,7 +412,10 @@ mod tests {
     #[test]
     fn straight_line_code_has_no_loop() {
         let code = MCode {
-            insts: vec![MInst::MovImmI { dst: SReg(0), imm: 0 }],
+            insts: vec![MInst::MovImmI {
+                dst: SReg(0),
+                imm: 0,
+            }],
             n_sregs: 1,
             n_vregs: 0,
             note: String::new(),

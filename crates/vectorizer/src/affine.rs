@@ -48,7 +48,10 @@ impl Affine {
     }
 
     fn constant(k: i64) -> Affine {
-        Affine { konst: k, ..Default::default() }
+        Affine {
+            konst: k,
+            ..Default::default()
+        }
     }
 
     fn var(k: &Kernel, v: VarId) -> Option<Affine> {
@@ -158,9 +161,10 @@ pub fn analyze(k: &Kernel, e: &Expr) -> Option<Affine> {
         Expr::Var(v) => Affine::var(k, *v),
         Expr::Load { .. } => None,
         Expr::Cast { arg, .. } => analyze(k, arg),
-        Expr::Un { op: vapor_ir::UnOp::Neg, arg } => {
-            analyze(k, arg)?.scale_const(-1)
-        }
+        Expr::Un {
+            op: vapor_ir::UnOp::Neg,
+            arg,
+        } => analyze(k, arg)?.scale_const(-1),
         Expr::Un { .. } => None,
         Expr::Bin { op, lhs, rhs } => {
             let l = analyze(k, lhs);
@@ -242,7 +246,11 @@ mod tests {
     #[test]
     fn strided_and_shifted() {
         let (k, _, _, i, _) = kernel();
-        let e = Expr::bin(BinOp::Add, Expr::bin(BinOp::Mul, Expr::Int(2), Expr::Var(i)), Expr::Int(1));
+        let e = Expr::bin(
+            BinOp::Add,
+            Expr::bin(BinOp::Mul, Expr::Int(2), Expr::Var(i)),
+            Expr::Int(1),
+        );
         let a = analyze(&k, &e).unwrap();
         assert_eq!(a.coeff_of(i), Coeff::Const(2));
         assert_eq!(a.konst, 1);

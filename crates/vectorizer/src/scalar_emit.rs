@@ -7,8 +7,10 @@
 
 use std::collections::HashMap;
 
-use vapor_bytecode::{Addr, ArraySym, BcArray, BcFunction, BcParam, BcStmt, BcTy, Op, Operand, Reg};
 use vapor_bytecode::LoopKind;
+use vapor_bytecode::{
+    Addr, ArraySym, BcArray, BcFunction, BcParam, BcStmt, BcTy, Op, Operand, Reg,
+};
 use vapor_ir::{infer_expr, BinOp, Expr, Kernel, ScalarTy, Stmt, VarId, VarKind};
 
 /// Emits scalar bytecode for a kernel's IR, maintaining the IR-variable →
@@ -68,7 +70,10 @@ impl<'k> ScalarEmitter<'k> {
             Expr::Load { array, index } => {
                 let addr = self.emit_addr(f, out, *array, index);
                 let dst = f.fresh_reg(BcTy::Scalar(ty));
-                out.push(BcStmt::Def { dst, op: Op::SLoad(ty, addr) });
+                out.push(BcStmt::Def {
+                    dst,
+                    op: Op::SLoad(ty, addr),
+                });
                 Operand::Reg(dst)
             }
             Expr::Bin { op, lhs, rhs } => {
@@ -81,15 +86,25 @@ impl<'k> ScalarEmitter<'k> {
                 };
                 let a = self.emit_expr(f, out, lhs, operand_ty);
                 let b = self.emit_expr(f, out, rhs, operand_ty);
-                let rty = if op.is_comparison() { ScalarTy::I32 } else { ty };
+                let rty = if op.is_comparison() {
+                    ScalarTy::I32
+                } else {
+                    ty
+                };
                 let dst = f.fresh_reg(BcTy::Scalar(rty));
-                out.push(BcStmt::Def { dst, op: Op::SBin(*op, operand_ty, a, b) });
+                out.push(BcStmt::Def {
+                    dst,
+                    op: Op::SBin(*op, operand_ty, a, b),
+                });
                 Operand::Reg(dst)
             }
             Expr::Un { op, arg } => {
                 let a = self.emit_expr(f, out, arg, ty);
                 let dst = f.fresh_reg(BcTy::Scalar(ty));
-                out.push(BcStmt::Def { dst, op: Op::SUn(*op, ty, a) });
+                out.push(BcStmt::Def {
+                    dst,
+                    op: Op::SUn(*op, ty, a),
+                });
                 Operand::Reg(dst)
             }
             Expr::Cast { ty: to, arg } => {
@@ -99,7 +114,14 @@ impl<'k> ScalarEmitter<'k> {
                 });
                 let a = self.emit_expr(f, out, arg, from);
                 let dst = f.fresh_reg(BcTy::Scalar(*to));
-                out.push(BcStmt::Def { dst, op: Op::SCast { from, to: *to, arg: a } });
+                out.push(BcStmt::Def {
+                    dst,
+                    op: Op::SCast {
+                        from,
+                        to: *to,
+                        arg: a,
+                    },
+                });
                 Operand::Reg(dst)
             }
         }
@@ -116,7 +138,11 @@ impl<'k> ScalarEmitter<'k> {
     ) -> Addr {
         let (core, offset) = split_const_offset(index);
         let idx = self.emit_expr(f, out, core, ScalarTy::I64);
-        Addr { base: ArraySym(array.0), index: idx, offset }
+        Addr {
+            base: ArraySym(array.0),
+            index: idx,
+            offset,
+        }
     }
 
     /// Emit a statement (and its nested loops) as scalar bytecode.
@@ -126,15 +152,32 @@ impl<'k> ScalarEmitter<'k> {
                 let ty = self.kernel.var(*var).ty;
                 let v = self.emit_expr(f, out, value, ty);
                 let dst = self.var_reg(f, *var);
-                out.push(BcStmt::Def { dst, op: Op::Copy(v) });
+                out.push(BcStmt::Def {
+                    dst,
+                    op: Op::Copy(v),
+                });
             }
-            Stmt::Store { array, index, value } => {
+            Stmt::Store {
+                array,
+                index,
+                value,
+            } => {
                 let elem = self.kernel.array(*array).elem;
                 let v = self.emit_expr(f, out, value, elem);
                 let addr = self.emit_addr(f, out, *array, index);
-                out.push(BcStmt::SStore { ty: elem, addr, src: v });
+                out.push(BcStmt::SStore {
+                    ty: elem,
+                    addr,
+                    src: v,
+                });
             }
-            Stmt::For { var, lo, hi, step, body } => {
+            Stmt::For {
+                var,
+                lo,
+                hi,
+                step,
+                body,
+            } => {
                 let lo_v = self.emit_expr(f, out, lo, ScalarTy::I64);
                 let hi_v = self.emit_expr(f, out, hi, ScalarTy::I64);
                 let ivar = self.var_reg(f, *var);
@@ -178,12 +221,19 @@ pub fn new_function(kernel: &Kernel) -> BcFunction {
         .vars
         .iter()
         .filter(|v| v.kind == VarKind::Param)
-        .map(|v| BcParam { name: v.name.clone(), ty: v.ty })
+        .map(|v| BcParam {
+            name: v.name.clone(),
+            ty: v.ty,
+        })
         .collect();
     let arrays: Vec<BcArray> = kernel
         .arrays
         .iter()
-        .map(|a| BcArray { name: a.name.clone(), elem: a.elem, kind: a.kind })
+        .map(|a| BcArray {
+            name: a.name.clone(),
+            elem: a.elem,
+            kind: a.kind,
+        })
         .collect();
     BcFunction::new(kernel.name.clone(), params, arrays)
 }
@@ -231,13 +281,21 @@ mod tests {
         let f = emit_scalar_function(&k);
         let mut found = false;
         f.walk(&mut |s| {
-            if let BcStmt::Def { op: Op::SLoad(_, addr), .. } = s {
+            if let BcStmt::Def {
+                op: Op::SLoad(_, addr),
+                ..
+            } = s
+            {
                 if addr.offset == 2 {
                     found = true;
                 }
             }
         });
-        assert!(found, "expected &x[i+2] addressing:\n{}", vapor_bytecode::print_function(&f));
+        assert!(
+            found,
+            "expected &x[i+2] addressing:\n{}",
+            vapor_bytecode::print_function(&f)
+        );
     }
 
     #[test]

@@ -18,18 +18,34 @@ fn isomorphic(k: &Kernel, e1: &Expr, e2: &Expr, delta: i64) -> bool {
         (Expr::Int(a), Expr::Int(b)) => a == b,
         (Expr::Float(a), Expr::Float(b)) => a == b,
         (Expr::Var(a), Expr::Var(b)) => a == b,
-        (Expr::Load { array: a1, index: i1 }, Expr::Load { array: a2, index: i2 }) => {
+        (
+            Expr::Load {
+                array: a1,
+                index: i1,
+            },
+            Expr::Load {
+                array: a2,
+                index: i2,
+            },
+        ) => {
             a1 == a2
                 && match (analyze(k, i1), analyze(k, i2)) {
-                    (Some(x), Some(y)) => {
-                        y.minus(&x).and_then(|d| d.as_const()) == Some(delta)
-                    }
+                    (Some(x), Some(y)) => y.minus(&x).and_then(|d| d.as_const()) == Some(delta),
                     _ => false,
                 }
         }
-        (Expr::Bin { op: o1, lhs: l1, rhs: r1 }, Expr::Bin { op: o2, lhs: l2, rhs: r2 }) => {
-            o1 == o2 && isomorphic(k, l1, l2, delta) && isomorphic(k, r1, r2, delta)
-        }
+        (
+            Expr::Bin {
+                op: o1,
+                lhs: l1,
+                rhs: r1,
+            },
+            Expr::Bin {
+                op: o2,
+                lhs: l2,
+                rhs: r2,
+            },
+        ) => o1 == o2 && isomorphic(k, l1, l2, delta) && isomorphic(k, r1, r2, delta),
         (Expr::Un { op: o1, arg: a1 }, Expr::Un { op: o2, arg: a2 }) => {
             o1 == o2 && isomorphic(k, a1, a2, delta)
         }
@@ -70,13 +86,28 @@ fn reindex(k: &Kernel, e: &Expr, iv: VarId, g: i64) -> Option<Expr> {
             lhs: Box::new(reindex(k, lhs, iv, g)?),
             rhs: Box::new(reindex(k, rhs, iv, g)?),
         },
-        Expr::Un { op, arg } => Expr::Un { op: *op, arg: Box::new(reindex(k, arg, iv, g)?) },
-        Expr::Cast { ty, arg } => Expr::Cast { ty: *ty, arg: Box::new(reindex(k, arg, iv, g)?) },
+        Expr::Un { op, arg } => Expr::Un {
+            op: *op,
+            arg: Box::new(reindex(k, arg, iv, g)?),
+        },
+        Expr::Cast { ty, arg } => Expr::Cast {
+            ty: *ty,
+            arg: Box::new(reindex(k, arg, iv, g)?),
+        },
     })
 }
 
 fn try_merge_loop(k: &Kernel, s: &Stmt) -> Option<Stmt> {
-    let Stmt::For { var, lo, hi, step: 1, body } = s else { return None };
+    let Stmt::For {
+        var,
+        lo,
+        hi,
+        step: 1,
+        body,
+    } = s
+    else {
+        return None;
+    };
     if !matches!(lo, Expr::Int(0)) {
         return None;
     }
@@ -87,7 +118,14 @@ fn try_merge_loop(k: &Kernel, s: &Stmt) -> Option<Stmt> {
     // All statements must be stores to the same array at G*i + k.
     let mut template: Option<(&vapor_ir::ArrayId, &Expr)> = None;
     for (idx, st) in body.iter().enumerate() {
-        let Stmt::Store { array, index, value } = st else { return None };
+        let Stmt::Store {
+            array,
+            index,
+            value,
+        } = st
+        else {
+            return None;
+        };
         let aff = analyze(k, index)?;
         if aff.coeff_of(*var) != Coeff::Const(g) || aff.konst != idx as i64 {
             return None;
@@ -125,7 +163,13 @@ fn rewrite_stmt(k: &Kernel, s: &Stmt, changed: &mut bool) -> Stmt {
         return merged;
     }
     match s {
-        Stmt::For { var, lo, hi, step, body } => Stmt::For {
+        Stmt::For {
+            var,
+            lo,
+            hi,
+            step,
+            body,
+        } => Stmt::For {
             var: *var,
             lo: lo.clone(),
             hi: hi.clone(),
@@ -139,9 +183,18 @@ fn rewrite_stmt(k: &Kernel, s: &Stmt, changed: &mut bool) -> Stmt {
 /// Apply the SLP pre-pass; `Some(kernel')` if any group was merged.
 pub fn apply(k: &Kernel) -> Option<Kernel> {
     let mut changed = false;
-    let body: Vec<Stmt> = k.body.iter().map(|s| rewrite_stmt(k, s, &mut changed)).collect();
+    let body: Vec<Stmt> = k
+        .body
+        .iter()
+        .map(|s| rewrite_stmt(k, s, &mut changed))
+        .collect();
     if changed {
-        Some(Kernel { name: k.name.clone(), vars: k.vars.clone(), arrays: k.arrays.clone(), body })
+        Some(Kernel {
+            name: k.name.clone(),
+            vars: k.vars.clone(),
+            arrays: k.arrays.clone(),
+            body,
+        })
     } else {
         None
     }
@@ -171,7 +224,9 @@ mod tests {
     fn merges_isomorphic_group() {
         let k = mix();
         let merged = apply(&k).expect("SLP group should merge");
-        let Stmt::For { body, .. } = &merged.body[0] else { panic!() };
+        let Stmt::For { body, .. } = &merged.body[0] else {
+            panic!()
+        };
         assert_eq!(body.len(), 1, "group collapsed to one statement");
         vapor_ir::validate(&merged).unwrap();
     }

@@ -14,9 +14,7 @@ use vapor_bytecode::{
     Addr, ArraySym, BcFunction, BcStmt, BcTy, GuardCond, LoopKind, Op, OpClass, Operand, Reg,
     ShiftAmt, Step,
 };
-use vapor_ir::{
-    infer_expr, ArrayId, ArrayKind, BinOp, Expr, Kernel, ScalarTy, Stmt, UnOp, VarId,
-};
+use vapor_ir::{infer_expr, ArrayId, ArrayKind, BinOp, Expr, Kernel, ScalarTy, Stmt, UnOp, VarId};
 use vapor_targets::TargetDesc;
 
 use crate::affine::{analyze, Affine, Coeff};
@@ -180,7 +178,10 @@ pub fn vectorize(kernel: &Kernel, opts: &VectorizeOptions) -> VectorizeResult {
             r.features.push(Feature::Slp);
         }
     }
-    VectorizeResult { func: f, reports: vx.reports }
+    VectorizeResult {
+        func: f,
+        reports: vx.reports,
+    }
 }
 
 impl<'k> Vx<'k> {
@@ -201,7 +202,16 @@ impl<'k> Vx<'k> {
     /// Emit a `for` statement; returns whether anything beneath (or the
     /// loop itself) was vectorized.
     fn vx_for(&mut self, f: &mut BcFunction, out: &mut Vec<BcStmt>, s: &Stmt) -> bool {
-        let Stmt::For { var, lo, hi, step, body } = s else { unreachable!() };
+        let Stmt::For {
+            var,
+            lo,
+            hi,
+            step,
+            body,
+        } = s
+        else {
+            unreachable!()
+        };
         // Innermost-first: give nested loops their chance.
         let mut inner_out = Vec::new();
         let before_regs = f.regs.len();
@@ -221,7 +231,16 @@ impl<'k> Vx<'k> {
                     let desc = format!("loop over {}", self.kernel.var(*var).name);
                     let mut features = plan.features.clone();
                     let mut vec_out = Vec::new();
-                    match self.emit_vectorized(f, &mut vec_out, *var, lo, hi, body, plan, &mut features) {
+                    match self.emit_vectorized(
+                        f,
+                        &mut vec_out,
+                        *var,
+                        lo,
+                        hi,
+                        body,
+                        plan,
+                        &mut features,
+                    ) {
                         Ok(()) => {
                             out.extend(vec_out);
                             self.reports.push(LoopReport {
@@ -271,6 +290,7 @@ impl<'k> Vx<'k> {
         any_inner
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn emit_plain_loop(
         &mut self,
         f: &mut BcFunction,
@@ -343,9 +363,13 @@ impl<'k> Vx<'k> {
         let mut err = None;
         for s in body {
             s.walk(&mut |st| {
-                let mut note = |array: ArrayId, idx: &Expr, is_store: bool| {
-                    match analyze(self.kernel, idx) {
-                        Some(affine) => out.push(AccessInfo { array, affine, is_store }),
+                let mut note =
+                    |array: ArrayId, idx: &Expr, is_store: bool| match analyze(self.kernel, idx) {
+                        Some(affine) => out.push(AccessInfo {
+                            array,
+                            affine,
+                            is_store,
+                        }),
                         None => {
                             err.get_or_insert_with(|| {
                                 format!(
@@ -354,10 +378,13 @@ impl<'k> Vx<'k> {
                                 )
                             });
                         }
-                    }
-                };
+                    };
                 match st {
-                    Stmt::Store { array, index, value } => {
+                    Stmt::Store {
+                        array,
+                        index,
+                        value,
+                    } => {
                         note(*array, index, true);
                         for (a, idx) in value.loads() {
                             note(a, idx, false);
@@ -510,9 +537,7 @@ impl<'k> Vx<'k> {
                                 d / m
                             ));
                         } else if m == 0 {
-                            return Err(format!(
-                                "iv-invariant conflicting accesses on {name}[]"
-                            ));
+                            return Err(format!("iv-invariant conflicting accesses on {name}[]"));
                         }
                         // stride cannot produce the offset: independent
                     }
@@ -536,13 +561,12 @@ impl<'k> Vx<'k> {
                 // Direct-body assignment accumulating across iv must be a
                 // reduction.
                 if value.uses_var(*var) {
-                    reduction_of(self.kernel, *var, value)
-                        .ok_or_else(|| {
-                            format!(
-                                "scalar {} carries a non-reduction dependence",
-                                self.kernel.var(*var).name
-                            )
-                        })?;
+                    reduction_of(self.kernel, *var, value).ok_or_else(|| {
+                        format!(
+                            "scalar {} carries a non-reduction dependence",
+                            self.kernel.var(*var).name
+                        )
+                    })?;
                     if !features.contains(&Feature::Reduction) {
                         features.push(Feature::Reduction);
                     }
@@ -679,10 +703,7 @@ impl<'k> Vx<'k> {
                     let both_global = self.kernel.array(*s).kind == ArrayKind::Global
                         && self.kernel.array(*a).kind == ArrayKind::Global;
                     if !both_global {
-                        support.push(GuardCond::NoAlias(
-                            ArraySym(s.0),
-                            ArraySym(a.0),
-                        ));
+                        support.push(GuardCond::NoAlias(ArraySym(s.0), ArraySym(a.0)));
                     }
                 }
             }
@@ -695,8 +716,8 @@ impl<'k> Vx<'k> {
             let mut conds = Vec::new();
             for a in &plan.arrays {
                 // Native compilers force alignment of globals (§III-B(c)).
-                let known_aligned = self.native().is_some()
-                    && self.kernel.array(*a).kind == ArrayKind::Global;
+                let known_aligned =
+                    self.native().is_some() && self.kernel.array(*a).kind == ArrayKind::Global;
                 if !known_aligned {
                     conds.push(GuardCond::BaseAligned(ArraySym(a.0)));
                 }
@@ -717,7 +738,7 @@ impl<'k> Vx<'k> {
         // alignment, so GCC generated the misaligned version only (the
         // mix-streams situation of §V-B).
         let native_misaligned_only = self.slp_done
-            && self.native().map_or(false, |t| {
+            && self.native().is_some_and(|t| {
                 t.misaligned_stores
                     && plan
                         .arrays
@@ -731,19 +752,21 @@ impl<'k> Vx<'k> {
             collected.push(Feature::Versioned);
         }
 
-        let hints_arm = if self.opts.no_alignment_opts
-            || native_misaligned_only
-            || lo_const.is_none()
-        {
-            None
-        } else {
-            let mut arm = Vec::new();
-            self.emit_arm(f, &mut arm, iv, lo, lo_const, hi, body, &plan, true, collected)?;
-            Some(arm)
-        };
+        let hints_arm =
+            if self.opts.no_alignment_opts || native_misaligned_only || lo_const.is_none() {
+                None
+            } else {
+                let mut arm = Vec::new();
+                self.emit_arm(
+                    f, &mut arm, iv, lo, lo_const, hi, body, &plan, true, collected,
+                )?;
+                Some(arm)
+            };
         let nohints_arm = {
             let mut arm = Vec::new();
-            self.emit_arm(f, &mut arm, iv, lo, lo_const, hi, body, &plan, false, collected)?;
+            self.emit_arm(
+                f, &mut arm, iv, lo, lo_const, hi, body, &plan, false, collected,
+            )?;
             arm
         };
 
@@ -796,7 +819,10 @@ impl<'k> Vx<'k> {
         let lo_v = self.em.emit_expr(f, out, lo, ScalarTy::I64);
         let hi_v = self.em.emit_expr(f, out, hi, ScalarTy::I64);
         let vf = f.fresh_reg(BcTy::Scalar(ScalarTy::I64));
-        out.push(BcStmt::Def { dst: vf, op: Op::GetVf { ty: vf_ty, group } });
+        out.push(BcStmt::Def {
+            dst: vf,
+            op: Op::GetVf { ty: vf_ty, group },
+        });
         let t0 = f.fresh_reg(BcTy::Scalar(ScalarTy::I64));
         out.push(BcStmt::Def {
             dst: t0,
@@ -805,12 +831,22 @@ impl<'k> Vx<'k> {
         let t1 = f.fresh_reg(BcTy::Scalar(ScalarTy::I64));
         out.push(BcStmt::Def {
             dst: t1,
-            op: Op::SBin(BinOp::Div, ScalarTy::I64, Operand::Reg(t0), Operand::Reg(vf)),
+            op: Op::SBin(
+                BinOp::Div,
+                ScalarTy::I64,
+                Operand::Reg(t0),
+                Operand::Reg(vf),
+            ),
         });
         let t2 = f.fresh_reg(BcTy::Scalar(ScalarTy::I64));
         out.push(BcStmt::Def {
             dst: t2,
-            op: Op::SBin(BinOp::Mul, ScalarTy::I64, Operand::Reg(t1), Operand::Reg(vf)),
+            op: Op::SBin(
+                BinOp::Mul,
+                ScalarTy::I64,
+                Operand::Reg(t1),
+                Operand::Reg(vf),
+            ),
         });
         let vec_end = f.fresh_reg(BcTy::Scalar(ScalarTy::I64));
         out.push(BcStmt::Def {
@@ -820,12 +856,20 @@ impl<'k> Vx<'k> {
         let main_hi = f.fresh_reg(BcTy::Scalar(ScalarTy::I64));
         out.push(BcStmt::Def {
             dst: main_hi,
-            op: Op::LoopBound { vect: Operand::Reg(vec_end), scalar: lo_v, group },
+            op: Op::LoopBound {
+                vect: Operand::Reg(vec_end),
+                scalar: lo_v,
+                group,
+            },
         });
         let tail_lo = f.fresh_reg(BcTy::Scalar(ScalarTy::I64));
         out.push(BcStmt::Def {
             dst: tail_lo,
-            op: Op::LoopBound { vect: Operand::Reg(vec_end), scalar: lo_v, group },
+            op: Op::LoopBound {
+                vect: Operand::Reg(vec_end),
+                scalar: lo_v,
+                group,
+            },
         });
 
         let iv_reg = self.em.var_reg(f, iv);
@@ -896,11 +940,21 @@ impl<'k> Vx<'k> {
                 let cast = f.fresh_reg(BcTy::Scalar(s_ty));
                 out.push(BcStmt::Def {
                     dst: cast,
-                    op: Op::SCast { from: red.acc_ty, to: s_ty, arg: Operand::Reg(partial) },
+                    op: Op::SCast {
+                        from: red.acc_ty,
+                        to: s_ty,
+                        arg: Operand::Reg(partial),
+                    },
                 });
-                out.push(BcStmt::Def { dst: s_reg, op: Op::Copy(Operand::Reg(cast)) });
+                out.push(BcStmt::Def {
+                    dst: s_reg,
+                    op: Op::Copy(Operand::Reg(cast)),
+                });
             } else {
-                out.push(BcStmt::Def { dst: s_reg, op: Op::Copy(Operand::Reg(partial)) });
+                out.push(BcStmt::Def {
+                    dst: s_reg,
+                    op: Op::Copy(Operand::Reg(partial)),
+                });
             }
         }
 
@@ -927,9 +981,13 @@ impl<'k> Vx<'k> {
 /// Whether `e` is a widening multiply `(W)a * (W)b` of half-width
 /// integer operands.
 fn is_widening_mul(k: &Kernel, e: &Expr) -> bool {
-    if let Expr::Bin { op: BinOp::Mul, lhs, rhs } = e {
-        if let (Expr::Cast { ty: tl, arg: al }, Expr::Cast { ty: tr, arg: ar }) = (&**lhs, &**rhs)
-        {
+    if let Expr::Bin {
+        op: BinOp::Mul,
+        lhs,
+        rhs,
+    } = e
+    {
+        if let (Expr::Cast { ty: tl, arg: al }, Expr::Cast { ty: tr, arg: ar }) = (&**lhs, &**rhs) {
             let nl = infer_expr(k, al).map(|t| t.size());
             let nr = infer_expr(k, ar).map(|t| t.size());
             return tl == tr
@@ -1003,9 +1061,7 @@ fn reduction_of<'e>(k: &Kernel, local: VarId, value: &'e Expr) -> Option<(BinOp,
         if matches!(&**lhs, Expr::Var(v) if *v == local) && !rhs.uses_var(local) {
             return Some((*op, rhs));
         }
-        if op.commutative()
-            && matches!(&**rhs, Expr::Var(v) if *v == local)
-            && !lhs.uses_var(local)
+        if op.commutative() && matches!(&**rhs, Expr::Var(v) if *v == local) && !lhs.uses_var(local)
         {
             return Some((*op, lhs));
         }
@@ -1078,14 +1134,13 @@ impl<'a, 'k> ArmEmitter<'a, 'k> {
     fn region_invariant(&self, e: &Expr) -> bool {
         let mut inv = true;
         e.walk(&mut |x| match x {
-            Expr::Var(v) => {
-                if *v == self.iv
+            Expr::Var(v)
+                if (*v == self.iv
                     || self.inner_vars.contains(v)
                     || self.vec_locals.contains_key(v)
-                    || self.reductions.iter().any(|r| r.local == *v)
-                {
-                    inv = false;
-                }
+                    || self.reductions.iter().any(|r| r.local == *v)) =>
+            {
+                inv = false;
             }
             Expr::Load { .. } => inv = false, // conservative: loads stay in place
             _ => {}
@@ -1098,7 +1153,9 @@ impl<'a, 'k> ArmEmitter<'a, 'k> {
     /// Hint (mis, mod) for an access with the given affine subscript.
     /// `mod = 0` means unknown at offline time.
     fn hint_of(&self, affine: &Affine, esize: usize) -> (u32, u32) {
-        let Some(lo_const) = self.lo_const else { return (0, 0) };
+        let Some(lo_const) = self.lo_const else {
+            return (0, 0);
+        };
         if !self.hints {
             return (0, 0);
         }
@@ -1150,10 +1207,14 @@ impl<'a, 'k> ArmEmitter<'a, 'k> {
                 lhs: Box::new(self.subst_iv(lhs, to)),
                 rhs: Box::new(self.subst_iv(rhs, to)),
             },
-            Expr::Un { op, arg } => Expr::Un { op: *op, arg: Box::new(self.subst_iv(arg, to)) },
-            Expr::Cast { ty, arg } => {
-                Expr::Cast { ty: *ty, arg: Box::new(self.subst_iv(arg, to)) }
-            }
+            Expr::Un { op, arg } => Expr::Un {
+                op: *op,
+                arg: Box::new(self.subst_iv(arg, to)),
+            },
+            Expr::Cast { ty, arg } => Expr::Cast {
+                ty: *ty,
+                arg: Box::new(self.subst_iv(arg, to)),
+            },
         }
     }
 
@@ -1169,10 +1230,17 @@ impl<'a, 'k> ArmEmitter<'a, 'k> {
         let (mis, modulo) = self.hint_of(affine, elem.size());
         let (core, offset) = split_const_offset(idx);
         let idx_op = self.vx.em.emit_expr(self.f, cur, core, ScalarTy::I64);
-        let addr = Addr { base: ArraySym(array.0), index: idx_op, offset };
+        let addr = Addr {
+            base: ArraySym(array.0),
+            index: idx_op,
+            offset,
+        };
         let dst = self.fresh_vec(elem);
         if modulo != 0 && mis == 0 {
-            cur.push(BcStmt::Def { dst, op: Op::ALoad(elem, addr) });
+            cur.push(BcStmt::Def {
+                dst,
+                op: Op::ALoad(elem, addr),
+            });
             return Ok(dst);
         }
         self.feature(Feature::Realign);
@@ -1181,21 +1249,35 @@ impl<'a, 'k> ArmEmitter<'a, 'k> {
         // (no serial loop in scope): get_rt and the first aligned load are
         // computed before the loop; each iteration loads one new aligned
         // vector and recycles the previous one.
-        let direct = self.inner_vars.is_empty()
-            && self.lo_const.is_some()
-            && !self.vx.opts.no_realign_reuse;
+        let direct =
+            self.inner_vars.is_empty() && self.lo_const.is_some() && !self.vx.opts.no_realign_reuse;
         if direct {
             let at_lo = self.subst_iv(core, &Expr::Int(self.lo_const.unwrap()));
             let mut pre = std::mem::take(self.pre);
-            let idx0 = self.vx.em.emit_expr(self.f, &mut pre, &at_lo, ScalarTy::I64);
-            let addr0 = Addr { base: ArraySym(array.0), index: idx0, offset };
+            let idx0 = self
+                .vx
+                .em
+                .emit_expr(self.f, &mut pre, &at_lo, ScalarTy::I64);
+            let addr0 = Addr {
+                base: ArraySym(array.0),
+                index: idx0,
+                offset,
+            };
             let rt = self.f.fresh_reg(BcTy::RealignToken);
             pre.push(BcStmt::Def {
                 dst: rt,
-                op: Op::GetRt { ty: elem, addr: addr0, mis, modulo },
+                op: Op::GetRt {
+                    ty: elem,
+                    addr: addr0,
+                    mis,
+                    modulo,
+                },
             });
             let va = self.fresh_vec(elem);
-            pre.push(BcStmt::Def { dst: va, op: Op::AlignLoad(elem, addr0) });
+            pre.push(BcStmt::Def {
+                dst: va,
+                op: Op::AlignLoad(elem, addr0),
+            });
             *self.pre = pre;
             // In-loop: vb = align_load(addr + VF); vx = realign; va = vb.
             let idx_vf = self.fresh_scalar(ScalarTy::I64);
@@ -1203,9 +1285,16 @@ impl<'a, 'k> ArmEmitter<'a, 'k> {
                 dst: idx_vf,
                 op: Op::SBin(BinOp::Add, ScalarTy::I64, idx_op, Operand::Reg(self.vf)),
             });
-            let addr_vf = Addr { base: ArraySym(array.0), index: Operand::Reg(idx_vf), offset };
+            let addr_vf = Addr {
+                base: ArraySym(array.0),
+                index: Operand::Reg(idx_vf),
+                offset,
+            };
             let vb = self.fresh_vec(elem);
-            cur.push(BcStmt::Def { dst: vb, op: Op::AlignLoad(elem, addr_vf) });
+            cur.push(BcStmt::Def {
+                dst: vb,
+                op: Op::AlignLoad(elem, addr_vf),
+            });
             cur.push(BcStmt::Def {
                 dst,
                 op: Op::RealignLoad {
@@ -1218,24 +1307,42 @@ impl<'a, 'k> ArmEmitter<'a, 'k> {
                     modulo,
                 },
             });
-            cur.push(BcStmt::Def { dst: va, op: Op::Copy(Operand::Reg(vb)) });
+            cur.push(BcStmt::Def {
+                dst: va,
+                op: Op::Copy(Operand::Reg(vb)),
+            });
         } else {
             // Inside serial loops: per-access realignment.
             let rt = self.f.fresh_reg(BcTy::RealignToken);
             cur.push(BcStmt::Def {
                 dst: rt,
-                op: Op::GetRt { ty: elem, addr, mis, modulo },
+                op: Op::GetRt {
+                    ty: elem,
+                    addr,
+                    mis,
+                    modulo,
+                },
             });
             let va = self.fresh_vec(elem);
-            cur.push(BcStmt::Def { dst: va, op: Op::AlignLoad(elem, addr) });
+            cur.push(BcStmt::Def {
+                dst: va,
+                op: Op::AlignLoad(elem, addr),
+            });
             let idx_vf = self.fresh_scalar(ScalarTy::I64);
             cur.push(BcStmt::Def {
                 dst: idx_vf,
                 op: Op::SBin(BinOp::Add, ScalarTy::I64, idx_op, Operand::Reg(self.vf)),
             });
-            let addr_vf = Addr { base: ArraySym(array.0), index: Operand::Reg(idx_vf), offset };
+            let addr_vf = Addr {
+                base: ArraySym(array.0),
+                index: Operand::Reg(idx_vf),
+                offset,
+            };
             let vb = self.fresh_vec(elem);
-            cur.push(BcStmt::Def { dst: vb, op: Op::AlignLoad(elem, addr_vf) });
+            cur.push(BcStmt::Def {
+                dst: vb,
+                op: Op::AlignLoad(elem, addr_vf),
+            });
             cur.push(BcStmt::Def {
                 dst,
                 op: Op::RealignLoad {
@@ -1273,7 +1380,12 @@ impl<'a, 'k> ArmEmitter<'a, 'k> {
                 let kvf = self.fresh_scalar(ScalarTy::I64);
                 cur.push(BcStmt::Def {
                     dst: kvf,
-                    op: Op::SBin(BinOp::Mul, ScalarTy::I64, Operand::Reg(self.vf), Operand::ConstI(k)),
+                    op: Op::SBin(
+                        BinOp::Mul,
+                        ScalarTy::I64,
+                        Operand::Reg(self.vf),
+                        Operand::ConstI(k),
+                    ),
                 });
                 let sum = self.fresh_scalar(ScalarTy::I64);
                 cur.push(BcStmt::Def {
@@ -1282,7 +1394,11 @@ impl<'a, 'k> ArmEmitter<'a, 'k> {
                 });
                 Operand::Reg(sum)
             };
-            let addr = Addr { base: ArraySym(array.0), index: idx_k, offset };
+            let addr = Addr {
+                base: ArraySym(array.0),
+                index: idx_k,
+                offset,
+            };
             let v = self.fresh_vec(elem);
             cur.push(BcStmt::Def {
                 dst: v,
@@ -1301,17 +1417,30 @@ impl<'a, 'k> ArmEmitter<'a, 'k> {
         let dst = self.fresh_vec(elem);
         cur.push(BcStmt::Def {
             dst,
-            op: Op::Extract { ty: elem, stride: stride as u8, offset: 0, srcs },
+            op: Op::Extract {
+                ty: elem,
+                stride: stride as u8,
+                offset: 0,
+                srcs,
+            },
         });
         Ok(dst)
     }
 
     // -------------- expressions --------------
 
-    fn vec_expr(&mut self, cur: &mut Vec<BcStmt>, e: &Expr, ty: ScalarTy) -> Result<VecVal, String> {
+    fn vec_expr(
+        &mut self,
+        cur: &mut Vec<BcStmt>,
+        e: &Expr,
+        ty: ScalarTy,
+    ) -> Result<VecVal, String> {
         let factor = ty.size() / self.vf_ty.size();
         if !(factor == 1 || factor == 2) {
-            return Err(format!("element width {ty} not supported at VF type {}", self.vf_ty));
+            return Err(format!(
+                "element width {ty} not supported at VF type {}",
+                self.vf_ty
+            ));
         }
         // Hoisted splats for region-invariant values.
         if self.region_invariant(e) {
@@ -1322,9 +1451,16 @@ impl<'a, 'k> ArmEmitter<'a, 'k> {
             let mut pre = std::mem::take(self.pre);
             let opnd = self.vx.em.emit_expr(self.f, &mut pre, e, ty);
             let r = self.fresh_vec(ty);
-            pre.push(BcStmt::Def { dst: r, op: Op::InitUniform(ty, opnd) });
+            pre.push(BcStmt::Def {
+                dst: r,
+                op: Op::InitUniform(ty, opnd),
+            });
             *self.pre = pre;
-            let v = if factor == 1 { VecVal::Full(r) } else { VecVal::Halves(r, r) };
+            let v = if factor == 1 {
+                VecVal::Full(r)
+            } else {
+                VecVal::Halves(r, r)
+            };
             self.splat_cache.insert(key, v);
             return Ok(v);
         }
@@ -1335,11 +1471,18 @@ impl<'a, 'k> ArmEmitter<'a, 'k> {
                     if *t != ty {
                         return Err(format!("vector local {} used at wrong type", v.0));
                     }
-                    Ok(if factor == 1 { VecVal::Full(*r) } else { VecVal::Halves(*r, *r) })
+                    Ok(if factor == 1 {
+                        VecVal::Full(*r)
+                    } else {
+                        VecVal::Halves(*r, *r)
+                    })
                 } else if self.reductions.iter().any(|r| r.local == *v) {
                     Err("reduction accumulator used outside its reduction".into())
                 } else {
-                    Err(format!("unsupported variable use of {}", self.kernel().var(*v).name))
+                    Err(format!(
+                        "unsupported variable use of {}",
+                        self.kernel().var(*v).name
+                    ))
                 }
             }
             Expr::Load { array, index } => {
@@ -1355,16 +1498,25 @@ impl<'a, 'k> ArmEmitter<'a, 'k> {
                         // + splat in place.
                         let opnd = self.vx.em.emit_expr(self.f, cur, e, ty);
                         let r = self.fresh_vec(ty);
-                        cur.push(BcStmt::Def { dst: r, op: Op::InitUniform(ty, opnd) });
-                        Ok(if factor == 1 { VecVal::Full(r) } else { VecVal::Halves(r, r) })
+                        cur.push(BcStmt::Def {
+                            dst: r,
+                            op: Op::InitUniform(ty, opnd),
+                        });
+                        Ok(if factor == 1 {
+                            VecVal::Full(r)
+                        } else {
+                            VecVal::Halves(r, r)
+                        })
                     }
-                    Coeff::Const(1) if factor == 1 => {
-                        Ok(VecVal::Full(self.emit_vec_load(cur, *array, index, &affine)?))
-                    }
+                    Coeff::Const(1) if factor == 1 => Ok(VecVal::Full(
+                        self.emit_vec_load(cur, *array, index, &affine)?,
+                    )),
                     Coeff::Const(s) if (2..=4).contains(&s) && factor == 1 => {
                         Ok(VecVal::Full(self.emit_strided_load(cur, *array, index, s)?))
                     }
-                    c => Err(format!("unsupported load stride {c:?} at width factor {factor}")),
+                    c => Err(format!(
+                        "unsupported load stride {c:?} at width factor {factor}"
+                    )),
                 }
             }
             Expr::Bin { op, lhs, rhs } => {
@@ -1384,9 +1536,15 @@ impl<'a, 'k> ArmEmitter<'a, 'k> {
                             let va = self.vec_expr(cur, aa, na)?.full()?;
                             let vb = self.vec_expr(cur, ab, nb)?.full()?;
                             let lo = self.fresh_vec(ty);
-                            cur.push(BcStmt::Def { dst: lo, op: Op::WidenMultLo(na, va, vb) });
+                            cur.push(BcStmt::Def {
+                                dst: lo,
+                                op: Op::WidenMultLo(na, va, vb),
+                            });
                             let hi = self.fresh_vec(ty);
-                            cur.push(BcStmt::Def { dst: hi, op: Op::WidenMultHi(na, va, vb) });
+                            cur.push(BcStmt::Def {
+                                dst: hi,
+                                op: Op::WidenMultHi(na, va, vb),
+                            });
                             return Ok(VecVal::Halves(lo, hi));
                         }
                     }
@@ -1432,14 +1590,23 @@ impl<'a, 'k> ArmEmitter<'a, 'k> {
                 match (a, b) {
                     (VecVal::Full(x), VecVal::Full(y)) => {
                         let d = self.fresh_vec(ty);
-                        cur.push(BcStmt::Def { dst: d, op: Op::VBin(*op, ty, x, y) });
+                        cur.push(BcStmt::Def {
+                            dst: d,
+                            op: Op::VBin(*op, ty, x, y),
+                        });
                         Ok(VecVal::Full(d))
                     }
                     (VecVal::Halves(xl, xh), VecVal::Halves(yl, yh)) => {
                         let dl = self.fresh_vec(ty);
-                        cur.push(BcStmt::Def { dst: dl, op: Op::VBin(*op, ty, xl, yl) });
+                        cur.push(BcStmt::Def {
+                            dst: dl,
+                            op: Op::VBin(*op, ty, xl, yl),
+                        });
                         let dh = self.fresh_vec(ty);
-                        cur.push(BcStmt::Def { dst: dh, op: Op::VBin(*op, ty, xh, yh) });
+                        cur.push(BcStmt::Def {
+                            dst: dh,
+                            op: Op::VBin(*op, ty, xh, yh),
+                        });
                         Ok(VecVal::Halves(dl, dh))
                     }
                     _ => Err("mixed vector shapes in binary op".into()),
@@ -1450,14 +1617,23 @@ impl<'a, 'k> ArmEmitter<'a, 'k> {
                 Ok(match a {
                     VecVal::Full(x) => {
                         let d = self.fresh_vec(ty);
-                        cur.push(BcStmt::Def { dst: d, op: Op::VUn(*op, ty, x) });
+                        cur.push(BcStmt::Def {
+                            dst: d,
+                            op: Op::VUn(*op, ty, x),
+                        });
                         VecVal::Full(d)
                     }
                     VecVal::Halves(l, h) => {
                         let dl = self.fresh_vec(ty);
-                        cur.push(BcStmt::Def { dst: dl, op: Op::VUn(*op, ty, l) });
+                        cur.push(BcStmt::Def {
+                            dst: dl,
+                            op: Op::VUn(*op, ty, l),
+                        });
                         let dh = self.fresh_vec(ty);
-                        cur.push(BcStmt::Def { dst: dh, op: Op::VUn(*op, ty, h) });
+                        cur.push(BcStmt::Def {
+                            dst: dh,
+                            op: Op::VUn(*op, ty, h),
+                        });
                         VecVal::Halves(dl, dh)
                     }
                 })
@@ -1499,9 +1675,15 @@ impl<'a, 'k> ArmEmitter<'a, 'k> {
                     // Widening promotion: unpack halves.
                     let v = self.vec_expr(cur, arg, from)?.full()?;
                     let lo = self.fresh_vec(ty);
-                    cur.push(BcStmt::Def { dst: lo, op: Op::UnpackLo(from, v) });
+                    cur.push(BcStmt::Def {
+                        dst: lo,
+                        op: Op::UnpackLo(from, v),
+                    });
                     let hi = self.fresh_vec(ty);
-                    cur.push(BcStmt::Def { dst: hi, op: Op::UnpackHi(from, v) });
+                    cur.push(BcStmt::Def {
+                        dst: hi,
+                        op: Op::UnpackHi(from, v),
+                    });
                     return Ok(VecVal::Halves(lo, hi));
                 }
                 if from.size() == 2 * ty.size() && ty.size() == self.vf_ty.size() {
@@ -1511,7 +1693,10 @@ impl<'a, 'k> ArmEmitter<'a, 'k> {
                         return Err("narrowing cast of full-width value".into());
                     };
                     let d = self.fresh_vec(ty);
-                    cur.push(BcStmt::Def { dst: d, op: Op::Pack(from, l, h) });
+                    cur.push(BcStmt::Def {
+                        dst: d,
+                        op: Op::Pack(from, l, h),
+                    });
                     return Ok(VecVal::Full(d));
                 }
                 Err(format!("unsupported vector conversion {from} -> {ty}"))
@@ -1557,7 +1742,11 @@ impl<'a, 'k> ArmEmitter<'a, 'k> {
             let c = self.fresh_scalar(acc_ty);
             self.pre.push(BcStmt::Def {
                 dst: c,
-                op: Op::SCast { from: s_ty, to: acc_ty, arg: Operand::Reg(s_reg) },
+                op: Op::SCast {
+                    from: s_ty,
+                    to: acc_ty,
+                    arg: Operand::Reg(s_reg),
+                },
             });
             Operand::Reg(c)
         };
@@ -1573,16 +1762,21 @@ impl<'a, 'k> ArmEmitter<'a, 'k> {
             _ => init_val,
         };
         let vacc = self.fresh_vec(acc_ty);
-        self.pre.push(BcStmt::Def { dst: vacc, op: Op::InitReduc(acc_ty, init_val, neutral) });
-        self.reductions.push(ReductionState { local, op, vacc, acc_ty, kind });
+        self.pre.push(BcStmt::Def {
+            dst: vacc,
+            op: Op::InitReduc(acc_ty, init_val, neutral),
+        });
+        self.reductions.push(ReductionState {
+            local,
+            op,
+            vacc,
+            acc_ty,
+            kind,
+        });
         Ok(())
     }
 
-    fn emit_reduction_step(
-        &mut self,
-        cur: &mut Vec<BcStmt>,
-        idx: usize,
-    ) -> Result<(), String> {
+    fn emit_reduction_step(&mut self, cur: &mut Vec<BcStmt>, idx: usize) -> Result<(), String> {
         let (kind, op, vacc, acc_ty) = {
             let r = &self.reductions[idx];
             (r.kind.clone(), r.op, r.vacc, r.acc_ty)
@@ -1597,7 +1791,10 @@ impl<'a, 'k> ArmEmitter<'a, 'k> {
             ReductionKind::Dot { a, b, in_ty } => {
                 let va = self.vec_expr(cur, &a, in_ty)?.full()?;
                 let vb = self.vec_expr(cur, &b, in_ty)?.full()?;
-                cur.push(BcStmt::Def { dst: vacc, op: Op::DotProduct(in_ty, va, vb, vacc) });
+                cur.push(BcStmt::Def {
+                    dst: vacc,
+                    op: Op::DotProduct(in_ty, va, vb, vacc),
+                });
                 Ok(())
             }
             ReductionKind::Sad { a, b } => {
@@ -1621,19 +1818,36 @@ impl<'a, 'k> ArmEmitter<'a, 'k> {
                     let pa = self.fresh_vec(ScalarTy::U16);
                     cur.push(BcStmt::Def {
                         dst: pa,
-                        op: if hi { Op::UnpackHi(ScalarTy::U8, va) } else { Op::UnpackLo(ScalarTy::U8, va) },
+                        op: if hi {
+                            Op::UnpackHi(ScalarTy::U8, va)
+                        } else {
+                            Op::UnpackLo(ScalarTy::U8, va)
+                        },
                     });
                     let pb = self.fresh_vec(ScalarTy::U16);
                     cur.push(BcStmt::Def {
                         dst: pb,
-                        op: if hi { Op::UnpackHi(ScalarTy::U8, vb) } else { Op::UnpackLo(ScalarTy::U8, vb) },
+                        op: if hi {
+                            Op::UnpackHi(ScalarTy::U8, vb)
+                        } else {
+                            Op::UnpackLo(ScalarTy::U8, vb)
+                        },
                     });
                     let mx = self.fresh_vec(ScalarTy::U16);
-                    cur.push(BcStmt::Def { dst: mx, op: Op::VBin(BinOp::Max, ScalarTy::U16, pa, pb) });
+                    cur.push(BcStmt::Def {
+                        dst: mx,
+                        op: Op::VBin(BinOp::Max, ScalarTy::U16, pa, pb),
+                    });
                     let mn = self.fresh_vec(ScalarTy::U16);
-                    cur.push(BcStmt::Def { dst: mn, op: Op::VBin(BinOp::Min, ScalarTy::U16, pa, pb) });
+                    cur.push(BcStmt::Def {
+                        dst: mn,
+                        op: Op::VBin(BinOp::Min, ScalarTy::U16, pa, pb),
+                    });
                     let d = self.fresh_vec(ScalarTy::U16);
-                    cur.push(BcStmt::Def { dst: d, op: Op::VBin(BinOp::Sub, ScalarTy::U16, mx, mn) });
+                    cur.push(BcStmt::Def {
+                        dst: d,
+                        op: Op::VBin(BinOp::Sub, ScalarTy::U16, mx, mn),
+                    });
                     cur.push(BcStmt::Def {
                         dst: vacc,
                         op: Op::DotProduct(ScalarTy::U16, d, ones, vacc),
@@ -1664,7 +1878,12 @@ impl<'a, 'k> ArmEmitter<'a, 'k> {
                             if consumed[j] {
                                 return false;
                             }
-                            if let Stmt::Store { array: a2, index: idx2, .. } = &body[j] {
+                            if let Stmt::Store {
+                                array: a2,
+                                index: idx2,
+                                ..
+                            } = &body[j]
+                            {
                                 if a2 != array {
                                     return false;
                                 }
@@ -1709,7 +1928,10 @@ impl<'a, 'k> ArmEmitter<'a, 'k> {
                         };
                         let (_, e) = reduction_of(self.kernel(), *var, value).unwrap();
                         let ev = self.vec_expr(cur, e, acc_ty)?.full()?;
-                        cur.push(BcStmt::Def { dst: vacc, op: Op::VBin(op, acc_ty, vacc, ev) });
+                        cur.push(BcStmt::Def {
+                            dst: vacc,
+                            op: Op::VBin(op, acc_ty, vacc, ev),
+                        });
                     } else {
                         self.emit_reduction_step(cur, idx)?;
                     }
@@ -1729,11 +1951,18 @@ impl<'a, 'k> ArmEmitter<'a, 'k> {
                             r
                         }
                     };
-                    cur.push(BcStmt::Def { dst: r, op: Op::Copy(Operand::Reg(v)) });
+                    cur.push(BcStmt::Def {
+                        dst: r,
+                        op: Op::Copy(Operand::Reg(v)),
+                    });
                     Ok(())
                 }
             }
-            Stmt::Store { array, index, value } => {
+            Stmt::Store {
+                array,
+                index,
+                value,
+            } => {
                 let elem = self.kernel().array(*array).elem;
                 let affine = analyze(self.kernel(), index)
                     .ok_or_else(|| "non-affine store subscript".to_owned())?;
@@ -1746,14 +1975,24 @@ impl<'a, 'k> ArmEmitter<'a, 'k> {
                 let idx_op = self.vx.em.emit_expr(self.f, cur, core, ScalarTy::I64);
                 cur.push(BcStmt::VStore {
                     ty: elem,
-                    addr: Addr { base: ArraySym(array.0), index: idx_op, offset },
+                    addr: Addr {
+                        base: ArraySym(array.0),
+                        index: idx_op,
+                        offset,
+                    },
                     src: v,
                     mis,
                     modulo,
                 });
                 Ok(())
             }
-            Stmt::For { var, lo, hi, step, body } => {
+            Stmt::For {
+                var,
+                lo,
+                hi,
+                step,
+                body,
+            } => {
                 // Serial loop inside the vectorized one (outer-loop mode).
                 let lo_v = self.vx.em.emit_expr(self.f, cur, lo, ScalarTy::I64);
                 let hi_v = self.vx.em.emit_expr(self.f, cur, hi, ScalarTy::I64);
@@ -1787,7 +2026,14 @@ impl<'a, 'k> ArmEmitter<'a, 'k> {
         s1: &Stmt,
     ) -> Result<(), String> {
         self.feature(Feature::Strided);
-        let (Stmt::Store { array, index, value: v0 }, Stmt::Store { value: v1, .. }) = (s0, s1)
+        let (
+            Stmt::Store {
+                array,
+                index,
+                value: v0,
+            },
+            Stmt::Store { value: v1, .. },
+        ) = (s0, s1)
         else {
             unreachable!()
         };
@@ -1795,16 +2041,26 @@ impl<'a, 'k> ArmEmitter<'a, 'k> {
         let a = self.vec_expr(cur, v0, elem)?.full()?;
         let b = self.vec_expr(cur, v1, elem)?.full()?;
         let il = self.fresh_vec(elem);
-        cur.push(BcStmt::Def { dst: il, op: Op::InterleaveLo(elem, a, b) });
+        cur.push(BcStmt::Def {
+            dst: il,
+            op: Op::InterleaveLo(elem, a, b),
+        });
         let ih = self.fresh_vec(elem);
-        cur.push(BcStmt::Def { dst: ih, op: Op::InterleaveHi(elem, a, b) });
+        cur.push(BcStmt::Def {
+            dst: ih,
+            op: Op::InterleaveHi(elem, a, b),
+        });
         let affine = analyze(self.kernel(), index).unwrap();
         let (mis, modulo) = self.hint_of(&affine, elem.size());
         let (core, offset) = split_const_offset(index);
         let idx_op = self.vx.em.emit_expr(self.f, cur, core, ScalarTy::I64);
         cur.push(BcStmt::VStore {
             ty: elem,
-            addr: Addr { base: ArraySym(array.0), index: idx_op, offset },
+            addr: Addr {
+                base: ArraySym(array.0),
+                index: idx_op,
+                offset,
+            },
             src: il,
             mis,
             modulo,
@@ -1818,7 +2074,11 @@ impl<'a, 'k> ArmEmitter<'a, 'k> {
         let mis2 = if modulo == 0 { 0 } else { mis }; // +VS keeps the class
         cur.push(BcStmt::VStore {
             ty: elem,
-            addr: Addr { base: ArraySym(array.0), index: Operand::Reg(idx2), offset },
+            addr: Addr {
+                base: ArraySym(array.0),
+                index: Operand::Reg(idx2),
+                offset,
+            },
             src: ih,
             mis: mis2,
             modulo,
@@ -1839,7 +2099,12 @@ fn dot_pattern(
     if s_ty != w || !vf_ty.is_int() {
         return None;
     }
-    if let Expr::Bin { op: BinOp::Mul, lhs, rhs } = e {
+    if let Expr::Bin {
+        op: BinOp::Mul,
+        lhs,
+        rhs,
+    } = e
+    {
         if let (Expr::Cast { ty: ta, arg: a }, Expr::Cast { ty: tb, arg: b }) = (&**lhs, &**rhs) {
             let na = infer_expr(k, a)?;
             let nb = infer_expr(k, b)?;
@@ -1856,9 +2121,28 @@ fn sad_pattern(k: &Kernel, e: &Expr, s_ty: ScalarTy, vf_ty: ScalarTy) -> Option<
     if s_ty != ScalarTy::I32 || vf_ty != ScalarTy::U8 {
         return None;
     }
-    let Expr::Cast { ty: ScalarTy::I32, arg } = e else { return None };
-    let Expr::Un { op: UnOp::Abs, arg: diff } = &**arg else { return None };
-    let Expr::Bin { op: BinOp::Sub, lhs, rhs } = &**diff else { return None };
+    let Expr::Cast {
+        ty: ScalarTy::I32,
+        arg,
+    } = e
+    else {
+        return None;
+    };
+    let Expr::Un {
+        op: UnOp::Abs,
+        arg: diff,
+    } = &**arg
+    else {
+        return None;
+    };
+    let Expr::Bin {
+        op: BinOp::Sub,
+        lhs,
+        rhs,
+    } = &**diff
+    else {
+        return None;
+    };
     let (Expr::Cast { ty: ta, arg: a }, Expr::Cast { ty: tb, arg: b }) = (&**lhs, &**rhs) else {
         return None;
     };

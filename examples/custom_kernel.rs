@@ -9,7 +9,7 @@
 //! cargo run --release --example custom_kernel
 //! ```
 
-use vapor_core::{compile, reference, run, AllocPolicy, CompileConfig, Flow};
+use vapor_core::{reference, run, AllocPolicy, CompileConfig, Engine, Flow};
 use vapor_ir::{ArrayData, BinOp, Bindings, Expr, KernelBuilder, ScalarTy};
 use vapor_targets::{altivec, sse};
 use vapor_vectorizer::{vectorize, VectorizeOptions};
@@ -61,8 +61,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .set_array("y", ArrayData::zeroed(ScalarTy::F32, n_elems));
 
     let oracle = reference(&kernel, &env)?;
+    let engine = Engine::new();
     for target in [sse(), altivec()] {
-        let c = compile(&kernel, Flow::SplitVectorOpt, &target, &CompileConfig::default())?;
+        let c = engine.compile(
+            &kernel,
+            Flow::SplitVectorOpt,
+            &target,
+            &CompileConfig::default(),
+        )?;
         let r = run(&target, &c, &env, AllocPolicy::Aligned)?;
         vapor_core::arrays_match(oracle.array("y").unwrap(), r.out.array("y").unwrap(), 1e-5)
             .map_err(vapor_core::PipelineError)?;

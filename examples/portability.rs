@@ -10,7 +10,7 @@
 //! cargo run --release --example portability
 //! ```
 
-use vapor_core::{compile, reference, run, AllocPolicy, CompileConfig, Flow};
+use vapor_core::{reference, run, AllocPolicy, CompileConfig, Engine, Flow};
 use vapor_ir::{ArrayData, Bindings, ScalarTy, Value};
 use vapor_targets::{altivec, neon64, scalar_only, sse};
 
@@ -45,8 +45,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         v => panic!("unexpected {v:?}"),
     };
 
+    let engine = Engine::new();
     for target in [sse(), altivec(), neon64(), scalar_only()] {
-        let c = compile(&kernel, Flow::SplitVectorOpt, &target, &CompileConfig::default())?;
+        let c = engine.compile(
+            &kernel,
+            Flow::SplitVectorOpt,
+            &target,
+            &CompileConfig::default(),
+        )?;
         let r = run(&target, &c, &env, AllocPolicy::Aligned)?;
         let got = match r.out.array("out").unwrap().get(0) {
             Value::Float(v) => v,
@@ -61,7 +67,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         } else if uses(&|i| {
             matches!(
                 i,
-                vapor_targets::MInst::LoadV { align: vapor_targets::MemAlign::Unaligned, .. }
+                vapor_targets::MInst::LoadV {
+                    align: vapor_targets::MemAlign::Unaligned,
+                    ..
+                }
             )
         }) {
             "implicit realignment (movdqu-class misaligned loads)"

@@ -9,7 +9,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use vapor_core::{arrays_match, compile, reference, run, AllocPolicy, CompileConfig, Flow};
+use vapor_core::{arrays_match, reference, run, AllocPolicy, CompileConfig, Engine, Flow};
 use vapor_ir::{ArrayData, Bindings, ScalarTy};
 use vapor_targets::{altivec, avx, neon64, scalar_only, sse};
 
@@ -32,12 +32,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The oracle: direct interpretation of the kernel's C semantics.
     let oracle = reference(&kernel, &env)?;
 
+    // One engine for the whole process: each (flow, target) pair below
+    // is compiled exactly once and cached.
+    let engine = Engine::new();
+
     println!("saxpy, n = {n}: one portable bytecode, every target\n");
-    println!("{:<22} {:>14} {:>14} {:>9}", "target", "vector cycles", "scalar cycles", "speedup");
+    println!(
+        "{:<22} {:>14} {:>14} {:>9}",
+        "target", "vector cycles", "scalar cycles", "speedup"
+    );
     for target in [sse(), altivec(), neon64(), avx(), scalar_only()] {
         let cfg = CompileConfig::default();
-        let vector = compile(&kernel, Flow::SplitVectorOpt, &target, &cfg)?;
-        let scalar = compile(&kernel, Flow::SplitScalarOpt, &target, &cfg)?;
+        let vector = engine.compile(&kernel, Flow::SplitVectorOpt, &target, &cfg)?;
+        let scalar = engine.compile(&kernel, Flow::SplitScalarOpt, &target, &cfg)?;
         let rv = run(&target, &vector, &env, AllocPolicy::Aligned)?;
         let rs = run(&target, &scalar, &env, AllocPolicy::Aligned)?;
 
@@ -53,6 +60,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             rs.stats.cycles as f64 / rv.stats.cycles as f64
         );
     }
+    let s = engine.stats();
     println!("\nall targets match the reference interpreter ✓");
+    println!("engine cache: {} compilations, {} hits", s.entries, s.hits);
     Ok(())
 }

@@ -5,7 +5,7 @@
 //! cargo run --release --example suite_tour
 //! ```
 
-use vapor_core::{compile, run, AllocPolicy, CompileConfig, Flow};
+use vapor_core::{run, AllocPolicy, CompileConfig, CompileJob, Engine, Flow};
 use vapor_kernels::{suite, Scale};
 use vapor_targets::sse;
 use vapor_vectorizer::{vectorize, VectorizeOptions};
@@ -13,6 +13,20 @@ use vapor_vectorizer::{vectorize, VectorizeOptions};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let target = sse();
     let cfg = CompileConfig::default();
+    let engine = Engine::new();
+
+    // Pre-compile the whole tour as one parallel batch; the loop below
+    // then runs on cache hits alone.
+    let specs = suite();
+    let kernels: Vec<_> = specs.iter().map(|s| s.kernel()).collect();
+    let mut jobs = Vec::new();
+    for k in &kernels {
+        for flow in [Flow::SplitVectorOpt, Flow::SplitScalarOpt] {
+            jobs.push(CompileJob::new(k, flow, &target));
+        }
+    }
+    engine.compile_batch(&jobs);
+
     println!(
         "{:<18} {:<11} {:>8} {:<34}",
         "kernel", "vectorized", "speedup", "features"
@@ -33,8 +47,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
 
         let env = spec.env(Scale::Test);
-        let vec = compile(&kernel, Flow::SplitVectorOpt, &target, &cfg)?;
-        let sca = compile(&kernel, Flow::SplitScalarOpt, &target, &cfg)?;
+        let vec = engine.compile(&kernel, Flow::SplitVectorOpt, &target, &cfg)?;
+        let sca = engine.compile(&kernel, Flow::SplitScalarOpt, &target, &cfg)?;
         let cv = run(&target, &vec, &env, AllocPolicy::Aligned)?.stats.cycles;
         let cs = run(&target, &sca, &env, AllocPolicy::Aligned)?.stats.cycles;
 
@@ -46,5 +60,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             features.join(",")
         );
     }
+    let s = engine.stats();
+    println!(
+        "\nengine: {} unique compilations, {} cache hits ({} batch workers warmed the cache)",
+        s.misses,
+        s.hits,
+        std::thread::available_parallelism()
+            .map_or(1, |n| n.get())
+            .min(jobs.len())
+    );
     Ok(())
 }

@@ -11,12 +11,18 @@ fn every_suite_artifact_roundtrips() {
     for spec in suite() {
         let kernel = spec.kernel();
         for (what, func) in [
-            ("split", vectorize(&kernel, &VectorizeOptions::default()).func),
+            (
+                "split",
+                vectorize(&kernel, &VectorizeOptions::default()).func,
+            ),
             (
                 "split-noalign",
                 vectorize(
                     &kernel,
-                    &VectorizeOptions { no_alignment_opts: true, ..Default::default() },
+                    &VectorizeOptions {
+                        no_alignment_opts: true,
+                        ..Default::default()
+                    },
                 )
                 .func,
             ),
@@ -25,8 +31,8 @@ fn every_suite_artifact_roundtrips() {
             verify_function(&func).unwrap_or_else(|e| panic!("{} ({what}): {e}", spec.name));
             let module = BcModule::single(func);
             let bytes = encode_module(&module);
-            let back = decode_module(&bytes)
-                .unwrap_or_else(|e| panic!("{} ({what}): {e}", spec.name));
+            let back =
+                decode_module(&bytes).unwrap_or_else(|e| panic!("{} ({what}): {e}", spec.name));
             assert_eq!(module, back, "{} ({what}): lossy round-trip", spec.name);
             // And the decoded form still verifies.
             verify_function(&back.funcs[0]).unwrap();
@@ -42,6 +48,9 @@ fn truncated_suite_bytecode_never_decodes() {
     let bytes = encode_module(&BcModule::single(func));
     let step = (bytes.len() / 97).max(1);
     for cut in (0..bytes.len()).step_by(step) {
-        assert!(decode_module(&bytes[..cut]).is_err(), "cut at {cut} accepted");
+        assert!(
+            decode_module(&bytes[..cut]).is_err(),
+            "cut at {cut} accepted"
+        );
     }
 }

@@ -2,7 +2,7 @@
 //! through every flow, executed on every target, must match the
 //! reference interpreter.
 
-use vapor_core::{arrays_match, compile, reference, run, AllocPolicy, CompileConfig, Flow};
+use vapor_core::{arrays_match, reference, run, AllocPolicy, CompileConfig, Engine, Flow};
 use vapor_kernels::{suite, Scale};
 use vapor_targets::{altivec, avx, neon64, scalar_only, sse, TargetDesc};
 
@@ -12,6 +12,7 @@ fn targets() -> Vec<TargetDesc> {
 
 #[test]
 fn every_kernel_every_flow_every_target_matches_oracle() {
+    let engine = Engine::new();
     let cfg = CompileConfig::default();
     for spec in suite() {
         let kernel = spec.kernel();
@@ -20,13 +21,16 @@ fn every_kernel_every_flow_every_target_matches_oracle() {
             .unwrap_or_else(|e| panic!("{}: oracle failed: {e}", spec.name));
         for target in targets() {
             for flow in Flow::ALL {
-                let compiled = compile(&kernel, flow, &target, &cfg).unwrap_or_else(|e| {
-                    panic!("{} [{flow} on {}]: compile failed: {e}", spec.name, target.name)
-                });
-                let result = run(&target, &compiled, &env, AllocPolicy::Aligned)
+                let compiled = engine
+                    .compile(&kernel, flow, &target, &cfg)
                     .unwrap_or_else(|e| {
-                        panic!("{} [{flow} on {}]: {e}", spec.name, target.name)
+                        panic!(
+                            "{} [{flow} on {}]: compile failed: {e}",
+                            spec.name, target.name
+                        )
                     });
+                let result = run(&target, &compiled, &env, AllocPolicy::Aligned)
+                    .unwrap_or_else(|e| panic!("{} [{flow} on {}]: {e}", spec.name, target.name));
                 for (name, expected) in oracle.arrays() {
                     let actual = result.out.array(name).unwrap();
                     arrays_match(expected, actual, 2e-4).unwrap_or_else(|e| {
@@ -45,6 +49,7 @@ fn every_kernel_every_flow_every_target_matches_oracle() {
 fn misaligned_arrays_still_execute_correctly() {
     // The fall-back (no-hints) versions must be correct when the runtime
     // cannot align arrays (split flows; the runtime check then fails).
+    let engine = Engine::new();
     let cfg = CompileConfig::default();
     for spec in suite().into_iter().filter(|s| s.expect_vectorized) {
         let kernel = spec.kernel();
@@ -52,13 +57,13 @@ fn misaligned_arrays_still_execute_correctly() {
         let oracle = reference(&kernel, &env).unwrap();
         for target in [sse(), altivec(), neon64()] {
             let flow = Flow::SplitVectorOpt;
-            let compiled = compile(&kernel, flow, &target, &cfg).unwrap();
+            let compiled = engine.compile(&kernel, flow, &target, &cfg).unwrap();
             let result = run(&target, &compiled, &env, AllocPolicy::Misaligned(4))
                 .unwrap_or_else(|e| panic!("{} on {}: {e}", spec.name, target.name));
             for (name, expected) in oracle.arrays() {
-                arrays_match(expected, result.out.array(name).unwrap(), 2e-4).unwrap_or_else(
-                    |e| panic!("{} on {} (misaligned): {name}: {e}", spec.name, target.name),
-                );
+                arrays_match(expected, result.out.array(name).unwrap(), 2e-4).unwrap_or_else(|e| {
+                    panic!("{} on {} (misaligned): {name}: {e}", spec.name, target.name)
+                });
             }
         }
     }

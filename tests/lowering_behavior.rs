@@ -1,17 +1,28 @@
 //! Pin the online stage's §III-C translation strategies: the *shape* of
 //! the machine code each target gets from the same portable bytecode.
 
-use vapor_core::{compile, CompileConfig, Flow};
+use std::sync::OnceLock;
+
+use vapor_core::{CompileConfig, Engine, Flow};
 use vapor_kernels::find;
 use vapor_targets::{altivec, neon64, scalar_only, sse, MInst, MemAlign};
 
+/// One shared engine: several tests inspect the same (kernel, flow,
+/// target) tuples, so they share compilations.
+fn engine() -> &'static Engine {
+    static ENGINE: OnceLock<Engine> = OnceLock::new();
+    ENGINE.get_or_init(Engine::new)
+}
+
 fn code_for(kernel_name: &str, flow: Flow, target: &vapor_targets::TargetDesc) -> Vec<MInst> {
     let spec = find(kernel_name).unwrap();
-    compile(&spec.kernel(), flow, target, &CompileConfig::default())
+    engine()
+        .compile(&spec.kernel(), flow, target, &CompileConfig::default())
         .unwrap()
         .jit
         .code
         .insts
+        .clone()
 }
 
 fn sum_kernel() -> vapor_ir::Kernel {
@@ -30,16 +41,37 @@ fn sum_kernel() -> vapor_ir::Kernel {
 /// and floor-aligned loads — Figure 2d.
 #[test]
 fn altivec_uses_explicit_realignment() {
-    let c = compile(&sum_kernel(), Flow::SplitVectorOpt, &altivec(), &CompileConfig::default())
+    let c = engine()
+        .compile(
+            &sum_kernel(),
+            Flow::SplitVectorOpt,
+            &altivec(),
+            &CompileConfig::default(),
+        )
         .unwrap();
     let insts = &c.jit.code.insts;
-    assert!(insts.iter().any(|i| matches!(i, MInst::VPerm { .. })), "no vperm");
-    assert!(insts.iter().any(|i| matches!(i, MInst::VPermCtrl { .. })), "no lvsr");
-    assert!(insts.iter().any(|i| matches!(i, MInst::LoadVFloor { .. })), "no floor loads");
+    assert!(
+        insts.iter().any(|i| matches!(i, MInst::VPerm { .. })),
+        "no vperm"
+    );
+    assert!(
+        insts.iter().any(|i| matches!(i, MInst::VPermCtrl { .. })),
+        "no lvsr"
+    );
+    assert!(
+        insts.iter().any(|i| matches!(i, MInst::LoadVFloor { .. })),
+        "no floor loads"
+    );
     // Aligned-only target: no misaligned vector access anywhere.
     assert!(!insts.iter().any(|i| matches!(
         i,
-        MInst::LoadV { align: MemAlign::Unaligned, .. } | MInst::StoreV { align: MemAlign::Unaligned, .. }
+        MInst::LoadV {
+            align: MemAlign::Unaligned,
+            ..
+        } | MInst::StoreV {
+            align: MemAlign::Unaligned,
+            ..
+        }
     )));
 }
 
@@ -47,14 +79,29 @@ fn altivec_uses_explicit_realignment() {
 /// generates *no code* for `get_rt`/`align_load` — Figure 2c.
 #[test]
 fn sse_uses_implicit_realignment_and_drops_realign_idioms() {
-    let c =
-        compile(&sum_kernel(), Flow::SplitVectorOpt, &sse(), &CompileConfig::default()).unwrap();
+    let c = engine()
+        .compile(
+            &sum_kernel(),
+            Flow::SplitVectorOpt,
+            &sse(),
+            &CompileConfig::default(),
+        )
+        .unwrap();
     let insts = &c.jit.code.insts;
     assert!(
-        insts.iter().any(|i| matches!(i, MInst::LoadV { align: MemAlign::Unaligned, .. })),
+        insts.iter().any(|i| matches!(
+            i,
+            MInst::LoadV {
+                align: MemAlign::Unaligned,
+                ..
+            }
+        )),
         "no movdqu-class load"
     );
-    assert!(!insts.iter().any(|i| matches!(i, MInst::VPerm { .. })), "vperm on SSE");
+    assert!(
+        !insts.iter().any(|i| matches!(i, MInst::VPerm { .. })),
+        "vperm on SSE"
+    );
     assert!(
         !insts.iter().any(|i| matches!(i, MInst::LoadVFloor { .. })),
         "align_load should expand to no code on SSE"
@@ -69,7 +116,13 @@ fn sse_uses_implicit_realignment_and_drops_realign_idioms() {
 /// no vector instructions, no helper calls.
 #[test]
 fn scalar_target_gets_pure_scalar_code() {
-    for name in ["dscal_fp", "saxpy_fp", "dissolve_fp", "sfir_s16", "dissolve_s8"] {
+    for name in [
+        "dscal_fp",
+        "saxpy_fp",
+        "dissolve_fp",
+        "sfir_s16",
+        "dissolve_s8",
+    ] {
         let insts = code_for(name, Flow::SplitVectorOpt, &scalar_only());
         let vectorish = insts.iter().any(|i| {
             matches!(
@@ -83,7 +136,10 @@ fn scalar_target_gets_pure_scalar_code() {
                     | MInst::Splat { .. }
             )
         });
-        assert!(!vectorish, "{name}: vector instructions on the scalar-only target");
+        assert!(
+            !vectorish,
+            "{name}: vector instructions on the scalar-only target"
+        );
     }
 }
 
@@ -93,11 +149,19 @@ fn scalar_target_gets_pure_scalar_code() {
 #[test]
 fn naive_pipeline_spills_and_uses_x87() {
     let naive = code_for("saxpy_fp", Flow::SplitScalarNaive, &sse());
-    assert!(naive.iter().any(|i| matches!(i, MInst::SpillLd { .. })), "no reloads");
-    assert!(naive.iter().any(|i| matches!(i, MInst::FpuBin { .. })), "no x87 ops");
+    assert!(
+        naive.iter().any(|i| matches!(i, MInst::SpillLd { .. })),
+        "no reloads"
+    );
+    assert!(
+        naive.iter().any(|i| matches!(i, MInst::FpuBin { .. })),
+        "no x87 ops"
+    );
 
     let opt = code_for("saxpy_fp", Flow::SplitScalarOpt, &sse());
-    assert!(!opt.iter().any(|i| matches!(i, MInst::SpillLd { .. } | MInst::FpuBin { .. })));
+    assert!(!opt
+        .iter()
+        .any(|i| matches!(i, MInst::SpillLd { .. } | MInst::FpuBin { .. })));
 
     // x87 is an x86 artifact: the naive pipeline on AltiVec has spills
     // but no FPU-stack traffic.
@@ -118,7 +182,10 @@ fn interp_uses_interleave_stores() {
 #[test]
 fn widen_mult_helper_only_on_neon() {
     let neon = code_for("dissolve_s8", Flow::SplitVectorOpt, &neon64());
-    assert!(neon.iter().any(|i| matches!(i, MInst::VHelper { .. })), "NEON should call helpers");
+    assert!(
+        neon.iter().any(|i| matches!(i, MInst::VHelper { .. })),
+        "NEON should call helpers"
+    );
     let av = code_for("dissolve_s8", Flow::SplitVectorOpt, &altivec());
     assert!(av.iter().any(|i| matches!(i, MInst::VWidenMul { .. })));
     assert!(!av.iter().any(|i| matches!(i, MInst::VHelper { .. })));
@@ -144,11 +211,27 @@ fn sfir_uses_dot_product_instruction() {
 fn guard_resolution_matrix() {
     let spec = find("saxpy_fp").unwrap();
     let cfg = CompileConfig::default();
-    let opt = compile(&spec.kernel(), Flow::SplitVectorOpt, &sse(), &cfg).unwrap();
-    assert!(opt.jit.stats.guards_runtime >= 1, "opt: {:?}", opt.jit.stats);
-    let naive = compile(&spec.kernel(), Flow::SplitVectorNaive, &sse(), &cfg).unwrap();
-    assert!(naive.jit.stats.guards_folded >= 1, "naive: {:?}", naive.jit.stats);
-    assert_eq!(naive.jit.stats.guards_runtime, 0, "naive: {:?}", naive.jit.stats);
+    let opt = engine()
+        .compile(&spec.kernel(), Flow::SplitVectorOpt, &sse(), &cfg)
+        .unwrap();
+    assert!(
+        opt.jit.stats.guards_runtime >= 1,
+        "opt: {:?}",
+        opt.jit.stats
+    );
+    let naive = engine()
+        .compile(&spec.kernel(), Flow::SplitVectorNaive, &sse(), &cfg)
+        .unwrap();
+    assert!(
+        naive.jit.stats.guards_folded >= 1,
+        "naive: {:?}",
+        naive.jit.stats
+    );
+    assert_eq!(
+        naive.jit.stats.guards_runtime, 0,
+        "naive: {:?}",
+        naive.jit.stats
+    );
 }
 
 /// AltiVec has no 64-bit elements: the `type_supported(double)` guard
@@ -156,7 +239,9 @@ fn guard_resolution_matrix() {
 #[test]
 fn doubles_fold_to_scalar_arm_on_altivec() {
     let insts = code_for("saxpy_dp", Flow::SplitVectorOpt, &altivec());
-    assert!(!insts.iter().any(|i| matches!(i, MInst::LoadV { .. } | MInst::VBin { .. })));
+    assert!(!insts
+        .iter()
+        .any(|i| matches!(i, MInst::LoadV { .. } | MInst::VBin { .. })));
     let sse_insts = code_for("saxpy_dp", Flow::SplitVectorOpt, &sse());
     assert!(sse_insts.iter().any(|i| matches!(i, MInst::VBin { .. })));
 }

@@ -1,17 +1,31 @@
 //! Targeted assertions of the paper's qualitative claims — the "shape"
 //! of the evaluation that must survive the simulation substitution.
 
-use vapor_core::{compile, run, AllocPolicy, CompileConfig, Flow};
+use std::sync::OnceLock;
+
+use vapor_core::{run, AllocPolicy, CompileConfig, Engine, Flow};
 use vapor_jit::Pipeline;
 use vapor_kernels::{find, Scale};
 use vapor_targets::{altivec, neon64, scalar_only, sse};
+
+/// One shared engine across every claim test: kernels recur between
+/// claims, so later tests run on cache hits.
+fn engine() -> &'static Engine {
+    static ENGINE: OnceLock<Engine> = OnceLock::new();
+    ENGINE.get_or_init(Engine::new)
+}
 
 fn full_cycles(name: &str, flow: Flow, target: &vapor_targets::TargetDesc) -> u64 {
     let spec = find(name).unwrap();
     let kernel = spec.kernel();
     let env = spec.env(Scale::Full);
-    let c = compile(&kernel, flow, target, &CompileConfig::default()).unwrap();
-    run(target, &c, &env, AllocPolicy::Aligned).unwrap().stats.cycles
+    let c = engine()
+        .compile(&kernel, flow, target, &CompileConfig::default())
+        .unwrap();
+    run(target, &c, &env, AllocPolicy::Aligned)
+        .unwrap()
+        .stats
+        .cycles
 }
 
 /// §V-B: "In mix-streams, the split-vectorized version is particularly
@@ -22,7 +36,10 @@ fn mix_streams_split_beats_native_on_sse() {
     let split = full_cycles("mix_streams_s16", Flow::SplitVectorOpt, &sse());
     let native = full_cycles("mix_streams_s16", Flow::NativeVector, &sse());
     let ratio = split as f64 / native as f64;
-    assert!(ratio < 0.9, "expected split << native via alignment versioning, got {ratio:.2}");
+    assert!(
+        ratio < 0.9,
+        "expected split << native via alignment versioning, got {ratio:.2}"
+    );
 }
 
 /// §V-B / Figure 6c: NEON's immature backend expands `widen_mult` and the
@@ -34,13 +51,25 @@ fn neon_library_fallback_degrades_dissolve_and_dct() {
         let split = full_cycles(name, Flow::SplitVectorOpt, &neon64());
         let native = full_cycles(name, Flow::NativeVector, &neon64());
         let ratio = split as f64 / native as f64;
-        assert!(ratio > 1.3, "{name}: expected library-fallback slowdown, got {ratio:.2}");
+        assert!(
+            ratio > 1.3,
+            "{name}: expected library-fallback slowdown, got {ratio:.2}"
+        );
 
         // The helper calls are really there.
         let spec = find(name).unwrap();
-        let c = compile(&spec.kernel(), Flow::SplitVectorOpt, &neon64(), &CompileConfig::default())
+        let c = engine()
+            .compile(
+                &spec.kernel(),
+                Flow::SplitVectorOpt,
+                &neon64(),
+                &CompileConfig::default(),
+            )
             .unwrap();
-        assert!(c.jit.stats.helper_calls > 0, "{name}: no helper calls emitted");
+        assert!(
+            c.jit.stats.helper_calls > 0,
+            "{name}: no helper calls emitted"
+        );
     }
 }
 
@@ -72,7 +101,13 @@ fn doubles_scalarize_on_altivec_with_small_cost() {
 #[test]
 fn scalarization_overhead_is_low() {
     let t = scalar_only();
-    for name in ["dscal_fp", "saxpy_fp", "dissolve_fp", "sfir_fp", "convolve_s32"] {
+    for name in [
+        "dscal_fp",
+        "saxpy_fp",
+        "dissolve_fp",
+        "sfir_fp",
+        "convolve_s32",
+    ] {
         let split = full_cycles(name, Flow::SplitVectorOpt, &t);
         let native = full_cycles(name, Flow::NativeScalar, &t);
         let overhead = split as f64 / native as f64;
@@ -92,17 +127,33 @@ fn mmm_guard_resolution_differs_between_pipelines() {
     let spec = find("mmm_fp").unwrap();
     let kernel = spec.kernel();
     let cfg = CompileConfig::default();
-    let naive = compile(&kernel, Flow::SplitVectorNaive, &altivec(), &cfg).unwrap();
-    let opt = compile(&kernel, Flow::SplitVectorOpt, &altivec(), &cfg).unwrap();
-    assert!(naive.jit.stats.guards_runtime > 0, "naive JIT must emit runtime guards");
+    let naive = engine()
+        .compile(&kernel, Flow::SplitVectorNaive, &altivec(), &cfg)
+        .unwrap();
+    let opt = engine()
+        .compile(&kernel, Flow::SplitVectorOpt, &altivec(), &cfg)
+        .unwrap();
+    assert!(
+        naive.jit.stats.guards_runtime > 0,
+        "naive JIT must emit runtime guards"
+    );
     // The naive JIT folds fewer guards than it leaves at runtime checks
     // relative to the optimizing pipeline, which precomputes conditions
     // at entry (same counts, hoisted) — observable through cycles:
     let env = spec.env(Scale::Full);
-    let rn = run(&altivec(), &naive, &env, AllocPolicy::Aligned).unwrap().stats.cycles;
-    let ro = run(&altivec(), &opt, &env, AllocPolicy::Aligned).unwrap().stats.cycles;
-    assert!(rn > ro, "naive in-loop guard evaluation must cost cycles: {rn} vs {ro}");
-    assert_eq!(naive.jit.stats.insts > opt.jit.stats.insts, true);
+    let rn = run(&altivec(), &naive, &env, AllocPolicy::Aligned)
+        .unwrap()
+        .stats
+        .cycles;
+    let ro = run(&altivec(), &opt, &env, AllocPolicy::Aligned)
+        .unwrap()
+        .stats
+        .cycles;
+    assert!(
+        rn > ro,
+        "naive in-loop guard evaluation must cost cycles: {rn} vs {ro}"
+    );
+    assert!(naive.jit.stats.insts > opt.jit.stats.insts);
     let _ = Pipeline::NaiveJit;
 }
 
@@ -111,7 +162,15 @@ fn mmm_guard_resolution_differs_between_pipelines() {
 fn online_compile_times_are_microseconds() {
     let spec = find("saxpy_fp").unwrap();
     let kernel = spec.kernel();
-    let c = compile(&kernel, Flow::SplitVectorOpt, &sse(), &CompileConfig::default()).unwrap();
+    // Uncached: this asserts on the real online stage's wall time.
+    let c = engine()
+        .compile_uncached(
+            &kernel,
+            Flow::SplitVectorOpt,
+            &sse(),
+            &CompileConfig::default(),
+        )
+        .unwrap();
     assert!(
         c.online_time.as_millis() < 50,
         "online stage took {:?} — far beyond the µs range",
@@ -129,7 +188,9 @@ fn online_stage_is_roughly_linear_in_bytecode_size() {
     let mut points = Vec::new();
     for spec in vapor_kernels::suite() {
         let kernel = spec.kernel();
-        let c = compile(&kernel, Flow::SplitVectorOpt, &t, &cfg).unwrap();
+        let c = engine()
+            .compile(&kernel, Flow::SplitVectorOpt, &t, &cfg)
+            .unwrap();
         points.push((c.bytecode_bytes as f64, c.jit.stats.insts as f64));
     }
     // Emitted machine instructions per bytecode byte stay within a small

@@ -2,10 +2,15 @@
 //! through the split pipeline and match the reference interpreter on
 //! every SIMD target, for arbitrary loop counts (tail loops included)
 //! and arbitrary constant offsets (realignment included).
+//!
+//! Generation is hand-rolled on the deterministic workspace PRNG (the
+//! offline build has no proptest): fixed seeds per property, so failures
+//! reproduce exactly; the failing kernel is printed on panic.
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-use vapor_core::{arrays_match, compile, reference, run, AllocPolicy, CompileConfig, Flow};
+use vapor_core::{arrays_match, reference, run, AllocPolicy, CompileConfig, Engine, Flow};
 use vapor_ir::{ArrayData, BinOp, Bindings, Expr, Kernel, KernelBuilder, ScalarTy};
 use vapor_targets::{altivec, neon64, sse};
 
@@ -17,29 +22,44 @@ enum Node {
     Shr(Box<Node>, u8),
 }
 
-fn node_strategy(depth: u32) -> BoxedStrategy<Node> {
-    let leaf = prop_oneof![
-        (0i64..4).prop_map(Node::Load),
-        (-20i64..20).prop_map(Node::ConstI),
-    ];
-    leaf.prop_recursive(depth, 16, 2, |inner| {
-        prop_oneof![
-            (
-                prop_oneof![
-                    Just(BinOp::Add),
-                    Just(BinOp::Sub),
-                    Just(BinOp::Mul),
-                    Just(BinOp::Min),
-                    Just(BinOp::Max),
-                ],
-                inner.clone(),
-                inner.clone()
-            )
-                .prop_map(|(op, a, b)| Node::Bin(op, Box::new(a), Box::new(b))),
-            (inner, 0u8..8).prop_map(|(a, k)| Node::Shr(Box::new(a), k)),
-        ]
-    })
-    .boxed()
+fn seeded(tag: &str) -> StdRng {
+    let mut seed = [0u8; 32];
+    for (i, b) in tag.bytes().enumerate() {
+        seed[i % 32] ^= b.wrapping_mul(i as u8 + 17);
+    }
+    StdRng::from_seed(seed)
+}
+
+/// A random expression tree of at most `depth` levels over `x[i+k]`
+/// loads and small integer constants (the old proptest strategy, by
+/// hand).
+fn random_node(rng: &mut StdRng, depth: u32) -> Node {
+    let leaf = depth == 0 || rng.gen_range(0..4_i64) == 0;
+    if leaf {
+        if rng.gen_range(0..2_i64) == 0 {
+            Node::Load(rng.gen_range(0..4_i64))
+        } else {
+            Node::ConstI(rng.gen_range(-20..20_i64))
+        }
+    } else if rng.gen_range(0..5_i64) == 0 {
+        Node::Shr(
+            Box::new(random_node(rng, depth - 1)),
+            rng.gen_range(0..8_i64) as u8,
+        )
+    } else {
+        let op = match rng.gen_range(0..5_i64) {
+            0 => BinOp::Add,
+            1 => BinOp::Sub,
+            2 => BinOp::Mul,
+            3 => BinOp::Min,
+            _ => BinOp::Max,
+        };
+        Node::Bin(
+            op,
+            Box::new(random_node(rng, depth - 1)),
+            Box::new(random_node(rng, depth - 1)),
+        )
+    }
 }
 
 fn to_expr(n: &Node, x: vapor_ir::ArrayId, i: vapor_ir::VarId) -> Expr {
@@ -78,7 +98,11 @@ fn reduction_kernel(value: &Node) -> Kernel {
     b.finish()
 }
 
-fn check_kernel(kernel: &Kernel, n: usize, data: &[i64], mis: usize) {
+fn random_data(rng: &mut StdRng, len: usize) -> Vec<i64> {
+    (0..len).map(|_| rng.gen_range(-1000..1000_i64)).collect()
+}
+
+fn check_kernel(engine: &Engine, kernel: &Kernel, n: usize, data: &[i64], mis: usize) {
     vapor_ir::validate(kernel).expect("generated kernel must validate");
     let mut env = Bindings::new();
     env.set_int("n", n as i64)
@@ -97,7 +121,8 @@ fn check_kernel(kernel: &Kernel, n: usize, data: &[i64], mis: usize) {
             } else {
                 AllocPolicy::Misaligned(mis)
             };
-            let c = compile(kernel, flow, &target, &cfg)
+            let c = engine
+                .compile(kernel, flow, &target, &cfg)
                 .unwrap_or_else(|e| panic!("{flow} on {}: {e}", target.name));
             let r = run(&target, &c, &env, policy)
                 .unwrap_or_else(|e| panic!("{flow} on {}: {e}", target.name));
@@ -113,41 +138,44 @@ fn check_kernel(kernel: &Kernel, n: usize, data: &[i64], mis: usize) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
-
-    #[test]
-    fn random_map_kernels_match_oracle(
-        value in node_strategy(3),
-        n in 0usize..40,
-        data in prop::collection::vec(-1000i64..1000, 44),
-        mis in prop_oneof![Just(0usize), Just(4), Just(12)],
-    ) {
-        check_kernel(&map_kernel(&value), n, &data, mis);
-    }
-
-    #[test]
-    fn random_reduction_kernels_match_oracle(
-        value in node_strategy(2),
-        n in 0usize..40,
-        data in prop::collection::vec(-1000i64..1000, 44),
-    ) {
-        check_kernel(&reduction_kernel(&value), n, &data, 0);
+#[test]
+fn random_map_kernels_match_oracle() {
+    let mut rng = seeded("random_map_kernels_match_oracle");
+    let engine = Engine::new();
+    for case in 0..32 {
+        let value = random_node(&mut rng, 3);
+        let n = rng.gen_range(0..40_i64) as usize;
+        let data = random_data(&mut rng, 44);
+        let mis = [0usize, 4, 12][rng.gen_range(0..3_i64) as usize];
+        let _ = case;
+        check_kernel(&engine, &map_kernel(&value), n, &data, mis);
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+#[test]
+fn random_reduction_kernels_match_oracle() {
+    let mut rng = seeded("random_reduction_kernels_match_oracle");
+    let engine = Engine::new();
+    for _ in 0..32 {
+        let value = random_node(&mut rng, 2);
+        let n = rng.gen_range(0..40_i64) as usize;
+        let data = random_data(&mut rng, 44);
+        check_kernel(&engine, &reduction_kernel(&value), n, &data, 0);
+    }
+}
 
-    /// Strided (rate-2) store pairs — the interleave path — for random
-    /// coefficient expressions and loop counts.
-    #[test]
-    fn random_interleaved_stores_match_oracle(
-        c0 in -50i64..50,
-        c1 in -50i64..50,
-        n in 0usize..33,
-        data in prop::collection::vec(-1000i64..1000, 34),
-    ) {
+/// Strided (rate-2) store pairs — the interleave path — for random
+/// coefficient expressions and loop counts.
+#[test]
+fn random_interleaved_stores_match_oracle() {
+    let mut rng = seeded("random_interleaved_stores_match_oracle");
+    let engine = Engine::new();
+    for _ in 0..16 {
+        let c0 = rng.gen_range(-50..50_i64);
+        let c1 = rng.gen_range(-50..50_i64);
+        let n = rng.gen_range(0..33_i64) as usize;
+        let data = random_data(&mut rng, 34);
+
         let mut b = KernelBuilder::new("prop_interleave");
         let nn = b.scalar_param("n", ScalarTy::I64);
         let x = b.array_param("x", ScalarTy::I32);
@@ -174,7 +202,9 @@ proptest! {
         let oracle = reference(&kernel, &env).unwrap();
         let cfg = CompileConfig::default();
         for target in [sse(), altivec(), neon64()] {
-            let c = compile(&kernel, Flow::SplitVectorOpt, &target, &cfg).unwrap();
+            let c = engine
+                .compile(&kernel, Flow::SplitVectorOpt, &target, &cfg)
+                .unwrap();
             let r = run(&target, &c, &env, AllocPolicy::Aligned).unwrap();
             arrays_match(oracle.array("y").unwrap(), r.out.array("y").unwrap(), 0.0)
                 .unwrap_or_else(|e| panic!("{} (n={n}): {e}", target.name));

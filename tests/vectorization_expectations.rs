@@ -12,11 +12,9 @@ fn suite_vectorization_and_features_match_table2() {
         let result = vectorize(&kernel, &VectorizeOptions::default());
         let vectorized = result.reports.iter().any(|r| r.vectorized);
         assert_eq!(
-            vectorized,
-            spec.expect_vectorized,
+            vectorized, spec.expect_vectorized,
             "{}: vectorized={vectorized}; reports: {:#?}",
-            spec.name,
-            result.reports
+            spec.name, result.reports
         );
         let mut seen: Vec<vapor_vectorizer::Feature> = Vec::new();
         for r in &result.reports {
