@@ -6,10 +6,19 @@
 //! 2. **Pre-decoded VM dispatch** — wall-clock `Machine` throughput of
 //!    the decoded program (`run`) versus the seed per-instruction
 //!    interpreter (`run_baseline`) on the saxpy/polybench suite.
+//! 3. **Runtime-VL specialization** — what bringing up a *new* VL costs
+//!    under "compile once" (one decode of the shared VL-agnostic
+//!    artifact) versus what a VL-keyed engine would pay (a full
+//!    pipeline run), over the dispatch suite on the SVE-class target.
 //!
 //! ```text
-//! cargo run --release -p vapor-bench --bin engine_bench [out.json]
+//! cargo run --release -p vapor-bench --bin engine_bench [out.json] [--baseline=committed.json]
 //! ```
+//!
+//! With `--baseline=`, the fresh cache/dispatch speedups are compared
+//! against the committed JSON's values and the process fails on a
+//! regression below 70% of the committed number (or below the absolute
+//! floors) — the CI bench gate.
 
 use std::fmt::Write as _;
 use std::hint::black_box;
@@ -18,7 +27,7 @@ use std::time::Instant;
 use vapor_bench::Engine;
 use vapor_core::{run, run_baseline, AllocPolicy, CompileConfig, Flow};
 use vapor_kernels::{suite, KernelSpec, Scale, SuiteKind};
-use vapor_targets::sse;
+use vapor_targets::{sse, sve, DecodedProgram};
 
 /// Best-of-`reps` wall time of `f`, in seconds.
 fn best_secs<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
@@ -109,23 +118,79 @@ fn dispatch_experiment(engine: &Engine) -> Vec<DispatchRow> {
     rows
 }
 
+/// Specialization experiment: the cost of bringing up a *new* runtime
+/// VL. A VL-keyed engine would re-run the whole pipeline per VL; the
+/// VL-agnostic engine re-decodes the one shared artifact.
+fn vl_specialize_experiment(engine: &Engine) -> Vec<DispatchRow> {
+    let family = sve();
+    let cfg = CompileConfig::default();
+    let flow = Flow::SplitVectorOpt;
+    let vl = 512;
+    let mut rows = Vec::new();
+    for spec in dispatch_suite() {
+        let kernel = spec.kernel();
+        let recompile_us = best_secs(5, || {
+            engine
+                .compile_uncached(&kernel, flow, &family, &cfg)
+                .unwrap()
+        }) * 1e6;
+        let (compiled, _) = engine.specialize(&kernel, flow, &family, &cfg, vl).unwrap();
+        let exec = family.at_vl(vl);
+        let decode_us = best_secs(5, || {
+            black_box(DecodedProgram::decode(&compiled.jit.code, &exec).unwrap())
+        }) * 1e6;
+        rows.push(DispatchRow {
+            name: spec.name.to_owned(),
+            baseline_us: recompile_us,
+            decoded_us: decode_us,
+            cycles: 0,
+        });
+    }
+    rows
+}
+
+/// Pull a top-level `"key": <number>` out of a committed benchmark JSON
+/// (no serde in the offline container; the format is our own writer's).
+fn json_number(text: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let at = text.find(&pat)? + pat.len();
+    let rest = text[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let out_path = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
         .unwrap_or_else(|| "BENCH_engine.json".to_string());
+    let baseline_path = args
+        .iter()
+        .find_map(|a| a.strip_prefix("--baseline="))
+        .map(str::to_owned);
     let engine = Engine::new();
 
-    eprintln!("[1/2] compilation cache: cold vs hit ...");
+    eprintln!("[1/3] compilation cache: cold vs hit ...");
     let cache = cache_experiment(&engine);
     let cold_total: f64 = cache.iter().map(|r| r.cold_us).sum();
     let hit_total: f64 = cache.iter().map(|r| r.hit_us).sum();
     let cache_speedup = cold_total / hit_total;
 
-    eprintln!("[2/2] VM dispatch: seed interpreter vs pre-decoded ...");
+    eprintln!("[2/3] VM dispatch: seed interpreter vs pre-decoded ...");
     let dispatch = dispatch_experiment(&engine);
     let base_total: f64 = dispatch.iter().map(|r| r.baseline_us).sum();
     let dec_total: f64 = dispatch.iter().map(|r| r.decoded_us).sum();
     let dispatch_speedup = base_total / dec_total;
+
+    eprintln!("[3/3] runtime-VL specialization: re-decode vs full recompile ...");
+    let vl_rows = vl_specialize_experiment(&engine);
+    let vl_fresh: f64 = vl_rows.iter().map(|r| r.baseline_us).sum();
+    let vl_hit: f64 = vl_rows.iter().map(|r| r.decoded_us).sum();
+    let vl_speedup = vl_fresh / vl_hit;
 
     let mut j = String::new();
     j.push_str("{\n");
@@ -133,6 +198,7 @@ fn main() {
     let _ = writeln!(j, "  \"flow\": \"{}\",", Flow::SplitVectorOpt);
     let _ = writeln!(j, "  \"cache_speedup\": {cache_speedup:.1},");
     let _ = writeln!(j, "  \"dispatch_speedup\": {dispatch_speedup:.3},");
+    let _ = writeln!(j, "  \"vl_specialize_speedup\": {vl_speedup:.1},");
     j.push_str("  \"compile\": [\n");
     for (i, r) in cache.iter().enumerate() {
         let sep = if i + 1 == cache.len() { "" } else { "," };
@@ -143,6 +209,19 @@ fn main() {
             r.cold_us,
             r.hit_us,
             r.cold_us / r.hit_us
+        );
+    }
+    j.push_str("  ],\n");
+    j.push_str("  \"vl_specialize\": [\n");
+    for (i, r) in vl_rows.iter().enumerate() {
+        let sep = if i + 1 == vl_rows.len() { "" } else { "," };
+        let _ = writeln!(
+            j,
+            "    {{\"kernel\": \"{}\", \"recompile_us\": {:.3}, \"specialize_us\": {:.3}, \"speedup\": {:.1}}}{sep}",
+            r.name,
+            r.baseline_us,
+            r.decoded_us,
+            r.baseline_us / r.decoded_us
         );
     }
     j.push_str("  ],\n");
@@ -162,11 +241,43 @@ fn main() {
     j.push_str("  ]\n}\n");
 
     std::fs::write(&out_path, &j).unwrap_or_else(|e| panic!("write {out_path}: {e}"));
-    println!("cache-hit compile speedup:   {cache_speedup:.1}x (target ≥ 10x)");
-    println!("pre-decoded dispatch speedup: {dispatch_speedup:.3}x (target ≥ 1.2x)");
+    println!("cache-hit compile speedup:    {cache_speedup:.1}x (floor ≥ 10x)");
+    println!("pre-decoded dispatch speedup: {dispatch_speedup:.3}x (floor ≥ 1.2x)");
+    println!("VL-specialize vs recompile:   {vl_speedup:.1}x");
     println!("wrote {out_path}");
-    if cache_speedup < 10.0 || dispatch_speedup < 1.2 {
-        eprintln!("BELOW TARGET");
+
+    // Regression gate: absolute floors, tightened by the committed
+    // baseline when one is given (70% of the committed speedup absorbs
+    // CI timing noise while catching real regressions).
+    let mut fail = false;
+    let (mut cache_floor, mut dispatch_floor): (f64, f64) = (10.0, 1.2);
+    if let Some(path) = baseline_path {
+        let text =
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read baseline {path}: {e}"));
+        let base_cache = json_number(&text, "cache_speedup")
+            .unwrap_or_else(|| panic!("no cache_speedup in {path}"));
+        let base_dispatch = json_number(&text, "dispatch_speedup")
+            .unwrap_or_else(|| panic!("no dispatch_speedup in {path}"));
+        cache_floor = cache_floor.max(0.7 * base_cache);
+        dispatch_floor = dispatch_floor.max(0.7 * base_dispatch);
+        println!(
+            "baseline {path}: cache {base_cache:.1}x, dispatch {base_dispatch:.3}x \
+             -> thresholds {cache_floor:.1}x / {dispatch_floor:.3}x"
+        );
+    }
+    if cache_speedup < cache_floor {
+        eprintln!(
+            "REGRESSION: cache-hit speedup {cache_speedup:.1}x < threshold {cache_floor:.1}x"
+        );
+        fail = true;
+    }
+    if dispatch_speedup < dispatch_floor {
+        eprintln!(
+            "REGRESSION: dispatch speedup {dispatch_speedup:.3}x < threshold {dispatch_floor:.3}x"
+        );
+        fail = true;
+    }
+    if fail {
         std::process::exit(1);
     }
 }

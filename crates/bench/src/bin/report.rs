@@ -16,27 +16,51 @@
 
 use vapor_bench::{
     ablation, cycles, fig5, fig6, format_table, geomean, realign_reuse_ablation, size_and_time,
-    size_time_summary, table3, CompileJob, Engine,
+    size_time_summary, table3, vla_gains, CompileJob, Engine,
 };
 use vapor_core::{CompileConfig, Flow};
 use vapor_kernels::{suite, Scale};
-use vapor_targets::{altivec, avx, neon64, scalar_only, sse, TargetDesc};
+use vapor_targets::{altivec, avx, neon64, rvv, sse, sve, TargetDesc, TargetKind};
 
 fn parse_flow(name: &str) -> Option<Flow> {
     Flow::ALL.into_iter().find(|f| f.to_string() == name)
 }
 
+/// Short alias the CLI accepts for a built-in target.
+fn alias(t: &TargetDesc) -> &'static str {
+    match t.kind {
+        TargetKind::Sse => "sse",
+        TargetKind::Altivec => "altivec",
+        TargetKind::Neon64 => "neon64",
+        TargetKind::Avx => "avx",
+        TargetKind::ScalarOnly => "scalar",
+        TargetKind::Sve => "sve",
+        TargetKind::Rvv => "rvv",
+    }
+}
+
+/// Every built-in target, in `TargetKind::ALL` order — the one list the
+/// parser, the error message, and the help text all derive from, so an
+/// added target can never be silently unmatchable.
+fn known_targets() -> Vec<TargetDesc> {
+    TargetKind::ALL
+        .into_iter()
+        .map(vapor_targets::target)
+        .collect()
+}
+
+fn known_target_names() -> String {
+    known_targets()
+        .iter()
+        .map(alias)
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
 fn parse_target(name: &str) -> Option<TargetDesc> {
     // Accept the short alias the help text advertises ("sse") as well as
     // the full display name ("SSE (128-bit)").
-    let alias = |t: &TargetDesc| match t.kind {
-        vapor_targets::TargetKind::Sse => "sse",
-        vapor_targets::TargetKind::Altivec => "altivec",
-        vapor_targets::TargetKind::Neon64 => "neon64",
-        vapor_targets::TargetKind::Avx => "avx",
-        vapor_targets::TargetKind::ScalarOnly => "scalar",
-    };
-    [sse(), altivec(), neon64(), avx(), scalar_only()]
+    known_targets()
         .into_iter()
         .find(|t| alias(t).eq_ignore_ascii_case(name) || t.name.eq_ignore_ascii_case(name))
 }
@@ -59,7 +83,10 @@ fn main() {
     });
     let target_filter = flag_value(&args, "--target=").map(|v| {
         parse_target(v).unwrap_or_else(|| {
-            eprintln!("unknown target {v:?}; known: sse, altivec, neon64, avx, scalar");
+            eprintln!(
+                "unknown target {v:?}; known targets: {}",
+                known_target_names()
+            );
             std::process::exit(2);
         })
     });
@@ -88,6 +115,10 @@ fn main() {
         .collect();
     let want = |name: &str| wanted.is_empty() || wanted.contains(&name);
     let want_target = |t: &TargetDesc| target_filter.as_ref().is_none_or(|f| f.name == t.name);
+    // Every section that actually prints flips this; finishing a
+    // filtered run without output is an error (listing what exists), not
+    // a silent no-op.
+    let mut printed = false;
 
     // Pre-compile the whole working set across threads: every figure
     // below is then pure cache hits + VM execution.
@@ -118,6 +149,7 @@ fn main() {
     }
 
     if want("fig5a") && want_target(&sse()) {
+        printed = true;
         print_fig5(
             &engine,
             "Figure 5a — Mono-class JIT, normalized vectorization impact, SSE",
@@ -126,6 +158,7 @@ fn main() {
         );
     }
     if want("fig5b") && want_target(&altivec()) {
+        printed = true;
         print_fig5(
             &engine,
             "Figure 5b — Mono-class JIT, normalized vectorization impact, AltiVec",
@@ -133,11 +166,14 @@ fn main() {
             scale,
         );
     }
-    if want("ablation") {
-        let rows = ablation(&engine, scale);
+    if want("ablation") && (want_target(&sse()) || want_target(&altivec())) {
+        printed = true;
+        let rows: Vec<_> = ablation(&engine, scale)
+            .into_iter()
+            .filter(|r| target_filter.as_ref().is_none_or(|t| t.name == r.target))
+            .collect();
         let table: Vec<Vec<String>> = rows
             .iter()
-            .filter(|r| target_filter.as_ref().is_none_or(|t| t.name == r.target))
             .map(|r| {
                 vec![
                     r.name.clone(),
@@ -162,6 +198,7 @@ fn main() {
         );
     }
     if want("realign") && want_target(&altivec()) {
+        printed = true;
         let rows = realign_reuse_ablation(&engine, scale);
         let table: Vec<Vec<String>> = rows
             .iter()
@@ -184,6 +221,7 @@ fn main() {
         );
     }
     if want("size") && want_target(&sse()) {
+        printed = true;
         let rows = size_and_time(&engine, &sse());
         let table: Vec<Vec<String>> = rows
             .iter()
@@ -219,6 +257,7 @@ fn main() {
         println!("geomean size ratio: {s:.2}x (paper: ~5x); geomean compile-time ratio: {t:.2}x (paper: 4.85x/5.37x)\n");
     }
     if want("fig6a") && want_target(&sse()) {
+        printed = true;
         print_fig6(
             &engine,
             "Figure 6a — split/native normalized execution time, SSE",
@@ -227,6 +266,7 @@ fn main() {
         );
     }
     if want("fig6b") && want_target(&altivec()) {
+        printed = true;
         print_fig6(
             &engine,
             "Figure 6b — split/native normalized execution time, AltiVec",
@@ -235,6 +275,7 @@ fn main() {
         );
     }
     if want("fig6c") && want_target(&neon64()) {
+        printed = true;
         print_fig6(
             &engine,
             "Figure 6c — split/native normalized execution time, NEON (64-bit)",
@@ -243,6 +284,7 @@ fn main() {
         );
     }
     if want("table3") && want_target(&avx()) {
+        printed = true;
         let rows = table3(&engine, scale);
         let table: Vec<Vec<String>> = rows
             .iter()
@@ -269,11 +311,68 @@ fn main() {
         );
     }
 
+    if want("vla") {
+        for family in [sve(), rvv()] {
+            if want_target(&family) {
+                printed = true;
+                print_vla(&engine, &family, scale);
+            }
+        }
+    }
+
+    if !printed {
+        eprintln!(
+            "nothing to report: no experiment matches the given filters. \
+             Experiments: fig5a fig5b ablation realign size fig6a fig6b \
+             fig6c table3 vla — each tied to specific targets (known \
+             targets: {}). Use --flow= for a per-kernel cycle table on \
+             any target.",
+            known_target_names()
+        );
+        std::process::exit(2);
+    }
+
     let s = engine.stats();
     eprintln!(
-        "[engine] cache: {} entries, {} hits, {} misses",
-        s.entries, s.hits, s.misses
+        "[engine] cache: {} entries ({} VL specializations), {} hits, {} misses",
+        s.entries, s.vl_entries, s.hits, s.misses
     );
+}
+
+fn print_vla(engine: &Engine, family: &TargetDesc, scale: Scale) {
+    let rows = vla_gains(engine, family, scale);
+    let vls: Vec<usize> = rows[0].per_vl.iter().map(|(vl, _, _)| *vl).collect();
+    let mut headers: Vec<String> = vec!["kernel".into(), "scalar".into()];
+    headers.extend(vls.iter().map(|vl| format!("VL={vl}")));
+    let header_refs: Vec<&str> = headers.iter().map(|h| h.as_str()).collect();
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            let mut cells = vec![r.name.clone(), r.scalar.to_string()];
+            cells.extend(r.per_vl.iter().map(|(_, c, g)| format!("{c} ({g:.2}x)")));
+            cells
+        })
+        .collect();
+    println!(
+        "{}",
+        format_table(
+            &format!(
+                "VLA gains — one VL-agnostic artifact, specialized per runtime VL ({})",
+                family.name
+            ),
+            &header_refs,
+            &table
+        )
+    );
+    let summary: Vec<String> = vls
+        .iter()
+        .enumerate()
+        .map(|(i, vl)| {
+            let g = geomean(rows.iter().map(|r| r.per_vl[i].2));
+            format!("VL={vl}: {g:.2}x")
+        })
+        .collect();
+    println!("geomean gains vs scalar: {}\n", summary.join("  "));
 }
 
 fn print_flow(

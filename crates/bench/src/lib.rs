@@ -10,12 +10,12 @@
 
 use std::collections::BTreeMap;
 
-use vapor_core::{run, AllocPolicy, CompileConfig, Flow};
+use vapor_core::{run, run_specialized, AllocPolicy, CompileConfig, Flow};
 
 pub use vapor_core::{CompileJob, Engine};
 use vapor_ir::Kernel;
 use vapor_kernels::{suite, KernelSpec, Scale, SuiteKind};
-use vapor_targets::{altivec, avx, neon64, sse, TargetDesc, TargetKind};
+use vapor_targets::{altivec, avx, neon64, sse, TargetDesc, TargetKind, VLA_TEST_BITS};
 
 /// Cycle count of one kernel under one flow. Compilation goes through
 /// `engine`, so regenerating several figures over the same suite
@@ -309,6 +309,97 @@ pub fn size_and_time(engine: &Engine, target: &TargetDesc) -> Vec<SizeRow> {
     rows
 }
 
+/// Cycle count of one kernel under one flow on a VLA target at a
+/// concrete runtime vector length: the compile is cached VL-agnostically
+/// and the execution specialization is what carries `vl_bits`.
+///
+/// # Panics
+/// Panics when compilation or execution fails (suite kernels cannot).
+pub fn cycles_at_vl(
+    engine: &Engine,
+    kernel: &Kernel,
+    flow: Flow,
+    family: &TargetDesc,
+    vl_bits: usize,
+    env: &vapor_ir::Bindings,
+    cfg: &CompileConfig,
+) -> u64 {
+    let (compiled, prog) = engine
+        .specialize(kernel, flow, family, cfg, vl_bits)
+        .unwrap_or_else(|e| panic!("{} [{flow} @VL={vl_bits}]: {e}", kernel.name));
+    let exec = family.at_vl(vl_bits);
+    run_specialized(&exec, &compiled, &prog, env, AllocPolicy::Aligned)
+        .unwrap_or_else(|e| {
+            panic!(
+                "{} [{flow} on {} @VL={vl_bits}]: {e}",
+                kernel.name, exec.name
+            )
+        })
+        .stats
+        .cycles
+}
+
+/// One row of the VLA gains table: scalar cycles on the family core and
+/// the vectorized cycles (plus speedup) at every tested runtime VL.
+#[derive(Debug, Clone)]
+pub struct VlaGainRow {
+    /// Kernel name.
+    pub name: String,
+    /// Scalar-flow cycles (the normalization baseline; VL-independent).
+    pub scalar: u64,
+    /// `(vl_bits, vector cycles, scalar/vector gain)` per tested VL.
+    pub per_vl: Vec<(usize, u64, f64)>,
+}
+
+/// The Figure-4-style gains table for one VLA family: one VL-agnostic
+/// compiled artifact per kernel, executed at every VL in
+/// [`VLA_TEST_BITS`], normalized to the scalar flow on the same core.
+/// Groups the VLA backend declines (half-based sub-vector idioms) run
+/// scalar and report a gain of ~1 — the honest analogue of the paper's
+/// immature-backend rows.
+pub fn vla_gains(engine: &Engine, family: &TargetDesc, scale: Scale) -> Vec<VlaGainRow> {
+    assert!(family.vla, "{} is not a VLA family", family.name);
+    let cfg = CompileConfig::default();
+    let mut rows = Vec::new();
+    for spec in suite() {
+        let kernel = spec.kernel();
+        let env = spec.env(scale);
+        // Scalar baseline: the same optimizing online pipeline with the
+        // vectorizer off. Scalar code has no width dependence; run it at
+        // the family minimum.
+        let scalar = cycles_at_vl(
+            engine,
+            &kernel,
+            Flow::SplitScalarOpt,
+            family,
+            VLA_TEST_BITS[0],
+            &env,
+            &cfg,
+        );
+        let per_vl = VLA_TEST_BITS
+            .iter()
+            .map(|&vl| {
+                let c = cycles_at_vl(
+                    engine,
+                    &kernel,
+                    Flow::SplitVectorOpt,
+                    family,
+                    vl,
+                    &env,
+                    &cfg,
+                );
+                (vl, c, scalar as f64 / c as f64)
+            })
+            .collect();
+        rows.push(VlaGainRow {
+            name: spec.name.to_owned(),
+            scalar,
+            per_vl,
+        });
+    }
+    rows
+}
+
 /// Geometric-mean helper for summary lines.
 pub fn geomean(vals: impl Iterator<Item = f64>) -> f64 {
     let (mut sum, mut n) = (0.0, 0usize);
@@ -488,6 +579,31 @@ mod tests {
             rows.iter().any(|r| r.degradation > 1.02),
             "reuse should save realignment work: {rows:?}"
         );
+    }
+
+    #[test]
+    fn vla_gains_never_regress_with_wider_vectors() {
+        let engine = Engine::new();
+        for family in [vapor_targets::sve(), vapor_targets::rvv()] {
+            let rows = vla_gains(&engine, &family, Scale::Test);
+            assert_eq!(rows.len(), 32);
+            for r in &rows {
+                let first = r.per_vl.first().unwrap();
+                let last = r.per_vl.last().unwrap();
+                assert!(
+                    last.1 <= first.1,
+                    "{} on {}: VL=2048 ({} cycles) slower than VL=128 ({})",
+                    r.name,
+                    family.name,
+                    last.1,
+                    first.1
+                );
+            }
+            // The clean streaming kernels must show real, growing gains.
+            let saxpy = rows.iter().find(|r| r.name == "saxpy_fp").unwrap();
+            assert!(saxpy.per_vl.last().unwrap().2 > saxpy.per_vl.first().unwrap().2);
+            assert!(saxpy.per_vl.first().unwrap().2 > 1.5);
+        }
     }
 
     #[test]

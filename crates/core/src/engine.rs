@@ -27,7 +27,7 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
 
 use vapor_ir::Kernel;
-use vapor_targets::TargetDesc;
+use vapor_targets::{DecodedProgram, TargetDesc};
 
 use crate::pipeline::{self, CompileConfig, Compiled, Flow, PipelineError};
 
@@ -105,6 +105,9 @@ pub struct EngineStats {
     pub misses: u64,
     /// Entries currently cached.
     pub entries: usize,
+    /// Runtime-VL execution specializations currently cached (the VL
+    /// dimension exists only here, never in the compile cache).
+    pub vl_entries: usize,
 }
 
 /// A persistent compilation service. Cheap to share by reference across
@@ -113,6 +116,11 @@ pub struct EngineStats {
 #[derive(Debug, Default)]
 pub struct Engine {
     cache: RwLock<HashMap<CacheKey, Arc<Compiled>>>,
+    /// Execution specializations of VLA compilations: the *same*
+    /// `Arc<Compiled>` artifact, re-decoded per concrete runtime vector
+    /// length. Keyed by the compile key *plus* the VL — "compile once"
+    /// stays intact because the VL dimension first appears here.
+    vl_cache: RwLock<HashMap<(CacheKey, u32), Arc<DecodedProgram>>>,
     /// Keys currently being compiled, so concurrent requests for the
     /// same tuple wait for the first compiler instead of duplicating
     /// the whole pipeline run.
@@ -265,12 +273,83 @@ impl Engine {
             .collect()
     }
 
+    /// Specialize a compilation to a concrete runtime vector length.
+    ///
+    /// The compile step is the ordinary cached, VL-*agnostic* pipeline
+    /// run — every VL shares one `Arc<Compiled>` artifact. What is
+    /// per-VL is only the execution form: the machine code re-decoded
+    /// against `target.at_vl(vl_bits)` (per-instruction costs and lane
+    /// counts depend on the concrete width). Those decodes are cached
+    /// under the compile key *plus* `vl_bits`.
+    ///
+    /// Fixed-width targets are accepted when `vl_bits` names their one
+    /// width; the baked-in decode is returned and no entry is added.
+    ///
+    /// # Errors
+    /// Propagates compile-stage [`PipelineError`]s; rejects illegal VLs
+    /// and fixed-width/VL mismatches.
+    pub fn specialize(
+        &self,
+        kernel: &Kernel,
+        flow: Flow,
+        target: &TargetDesc,
+        cfg: &CompileConfig,
+        vl_bits: usize,
+    ) -> Result<(Arc<Compiled>, Arc<DecodedProgram>), PipelineError> {
+        let compiled = self.compile(kernel, flow, target, cfg)?;
+        if !target.vla {
+            if target.vs * 8 == vl_bits {
+                let decoded = Arc::clone(&compiled.jit.decoded);
+                return Ok((compiled, decoded));
+            }
+            return Err(PipelineError(format!(
+                "target {} is fixed at {} bits; cannot specialize to VL={vl_bits}",
+                target.name,
+                target.vs * 8
+            )));
+        }
+        if !vapor_targets::valid_vl(vl_bits) {
+            return Err(PipelineError(format!(
+                "illegal runtime VL of {vl_bits} bits (must be a multiple of 128 in 128..=2048)"
+            )));
+        }
+        let key = (
+            CacheKey {
+                kernel_fp: fingerprint(kernel),
+                flow,
+                target_fp: target_fingerprint(target),
+                cfg: cfg.clone(),
+            },
+            vl_bits as u32,
+        );
+        if let Some(hit) = self
+            .vl_cache
+            .read()
+            .expect("engine vl cache poisoned")
+            .get(&key)
+        {
+            return Ok((compiled, Arc::clone(hit)));
+        }
+        let exec = target.at_vl(vl_bits);
+        let prog = Arc::new(
+            DecodedProgram::decode(&compiled.jit.code, &exec)
+                .map_err(|e| PipelineError(format!("VL={vl_bits} specialization: {e}")))?,
+        );
+        let mut map = self.vl_cache.write().expect("engine vl cache poisoned");
+        Ok((compiled, Arc::clone(map.entry(key).or_insert(prog))))
+    }
+
     /// Cache hit/miss counters and current size.
     pub fn stats(&self) -> EngineStats {
         EngineStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             entries: self.cache.read().expect("engine cache poisoned").len(),
+            vl_entries: self
+                .vl_cache
+                .read()
+                .expect("engine vl cache poisoned")
+                .len(),
         }
     }
 
@@ -284,9 +363,14 @@ impl Engine {
         self.len() == 0
     }
 
-    /// Drop every cached compilation (counters are kept).
+    /// Drop every cached compilation and VL specialization (counters
+    /// are kept).
     pub fn clear(&self) {
         self.cache.write().expect("engine cache poisoned").clear();
+        self.vl_cache
+            .write()
+            .expect("engine vl cache poisoned")
+            .clear();
     }
 }
 
@@ -485,6 +569,69 @@ mod tests {
         let results = Engine::new().compile_batch(&jobs);
         assert!(results[0].is_ok());
         assert_eq!(results.len(), jobs.len());
+    }
+
+    #[test]
+    fn vla_specialization_shares_one_compiled_artifact() {
+        let e = Engine::new();
+        let k = saxpy();
+        let t = vapor_targets::sve();
+        let cfg = CompileConfig::default();
+        let (c128, p128) = e
+            .specialize(&k, Flow::SplitVectorOpt, &t, &cfg, 128)
+            .unwrap();
+        let (c512, p512) = e
+            .specialize(&k, Flow::SplitVectorOpt, &t, &cfg, 512)
+            .unwrap();
+        assert!(
+            Arc::ptr_eq(&c128, &c512),
+            "compile once: every VL shares one artifact"
+        );
+        assert_eq!(e.stats().misses, 1, "the VL dimension must not recompile");
+        assert_eq!(e.stats().entries, 1);
+        assert_eq!(e.stats().vl_entries, 2);
+        // The execution forms really are width-specialized …
+        assert_eq!(p128.vs, 16);
+        assert_eq!(p512.vs, 64);
+        // … and cached per VL.
+        let (_, p512b) = e
+            .specialize(&k, Flow::SplitVectorOpt, &t, &cfg, 512)
+            .unwrap();
+        assert!(Arc::ptr_eq(&p512, &p512b));
+        e.clear();
+        assert_eq!(e.stats().vl_entries, 0);
+    }
+
+    #[test]
+    fn fixed_targets_specialize_only_to_their_own_width() {
+        let e = Engine::new();
+        let k = saxpy();
+        let cfg = CompileConfig::default();
+        let (c, p) = e
+            .specialize(&k, Flow::SplitVectorOpt, &sse(), &cfg, 128)
+            .unwrap();
+        assert!(Arc::ptr_eq(&p, &c.jit.decoded), "no re-decode, no entry");
+        assert_eq!(e.stats().vl_entries, 0);
+        let err = e
+            .specialize(&k, Flow::SplitVectorOpt, &sse(), &cfg, 256)
+            .unwrap_err();
+        assert!(err.0.contains("fixed at 128 bits"), "{err}");
+    }
+
+    #[test]
+    fn illegal_vl_is_rejected_not_panicked() {
+        let e = Engine::new();
+        let k = saxpy();
+        let err = e
+            .specialize(
+                &k,
+                Flow::SplitVectorOpt,
+                &vapor_targets::sve(),
+                &CompileConfig::default(),
+                192,
+            )
+            .unwrap_err();
+        assert!(err.0.contains("illegal runtime VL"), "{err}");
     }
 
     #[test]

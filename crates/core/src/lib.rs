@@ -46,4 +46,6 @@ pub mod run;
 
 pub use engine::{CompileJob, Engine, EngineStats};
 pub use pipeline::{compile, offline_compile, CompileConfig, Compiled, Flow, PipelineError};
-pub use run::{arrays_match, reference, run, run_baseline, AllocPolicy, RunResult};
+pub use run::{
+    arrays_match, reference, run, run_baseline, run_specialized, AllocPolicy, RunResult,
+};

@@ -9,8 +9,8 @@ use crate::pipeline::Compiled;
 /// Array placement policy of the runtime.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AllocPolicy {
-    /// Every array on a `MAX_VS` (32-byte) boundary — what a JIT/runtime
-    /// that owns allocation guarantees.
+    /// Every array on a `MAX_VS` boundary (256 bytes — the widest VLA
+    /// register) — what a JIT/runtime that owns allocation guarantees.
     Aligned,
     /// Deliberately misalign every base by the given byte offset
     /// (stress/ablation runs). Only meaningful for pipelines that do not
@@ -43,6 +43,27 @@ pub fn run(
 ) -> Result<RunResult, Trap> {
     let (mut m, bases) = setup_machine(target, compiled, env, policy)?;
     let stats = m.run_decoded(&compiled.jit.decoded)?;
+    Ok(read_back(&m, bases, stats))
+}
+
+/// Like [`run()`], but executing a runtime-VL specialization produced by
+/// `Engine::specialize`: `exec_target` must be the concrete-width
+/// description (`family.at_vl(vl_bits)`) whose decode produced `prog`.
+/// The compiled artifact itself stays VL-agnostic — only the machine and
+/// the pre-decoded program carry the concrete width.
+///
+/// # Errors
+/// Returns [`Trap`] on VM contract violations and missing bindings; a
+/// mismatch between `exec_target` and `prog` traps up front.
+pub fn run_specialized(
+    exec_target: &TargetDesc,
+    compiled: &Compiled,
+    prog: &vapor_targets::DecodedProgram,
+    env: &Bindings,
+    policy: AllocPolicy,
+) -> Result<RunResult, Trap> {
+    let (mut m, bases) = setup_machine(exec_target, compiled, env, policy)?;
+    let stats = m.run_decoded(prog)?;
     Ok(read_back(&m, bases, stats))
 }
 

@@ -130,6 +130,24 @@ fn uses(inst: &MInst, s: &mut HashSet<SReg>, v: &mut HashSet<VReg>) {
                 v.insert(*b);
             }
         }
+        MInst::SetVl { avl, .. } => {
+            s.insert(*avl);
+        }
+        MInst::LoadVl { addr, .. } => note_addr(addr, s),
+        MInst::StoreVl { src, addr, .. } => {
+            v.insert(*src);
+            note_addr(addr, s);
+        }
+        // Merging predication reads the destination's inactive lanes.
+        MInst::VBinVl { dst, a, b, .. } => {
+            v.insert(*dst);
+            v.insert(*a);
+            v.insert(*b);
+        }
+        MInst::VUnVl { dst, a, .. } => {
+            v.insert(*dst);
+            v.insert(*a);
+        }
     }
 }
 
@@ -145,6 +163,7 @@ fn removable_def(inst: &MInst) -> Option<(Option<SReg>, Option<VReg>)> {
         | MInst::SCvt { dst, .. }
         | MInst::LoadS { dst, .. } => Some((Some(*dst), None)),
         MInst::LoadV { dst, .. }
+        | MInst::LoadVl { dst, .. }
         | MInst::LoadVFloor { dst, .. }
         | MInst::Splat { dst, .. }
         | MInst::Iota { dst, .. }

@@ -256,6 +256,12 @@ impl<'a> Lower<'a> {
             .copied()
             .unwrap_or(GroupMode::Vector)
         {
+            // VLA vector groups: `get_VF` resolves to 1, which makes the
+            // offline bound arithmetic `lo + ((hi-lo)/VF)*VF` collapse to
+            // `hi` — the stripmined, predicated main loop covers the
+            // whole range and the scalar tail zero-trips. The real (run-
+            // time) vector length enters only through `setvl`.
+            GroupMode::Vector if self.t.vla => 1,
             GroupMode::Vector => self.t.lanes(ty) as i64,
             _ => 1,
         }
@@ -584,6 +590,17 @@ impl<'a> Lower<'a> {
                 }
                 let v = self.as_vreg(*src)?;
                 let am = self.mem_addr(addr, ty.size())?;
+                if self.t.vla {
+                    // Predicated store: only the `vl` active lanes are
+                    // written, so the stripmined loop needs no scalar
+                    // tail and no whole-register alignment contract.
+                    self.emit(MInst::StoreVl {
+                        ty: *ty,
+                        src: v,
+                        addr: am,
+                    });
+                    return Ok(());
+                }
                 let align = match known_misalignment(*mis, *modulo, self.t.vs) {
                     Some(0) => MemAlign::Aligned,
                     _ if self.t.misaligned_stores => MemAlign::Unaligned,
@@ -690,6 +707,21 @@ impl<'a> Lower<'a> {
             Step::Const(k) => k,
             Step::Vf(t, k) => k * self.vf_of(group, t),
         };
+        // A VLA vector main loop is stripmined: each iteration sets the
+        // active vector length to `min(remaining, VLMAX)` via `setvl`
+        // and advances the induction variable by that runtime amount.
+        let vla_main = kind == LoopKind::VectorMain
+            && self.t.vla
+            && self
+                .group_mode
+                .get(&group)
+                .copied()
+                .unwrap_or(GroupMode::Vector)
+                == GroupMode::Vector;
+        let vla_ty = match step {
+            Step::Vf(t, _) => t,
+            Step::Const(_) => ScalarTy::I64,
+        };
         let i = self.def_s(var);
         match self.operand_bind(lo)? {
             Bind::ImmI(v) => self.emit(MInst::MovImmI { dst: i, imm: v }),
@@ -697,10 +729,19 @@ impl<'a> Lower<'a> {
             other => return self.err(format!("loop lower bound bound to {other:?}")),
         }
         let limit_b = self.operand_bind(limit)?;
+        // The stripmine form needs the limit in a register to compute
+        // the remaining trip count each iteration.
+        let vla_limit = if vla_main {
+            Some(self.as_sreg(limit_b)?)
+        } else {
+            None
+        };
         // Pointer-bump setup (native pipeline): one pointer per array
-        // accessed directly through this induction variable.
+        // accessed directly through this induction variable. Skipped for
+        // stripmined loops, whose per-iteration advance is not a
+        // compile-time constant.
         let mut bumped: Vec<(Reg, u32, SReg, i64)> = Vec::new();
-        if self.opts.pointer_bump() {
+        if self.opts.pointer_bump() && !vla_main {
             let mut arrays: Vec<(u32, usize)> = Vec::new();
             collect_induction_arrays(body, var, &mut arrays);
             for (sym, esize) in arrays {
@@ -746,18 +787,50 @@ impl<'a> Lower<'a> {
             Ok(())
         };
 
-        if self.opts.bottom_test_loops() {
-            emit_exit_test(self, Cond::Ge, l_exit)?;
-            let l_body = self.fresh_label();
-            self.emit(MInst::Label(l_body));
-            self.lower_stmts(body, body_ambient)?;
-            self.emit(MInst::SBinImm {
+        // Stripmine prologue of one iteration: vl = setvl(limit - i).
+        let emit_stripmine = |this: &mut Self| -> Option<SReg> {
+            let limit_reg = vla_limit?;
+            let rem = this.fresh_s();
+            this.emit(MInst::SBin {
+                op: BinOp::Sub,
+                ty: ScalarTy::I64,
+                dst: rem,
+                a: limit_reg,
+                b: i,
+            });
+            let vl = this.fresh_s();
+            this.emit(MInst::SetVl {
+                ty: vla_ty,
+                dst: vl,
+                avl: rem,
+            });
+            Some(vl)
+        };
+        let emit_advance = |this: &mut Self, vl: Option<SReg>| match vl {
+            // Stripmined loops advance by the runtime vector length.
+            Some(v) => this.emit(MInst::SBin {
+                op: BinOp::Add,
+                ty: ScalarTy::I64,
+                dst: i,
+                a: i,
+                b: v,
+            }),
+            None => this.emit(MInst::SBinImm {
                 op: BinOp::Add,
                 ty: ScalarTy::I64,
                 dst: i,
                 a: i,
                 imm: step_val,
-            });
+            }),
+        };
+
+        if self.opts.bottom_test_loops() {
+            emit_exit_test(self, Cond::Ge, l_exit)?;
+            let l_body = self.fresh_label();
+            self.emit(MInst::Label(l_body));
+            let vl = emit_stripmine(self);
+            self.lower_stmts(body, body_ambient)?;
+            emit_advance(self, vl);
             for (_, _, p, bump) in &bumped {
                 self.emit(MInst::SBinImm {
                     op: BinOp::Add,
@@ -773,14 +846,9 @@ impl<'a> Lower<'a> {
             let l_head = self.fresh_label();
             self.emit(MInst::Label(l_head));
             emit_exit_test(self, Cond::Ge, l_exit)?;
+            let vl = emit_stripmine(self);
             self.lower_stmts(body, body_ambient)?;
-            self.emit(MInst::SBinImm {
-                op: BinOp::Add,
-                ty: ScalarTy::I64,
-                dst: i,
-                a: i,
-                imm: step_val,
-            });
+            emit_advance(self, vl);
             for (_, _, p, bump) in &bumped {
                 self.emit(MInst::SBinImm {
                     op: BinOp::Add,
@@ -986,11 +1054,19 @@ impl<'a> Lower<'a> {
                 }
                 let am = self.mem_addr(addr, ty.size())?;
                 let d = self.def_v(dst);
-                self.emit(MInst::LoadV {
-                    dst: d,
-                    addr: am,
-                    align: MemAlign::Aligned,
-                });
+                if self.t.vla {
+                    self.emit(MInst::LoadVl {
+                        ty: *ty,
+                        dst: d,
+                        addr: am,
+                    });
+                } else {
+                    self.emit(MInst::LoadV {
+                        dst: d,
+                        addr: am,
+                        align: MemAlign::Aligned,
+                    });
+                }
                 Ok(())
             }
             Op::AlignLoad(ty, addr) => {
@@ -1026,6 +1102,21 @@ impl<'a> Lower<'a> {
                     let am = self.mem_addr(addr, ty.size())?;
                     let d = self.def_s(dst);
                     self.emit(MInst::LoadS {
+                        ty: *ty,
+                        dst: d,
+                        addr: am,
+                    });
+                    return Ok(());
+                }
+                if self.t.vla {
+                    // VLA memory ops are element-aligned by contract:
+                    // every (re)aligned load becomes the same predicated
+                    // load, and the lo/hi/rt realignment scaffolding is
+                    // dead (collect_realign_needed never marks it on a
+                    // target without explicit realignment).
+                    let am = self.mem_addr(addr, ty.size())?;
+                    let d = self.def_v(dst);
+                    self.emit(MInst::LoadVl {
                         ty: *ty,
                         dst: d,
                         addr: am,
@@ -1089,7 +1180,19 @@ impl<'a> Lower<'a> {
                 }
                 let (av, bv) = (self.as_vreg(*a)?, self.as_vreg(*b)?);
                 let d = self.def_v(dst);
-                if *bop == BinOp::Div && !self.t.has_fdiv {
+                if self.t.vla {
+                    // Merging predication: inactive lanes of the
+                    // destination survive, which keeps loop-carried
+                    // accumulators exact through the partial final
+                    // stripmine iteration.
+                    self.emit(MInst::VBinVl {
+                        op: *bop,
+                        ty: *ty,
+                        dst: d,
+                        a: av,
+                        b: bv,
+                    });
+                } else if *bop == BinOp::Div && !self.t.has_fdiv {
                     self.stats.helper_calls += 1;
                     self.emit(MInst::VHelper {
                         op: HelperOp::FDiv,
@@ -1123,7 +1226,14 @@ impl<'a> Lower<'a> {
                 }
                 let av = self.as_vreg(*a)?;
                 let d = self.def_v(dst);
-                if *uop == vapor_ir::UnOp::Sqrt && !self.t.has_fsqrt {
+                if self.t.vla {
+                    self.emit(MInst::VUnVl {
+                        op: *uop,
+                        ty: *ty,
+                        dst: d,
+                        a: av,
+                    });
+                } else if *uop == vapor_ir::UnOp::Sqrt && !self.t.has_fsqrt {
                     self.stats.helper_calls += 1;
                     self.emit(MInst::VHelper {
                         op: HelperOp::FSqrt,

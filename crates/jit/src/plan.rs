@@ -167,6 +167,14 @@ pub enum ScalarReason {
     FloatOp,
     /// The target has no SIMD at all.
     NoSimd,
+    /// A half-based sub-vector idiom (widening multiply, pack/unpack,
+    /// interleave, strided extract, dot product) on a vector-length-
+    /// agnostic target: "lo/hi half" has no fixed meaning when the lane
+    /// count is a runtime quantity.
+    VlaSubVector,
+    /// Mixed element widths inside one group on a VLA target: a single
+    /// `setvl` element width cannot govern both.
+    VlaMixedWidth,
 }
 
 fn scan_group(
@@ -175,6 +183,7 @@ fn scan_group(
     target: &TargetDesc,
     bad: &mut Vec<ScalarReason>,
     has_subvector: &mut bool,
+    widths: &mut Vec<usize>,
 ) {
     for s in stmts {
         match s {
@@ -185,9 +194,9 @@ fn scan_group(
                 ..
             } => {
                 if *kind == LoopKind::VectorMain && *g == group {
-                    scan_body(body, target, bad, has_subvector);
+                    scan_body(body, target, bad, has_subvector, widths);
                 } else {
-                    scan_group(body, group, target, bad, has_subvector);
+                    scan_group(body, group, target, bad, has_subvector, widths);
                 }
             }
             BcStmt::Version {
@@ -195,8 +204,8 @@ fn scan_group(
                 else_body,
                 ..
             } => {
-                scan_group(then_body, group, target, bad, has_subvector);
-                scan_group(else_body, group, target, bad, has_subvector);
+                scan_group(then_body, group, target, bad, has_subvector, widths);
+                scan_group(else_body, group, target, bad, has_subvector, widths);
             }
             _ => {}
         }
@@ -209,28 +218,36 @@ fn check_elem(t: ScalarTy, target: &TargetDesc, bad: &mut Vec<ScalarReason>) {
     }
 }
 
+fn note_width(t: ScalarTy, widths: &mut Vec<usize>) {
+    if !widths.contains(&t.size()) {
+        widths.push(t.size());
+    }
+}
+
 fn scan_body(
     body: &[BcStmt],
     target: &TargetDesc,
     bad: &mut Vec<ScalarReason>,
     has_subvector: &mut bool,
+    widths: &mut Vec<usize>,
 ) {
     let vs = target.vs;
     for s in body {
         match s {
-            BcStmt::Loop { body, .. } => scan_body(body, target, bad, has_subvector),
+            BcStmt::Loop { body, .. } => scan_body(body, target, bad, has_subvector, widths),
             BcStmt::Version {
                 then_body,
                 else_body,
                 ..
             } => {
-                scan_body(then_body, target, bad, has_subvector);
-                scan_body(else_body, target, bad, has_subvector);
+                scan_body(then_body, target, bad, has_subvector, widths);
+                scan_body(else_body, target, bad, has_subvector, widths);
             }
             BcStmt::VStore {
                 ty, mis, modulo, ..
             } => {
                 check_elem(*ty, target, bad);
+                note_width(*ty, widths);
                 match known_misalignment(*mis, *modulo, vs) {
                     Some(0) => {}
                     _ if target.misaligned_stores => {}
@@ -249,38 +266,54 @@ fn scan_body(
                 | Op::InterleaveHi(t, ..)
                 | Op::InterleaveLo(t, ..) => {
                     *has_subvector = true;
+                    if target.vla {
+                        bad.push(ScalarReason::VlaSubVector);
+                    }
                     check_elem(*t, target, bad);
+                    note_width(*t, widths);
                 }
                 Op::VBin(b, t, ..) => {
                     check_elem(*t, target, bad);
+                    note_width(*t, widths);
                     if *b == vapor_ir::BinOp::Div && !target.has_fdiv {
                         bad.push(ScalarReason::FloatOp);
                     }
                 }
                 Op::VUn(u, t, ..) => {
                     check_elem(*t, target, bad);
+                    note_width(*t, widths);
                     if *u == vapor_ir::UnOp::Sqrt && !target.has_fsqrt {
                         bad.push(ScalarReason::FloatOp);
                     }
                 }
                 Op::VShl(t, _, amt) | Op::VShr(t, _, amt) => {
                     check_elem(*t, target, bad);
+                    note_width(*t, widths);
                     if matches!(amt, ShiftAmt::PerLane(_)) && !target.has_per_lane_shift {
                         bad.push(ScalarReason::PerLaneShift);
                     }
                 }
-                Op::CvtInt2Fp(t, _) | Op::CvtFp2Int(t, _) => check_elem(*t, target, bad),
+                Op::CvtInt2Fp(t, _) | Op::CvtFp2Int(t, _) => {
+                    check_elem(*t, target, bad);
+                    note_width(*t, widths);
+                }
                 Op::InitUniform(t, _) | Op::InitAffine(t, ..) | Op::InitReduc(t, ..) => {
-                    check_elem(*t, target, bad)
+                    check_elem(*t, target, bad);
+                    note_width(*t, widths);
                 }
                 Op::ReducPlus(t, _) | Op::ReducMax(t, _) | Op::ReducMin(t, _) => {
-                    check_elem(*t, target, bad)
+                    check_elem(*t, target, bad);
+                    note_width(*t, widths);
                 }
-                Op::ALoad(t, _) => check_elem(*t, target, bad),
+                Op::ALoad(t, _) => {
+                    check_elem(*t, target, bad);
+                    note_width(*t, widths);
+                }
                 Op::RealignLoad {
                     ty, mis, modulo, ..
                 } => {
                     check_elem(*ty, target, bad);
+                    note_width(*ty, widths);
                     match known_misalignment(*mis, *modulo, vs) {
                         Some(0) => {}
                         _ if target.misaligned_loads || target.explicit_realign => {}
@@ -297,10 +330,23 @@ fn scan_body(
 pub fn plan_group(f: &BcFunction, group: u32, target: &TargetDesc) -> GroupMode {
     let mut bad = Vec::new();
     let mut has_subvector = false;
+    let mut widths = Vec::new();
     if !target.has_simd() {
         bad.push(ScalarReason::NoSimd);
     }
-    scan_group(&f.body, group, target, &mut bad, &mut has_subvector);
+    scan_group(
+        &f.body,
+        group,
+        target,
+        &mut bad,
+        &mut has_subvector,
+        &mut widths,
+    );
+    // One stripmined loop has one `setvl` element width: a VLA group
+    // mixing element sizes cannot be predicated consistently.
+    if target.vla && widths.len() > 1 {
+        bad.push(ScalarReason::VlaMixedWidth);
+    }
     if bad.is_empty() {
         GroupMode::Vector
     } else if has_subvector {

@@ -53,6 +53,8 @@ fn sreg_uses(inst: &MInst) -> Vec<SReg> {
             ..
         } => out.push(*r),
         MInst::VPermCtrl { addr: am, .. } => addr(am, &mut out),
+        MInst::SetVl { avl, .. } => out.push(*avl),
+        MInst::LoadVl { addr: am, .. } | MInst::StoreVl { addr: am, .. } => addr(am, &mut out),
         MInst::SpillLd { .. } | MInst::SpillSt { .. } => {}
         _ => {}
     }
@@ -71,7 +73,8 @@ fn sreg_def(inst: &MInst) -> Option<SReg> {
         | MInst::FpuBin { dst, .. }
         | MInst::LoadS { dst, .. }
         | MInst::GetLane { dst, .. }
-        | MInst::VReduce { dst, .. } => Some(*dst),
+        | MInst::VReduce { dst, .. }
+        | MInst::SetVl { dst, .. } => Some(*dst),
         _ => None,
     }
 }
@@ -122,6 +125,11 @@ fn substitute(inst: &MInst, m: &HashMap<SReg, SReg>) -> MInst {
         } => *r = m[r],
         MInst::VPermCtrl { addr, .. } => *addr = remap_addr(addr, m),
         MInst::VReduce { dst, .. } => *dst = m[dst],
+        MInst::SetVl { dst, avl, .. } => {
+            *dst = m[dst];
+            *avl = m[avl];
+        }
+        MInst::LoadVl { addr, .. } | MInst::StoreVl { addr, .. } => *addr = remap_addr(addr, m),
         _ => {}
     }
     i

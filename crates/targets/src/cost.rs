@@ -187,6 +187,70 @@ impl CostModel {
         }
     }
 
+    /// SVE-class VLA core weights: modern out-of-order machine — cheap
+    /// element-aligned (predication-friendly) memory ops, fast scalar
+    /// floats, no x87 artifact. Per-op weights are width-independent
+    /// (one instruction retires one whole register), which is exactly
+    /// why wider runtime VLs translate into proportional speedups.
+    pub fn sve_class() -> CostModel {
+        CostModel {
+            salu: 1,
+            sfpu: 1,
+            smul: 2,
+            sdiv: 12,
+            fpu_penalty: 0,
+            sload: 1,
+            sstore: 1,
+            branch: 1,
+            mov: 1,
+            valu: 1,
+            vmul: 2,
+            vdiv: 14,
+            vload_aligned: 1,
+            vload_unaligned: 1, // predicated loads carry no alignment penalty
+            vstore_aligned: 1,
+            vstore_unaligned: 1,
+            vperm: 1,
+            vpermctrl: 1,
+            vlane: 2,
+            vcvt: 2,
+            vreduce_step: 2,
+            helper_call: 20,
+            helper_per_lane: 3,
+        }
+    }
+
+    /// RVV-class VLA core weights: longer vectors on a narrower-issue,
+    /// more in-order core — slightly dearer scalar floats, multiplies
+    /// and lane traffic than the SVE-class profile.
+    pub fn rvv_class() -> CostModel {
+        CostModel {
+            salu: 1,
+            sfpu: 2,
+            smul: 3,
+            sdiv: 16,
+            fpu_penalty: 0,
+            sload: 2,
+            sstore: 2,
+            branch: 1,
+            mov: 1,
+            valu: 1,
+            vmul: 2,
+            vdiv: 18,
+            vload_aligned: 2,
+            vload_unaligned: 2,
+            vstore_aligned: 2,
+            vstore_unaligned: 2,
+            vperm: 1,
+            vpermctrl: 1,
+            vlane: 3,
+            vcvt: 2,
+            vreduce_step: 2,
+            helper_call: 24,
+            helper_per_lane: 4,
+        }
+    }
+
     /// Plain scalar machine for the no-SIMD target.
     pub fn generic_scalar() -> CostModel {
         CostModel {
@@ -305,6 +369,22 @@ impl CostModel {
             }
             MInst::MovV { .. } => self.mov,
             MInst::VHelper { .. } => self.helper_call + self.helper_per_lane * lanes as u32,
+            // VLA stripmine control is scalar-ALU-cheap (`vsetvli` class).
+            MInst::SetVl { .. } => self.salu,
+            // Predicated memory ops are element-aligned by contract:
+            // charged at the unaligned rate (identical to aligned on the
+            // VLA cost models).
+            MInst::LoadVl { addr, .. } => self.vload_unaligned + agen(addr),
+            MInst::StoreVl { addr, .. } => self.vstore_unaligned + agen(addr),
+            MInst::VBinVl { op, .. } => match op {
+                BinOp::Mul => self.vmul,
+                BinOp::Div => self.vdiv,
+                _ => self.valu,
+            },
+            MInst::VUnVl { op, .. } => match op {
+                UnOp::Sqrt => self.vdiv,
+                _ => self.valu,
+            },
         };
         c as u64
     }

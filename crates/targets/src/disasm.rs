@@ -168,6 +168,11 @@ pub fn disasm_inst(inst: &MInst) -> String {
                 crate::cost::helper_name(*op)
             )
         }
+        SetVl { ty, dst, avl } => format!("  {dst} = setvl.{ty} {avl}"),
+        LoadVl { ty, dst, addr: am } => format!("  {dst} = vld.vl.{ty} {}", addr(am)),
+        StoreVl { ty, src, addr: am } => format!("  vst.vl.{ty} {}, {src}", addr(am)),
+        VBinVl { op, ty, dst, a, b } => format!("  {dst} = v{op:?}.vl.{ty} {a}, {b}"),
+        VUnVl { op, ty, dst, a } => format!("  {dst} = v{op:?}.vl.{ty} {a}"),
     }
 }
 

@@ -557,6 +557,69 @@ pub enum MInst {
         /// Second operand (ops that need one).
         b: Option<VReg>,
     },
+
+    // ----- vector-length-agnostic (SVE/RVV-class) -----
+    /// Stripmine control (`vsetvli` / `whilelt` role): set the active
+    /// vector length to `min(max(avl, 0), VLMAX)` elements of `ty`, where
+    /// `VLMAX` is the lane count of `ty` in the *executing* machine's
+    /// vector register — a quantity unknown until run time on a VLA
+    /// target. The chosen `vl` (in elements) is written to `dst` and
+    /// latched in the machine for subsequent `...Vl` instructions.
+    SetVl {
+        /// Element type the length is counted in.
+        ty: ScalarTy,
+        /// Destination: receives the chosen `vl` in elements.
+        dst: SReg,
+        /// Application vector length: elements remaining to process.
+        avl: SReg,
+    },
+    /// Predicated vector load: reads only the `vl` active lanes
+    /// (element-aligned; VLA memory ops carry no whole-register alignment
+    /// contract), zeroing the inactive lanes (SVE zeroing predication).
+    LoadVl {
+        /// Element type.
+        ty: ScalarTy,
+        /// Destination.
+        dst: VReg,
+        /// Address.
+        addr: AddrMode,
+    },
+    /// Predicated vector store: writes only the `vl` active lanes.
+    StoreVl {
+        /// Element type.
+        ty: ScalarTy,
+        /// Source.
+        src: VReg,
+        /// Address.
+        addr: AddrMode,
+    },
+    /// Predicated elementwise binary op: active lanes are computed,
+    /// inactive lanes keep `dst`'s previous contents (merging
+    /// predication, so loop-carried accumulators stay correct on the
+    /// partial final stripmine iteration).
+    VBinVl {
+        /// Operator.
+        op: BinOp,
+        /// Element type.
+        ty: ScalarTy,
+        /// Destination (inactive lanes preserved).
+        dst: VReg,
+        /// Left operand.
+        a: VReg,
+        /// Right operand.
+        b: VReg,
+    },
+    /// Predicated elementwise unary op (merging predication).
+    VUnVl {
+        /// Operator.
+        op: UnOp,
+        /// Element type.
+        ty: ScalarTy,
+        /// Destination (inactive lanes preserved).
+        dst: VReg,
+        /// Operand.
+        a: VReg,
+    },
 }
 
 impl MInst {

@@ -1,8 +1,11 @@
 //! # vapor-targets — simulated SIMD hardware
 //!
-//! The substrate the paper runs on: SSE, AltiVec, NEON and AVX machines.
-//! Since no such hardware is available here, this crate implements each
-//! target as data + a virtual machine:
+//! The substrate the paper runs on: SSE, AltiVec, NEON and AVX machines,
+//! plus a vector-length-agnostic SVE/RVV-class family whose lane count
+//! is a *runtime* parameter (128–2048 bits, bound at execution
+//! specialization via [`TargetDesc::at_vl`]). Since no such hardware is
+//! available here, this crate implements each target as data + a
+//! virtual machine:
 //!
 //! * [`TargetDesc`] — the ISA facts of §IV-A (vector size, alignment
 //!   rules, supported element types and idioms);
@@ -30,7 +33,10 @@ pub use isa::{
 };
 pub use machine::{ExecStats, Machine, Memory, Trap, VBytes, GUARD, MAX_VS};
 pub use ports::{analyze_body, analyze_inner_loop, PortModel, PortPressure, Throughput};
-pub use target::{altivec, avx, neon64, scalar_only, sse, target, TargetDesc, TargetKind};
+pub use target::{
+    altivec, avx, neon64, rvv, scalar_only, sse, sve, target, valid_vl, TargetDesc, TargetKind,
+    VLA_MAX_BITS, VLA_MIN_BITS, VLA_TEST_BITS,
+};
 
 use vapor_ir::ScalarTy;
 

@@ -72,6 +72,30 @@ impl PortModel {
         }
     }
 
+    /// SVE-class VLA core: wide out-of-order machine, two vector pipes,
+    /// two load ports, one store port.
+    pub fn sve_core() -> PortModel {
+        PortModel {
+            vec_ports: 2,
+            load_ports: 2,
+            store_ports: 1,
+            scalar_ports: 2,
+            branch_ports: 1,
+        }
+    }
+
+    /// RVV-class VLA core: one long-vector pipe, single load/store pipe,
+    /// dual-issue scalar front end.
+    pub fn rvv_core() -> PortModel {
+        PortModel {
+            vec_ports: 1,
+            load_ports: 1,
+            store_ports: 1,
+            scalar_ports: 2,
+            branch_ports: 1,
+        }
+    }
+
     /// Single-issue scalar machine.
     pub fn single_issue() -> PortModel {
         PortModel {
@@ -171,6 +195,17 @@ fn classify(inst: &MInst, p: &mut PortPressure) {
         | MInst::MovV { .. } => p.vec += 1,
         MInst::VExtractStride { stride, .. } => p.vec += *stride as u32,
         MInst::VReduce { .. } => p.vec += 3,
+        // VLA stripmine control runs on the scalar ports (`vsetvli` class).
+        MInst::SetVl { .. } => p.scalar += 1,
+        MInst::LoadVl { addr, .. } => {
+            p.load += 1;
+            indexed_addressing(addr, p);
+        }
+        MInst::StoreVl { addr, .. } => {
+            p.store += 1;
+            indexed_addressing(addr, p);
+        }
+        MInst::VBinVl { .. } | MInst::VUnVl { .. } => p.vec += 1,
         MInst::VHelper { .. } => {
             // A call serializes; approximate with heavy pressure everywhere.
             p.vec += 8;

@@ -19,17 +19,42 @@ pub enum TargetKind {
     Avx,
     /// No SIMD at all: everything scalarizes.
     ScalarOnly,
+    /// ARM-SVE-class vector-length-agnostic target: the lane count is a
+    /// *runtime* parameter (128–2048 bits).
+    Sve,
+    /// RISC-V-Vector-class vector-length-agnostic target.
+    Rvv,
 }
 
 impl TargetKind {
     /// All built-in targets.
-    pub const ALL: [TargetKind; 5] = [
+    pub const ALL: [TargetKind; 7] = [
         TargetKind::Sse,
         TargetKind::Altivec,
         TargetKind::Neon64,
         TargetKind::Avx,
         TargetKind::ScalarOnly,
+        TargetKind::Sve,
+        TargetKind::Rvv,
     ];
+}
+
+/// Narrowest legal vector length of the VLA family, in bits (both SVE
+/// and RVV application profiles mandate at least 128).
+pub const VLA_MIN_BITS: usize = 128;
+
+/// Widest legal vector length, in bits (the SVE architectural maximum).
+pub const VLA_MAX_BITS: usize = 2048;
+
+/// The runtime vector lengths the test suite and the gains table
+/// exercise.
+pub const VLA_TEST_BITS: [usize; 5] = [128, 256, 512, 1024, 2048];
+
+/// Whether `vl_bits` is a legal runtime vector length for the VLA
+/// family: a multiple of 128 bits between 128 and 2048 (the SVE rule;
+/// every RVV power-of-two VLEN in range also satisfies it).
+pub fn valid_vl(vl_bits: usize) -> bool {
+    (VLA_MIN_BITS..=VLA_MAX_BITS).contains(&vl_bits) && vl_bits.is_multiple_of(VLA_MIN_BITS)
 }
 
 /// A SIMD target description.
@@ -45,7 +70,17 @@ pub struct TargetDesc {
     /// Which built-in target this is.
     pub kind: TargetKind,
     /// Vector size in bytes (VS). 0 disables SIMD entirely.
+    ///
+    /// For a vector-length-agnostic target (`vla == true`) this is *not*
+    /// a compile-time contract: the constructor sets it to the family
+    /// minimum ([`VLA_MIN_BITS`]) so offline/online planning stays
+    /// conservative, and [`TargetDesc::at_vl`] rebinds it to the concrete
+    /// runtime VL at execution-specialization time.
     pub vs: usize,
+    /// Vector-length-agnostic family (SVE/RVV-class): the compiled
+    /// artifact must not bake in a lane count; the online stage emits
+    /// `setvl`-stripmined, predicated code instead.
+    pub vla: bool,
     /// Whether misaligned vector *loads* are supported (SSE `movdqu`).
     pub misaligned_loads: bool,
     /// Whether misaligned vector *stores* are supported.
@@ -105,6 +140,23 @@ impl TargetDesc {
     pub fn has_simd(&self) -> bool {
         self.vs > 0
     }
+
+    /// Specialize a vector-length-agnostic target to a concrete runtime
+    /// vector length. The compiled artifact is shared across VLs — only
+    /// execution (decode, machine, cycle accounting) consumes the
+    /// specialized description.
+    ///
+    /// # Panics
+    /// Panics when called on a fixed-width target or with an illegal VL
+    /// (see [`valid_vl`]); both are harness bugs.
+    pub fn at_vl(&self, vl_bits: usize) -> TargetDesc {
+        assert!(self.vla, "{} is not a VLA target", self.name);
+        assert!(valid_vl(vl_bits), "illegal runtime VL of {vl_bits} bits");
+        TargetDesc {
+            vs: vl_bits / 8,
+            ..self.clone()
+        }
+    }
 }
 
 const ALL_VECTOR_ELEMS: &[ScalarTy] = &[
@@ -150,6 +202,7 @@ pub fn sse() -> TargetDesc {
         name: "SSE (128-bit)",
         kind: TargetKind::Sse,
         vs: 16,
+        vla: false,
         misaligned_loads: true,
         misaligned_stores: true,
         explicit_realign: false,
@@ -175,6 +228,7 @@ pub fn altivec() -> TargetDesc {
         name: "AltiVec (128-bit)",
         kind: TargetKind::Altivec,
         vs: 16,
+        vla: false,
         misaligned_loads: false,
         misaligned_stores: false,
         explicit_realign: true,
@@ -202,6 +256,7 @@ pub fn neon64() -> TargetDesc {
         name: "NEON (64-bit)",
         kind: TargetKind::Neon64,
         vs: 8,
+        vla: false,
         misaligned_loads: true,
         misaligned_stores: true,
         explicit_realign: false,
@@ -228,6 +283,7 @@ pub fn avx() -> TargetDesc {
         name: "AVX (256-bit)",
         kind: TargetKind::Avx,
         vs: 32,
+        vla: false,
         misaligned_loads: true,
         misaligned_stores: true,
         explicit_realign: false,
@@ -253,6 +309,7 @@ pub fn scalar_only() -> TargetDesc {
         name: "scalar (no SIMD)",
         kind: TargetKind::ScalarOnly,
         vs: 0,
+        vla: false,
         misaligned_loads: false,
         misaligned_stores: false,
         explicit_realign: false,
@@ -271,6 +328,67 @@ pub fn scalar_only() -> TargetDesc {
     }
 }
 
+/// ARM-SVE-class vector-length-agnostic target. The description is
+/// VL-*agnostic*: `vs` holds the family minimum (128 bits) purely for
+/// conservative planning, and the online stage emits `setvl`-stripmined
+/// predicated code with no lane count baked in. [`TargetDesc::at_vl`]
+/// produces the execution-time specialization for a concrete VL.
+///
+/// Half-based sub-vector idioms (widening multiply, pack/unpack, dot
+/// product) have no fixed meaning when the register width is a runtime
+/// quantity, so the backend declines them and those groups scalarize —
+/// the VLA analogue of the paper's immature-NEON-backend story.
+pub fn sve() -> TargetDesc {
+    TargetDesc {
+        name: "SVE-class (VLA)",
+        kind: TargetKind::Sve,
+        vs: VLA_MIN_BITS / 8,
+        vla: true,
+        misaligned_loads: true, // VLA memory ops are element-aligned only
+        misaligned_stores: true,
+        explicit_realign: false,
+        vector_elems: ALL_VECTOR_ELEMS,
+        has_dot_product: false, // half-based idioms undefined at runtime VL
+        has_widen_mult: false,
+        widen_mult_via_helper: false,
+        has_pack_unpack: false,
+        has_cvt: true, // same-width lane conversions are VL-clean
+        cvt_via_helper: false,
+        has_fdiv: true,
+        has_fsqrt: true,
+        has_per_lane_shift: true,
+        cost: CostModel::sve_class(),
+        ports: PortModel::sve_core(),
+    }
+}
+
+/// RISC-V-Vector-class vector-length-agnostic target: same VLA execution
+/// model as [`sve`] (`vsetvli` stripmining, predicated lane ops), with
+/// the cost/port profile of a longer-vector, narrower-issue core.
+pub fn rvv() -> TargetDesc {
+    TargetDesc {
+        name: "RVV-class (VLA)",
+        kind: TargetKind::Rvv,
+        vs: VLA_MIN_BITS / 8,
+        vla: true,
+        misaligned_loads: true,
+        misaligned_stores: true,
+        explicit_realign: false,
+        vector_elems: ALL_VECTOR_ELEMS,
+        has_dot_product: false,
+        has_widen_mult: false,
+        widen_mult_via_helper: false,
+        has_pack_unpack: false,
+        has_cvt: true,
+        cvt_via_helper: false,
+        has_fdiv: true,
+        has_fsqrt: true,
+        has_per_lane_shift: true,
+        cost: CostModel::rvv_class(),
+        ports: PortModel::rvv_core(),
+    }
+}
+
 /// Construct a target description by kind.
 pub fn target(kind: TargetKind) -> TargetDesc {
     match kind {
@@ -279,6 +397,8 @@ pub fn target(kind: TargetKind) -> TargetDesc {
         TargetKind::Neon64 => neon64(),
         TargetKind::Avx => avx(),
         TargetKind::ScalarOnly => scalar_only(),
+        TargetKind::Sve => sve(),
+        TargetKind::Rvv => rvv(),
     }
 }
 
@@ -325,5 +445,48 @@ mod tests {
         assert_eq!(sse().align_limit_bytes(), 16);
         assert_eq!(neon64().align_limit_bytes(), 8);
         assert_eq!(avx().align_limit_bytes(), 32);
+    }
+
+    #[test]
+    fn vla_lane_count_is_a_runtime_parameter() {
+        for t in [sve(), rvv()] {
+            assert!(t.vla);
+            // The agnostic description plans at the family minimum …
+            assert_eq!(t.lanes(ScalarTy::F32), 4);
+            // … and every legal runtime VL rebinds the lane count.
+            for (bits, lanes) in [(128, 4), (256, 8), (512, 16), (1024, 32), (2048, 64)] {
+                let s = t.at_vl(bits);
+                assert_eq!(s.lanes(ScalarTy::F32), lanes, "{} @{bits}", t.name);
+                assert!(s.vla, "specialization stays in the VLA family");
+                assert!(s.vs <= crate::machine::MAX_VS);
+            }
+        }
+    }
+
+    #[test]
+    fn vla_declines_half_based_idioms() {
+        for t in [sve(), rvv()] {
+            assert!(!t.has_dot_product && !t.has_widen_mult && !t.has_pack_unpack);
+            assert!(t.has_fdiv && t.has_fsqrt && t.has_cvt);
+            assert!(t.misaligned_loads && t.misaligned_stores && !t.explicit_realign);
+        }
+    }
+
+    #[test]
+    fn vl_validity_rules() {
+        assert!(valid_vl(128) && valid_vl(384) && valid_vl(2048));
+        assert!(!valid_vl(64) && !valid_vl(192) && !valid_vl(4096) && !valid_vl(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "not a VLA target")]
+    fn fixed_targets_cannot_specialize() {
+        let _ = sse().at_vl(256);
+    }
+
+    #[test]
+    #[should_panic(expected = "illegal runtime VL")]
+    fn illegal_vl_panics() {
+        let _ = sve().at_vl(96);
     }
 }

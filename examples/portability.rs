@@ -98,5 +98,45 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         println!();
     }
+
+    // ---- the same bytecode on a vector-length-agnostic target ----
+    //
+    // One more machine-code shape: setvl-stripmined, predicated code
+    // whose lane count is unknown until run time. The artifact is
+    // compiled once; the engine specializes it per runtime VL.
+    let family = vapor_targets::sve();
+    println!("=== {} — one artifact, any runtime VL ===", family.name);
+    let mut first = true;
+    for vl_bits in vapor_targets::VLA_TEST_BITS {
+        let (c, prog) = engine.specialize(
+            &kernel,
+            Flow::SplitVectorOpt,
+            &family,
+            &CompileConfig::default(),
+            vl_bits,
+        )?;
+        if first {
+            first = false;
+            let text = vapor_targets::disasm(&c.jit.code);
+            for l in text
+                .lines()
+                .filter(|l| l.contains("setvl") || l.contains(".vl"))
+                .take(6)
+            {
+                println!("   {l}");
+            }
+        }
+        let exec = family.at_vl(vl_bits);
+        let r = vapor_core::run_specialized(&exec, &c, &prog, &env, AllocPolicy::Aligned)?;
+        let got = match r.out.array("out").unwrap().get(0) {
+            Value::Float(v) => v,
+            v => panic!("unexpected {v:?}"),
+        };
+        println!(
+            "  VL={vl_bits:>4}: cycles {:>6}  result ok: {}",
+            r.stats.cycles,
+            (got - expected).abs() <= 1e-3 * expected.abs().max(1.0),
+        );
+    }
     Ok(())
 }

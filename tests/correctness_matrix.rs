@@ -2,12 +2,24 @@
 //! through every flow, executed on every target, must match the
 //! reference interpreter.
 
-use vapor_core::{arrays_match, reference, run, AllocPolicy, CompileConfig, Engine, Flow};
+use vapor_core::{
+    arrays_match, reference, run, run_specialized, AllocPolicy, CompileConfig, Engine, Flow,
+};
 use vapor_kernels::{suite, Scale};
-use vapor_targets::{altivec, avx, neon64, scalar_only, sse, TargetDesc};
+use vapor_targets::{altivec, avx, neon64, rvv, scalar_only, sse, sve, TargetDesc, VLA_TEST_BITS};
 
 fn targets() -> Vec<TargetDesc> {
-    vec![sse(), altivec(), neon64(), avx(), scalar_only()]
+    // The VLA families appear here in their VL-agnostic form: a plain
+    // `run()` executes them at the family-minimum 128-bit width.
+    vec![
+        sse(),
+        altivec(),
+        neon64(),
+        avx(),
+        scalar_only(),
+        sve(),
+        rvv(),
+    ]
 }
 
 #[test]
@@ -43,6 +55,74 @@ fn every_kernel_every_flow_every_target_matches_oracle() {
             }
         }
     }
+}
+
+#[test]
+fn vla_targets_match_oracle_at_every_runtime_vl() {
+    // The VLA correctness matrix: every suite kernel, compiled *once*
+    // per (flow, family) into a VL-agnostic artifact, then specialized
+    // and executed at every tested runtime vector length. Integer
+    // results are compared bit-exactly (arrays_match is exact for
+    // integer elements); float reductions get the same reassociation
+    // tolerance as the fixed-width matrix.
+    let engine = Engine::new();
+    let cfg = CompileConfig::default();
+    for spec in suite() {
+        let kernel = spec.kernel();
+        let env = spec.env(Scale::Test);
+        let oracle = reference(&kernel, &env)
+            .unwrap_or_else(|e| panic!("{}: oracle failed: {e}", spec.name));
+        for family in [sve(), rvv()] {
+            for flow in [
+                Flow::SplitVectorNaive,
+                Flow::SplitVectorOpt,
+                Flow::NativeVector,
+            ] {
+                let mut cycles_by_vl = Vec::new();
+                for vl in VLA_TEST_BITS {
+                    let (compiled, prog) = engine
+                        .specialize(&kernel, flow, &family, &cfg, vl)
+                        .unwrap_or_else(|e| {
+                            panic!(
+                                "{} [{flow} on {} @VL={vl}]: compile failed: {e}",
+                                spec.name, family.name
+                            )
+                        });
+                    let exec = family.at_vl(vl);
+                    let result =
+                        run_specialized(&exec, &compiled, &prog, &env, AllocPolicy::Aligned)
+                            .unwrap_or_else(|e| {
+                                panic!("{} [{flow} on {} @VL={vl}]: {e}", spec.name, family.name)
+                            });
+                    for (name, expected) in oracle.arrays() {
+                        let actual = result.out.array(name).unwrap();
+                        arrays_match(expected, actual, 2e-4).unwrap_or_else(|e| {
+                            panic!(
+                                "{} [{flow} on {} @VL={vl}]: array {name} mismatch: {e}",
+                                spec.name, family.name
+                            )
+                        });
+                    }
+                    cycles_by_vl.push(result.stats.cycles);
+                }
+                // The widest vectors must never cost more than the
+                // narrowest for the same artifact. (Intermediate VLs
+                // need not be pairwise monotone: reductions cost
+                // log2(lanes) halving steps, which at test-scale trip
+                // counts can locally outweigh the saved iterations.)
+                let (first, last) = (cycles_by_vl[0], *cycles_by_vl.last().unwrap());
+                assert!(
+                    last <= first,
+                    "{} [{flow} on {}]: VL=2048 costlier than VL=128: {cycles_by_vl:?}",
+                    spec.name,
+                    family.name
+                );
+            }
+        }
+    }
+    // One compile per (kernel, flow, family): the VL dimension must not
+    // have multiplied the compile cache.
+    assert_eq!(engine.stats().entries, 32 * 3 * 2);
 }
 
 #[test]
