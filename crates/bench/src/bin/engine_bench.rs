@@ -1,4 +1,4 @@
-//! Engine benchmark: quantifies the two wins of the engine layer and
+//! Engine benchmark: quantifies the wins of the engine + VM layers and
 //! writes them to `BENCH_engine.json`.
 //!
 //! 1. **Compilation caching** — a cache-hit `Engine::compile` versus a
@@ -7,27 +7,37 @@
 //!    the decoded program (`run`) versus the seed per-instruction
 //!    interpreter (`run_baseline`) on the saxpy/polybench suite.
 //! 3. **Runtime-VL specialization** — what bringing up a *new* VL costs
-//!    under "compile once" (one decode of the shared VL-agnostic
-//!    artifact) versus what a VL-keyed engine would pay (a full
-//!    pipeline run), over the dispatch suite on the SVE-class target.
+//!    under "compile once" (one re-specialization of the shared decode)
+//!    versus what a VL-keyed engine would pay (a full pipeline run).
+//! 4. **Target-sized register file** — decoded dispatch with the sized
+//!    (inline ≤32-byte) register file versus the seed-style max-width
+//!    (2048-bit) file, on the SSE-class target, plus the bytes one
+//!    register move costs in each representation.
+//! 5. **Predicated VLA fast dispatch** — decoded runtime-VL execution
+//!    (`DStep::VBinVlFast`/`VUnVlFast` kernels) versus the generic
+//!    merge-predicated interpreter loop, on the SVE-class target at
+//!    VL=512.
 //!
 //! ```text
 //! cargo run --release -p vapor-bench --bin engine_bench [out.json] [--baseline=committed.json]
 //! ```
 //!
-//! With `--baseline=`, the fresh cache/dispatch speedups are compared
-//! against the committed JSON's values and the process fails on a
-//! regression below 70% of the committed number (or below the absolute
-//! floors) — the CI bench gate.
+//! With `--baseline=`, the fresh speedups are compared against the
+//! committed JSON's values and the process fails on a regression below
+//! 70% of the committed number (or below the absolute floors). The
+//! per-kernel `vm_cycles` of the dispatch suite are additionally gated
+//! on *exact* equality: the VM cycle model is deterministic, so any
+//! drift is a real interpreter regression, caught without wall-clock
+//! noise.
 
 use std::fmt::Write as _;
 use std::hint::black_box;
 use std::time::Instant;
 
 use vapor_bench::Engine;
-use vapor_core::{run, run_baseline, AllocPolicy, CompileConfig, Flow};
+use vapor_core::{run, run_baseline, run_specialized, run_wide, AllocPolicy, CompileConfig, Flow};
 use vapor_kernels::{suite, KernelSpec, Scale, SuiteKind};
-use vapor_targets::{sse, sve, DecodedProgram};
+use vapor_targets::{sse, sve, VBytes, MAX_VS};
 
 /// Best-of-`reps` wall time of `f`, in seconds.
 fn best_secs<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
@@ -120,7 +130,8 @@ fn dispatch_experiment(engine: &Engine) -> Vec<DispatchRow> {
 
 /// Specialization experiment: the cost of bringing up a *new* runtime
 /// VL. A VL-keyed engine would re-run the whole pipeline per VL; the
-/// VL-agnostic engine re-decodes the one shared artifact.
+/// VL-agnostic engine re-specializes the one shared decode (label and
+/// target resolution, fast-kernel selection all reused).
 fn vl_specialize_experiment(engine: &Engine) -> Vec<DispatchRow> {
     let family = sve();
     let cfg = CompileConfig::default();
@@ -136,14 +147,81 @@ fn vl_specialize_experiment(engine: &Engine) -> Vec<DispatchRow> {
         }) * 1e6;
         let (compiled, _) = engine.specialize(&kernel, flow, &family, &cfg, vl).unwrap();
         let exec = family.at_vl(vl);
-        let decode_us = best_secs(5, || {
-            black_box(DecodedProgram::decode(&compiled.jit.code, &exec).unwrap())
+        let respec_us = best_secs(5, || {
+            black_box(
+                compiled
+                    .jit
+                    .decoded
+                    .respecialize(&compiled.jit.code, &exec)
+                    .unwrap(),
+            )
         }) * 1e6;
         rows.push(DispatchRow {
             name: spec.name.to_owned(),
             baseline_us: recompile_us,
-            decoded_us: decode_us,
+            decoded_us: respec_us,
             cycles: 0,
+        });
+    }
+    rows
+}
+
+/// Register-file experiment: decoded dispatch with target-sized
+/// registers versus the seed-style max-width (2048-bit, heap-backed)
+/// register file, on the 16-byte SSE target. Identical code, identical
+/// cycles — only register-move traffic differs.
+fn regmove_experiment(engine: &Engine) -> Vec<DispatchRow> {
+    let target = sse();
+    let cfg = CompileConfig::default();
+    let flow = Flow::SplitVectorOpt;
+    let mut rows = Vec::new();
+    for spec in dispatch_suite() {
+        let kernel = spec.kernel();
+        let env = spec.env(Scale::Full);
+        let c = engine.compile(&kernel, flow, &target, &cfg).unwrap();
+        let sized_us = best_secs(5, || run(&target, &c, &env, AllocPolicy::Aligned).unwrap()) * 1e6;
+        let wide_us = best_secs(5, || {
+            run_wide(&target, &c, &env, AllocPolicy::Aligned).unwrap()
+        }) * 1e6;
+        rows.push(DispatchRow {
+            name: spec.name.to_owned(),
+            baseline_us: wide_us,
+            decoded_us: sized_us,
+            cycles: 0,
+        });
+    }
+    rows
+}
+
+/// Predicated VLA dispatch experiment: decoded runtime-VL execution
+/// (with the `VBinVlFast`/`VUnVlFast` lane kernels) versus the generic
+/// merge-predicated interpreter loop, SVE-class at VL=512.
+fn vla_dispatch_experiment(engine: &Engine) -> Vec<DispatchRow> {
+    let family = sve();
+    let cfg = CompileConfig::default();
+    let flow = Flow::SplitVectorOpt;
+    let vl = 512;
+    let exec = family.at_vl(vl);
+    let mut rows = Vec::new();
+    for spec in dispatch_suite() {
+        let kernel = spec.kernel();
+        let env = spec.env(Scale::Full);
+        let (compiled, prog) = engine.specialize(&kernel, flow, &family, &cfg, vl).unwrap();
+        let fast_us = best_secs(5, || {
+            run_specialized(&exec, &compiled, &prog, &env, AllocPolicy::Aligned).unwrap()
+        }) * 1e6;
+        let generic_us = best_secs(5, || {
+            run_baseline(&exec, &compiled, &env, AllocPolicy::Aligned).unwrap()
+        }) * 1e6;
+        let cycles = run_specialized(&exec, &compiled, &prog, &env, AllocPolicy::Aligned)
+            .unwrap()
+            .stats
+            .cycles;
+        rows.push(DispatchRow {
+            name: spec.name.to_owned(),
+            baseline_us: generic_us,
+            decoded_us: fast_us,
+            cycles,
         });
     }
     rows
@@ -161,6 +239,18 @@ fn json_number(text: &str, key: &str) -> Option<f64> {
     rest[..end].parse().ok()
 }
 
+/// Per-kernel `vm_cycles` of the committed JSON's `"dispatch"` section
+/// (scoped to that section: the `vla_dispatch` rows carry cycles too).
+fn baseline_dispatch_cycles(text: &str, kernel: &str) -> Option<u64> {
+    let start = text.find("\"dispatch\": [")?;
+    let section = &text[start..];
+    let section = &section[..section.find(']').unwrap_or(section.len())];
+    let row_at = section.find(&format!("\"kernel\": \"{kernel}\""))?;
+    let row = &section[row_at..];
+    let row = &row[..row.find('}').unwrap_or(row.len())];
+    json_number(row, "vm_cycles").map(|v| v as u64)
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let out_path = args
@@ -174,23 +264,40 @@ fn main() {
         .map(str::to_owned);
     let engine = Engine::new();
 
-    eprintln!("[1/3] compilation cache: cold vs hit ...");
+    eprintln!("[1/5] compilation cache: cold vs hit ...");
     let cache = cache_experiment(&engine);
     let cold_total: f64 = cache.iter().map(|r| r.cold_us).sum();
     let hit_total: f64 = cache.iter().map(|r| r.hit_us).sum();
     let cache_speedup = cold_total / hit_total;
 
-    eprintln!("[2/3] VM dispatch: seed interpreter vs pre-decoded ...");
+    eprintln!("[2/5] VM dispatch: seed interpreter vs pre-decoded ...");
     let dispatch = dispatch_experiment(&engine);
     let base_total: f64 = dispatch.iter().map(|r| r.baseline_us).sum();
     let dec_total: f64 = dispatch.iter().map(|r| r.decoded_us).sum();
     let dispatch_speedup = base_total / dec_total;
 
-    eprintln!("[3/3] runtime-VL specialization: re-decode vs full recompile ...");
+    eprintln!("[3/5] runtime-VL specialization: re-specialize vs full recompile ...");
     let vl_rows = vl_specialize_experiment(&engine);
     let vl_fresh: f64 = vl_rows.iter().map(|r| r.baseline_us).sum();
     let vl_hit: f64 = vl_rows.iter().map(|r| r.decoded_us).sum();
     let vl_speedup = vl_fresh / vl_hit;
+
+    eprintln!("[4/5] register file: target-sized vs seed max-width ...");
+    let regmove = regmove_experiment(&engine);
+    let wide_total: f64 = regmove.iter().map(|r| r.baseline_us).sum();
+    let sized_total: f64 = regmove.iter().map(|r| r.decoded_us).sum();
+    let regmove_speedup = wide_total / sized_total;
+    // Bytes one register move costs: the full 2048-bit array in the
+    // seed representation vs the inline VBytes payload for every
+    // fixed-width target.
+    let regmove_bytes_wide = MAX_VS;
+    let regmove_bytes_sized = std::mem::size_of::<VBytes>();
+
+    eprintln!("[5/5] VLA dispatch: generic predicated loop vs fast kernels ...");
+    let vla = vla_dispatch_experiment(&engine);
+    let vla_base: f64 = vla.iter().map(|r| r.baseline_us).sum();
+    let vla_fast: f64 = vla.iter().map(|r| r.decoded_us).sum();
+    let vla_dispatch_speedup = vla_base / vla_fast;
 
     let mut j = String::new();
     j.push_str("{\n");
@@ -199,6 +306,10 @@ fn main() {
     let _ = writeln!(j, "  \"cache_speedup\": {cache_speedup:.1},");
     let _ = writeln!(j, "  \"dispatch_speedup\": {dispatch_speedup:.3},");
     let _ = writeln!(j, "  \"vl_specialize_speedup\": {vl_speedup:.1},");
+    let _ = writeln!(j, "  \"regmove_speedup\": {regmove_speedup:.3},");
+    let _ = writeln!(j, "  \"regmove_bytes_wide\": {regmove_bytes_wide},");
+    let _ = writeln!(j, "  \"regmove_bytes_sized\": {regmove_bytes_sized},");
+    let _ = writeln!(j, "  \"vla_dispatch_speedup\": {vla_dispatch_speedup:.3},");
     j.push_str("  \"compile\": [\n");
     for (i, r) in cache.iter().enumerate() {
         let sep = if i + 1 == cache.len() { "" } else { "," };
@@ -238,19 +349,55 @@ fn main() {
             r.cycles
         );
     }
+    j.push_str("  ],\n");
+    j.push_str("  \"regmove\": [\n");
+    for (i, r) in regmove.iter().enumerate() {
+        let sep = if i + 1 == regmove.len() { "" } else { "," };
+        let _ = writeln!(
+            j,
+            "    {{\"kernel\": \"{}\", \"wide_us\": {:.2}, \"sized_us\": {:.2}, \"speedup\": {:.3}}}{sep}",
+            r.name,
+            r.baseline_us,
+            r.decoded_us,
+            r.baseline_us / r.decoded_us
+        );
+    }
+    j.push_str("  ],\n");
+    j.push_str("  \"vla_dispatch\": [\n");
+    for (i, r) in vla.iter().enumerate() {
+        let sep = if i + 1 == vla.len() { "" } else { "," };
+        let _ = writeln!(
+            j,
+            "    {{\"kernel\": \"{}\", \"generic_us\": {:.2}, \"fast_us\": {:.2}, \"speedup\": {:.3}, \"vm_cycles\": {}}}{sep}",
+            r.name,
+            r.baseline_us,
+            r.decoded_us,
+            r.baseline_us / r.decoded_us,
+            r.cycles
+        );
+    }
     j.push_str("  ]\n}\n");
 
     std::fs::write(&out_path, &j).unwrap_or_else(|e| panic!("write {out_path}: {e}"));
     println!("cache-hit compile speedup:    {cache_speedup:.1}x (floor ≥ 10x)");
     println!("pre-decoded dispatch speedup: {dispatch_speedup:.3}x (floor ≥ 1.2x)");
     println!("VL-specialize vs recompile:   {vl_speedup:.1}x");
+    println!(
+        "register file sized vs wide:  {regmove_speedup:.3}x wall clock, \
+         {regmove_bytes_wide} -> {regmove_bytes_sized} bytes/move ({:.1}x)",
+        regmove_bytes_wide as f64 / regmove_bytes_sized as f64
+    );
+    println!("VLA fast vs generic dispatch: {vla_dispatch_speedup:.3}x (floor ≥ 1.3x)");
     println!("wrote {out_path}");
 
     // Regression gate: absolute floors, tightened by the committed
     // baseline when one is given (70% of the committed speedup absorbs
-    // CI timing noise while catching real regressions).
+    // CI timing noise while catching real regressions). Per-kernel VM
+    // cycle counts are deterministic, so those are gated on *exact*
+    // equality — an interpreter perf/semantics drift fails CI even when
+    // wall-clock noise would hide it.
     let mut fail = false;
-    let (mut cache_floor, mut dispatch_floor): (f64, f64) = (10.0, 1.2);
+    let (mut cache_floor, mut dispatch_floor, mut vla_floor): (f64, f64, f64) = (10.0, 1.2, 1.3);
     if let Some(path) = baseline_path {
         let text =
             std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read baseline {path}: {e}"));
@@ -260,10 +407,30 @@ fn main() {
             .unwrap_or_else(|| panic!("no dispatch_speedup in {path}"));
         cache_floor = cache_floor.max(0.7 * base_cache);
         dispatch_floor = dispatch_floor.max(0.7 * base_dispatch);
+        // Present only in baselines recorded after the register-file PR.
+        if let Some(base_vla) = json_number(&text, "vla_dispatch_speedup") {
+            vla_floor = vla_floor.max(0.7 * base_vla);
+        }
         println!(
             "baseline {path}: cache {base_cache:.1}x, dispatch {base_dispatch:.3}x \
-             -> thresholds {cache_floor:.1}x / {dispatch_floor:.3}x"
+             -> thresholds {cache_floor:.1}x / {dispatch_floor:.3}x / {vla_floor:.3}x"
         );
+        for r in &dispatch {
+            match baseline_dispatch_cycles(&text, &r.name) {
+                Some(want) if want != r.cycles => {
+                    eprintln!(
+                        "REGRESSION: {} executed {} VM cycles, committed baseline says {want} \
+                         (deterministic counter; exact match required)",
+                        r.name, r.cycles
+                    );
+                    fail = true;
+                }
+                Some(_) => {}
+                None => {
+                    eprintln!("WARNING: no committed vm_cycles for {} in {path}", r.name);
+                }
+            }
+        }
     }
     if cache_speedup < cache_floor {
         eprintln!(
@@ -274,6 +441,12 @@ fn main() {
     if dispatch_speedup < dispatch_floor {
         eprintln!(
             "REGRESSION: dispatch speedup {dispatch_speedup:.3}x < threshold {dispatch_floor:.3}x"
+        );
+        fail = true;
+    }
+    if vla_dispatch_speedup < vla_floor {
+        eprintln!(
+            "REGRESSION: VLA fast-dispatch speedup {vla_dispatch_speedup:.3}x < threshold {vla_floor:.3}x"
         );
         fail = true;
     }

@@ -320,13 +320,18 @@ fn main() {
         }
     }
 
+    if want("vmperf") && (target_filter.is_none() || want_target(&sse()) || want_target(&sve())) {
+        printed = true;
+        print_vmperf(&engine, scale);
+    }
+
     if !printed {
         eprintln!(
             "nothing to report: no experiment matches the given filters. \
              Experiments: fig5a fig5b ablation realign size fig6a fig6b \
-             fig6c table3 vla — each tied to specific targets (known \
-             targets: {}). Use --flow= for a per-kernel cycle table on \
-             any target.",
+             fig6c table3 vla vmperf — each tied to specific targets \
+             (known targets: {}). Use --flow= for a per-kernel cycle \
+             table on any target.",
             known_target_names()
         );
         std::process::exit(2);
@@ -336,6 +341,101 @@ fn main() {
     eprintln!(
         "[engine] cache: {} entries ({} VL specializations), {} hits, {} misses",
         s.entries, s.vl_entries, s.hits, s.misses
+    );
+}
+
+/// The VM-performance table: what one register move costs per target
+/// class (the seed kept every register at MAX_VS bytes), and what the
+/// predicated fast-dispatch kernels buy over the generic interpreter
+/// loop on a runtime-VL machine.
+fn print_vmperf(engine: &Engine, scale: Scale) {
+    use vapor_core::{run_baseline, run_specialized, AllocPolicy};
+    use vapor_targets::{VBytes, MAX_VS};
+
+    let sized = std::mem::size_of::<VBytes>();
+    let rows = vec![
+        vec![
+            "register move, fixed-width (SSE/NEON/AVX)".to_string(),
+            format!("{MAX_VS} B"),
+            format!("{sized} B (inline)"),
+            format!("{:.1}x", MAX_VS as f64 / sized as f64),
+        ],
+        vec![
+            "register move, VLA ≤ 256-bit".to_string(),
+            format!("{MAX_VS} B"),
+            format!("{sized} B (inline)"),
+            format!("{:.1}x", MAX_VS as f64 / sized as f64),
+        ],
+        vec![
+            "register move, VLA > 256-bit".to_string(),
+            format!("{MAX_VS} B"),
+            format!("{sized} B (boxed, recycled)"),
+            "alloc-free".to_string(),
+        ],
+    ];
+    println!(
+        "{}",
+        format_table(
+            "VM register file — bytes moved per register write (seed vs target-sized)",
+            &["path", "seed (MAX_VS)", "sized", "reduction"],
+            &rows
+        )
+    );
+
+    let family = sve();
+    let vl = 512;
+    let exec = family.at_vl(vl);
+    let cfg = CompileConfig::default();
+    let mut rows = Vec::new();
+    let mut ratios = Vec::new();
+    for spec in suite() {
+        if !(spec.name.starts_with("saxpy") || spec.name.starts_with("jacobi")) {
+            continue;
+        }
+        let kernel = spec.kernel();
+        let env = spec.env(scale);
+        let Ok((compiled, prog)) =
+            engine.specialize(&kernel, vapor_core::Flow::SplitVectorOpt, &family, &cfg, vl)
+        else {
+            continue;
+        };
+        let timed = |f: &mut dyn FnMut()| {
+            let mut best = f64::INFINITY;
+            for _ in 0..3 {
+                let t0 = std::time::Instant::now();
+                f();
+                best = best.min(t0.elapsed().as_secs_f64());
+            }
+            best * 1e6
+        };
+        let fast = timed(&mut || {
+            run_specialized(&exec, &compiled, &prog, &env, AllocPolicy::Aligned).unwrap();
+        });
+        let generic = timed(&mut || {
+            run_baseline(&exec, &compiled, &env, AllocPolicy::Aligned).unwrap();
+        });
+        ratios.push(generic / fast);
+        rows.push(vec![
+            spec.name.to_owned(),
+            format!("{generic:.1}"),
+            format!("{fast:.1}"),
+            format!("{:.2}x", generic / fast),
+        ]);
+    }
+    println!(
+        "{}",
+        format_table(
+            &format!(
+                "VLA fast dispatch — generic predicated loop vs VBinVlFast/VUnVlFast ({} @VL={vl})",
+                family.name
+            ),
+            &["kernel", "generic µs", "fast µs", "speedup"],
+            &rows
+        )
+    );
+    println!(
+        "geomean VLA fast-dispatch speedup: {:.2}x (full suite recorded in BENCH_engine.json)\n",
+        geomean(ratios.into_iter())
     );
 }
 

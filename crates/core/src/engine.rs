@@ -110,17 +110,79 @@ pub struct EngineStats {
     pub vl_entries: usize,
 }
 
+/// Default bound on the per-VL decode cache. VL specializations are
+/// cheap to rebuild (a re-specialization of the shared decode, not a
+/// compile), so the cache is a small LRU rather than an unbounded map —
+/// a service cycling through many (kernel, VL) pairs must not grow
+/// without limit.
+pub const VL_CACHE_CAPACITY: usize = 64;
+
+/// A tiny LRU map: a `HashMap` plus a monotone use-stamp per entry.
+/// Lookups are O(1); the eviction scan is O(n) over at most
+/// `cap` entries, which at the capacities used here (tens) is cheaper
+/// than maintaining an intrusive list.
+#[derive(Debug)]
+struct VlLru {
+    map: HashMap<(CacheKey, u32), (Arc<DecodedProgram>, u64)>,
+    tick: u64,
+    cap: usize,
+}
+
+impl VlLru {
+    fn new(cap: usize) -> VlLru {
+        VlLru {
+            map: HashMap::new(),
+            tick: 0,
+            cap: cap.max(1),
+        }
+    }
+
+    fn get(&mut self, key: &(CacheKey, u32)) -> Option<Arc<DecodedProgram>> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.get_mut(key).map(|(v, stamp)| {
+            *stamp = tick;
+            Arc::clone(v)
+        })
+    }
+
+    /// Insert, evicting the least-recently-used entry when full. Like
+    /// `entry().or_insert()`, a racing earlier insert wins: the caller
+    /// gets the canonical `Arc`.
+    fn insert(&mut self, key: (CacheKey, u32), value: Arc<DecodedProgram>) -> Arc<DecodedProgram> {
+        self.tick += 1;
+        if let Some((v, stamp)) = self.map.get_mut(&key) {
+            *stamp = self.tick;
+            return Arc::clone(v);
+        }
+        while self.map.len() >= self.cap {
+            let lru = self
+                .map
+                .iter()
+                .min_by_key(|(_, (_, stamp))| *stamp)
+                .map(|(k, _)| k.clone());
+            match lru {
+                Some(k) => self.map.remove(&k),
+                None => break,
+            };
+        }
+        self.map.insert(key, (Arc::clone(&value), self.tick));
+        value
+    }
+}
+
 /// A persistent compilation service. Cheap to share by reference across
 /// threads (`&Engine` is `Send + Sync`); create one per process (or per
 /// tenant) and route every compilation through it.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Engine {
     cache: RwLock<HashMap<CacheKey, Arc<Compiled>>>,
     /// Execution specializations of VLA compilations: the *same*
-    /// `Arc<Compiled>` artifact, re-decoded per concrete runtime vector
-    /// length. Keyed by the compile key *plus* the VL — "compile once"
-    /// stays intact because the VL dimension first appears here.
-    vl_cache: RwLock<HashMap<(CacheKey, u32), Arc<DecodedProgram>>>,
+    /// `Arc<Compiled>` artifact, re-specialized per concrete runtime
+    /// vector length. Keyed by the compile key *plus* the VL — "compile
+    /// once" stays intact because the VL dimension first appears here.
+    /// Bounded (LRU): see [`VL_CACHE_CAPACITY`].
+    vl_cache: Mutex<VlLru>,
     /// Keys currently being compiled, so concurrent requests for the
     /// same tuple wait for the first compiler instead of duplicating
     /// the whole pipeline run.
@@ -128,6 +190,12 @@ pub struct Engine {
     inflight_done: Condvar,
     hits: AtomicU64,
     misses: AtomicU64,
+}
+
+impl Default for Engine {
+    fn default() -> Engine {
+        Engine::with_vl_cache_capacity(VL_CACHE_CAPACITY)
+    }
 }
 
 /// Removes a key from the in-flight set (and wakes waiters) when the
@@ -149,6 +217,20 @@ impl Engine {
     /// An engine with an empty cache.
     pub fn new() -> Engine {
         Engine::default()
+    }
+
+    /// An engine whose per-VL decode cache holds at most `cap` entries
+    /// (the compile cache stays unbounded — compiled artifacts are the
+    /// expensive, shared resource; VL decodes are cheap to rebuild).
+    pub fn with_vl_cache_capacity(cap: usize) -> Engine {
+        Engine {
+            cache: RwLock::new(HashMap::new()),
+            vl_cache: Mutex::new(VlLru::new(cap)),
+            inflight: Mutex::new(HashSet::new()),
+            inflight_done: Condvar::new(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
     }
 
     /// Compile through the cache: on a hit, returns the *same*
@@ -277,10 +359,14 @@ impl Engine {
     ///
     /// The compile step is the ordinary cached, VL-*agnostic* pipeline
     /// run — every VL shares one `Arc<Compiled>` artifact. What is
-    /// per-VL is only the execution form: the machine code re-decoded
-    /// against `target.at_vl(vl_bits)` (per-instruction costs and lane
-    /// counts depend on the concrete width). Those decodes are cached
-    /// under the compile key *plus* `vl_bits`.
+    /// per-VL is only the execution form: the shared pre-decoded program
+    /// *re-specialized* against `target.at_vl(vl_bits)`. The
+    /// VL-independent decode work (label→index resolution, step and
+    /// fast-kernel selection) is done once at compile time and shared;
+    /// only per-instruction costs and lane counts are recomputed per VL
+    /// (see `DecodedProgram::respecialize`). Those specializations are
+    /// kept in a small LRU cache ([`VL_CACHE_CAPACITY`]) keyed by the
+    /// compile key *plus* `vl_bits`.
     ///
     /// Fixed-width targets are accepted when `vl_bits` names their one
     /// width; the baked-in decode is returned and no entry is added.
@@ -324,19 +410,22 @@ impl Engine {
         );
         if let Some(hit) = self
             .vl_cache
-            .read()
+            .lock()
             .expect("engine vl cache poisoned")
             .get(&key)
         {
-            return Ok((compiled, Arc::clone(hit)));
+            return Ok((compiled, hit));
         }
         let exec = target.at_vl(vl_bits);
         let prog = Arc::new(
-            DecodedProgram::decode(&compiled.jit.code, &exec)
+            compiled
+                .jit
+                .decoded
+                .respecialize(&compiled.jit.code, &exec)
                 .map_err(|e| PipelineError(format!("VL={vl_bits} specialization: {e}")))?,
         );
-        let mut map = self.vl_cache.write().expect("engine vl cache poisoned");
-        Ok((compiled, Arc::clone(map.entry(key).or_insert(prog))))
+        let mut lru = self.vl_cache.lock().expect("engine vl cache poisoned");
+        Ok((compiled, lru.insert(key, prog)))
     }
 
     /// Cache hit/miss counters and current size.
@@ -347,8 +436,9 @@ impl Engine {
             entries: self.cache.read().expect("engine cache poisoned").len(),
             vl_entries: self
                 .vl_cache
-                .read()
+                .lock()
                 .expect("engine vl cache poisoned")
+                .map
                 .len(),
         }
     }
@@ -368,8 +458,9 @@ impl Engine {
     pub fn clear(&self) {
         self.cache.write().expect("engine cache poisoned").clear();
         self.vl_cache
-            .write()
+            .lock()
             .expect("engine vl cache poisoned")
+            .map
             .clear();
     }
 }
@@ -600,6 +691,57 @@ mod tests {
         assert!(Arc::ptr_eq(&p512, &p512b));
         e.clear();
         assert_eq!(e.stats().vl_entries, 0);
+    }
+
+    #[test]
+    fn vl_cache_is_lru_bounded() {
+        // Capacity 2: the least-recently-used specialization is evicted,
+        // recently-touched ones survive, and eviction only costs a
+        // re-specialization (never a recompile).
+        let e = Engine::with_vl_cache_capacity(2);
+        let k = saxpy();
+        let t = vapor_targets::sve();
+        let cfg = CompileConfig::default();
+        let flow = Flow::SplitVectorOpt;
+        let (_, p128) = e.specialize(&k, flow, &t, &cfg, 128).unwrap();
+        let (_, p256) = e.specialize(&k, flow, &t, &cfg, 256).unwrap();
+        assert_eq!(e.stats().vl_entries, 2);
+        // Touch 128 so 256 becomes the LRU entry, then insert a third.
+        let (_, p128b) = e.specialize(&k, flow, &t, &cfg, 128).unwrap();
+        assert!(Arc::ptr_eq(&p128, &p128b), "touched entry must still hit");
+        let (_, _p512) = e.specialize(&k, flow, &t, &cfg, 512).unwrap();
+        assert_eq!(e.stats().vl_entries, 2, "cache must stay bounded");
+        // 256 was evicted: a fresh Arc comes back. 128 survived.
+        let (_, p256b) = e.specialize(&k, flow, &t, &cfg, 256).unwrap();
+        assert!(!Arc::ptr_eq(&p256, &p256b), "LRU entry must be evicted");
+        assert_eq!(
+            e.stats().misses,
+            1,
+            "eviction re-specializes; it never recompiles"
+        );
+    }
+
+    #[test]
+    fn vl_specializations_share_the_decode_skeleton() {
+        // The re-specialized program must be exactly what a fresh
+        // decode would produce (costs, lane clamps, control targets).
+        let e = Engine::new();
+        let k = saxpy();
+        let t = vapor_targets::sve();
+        let cfg = CompileConfig::default();
+        for vl in [128usize, 512, 2048] {
+            let (compiled, prog) = e
+                .specialize(&k, Flow::SplitVectorOpt, &t, &cfg, vl)
+                .unwrap();
+            let exec = t.at_vl(vl);
+            let fresh = vapor_targets::DecodedProgram::decode(&compiled.jit.code, &exec).unwrap();
+            assert_eq!(prog.vs, fresh.vs);
+            assert_eq!(prog.len, fresh.len);
+            for (a, b) in prog.steps().iter().zip(fresh.steps()) {
+                assert_eq!(a.cost, b.cost, "VL={vl}");
+                assert_eq!(a.lanes, b.lanes, "VL={vl}");
+            }
+        }
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! machine, bind arguments and arrays, run, and read results back.
 
 use vapor_ir::{interpret, ArrayData, Bindings, Kernel, Value};
-use vapor_targets::{ExecStats, Machine, TargetDesc, Trap, MAX_VS};
+use vapor_targets::{ExecStats, Machine, Memory, TargetDesc, Trap, MAX_VS};
 
 use crate::pipeline::Compiled;
 
@@ -41,7 +41,27 @@ pub fn run(
     env: &Bindings,
     policy: AllocPolicy,
 ) -> Result<RunResult, Trap> {
-    let (mut m, bases) = setup_machine(target, compiled, env, policy)?;
+    let (mut m, bases) = setup_machine(target, compiled, env, policy, false)?;
+    let stats = m.run_decoded(&compiled.jit.decoded)?;
+    Ok(read_back(&m, bases, stats))
+}
+
+/// Like [`run()`], but forcing the seed-style register file: every
+/// vector register heap-backed at the full `MAX_VS` (2048-bit) width
+/// regardless of the target. Results and cycle counts are identical to
+/// [`run()`] by construction — only register-move traffic differs.
+/// Used by the register-file benchmarks and the differential tests that
+/// pin the target-sized representation to the max-sized one.
+///
+/// # Errors
+/// Same contract as [`run()`].
+pub fn run_wide(
+    target: &TargetDesc,
+    compiled: &Compiled,
+    env: &Bindings,
+    policy: AllocPolicy,
+) -> Result<RunResult, Trap> {
+    let (mut m, bases) = setup_machine(target, compiled, env, policy, true)?;
     let stats = m.run_decoded(&compiled.jit.decoded)?;
     Ok(read_back(&m, bases, stats))
 }
@@ -62,7 +82,25 @@ pub fn run_specialized(
     env: &Bindings,
     policy: AllocPolicy,
 ) -> Result<RunResult, Trap> {
-    let (mut m, bases) = setup_machine(exec_target, compiled, env, policy)?;
+    let (mut m, bases) = setup_machine(exec_target, compiled, env, policy, false)?;
+    let stats = m.run_decoded(prog)?;
+    Ok(read_back(&m, bases, stats))
+}
+
+/// [`run_specialized`] with the seed-style max-width register file (see
+/// [`run_wide`]): the differential harness for runtime-VL machines,
+/// whose narrow specializations use inline registers.
+///
+/// # Errors
+/// Same contract as [`run_specialized`].
+pub fn run_specialized_wide(
+    exec_target: &TargetDesc,
+    compiled: &Compiled,
+    prog: &vapor_targets::DecodedProgram,
+    env: &Bindings,
+    policy: AllocPolicy,
+) -> Result<RunResult, Trap> {
+    let (mut m, bases) = setup_machine(exec_target, compiled, env, policy, true)?;
     let stats = m.run_decoded(prog)?;
     Ok(read_back(&m, bases, stats))
 }
@@ -81,7 +119,7 @@ pub fn run_baseline(
     env: &Bindings,
     policy: AllocPolicy,
 ) -> Result<RunResult, Trap> {
-    let (mut m, bases) = setup_machine(target, compiled, env, policy)?;
+    let (mut m, bases) = setup_machine(target, compiled, env, policy, false)?;
     let stats = m.run(&compiled.jit.code)?;
     Ok(read_back(&m, bases, stats))
 }
@@ -95,12 +133,17 @@ fn setup_machine<'t>(
     compiled: &Compiled,
     env: &Bindings,
     policy: AllocPolicy,
+    wide_regs: bool,
 ) -> Result<(Machine<'t>, Placements), Trap> {
     let f = &compiled.func;
-    // Memory: all arrays + padding + slack for the guard zone. Checking
-    // bindings here (not with `unwrap_or(0)`) so a missing array is
-    // reported by name up front instead of trapping later with a
-    // confusing out-of-bounds message from undersized memory.
+    // Memory: all arrays + the machine's guard padding either side +
+    // alignment slack. The padding is target-sized (`Memory::pad_for`),
+    // so a 16-byte-register machine no longer carries 2048-bit guard
+    // zones per array. Checking bindings here (not with `unwrap_or(0)`)
+    // so a missing array is reported by name up front instead of
+    // trapping later with a confusing out-of-bounds message from
+    // undersized memory.
+    let pad = Memory::pad_for(target.vs.max(1));
     let mut total = 4096usize;
     for a in &f.arrays {
         let data = env.array(&a.name).ok_or_else(|| {
@@ -109,9 +152,10 @@ fn setup_machine<'t>(
                 a.name, compiled.name
             ))
         })?;
-        total += data.bytes.len() + 4 * MAX_VS;
+        total += data.bytes.len() + 2 * pad + 2 * MAX_VS;
     }
     let mut m = Machine::new(target, total);
+    m.set_wide_registers(wide_regs);
 
     for (i, p) in f.params.iter().enumerate() {
         let v = env

@@ -23,21 +23,95 @@
 
 use std::collections::HashMap;
 
-use vapor_ir::sem::{eval_bin, eval_un, read_elem, write_elem};
+use vapor_ir::sem::{eval_bin, eval_un, read_elem, write_elem, Value};
 use vapor_ir::{BinOp, ScalarTy, UnOp};
 
-use crate::isa::{Cond, Label, MCode, MInst, SReg, VReg};
-use crate::machine::{Trap, VBytes, MAX_VS};
+use crate::isa::{AddrMode, Cond, Label, MCode, MInst, MemAlign, SReg, VReg};
+use crate::machine::Trap;
 use crate::target::TargetDesc;
 
-/// Specialized all-lanes kernel of a binary vector op: the operator and
+/// Specialized lane kernel of a binary vector op: the operator and
 /// element type are compile-time constants inside, so the per-lane
 /// `eval_bin`/`read_elem`/`write_elem` matches of the generic
 /// interpreter const-fold into a straight-line (auto-vectorizable) loop.
-pub type VBinFn = fn(&VBytes, &VBytes, usize) -> VBytes;
+///
+/// The kernel writes the first `n` lanes of `out` and leaves the rest
+/// untouched, so one kernel serves both the all-lanes form (caller
+/// passes a zeroed output) and the merging-predicated `...Vl` form
+/// (caller passes a copy of the destination and the active lane count).
+/// Operands are plain byte slices: the kernel is independent of the
+/// register-file representation (inline vs heap-backed `VBytes`).
+pub type VBinFn = fn(a: &[u8], b: &[u8], out: &mut [u8], n: usize);
 
-/// Specialized all-lanes kernel of a unary vector op.
-pub type VUnFn = fn(&VBytes, usize) -> VBytes;
+/// Specialized lane kernel of a unary vector op (same contract).
+pub type VUnFn = fn(a: &[u8], out: &mut [u8], n: usize);
+
+/// Sentinel for "no index register" in the flattened address fields of
+/// the fast memory steps (`Option<SReg>` flattened to one word so the
+/// hot-loop variants stay within the niche-packed 32-byte `DStep`).
+pub const NO_INDEX: u32 = u32::MAX;
+
+/// Specialized scalar ALU kernel: `eval_bin` with the operator and type
+/// baked in, so the partially-vectorized kernels (`lu`, `seidel`) whose
+/// decoded time is scalar-op-bound skip the operator/type double match.
+pub type SBinFn = fn(Value, Value) -> Value;
+
+/// Pick the specialized scalar kernel for an (operator, type) pair.
+/// Integer-only operators are only generated at integer types.
+fn sbin_fn(op: BinOp, ty: ScalarTy) -> Option<SBinFn> {
+    macro_rules! k {
+        ($opvar:ident, $tyvar:ident) => {{
+            fn kernel(a: Value, b: Value) -> Value {
+                eval_bin(BinOp::$opvar, ScalarTy::$tyvar, a, b)
+            }
+            Some(kernel as SBinFn)
+        }};
+    }
+    macro_rules! for_int_tys {
+        ($opvar:ident, $ty:expr) => {
+            match $ty {
+                ScalarTy::I8 => k!($opvar, I8),
+                ScalarTy::U8 => k!($opvar, U8),
+                ScalarTy::I16 => k!($opvar, I16),
+                ScalarTy::U16 => k!($opvar, U16),
+                ScalarTy::I32 => k!($opvar, I32),
+                ScalarTy::U32 => k!($opvar, U32),
+                ScalarTy::I64 => k!($opvar, I64),
+                _ => None,
+            }
+        };
+    }
+    macro_rules! for_all_tys {
+        ($opvar:ident, $ty:expr) => {
+            match $ty {
+                ScalarTy::I8 => k!($opvar, I8),
+                ScalarTy::U8 => k!($opvar, U8),
+                ScalarTy::I16 => k!($opvar, I16),
+                ScalarTy::U16 => k!($opvar, U16),
+                ScalarTy::I32 => k!($opvar, I32),
+                ScalarTy::U32 => k!($opvar, U32),
+                ScalarTy::I64 => k!($opvar, I64),
+                ScalarTy::F32 => k!($opvar, F32),
+                ScalarTy::F64 => k!($opvar, F64),
+            }
+        };
+    }
+    match op {
+        BinOp::Add => for_all_tys!(Add, ty),
+        BinOp::Sub => for_all_tys!(Sub, ty),
+        BinOp::Mul => for_all_tys!(Mul, ty),
+        BinOp::Div => for_all_tys!(Div, ty),
+        BinOp::Min => for_all_tys!(Min, ty),
+        BinOp::Max => for_all_tys!(Max, ty),
+        BinOp::CmpEq => for_all_tys!(CmpEq, ty),
+        BinOp::CmpLt => for_all_tys!(CmpLt, ty),
+        BinOp::Shl => for_int_tys!(Shl, ty),
+        BinOp::Shr => for_int_tys!(Shr, ty),
+        BinOp::And => for_int_tys!(And, ty),
+        BinOp::Or => for_int_tys!(Or, ty),
+        BinOp::Xor => for_int_tys!(Xor, ty),
+    }
+}
 
 /// Pick the specialized kernel for a (operator, element type) pair, if
 /// one is generated. Pairs the online compilers never emit (e.g. float
@@ -45,10 +119,15 @@ pub type VUnFn = fn(&VBytes, usize) -> VBytes;
 fn vbin_fn(op: BinOp, ty: ScalarTy) -> Option<VBinFn> {
     macro_rules! k {
         ($opvar:ident, $tyvar:ident) => {{
-            fn kernel(a: &VBytes, b: &VBytes, n: usize) -> VBytes {
+            fn kernel(a: &[u8], b: &[u8], out: &mut [u8], n: usize) {
                 const TY: ScalarTy = ScalarTy::$tyvar;
                 const SZ: usize = TY.size();
-                let mut out = [0u8; MAX_VS];
+                // Exact-length subslices hoist the bounds checks out of
+                // the lane loop (each `k * SZ + SZ <= n * SZ` becomes
+                // provable), keeping the loop auto-vectorizable.
+                let end = n * SZ;
+                let (a, b) = (&a[..end], &b[..end]);
+                let out = &mut out[..end];
                 for k in 0..n {
                     let off = k * SZ;
                     let v = eval_bin(
@@ -57,9 +136,8 @@ fn vbin_fn(op: BinOp, ty: ScalarTy) -> Option<VBinFn> {
                         read_elem(TY, a, off),
                         read_elem(TY, b, off),
                     );
-                    write_elem(TY, &mut out, off, v);
+                    write_elem(TY, out, off, v);
                 }
-                out
             }
             Some(kernel as VBinFn)
         }};
@@ -160,24 +238,40 @@ fn vbin_fn(op: BinOp, ty: ScalarTy) -> Option<VBinFn> {
     }
 }
 
+/// Flatten an [`AddrMode`] into the immediate fields of a fast memory
+/// step. `None` when the displacement exceeds 32 bits or an index
+/// register number collides with the [`NO_INDEX`] sentinel (neither is
+/// ever produced by the online compilers; such code falls back to the
+/// generic path rather than decoding wrong).
+fn flatten_addr(m: &AddrMode) -> Option<(SReg, u32, u8, i32)> {
+    let disp = i32::try_from(m.disp).ok()?;
+    let idx = match m.idx {
+        Some(r) if r.0 == NO_INDEX => return None,
+        Some(r) => r.0,
+        None => NO_INDEX,
+    };
+    Some((m.base, idx, m.scale, disp))
+}
+
 /// Pick the specialized kernel for a unary (operator, element type).
 fn vun_fn(op: UnOp, ty: ScalarTy) -> Option<VUnFn> {
     macro_rules! k {
         ($opvar:ident, $tyvar:ident) => {{
-            fn kernel(a: &VBytes, n: usize) -> VBytes {
+            fn kernel(a: &[u8], out: &mut [u8], n: usize) {
                 const TY: ScalarTy = ScalarTy::$tyvar;
                 const SZ: usize = TY.size();
-                let mut out = [0u8; MAX_VS];
+                let end = n * SZ;
+                let a = &a[..end];
+                let out = &mut out[..end];
                 for k in 0..n {
                     let off = k * SZ;
                     write_elem(
                         TY,
-                        &mut out,
+                        out,
                         off,
                         eval_un(UnOp::$opvar, TY, read_elem(TY, a, off)),
                     );
                 }
-                out
             }
             Some(kernel as VUnFn)
         }};
@@ -253,8 +347,13 @@ pub enum DStep {
         b: VReg,
         /// Specialized lane kernel.
         f: VBinFn,
+        /// Operator (for disassembly/respecialization; the kernel has it
+        /// baked in).
+        op: BinOp,
+        /// Element type.
+        ty: ScalarTy,
         /// Lane count of the element type on the decode target.
-        lanes: u32,
+        lanes: u16,
     },
     /// [`MInst::VUn`] with a specialized all-lanes kernel.
     VUnFast {
@@ -264,8 +363,154 @@ pub enum DStep {
         a: VReg,
         /// Specialized lane kernel.
         f: VUnFn,
+        /// Operator.
+        op: UnOp,
+        /// Element type.
+        ty: ScalarTy,
         /// Lane count of the element type on the decode target.
-        lanes: u32,
+        lanes: u16,
+    },
+    /// [`MInst::VBinVl`] (merging-predicated, runtime-VL) with the same
+    /// specialized lane kernel as [`DStep::VBinFast`]: the active lane
+    /// count is read from the machine's VL state at execution time, so
+    /// runtime-VL code no longer falls back to the generic
+    /// merge-predicated interpreter loop.
+    VBinVlFast {
+        /// Destination (also the merge source for inactive lanes).
+        dst: VReg,
+        /// Left operand.
+        a: VReg,
+        /// Right operand.
+        b: VReg,
+        /// Specialized lane kernel.
+        f: VBinFn,
+        /// Operator.
+        op: BinOp,
+        /// Element type.
+        ty: ScalarTy,
+        /// Lane count of a full register on the decode target (the VL
+        /// clamp).
+        max_lanes: u16,
+    },
+    /// [`MInst::VUnVl`] with a specialized merging-predicated kernel.
+    VUnVlFast {
+        /// Destination (also the merge source for inactive lanes).
+        dst: VReg,
+        /// Operand.
+        a: VReg,
+        /// Specialized lane kernel.
+        f: VUnFn,
+        /// Operator.
+        op: UnOp,
+        /// Element type.
+        ty: ScalarTy,
+        /// Lane count of a full register on the decode target.
+        max_lanes: u16,
+    },
+    /// [`MInst::LoadV`] with the address mode flattened to immediate
+    /// fields: no `AddrMode` indirection and no second (~40-variant)
+    /// instruction match in the hot loop. Memory traffic dominates the
+    /// suite's inner loops, so these four memory steps are where the
+    /// decoded dispatch wins most of its time over the seed interpreter.
+    LoadVFast {
+        /// Destination.
+        dst: VReg,
+        /// Base address register.
+        base: SReg,
+        /// Index register number, or [`NO_INDEX`].
+        idx: u32,
+        /// Scale applied to the index (bytes).
+        scale: u8,
+        /// Whether the access carries the aligned contract.
+        aligned: bool,
+        /// Constant displacement (bytes).
+        disp: i32,
+    },
+    /// [`MInst::StoreV`] with a flattened address mode.
+    StoreVFast {
+        /// Source register.
+        src: VReg,
+        /// Base address register.
+        base: SReg,
+        /// Index register number, or [`NO_INDEX`].
+        idx: u32,
+        /// Scale applied to the index (bytes).
+        scale: u8,
+        /// Whether the access carries the aligned contract.
+        aligned: bool,
+        /// Constant displacement (bytes).
+        disp: i32,
+    },
+    /// [`MInst::LoadS`] with a flattened address mode.
+    LoadSFast {
+        /// Element type.
+        ty: ScalarTy,
+        /// Destination.
+        dst: SReg,
+        /// Base address register.
+        base: SReg,
+        /// Index register number, or [`NO_INDEX`].
+        idx: u32,
+        /// Scale applied to the index (bytes).
+        scale: u8,
+        /// Constant displacement (bytes).
+        disp: i32,
+    },
+    /// [`MInst::StoreS`] with a flattened address mode.
+    StoreSFast {
+        /// Element type.
+        ty: ScalarTy,
+        /// Source register.
+        src: SReg,
+        /// Base address register.
+        base: SReg,
+        /// Index register number, or [`NO_INDEX`].
+        idx: u32,
+        /// Scale applied to the index (bytes).
+        scale: u8,
+        /// Constant displacement (bytes).
+        disp: i32,
+    },
+    /// [`MInst::SBin`]/[`MInst::FpuBin`] with a specialized scalar ALU
+    /// kernel and the result type resolved at decode time. The
+    /// partially-vectorized kernels execute mostly scalar code, so this
+    /// is what moves their dispatch numbers.
+    SBinFast {
+        /// Destination.
+        dst: SReg,
+        /// Left operand.
+        a: SReg,
+        /// Right operand.
+        b: SReg,
+        /// Specialized scalar kernel.
+        f: SBinFn,
+        /// Operand type (for input coercion).
+        ty: ScalarTy,
+        /// Result type (I32 for comparisons, `ty` otherwise).
+        rty: ScalarTy,
+    },
+    /// [`MInst::SBinImm`] with a specialized scalar ALU kernel.
+    SBinImmFast {
+        /// Destination.
+        dst: SReg,
+        /// Left operand.
+        a: SReg,
+        /// Immediate right operand (decode falls back to the generic
+        /// path when it does not fit 32 bits).
+        imm: i32,
+        /// Specialized scalar kernel.
+        f: SBinFn,
+        /// Operand type.
+        ty: ScalarTy,
+        /// Result type.
+        rty: ScalarTy,
+    },
+    /// [`MInst::MovS`] (hot in spill-heavy scalar code).
+    MovSFast {
+        /// Destination.
+        dst: SReg,
+        /// Source.
+        src: SReg,
     },
     /// Any other non-control instruction, executed by the shared
     /// (generic) semantics.
@@ -361,7 +606,9 @@ impl DecodedProgram {
                         a: *a,
                         b: *b,
                         f,
-                        lanes: lanes_of(*ty) as u32,
+                        op: *op,
+                        ty: *ty,
+                        lanes: lanes_of(*ty) as u16,
                     },
                     None => DStep::Op(inst.clone()),
                 },
@@ -370,7 +617,118 @@ impl DecodedProgram {
                         dst: *dst,
                         a: *a,
                         f,
-                        lanes: lanes_of(*ty) as u32,
+                        op: *op,
+                        ty: *ty,
+                        lanes: lanes_of(*ty) as u16,
+                    },
+                    None => DStep::Op(inst.clone()),
+                },
+                MInst::SBin { op, ty, dst, a, b } | MInst::FpuBin { op, ty, dst, a, b } => {
+                    match sbin_fn(*op, *ty) {
+                        Some(f) => DStep::SBinFast {
+                            dst: *dst,
+                            a: *a,
+                            b: *b,
+                            f,
+                            ty: *ty,
+                            rty: if op.is_comparison() {
+                                ScalarTy::I32
+                            } else {
+                                *ty
+                            },
+                        },
+                        None => DStep::Op(inst.clone()),
+                    }
+                }
+                MInst::SBinImm {
+                    op,
+                    ty,
+                    dst,
+                    a,
+                    imm,
+                } => match (sbin_fn(*op, *ty), i32::try_from(*imm)) {
+                    (Some(f), Ok(imm)) => DStep::SBinImmFast {
+                        dst: *dst,
+                        a: *a,
+                        imm,
+                        f,
+                        ty: *ty,
+                        rty: if op.is_comparison() {
+                            ScalarTy::I32
+                        } else {
+                            *ty
+                        },
+                    },
+                    _ => DStep::Op(inst.clone()),
+                },
+                MInst::MovS { dst, src } => DStep::MovSFast {
+                    dst: *dst,
+                    src: *src,
+                },
+                MInst::LoadV { dst, addr, align } => match flatten_addr(addr) {
+                    Some((base, idx, scale, disp)) => DStep::LoadVFast {
+                        dst: *dst,
+                        base,
+                        idx,
+                        scale,
+                        aligned: *align == MemAlign::Aligned,
+                        disp,
+                    },
+                    None => DStep::Op(inst.clone()),
+                },
+                MInst::StoreV { src, addr, align } => match flatten_addr(addr) {
+                    Some((base, idx, scale, disp)) => DStep::StoreVFast {
+                        src: *src,
+                        base,
+                        idx,
+                        scale,
+                        aligned: *align == MemAlign::Aligned,
+                        disp,
+                    },
+                    None => DStep::Op(inst.clone()),
+                },
+                MInst::LoadS { ty, dst, addr } => match flatten_addr(addr) {
+                    Some((base, idx, scale, disp)) => DStep::LoadSFast {
+                        ty: *ty,
+                        dst: *dst,
+                        base,
+                        idx,
+                        scale,
+                        disp,
+                    },
+                    None => DStep::Op(inst.clone()),
+                },
+                MInst::StoreS { ty, src, addr } => match flatten_addr(addr) {
+                    Some((base, idx, scale, disp)) => DStep::StoreSFast {
+                        ty: *ty,
+                        src: *src,
+                        base,
+                        idx,
+                        scale,
+                        disp,
+                    },
+                    None => DStep::Op(inst.clone()),
+                },
+                MInst::VBinVl { op, ty, dst, a, b } => match vbin_fn(*op, *ty) {
+                    Some(f) => DStep::VBinVlFast {
+                        dst: *dst,
+                        a: *a,
+                        b: *b,
+                        f,
+                        op: *op,
+                        ty: *ty,
+                        max_lanes: lanes_of(*ty) as u16,
+                    },
+                    None => DStep::Op(inst.clone()),
+                },
+                MInst::VUnVl { op, ty, dst, a } => match vun_fn(*op, *ty) {
+                    Some(f) => DStep::VUnVlFast {
+                        dst: *dst,
+                        a: *a,
+                        f,
+                        op: *op,
+                        ty: *ty,
+                        max_lanes: lanes_of(*ty) as u16,
                     },
                     None => DStep::Op(inst.clone()),
                 },
@@ -388,6 +746,61 @@ impl DecodedProgram {
         }
         let len = steps.len();
         Ok(DecodedProgram { steps, len, vs })
+    }
+
+    /// Re-specialize an already-decoded program to another vector width
+    /// of the same code, sharing all vector-length-independent decode
+    /// work: label→index resolution, step construction, and fast-kernel
+    /// selection are reused; only per-instruction costs and lane counts
+    /// are recomputed against `target`. This is what makes bringing up a
+    /// new runtime VL cheaper than a fresh [`DecodedProgram::decode`].
+    ///
+    /// `code` must be the same program this was decoded from (the engine
+    /// keys both off one `Compiled` artifact); a shape mismatch is
+    /// rejected.
+    ///
+    /// # Errors
+    /// Returns a [`Trap`] when `code` does not match this program.
+    pub fn respecialize(&self, code: &MCode, target: &TargetDesc) -> Result<DecodedProgram, Trap> {
+        let vs = target.vs.max(1);
+        let lanes_of = |ty: vapor_ir::ScalarTy| (vs / ty.size()).max(1);
+        let mut insts = code.insts.iter().filter(|i| !matches!(i, MInst::Label(_)));
+        let mut steps = Vec::with_capacity(self.steps.len());
+        for d in &self.steps {
+            let inst = insts.next().ok_or_else(|| {
+                Trap("respecialize: code is shorter than the decoded program".into())
+            })?;
+            let mut step = d.step.clone();
+            match &mut step {
+                DStep::VBinFast { ty, lanes, .. } | DStep::VUnFast { ty, lanes, .. } => {
+                    *lanes = lanes_of(*ty) as u16;
+                }
+                DStep::VBinVlFast { ty, max_lanes, .. }
+                | DStep::VUnVlFast { ty, max_lanes, .. } => {
+                    *max_lanes = lanes_of(*ty) as u16;
+                }
+                _ => {}
+            }
+            let lanes = match inst {
+                MInst::VReduce { ty, .. } | MInst::VHelper { ty, .. } => lanes_of(*ty),
+                _ => 1,
+            };
+            steps.push(DecodedInst {
+                step,
+                cost: target.cost.cost(inst, lanes),
+                lanes: lanes as u32,
+            });
+        }
+        if insts.next().is_some() {
+            return Err(Trap(
+                "respecialize: code is longer than the decoded program".into(),
+            ));
+        }
+        Ok(DecodedProgram {
+            steps,
+            len: self.len,
+            vs,
+        })
     }
 
     /// The decoded instruction stream.
@@ -512,6 +925,273 @@ mod tests {
         };
         let err = DecodedProgram::decode(&code, &sse()).unwrap_err();
         assert!(err.0.contains("undefined label"), "{err}");
+    }
+
+    #[test]
+    fn predicated_vector_ops_get_fast_kernels() {
+        // VBinVl/VUnVl must decode to the merging-predicated fast
+        // kernels, not fall back to the generic Op path.
+        let code = MCode {
+            insts: vec![
+                MInst::VBinVl {
+                    op: BinOp::Add,
+                    ty: ScalarTy::I32,
+                    dst: VReg(0),
+                    a: VReg(1),
+                    b: VReg(2),
+                },
+                MInst::VUnVl {
+                    op: vapor_ir::UnOp::Neg,
+                    ty: ScalarTy::F64,
+                    dst: VReg(0),
+                    a: VReg(1),
+                },
+            ],
+            n_sregs: 0,
+            n_vregs: 3,
+            note: String::new(),
+        };
+        let t = crate::target::sve().at_vl(512); // 64-byte registers
+        let p = DecodedProgram::decode(&code, &t).unwrap();
+        match &p.steps()[0].step {
+            DStep::VBinVlFast {
+                op, ty, max_lanes, ..
+            } => {
+                assert_eq!((*op, *ty), (BinOp::Add, ScalarTy::I32));
+                assert_eq!(*max_lanes, 16);
+            }
+            s => panic!("expected VBinVlFast, got {s:?}"),
+        }
+        match &p.steps()[1].step {
+            DStep::VUnVlFast { ty, max_lanes, .. } => {
+                assert_eq!((*ty, *max_lanes), (ScalarTy::F64, 8));
+            }
+            s => panic!("expected VUnVlFast, got {s:?}"),
+        }
+        let text = crate::disasm::disasm_decoded(&p);
+        assert!(text.contains("vl.fast"), "{text}");
+    }
+
+    #[test]
+    fn hot_scalar_and_memory_ops_get_fast_steps() {
+        // The dispatch-dominant instructions must not take the generic
+        // Op fallback: loads/stores decode to flattened-address steps,
+        // scalar ALU ops to specialized kernels.
+        let code = MCode {
+            insts: vec![
+                MInst::LoadV {
+                    dst: VReg(0),
+                    addr: AddrMode::fused(SReg(0), SReg(1), 4, 16),
+                    align: MemAlign::Aligned,
+                },
+                MInst::StoreV {
+                    src: VReg(0),
+                    addr: AddrMode::base_disp(SReg(0), 0),
+                    align: MemAlign::Unaligned,
+                },
+                MInst::LoadS {
+                    ty: ScalarTy::F32,
+                    dst: SReg(2),
+                    addr: AddrMode::base_disp(SReg(0), 4),
+                },
+                MInst::StoreS {
+                    ty: ScalarTy::F32,
+                    src: SReg(2),
+                    addr: AddrMode::base_disp(SReg(0), 8),
+                },
+                MInst::SBin {
+                    op: BinOp::Mul,
+                    ty: ScalarTy::I64,
+                    dst: SReg(3),
+                    a: SReg(1),
+                    b: SReg(2),
+                },
+                MInst::SBinImm {
+                    op: BinOp::Add,
+                    ty: ScalarTy::I64,
+                    dst: SReg(1),
+                    a: SReg(1),
+                    imm: 1,
+                },
+                MInst::MovS {
+                    dst: SReg(4),
+                    src: SReg(3),
+                },
+                // Out-of-range displacement: must fall back, not decode
+                // a truncated address.
+                MInst::LoadS {
+                    ty: ScalarTy::F32,
+                    dst: SReg(2),
+                    addr: AddrMode::base_disp(SReg(0), i64::from(i32::MAX) + 1),
+                },
+            ],
+            n_sregs: 5,
+            n_vregs: 1,
+            note: String::new(),
+        };
+        let p = DecodedProgram::decode(&code, &sse()).unwrap();
+        assert!(matches!(
+            p.steps()[0].step,
+            DStep::LoadVFast {
+                aligned: true,
+                idx: 1,
+                scale: 4,
+                disp: 16,
+                ..
+            }
+        ));
+        assert!(matches!(
+            p.steps()[1].step,
+            DStep::StoreVFast {
+                aligned: false,
+                idx: super::NO_INDEX,
+                ..
+            }
+        ));
+        assert!(matches!(p.steps()[2].step, DStep::LoadSFast { .. }));
+        assert!(matches!(p.steps()[3].step, DStep::StoreSFast { .. }));
+        assert!(matches!(
+            p.steps()[4].step,
+            DStep::SBinFast {
+                ty: ScalarTy::I64,
+                rty: ScalarTy::I64,
+                ..
+            }
+        ));
+        assert!(matches!(
+            p.steps()[5].step,
+            DStep::SBinImmFast { imm: 1, .. }
+        ));
+        assert!(matches!(p.steps()[6].step, DStep::MovSFast { .. }));
+        assert!(matches!(p.steps()[7].step, DStep::Op(MInst::LoadS { .. })));
+        // Comparisons resolve their I32 result type at decode time.
+        let cmp = MCode {
+            insts: vec![MInst::SBin {
+                op: BinOp::CmpLt,
+                ty: ScalarTy::F64,
+                dst: SReg(0),
+                a: SReg(1),
+                b: SReg(2),
+            }],
+            n_sregs: 3,
+            n_vregs: 0,
+            note: String::new(),
+        };
+        let p = DecodedProgram::decode(&cmp, &sse()).unwrap();
+        assert!(matches!(
+            p.steps()[0].step,
+            DStep::SBinFast {
+                ty: ScalarTy::F64,
+                rty: ScalarTy::I32,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn respecialize_matches_a_fresh_decode() {
+        // Re-specializing a family-minimum decode to another VL must
+        // produce exactly what a from-scratch decode produces: same
+        // targets, same costs, same lane clamps.
+        let code = MCode {
+            insts: vec![
+                MInst::MovImmI {
+                    dst: SReg(0),
+                    imm: 0,
+                },
+                MInst::Label(Label(0)),
+                MInst::VBinVl {
+                    op: BinOp::Mul,
+                    ty: ScalarTy::F32,
+                    dst: VReg(0),
+                    a: VReg(0),
+                    b: VReg(1),
+                },
+                MInst::VReduce {
+                    op: crate::isa::ReduceOp::Plus,
+                    ty: ScalarTy::F32,
+                    dst: SReg(1),
+                    src: VReg(0),
+                },
+                MInst::SBinImm {
+                    op: BinOp::Add,
+                    ty: ScalarTy::I64,
+                    dst: SReg(0),
+                    a: SReg(0),
+                    imm: 1,
+                },
+                MInst::BranchImm {
+                    cond: Cond::Lt,
+                    a: SReg(0),
+                    imm: 3,
+                    target: Label(0),
+                },
+            ],
+            n_sregs: 2,
+            n_vregs: 2,
+            note: String::new(),
+        };
+        let family = crate::target::sve();
+        let base = DecodedProgram::decode(&code, &family).unwrap();
+        for vl in [128usize, 512, 2048] {
+            let exec = family.at_vl(vl);
+            let fresh = DecodedProgram::decode(&code, &exec).unwrap();
+            let respec = base.respecialize(&code, &exec).unwrap();
+            assert_eq!(respec.vs, fresh.vs);
+            assert_eq!(respec.len, fresh.len);
+            for (a, b) in respec.steps().iter().zip(fresh.steps()) {
+                assert_eq!(a.cost, b.cost, "VL={vl}");
+                assert_eq!(a.lanes, b.lanes, "VL={vl}");
+                assert_eq!(
+                    crate::disasm::disasm_step(&a.step),
+                    crate::disasm::disasm_step(&b.step),
+                    "VL={vl}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn respecialize_rejects_mismatched_code() {
+        let code = MCode {
+            insts: vec![MInst::MovImmI {
+                dst: SReg(0),
+                imm: 0,
+            }],
+            n_sregs: 1,
+            n_vregs: 0,
+            note: String::new(),
+        };
+        let p = DecodedProgram::decode(&code, &crate::target::sve()).unwrap();
+        let longer = MCode {
+            insts: vec![
+                MInst::MovImmI {
+                    dst: SReg(0),
+                    imm: 0,
+                },
+                MInst::MovImmI {
+                    dst: SReg(1),
+                    imm: 1,
+                },
+            ],
+            n_sregs: 2,
+            n_vregs: 0,
+            note: String::new(),
+        };
+        let err = p
+            .respecialize(&longer, &crate::target::sve().at_vl(256))
+            .unwrap_err();
+        assert!(err.0.contains("longer"), "{err}");
+        let empty = MCode {
+            insts: vec![],
+            n_sregs: 0,
+            n_vregs: 0,
+            note: String::new(),
+        };
+        let err = p
+            .respecialize(&empty, &crate::target::sve().at_vl(256))
+            .unwrap_err();
+        assert!(err.0.contains("shorter"), "{err}");
     }
 
     #[test]

@@ -176,6 +176,138 @@ pub fn disasm_inst(inst: &MInst) -> String {
     }
 }
 
+/// Flattened address fields of a fast memory step as text.
+fn fast_addr(base: crate::isa::SReg, idx: u32, scale: u8, disp: i32) -> String {
+    let m = crate::isa::AddrMode {
+        base,
+        idx: (idx != crate::decode::NO_INDEX).then_some(crate::isa::SReg(idx)),
+        scale,
+        disp: disp as i64,
+    };
+    addr(&m)
+}
+
+/// One decoded step as text: fast-kernel forms are annotated so tests
+/// and debugging sessions can see which instructions escaped the
+/// generic interpreter (`.fast` all-lanes kernels, `.vl.fast` the
+/// merging-predicated runtime-VL kernels).
+pub fn disasm_step(step: &crate::decode::DStep) -> String {
+    use crate::decode::DStep;
+    match step {
+        DStep::Jump { target } => format!("  jmp @{target}"),
+        DStep::Branch { cond, a, b, target } => format!("  b.{cond:?} {a}, {b} -> @{target}"),
+        DStep::BranchImm {
+            cond,
+            a,
+            imm,
+            target,
+        } => format!("  b.{cond:?} {a}, #{imm} -> @{target}"),
+        DStep::SBinFast {
+            dst, a, b, ty, rty, ..
+        } => format!("  {dst} = sbin.fast.{ty} {a}, {b} -> {rty}"),
+        DStep::SBinImmFast {
+            dst,
+            a,
+            imm,
+            ty,
+            rty,
+            ..
+        } => format!("  {dst} = sbin.fast.{ty} {a}, #{imm} -> {rty}"),
+        DStep::MovSFast { dst, src } => format!("  {dst} = {src} ; fast"),
+        DStep::LoadVFast {
+            dst,
+            base,
+            idx,
+            scale,
+            aligned,
+            disp,
+        } => format!(
+            "  {dst} = vld.fast.{} {}",
+            if *aligned { "a" } else { "u" },
+            fast_addr(*base, *idx, *scale, *disp)
+        ),
+        DStep::StoreVFast {
+            src,
+            base,
+            idx,
+            scale,
+            aligned,
+            disp,
+        } => format!(
+            "  vst.fast.{} {}, {src}",
+            if *aligned { "a" } else { "u" },
+            fast_addr(*base, *idx, *scale, *disp)
+        ),
+        DStep::LoadSFast {
+            ty,
+            dst,
+            base,
+            idx,
+            scale,
+            disp,
+        } => format!(
+            "  {dst} = ld.fast.{ty} {}",
+            fast_addr(*base, *idx, *scale, *disp)
+        ),
+        DStep::StoreSFast {
+            ty,
+            src,
+            base,
+            idx,
+            scale,
+            disp,
+        } => format!(
+            "  st.fast.{ty} {}, {src}",
+            fast_addr(*base, *idx, *scale, *disp)
+        ),
+        DStep::VBinFast {
+            dst,
+            a,
+            b,
+            op,
+            ty,
+            lanes,
+            ..
+        } => format!("  {dst} = v{op:?}.fast.{ty} {a}, {b} ; {lanes} lanes"),
+        DStep::VUnFast {
+            dst,
+            a,
+            op,
+            ty,
+            lanes,
+            ..
+        } => format!("  {dst} = v{op:?}.fast.{ty} {a} ; {lanes} lanes"),
+        DStep::VBinVlFast {
+            dst,
+            a,
+            b,
+            op,
+            ty,
+            max_lanes,
+            ..
+        } => format!("  {dst} = v{op:?}.vl.fast.{ty} {a}, {b} ; vl<={max_lanes}"),
+        DStep::VUnVlFast {
+            dst,
+            a,
+            op,
+            ty,
+            max_lanes,
+            ..
+        } => format!("  {dst} = v{op:?}.vl.fast.{ty} {a} ; vl<={max_lanes}"),
+        DStep::Op(inst) => disasm_inst(inst),
+    }
+}
+
+/// Whole decoded program as text (one line per step).
+pub fn disasm_decoded(prog: &crate::decode::DecodedProgram) -> String {
+    let mut out = format!("; decoded for VS={} ({} steps)\n", prog.vs, prog.len);
+    for d in prog.steps() {
+        out.push_str(&disasm_step(&d.step));
+        out.push('\n');
+    }
+    out
+}
+
 /// Whole function as text.
 pub fn disasm(code: &MCode) -> String {
     let mut out = format!("; {} ({} insts)\n", code.note, code.len());

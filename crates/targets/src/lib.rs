@@ -25,13 +25,13 @@ pub mod ports;
 pub mod target;
 
 pub use cost::{helper_name, CostModel};
-pub use decode::{DStep, DecodedInst, DecodedProgram};
-pub use disasm::{disasm, disasm_inst};
+pub use decode::{DStep, DecodedInst, DecodedProgram, VBinFn, VUnFn, NO_INDEX};
+pub use disasm::{disasm, disasm_decoded, disasm_inst, disasm_step};
 pub use isa::{
     AddrMode, Cond, CvtDir, Half, HelperOp, Label, MCode, MInst, MemAlign, ReduceOp, SReg,
     ShiftSrc, VReg,
 };
-pub use machine::{ExecStats, Machine, Memory, Trap, VBytes, GUARD, MAX_VS};
+pub use machine::{ExecStats, Machine, Memory, Trap, VBytes, GUARD, INLINE_VS, MAX_VS};
 pub use ports::{analyze_body, analyze_inner_loop, PortModel, PortPressure, Throughput};
 pub use target::{
     altivec, avx, neon64, rvv, scalar_only, sse, sve, target, valid_vl, TargetDesc, TargetKind,

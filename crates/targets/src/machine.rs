@@ -24,6 +24,13 @@ use crate::target::TargetDesc;
 /// larger runtime alignment subsumes.)
 pub const MAX_VS: usize = 256;
 
+/// Widest register kept *inline* (unboxed) in the VM register file.
+/// Every fixed-width family fits: NEON64 is 8 bytes, SSE/AltiVec 16,
+/// AVX 32 — and so do the two narrowest VLA specializations (128/256
+/// bits). Only wider runtime-VL machines pay for heap-backed 2048-bit
+/// registers; see [`VBytes`].
+pub const INLINE_VS: usize = 32;
+
 /// Guard zone at the bottom of memory; address 0 is never valid.
 pub const GUARD: usize = 64;
 
@@ -48,19 +55,47 @@ impl std::error::Error for Trap {}
 pub struct Memory {
     bytes: Vec<u8>,
     next: usize,
+    /// Allocation padding either side of every array (see [`Memory::pad_for`]).
+    pad: usize,
 }
 
 impl Memory {
-    /// Memory with the given capacity in bytes.
+    /// Memory with the given capacity in bytes, padded for the widest
+    /// (2048-bit) registers — the conservative default for callers that
+    /// build a `Memory` without naming a target.
     pub fn new(capacity: usize) -> Memory {
+        Memory::for_width(capacity, MAX_VS)
+    }
+
+    /// Memory whose allocation padding is sized for a machine with
+    /// `vs`-byte vector registers, so a fixed-width target's image does
+    /// not carry 2048-bit guard zones.
+    pub fn for_width(capacity: usize, vs: usize) -> Memory {
+        let pad = Memory::pad_for(vs);
         Memory {
-            bytes: vec![0; capacity.max(GUARD + MAX_VS)],
+            bytes: vec![0; capacity.max(GUARD + pad)],
             next: GUARD,
+            pad,
         }
     }
 
+    /// Padding required either side of an array on a machine with
+    /// `vs`-byte registers: floor-aligned realignment loads read up to
+    /// one register *past* the floored window (`lvx a, lvx a+VS`), so
+    /// two registers of slack keep them in bounds; the 16-byte floor
+    /// covers sub-vector machines.
+    pub fn pad_for(vs: usize) -> usize {
+        (2 * vs).max(16)
+    }
+
+    /// The allocation padding either side of every array.
+    pub fn pad(&self) -> usize {
+        self.pad
+    }
+
     /// Allocate `size` bytes aligned to `align` (power of two), plus
-    /// `MAX_VS` padding on both sides. Returns the base address.
+    /// [`Memory::pad`] bytes of padding on both sides. Returns the base
+    /// address.
     ///
     /// # Panics
     /// Panics if `align` is not a power of two or memory is exhausted.
@@ -76,9 +111,9 @@ impl Memory {
     /// Panics if `align` is not a power of two or memory is exhausted.
     pub fn alloc_with_misalignment(&mut self, size: usize, align: usize, mis: usize) -> u64 {
         assert!(align.is_power_of_two(), "alignment must be a power of two");
-        let start = (self.next + MAX_VS + align - 1) & !(align - 1);
+        let start = (self.next + self.pad + align - 1) & !(align - 1);
         let base = start + mis;
-        let end = base + size + MAX_VS;
+        let end = base + size + self.pad;
         assert!(end <= self.bytes.len(), "simulated memory exhausted");
         self.next = end;
         base as u64
@@ -130,8 +165,94 @@ pub struct ExecStats {
     pub insts: u64,
 }
 
-/// One 32-byte vector register.
-pub type VBytes = [u8; MAX_VS];
+/// One vector register, sized to the executing target.
+///
+/// The seed kept every register as a flat `[u8; MAX_VS]` array, so once
+/// the VLA family raised `MAX_VS` to 256 bytes every 16-byte SSE
+/// register move copied a full 2048-bit array. This is the small-vector
+/// representation that restores target-sizing: fixed-width families (and
+/// the two narrowest VLA specializations) live *inline* in
+/// [`INLINE_VS`] = 32 bytes, and only machines with wider runtime-VL
+/// registers box the full [`MAX_VS`] lane array on the heap.
+///
+/// A register carries capacity, not an exact width: the machine slices
+/// it by the target's `vs`, and bytes past the written lanes are kept
+/// zero. Equality is therefore zero-extended, so an inline register and
+/// a heap register holding the same lanes compare equal.
+#[derive(Debug, Clone)]
+pub enum VBytes {
+    /// Register of a machine with `vs <= INLINE_VS`: no indirection, a
+    /// move costs `size_of::<VBytes>()` (40 bytes) instead of `MAX_VS`.
+    Inline([u8; INLINE_VS]),
+    /// Wide runtime-VL register (`vs > INLINE_VS`), boxed so that only
+    /// the VLA family pays for 2048-bit lanes.
+    Heap(Box<[u8; MAX_VS]>),
+}
+
+impl VBytes {
+    /// A zeroed register wide enough for `width` bytes of lanes.
+    ///
+    /// # Panics
+    /// Panics if `width` exceeds [`MAX_VS`].
+    pub fn zeroed(width: usize) -> VBytes {
+        assert!(width <= MAX_VS, "register width {width} exceeds MAX_VS");
+        if width <= INLINE_VS {
+            VBytes::Inline([0; INLINE_VS])
+        } else {
+            VBytes::Heap(Box::new([0; MAX_VS]))
+        }
+    }
+
+    /// Usable register bytes (32 inline, 256 boxed).
+    pub fn capacity(&self) -> usize {
+        match self {
+            VBytes::Inline(_) => INLINE_VS,
+            VBytes::Heap(_) => MAX_VS,
+        }
+    }
+
+    /// The register's bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        match self {
+            VBytes::Inline(b) => b,
+            VBytes::Heap(b) => &b[..],
+        }
+    }
+
+    /// The register's bytes, mutably.
+    pub fn as_mut_slice(&mut self) -> &mut [u8] {
+        match self {
+            VBytes::Inline(b) => b,
+            VBytes::Heap(b) => &mut b[..],
+        }
+    }
+}
+
+impl std::ops::Deref for VBytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl std::ops::DerefMut for VBytes {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        self.as_mut_slice()
+    }
+}
+
+impl PartialEq for VBytes {
+    /// Zero-extended equality: representations of different capacities
+    /// are equal when the common prefix matches and the longer tail is
+    /// all zeros (the invariant the machine maintains past `vs`).
+    fn eq(&self, other: &VBytes) -> bool {
+        let (a, b) = (self.as_slice(), other.as_slice());
+        let n = a.len().min(b.len());
+        a[..n] == b[..n] && a[n..].iter().all(|&x| x == 0) && b[n..].iter().all(|&x| x == 0)
+    }
+}
+
+impl Eq for VBytes {}
 
 /// The virtual machine.
 #[derive(Debug)]
@@ -146,6 +267,15 @@ pub struct Machine<'t> {
     /// instructions, latched by [`MInst::SetVl`]. Starts at the full
     /// register width (all lanes active).
     vl_bytes: usize,
+    /// Force every register onto the heap at the full [`MAX_VS`] width
+    /// (the seed representation). Measurement/differential-testing knob:
+    /// results must be identical, only register-move traffic changes.
+    wide_regs: bool,
+    /// Recycled output register: the decoded fast kernels pop this,
+    /// write into it, and [`Machine::put_vreg`] refills it with the
+    /// displaced old value — steady-state vector dispatch does zero heap
+    /// allocation even on 2048-bit machines.
+    spare: Option<VBytes>,
     /// Instruction budget; a trap fires when exhausted (runaway guard).
     pub fuel: u64,
 }
@@ -156,13 +286,24 @@ impl<'t> Machine<'t> {
         let vl_bytes = target.vs.max(1);
         Machine {
             target,
-            mem: Memory::new(mem_capacity),
+            mem: Memory::for_width(mem_capacity, target.vs.max(1)),
             sregs: Vec::new(),
             vregs: Vec::new(),
             slots: Vec::new(),
             vl_bytes,
+            wide_regs: false,
+            spare: None,
             fuel: 2_000_000_000,
         }
+    }
+
+    /// Force the seed-style register file: every register heap-backed at
+    /// the full [`MAX_VS`] width regardless of the target. Execution
+    /// results are bit-identical; only register-move traffic differs.
+    /// Call before execution (existing registers are not migrated).
+    pub fn set_wide_registers(&mut self, on: bool) {
+        self.wide_regs = on;
+        self.spare = None;
     }
 
     /// Set a scalar register (to pass arguments / array base addresses).
@@ -195,10 +336,73 @@ impl<'t> Machine<'t> {
         (self.vl_bytes / ty.size()).min(self.lanes(ty))
     }
 
-    /// Current contents of `r` for merging predication; an unwritten
-    /// register merges as zeros.
-    fn vbytes_or_zero(&self, r: crate::isa::VReg) -> VBytes {
-        self.vregs.get(r.0 as usize).copied().unwrap_or([0; MAX_VS])
+    /// Byte bound for explicit lane accesses ([`MInst::SetLane`] /
+    /// [`MInst::GetLane`]): the target's register width, floored at one
+    /// element so sub-vector machines keep single-lane access.
+    /// Representation-independent by design — a sized and a forced-wide
+    /// register file must trap identically.
+    fn lane_limit(&self, ty: ScalarTy) -> usize {
+        self.vs().max(ty.size())
+    }
+
+    /// A zeroed register sized for this machine.
+    fn vzero(&self) -> VBytes {
+        if self.wide_regs {
+            VBytes::Heap(Box::new([0; MAX_VS]))
+        } else {
+            VBytes::zeroed(self.vs())
+        }
+    }
+
+    /// Capacity class of this machine's registers.
+    fn reg_capacity(&self) -> usize {
+        if self.wide_regs || self.vs() > INLINE_VS {
+            MAX_VS
+        } else {
+            INLINE_VS
+        }
+    }
+
+    /// An output register of unspecified contents: the caller promises
+    /// to overwrite it fully. Inline registers are built directly on the
+    /// stack (cheaper than any recycling bookkeeping at 32 bytes); heap
+    /// registers pop the spare slot so steady-state wide-VL dispatch
+    /// does zero heap allocation.
+    fn fresh_out_raw(&mut self) -> VBytes {
+        if self.reg_capacity() == INLINE_VS {
+            return VBytes::Inline([0; INLINE_VS]);
+        }
+        match self.spare.take() {
+            Some(v) if v.capacity() == MAX_VS => v,
+            _ => VBytes::Heap(Box::new([0; MAX_VS])),
+        }
+    }
+
+    /// A zeroed output register for the decoded fast kernels.
+    fn fresh_out(&mut self) -> VBytes {
+        if self.reg_capacity() == INLINE_VS {
+            return VBytes::Inline([0; INLINE_VS]);
+        }
+        let mut v = self.fresh_out_raw();
+        v.fill(0);
+        v
+    }
+
+    /// An output register pre-loaded with the current contents of `r`
+    /// for merging predication; an unwritten register merges as zeros.
+    /// The copy fully overwrites the recycled buffer, so no zero-fill
+    /// happens first.
+    fn merge_out(&mut self, r: crate::isa::VReg) -> VBytes {
+        let mut out = self.fresh_out_raw();
+        match self.vregs.get(r.0 as usize) {
+            Some(v) => {
+                let n = v.capacity().min(out.capacity());
+                out[..n].copy_from_slice(&v[..n]);
+                out[n..].fill(0);
+            }
+            None => out.fill(0),
+        }
+        out
     }
 
     fn sval(&self, r: crate::isa::SReg) -> Result<Value, Trap> {
@@ -215,6 +419,26 @@ impl<'t> Machine<'t> {
         }
     }
 
+    /// [`Machine::addr`] over the flattened address fields of the fast
+    /// memory steps (same semantics, no `AddrMode` indirection).
+    fn fast_addr(
+        &self,
+        base: crate::isa::SReg,
+        idx: u32,
+        scale: u8,
+        disp: i32,
+    ) -> Result<u64, Trap> {
+        let mut a = self.sint(base)?;
+        if idx != crate::decode::NO_INDEX {
+            a = a.wrapping_add(self.sint(crate::isa::SReg(idx))?.wrapping_mul(scale as i64));
+        }
+        a = a.wrapping_add(disp as i64);
+        if a < 0 {
+            return Err(Trap(format!("negative address {a}")));
+        }
+        Ok(a as u64)
+    }
+
     fn addr(&self, m: &AddrMode) -> Result<u64, Trap> {
         let mut a = self.sint(m.base)?;
         if let Some(idx) = m.idx {
@@ -227,24 +451,33 @@ impl<'t> Machine<'t> {
         Ok(a as u64)
     }
 
-    fn vbytes(&self, r: crate::isa::VReg) -> Result<VBytes, Trap> {
-        self.vregs
-            .get(r.0 as usize)
-            .copied()
-            .ok_or_else(|| Trap(format!("read of undefined vector register v{}", r.0)))
-    }
-
-    fn vbytes_ref(&self, r: crate::isa::VReg) -> Result<&VBytes, Trap> {
-        self.vregs
-            .get(r.0 as usize)
-            .ok_or_else(|| Trap(format!("read of undefined vector register v{}", r.0)))
+    /// Borrowed register contents: reads never copy the lane array
+    /// (by-value reads cost a full register move per operand).
+    fn vbytes(&self, r: crate::isa::VReg) -> Result<&VBytes, Trap> {
+        vreg_of(&self.vregs, r)
     }
 
     fn set_vreg(&mut self, r: crate::isa::VReg, v: VBytes) {
         if self.vregs.len() <= r.0 as usize {
-            self.vregs.resize(r.0 as usize + 1, [0; MAX_VS]);
+            let z = self.vzero();
+            self.vregs.resize(r.0 as usize + 1, z);
         }
         self.vregs[r.0 as usize] = v;
+    }
+
+    /// Like [`Machine::set_vreg`], but recycles a displaced heap
+    /// register into the spare slot so the next [`Machine::fresh_out`]
+    /// reuses its allocation. Inline registers take the plain store
+    /// path (nothing worth recycling).
+    fn put_vreg(&mut self, r: crate::isa::VReg, v: VBytes) {
+        if matches!(v, VBytes::Inline(_)) || self.vregs.len() <= r.0 as usize {
+            self.set_vreg(r, v);
+            return;
+        }
+        let old = std::mem::replace(&mut self.vregs[r.0 as usize], v);
+        if matches!(old, VBytes::Heap(_)) {
+            self.spare = Some(old);
+        }
     }
 
     fn set_sreg_checked(&mut self, r: crate::isa::SReg, ty: ScalarTy, v: Value) {
@@ -257,7 +490,7 @@ impl<'t> Machine<'t> {
         self.set_sreg(r, v);
     }
 
-    fn lane(&self, bytes: &VBytes, ty: ScalarTy, k: usize) -> Value {
+    fn lane(&self, bytes: &[u8], ty: ScalarTy, k: usize) -> Value {
         read_elem(ty, bytes, k * ty.size())
     }
 
@@ -267,7 +500,7 @@ impl<'t> Machine<'t> {
         n: usize,
         mut f: impl FnMut(usize) -> Result<Value, Trap>,
     ) -> Result<VBytes, Trap> {
-        let mut out = [0u8; MAX_VS];
+        let mut out = self.vzero();
         for k in 0..n {
             let v = f(k)?;
             write_elem(ty, &mut out, k * ty.size(), v);
@@ -391,19 +624,152 @@ impl<'t> Machine<'t> {
                         next = *target as usize;
                     }
                 }
+                DStep::SBinFast {
+                    dst,
+                    a,
+                    b,
+                    f,
+                    ty,
+                    rty,
+                } => {
+                    let x = self.coerce(*ty, self.sval(*a)?);
+                    let y = self.coerce(*ty, self.sval(*b)?);
+                    let r = f(x, y);
+                    self.set_sreg_checked(*dst, *rty, r);
+                }
+                DStep::SBinImmFast {
+                    dst,
+                    a,
+                    imm,
+                    f,
+                    ty,
+                    rty,
+                } => {
+                    let x = self.coerce(*ty, self.sval(*a)?);
+                    let y = self.coerce(*ty, Value::Int(*imm as i64));
+                    let r = f(x, y);
+                    self.set_sreg_checked(*dst, *rty, r);
+                }
+                DStep::MovSFast { dst, src } => {
+                    let v = self.sval(*src)?;
+                    self.set_sreg(*dst, v);
+                }
+                DStep::LoadVFast {
+                    dst,
+                    base,
+                    idx,
+                    scale,
+                    aligned,
+                    disp,
+                } => {
+                    let vs = self.vs();
+                    let a = self.fast_addr(*base, *idx, *scale, *disp)?;
+                    self.mem.check(a, vs)?;
+                    if *aligned && !(a as usize).is_multiple_of(vs) {
+                        return Err(Trap(format!(
+                            "aligned vector load from misaligned address {a} (VS={vs})"
+                        )));
+                    }
+                    let mut out = self.fresh_out();
+                    out[..vs].copy_from_slice(self.mem.slice(a, vs));
+                    self.put_vreg(*dst, out);
+                }
+                DStep::StoreVFast {
+                    src,
+                    base,
+                    idx,
+                    scale,
+                    aligned,
+                    disp,
+                } => {
+                    let vs = self.vs();
+                    let a = self.fast_addr(*base, *idx, *scale, *disp)?;
+                    self.mem.check(a, vs)?;
+                    if *aligned && !(a as usize).is_multiple_of(vs) {
+                        return Err(Trap(format!(
+                            "aligned vector store to misaligned address {a} (VS={vs})"
+                        )));
+                    }
+                    let v = vreg_of(&self.vregs, *src)?;
+                    self.mem.slice_mut(a, vs).copy_from_slice(&v[..vs]);
+                }
+                DStep::LoadSFast {
+                    ty,
+                    dst,
+                    base,
+                    idx,
+                    scale,
+                    disp,
+                } => {
+                    let a = self.fast_addr(*base, *idx, *scale, *disp)?;
+                    self.mem.check(a, ty.size())?;
+                    let v = self.mem.read(*ty, a);
+                    self.set_sreg_checked(*dst, *ty, v);
+                }
+                DStep::StoreSFast {
+                    ty,
+                    src,
+                    base,
+                    idx,
+                    scale,
+                    disp,
+                } => {
+                    let a = self.fast_addr(*base, *idx, *scale, *disp)?;
+                    self.mem.check(a, ty.size())?;
+                    let v = self.coerce(*ty, self.sval(*src)?);
+                    self.mem.write(*ty, a, v);
+                }
                 DStep::VBinFast {
                     dst,
                     a,
                     b,
                     f,
                     lanes,
+                    ..
                 } => {
-                    let out = f(self.vbytes_ref(*a)?, self.vbytes_ref(*b)?, *lanes as usize);
-                    self.set_vreg(*dst, out);
+                    let mut out = self.fresh_out();
+                    let (x, y) = (self.vbytes(*a)?, self.vbytes(*b)?);
+                    f(x, y, &mut out, *lanes as usize);
+                    self.put_vreg(*dst, out);
                 }
-                DStep::VUnFast { dst, a, f, lanes } => {
-                    let out = f(self.vbytes_ref(*a)?, *lanes as usize);
-                    self.set_vreg(*dst, out);
+                DStep::VUnFast {
+                    dst, a, f, lanes, ..
+                } => {
+                    let mut out = self.fresh_out();
+                    let x = self.vbytes(*a)?;
+                    f(x, &mut out, *lanes as usize);
+                    self.put_vreg(*dst, out);
+                }
+                DStep::VBinVlFast {
+                    dst,
+                    a,
+                    b,
+                    f,
+                    ty,
+                    max_lanes,
+                    ..
+                } => {
+                    // Merging predication: lanes past the active VL keep
+                    // the destination's old contents (zeros if unwritten).
+                    let n = (self.vl_bytes / ty.size()).min(*max_lanes as usize);
+                    let mut out = self.merge_out(*dst);
+                    let (x, y) = (self.vbytes(*a)?, self.vbytes(*b)?);
+                    f(x, y, &mut out, n);
+                    self.put_vreg(*dst, out);
+                }
+                DStep::VUnVlFast {
+                    dst,
+                    a,
+                    f,
+                    ty,
+                    max_lanes,
+                    ..
+                } => {
+                    let n = (self.vl_bytes / ty.size()).min(*max_lanes as usize);
+                    let mut out = self.merge_out(*dst);
+                    let x = self.vbytes(*a)?;
+                    f(x, &mut out, n);
+                    self.put_vreg(*dst, out);
                 }
                 DStep::Op(inst) => self.exec_op(inst)?,
             }
@@ -491,14 +857,14 @@ impl<'t> Machine<'t> {
                         "aligned vector load from misaligned address {a} (VS={vs})"
                     )));
                 }
-                let mut out = [0u8; MAX_VS];
+                let mut out = self.vzero();
                 out[..vs].copy_from_slice(self.mem.slice(a, vs));
                 self.set_vreg(*dst, out);
             }
             MInst::LoadVFloor { dst, addr } => {
                 let a = self.addr(addr)? & !(vs as u64 - 1);
                 self.mem.check(a, vs)?;
-                let mut out = [0u8; MAX_VS];
+                let mut out = self.vzero();
                 out[..vs].copy_from_slice(self.mem.slice(a, vs));
                 self.set_vreg(*dst, out);
             }
@@ -510,7 +876,7 @@ impl<'t> Machine<'t> {
                         "aligned vector store to misaligned address {a} (VS={vs})"
                     )));
                 }
-                let v = self.vbytes(*src)?;
+                let v = vreg_of(&self.vregs, *src)?;
                 self.mem.slice_mut(a, vs).copy_from_slice(&v[..vs]);
             }
             MInst::Splat { ty, dst, src } => {
@@ -539,21 +905,22 @@ impl<'t> Machine<'t> {
             }
             MInst::SetLane { ty, dst, lane, src } => {
                 let v = self.coerce(*ty, self.sval(*src)?);
-                let mut cur = self.vbytes(*dst)?;
                 let off = *lane as usize * ty.size();
-                if off + ty.size() > MAX_VS {
+                if off + ty.size() > self.lane_limit(*ty) {
                     return Err(Trap(format!("lane {lane} out of range for {ty}")));
                 }
+                self.vbytes(*dst)?; // undefined-register trap before the copy
+                let mut cur = self.merge_out(*dst);
                 write_elem(*ty, &mut cur, off, v);
-                self.set_vreg(*dst, cur);
+                self.put_vreg(*dst, cur);
             }
             MInst::GetLane { ty, dst, src, lane } => {
                 let v = self.vbytes(*src)?;
                 let off = *lane as usize * ty.size();
-                if off + ty.size() > MAX_VS {
+                if off + ty.size() > self.lane_limit(*ty) {
                     return Err(Trap(format!("lane {lane} out of range for {ty}")));
                 }
-                let x = read_elem(*ty, &v, off);
+                let x = read_elem(*ty, v, off);
                 self.set_sreg_checked(*dst, *ty, x);
             }
             MInst::VBin { op, ty, dst, a, b } => {
@@ -563,8 +930,8 @@ impl<'t> Machine<'t> {
                     Ok(eval_bin(
                         *op,
                         *ty,
-                        self.lane(&x, *ty, k),
-                        self.lane(&y, *ty, k),
+                        self.lane(x, *ty, k),
+                        self.lane(y, *ty, k),
                     ))
                 })?;
                 self.set_vreg(*dst, out);
@@ -573,7 +940,7 @@ impl<'t> Machine<'t> {
                 let x = self.vbytes(*a)?;
                 let n = self.lanes(*ty);
                 let out =
-                    self.with_lanes(*ty, n, |k| Ok(eval_un(*op, *ty, self.lane(&x, *ty, k))))?;
+                    self.with_lanes(*ty, n, |k| Ok(eval_un(*op, *ty, self.lane(x, *ty, k))))?;
                 self.set_vreg(*dst, out);
             }
             MInst::VShift {
@@ -590,13 +957,13 @@ impl<'t> Machine<'t> {
                     ShiftSrc::Imm(v) => {
                         let amt = Value::Int(*v as i64);
                         self.with_lanes(*ty, n, |k| {
-                            Ok(eval_bin(op, *ty, self.lane(&x, *ty, k), amt))
+                            Ok(eval_bin(op, *ty, self.lane(x, *ty, k), amt))
                         })?
                     }
                     ShiftSrc::Reg(r) => {
                         let amt = Value::Int(self.sint(*r)?);
                         self.with_lanes(*ty, n, |k| {
-                            Ok(eval_bin(op, *ty, self.lane(&x, *ty, k), amt))
+                            Ok(eval_bin(op, *ty, self.lane(x, *ty, k), amt))
                         })?
                     }
                     ShiftSrc::PerLane(r) => {
@@ -605,8 +972,8 @@ impl<'t> Machine<'t> {
                             Ok(eval_bin(
                                 op,
                                 *ty,
-                                self.lane(&x, *ty, k),
-                                self.lane(&amts, *ty, k),
+                                self.lane(x, *ty, k),
+                                self.lane(amts, *ty, k),
                             ))
                         })?
                     }
@@ -630,13 +997,13 @@ impl<'t> Machine<'t> {
                 let (x, y, z) = (self.vbytes(*a)?, self.vbytes(*b)?, self.vbytes(*acc)?);
                 let n = self.lanes(*ty);
                 let out = self.with_lanes(wide, n / 2, |j| {
-                    let mut sum = self.lane(&z, wide, j);
+                    let mut sum = self.lane(z, wide, j);
                     for k in [2 * j, 2 * j + 1] {
                         let p = eval_bin(
                             BinOp::Mul,
                             wide,
-                            eval_cast(*ty, wide, self.lane(&x, *ty, k)),
-                            eval_cast(*ty, wide, self.lane(&y, *ty, k)),
+                            eval_cast(*ty, wide, self.lane(x, *ty, k)),
+                            eval_cast(*ty, wide, self.lane(y, *ty, k)),
                         );
                         sum = eval_bin(BinOp::Add, wide, sum, p);
                     }
@@ -667,7 +1034,7 @@ impl<'t> Machine<'t> {
                 let n = self.lanes(*ty);
                 let base = if *half == Half::Lo { 0 } else { n / 2 };
                 let out = self.with_lanes(*ty, n, |k| {
-                    let src = if k % 2 == 0 { &x } else { &y };
+                    let src = if k % 2 == 0 { x } else { y };
                     Ok(self.lane(src, *ty, base + k / 2))
                 })?;
                 self.set_vreg(*dst, out);
@@ -687,7 +1054,7 @@ impl<'t> Machine<'t> {
                 let out = self.with_lanes(*ty, n, |k| {
                     let pos = *offset as usize + k * *stride as usize;
                     let (vi, li) = (pos / n, pos % n);
-                    let v = all
+                    let v = *all
                         .get(vi)
                         .ok_or_else(|| Trap("extract reads past sources".into()))?;
                     Ok(self.lane(v, *ty, li))
@@ -696,18 +1063,20 @@ impl<'t> Machine<'t> {
             }
             MInst::VPermCtrl { dst, addr } => {
                 let a = self.addr(addr)?;
-                let mut out = [0u8; MAX_VS];
+                let mut out = self.vzero();
                 out[0] = (a as usize % vs) as u8;
                 self.set_vreg(*dst, out);
             }
             MInst::VPerm { dst, a, b, ctrl } => {
+                // Select the `vs`-byte window at offset `mis` of x ++ y,
+                // without materializing the 2·VS concatenation.
                 let (x, y, c) = (self.vbytes(*a)?, self.vbytes(*b)?, self.vbytes(*ctrl)?);
                 let mis = c[0] as usize % vs;
-                let mut concat = [0u8; 2 * MAX_VS];
-                concat[..vs].copy_from_slice(&x[..vs]);
-                concat[vs..2 * vs].copy_from_slice(&y[..vs]);
-                let mut out = [0u8; MAX_VS];
-                out[..vs].copy_from_slice(&concat[mis..mis + vs]);
+                let mut out = self.vzero();
+                for i in 0..vs {
+                    let p = mis + i;
+                    out[i] = if p < vs { x[p] } else { y[p - vs] };
+                }
                 self.set_vreg(*dst, out);
             }
             MInst::VReduce { op, ty, dst, src } => {
@@ -718,15 +1087,16 @@ impl<'t> Machine<'t> {
                     ReduceOp::Max => BinOp::Max,
                     ReduceOp::Min => BinOp::Min,
                 };
-                let mut acc = self.lane(&x, *ty, 0);
+                let mut acc = self.lane(x, *ty, 0);
                 for k in 1..n {
-                    acc = eval_bin(bop, *ty, acc, self.lane(&x, *ty, k));
+                    acc = eval_bin(bop, *ty, acc, self.lane(x, *ty, k));
                 }
                 self.set_sreg_checked(*dst, *ty, acc);
             }
             MInst::MovV { dst, src } => {
-                let v = self.vbytes(*src)?;
-                self.set_vreg(*dst, v);
+                self.vbytes(*src)?; // undefined-register trap before the copy
+                let v = self.merge_out(*src);
+                self.put_vreg(*dst, v);
             }
             MInst::SpillLd { dst, slot } => {
                 let v = self
@@ -758,8 +1128,8 @@ impl<'t> Machine<'t> {
                             Ok(eval_bin(
                                 BinOp::Div,
                                 *ty,
-                                self.lane(&x, *ty, k),
-                                self.lane(&y, *ty, k),
+                                self.lane(x, *ty, k),
+                                self.lane(y, *ty, k),
                             ))
                         })?
                     }
@@ -767,7 +1137,7 @@ impl<'t> Machine<'t> {
                         let x = self.vbytes(*a)?;
                         let n = self.lanes(*ty);
                         self.with_lanes(*ty, n, |k| {
-                            Ok(eval_un(vapor_ir::UnOp::Sqrt, *ty, self.lane(&x, *ty, k)))
+                            Ok(eval_un(vapor_ir::UnOp::Sqrt, *ty, self.lane(x, *ty, k)))
                         })?
                     }
                     HelperOp::Pack => {
@@ -787,7 +1157,7 @@ impl<'t> Machine<'t> {
             MInst::LoadVl { ty, dst, addr } => {
                 let a = self.addr(addr)?;
                 let bytes = self.vl_lanes(*ty) * ty.size();
-                let mut out = [0u8; MAX_VS];
+                let mut out = self.vzero();
                 if bytes > 0 {
                     self.mem.check(a, bytes)?;
                     out[..bytes].copy_from_slice(self.mem.slice(a, bytes));
@@ -799,27 +1169,29 @@ impl<'t> Machine<'t> {
                 let bytes = self.vl_lanes(*ty) * ty.size();
                 if bytes > 0 {
                     self.mem.check(a, bytes)?;
-                    let v = self.vbytes(*src)?;
+                    let v = vreg_of(&self.vregs, *src)?;
                     self.mem.slice_mut(a, bytes).copy_from_slice(&v[..bytes]);
                 }
             }
             MInst::VBinVl { op, ty, dst, a, b } => {
+                let n = self.vl_lanes(*ty);
+                let mut out = self.merge_out(*dst);
                 let (x, y) = (self.vbytes(*a)?, self.vbytes(*b)?);
-                let mut out = self.vbytes_or_zero(*dst);
-                for k in 0..self.vl_lanes(*ty) {
-                    let v = eval_bin(*op, *ty, self.lane(&x, *ty, k), self.lane(&y, *ty, k));
+                for k in 0..n {
+                    let v = eval_bin(*op, *ty, self.lane(x, *ty, k), self.lane(y, *ty, k));
                     write_elem(*ty, &mut out, k * ty.size(), v);
                 }
-                self.set_vreg(*dst, out);
+                self.put_vreg(*dst, out);
             }
             MInst::VUnVl { op, ty, dst, a } => {
+                let n = self.vl_lanes(*ty);
+                let mut out = self.merge_out(*dst);
                 let x = self.vbytes(*a)?;
-                let mut out = self.vbytes_or_zero(*dst);
-                for k in 0..self.vl_lanes(*ty) {
-                    let v = eval_un(*op, *ty, self.lane(&x, *ty, k));
+                for k in 0..n {
+                    let v = eval_un(*op, *ty, self.lane(x, *ty, k));
                     write_elem(*ty, &mut out, k * ty.size(), v);
                 }
-                self.set_vreg(*dst, out);
+                self.put_vreg(*dst, out);
             }
         }
         Ok(())
@@ -850,8 +1222,8 @@ impl<'t> Machine<'t> {
             Ok(eval_bin(
                 BinOp::Mul,
                 wide,
-                eval_cast(ty, wide, self.lane(&x, ty, base + j)),
-                eval_cast(ty, wide, self.lane(&y, ty, base + j)),
+                eval_cast(ty, wide, self.lane(x, ty, base + j)),
+                eval_cast(ty, wide, self.lane(y, ty, base + j)),
             ))
         })
     }
@@ -863,7 +1235,7 @@ impl<'t> Machine<'t> {
         let (x, y) = (self.vbytes(a)?, self.vbytes(b)?);
         let n = self.lanes(ty);
         self.with_lanes(narrow, 2 * n, |k| {
-            let src = if k < n { &x } else { &y };
+            let src = if k < n { x } else { y };
             Ok(eval_cast(ty, narrow, self.lane(src, ty, k % n)))
         })
     }
@@ -877,7 +1249,7 @@ impl<'t> Machine<'t> {
         };
         let x = self.vbytes(a)?;
         let n = self.lanes(ty);
-        self.with_lanes(to, n, |k| Ok(eval_cast(ty, to, self.lane(&x, ty, k))))
+        self.with_lanes(to, n, |k| Ok(eval_cast(ty, to, self.lane(x, ty, k))))
     }
 
     fn unpack(&self, half: Half, ty: ScalarTy, a: crate::isa::VReg) -> Result<VBytes, Trap> {
@@ -888,9 +1260,18 @@ impl<'t> Machine<'t> {
         let n = self.lanes(ty);
         let base = if half == Half::Lo { 0 } else { n / 2 };
         self.with_lanes(wide, n / 2, |j| {
-            Ok(eval_cast(ty, wide, self.lane(&x, ty, base + j)))
+            Ok(eval_cast(ty, wide, self.lane(x, ty, base + j)))
         })
     }
+}
+
+/// Borrowed register contents. A free function over the register file
+/// (rather than a `&self` method) so store paths can split borrows:
+/// a shared borrow of `vregs` coexisting with a mutable borrow of `mem`.
+fn vreg_of(vregs: &[VBytes], r: crate::isa::VReg) -> Result<&VBytes, Trap> {
+    vregs
+        .get(r.0 as usize)
+        .ok_or_else(|| Trap(format!("read of undefined vector register v{}", r.0)))
 }
 
 fn take(cond: Cond, a: i64, b: i64) -> bool {
@@ -1531,6 +1912,107 @@ mod more_tests {
     }
 
     #[test]
+    fn predicated_fast_dispatch_matches_generic_baseline() {
+        // The VLA stripmine loop through both dispatch loops: the
+        // decoded path takes DStep::VBinVlFast, the baseline the generic
+        // merge-predicated interpreter — results and cycles must agree.
+        let t = crate::target::sve().at_vl(256);
+        let build = || {
+            let mut m = Machine::new(&t, 4096);
+            let n = 10u64;
+            let a = m.mem.alloc(4 * n as usize, 32);
+            for k in 0..n {
+                m.mem.write(ScalarTy::I32, a + 4 * k, Value::Int(k as i64));
+            }
+            m.set_sreg(SReg(0), Value::Int(a as i64));
+            m.set_sreg(SReg(1), Value::Int(n as i64));
+            m.set_sreg(SReg(2), Value::Int(0));
+            m.set_sreg(SReg(3), Value::Int(0));
+            m
+        };
+        let c = mcode(vec![
+            MInst::Splat {
+                ty: ScalarTy::I32,
+                dst: VReg(1),
+                src: SReg(3),
+            },
+            MInst::Label(crate::isa::Label(0)),
+            MInst::SBin {
+                op: vapor_ir::BinOp::Sub,
+                ty: ScalarTy::I64,
+                dst: SReg(4),
+                a: SReg(1),
+                b: SReg(2),
+            },
+            MInst::SetVl {
+                ty: ScalarTy::I32,
+                dst: SReg(5),
+                avl: SReg(4),
+            },
+            MInst::LoadVl {
+                ty: ScalarTy::I32,
+                dst: VReg(0),
+                addr: AddrMode::fused(SReg(0), SReg(2), 4, 0),
+            },
+            MInst::VBinVl {
+                op: vapor_ir::BinOp::Add,
+                ty: ScalarTy::I32,
+                dst: VReg(1),
+                a: VReg(1),
+                b: VReg(0),
+            },
+            MInst::VUnVl {
+                op: vapor_ir::UnOp::Abs,
+                ty: ScalarTy::I32,
+                dst: VReg(1),
+                a: VReg(1),
+            },
+            MInst::SBin {
+                op: vapor_ir::BinOp::Add,
+                ty: ScalarTy::I64,
+                dst: SReg(2),
+                a: SReg(2),
+                b: SReg(5),
+            },
+            MInst::Branch {
+                cond: crate::isa::Cond::Lt,
+                a: SReg(2),
+                b: SReg(1),
+                target: crate::isa::Label(0),
+            },
+            MInst::VReduce {
+                op: ReduceOp::Plus,
+                ty: ScalarTy::I32,
+                dst: SReg(6),
+                src: VReg(1),
+            },
+        ]);
+        let prog = crate::decode::DecodedProgram::decode(&c, &t).unwrap();
+        assert!(
+            prog.steps()
+                .iter()
+                .any(|d| matches!(d.step, crate::decode::DStep::VBinVlFast { .. })),
+            "VBinVl must take the fast path"
+        );
+        assert!(
+            prog.steps()
+                .iter()
+                .any(|d| matches!(d.step, crate::decode::DStep::VUnVlFast { .. })),
+            "VUnVl must take the fast path"
+        );
+        let mut base = build();
+        let s1 = base.run(&c).unwrap();
+        let mut dec = build();
+        let s2 = dec.run_decoded(&prog).unwrap();
+        assert_eq!(base.sreg(SReg(6)), dec.sreg(SReg(6)));
+        assert_eq!(base.sreg(SReg(6)), Value::Int(45));
+        assert_eq!(s1.cycles, s2.cycles);
+        // Merging predication preserved: the tail lanes of the
+        // accumulator match between the two dispatch loops.
+        assert_eq!(base.vbytes(VReg(1)).unwrap(), dec.vbytes(VReg(1)).unwrap());
+    }
+
+    #[test]
     fn masked_store_never_writes_past_vl() {
         let t = crate::target::sve().at_vl(512); // 64-byte registers
         let mut m = Machine::new(&t, 4096);
@@ -1617,5 +2099,268 @@ mod more_tests {
         assert_eq!(base % 32, 4);
         let aligned = m.mem.alloc(64, 32);
         assert_eq!(aligned % 32, 0);
+    }
+}
+
+#[cfg(test)]
+mod register_file_tests {
+    //! The target-sized register file: representation boundaries,
+    //! guard-zone arithmetic at those boundaries, and equivalence of the
+    //! sized and max-width (seed-style) representations.
+
+    use super::*;
+    use crate::isa::{AddrMode, Label, MInst, SReg, VReg};
+    use crate::target::{avx, neon64, sse};
+
+    #[test]
+    fn representation_switches_at_the_inline_boundary() {
+        // 16 and 32 bytes (SSE/AltiVec and AVX, and VLA at 128/256
+        // bits) stay inline; 33 is the first heap width; 256 is the
+        // VLA maximum.
+        for w in [1, 8, 16, INLINE_VS] {
+            let v = VBytes::zeroed(w);
+            assert!(matches!(v, VBytes::Inline(_)), "width {w}");
+            assert_eq!(v.capacity(), INLINE_VS);
+        }
+        for w in [INLINE_VS + 1, 64, MAX_VS] {
+            let v = VBytes::zeroed(w);
+            assert!(matches!(v, VBytes::Heap(_)), "width {w}");
+            assert_eq!(v.capacity(), MAX_VS);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds MAX_VS")]
+    fn oversized_register_width_panics() {
+        let _ = VBytes::zeroed(MAX_VS + 1);
+    }
+
+    #[test]
+    fn equality_is_zero_extended_across_representations() {
+        let mut narrow = VBytes::zeroed(16);
+        let mut wide = VBytes::zeroed(256);
+        assert_eq!(narrow, wide, "all-zero registers are equal");
+        narrow[3] = 7;
+        assert_ne!(narrow, wide);
+        wide[3] = 7;
+        assert_eq!(narrow, wide, "same lanes, different capacity");
+        wide[INLINE_VS + 5] = 1;
+        assert_ne!(narrow, wide, "nonzero tail breaks equality");
+    }
+
+    #[test]
+    fn memory_padding_is_target_sized() {
+        // Guard padding at the representation boundary widths.
+        assert_eq!(Memory::pad_for(16), 32);
+        assert_eq!(Memory::pad_for(32), 64);
+        assert_eq!(Memory::pad_for(33), 66);
+        assert_eq!(Memory::pad_for(256), 512);
+        // Sub-vector machines keep a 16-byte floor.
+        assert_eq!(Memory::pad_for(1), 16);
+        assert_eq!(Memory::pad_for(8), 16);
+        // A fixed-width machine's image no longer pays 2048-bit pads.
+        let t = sse();
+        let m = Machine::new(&t, 0);
+        assert_eq!(m.mem.pad(), 32);
+    }
+
+    #[test]
+    fn guard_padding_keeps_floor_realignment_loads_in_bounds() {
+        // AltiVec-style realignment issues a floor load at `a + VS` for
+        // an element near the end of an array: with target-sized (not
+        // MAX_VS) padding this must still be in bounds.
+        let t = crate::target::altivec();
+        let vs = t.vs;
+        let mut m = Machine::new(&t, 4096);
+        let a = m.mem.alloc(64, 16);
+        // Address of the *last* element, misaligned window.
+        m.set_sreg(SReg(0), Value::Int(a as i64 + 60));
+        let c = MCode {
+            insts: vec![
+                MInst::LoadVFloor {
+                    dst: VReg(0),
+                    addr: AddrMode::base_disp(SReg(0), 0),
+                },
+                MInst::LoadVFloor {
+                    dst: VReg(1),
+                    addr: AddrMode::base_disp(SReg(0), vs as i64),
+                },
+            ],
+            n_sregs: 1,
+            n_vregs: 2,
+            note: String::new(),
+        };
+        m.run(&c)
+            .expect("floor loads near the array end must stay in bounds");
+    }
+
+    #[test]
+    fn misaligned_boundary_allocations_respect_guards() {
+        // Misaligned allocation at each boundary width: the deliberate
+        // misalignment must never eat into the guard zone.
+        for (vs, mis) in [(16usize, 15usize), (32, 31), (33, 1), (256, 129)] {
+            let mut mem = Memory::for_width(8192, vs);
+            let base = mem.alloc_with_misalignment(64, 32, mis) as usize;
+            assert_eq!(base % 32, mis % 32, "vs={vs}");
+            assert!(base >= GUARD + mem.pad(), "vs={vs}: base {base} in guard");
+        }
+    }
+
+    #[test]
+    fn wide_and_sized_register_files_agree() {
+        // The same program on the same target, once with target-sized
+        // registers and once with the seed-style max-width file:
+        // identical scalar results, identical cycles.
+        let run_one = |wide: bool, t: &TargetDesc| {
+            let mut m = Machine::new(t, 4096);
+            m.set_wide_registers(wide);
+            let a = m.mem.alloc(64, 32);
+            for k in 0..8 {
+                m.mem
+                    .write(ScalarTy::I32, a + 4 * k, Value::Int(k as i64 + 1));
+            }
+            m.set_sreg(SReg(0), Value::Int(a as i64));
+            let c = MCode {
+                insts: vec![
+                    MInst::Label(Label(0)),
+                    MInst::LoadV {
+                        dst: VReg(0),
+                        addr: AddrMode::base_disp(SReg(0), 0),
+                        align: crate::isa::MemAlign::Unaligned,
+                    },
+                    MInst::VBin {
+                        op: BinOp::Mul,
+                        ty: ScalarTy::I32,
+                        dst: VReg(1),
+                        a: VReg(0),
+                        b: VReg(0),
+                    },
+                    MInst::VReduce {
+                        op: ReduceOp::Plus,
+                        ty: ScalarTy::I32,
+                        dst: SReg(1),
+                        src: VReg(1),
+                    },
+                ],
+                n_sregs: 2,
+                n_vregs: 2,
+                note: String::new(),
+            };
+            let stats = m.run(&c).unwrap();
+            (m.sreg(SReg(1)), stats.cycles)
+        };
+        for t in [sse(), neon64(), avx()] {
+            let (sized, c1) = run_one(false, &t);
+            let (wide, c2) = run_one(true, &t);
+            assert_eq!(sized, wide, "{}", t.name);
+            assert_eq!(c1, c2, "{}", t.name);
+        }
+    }
+
+    #[test]
+    fn lane_bounds_are_representation_independent() {
+        // An out-of-range SetLane/GetLane must trap identically under
+        // the target-sized and the forced max-width register file — the
+        // bound is the target's width, never the container's capacity.
+        let t = sse(); // vs = 16: lane 4 of i32 is the first out of range
+        for wide in [false, true] {
+            let mut m = Machine::new(&t, 1024);
+            m.set_wide_registers(wide);
+            m.set_sreg(SReg(0), Value::Int(7));
+            let ok = MCode {
+                insts: vec![
+                    MInst::Splat {
+                        ty: ScalarTy::I32,
+                        dst: VReg(0),
+                        src: SReg(0),
+                    },
+                    MInst::SetLane {
+                        ty: ScalarTy::I32,
+                        dst: VReg(0),
+                        lane: 3,
+                        src: SReg(0),
+                    },
+                ],
+                n_sregs: 1,
+                n_vregs: 1,
+                note: String::new(),
+            };
+            m.run(&ok).unwrap();
+            for lane in [4u8, 9] {
+                let bad = MCode {
+                    insts: vec![MInst::GetLane {
+                        ty: ScalarTy::I32,
+                        dst: SReg(1),
+                        src: VReg(0),
+                        lane,
+                    }],
+                    n_sregs: 2,
+                    n_vregs: 1,
+                    note: String::new(),
+                };
+                let err = m.run(&bad).unwrap_err();
+                assert!(err.0.contains("out of range"), "wide={wide}: {err}");
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_width_register_files_stay_inline() {
+        // The whole point: no fixed-width family allocates MAX_VS-sized
+        // registers, and a register move costs size_of::<VBytes>()
+        // (inline payload), not 2048 bits.
+        assert!(std::mem::size_of::<VBytes>() <= INLINE_VS + 8);
+        assert!(
+            MAX_VS / std::mem::size_of::<VBytes>() >= 4,
+            "register-move bytes must shrink >= 4x"
+        );
+        for t in [sse(), neon64(), avx()] {
+            let mut m = Machine::new(&t, 2048);
+            m.set_sreg(SReg(0), Value::Int(3));
+            let c = MCode {
+                insts: vec![MInst::Splat {
+                    ty: ScalarTy::I32,
+                    dst: VReg(0),
+                    src: SReg(0),
+                }],
+                n_sregs: 1,
+                n_vregs: 1,
+                note: String::new(),
+            };
+            m.run(&c).unwrap();
+            assert!(
+                matches!(m.vregs[0], VBytes::Inline(_)),
+                "{}: fixed-width registers must stay inline",
+                t.name
+            );
+        }
+        // Wide runtime-VL machines are the only payers for heap lanes.
+        let t = crate::target::sve().at_vl(2048);
+        let mut m = Machine::new(&t, 4096);
+        m.set_sreg(SReg(0), Value::Int(3));
+        let c = MCode {
+            insts: vec![MInst::Splat {
+                ty: ScalarTy::I32,
+                dst: VReg(0),
+                src: SReg(0),
+            }],
+            n_sregs: 1,
+            n_vregs: 1,
+            note: String::new(),
+        };
+        m.run(&c).unwrap();
+        assert!(matches!(m.vregs[0], VBytes::Heap(_)));
+    }
+
+    #[test]
+    fn narrow_vla_specializations_use_inline_registers() {
+        // VLA at 128/256 bits fits inline; 512+ goes to the heap.
+        let fam = crate::target::sve();
+        for (bits, inline) in [(128, true), (256, true), (512, false), (2048, false)] {
+            let t = fam.at_vl(bits);
+            let m = Machine::new(&t, 1024);
+            let z = m.vzero();
+            assert_eq!(matches!(z, VBytes::Inline(_)), inline, "VL={bits}");
+        }
     }
 }

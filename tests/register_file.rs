@@ -1,0 +1,139 @@
+//! Register-file sizing tests: the target-sized (inline/heap) VM
+//! register file must be observationally identical to the seed-style
+//! max-width file on every suite kernel, and real VLA compilations must
+//! actually hit the predicated fast-dispatch kernels.
+
+use vapor_core::{
+    arrays_match, run, run_specialized, run_specialized_wide, run_wide, AllocPolicy, CompileConfig,
+    Engine, Flow,
+};
+use vapor_kernels::{suite, Scale};
+use vapor_targets::{avx, neon64, rvv, sse, sve, DStep};
+
+/// Property-style differential check: for every suite kernel on every
+/// fixed-width target, the target-sized register file and the max-sized
+/// (2048-bit, heap-backed) register file produce bit-identical machine
+/// state — same arrays, same cycles, same instruction counts.
+#[test]
+fn sized_and_max_register_files_agree_on_every_suite_kernel() {
+    let engine = Engine::new();
+    let cfg = CompileConfig::default();
+    for spec in suite() {
+        let kernel = spec.kernel();
+        let env = spec.env(Scale::Test);
+        for target in [sse(), neon64(), avx()] {
+            for flow in [Flow::SplitVectorOpt, Flow::NativeVector] {
+                let compiled = engine.compile(&kernel, flow, &target, &cfg).unwrap();
+                let sized = run(&target, &compiled, &env, AllocPolicy::Aligned)
+                    .unwrap_or_else(|e| panic!("{} [{flow} on {}]: {e}", spec.name, target.name));
+                let wide = run_wide(&target, &compiled, &env, AllocPolicy::Aligned)
+                    .unwrap_or_else(|e| panic!("{} [{flow} on {}]: {e}", spec.name, target.name));
+                for (name, expected) in sized.out.arrays() {
+                    // Bit-exact: tolerance 0.
+                    arrays_match(expected, wide.out.array(name).unwrap(), 0.0).unwrap_or_else(
+                        |e| {
+                            panic!(
+                                "{} [{flow} on {}]: array {name} diverged: {e}",
+                                spec.name, target.name
+                            )
+                        },
+                    );
+                }
+                assert_eq!(
+                    sized.stats, wide.stats,
+                    "{} [{flow} on {}]: stats diverged",
+                    spec.name, target.name
+                );
+            }
+        }
+    }
+}
+
+/// The same differential on the runtime-VL families, at the inline
+/// boundary (128/256 bits), just past it (512), and at the maximum
+/// (2048): narrow specializations use inline registers, wide ones heap —
+/// both must match the forced max-width file exactly.
+#[test]
+fn sized_and_max_register_files_agree_at_every_runtime_vl() {
+    let engine = Engine::new();
+    let cfg = CompileConfig::default();
+    for spec in suite() {
+        let kernel = spec.kernel();
+        let env = spec.env(Scale::Test);
+        for family in [sve(), rvv()] {
+            for vl in [128usize, 256, 512, 2048] {
+                let (compiled, prog) = engine
+                    .specialize(&kernel, Flow::SplitVectorOpt, &family, &cfg, vl)
+                    .unwrap_or_else(|e| panic!("{} @VL={vl}: {e}", spec.name));
+                let exec = family.at_vl(vl);
+                let sized = run_specialized(&exec, &compiled, &prog, &env, AllocPolicy::Aligned)
+                    .unwrap_or_else(|e| panic!("{} @VL={vl}: {e}", spec.name));
+                let wide =
+                    run_specialized_wide(&exec, &compiled, &prog, &env, AllocPolicy::Aligned)
+                        .unwrap_or_else(|e| panic!("{} @VL={vl}: {e}", spec.name));
+                for (name, expected) in sized.out.arrays() {
+                    arrays_match(expected, wide.out.array(name).unwrap(), 0.0).unwrap_or_else(
+                        |e| {
+                            panic!(
+                                "{} [{} @VL={vl}]: array {name} diverged: {e}",
+                                spec.name, family.name
+                            )
+                        },
+                    );
+                }
+                assert_eq!(
+                    sized.stats, wide.stats,
+                    "{} [{} @VL={vl}]: stats diverged",
+                    spec.name, family.name
+                );
+            }
+        }
+    }
+}
+
+/// Real VLA compilations must hit the new predicated fast-dispatch
+/// kernels: every vectorized suite kernel that emits `VBinVl` decodes it
+/// to `DStep::VBinVlFast`, never to the generic `Op` fallback.
+#[test]
+fn vla_compilations_hit_the_predicated_fast_kernels() {
+    let engine = Engine::new();
+    let cfg = CompileConfig::default();
+    let mut fast_bins = 0usize;
+    let mut fast_uns = 0usize;
+    for spec in suite() {
+        let kernel = spec.kernel();
+        for family in [sve(), rvv()] {
+            let Ok((_, prog)) =
+                engine.specialize(&kernel, Flow::SplitVectorOpt, &family, &cfg, 512)
+            else {
+                continue;
+            };
+            for d in prog.steps() {
+                match &d.step {
+                    DStep::VBinVlFast { .. } => fast_bins += 1,
+                    DStep::VUnVlFast { .. } => fast_uns += 1,
+                    DStep::Op(inst) => {
+                        assert!(
+                            !matches!(
+                                inst,
+                                vapor_targets::MInst::VBinVl { .. }
+                                    | vapor_targets::MInst::VUnVl { .. }
+                            ),
+                            "{}: predicated op fell back to the generic path: {}",
+                            spec.name,
+                            vapor_targets::disasm_inst(inst)
+                        );
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+    assert!(
+        fast_bins > 0,
+        "the suite must exercise VBinVlFast at least once"
+    );
+    // VUnVl (neg/abs/sqrt lanes) is rarer; don't require it from the
+    // suite, but record that we looked.
+    let _ = fast_uns;
+}
