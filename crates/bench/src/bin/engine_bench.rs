@@ -17,6 +17,9 @@
 //!    (`DStep::VBinVlFast`/`VUnVlFast` kernels) versus the generic
 //!    merge-predicated interpreter loop, on the SVE-class target at
 //!    VL=512.
+//! 6. **Superinstruction fusion** — fused decoded dispatch (the
+//!    production path) versus an unfused decode of the same code, per
+//!    kernel, with the per-kernel superinstruction hit counts.
 //!
 //! ```text
 //! cargo run --release -p vapor-bench --bin engine_bench [out.json] [--baseline=committed.json]
@@ -37,7 +40,7 @@ use std::time::Instant;
 use vapor_bench::Engine;
 use vapor_core::{run, run_baseline, run_specialized, run_wide, AllocPolicy, CompileConfig, Flow};
 use vapor_kernels::{suite, KernelSpec, Scale, SuiteKind};
-use vapor_targets::{sse, sve, VBytes, MAX_VS};
+use vapor_targets::{sse, sve, DecodedProgram, VBytes, MAX_VS};
 
 /// Best-of-`reps` wall time of `f`, in seconds.
 fn best_secs<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
@@ -227,6 +230,47 @@ fn vla_dispatch_experiment(engine: &Engine) -> Vec<DispatchRow> {
     rows
 }
 
+/// One row of the fusion experiment: fused vs unfused decoded dispatch
+/// plus the hit counts that explain the delta.
+struct FusionRow {
+    name: String,
+    unfused_us: f64,
+    fused_us: f64,
+    superinstructions: u32,
+    three_op: u32,
+}
+
+/// Superinstruction fusion experiment: the engine's compiled artifact
+/// carries the fused decode (the production path); the baseline is an
+/// unfused decode of the *same* machine code, so the delta isolates the
+/// dispatch-overhead saving (results and `vm_cycles` are bit-identical
+/// — that part is the differential test suite's job).
+fn fusion_experiment(engine: &Engine) -> Vec<FusionRow> {
+    let target = sse();
+    let cfg = CompileConfig::default();
+    let flow = Flow::SplitVectorOpt;
+    let mut rows = Vec::new();
+    for spec in dispatch_suite() {
+        let kernel = spec.kernel();
+        let env = spec.env(Scale::Full);
+        let c = engine.compile(&kernel, flow, &target, &cfg).unwrap();
+        let unfused = DecodedProgram::decode_unfused(&c.jit.code, &target).unwrap();
+        let fused_us = best_secs(5, || run(&target, &c, &env, AllocPolicy::Aligned).unwrap()) * 1e6;
+        let unfused_us = best_secs(5, || {
+            run_specialized(&target, &c, &unfused, &env, AllocPolicy::Aligned).unwrap()
+        }) * 1e6;
+        let stats = c.jit.decoded.fusion_stats();
+        rows.push(FusionRow {
+            name: spec.name.to_owned(),
+            unfused_us,
+            fused_us,
+            superinstructions: stats.total(),
+            three_op: stats.three_op(),
+        });
+    }
+    rows
+}
+
 /// Pull a top-level `"key": <number>` out of a committed benchmark JSON
 /// (no serde in the offline container; the format is our own writer's).
 fn json_number(text: &str, key: &str) -> Option<f64> {
@@ -239,16 +283,23 @@ fn json_number(text: &str, key: &str) -> Option<f64> {
     rest[..end].parse().ok()
 }
 
+/// Per-kernel value of `key` inside the named array section of a
+/// committed benchmark JSON (scoped to that section, since several
+/// sections share row keys).
+fn baseline_row_number(text: &str, section: &str, kernel: &str, key: &str) -> Option<u64> {
+    let start = text.find(&format!("\"{section}\": ["))?;
+    let sec = &text[start..];
+    let sec = &sec[..sec.find(']').unwrap_or(sec.len())];
+    let row_at = sec.find(&format!("\"kernel\": \"{kernel}\""))?;
+    let row = &sec[row_at..];
+    let row = &row[..row.find('}').unwrap_or(row.len())];
+    json_number(row, key).map(|v| v as u64)
+}
+
 /// Per-kernel `vm_cycles` of the committed JSON's `"dispatch"` section
 /// (scoped to that section: the `vla_dispatch` rows carry cycles too).
 fn baseline_dispatch_cycles(text: &str, kernel: &str) -> Option<u64> {
-    let start = text.find("\"dispatch\": [")?;
-    let section = &text[start..];
-    let section = &section[..section.find(']').unwrap_or(section.len())];
-    let row_at = section.find(&format!("\"kernel\": \"{kernel}\""))?;
-    let row = &section[row_at..];
-    let row = &row[..row.find('}').unwrap_or(row.len())];
-    json_number(row, "vm_cycles").map(|v| v as u64)
+    baseline_row_number(text, "dispatch", kernel, "vm_cycles")
 }
 
 fn main() {
@@ -264,25 +315,25 @@ fn main() {
         .map(str::to_owned);
     let engine = Engine::new();
 
-    eprintln!("[1/5] compilation cache: cold vs hit ...");
+    eprintln!("[1/6] compilation cache: cold vs hit ...");
     let cache = cache_experiment(&engine);
     let cold_total: f64 = cache.iter().map(|r| r.cold_us).sum();
     let hit_total: f64 = cache.iter().map(|r| r.hit_us).sum();
     let cache_speedup = cold_total / hit_total;
 
-    eprintln!("[2/5] VM dispatch: seed interpreter vs pre-decoded ...");
+    eprintln!("[2/6] VM dispatch: seed interpreter vs pre-decoded ...");
     let dispatch = dispatch_experiment(&engine);
     let base_total: f64 = dispatch.iter().map(|r| r.baseline_us).sum();
     let dec_total: f64 = dispatch.iter().map(|r| r.decoded_us).sum();
     let dispatch_speedup = base_total / dec_total;
 
-    eprintln!("[3/5] runtime-VL specialization: re-specialize vs full recompile ...");
+    eprintln!("[3/6] runtime-VL specialization: re-specialize vs full recompile ...");
     let vl_rows = vl_specialize_experiment(&engine);
     let vl_fresh: f64 = vl_rows.iter().map(|r| r.baseline_us).sum();
     let vl_hit: f64 = vl_rows.iter().map(|r| r.decoded_us).sum();
     let vl_speedup = vl_fresh / vl_hit;
 
-    eprintln!("[4/5] register file: target-sized vs seed max-width ...");
+    eprintln!("[4/6] register file: target-sized vs seed max-width ...");
     let regmove = regmove_experiment(&engine);
     let wide_total: f64 = regmove.iter().map(|r| r.baseline_us).sum();
     let sized_total: f64 = regmove.iter().map(|r| r.decoded_us).sum();
@@ -293,11 +344,17 @@ fn main() {
     let regmove_bytes_wide = MAX_VS;
     let regmove_bytes_sized = std::mem::size_of::<VBytes>();
 
-    eprintln!("[5/5] VLA dispatch: generic predicated loop vs fast kernels ...");
+    eprintln!("[5/6] VLA dispatch: generic predicated loop vs fast kernels ...");
     let vla = vla_dispatch_experiment(&engine);
     let vla_base: f64 = vla.iter().map(|r| r.baseline_us).sum();
     let vla_fast: f64 = vla.iter().map(|r| r.decoded_us).sum();
     let vla_dispatch_speedup = vla_base / vla_fast;
+
+    eprintln!("[6/6] superinstruction fusion: fused vs unfused dispatch ...");
+    let fusion = fusion_experiment(&engine);
+    let fusion_unfused: f64 = fusion.iter().map(|r| r.unfused_us).sum();
+    let fusion_fused: f64 = fusion.iter().map(|r| r.fused_us).sum();
+    let fusion_speedup = fusion_unfused / fusion_fused;
 
     let mut j = String::new();
     j.push_str("{\n");
@@ -310,6 +367,7 @@ fn main() {
     let _ = writeln!(j, "  \"regmove_bytes_wide\": {regmove_bytes_wide},");
     let _ = writeln!(j, "  \"regmove_bytes_sized\": {regmove_bytes_sized},");
     let _ = writeln!(j, "  \"vla_dispatch_speedup\": {vla_dispatch_speedup:.3},");
+    let _ = writeln!(j, "  \"fusion_speedup\": {fusion_speedup:.3},");
     j.push_str("  \"compile\": [\n");
     for (i, r) in cache.iter().enumerate() {
         let sep = if i + 1 == cache.len() { "" } else { "," };
@@ -363,6 +421,21 @@ fn main() {
         );
     }
     j.push_str("  ],\n");
+    j.push_str("  \"fusion\": [\n");
+    for (i, r) in fusion.iter().enumerate() {
+        let sep = if i + 1 == fusion.len() { "" } else { "," };
+        let _ = writeln!(
+            j,
+            "    {{\"kernel\": \"{}\", \"unfused_us\": {:.2}, \"fused_us\": {:.2}, \"speedup\": {:.3}, \"superinstructions\": {}, \"three_op\": {}}}{sep}",
+            r.name,
+            r.unfused_us,
+            r.fused_us,
+            r.unfused_us / r.fused_us,
+            r.superinstructions,
+            r.three_op
+        );
+    }
+    j.push_str("  ],\n");
     j.push_str("  \"vla_dispatch\": [\n");
     for (i, r) in vla.iter().enumerate() {
         let sep = if i + 1 == vla.len() { "" } else { "," };
@@ -388,6 +461,9 @@ fn main() {
         regmove_bytes_wide as f64 / regmove_bytes_sized as f64
     );
     println!("VLA fast vs generic dispatch: {vla_dispatch_speedup:.3}x (floor ≥ 1.3x)");
+    println!(
+        "superinstruction fusion:      {fusion_speedup:.3}x fused vs unfused (never-slower floor)"
+    );
     println!("wrote {out_path}");
 
     // Regression gate: absolute floors, tightened by the committed
@@ -398,6 +474,12 @@ fn main() {
     // wall-clock noise would hide it.
     let mut fail = false;
     let (mut cache_floor, mut dispatch_floor, mut vla_floor): (f64, f64, f64) = (10.0, 1.2, 1.3);
+    // Fusion's wall-clock effect on an out-of-order host is small (the
+    // bookkeeping it removes predicts/pipelines well), so its wall gate
+    // is a loose never-slower floor; the *deterministic* gate below on
+    // per-kernel superinstruction counts is what catches a silently
+    // weakened pass exactly.
+    let mut fusion_floor: f64 = 0.95;
     if let Some(path) = baseline_path {
         let text =
             std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read baseline {path}: {e}"));
@@ -410,6 +492,10 @@ fn main() {
         // Present only in baselines recorded after the register-file PR.
         if let Some(base_vla) = json_number(&text, "vla_dispatch_speedup") {
             vla_floor = vla_floor.max(0.7 * base_vla);
+        }
+        // Present only in baselines recorded after the fusion PR.
+        if let Some(base_fusion) = json_number(&text, "fusion_speedup") {
+            fusion_floor = fusion_floor.max(0.7 * base_fusion);
         }
         println!(
             "baseline {path}: cache {base_cache:.1}x, dispatch {base_dispatch:.3}x \
@@ -431,6 +517,23 @@ fn main() {
                 }
             }
         }
+        // Superinstruction counts are as deterministic as vm_cycles:
+        // they change only when codegen or the fusion pass changes, so
+        // they are gated on exact equality (present only in baselines
+        // recorded after the fusion PR).
+        for r in &fusion {
+            match baseline_row_number(&text, "fusion", &r.name, "superinstructions") {
+                Some(want) if want != u64::from(r.superinstructions) => {
+                    eprintln!(
+                        "REGRESSION: {} formed {} superinstructions, committed baseline says \
+                         {want} (deterministic counter; exact match required)",
+                        r.name, r.superinstructions
+                    );
+                    fail = true;
+                }
+                _ => {}
+            }
+        }
     }
     if cache_speedup < cache_floor {
         eprintln!(
@@ -448,6 +551,14 @@ fn main() {
         eprintln!(
             "REGRESSION: VLA fast-dispatch speedup {vla_dispatch_speedup:.3}x < threshold {vla_floor:.3}x"
         );
+        fail = true;
+    }
+    if fusion_speedup < fusion_floor {
+        eprintln!("REGRESSION: fusion speedup {fusion_speedup:.3}x < threshold {fusion_floor:.3}x");
+        fail = true;
+    }
+    if fusion.iter().all(|r| r.three_op == 0) {
+        eprintln!("REGRESSION: no three-op superinstruction fired on the dispatch suite");
         fail = true;
     }
     if fail {

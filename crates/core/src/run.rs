@@ -105,6 +105,26 @@ pub fn run_specialized_wide(
     Ok(read_back(&m, bases, stats))
 }
 
+/// Like [`run()`], but executing a freshly decoded *unfused* program —
+/// no superinstructions, one step per executable instruction. The
+/// baseline side of the fusion differential tests and benchmarks;
+/// machine state, cycles and instruction counts must be bit-identical
+/// to [`run()`] (which executes the fused decode).
+///
+/// # Errors
+/// Same contract as [`run()`].
+pub fn run_unfused(
+    target: &TargetDesc,
+    compiled: &Compiled,
+    env: &Bindings,
+    policy: AllocPolicy,
+) -> Result<RunResult, Trap> {
+    let prog = vapor_targets::DecodedProgram::decode_unfused(&compiled.jit.code, target)?;
+    let (mut m, bases) = setup_machine(target, compiled, env, policy, false)?;
+    let stats = m.run_decoded(&prog)?;
+    Ok(read_back(&m, bases, stats))
+}
+
 /// Like [`run()`], but executing through the seed per-instruction
 /// dispatch loop instead of the pre-decoded program. Kept as the
 /// baseline the engine benchmark measures the decoded dispatch against;

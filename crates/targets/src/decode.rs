@@ -26,7 +26,7 @@ use std::collections::HashMap;
 use vapor_ir::sem::{eval_bin, eval_un, read_elem, write_elem, Value};
 use vapor_ir::{BinOp, ScalarTy, UnOp};
 
-use crate::isa::{AddrMode, Cond, Label, MCode, MInst, MemAlign, SReg, VReg};
+use crate::isa::{AddrMode, Cond, Label, MCode, MInst, MemAlign, ReduceOp, SReg, ShiftSrc, VReg};
 use crate::machine::Trap;
 use crate::target::TargetDesc;
 
@@ -199,6 +199,20 @@ fn vbin_fn(op: BinOp, ty: ScalarTy) -> Option<VBinFn> {
         (Max, I64) => k!(Max, I64),
         (Max, F32) => k!(Max, F32),
         (Max, F64) => k!(Max, F64),
+        (Shl, I8) => k!(Shl, I8),
+        (Shl, U8) => k!(Shl, U8),
+        (Shl, I16) => k!(Shl, I16),
+        (Shl, U16) => k!(Shl, U16),
+        (Shl, I32) => k!(Shl, I32),
+        (Shl, U32) => k!(Shl, U32),
+        (Shl, I64) => k!(Shl, I64),
+        (Shr, I8) => k!(Shr, I8),
+        (Shr, U8) => k!(Shr, U8),
+        (Shr, I16) => k!(Shr, I16),
+        (Shr, U16) => k!(Shr, U16),
+        (Shr, I32) => k!(Shr, I32),
+        (Shr, U32) => k!(Shr, U32),
+        (Shr, I64) => k!(Shr, I64),
         (And, I8) => k!(And, I8),
         (And, U8) => k!(And, U8),
         (And, I16) => k!(And, I16),
@@ -253,6 +267,131 @@ fn flatten_addr(m: &AddrMode) -> Option<(SReg, u32, u8, i32)> {
     Some((m.base, idx, m.scale, disp))
 }
 
+/// Specialized splat kernel: broadcast a (pre-coerced) scalar into the
+/// first `n` lanes of `out`. The element type is a compile-time constant
+/// inside, so the per-lane `write_elem` match const-folds away.
+pub type SplatFn = fn(Value, out: &mut [u8], n: usize);
+
+/// Pick the specialized splat kernel for an element type (total: every
+/// type splats).
+fn splat_fn(ty: ScalarTy) -> SplatFn {
+    macro_rules! k {
+        ($tyvar:ident) => {{
+            fn kernel(v: Value, out: &mut [u8], n: usize) {
+                const TY: ScalarTy = ScalarTy::$tyvar;
+                const SZ: usize = TY.size();
+                let out = &mut out[..n * SZ];
+                for k in 0..n {
+                    write_elem(TY, out, k * SZ, v);
+                }
+            }
+            kernel as SplatFn
+        }};
+    }
+    match ty {
+        ScalarTy::I8 => k!(I8),
+        ScalarTy::U8 => k!(U8),
+        ScalarTy::I16 => k!(I16),
+        ScalarTy::U16 => k!(U16),
+        ScalarTy::I32 => k!(I32),
+        ScalarTy::U32 => k!(U32),
+        ScalarTy::I64 => k!(I64),
+        ScalarTy::F32 => k!(F32),
+        ScalarTy::F64 => k!(F64),
+    }
+}
+
+/// Specialized vector-shift kernel: shift the first `n` lanes of `a` by
+/// a broadcast amount (operator, direction and type baked in).
+pub type VShiftFn = fn(a: &[u8], amt: i64, out: &mut [u8], n: usize);
+
+/// Pick the specialized shift kernel for a (direction, element type)
+/// pair. Shifts only exist at integer types.
+fn vshift_fn(left: bool, ty: ScalarTy) -> Option<VShiftFn> {
+    macro_rules! k {
+        ($opvar:ident, $tyvar:ident) => {{
+            fn kernel(a: &[u8], amt: i64, out: &mut [u8], n: usize) {
+                const TY: ScalarTy = ScalarTy::$tyvar;
+                const SZ: usize = TY.size();
+                let end = n * SZ;
+                let a = &a[..end];
+                let out = &mut out[..end];
+                let amt = Value::Int(amt);
+                for k in 0..n {
+                    let off = k * SZ;
+                    let v = eval_bin(BinOp::$opvar, TY, read_elem(TY, a, off), amt);
+                    write_elem(TY, out, off, v);
+                }
+            }
+            Some(kernel as VShiftFn)
+        }};
+    }
+    macro_rules! for_int_tys {
+        ($opvar:ident, $ty:expr) => {
+            match $ty {
+                ScalarTy::I8 => k!($opvar, I8),
+                ScalarTy::U8 => k!($opvar, U8),
+                ScalarTy::I16 => k!($opvar, I16),
+                ScalarTy::U16 => k!($opvar, U16),
+                ScalarTy::I32 => k!($opvar, I32),
+                ScalarTy::U32 => k!($opvar, U32),
+                ScalarTy::I64 => k!($opvar, I64),
+                _ => None,
+            }
+        };
+    }
+    if left {
+        for_int_tys!(Shl, ty)
+    } else {
+        for_int_tys!(Shr, ty)
+    }
+}
+
+/// Specialized horizontal-reduction kernel: fold the first `n` lanes
+/// into a scalar (operator and type baked in, so the reduction loop is a
+/// straight-line fold instead of a double match per lane).
+pub type VReduceFn = fn(a: &[u8], n: usize) -> Value;
+
+/// Pick the specialized reduction kernel for a (reduce-op, type) pair
+/// (total: the machine's reductions are defined at every type).
+fn vreduce_fn(op: ReduceOp, ty: ScalarTy) -> VReduceFn {
+    macro_rules! k {
+        ($opvar:ident, $tyvar:ident) => {{
+            fn kernel(a: &[u8], n: usize) -> Value {
+                const TY: ScalarTy = ScalarTy::$tyvar;
+                const SZ: usize = TY.size();
+                let a = &a[..n * SZ];
+                let mut acc = read_elem(TY, a, 0);
+                for k in 1..n {
+                    acc = eval_bin(BinOp::$opvar, TY, acc, read_elem(TY, a, k * SZ));
+                }
+                acc
+            }
+            kernel as VReduceFn
+        }};
+    }
+    macro_rules! for_all_tys {
+        ($opvar:ident, $ty:expr) => {
+            match $ty {
+                ScalarTy::I8 => k!($opvar, I8),
+                ScalarTy::U8 => k!($opvar, U8),
+                ScalarTy::I16 => k!($opvar, I16),
+                ScalarTy::U16 => k!($opvar, U16),
+                ScalarTy::I32 => k!($opvar, I32),
+                ScalarTy::U32 => k!($opvar, U32),
+                ScalarTy::I64 => k!($opvar, I64),
+                ScalarTy::F32 => k!($opvar, F32),
+                ScalarTy::F64 => k!($opvar, F64),
+            }
+        };
+    }
+    match op {
+        ReduceOp::Plus => for_all_tys!(Add, ty),
+        ReduceOp::Max => for_all_tys!(Max, ty),
+        ReduceOp::Min => for_all_tys!(Min, ty),
+    }
+}
+
 /// Pick the specialized kernel for a unary (operator, element type).
 fn vun_fn(op: UnOp, ty: ScalarTy) -> Option<VUnFn> {
     macro_rules! k {
@@ -303,10 +442,246 @@ fn vun_fn(op: UnOp, ty: ScalarTy) -> Option<VUnFn> {
     }
 }
 
+/// Flattened address of one memory leg of a fused superinstruction
+/// (same fields the standalone fast memory steps carry inline).
+#[derive(Debug, Clone, Copy)]
+pub struct FusedAddr {
+    /// Base address register.
+    pub base: SReg,
+    /// Index register number, or [`NO_INDEX`].
+    pub idx: u32,
+    /// Scale applied to the index (bytes).
+    pub scale: u8,
+    /// Whether the access carries the aligned contract (always `false`
+    /// for the element-aligned `...Vl` accesses).
+    pub aligned: bool,
+    /// Constant displacement (bytes).
+    pub disp: i32,
+}
+
+/// Payload of the `LoadV → VBin → StoreV` superinstruction. The fused
+/// step executes all three constituents in order — including every
+/// register write — so machine state is bit-identical to the unfused
+/// sequence; only the per-step dispatch overhead (bounds/fuel checks,
+/// the step match, pc/stat bookkeeping) is paid once instead of thrice.
+#[derive(Debug, Clone)]
+pub struct LoadBinStore {
+    /// Destination of the load.
+    pub load_dst: VReg,
+    /// Load address.
+    pub load: FusedAddr,
+    /// Destination of the binary op (also the store source).
+    pub dst: VReg,
+    /// Left operand.
+    pub a: VReg,
+    /// Right operand.
+    pub b: VReg,
+    /// Specialized lane kernel.
+    pub f: VBinFn,
+    /// Operator (for disassembly/respecialization).
+    pub op: BinOp,
+    /// Element type.
+    pub ty: ScalarTy,
+    /// Lane count on the decode target.
+    pub lanes: u16,
+    /// Store address.
+    pub store: FusedAddr,
+}
+
+/// Payload of the `LoadV → VBin → VBin` superinstruction: a load
+/// feeding one link of a combining chain that immediately feeds the
+/// next (the `acc = acc ⊕ f(load)` idiom of every reduction-shaped
+/// kernel, where the store only happens after the whole chain).
+#[derive(Debug, Clone)]
+pub struct LoadBinBin {
+    /// Destination of the load.
+    pub load_dst: VReg,
+    /// Load address.
+    pub load: FusedAddr,
+    /// Destination of the first binary op.
+    pub dst1: VReg,
+    /// Left operand of the first op.
+    pub a1: VReg,
+    /// Right operand of the first op.
+    pub b1: VReg,
+    /// Specialized lane kernel of the first op.
+    pub f1: VBinFn,
+    /// First operator.
+    pub op1: BinOp,
+    /// Element type of the first op.
+    pub ty1: ScalarTy,
+    /// Lane count of the first op on the decode target.
+    pub lanes1: u16,
+    /// Destination of the second binary op.
+    pub dst2: VReg,
+    /// Left operand of the second op.
+    pub a2: VReg,
+    /// Right operand of the second op.
+    pub b2: VReg,
+    /// Specialized lane kernel of the second op.
+    pub f2: VBinFn,
+    /// Second operator.
+    pub op2: BinOp,
+    /// Element type of the second op.
+    pub ty2: ScalarTy,
+    /// Lane count of the second op on the decode target.
+    pub lanes2: u16,
+}
+
+/// Payload of the `LoadV → VBin` superinstruction.
+#[derive(Debug, Clone)]
+pub struct LoadBin {
+    /// Destination of the load.
+    pub load_dst: VReg,
+    /// Load address.
+    pub load: FusedAddr,
+    /// Destination of the binary op.
+    pub dst: VReg,
+    /// Left operand.
+    pub a: VReg,
+    /// Right operand.
+    pub b: VReg,
+    /// Specialized lane kernel.
+    pub f: VBinFn,
+    /// Operator.
+    pub op: BinOp,
+    /// Element type.
+    pub ty: ScalarTy,
+    /// Lane count on the decode target.
+    pub lanes: u16,
+}
+
+/// Payload of the `VBin → StoreV` superinstruction.
+#[derive(Debug, Clone)]
+pub struct BinStore {
+    /// Destination of the binary op (also the store source).
+    pub dst: VReg,
+    /// Left operand.
+    pub a: VReg,
+    /// Right operand.
+    pub b: VReg,
+    /// Specialized lane kernel.
+    pub f: VBinFn,
+    /// Operator.
+    pub op: BinOp,
+    /// Element type.
+    pub ty: ScalarTy,
+    /// Lane count on the decode target.
+    pub lanes: u16,
+    /// Store address.
+    pub store: FusedAddr,
+}
+
+/// Payload of the predicated `LoadVl → VBinVl → StoreVl` runtime-VL
+/// superinstruction: the active lane count is read from the machine's VL
+/// state at execution time, exactly as in the unfused steps.
+#[derive(Debug, Clone)]
+pub struct LoadBinStoreVl {
+    /// Element type of the predicated load.
+    pub load_ty: ScalarTy,
+    /// Destination of the load.
+    pub load_dst: VReg,
+    /// Load address (element-aligned; no whole-register contract).
+    pub load: FusedAddr,
+    /// Destination of the binary op (merge source; also the store
+    /// source).
+    pub dst: VReg,
+    /// Left operand.
+    pub a: VReg,
+    /// Right operand.
+    pub b: VReg,
+    /// Specialized lane kernel.
+    pub f: VBinFn,
+    /// Operator.
+    pub op: BinOp,
+    /// Element type of the binary op.
+    pub ty: ScalarTy,
+    /// Lane count of a full register on the decode target (VL clamp).
+    pub max_lanes: u16,
+    /// Element type of the predicated store.
+    pub store_ty: ScalarTy,
+    /// Store address.
+    pub store: FusedAddr,
+}
+
+/// Payload of the `SBinImm → branch` loop-latch superinstruction
+/// (induction-variable step plus the backedge test, the tail of every
+/// stripmined loop).
+#[derive(Debug, Clone)]
+pub struct Latch {
+    /// Destination of the scalar op.
+    pub dst: SReg,
+    /// Left operand of the scalar op.
+    pub a: SReg,
+    /// Immediate right operand of the scalar op.
+    pub imm: i32,
+    /// Specialized scalar kernel.
+    pub f: SBinFn,
+    /// Operand type.
+    pub ty: ScalarTy,
+    /// Result type.
+    pub rty: ScalarTy,
+    /// Branch condition.
+    pub cond: Cond,
+    /// Left branch operand.
+    pub br_a: SReg,
+    /// Right branch operand register number, or [`NO_INDEX`] when the
+    /// branch compares against `br_imm`.
+    pub br_reg: u32,
+    /// Immediate right branch operand (used when `br_reg` is
+    /// [`NO_INDEX`]).
+    pub br_imm: i64,
+    /// Target index.
+    pub target: u32,
+}
+
+/// Per-pattern hit counters of the superinstruction fusion pass,
+/// recorded on the [`DecodedProgram`] so tests can assert that the
+/// expected patterns actually fire (a silently-disabled pass fails tests
+/// instead of just benching slower).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FusionStats {
+    /// `LoadV → VBin → StoreV` three-op fusions.
+    pub load_bin_store: u32,
+    /// `LoadVl → VBinVl → StoreVl` predicated (runtime-VL) three-op
+    /// fusions.
+    pub load_bin_store_vl: u32,
+    /// `LoadV → VBin → VBin` three-op combining-chain fusions.
+    pub load_bin_bin: u32,
+    /// `LoadV → VBin` two-op fusions.
+    pub load_bin: u32,
+    /// `VBin → StoreV` two-op fusions.
+    pub bin_store: u32,
+    /// `SBinImm → branch` loop-latch fusions.
+    pub latch: u32,
+}
+
+impl FusionStats {
+    /// Total number of superinstructions formed.
+    pub fn total(&self) -> u32 {
+        self.load_bin_store
+            + self.load_bin_store_vl
+            + self.load_bin_bin
+            + self.load_bin
+            + self.bin_store
+            + self.latch
+    }
+
+    /// Total number of three-op superinstructions formed.
+    pub fn three_op(&self) -> u32 {
+        self.load_bin_store + self.load_bin_store_vl + self.load_bin_bin
+    }
+}
+
 /// Control-flow-resolved step of a decoded program.
 ///
 /// No `PartialEq`: the fast variants hold function pointers, whose
 /// comparison is not meaningful. Compare the source [`MCode`] instead.
+///
+/// The enum is kept within a 32-byte niche-packed budget (asserted in
+/// tests): the superinstruction payloads exceed it and are therefore
+/// boxed — one pointer chase per fused step, in exchange for two fewer
+/// trips through the dispatch loop.
 #[derive(Debug, Clone)]
 pub enum DStep {
     /// Unconditional jump to a decoded-instruction index.
@@ -512,6 +887,103 @@ pub enum DStep {
         /// Source.
         src: SReg,
     },
+    /// [`MInst::Splat`] with a specialized broadcast kernel (hot in the
+    /// loop preheaders of every vectorized kernel and inside shift/mask
+    /// idioms).
+    SplatFast {
+        /// Destination.
+        dst: VReg,
+        /// Source scalar.
+        src: SReg,
+        /// Specialized broadcast kernel.
+        f: SplatFn,
+        /// Element type.
+        ty: ScalarTy,
+        /// Lane count on the decode target.
+        lanes: u16,
+    },
+    /// [`MInst::VShift`] by an immediate amount with a specialized lane
+    /// kernel (per-lane amounts decode to [`DStep::VBinFast`] instead —
+    /// they are exactly a lane-wise binary op). Immediate and register
+    /// amounts are separate variants so each payload stays inside the
+    /// 32-byte niche-packed budget.
+    VShiftImmFast {
+        /// Destination.
+        dst: VReg,
+        /// Operand.
+        a: VReg,
+        /// Specialized shift kernel.
+        f: VShiftFn,
+        /// Immediate amount.
+        imm: u8,
+        /// Shift direction (for disassembly).
+        left: bool,
+        /// Element type.
+        ty: ScalarTy,
+        /// Lane count on the decode target.
+        lanes: u16,
+    },
+    /// [`MInst::VShift`] by a broadcast scalar-register amount.
+    VShiftRegFast {
+        /// Destination.
+        dst: VReg,
+        /// Operand.
+        a: VReg,
+        /// Specialized shift kernel.
+        f: VShiftFn,
+        /// Amount register.
+        amt: SReg,
+        /// Shift direction (for disassembly).
+        left: bool,
+        /// Element type.
+        ty: ScalarTy,
+        /// Lane count on the decode target.
+        lanes: u16,
+    },
+    /// [`MInst::SpillLd`] without the generic-interpreter detour (spill
+    /// traffic dominates the naive-JIT flows).
+    SpillLdFast {
+        /// Destination register.
+        dst: SReg,
+        /// Slot index.
+        slot: u32,
+    },
+    /// [`MInst::SpillSt`] without the generic-interpreter detour.
+    SpillStFast {
+        /// Source register.
+        src: SReg,
+        /// Slot index.
+        slot: u32,
+    },
+    /// [`MInst::VReduce`] with a specialized fold kernel (the reduction
+    /// at the end of every dot-product/accumulation loop).
+    VReduceFast {
+        /// Destination scalar.
+        dst: SReg,
+        /// Source vector.
+        src: VReg,
+        /// Specialized fold kernel.
+        f: VReduceFn,
+        /// Reduction operator (for disassembly).
+        op: ReduceOp,
+        /// Element type.
+        ty: ScalarTy,
+        /// Lane count on the decode target.
+        lanes: u16,
+    },
+    /// `LoadV → VBin → StoreV` superinstruction (see [`LoadBinStore`]).
+    FusedLoadBinStore(Box<LoadBinStore>),
+    /// `LoadV → VBin → VBin` superinstruction (see [`LoadBinBin`]).
+    FusedLoadBinBin(Box<LoadBinBin>),
+    /// `LoadV → VBin` superinstruction.
+    FusedLoadBin(Box<LoadBin>),
+    /// `VBin → StoreV` superinstruction.
+    FusedBinStore(Box<BinStore>),
+    /// Predicated `LoadVl → VBinVl → StoreVl` runtime-VL
+    /// superinstruction.
+    FusedLoadBinStoreVl(Box<LoadBinStoreVl>),
+    /// `SBinImm → branch` loop-latch superinstruction.
+    FusedLatch(Box<Latch>),
     /// Any other non-control instruction, executed by the shared
     /// (generic) semantics.
     Op(MInst),
@@ -523,28 +995,379 @@ pub enum DStep {
 pub struct DecodedInst {
     /// What to execute.
     pub step: DStep,
-    /// Pre-computed cycle cost on the decode target.
+    /// Pre-computed cycle cost on the decode target. For a fused
+    /// superinstruction this is the *sum* of the constituents' costs, so
+    /// `vm_cycles` accounting is bit-identical with fusion on or off.
     pub cost: u64,
     /// Pre-computed lane count of the instruction's element type (1 for
-    /// scalar/control instructions).
+    /// scalar/control/fused instructions).
     pub lanes: u32,
+    /// Number of source instructions this step covers: 1 for plain
+    /// steps, 2–3 for superinstructions. The dispatch loop charges it to
+    /// `ExecStats::insts`, so fused and unfused execution report
+    /// identical statistics.
+    pub arity: u32,
 }
 
 /// A fully decoded, target-specific program.
 #[derive(Debug, Clone)]
 pub struct DecodedProgram {
     steps: Vec<DecodedInst>,
-    /// Executable (non-label) instruction count.
+    /// Executable (non-label) *source* instruction count (the sum of
+    /// step arities; fused programs have fewer steps than this).
     pub len: usize,
     /// Vector width in bytes of the decode target (sanity-checked at run
     /// time: running a program decoded for one target on a machine of
     /// another is a harness bug).
     pub vs: usize,
+    /// Superinstruction hit counters of the fusion pass (all zero for an
+    /// unfused decode).
+    fusion: FusionStats,
+}
+
+/// Try to form a superinstruction at step `i`. Returns the fused step
+/// and how many steps it covers; patterns are tried longest first.
+/// `free(r)` reports whether no branch lands inside the index range `r`.
+fn fuse_at(
+    steps: &[DecodedInst],
+    i: usize,
+    free: &impl Fn(std::ops::Range<usize>) -> bool,
+    stats: &mut FusionStats,
+) -> Option<(DStep, usize)> {
+    // Three-op: LoadV → VBin → StoreV, the body of every elementwise
+    // vector loop (load the second operand, combine, store the result).
+    if i + 2 < steps.len() && free(i + 1..i + 3) {
+        if let (
+            DStep::LoadVFast {
+                dst: load_dst,
+                base,
+                idx,
+                scale,
+                aligned,
+                disp,
+            },
+            DStep::VBinFast {
+                dst,
+                a,
+                b,
+                f,
+                op,
+                ty,
+                lanes,
+            },
+            DStep::StoreVFast {
+                src,
+                base: sbase,
+                idx: sidx,
+                scale: sscale,
+                aligned: saligned,
+                disp: sdisp,
+            },
+        ) = (&steps[i].step, &steps[i + 1].step, &steps[i + 2].step)
+        {
+            if (load_dst == a || load_dst == b) && src == dst {
+                stats.load_bin_store += 1;
+                return Some((
+                    DStep::FusedLoadBinStore(Box::new(LoadBinStore {
+                        load_dst: *load_dst,
+                        load: FusedAddr {
+                            base: *base,
+                            idx: *idx,
+                            scale: *scale,
+                            aligned: *aligned,
+                            disp: *disp,
+                        },
+                        dst: *dst,
+                        a: *a,
+                        b: *b,
+                        f: *f,
+                        op: *op,
+                        ty: *ty,
+                        lanes: *lanes,
+                        store: FusedAddr {
+                            base: *sbase,
+                            idx: *sidx,
+                            scale: *sscale,
+                            aligned: *saligned,
+                            disp: *sdisp,
+                        },
+                    })),
+                    3,
+                ));
+            }
+        }
+        // Three-op combining chain: LoadV → VBin → VBin, the
+        // `acc = acc ⊕ f(load)` idiom of reduction-shaped kernels whose
+        // store only happens after the chain.
+        if let (
+            DStep::LoadVFast {
+                dst: load_dst,
+                base,
+                idx,
+                scale,
+                aligned,
+                disp,
+            },
+            DStep::VBinFast {
+                dst: dst1,
+                a: a1,
+                b: b1,
+                f: f1,
+                op: op1,
+                ty: ty1,
+                lanes: lanes1,
+            },
+            DStep::VBinFast {
+                dst: dst2,
+                a: a2,
+                b: b2,
+                f: f2,
+                op: op2,
+                ty: ty2,
+                lanes: lanes2,
+            },
+        ) = (&steps[i].step, &steps[i + 1].step, &steps[i + 2].step)
+        {
+            if (load_dst == a1 || load_dst == b1) && (dst1 == a2 || dst1 == b2) {
+                stats.load_bin_bin += 1;
+                return Some((
+                    DStep::FusedLoadBinBin(Box::new(LoadBinBin {
+                        load_dst: *load_dst,
+                        load: FusedAddr {
+                            base: *base,
+                            idx: *idx,
+                            scale: *scale,
+                            aligned: *aligned,
+                            disp: *disp,
+                        },
+                        dst1: *dst1,
+                        a1: *a1,
+                        b1: *b1,
+                        f1: *f1,
+                        op1: *op1,
+                        ty1: *ty1,
+                        lanes1: *lanes1,
+                        dst2: *dst2,
+                        a2: *a2,
+                        b2: *b2,
+                        f2: *f2,
+                        op2: *op2,
+                        ty2: *ty2,
+                        lanes2: *lanes2,
+                    })),
+                    3,
+                ));
+            }
+        }
+        // Predicated runtime-VL form: LoadVl → VBinVl → StoreVl (the
+        // stripmined loop body of every VLA target).
+        if let (
+            DStep::Op(MInst::LoadVl {
+                ty: load_ty,
+                dst: load_dst,
+                addr: load_addr,
+            }),
+            DStep::VBinVlFast {
+                dst,
+                a,
+                b,
+                f,
+                op,
+                ty,
+                max_lanes,
+            },
+            DStep::Op(MInst::StoreVl {
+                ty: store_ty,
+                src,
+                addr: store_addr,
+            }),
+        ) = (&steps[i].step, &steps[i + 1].step, &steps[i + 2].step)
+        {
+            if (load_dst == a || load_dst == b) && src == dst {
+                if let (Some((lb, li, ls, ld)), Some((sb, si, ss, sd))) =
+                    (flatten_addr(load_addr), flatten_addr(store_addr))
+                {
+                    stats.load_bin_store_vl += 1;
+                    return Some((
+                        DStep::FusedLoadBinStoreVl(Box::new(LoadBinStoreVl {
+                            load_ty: *load_ty,
+                            load_dst: *load_dst,
+                            load: FusedAddr {
+                                base: lb,
+                                idx: li,
+                                scale: ls,
+                                aligned: false,
+                                disp: ld,
+                            },
+                            dst: *dst,
+                            a: *a,
+                            b: *b,
+                            f: *f,
+                            op: *op,
+                            ty: *ty,
+                            max_lanes: *max_lanes,
+                            store_ty: *store_ty,
+                            store: FusedAddr {
+                                base: sb,
+                                idx: si,
+                                scale: ss,
+                                aligned: false,
+                                disp: sd,
+                            },
+                        })),
+                        3,
+                    ));
+                }
+            }
+        }
+    }
+    if i + 1 < steps.len() && free(i + 1..i + 2) {
+        // Two-op: LoadV → VBin.
+        if let (
+            DStep::LoadVFast {
+                dst: load_dst,
+                base,
+                idx,
+                scale,
+                aligned,
+                disp,
+            },
+            DStep::VBinFast {
+                dst,
+                a,
+                b,
+                f,
+                op,
+                ty,
+                lanes,
+            },
+        ) = (&steps[i].step, &steps[i + 1].step)
+        {
+            if load_dst == a || load_dst == b {
+                stats.load_bin += 1;
+                return Some((
+                    DStep::FusedLoadBin(Box::new(LoadBin {
+                        load_dst: *load_dst,
+                        load: FusedAddr {
+                            base: *base,
+                            idx: *idx,
+                            scale: *scale,
+                            aligned: *aligned,
+                            disp: *disp,
+                        },
+                        dst: *dst,
+                        a: *a,
+                        b: *b,
+                        f: *f,
+                        op: *op,
+                        ty: *ty,
+                        lanes: *lanes,
+                    })),
+                    2,
+                ));
+            }
+        }
+        // Two-op: VBin → StoreV.
+        if let (
+            DStep::VBinFast {
+                dst,
+                a,
+                b,
+                f,
+                op,
+                ty,
+                lanes,
+            },
+            DStep::StoreVFast {
+                src,
+                base,
+                idx,
+                scale,
+                aligned,
+                disp,
+            },
+        ) = (&steps[i].step, &steps[i + 1].step)
+        {
+            if src == dst {
+                stats.bin_store += 1;
+                return Some((
+                    DStep::FusedBinStore(Box::new(BinStore {
+                        dst: *dst,
+                        a: *a,
+                        b: *b,
+                        f: *f,
+                        op: *op,
+                        ty: *ty,
+                        lanes: *lanes,
+                        store: FusedAddr {
+                            base: *base,
+                            idx: *idx,
+                            scale: *scale,
+                            aligned: *aligned,
+                            disp: *disp,
+                        },
+                    })),
+                    2,
+                ));
+            }
+        }
+        // Loop latch: SBinImm → branch reading the updated induction
+        // variable (register or immediate bound).
+        if let DStep::SBinImmFast {
+            dst,
+            a,
+            imm,
+            f,
+            ty,
+            rty,
+        } = &steps[i].step
+        {
+            let latch = |cond: Cond, br_a: SReg, br_reg: u32, br_imm: i64, target: u32| {
+                DStep::FusedLatch(Box::new(Latch {
+                    dst: *dst,
+                    a: *a,
+                    imm: *imm,
+                    f: *f,
+                    ty: *ty,
+                    rty: *rty,
+                    cond,
+                    br_a,
+                    br_reg,
+                    br_imm,
+                    target,
+                }))
+            };
+            match &steps[i + 1].step {
+                DStep::Branch {
+                    cond,
+                    a: ba,
+                    b: bb,
+                    target,
+                } if (ba == dst || bb == dst) && bb.0 != NO_INDEX => {
+                    stats.latch += 1;
+                    return Some((latch(*cond, *ba, bb.0, 0, *target), 2));
+                }
+                DStep::BranchImm {
+                    cond,
+                    a: ba,
+                    imm: bimm,
+                    target,
+                } if ba == dst => {
+                    stats.latch += 1;
+                    return Some((latch(*cond, *ba, NO_INDEX, *bimm, *target), 2));
+                }
+                _ => {}
+            }
+        }
+    }
+    None
 }
 
 impl DecodedProgram {
     /// Decode `code` for `target`: strip labels, resolve branch targets
-    /// to instruction indices, and pre-compute per-instruction costs.
+    /// to instruction indices, pre-compute per-instruction costs, and
+    /// run the superinstruction fusion pass (see
+    /// [`DecodedProgram::fuse`]).
     ///
     /// # Errors
     /// Returns a [`Trap`] for branches to undefined labels and for
@@ -552,6 +1375,18 @@ impl DecodedProgram {
     /// former to run time; a decoded program rejects malformed code up
     /// front).
     pub fn decode(code: &MCode, target: &TargetDesc) -> Result<DecodedProgram, Trap> {
+        Ok(DecodedProgram::decode_unfused(code, target)?.fuse())
+    }
+
+    /// [`DecodedProgram::decode`] without the superinstruction fusion
+    /// pass: one step per executable instruction. The differential
+    /// harness and the dispatch benchmarks run this form against the
+    /// fused one; results, cycles and instruction counts must be
+    /// bit-identical.
+    ///
+    /// # Errors
+    /// Same contract as [`DecodedProgram::decode`].
+    pub fn decode_unfused(code: &MCode, target: &TargetDesc) -> Result<DecodedProgram, Trap> {
         let vs = target.vs.max(1);
         let lanes_of = |ty: vapor_ir::ScalarTy| (vs / ty.size()).max(1);
 
@@ -665,6 +1500,73 @@ impl DecodedProgram {
                     dst: *dst,
                     src: *src,
                 },
+                MInst::Splat { ty, dst, src } => DStep::SplatFast {
+                    dst: *dst,
+                    src: *src,
+                    f: splat_fn(*ty),
+                    ty: *ty,
+                    lanes: lanes_of(*ty) as u16,
+                },
+                MInst::VShift {
+                    left,
+                    ty,
+                    dst,
+                    a,
+                    amt,
+                } => match (amt, vshift_fn(*left, *ty)) {
+                    (ShiftSrc::Imm(v), Some(f)) => DStep::VShiftImmFast {
+                        dst: *dst,
+                        a: *a,
+                        f,
+                        imm: *v,
+                        left: *left,
+                        ty: *ty,
+                        lanes: lanes_of(*ty) as u16,
+                    },
+                    (ShiftSrc::Reg(r), Some(f)) => DStep::VShiftRegFast {
+                        dst: *dst,
+                        a: *a,
+                        f,
+                        amt: *r,
+                        left: *left,
+                        ty: *ty,
+                        lanes: lanes_of(*ty) as u16,
+                    },
+                    // A per-lane shift *is* a lane-wise binary op: reuse
+                    // the VBin kernels instead of a third kernel family.
+                    (ShiftSrc::PerLane(amts), _) => {
+                        let op = if *left { BinOp::Shl } else { BinOp::Shr };
+                        match vbin_fn(op, *ty) {
+                            Some(f) => DStep::VBinFast {
+                                dst: *dst,
+                                a: *a,
+                                b: *amts,
+                                f,
+                                op,
+                                ty: *ty,
+                                lanes: lanes_of(*ty) as u16,
+                            },
+                            None => DStep::Op(inst.clone()),
+                        }
+                    }
+                    _ => DStep::Op(inst.clone()),
+                },
+                MInst::SpillLd { dst, slot } => DStep::SpillLdFast {
+                    dst: *dst,
+                    slot: *slot,
+                },
+                MInst::SpillSt { src, slot } => DStep::SpillStFast {
+                    src: *src,
+                    slot: *slot,
+                },
+                MInst::VReduce { op, ty, dst, src } => DStep::VReduceFast {
+                    dst: *dst,
+                    src: *src,
+                    f: vreduce_fn(*op, *ty),
+                    op: *op,
+                    ty: *ty,
+                    lanes: lanes_of(*ty) as u16,
+                },
                 MInst::LoadV { dst, addr, align } => match flatten_addr(addr) {
                     Some((base, idx, scale, disp)) => DStep::LoadVFast {
                         dst: *dst,
@@ -742,10 +1644,109 @@ impl DecodedProgram {
                 step,
                 cost: target.cost.cost(inst, lanes),
                 lanes: lanes as u32,
+                arity: 1,
             });
         }
         let len = steps.len();
-        Ok(DecodedProgram { steps, len, vs })
+        Ok(DecodedProgram {
+            steps,
+            len,
+            vs,
+            fusion: FusionStats::default(),
+        })
+    }
+
+    /// Run the superinstruction fusion pass: a peephole pattern-matcher
+    /// over the resolved step stream that rewrites hot adjacent
+    /// sequences into single steps. Patterns (longest first):
+    ///
+    /// * `LoadV → VBin → StoreV` (and the predicated
+    ///   `LoadVl → VBinVl → StoreVl` runtime-VL form) when the load
+    ///   feeds the op and the op feeds the store;
+    /// * `LoadV → VBin` / `VBin → StoreV` two-op forms;
+    /// * `SBinImm → branch` loop latches where the branch reads the
+    ///   updated induction variable.
+    ///
+    /// A sequence only fuses when no branch lands on its interior steps
+    /// (the head stays addressable); branch targets are re-indexed over
+    /// the shortened stream. Fused steps execute their constituents in
+    /// order — every register write included — and charge the *sum* of
+    /// their costs and arities, so machine state, `vm_cycles` and
+    /// instruction counts are bit-identical with fusion on or off.
+    ///
+    /// The pass is idempotent: superinstructions match no pattern, so
+    /// fusing an already-fused program returns it unchanged.
+    #[must_use]
+    pub fn fuse(&self) -> DecodedProgram {
+        let steps = &self.steps;
+        // Interior steps of a fusion candidate must not be branch
+        // targets; heads may be.
+        let mut is_target = vec![false; steps.len() + 1];
+        for d in steps {
+            match &d.step {
+                DStep::Jump { target }
+                | DStep::Branch { target, .. }
+                | DStep::BranchImm { target, .. } => is_target[*target as usize] = true,
+                DStep::FusedLatch(p) => is_target[p.target as usize] = true,
+                _ => {}
+            }
+        }
+        let free = |range: std::ops::Range<usize>| range.into_iter().all(|i| !is_target[i]);
+
+        let mut out: Vec<DecodedInst> = Vec::with_capacity(steps.len());
+        let mut new_index = vec![0u32; steps.len() + 1];
+        let mut fusion = self.fusion;
+        let mut i = 0usize;
+        while i < steps.len() {
+            let fused = fuse_at(steps, i, &free, &mut fusion);
+            let width = match &fused {
+                Some((_, w)) => *w,
+                None => 1,
+            };
+            new_index[i..i + width].fill(out.len() as u32);
+            match fused {
+                Some((step, w)) => {
+                    let group = &steps[i..i + w];
+                    out.push(DecodedInst {
+                        step,
+                        cost: group.iter().map(|d| d.cost).sum(),
+                        lanes: 1,
+                        arity: group.iter().map(|d| d.arity).sum(),
+                    });
+                }
+                None => out.push(steps[i].clone()),
+            }
+            i += width;
+        }
+        new_index[steps.len()] = out.len() as u32;
+        // Re-index branch targets over the shortened stream (fusion
+        // legality guarantees every target maps to a surviving head).
+        for d in &mut out {
+            match &mut d.step {
+                DStep::Jump { target }
+                | DStep::Branch { target, .. }
+                | DStep::BranchImm { target, .. } => *target = new_index[*target as usize],
+                DStep::FusedLatch(p) => p.target = new_index[p.target as usize],
+                _ => {}
+            }
+        }
+        DecodedProgram {
+            steps: out,
+            len: self.len,
+            vs: self.vs,
+            fusion,
+        }
+    }
+
+    /// The superinstruction hit counters of the fusion pass.
+    pub fn fusion_stats(&self) -> FusionStats {
+        self.fusion
+    }
+
+    /// Number of decoded steps actually dispatched per full pass over
+    /// the program (≤ [`DecodedProgram::len`] once fusion has run).
+    pub fn n_steps(&self) -> usize {
+        self.steps.len()
     }
 
     /// Re-specialize an already-decoded program to another vector width
@@ -767,28 +1768,55 @@ impl DecodedProgram {
         let mut insts = code.insts.iter().filter(|i| !matches!(i, MInst::Label(_)));
         let mut steps = Vec::with_capacity(self.steps.len());
         for d in &self.steps {
-            let inst = insts.next().ok_or_else(|| {
-                Trap("respecialize: code is shorter than the decoded program".into())
-            })?;
+            // A fused step covers `arity` source instructions: its cost
+            // is re-summed over the group, so the fusion decisions made
+            // at family-minimum decode time stay valid at every VL (the
+            // patterns themselves are VL-independent; only lane clamps
+            // and costs change).
+            let mut cost = 0u64;
+            let mut lanes = 1usize;
+            for _ in 0..d.arity {
+                let inst = insts.next().ok_or_else(|| {
+                    Trap("respecialize: code is shorter than the decoded program".into())
+                })?;
+                let l = match inst {
+                    MInst::VReduce { ty, .. } | MInst::VHelper { ty, .. } => lanes_of(*ty),
+                    _ => 1,
+                };
+                cost += target.cost.cost(inst, l);
+                if d.arity == 1 {
+                    lanes = l;
+                }
+            }
             let mut step = d.step.clone();
             match &mut step {
-                DStep::VBinFast { ty, lanes, .. } | DStep::VUnFast { ty, lanes, .. } => {
+                DStep::VBinFast { ty, lanes, .. }
+                | DStep::VUnFast { ty, lanes, .. }
+                | DStep::SplatFast { ty, lanes, .. }
+                | DStep::VShiftImmFast { ty, lanes, .. }
+                | DStep::VShiftRegFast { ty, lanes, .. }
+                | DStep::VReduceFast { ty, lanes, .. } => {
                     *lanes = lanes_of(*ty) as u16;
                 }
                 DStep::VBinVlFast { ty, max_lanes, .. }
                 | DStep::VUnVlFast { ty, max_lanes, .. } => {
                     *max_lanes = lanes_of(*ty) as u16;
                 }
+                DStep::FusedLoadBinStore(p) => p.lanes = lanes_of(p.ty) as u16,
+                DStep::FusedLoadBinBin(p) => {
+                    p.lanes1 = lanes_of(p.ty1) as u16;
+                    p.lanes2 = lanes_of(p.ty2) as u16;
+                }
+                DStep::FusedLoadBin(p) => p.lanes = lanes_of(p.ty) as u16,
+                DStep::FusedBinStore(p) => p.lanes = lanes_of(p.ty) as u16,
+                DStep::FusedLoadBinStoreVl(p) => p.max_lanes = lanes_of(p.ty) as u16,
                 _ => {}
             }
-            let lanes = match inst {
-                MInst::VReduce { ty, .. } | MInst::VHelper { ty, .. } => lanes_of(*ty),
-                _ => 1,
-            };
             steps.push(DecodedInst {
                 step,
-                cost: target.cost.cost(inst, lanes),
+                cost,
                 lanes: lanes as u32,
+                arity: d.arity,
             });
         }
         if insts.next().is_some() {
@@ -800,6 +1828,7 @@ impl DecodedProgram {
             steps,
             len: self.len,
             vs,
+            fusion: self.fusion,
         })
     }
 
@@ -854,7 +1883,7 @@ mod tests {
 
     #[test]
     fn labels_are_stripped_and_targets_resolved() {
-        let p = DecodedProgram::decode(&branchy_code(), &sse()).unwrap();
+        let p = DecodedProgram::decode_unfused(&branchy_code(), &sse()).unwrap();
         assert_eq!(p.len, 4);
         match &p.steps()[2].step {
             DStep::BranchImm { target, .. } => assert_eq!(*target, 1),
@@ -866,6 +1895,35 @@ mod tests {
             DStep::Jump { target } => assert_eq!(*target, 4),
             s => panic!("expected Jump, got {s:?}"),
         }
+    }
+
+    #[test]
+    fn latch_fusion_remaps_branch_targets() {
+        // The SBinImm+BranchImm backedge of branchy_code fuses into one
+        // latch step whose target (and the trailing jump's) re-index
+        // over the shortened stream.
+        let p = DecodedProgram::decode(&branchy_code(), &sse()).unwrap();
+        assert_eq!(p.len, 4, "len keeps counting source instructions");
+        assert_eq!(p.n_steps(), 3);
+        assert_eq!(p.fusion_stats().latch, 1);
+        match &p.steps()[1].step {
+            DStep::FusedLatch(l) => {
+                assert_eq!(l.target, 1, "backedge lands on the latch head");
+                assert_eq!((l.imm, l.br_imm), (1, 5));
+            }
+            s => panic!("expected FusedLatch, got {s:?}"),
+        }
+        match &p.steps()[2].step {
+            DStep::Jump { target } => assert_eq!(*target, 3, "end jump re-indexed"),
+            s => panic!("expected Jump, got {s:?}"),
+        }
+        // Cost and arity of the fused step cover both constituents.
+        let unfused = DecodedProgram::decode_unfused(&branchy_code(), &sse()).unwrap();
+        assert_eq!(p.steps()[1].arity, 2);
+        assert_eq!(
+            p.steps()[1].cost,
+            unfused.steps()[1].cost + unfused.steps()[2].cost
+        );
     }
 
     #[test]
@@ -890,10 +1948,107 @@ mod tests {
             n_vregs: 1,
             note: String::new(),
         };
-        let p = DecodedProgram::decode(&code, &t).unwrap();
+        let p = DecodedProgram::decode_unfused(&code, &t).unwrap();
         for (d, inst) in p.steps().iter().zip(&code.insts) {
             assert_eq!(d.cost, t.cost.cost(inst, d.lanes as usize));
         }
+        // The fused decode forms a LoadV→VBin superinstruction whose
+        // cost is the exact sum (vm_cycles accounting must not move).
+        let f = DecodedProgram::decode(&code, &t).unwrap();
+        assert_eq!(f.fusion_stats().load_bin, 1);
+        assert_eq!(f.n_steps(), 1);
+        assert_eq!(
+            f.steps()[0].cost,
+            p.steps().iter().map(|d| d.cost).sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn dstep_stays_within_the_niche_packed_budget() {
+        // The hot-loop enum must not grow: superinstruction payloads are
+        // boxed precisely to preserve this.
+        assert!(
+            std::mem::size_of::<DStep>() <= 32,
+            "DStep grew to {} bytes",
+            std::mem::size_of::<DStep>()
+        );
+    }
+
+    #[test]
+    fn three_op_fusion_requires_dataflow_and_free_interior() {
+        let body = |dst: u32| {
+            vec![
+                MInst::LoadV {
+                    dst: VReg(0),
+                    addr: AddrMode::base_disp(SReg(0), 0),
+                    align: MemAlign::Unaligned,
+                },
+                MInst::VBin {
+                    op: BinOp::Add,
+                    ty: ScalarTy::F32,
+                    dst: VReg(dst),
+                    a: VReg(0),
+                    b: VReg(1),
+                },
+                MInst::StoreV {
+                    src: VReg(2),
+                    addr: AddrMode::base_disp(SReg(0), 16),
+                    align: MemAlign::Unaligned,
+                },
+            ]
+        };
+        let code = |insts| MCode {
+            insts,
+            n_sregs: 1,
+            n_vregs: 3,
+            note: String::new(),
+        };
+        // Dataflow holds: load feeds the op, the op feeds the store.
+        let p = DecodedProgram::decode(&code(body(2)), &sse()).unwrap();
+        assert_eq!(p.fusion_stats().load_bin_store, 1);
+        assert_eq!(p.n_steps(), 1);
+        assert!(matches!(p.steps()[0].step, DStep::FusedLoadBinStore(_)));
+        // Store reads a different register: only the two-op prefix fuses.
+        let p = DecodedProgram::decode(&code(body(1)), &sse()).unwrap();
+        assert_eq!(p.fusion_stats().load_bin_store, 0);
+        assert_eq!(p.fusion_stats().load_bin, 1);
+        // A branch landing on the VBin blocks the three-op fusion (and
+        // the LoadV→VBin prefix), but the VBin→StoreV pair may still
+        // fuse: the branch target is that group's *head*, which stays
+        // addressable.
+        let mut insts = body(2);
+        insts.insert(1, MInst::Label(Label(0)));
+        insts.push(MInst::BranchImm {
+            cond: Cond::Lt,
+            a: SReg(0),
+            imm: 0,
+            target: Label(0),
+        });
+        let p = DecodedProgram::decode(&code(insts), &sse()).unwrap();
+        let stats = p.fusion_stats();
+        assert_eq!(
+            (stats.load_bin_store, stats.load_bin, stats.bin_store),
+            (0, 0, 1),
+            "{stats:?}"
+        );
+        match &p.steps()[2].step {
+            DStep::BranchImm { target, .. } => {
+                assert_eq!(*target, 1, "branch re-indexed onto the fused head")
+            }
+            s => panic!("expected BranchImm, got {s:?}"),
+        }
+    }
+
+    #[test]
+    fn fusion_is_idempotent() {
+        let p = DecodedProgram::decode(&branchy_code(), &sse()).unwrap();
+        let again = p.fuse();
+        assert_eq!(again.n_steps(), p.n_steps());
+        assert_eq!(again.fusion_stats(), p.fusion_stats());
+        assert_eq!(
+            crate::disasm::disasm_decoded(&again),
+            crate::disasm::disasm_decoded(&p)
+        );
     }
 
     #[test]

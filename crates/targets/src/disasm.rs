@@ -294,13 +294,155 @@ pub fn disasm_step(step: &crate::decode::DStep) -> String {
             max_lanes,
             ..
         } => format!("  {dst} = v{op:?}.vl.fast.{ty} {a} ; vl<={max_lanes}"),
+        DStep::SplatFast {
+            dst,
+            src,
+            ty,
+            lanes,
+            ..
+        } => format!("  {dst} = splat.fast.{ty} {src} ; {lanes} lanes"),
+        DStep::VShiftImmFast {
+            dst,
+            a,
+            imm,
+            left,
+            ty,
+            lanes,
+            ..
+        } => {
+            let dir = if *left { "shl" } else { "shr" };
+            format!("  {dst} = v{dir}.fast.{ty} {a}, #{imm} ; {lanes} lanes")
+        }
+        DStep::VShiftRegFast {
+            dst,
+            a,
+            amt,
+            left,
+            ty,
+            lanes,
+            ..
+        } => {
+            let dir = if *left { "shl" } else { "shr" };
+            format!("  {dst} = v{dir}.fast.{ty} {a}, {amt} ; {lanes} lanes")
+        }
+        DStep::SpillLdFast { dst, slot } => format!("  {dst} = reload.fast slot{slot}"),
+        DStep::SpillStFast { src, slot } => format!("  spill.fast slot{slot} = {src}"),
+        DStep::VReduceFast {
+            dst,
+            src,
+            op,
+            ty,
+            lanes,
+            ..
+        } => {
+            let o = match op {
+                crate::isa::ReduceOp::Plus => "add",
+                crate::isa::ReduceOp::Max => "max",
+                crate::isa::ReduceOp::Min => "min",
+            };
+            format!("  {dst} = vreduce.fast.{o}.{ty} {src} ; {lanes} lanes")
+        }
+        DStep::FusedLoadBinStore(p) => format!(
+            "  fuse3 {} = vld.{} {} | {} = v{:?}.{} {}, {} | vst.{} {}, {} ; {} lanes",
+            p.load_dst,
+            if p.load.aligned { "a" } else { "u" },
+            fused_addr(&p.load),
+            p.dst,
+            p.op,
+            p.ty,
+            p.a,
+            p.b,
+            if p.store.aligned { "a" } else { "u" },
+            fused_addr(&p.store),
+            p.dst,
+            p.lanes
+        ),
+        DStep::FusedLoadBinBin(p) => format!(
+            "  fuse3 {} = vld.{} {} | {} = v{:?}.{} {}, {} | {} = v{:?}.{} {}, {} ; {} lanes",
+            p.load_dst,
+            if p.load.aligned { "a" } else { "u" },
+            fused_addr(&p.load),
+            p.dst1,
+            p.op1,
+            p.ty1,
+            p.a1,
+            p.b1,
+            p.dst2,
+            p.op2,
+            p.ty2,
+            p.a2,
+            p.b2,
+            p.lanes2
+        ),
+        DStep::FusedLoadBin(p) => format!(
+            "  fuse2 {} = vld.{} {} | {} = v{:?}.{} {}, {} ; {} lanes",
+            p.load_dst,
+            if p.load.aligned { "a" } else { "u" },
+            fused_addr(&p.load),
+            p.dst,
+            p.op,
+            p.ty,
+            p.a,
+            p.b,
+            p.lanes
+        ),
+        DStep::FusedBinStore(p) => format!(
+            "  fuse2 {} = v{:?}.{} {}, {} | vst.{} {}, {} ; {} lanes",
+            p.dst,
+            p.op,
+            p.ty,
+            p.a,
+            p.b,
+            if p.store.aligned { "a" } else { "u" },
+            fused_addr(&p.store),
+            p.dst,
+            p.lanes
+        ),
+        DStep::FusedLoadBinStoreVl(p) => format!(
+            "  fuse3 {} = vld.vl.{} {} | {} = v{:?}.vl.{} {}, {} | vst.vl.{} {}, {} ; vl<={}",
+            p.load_dst,
+            p.load_ty,
+            fused_addr(&p.load),
+            p.dst,
+            p.op,
+            p.ty,
+            p.a,
+            p.b,
+            p.store_ty,
+            fused_addr(&p.store),
+            p.dst,
+            p.max_lanes
+        ),
+        DStep::FusedLatch(p) => {
+            let rhs = if p.br_reg == crate::decode::NO_INDEX {
+                format!("#{}", p.br_imm)
+            } else {
+                crate::isa::SReg(p.br_reg).to_string()
+            };
+            format!(
+                "  fuse2 {} = sbin.fast.{} {}, #{} -> {} | b.{:?} {}, {} -> @{}",
+                p.dst, p.ty, p.a, p.imm, p.rty, p.cond, p.br_a, rhs, p.target
+            )
+        }
         DStep::Op(inst) => disasm_inst(inst),
     }
 }
 
-/// Whole decoded program as text (one line per step).
+/// Flattened address of a fused superinstruction leg as text.
+fn fused_addr(m: &crate::decode::FusedAddr) -> String {
+    fast_addr(m.base, m.idx, m.scale, m.disp)
+}
+
+/// Whole decoded program as text (one line per step; superinstructions
+/// render their constituents `|`-joined on one line).
 pub fn disasm_decoded(prog: &crate::decode::DecodedProgram) -> String {
-    let mut out = format!("; decoded for VS={} ({} steps)\n", prog.vs, prog.len);
+    let mut out = format!(
+        "; decoded for VS={} ({} steps / {} insts, {} superinstructions)\n",
+        prog.vs,
+        prog.n_steps(),
+        prog.len,
+        prog.fusion_stats().total()
+    );
     for d in prog.steps() {
         out.push_str(&disasm_step(&d.step));
         out.push('\n');

@@ -25,7 +25,10 @@ pub mod ports;
 pub mod target;
 
 pub use cost::{helper_name, CostModel};
-pub use decode::{DStep, DecodedInst, DecodedProgram, VBinFn, VUnFn, NO_INDEX};
+pub use decode::{
+    DStep, DecodedInst, DecodedProgram, FusedAddr, FusionStats, SBinFn, SplatFn, VBinFn, VReduceFn,
+    VShiftFn, VUnFn, NO_INDEX,
+};
 pub use disasm::{disasm, disasm_decoded, disasm_inst, disasm_step};
 pub use isa::{
     AddrMode, Cond, CvtDir, Half, HelperOp, Label, MCode, MInst, MemAlign, ReduceOp, SReg,

@@ -10,7 +10,7 @@ use std::fmt;
 use vapor_ir::sem::{eval_bin, eval_cast, eval_un, read_elem, write_elem, Value};
 use vapor_ir::{BinOp, ScalarTy};
 
-use crate::decode::{DStep, DecodedProgram};
+use crate::decode::{DStep, DecodedProgram, FusedAddr, SBinFn, VBinFn};
 use crate::isa::{
     AddrMode, Cond, CvtDir, Half, HelperOp, MCode, MInst, MemAlign, ReduceOp, ShiftSrc,
 };
@@ -582,6 +582,14 @@ impl<'t> Machine<'t> {
     /// targets are instruction indices and per-instruction costs are
     /// table lookups, so the hot loop does no metadata derivation.
     ///
+    /// Fuel is checked per *step* against the step's full arity, so a
+    /// superinstruction whose constituents would cross the budget traps
+    /// at the group boundary without executing any of them — a fused
+    /// program never runs an instruction the budget does not cover
+    /// (the unfused form of the same program may execute up to two more
+    /// instructions before its own trap; non-trapping executions are
+    /// bit-identical either way).
+    ///
     /// # Errors
     /// Returns a [`Trap`] on contract violations, or if the program was
     /// decoded for a target with a different vector width.
@@ -598,7 +606,7 @@ impl<'t> Machine<'t> {
         let mut stats = ExecStats::default();
 
         while let Some(d) = steps.get(pc) {
-            if stats.insts >= self.fuel {
+            if stats.insts + u64::from(d.arity) > self.fuel {
                 return Err(Trap(format!(
                     "fuel exhausted after {} instructions",
                     stats.insts
@@ -644,12 +652,7 @@ impl<'t> Machine<'t> {
                     f,
                     ty,
                     rty,
-                } => {
-                    let x = self.coerce(*ty, self.sval(*a)?);
-                    let y = self.coerce(*ty, Value::Int(*imm as i64));
-                    let r = f(x, y);
-                    self.set_sreg_checked(*dst, *rty, r);
-                }
+                } => self.exec_sbin_imm(*dst, *a, *imm, *f, *ty, *rty)?,
                 DStep::MovSFast { dst, src } => {
                     let v = self.sval(*src)?;
                     self.set_sreg(*dst, v);
@@ -662,17 +665,14 @@ impl<'t> Machine<'t> {
                     aligned,
                     disp,
                 } => {
-                    let vs = self.vs();
-                    let a = self.fast_addr(*base, *idx, *scale, *disp)?;
-                    self.mem.check(a, vs)?;
-                    if *aligned && !(a as usize).is_multiple_of(vs) {
-                        return Err(Trap(format!(
-                            "aligned vector load from misaligned address {a} (VS={vs})"
-                        )));
-                    }
-                    let mut out = self.fresh_out();
-                    out[..vs].copy_from_slice(self.mem.slice(a, vs));
-                    self.put_vreg(*dst, out);
+                    let addr = FusedAddr {
+                        base: *base,
+                        idx: *idx,
+                        scale: *scale,
+                        aligned: *aligned,
+                        disp: *disp,
+                    };
+                    self.exec_load_v(*dst, &addr)?;
                 }
                 DStep::StoreVFast {
                     src,
@@ -682,16 +682,14 @@ impl<'t> Machine<'t> {
                     aligned,
                     disp,
                 } => {
-                    let vs = self.vs();
-                    let a = self.fast_addr(*base, *idx, *scale, *disp)?;
-                    self.mem.check(a, vs)?;
-                    if *aligned && !(a as usize).is_multiple_of(vs) {
-                        return Err(Trap(format!(
-                            "aligned vector store to misaligned address {a} (VS={vs})"
-                        )));
-                    }
-                    let v = vreg_of(&self.vregs, *src)?;
-                    self.mem.slice_mut(a, vs).copy_from_slice(&v[..vs]);
+                    let addr = FusedAddr {
+                        base: *base,
+                        idx: *idx,
+                        scale: *scale,
+                        aligned: *aligned,
+                        disp: *disp,
+                    };
+                    self.exec_store_v(*src, &addr)?;
                 }
                 DStep::LoadSFast {
                     ty,
@@ -726,12 +724,7 @@ impl<'t> Machine<'t> {
                     f,
                     lanes,
                     ..
-                } => {
-                    let mut out = self.fresh_out();
-                    let (x, y) = (self.vbytes(*a)?, self.vbytes(*b)?);
-                    f(x, y, &mut out, *lanes as usize);
-                    self.put_vreg(*dst, out);
-                }
+                } => self.exec_vbin(*dst, *a, *b, *f, *lanes as usize)?,
                 DStep::VUnFast {
                     dst, a, f, lanes, ..
                 } => {
@@ -748,15 +741,7 @@ impl<'t> Machine<'t> {
                     ty,
                     max_lanes,
                     ..
-                } => {
-                    // Merging predication: lanes past the active VL keep
-                    // the destination's old contents (zeros if unwritten).
-                    let n = (self.vl_bytes / ty.size()).min(*max_lanes as usize);
-                    let mut out = self.merge_out(*dst);
-                    let (x, y) = (self.vbytes(*a)?, self.vbytes(*b)?);
-                    f(x, y, &mut out, n);
-                    self.put_vreg(*dst, out);
-                }
+                } => self.exec_vbin_vl(*dst, *a, *b, *f, *ty, *max_lanes)?,
                 DStep::VUnVlFast {
                     dst,
                     a,
@@ -771,13 +756,239 @@ impl<'t> Machine<'t> {
                     f(x, &mut out, n);
                     self.put_vreg(*dst, out);
                 }
+                DStep::SplatFast {
+                    dst,
+                    src,
+                    f,
+                    ty,
+                    lanes,
+                } => {
+                    let v = self.coerce(*ty, self.sval(*src)?);
+                    let mut out = self.fresh_out();
+                    f(v, &mut out, *lanes as usize);
+                    self.put_vreg(*dst, out);
+                }
+                DStep::VShiftImmFast {
+                    dst,
+                    a,
+                    f,
+                    imm,
+                    lanes,
+                    ..
+                } => {
+                    let mut out = self.fresh_out();
+                    let x = self.vbytes(*a)?;
+                    f(x, *imm as i64, &mut out, *lanes as usize);
+                    self.put_vreg(*dst, out);
+                }
+                DStep::VShiftRegFast {
+                    dst,
+                    a,
+                    f,
+                    amt,
+                    lanes,
+                    ..
+                } => {
+                    let amt = self.sint(*amt)?;
+                    let mut out = self.fresh_out();
+                    let x = self.vbytes(*a)?;
+                    f(x, amt, &mut out, *lanes as usize);
+                    self.put_vreg(*dst, out);
+                }
+                DStep::SpillLdFast { dst, slot } => {
+                    let v = self
+                        .slots
+                        .get(*slot as usize)
+                        .copied()
+                        .ok_or_else(|| Trap(format!("reload of unwritten slot {slot}")))?;
+                    self.set_sreg(*dst, v);
+                }
+                DStep::SpillStFast { src, slot } => {
+                    let v = self.sval(*src)?;
+                    if self.slots.len() <= *slot as usize {
+                        self.slots.resize(*slot as usize + 1, Value::Int(0));
+                    }
+                    self.slots[*slot as usize] = v;
+                }
+                DStep::VReduceFast {
+                    dst,
+                    src,
+                    f,
+                    ty,
+                    lanes,
+                    ..
+                } => {
+                    let x = self.vbytes(*src)?;
+                    let v = f(x, *lanes as usize);
+                    self.set_sreg_checked(*dst, *ty, v);
+                }
+                // Superinstructions: the constituents execute in order,
+                // every register write included, so machine state is
+                // bit-identical to the unfused sequence — only the
+                // per-step dispatch overhead is paid once.
+                DStep::FusedLoadBinStore(p) => {
+                    self.exec_load_v(p.load_dst, &p.load)?;
+                    self.exec_vbin(p.dst, p.a, p.b, p.f, p.lanes as usize)?;
+                    self.exec_store_v(p.dst, &p.store)?;
+                }
+                DStep::FusedLoadBinBin(p) => {
+                    self.exec_load_v(p.load_dst, &p.load)?;
+                    self.exec_vbin(p.dst1, p.a1, p.b1, p.f1, p.lanes1 as usize)?;
+                    self.exec_vbin(p.dst2, p.a2, p.b2, p.f2, p.lanes2 as usize)?;
+                }
+                DStep::FusedLoadBin(p) => {
+                    self.exec_load_v(p.load_dst, &p.load)?;
+                    self.exec_vbin(p.dst, p.a, p.b, p.f, p.lanes as usize)?;
+                }
+                DStep::FusedBinStore(p) => {
+                    self.exec_vbin(p.dst, p.a, p.b, p.f, p.lanes as usize)?;
+                    self.exec_store_v(p.dst, &p.store)?;
+                }
+                DStep::FusedLoadBinStoreVl(p) => {
+                    self.exec_load_vl(p.load_ty, p.load_dst, &p.load)?;
+                    self.exec_vbin_vl(p.dst, p.a, p.b, p.f, p.ty, p.max_lanes)?;
+                    self.exec_store_vl(p.store_ty, p.dst, &p.store)?;
+                }
+                DStep::FusedLatch(p) => {
+                    self.exec_sbin_imm(p.dst, p.a, p.imm, p.f, p.ty, p.rty)?;
+                    let x = self.sint(p.br_a)?;
+                    let y = if p.br_reg == crate::decode::NO_INDEX {
+                        p.br_imm
+                    } else {
+                        self.sint(crate::isa::SReg(p.br_reg))?
+                    };
+                    if take(p.cond, x, y) {
+                        next = p.target as usize;
+                    }
+                }
                 DStep::Op(inst) => self.exec_op(inst)?,
             }
-            stats.insts += 1;
+            stats.insts += u64::from(d.arity);
             stats.cycles += d.cost;
             pc = next;
         }
         Ok(stats)
+    }
+
+    /// One fixed-width fast vector load (shared by the standalone step
+    /// and the superinstructions, so fused and unfused execution agree
+    /// by construction).
+    fn exec_load_v(&mut self, dst: crate::isa::VReg, m: &FusedAddr) -> Result<(), Trap> {
+        let vs = self.vs();
+        let a = self.fast_addr(m.base, m.idx, m.scale, m.disp)?;
+        self.mem.check(a, vs)?;
+        if m.aligned && !(a as usize).is_multiple_of(vs) {
+            return Err(Trap(format!(
+                "aligned vector load from misaligned address {a} (VS={vs})"
+            )));
+        }
+        let mut out = self.fresh_out();
+        out[..vs].copy_from_slice(self.mem.slice(a, vs));
+        self.put_vreg(dst, out);
+        Ok(())
+    }
+
+    /// One fixed-width fast vector store.
+    fn exec_store_v(&mut self, src: crate::isa::VReg, m: &FusedAddr) -> Result<(), Trap> {
+        let vs = self.vs();
+        let a = self.fast_addr(m.base, m.idx, m.scale, m.disp)?;
+        self.mem.check(a, vs)?;
+        if m.aligned && !(a as usize).is_multiple_of(vs) {
+            return Err(Trap(format!(
+                "aligned vector store to misaligned address {a} (VS={vs})"
+            )));
+        }
+        let v = vreg_of(&self.vregs, src)?;
+        self.mem.slice_mut(a, vs).copy_from_slice(&v[..vs]);
+        Ok(())
+    }
+
+    /// One all-lanes specialized vector binary op.
+    fn exec_vbin(
+        &mut self,
+        dst: crate::isa::VReg,
+        a: crate::isa::VReg,
+        b: crate::isa::VReg,
+        f: VBinFn,
+        lanes: usize,
+    ) -> Result<(), Trap> {
+        let mut out = self.fresh_out();
+        let (x, y) = (self.vbytes(a)?, self.vbytes(b)?);
+        f(x, y, &mut out, lanes);
+        self.put_vreg(dst, out);
+        Ok(())
+    }
+
+    /// One merging-predicated specialized vector binary op: lanes past
+    /// the active VL keep the destination's old contents (zeros if
+    /// unwritten).
+    fn exec_vbin_vl(
+        &mut self,
+        dst: crate::isa::VReg,
+        a: crate::isa::VReg,
+        b: crate::isa::VReg,
+        f: VBinFn,
+        ty: ScalarTy,
+        max_lanes: u16,
+    ) -> Result<(), Trap> {
+        let n = (self.vl_bytes / ty.size()).min(max_lanes as usize);
+        let mut out = self.merge_out(dst);
+        let (x, y) = (self.vbytes(a)?, self.vbytes(b)?);
+        f(x, y, &mut out, n);
+        self.put_vreg(dst, out);
+        Ok(())
+    }
+
+    /// One predicated (element-aligned, zeroing) vector load over a
+    /// flattened address.
+    fn exec_load_vl(
+        &mut self,
+        ty: ScalarTy,
+        dst: crate::isa::VReg,
+        m: &FusedAddr,
+    ) -> Result<(), Trap> {
+        let a = self.fast_addr(m.base, m.idx, m.scale, m.disp)?;
+        let bytes = self.vl_lanes(ty) * ty.size();
+        let mut out = self.vzero();
+        if bytes > 0 {
+            self.mem.check(a, bytes)?;
+            out[..bytes].copy_from_slice(self.mem.slice(a, bytes));
+        }
+        self.set_vreg(dst, out);
+        Ok(())
+    }
+
+    /// One predicated vector store over a flattened address.
+    fn exec_store_vl(
+        &mut self,
+        ty: ScalarTy,
+        src: crate::isa::VReg,
+        m: &FusedAddr,
+    ) -> Result<(), Trap> {
+        let a = self.fast_addr(m.base, m.idx, m.scale, m.disp)?;
+        let bytes = self.vl_lanes(ty) * ty.size();
+        if bytes > 0 {
+            self.mem.check(a, bytes)?;
+            let v = vreg_of(&self.vregs, src)?;
+            self.mem.slice_mut(a, bytes).copy_from_slice(&v[..bytes]);
+        }
+        Ok(())
+    }
+
+    /// One specialized scalar-immediate ALU op.
+    fn exec_sbin_imm(
+        &mut self,
+        dst: crate::isa::SReg,
+        a: crate::isa::SReg,
+        imm: i32,
+        f: SBinFn,
+        ty: ScalarTy,
+        rty: ScalarTy,
+    ) -> Result<(), Trap> {
+        let x = self.coerce(ty, self.sval(a)?);
+        let y = self.coerce(ty, Value::Int(imm as i64));
+        self.set_sreg_checked(dst, rty, f(x, y));
+        Ok(())
     }
 
     /// Execute one non-control instruction (shared by both dispatch
@@ -1835,6 +2046,51 @@ mod more_tests {
         m.fuel = 50;
         let err = m.run_decoded(&prog).unwrap_err();
         assert!(err.0.contains("fuel"), "{err}");
+    }
+
+    #[test]
+    fn fused_steps_never_execute_past_the_fuel_budget() {
+        // A superinstruction whose constituents would cross the fuel
+        // budget traps at the group boundary: none of its side effects
+        // (here the store) may land.
+        let t = sse();
+        let c = mcode(vec![
+            MInst::LoadV {
+                dst: VReg(0),
+                addr: AddrMode::base_disp(SReg(0), 0),
+                align: MemAlign::Unaligned,
+            },
+            MInst::VBin {
+                op: vapor_ir::BinOp::Add,
+                ty: ScalarTy::I32,
+                dst: VReg(1),
+                a: VReg(0),
+                b: VReg(0),
+            },
+            MInst::StoreV {
+                src: VReg(1),
+                addr: AddrMode::base_disp(SReg(0), 0),
+                align: MemAlign::Unaligned,
+            },
+        ]);
+        let prog = crate::decode::DecodedProgram::decode(&c, &t).unwrap();
+        assert_eq!(prog.n_steps(), 1, "the triple must fuse");
+        let mut m = Machine::new(&t, 1024);
+        let a = m.mem.alloc(16, 16);
+        for k in 0..4 {
+            m.mem.write(ScalarTy::I32, a + 4 * k, Value::Int(5));
+        }
+        m.set_sreg(SReg(0), Value::Int(a as i64));
+        m.fuel = 2; // group needs 3
+        let err = m.run_decoded(&prog).unwrap_err();
+        assert!(err.0.contains("fuel exhausted after 0"), "{err}");
+        for k in 0..4 {
+            assert_eq!(
+                m.mem.read(ScalarTy::I32, a + 4 * k),
+                Value::Int(5),
+                "store must not have landed"
+            );
+        }
     }
 
     #[test]

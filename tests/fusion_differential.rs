@@ -1,0 +1,128 @@
+//! Superinstruction fusion differential tests: every suite kernel on
+//! every target runs once through the fused decode (the production
+//! path) and once through an unfused decode — machine state, cycles and
+//! instruction counts must be bit-identical. Mirrors the PR 4
+//! sized-vs-wide register-file harness: fusion is a pure dispatch-layer
+//! optimization, so *any* observable difference is a fusion bug.
+
+use vapor_core::{
+    arrays_match, run, run_specialized, run_unfused, AllocPolicy, CompileConfig, Engine, Flow,
+};
+use vapor_kernels::{suite, Scale};
+use vapor_targets::{avx, neon64, rvv, sse, sve, DecodedProgram};
+
+/// Fused vs unfused on every fixed-width target, both online flows the
+/// PR 4 harness covered.
+#[test]
+fn fused_and_unfused_dispatch_agree_on_every_suite_kernel() {
+    let engine = Engine::new();
+    let cfg = CompileConfig::default();
+    for spec in suite() {
+        let kernel = spec.kernel();
+        let env = spec.env(Scale::Test);
+        for target in [sse(), neon64(), avx()] {
+            for flow in [Flow::SplitVectorOpt, Flow::NativeVector] {
+                let compiled = engine.compile(&kernel, flow, &target, &cfg).unwrap();
+                let fused = run(&target, &compiled, &env, AllocPolicy::Aligned)
+                    .unwrap_or_else(|e| panic!("{} [{flow} on {}]: {e}", spec.name, target.name));
+                let unfused = run_unfused(&target, &compiled, &env, AllocPolicy::Aligned)
+                    .unwrap_or_else(|e| panic!("{} [{flow} on {}]: {e}", spec.name, target.name));
+                for (name, expected) in fused.out.arrays() {
+                    // Bit-exact: tolerance 0.
+                    arrays_match(expected, unfused.out.array(name).unwrap(), 0.0).unwrap_or_else(
+                        |e| {
+                            panic!(
+                                "{} [{flow} on {}]: array {name} diverged: {e}",
+                                spec.name, target.name
+                            )
+                        },
+                    );
+                }
+                assert_eq!(
+                    fused.stats, unfused.stats,
+                    "{} [{flow} on {}]: cycles/insts diverged",
+                    spec.name, target.name
+                );
+            }
+        }
+    }
+}
+
+/// The same differential on the runtime-VL families across the full VL
+/// range: the fused side goes through `Engine::specialize` (the per-VL
+/// LRU cache re-specializing the fused decode), the unfused side is a
+/// fresh unfused decode at the concrete width.
+#[test]
+fn fused_and_unfused_dispatch_agree_at_every_runtime_vl() {
+    let engine = Engine::new();
+    let cfg = CompileConfig::default();
+    for spec in suite() {
+        let kernel = spec.kernel();
+        let env = spec.env(Scale::Test);
+        for family in [sve(), rvv()] {
+            for vl in [128usize, 256, 512, 1024, 2048] {
+                let (compiled, prog) = engine
+                    .specialize(&kernel, Flow::SplitVectorOpt, &family, &cfg, vl)
+                    .unwrap_or_else(|e| panic!("{} @VL={vl}: {e}", spec.name));
+                let exec = family.at_vl(vl);
+                let fused = run_specialized(&exec, &compiled, &prog, &env, AllocPolicy::Aligned)
+                    .unwrap_or_else(|e| panic!("{} @VL={vl}: {e}", spec.name));
+                let unfused_prog =
+                    DecodedProgram::decode_unfused(&compiled.jit.code, &exec).unwrap();
+                let unfused =
+                    run_specialized(&exec, &compiled, &unfused_prog, &env, AllocPolicy::Aligned)
+                        .unwrap_or_else(|e| panic!("{} @VL={vl}: {e}", spec.name));
+                for (name, expected) in fused.out.arrays() {
+                    arrays_match(expected, unfused.out.array(name).unwrap(), 0.0).unwrap_or_else(
+                        |e| {
+                            panic!(
+                                "{} [{} @VL={vl}]: array {name} diverged: {e}",
+                                spec.name, family.name
+                            )
+                        },
+                    );
+                }
+                assert_eq!(
+                    fused.stats, unfused.stats,
+                    "{} [{} @VL={vl}]: cycles/insts diverged",
+                    spec.name, family.name
+                );
+            }
+        }
+    }
+}
+
+/// Re-specializing a fused decode to another VL must be exactly what a
+/// fresh fused decode at that VL produces — the fusion decisions are
+/// re-validated per VL through `respecialize` and must never drift.
+#[test]
+fn fused_respecialization_matches_fresh_fused_decode() {
+    let engine = Engine::new();
+    let cfg = CompileConfig::default();
+    for spec in suite() {
+        let kernel = spec.kernel();
+        let family = sve();
+        let Ok(compiled) = engine.compile(&kernel, Flow::SplitVectorOpt, &family, &cfg) else {
+            continue;
+        };
+        for vl in [128usize, 512, 2048] {
+            let exec = family.at_vl(vl);
+            let fresh = DecodedProgram::decode(&compiled.jit.code, &exec).unwrap();
+            let respec = compiled
+                .jit
+                .decoded
+                .respecialize(&compiled.jit.code, &exec)
+                .unwrap();
+            assert_eq!(respec.fusion_stats(), fresh.fusion_stats(), "{}", spec.name);
+            assert_eq!(
+                vapor_targets::disasm_decoded(&respec),
+                vapor_targets::disasm_decoded(&fresh),
+                "{} @VL={vl}",
+                spec.name
+            );
+            for (a, b) in respec.steps().iter().zip(fresh.steps()) {
+                assert_eq!((a.cost, a.lanes, a.arity), (b.cost, b.lanes, b.arity));
+            }
+        }
+    }
+}

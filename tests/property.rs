@@ -164,6 +164,164 @@ fn random_reduction_kernels_match_oracle() {
     }
 }
 
+/// Random straight-line machine-code sequences pushed through the
+/// superinstruction fuser: fused and unfused dispatch must produce
+/// bit-identical scalar registers, memory and execution statistics, and
+/// the pass must be idempotent (fusing twice = fusing once). This
+/// exercises the pattern-matcher on shapes the online compilers never
+/// emit — partial matches, dataflow near-misses, back-to-back fusible
+/// groups.
+#[test]
+fn random_straight_line_sequences_survive_fusion() {
+    use vapor_ir::Value;
+    use vapor_targets::{
+        disasm_decoded, sse, AddrMode, DecodedProgram, MInst, Machine, MemAlign, SReg, ShiftSrc,
+        VReg,
+    };
+
+    let mut rng = seeded("random_straight_line_sequences_survive_fusion");
+    let t = sse();
+    for case in 0..64 {
+        // Program state the generator tracks so no op reads an
+        // undefined register or strays out of the 256-byte array.
+        let n_vregs = 4u32;
+        let n_sregs = 6u32; // r0 = array base, r1..r3 ints, r4..r5 scratch
+        let mut spilled: Vec<u32> = Vec::new();
+        let mut insts: Vec<MInst> = Vec::new();
+        let disp = |rng: &mut StdRng| rng.gen_range(0..15_i64) * 16;
+        // Prologue: define every vreg from memory.
+        for v in 0..n_vregs {
+            insts.push(MInst::LoadV {
+                dst: VReg(v),
+                addr: AddrMode::base_disp(SReg(0), disp(&mut rng)),
+                align: MemAlign::Unaligned,
+            });
+        }
+        for _ in 0..rng.gen_range(8..40_i64) {
+            let vr = |rng: &mut StdRng| VReg(rng.gen_range(0..n_vregs as i64) as u32);
+            let sr = |rng: &mut StdRng| SReg(rng.gen_range(1..n_sregs as i64) as u32);
+            match rng.gen_range(0..10_i64) {
+                0 => insts.push(MInst::LoadV {
+                    dst: vr(&mut rng),
+                    addr: AddrMode::base_disp(SReg(0), disp(&mut rng)),
+                    align: MemAlign::Unaligned,
+                }),
+                1 => insts.push(MInst::StoreV {
+                    src: vr(&mut rng),
+                    addr: AddrMode::base_disp(SReg(0), disp(&mut rng)),
+                    align: MemAlign::Unaligned,
+                }),
+                2 | 3 => insts.push(MInst::VBin {
+                    op: [BinOp::Add, BinOp::Mul, BinOp::Min][rng.gen_range(0..3_i64) as usize],
+                    ty: ScalarTy::I32,
+                    dst: vr(&mut rng),
+                    a: vr(&mut rng),
+                    b: vr(&mut rng),
+                }),
+                4 => insts.push(MInst::SBinImm {
+                    op: BinOp::Add,
+                    ty: ScalarTy::I64,
+                    dst: sr(&mut rng),
+                    a: sr(&mut rng),
+                    imm: rng.gen_range(-8..8_i64),
+                }),
+                5 => insts.push(MInst::SBin {
+                    op: BinOp::Mul,
+                    ty: ScalarTy::I64,
+                    dst: sr(&mut rng),
+                    a: sr(&mut rng),
+                    b: sr(&mut rng),
+                }),
+                6 => insts.push(MInst::Splat {
+                    ty: ScalarTy::I32,
+                    dst: vr(&mut rng),
+                    src: sr(&mut rng),
+                }),
+                7 => insts.push(MInst::VShift {
+                    left: rng.gen_range(0..2_i64) == 0,
+                    ty: ScalarTy::I32,
+                    dst: vr(&mut rng),
+                    a: vr(&mut rng),
+                    amt: ShiftSrc::Imm(rng.gen_range(0..8_i64) as u8),
+                }),
+                8 => insts.push(MInst::VReduce {
+                    op: vapor_targets::ReduceOp::Plus,
+                    ty: ScalarTy::I32,
+                    dst: sr(&mut rng),
+                    src: vr(&mut rng),
+                }),
+                _ => {
+                    let slot = rng.gen_range(0..3_i64) as u32;
+                    if spilled.contains(&slot) && rng.gen_range(0..2_i64) == 0 {
+                        insts.push(MInst::SpillLd {
+                            dst: sr(&mut rng),
+                            slot,
+                        });
+                    } else {
+                        insts.push(MInst::SpillSt {
+                            src: sr(&mut rng),
+                            slot,
+                        });
+                        spilled.push(slot);
+                    }
+                }
+            }
+        }
+        // Epilogue: store every vreg so the memory comparison below
+        // covers the whole vector register file.
+        for v in 0..n_vregs {
+            insts.push(MInst::StoreV {
+                src: VReg(v),
+                addr: AddrMode::base_disp(SReg(0), 256 + 16 * v as i64),
+                align: MemAlign::Unaligned,
+            });
+        }
+        let code = vapor_targets::MCode {
+            insts,
+            n_sregs,
+            n_vregs,
+            note: String::new(),
+        };
+
+        let fused = DecodedProgram::decode(&code, &t).unwrap();
+        let unfused = DecodedProgram::decode_unfused(&code, &t).unwrap();
+        let run_one = |prog: &DecodedProgram| {
+            let mut m = Machine::new(&t, 4096);
+            let base = m.mem.alloc(256 + 16 * n_vregs as usize, 16);
+            for k in 0..64u64 {
+                m.mem
+                    .write(ScalarTy::I32, base + 4 * k, Value::Int(k as i64 - 31));
+            }
+            m.set_sreg(SReg(0), Value::Int(base as i64));
+            for r in 1..n_sregs {
+                m.set_sreg(SReg(r), Value::Int(r as i64 + 1));
+            }
+            let stats = m.run_decoded(prog).unwrap();
+            let sregs: Vec<Value> = (0..n_sregs).map(|r| m.sreg(SReg(r))).collect();
+            let mem = m.mem.slice(base, 256 + 16 * n_vregs as usize).to_vec();
+            (stats, sregs, mem)
+        };
+        let a = run_one(&fused);
+        let b = run_one(&unfused);
+        assert_eq!(
+            a,
+            b,
+            "case {case}: fused and unfused dispatch diverged\n{}",
+            disasm_decoded(&fused)
+        );
+
+        // Idempotence: a second fusion pass is a no-op.
+        let twice = fused.fuse();
+        assert_eq!(twice.n_steps(), fused.n_steps(), "case {case}");
+        assert_eq!(twice.fusion_stats(), fused.fusion_stats(), "case {case}");
+        assert_eq!(
+            disasm_decoded(&twice),
+            disasm_decoded(&fused),
+            "case {case}"
+        );
+    }
+}
+
 /// Strided (rate-2) store pairs — the interleave path — for random
 /// coefficient expressions and loop counts.
 #[test]
