@@ -20,6 +20,12 @@
 //! 6. **Superinstruction fusion** — fused decoded dispatch (the
 //!    production path) versus an unfused decode of the same code, per
 //!    kernel, with the per-kernel superinstruction hit counts.
+//! 7. **Closure-threaded tier** — the region-threaded program with the
+//!    flattened register arena and precomputed address streams
+//!    (`Engine::thread` + `run_threaded`) versus the seed interpreter
+//!    and versus the decoded dispatch, on the same suite. The threaded
+//!    run's `vm_cycles` are asserted equal to the decoded run's before
+//!    any number is written: the tiers share one cycle model.
 //!
 //! ```text
 //! cargo run --release -p vapor-bench --bin engine_bench [out.json] [--baseline=committed.json]
@@ -38,7 +44,9 @@ use std::hint::black_box;
 use std::time::Instant;
 
 use vapor_bench::Engine;
-use vapor_core::{run, run_baseline, run_specialized, run_wide, AllocPolicy, CompileConfig, Flow};
+use vapor_core::{
+    run, run_baseline, run_specialized, run_threaded, run_wide, AllocPolicy, CompileConfig, Flow,
+};
 use vapor_kernels::{suite, KernelSpec, Scale, SuiteKind};
 use vapor_targets::{sse, sve, DecodedProgram, VBytes, MAX_VS};
 
@@ -112,15 +120,17 @@ fn dispatch_experiment(engine: &Engine) -> Vec<DispatchRow> {
         let kernel = spec.kernel();
         let env = spec.env(Scale::Full);
         let c = engine.compile(&kernel, flow, &target, &cfg).unwrap();
-        let decoded_us =
-            best_secs(5, || run(&target, &c, &env, AllocPolicy::Aligned).unwrap()) * 1e6;
-        let baseline_us = best_secs(5, || {
-            run_baseline(&target, &c, &env, AllocPolicy::Aligned).unwrap()
-        }) * 1e6;
+        // The cycle read doubles as the warmup so the first timed tier
+        // does not pay the cold-cache cost of the kernel's arrays.
         let cycles = run(&target, &c, &env, AllocPolicy::Aligned)
             .unwrap()
             .stats
             .cycles;
+        let baseline_us = best_secs(9, || {
+            run_baseline(&target, &c, &env, AllocPolicy::Aligned).unwrap()
+        }) * 1e6;
+        let decoded_us =
+            best_secs(9, || run(&target, &c, &env, AllocPolicy::Aligned).unwrap()) * 1e6;
         rows.push(DispatchRow {
             name: spec.name.to_owned(),
             baseline_us,
@@ -230,6 +240,60 @@ fn vla_dispatch_experiment(engine: &Engine) -> Vec<DispatchRow> {
     rows
 }
 
+/// One row of the closure-threaded experiment: the three-tier ladder
+/// (seed interpreter, decoded dispatch, threaded regions) on one kernel.
+struct ThreadedRow {
+    name: String,
+    baseline_us: f64,
+    decoded_us: f64,
+    threaded_us: f64,
+    cycles: u64,
+}
+
+/// Closure-threaded tier experiment: `Engine::thread` + `run_threaded`
+/// versus both the seed interpreter (the speedup the JSON gates) and the
+/// decoded dispatch (the incremental win of this tier). The decoded tier
+/// is the differential oracle, so the threaded run's `ExecStats` are
+/// asserted bit-equal to the decoded run's before anything is recorded.
+fn threaded_experiment(engine: &Engine) -> Vec<ThreadedRow> {
+    let target = sse();
+    let cfg = CompileConfig::default();
+    let flow = Flow::SplitVectorOpt;
+    let vl = target.vs * 8;
+    let mut rows = Vec::new();
+    for spec in dispatch_suite() {
+        let kernel = spec.kernel();
+        let env = spec.env(Scale::Full);
+        let (c, prog) = engine.thread(&kernel, flow, &target, &cfg, vl).unwrap();
+        // Oracle check first: it doubles as the warmup, so no tier's
+        // timing loop pays the cold-cache cost of touching the kernel's
+        // arrays for the first time.
+        let threaded = run_threaded(&target, &c, &prog, &env, AllocPolicy::Aligned).unwrap();
+        let decoded = run(&target, &c, &env, AllocPolicy::Aligned).unwrap();
+        assert_eq!(
+            threaded.stats, decoded.stats,
+            "{}: threaded tier diverged from the decoded oracle",
+            spec.name
+        );
+        let baseline_us = best_secs(9, || {
+            run_baseline(&target, &c, &env, AllocPolicy::Aligned).unwrap()
+        }) * 1e6;
+        let decoded_us =
+            best_secs(9, || run(&target, &c, &env, AllocPolicy::Aligned).unwrap()) * 1e6;
+        let threaded_us = best_secs(9, || {
+            run_threaded(&target, &c, &prog, &env, AllocPolicy::Aligned).unwrap()
+        }) * 1e6;
+        rows.push(ThreadedRow {
+            name: spec.name.to_owned(),
+            baseline_us,
+            decoded_us,
+            threaded_us,
+            cycles: threaded.stats.cycles,
+        });
+    }
+    rows
+}
+
 /// One row of the fusion experiment: fused vs unfused decoded dispatch
 /// plus the hit counts that explain the delta.
 struct FusionRow {
@@ -315,25 +379,25 @@ fn main() {
         .map(str::to_owned);
     let engine = Engine::new();
 
-    eprintln!("[1/6] compilation cache: cold vs hit ...");
+    eprintln!("[1/7] compilation cache: cold vs hit ...");
     let cache = cache_experiment(&engine);
     let cold_total: f64 = cache.iter().map(|r| r.cold_us).sum();
     let hit_total: f64 = cache.iter().map(|r| r.hit_us).sum();
     let cache_speedup = cold_total / hit_total;
 
-    eprintln!("[2/6] VM dispatch: seed interpreter vs pre-decoded ...");
+    eprintln!("[2/7] VM dispatch: seed interpreter vs pre-decoded ...");
     let dispatch = dispatch_experiment(&engine);
     let base_total: f64 = dispatch.iter().map(|r| r.baseline_us).sum();
     let dec_total: f64 = dispatch.iter().map(|r| r.decoded_us).sum();
     let dispatch_speedup = base_total / dec_total;
 
-    eprintln!("[3/6] runtime-VL specialization: re-specialize vs full recompile ...");
+    eprintln!("[3/7] runtime-VL specialization: re-specialize vs full recompile ...");
     let vl_rows = vl_specialize_experiment(&engine);
     let vl_fresh: f64 = vl_rows.iter().map(|r| r.baseline_us).sum();
     let vl_hit: f64 = vl_rows.iter().map(|r| r.decoded_us).sum();
     let vl_speedup = vl_fresh / vl_hit;
 
-    eprintln!("[4/6] register file: target-sized vs seed max-width ...");
+    eprintln!("[4/7] register file: target-sized vs seed max-width ...");
     let regmove = regmove_experiment(&engine);
     let wide_total: f64 = regmove.iter().map(|r| r.baseline_us).sum();
     let sized_total: f64 = regmove.iter().map(|r| r.decoded_us).sum();
@@ -344,17 +408,25 @@ fn main() {
     let regmove_bytes_wide = MAX_VS;
     let regmove_bytes_sized = std::mem::size_of::<VBytes>();
 
-    eprintln!("[5/6] VLA dispatch: generic predicated loop vs fast kernels ...");
+    eprintln!("[5/7] VLA dispatch: generic predicated loop vs fast kernels ...");
     let vla = vla_dispatch_experiment(&engine);
     let vla_base: f64 = vla.iter().map(|r| r.baseline_us).sum();
     let vla_fast: f64 = vla.iter().map(|r| r.decoded_us).sum();
     let vla_dispatch_speedup = vla_base / vla_fast;
 
-    eprintln!("[6/6] superinstruction fusion: fused vs unfused dispatch ...");
+    eprintln!("[6/7] superinstruction fusion: fused vs unfused dispatch ...");
     let fusion = fusion_experiment(&engine);
     let fusion_unfused: f64 = fusion.iter().map(|r| r.unfused_us).sum();
     let fusion_fused: f64 = fusion.iter().map(|r| r.fused_us).sum();
     let fusion_speedup = fusion_unfused / fusion_fused;
+
+    eprintln!("[7/7] closure-threaded tier: seed vs decoded vs threaded ...");
+    let threaded = threaded_experiment(&engine);
+    let thr_base: f64 = threaded.iter().map(|r| r.baseline_us).sum();
+    let thr_dec: f64 = threaded.iter().map(|r| r.decoded_us).sum();
+    let thr_thr: f64 = threaded.iter().map(|r| r.threaded_us).sum();
+    let threaded_speedup = thr_base / thr_thr;
+    let threaded_vs_decoded = thr_dec / thr_thr;
 
     let mut j = String::new();
     j.push_str("{\n");
@@ -368,6 +440,8 @@ fn main() {
     let _ = writeln!(j, "  \"regmove_bytes_sized\": {regmove_bytes_sized},");
     let _ = writeln!(j, "  \"vla_dispatch_speedup\": {vla_dispatch_speedup:.3},");
     let _ = writeln!(j, "  \"fusion_speedup\": {fusion_speedup:.3},");
+    let _ = writeln!(j, "  \"threaded_speedup\": {threaded_speedup:.3},");
+    let _ = writeln!(j, "  \"threaded_vs_decoded\": {threaded_vs_decoded:.3},");
     j.push_str("  \"compile\": [\n");
     for (i, r) in cache.iter().enumerate() {
         let sep = if i + 1 == cache.len() { "" } else { "," };
@@ -449,6 +523,22 @@ fn main() {
             r.cycles
         );
     }
+    j.push_str("  ],\n");
+    j.push_str("  \"threaded\": [\n");
+    for (i, r) in threaded.iter().enumerate() {
+        let sep = if i + 1 == threaded.len() { "" } else { "," };
+        let _ = writeln!(
+            j,
+            "    {{\"kernel\": \"{}\", \"baseline_us\": {:.2}, \"decoded_us\": {:.2}, \"threaded_us\": {:.2}, \"speedup\": {:.3}, \"vs_decoded\": {:.3}, \"vm_cycles\": {}}}{sep}",
+            r.name,
+            r.baseline_us,
+            r.decoded_us,
+            r.threaded_us,
+            r.baseline_us / r.threaded_us,
+            r.decoded_us / r.threaded_us,
+            r.cycles
+        );
+    }
     j.push_str("  ]\n}\n");
 
     std::fs::write(&out_path, &j).unwrap_or_else(|e| panic!("write {out_path}: {e}"));
@@ -464,6 +554,10 @@ fn main() {
     println!(
         "superinstruction fusion:      {fusion_speedup:.3}x fused vs unfused (never-slower floor)"
     );
+    println!(
+        "closure-threaded tier:        {threaded_speedup:.3}x vs seed \
+         ({threaded_vs_decoded:.3}x vs decoded, floor ≥ 1.2x)"
+    );
     println!("wrote {out_path}");
 
     // Regression gate: absolute floors, tightened by the committed
@@ -474,6 +568,7 @@ fn main() {
     // wall-clock noise would hide it.
     let mut fail = false;
     let (mut cache_floor, mut dispatch_floor, mut vla_floor): (f64, f64, f64) = (10.0, 1.2, 1.3);
+    let mut threaded_floor: f64 = 1.2;
     // Fusion's wall-clock effect on an out-of-order host is small (the
     // bookkeeping it removes predicts/pipelines well), so its wall gate
     // is a loose never-slower floor; the *deterministic* gate below on
@@ -497,6 +592,10 @@ fn main() {
         if let Some(base_fusion) = json_number(&text, "fusion_speedup") {
             fusion_floor = fusion_floor.max(0.7 * base_fusion);
         }
+        // Present only in baselines recorded after the threaded-tier PR.
+        if let Some(base_threaded) = json_number(&text, "threaded_speedup") {
+            threaded_floor = threaded_floor.max(0.7 * base_threaded);
+        }
         println!(
             "baseline {path}: cache {base_cache:.1}x, dispatch {base_dispatch:.3}x \
              -> thresholds {cache_floor:.1}x / {dispatch_floor:.3}x / {vla_floor:.3}x"
@@ -515,6 +614,23 @@ fn main() {
                 None => {
                     eprintln!("WARNING: no committed vm_cycles for {} in {path}", r.name);
                 }
+            }
+        }
+        // The threaded tier shares the decoded cycle model, so its
+        // per-kernel vm_cycles are gated on exact equality too (present
+        // only in baselines recorded after the threaded-tier PR).
+        for r in &threaded {
+            match baseline_row_number(&text, "threaded", &r.name, "vm_cycles") {
+                Some(want) if want != r.cycles => {
+                    eprintln!(
+                        "REGRESSION: {} executed {} VM cycles through the threaded tier, \
+                         committed baseline says {want} (deterministic counter; exact match \
+                         required)",
+                        r.name, r.cycles
+                    );
+                    fail = true;
+                }
+                _ => {}
             }
         }
         // Superinstruction counts are as deterministic as vm_cycles:
@@ -555,6 +671,13 @@ fn main() {
     }
     if fusion_speedup < fusion_floor {
         eprintln!("REGRESSION: fusion speedup {fusion_speedup:.3}x < threshold {fusion_floor:.3}x");
+        fail = true;
+    }
+    if threaded_speedup < threaded_floor {
+        eprintln!(
+            "REGRESSION: threaded-tier speedup {threaded_speedup:.3}x < threshold \
+             {threaded_floor:.3}x"
+        );
         fail = true;
     }
     if fusion.iter().all(|r| r.three_op == 0) {

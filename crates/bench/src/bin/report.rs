@@ -108,11 +108,24 @@ fn main() {
         std::process::exit(2);
     }
 
+    const EXPERIMENTS: [&str; 11] = [
+        "fig5a", "fig5b", "ablation", "realign", "size", "fig6a", "fig6b", "fig6c", "table3",
+        "vla", "vmperf",
+    ];
     let wanted: Vec<&str> = args
         .iter()
         .filter(|a| !a.starts_with("--"))
         .map(|s| s.as_str())
         .collect();
+    // Reject typos before any (expensive) section runs rather than
+    // falling through to the nothing-printed error at the end.
+    if let Some(bad) = wanted.iter().find(|w| !EXPERIMENTS.contains(w)) {
+        eprintln!(
+            "unknown experiment {bad:?}; known experiments: {}",
+            EXPERIMENTS.join(", ")
+        );
+        std::process::exit(2);
+    }
     let want = |name: &str| wanted.is_empty() || wanted.contains(&name);
     let want_target = |t: &TargetDesc| target_filter.as_ref().is_none_or(|f| f.name == t.name);
     // Every section that actually prints flips this; finishing a
@@ -328,10 +341,10 @@ fn main() {
     if !printed {
         eprintln!(
             "nothing to report: no experiment matches the given filters. \
-             Experiments: fig5a fig5b ablation realign size fig6a fig6b \
-             fig6c table3 vla vmperf — each tied to specific targets \
+             Experiments: {} — each tied to specific targets \
              (known targets: {}). Use --flow= for a per-kernel cycle \
              table on any target.",
+            EXPERIMENTS.join(" "),
             known_target_names()
         );
         std::process::exit(2);
@@ -350,7 +363,7 @@ fn main() {
 /// loop on a runtime-VL machine, and what the superinstruction fusion
 /// pass collapses per kernel.
 fn print_vmperf(engine: &Engine, scale: Scale) {
-    use vapor_core::{run_baseline, run_specialized, AllocPolicy};
+    use vapor_core::{run, run_baseline, run_specialized, run_threaded, AllocPolicy};
     use vapor_targets::{VBytes, MAX_VS};
 
     let sized = std::mem::size_of::<VBytes>();
@@ -437,6 +450,87 @@ fn print_vmperf(engine: &Engine, scale: Scale) {
     println!(
         "geomean VLA fast-dispatch speedup: {:.2}x (full suite recorded in BENCH_engine.json)\n",
         geomean(ratios.into_iter())
+    );
+
+    // Execution-tier ladder: the seed interpreter, the pre-decoded
+    // fused dispatch, and the closure-threaded tier (register arena +
+    // address streams + per-region fuel) on representative kernels —
+    // two streamed vector kernels, one vector-heavy kernel, and the
+    // scalar-chain floor kernels the threaded tier exists for.
+    let target = vapor_targets::sse();
+    let mut rows = Vec::new();
+    let mut dec_ratios = Vec::new();
+    let mut thr_ratios = Vec::new();
+    for spec in suite() {
+        if !["saxpy_fp", "convolve_s32", "gemm_fp", "lu_fp", "seidel_fp"].contains(&spec.name) {
+            continue;
+        }
+        let kernel = spec.kernel();
+        let env = spec.env(scale);
+        let Ok((compiled, prog)) = engine.thread(
+            &kernel,
+            vapor_core::Flow::SplitVectorOpt,
+            &target,
+            &cfg,
+            target.vs * 8,
+        ) else {
+            continue;
+        };
+        let timed = |f: &mut dyn FnMut()| {
+            let mut best = f64::INFINITY;
+            for _ in 0..3 {
+                let t0 = std::time::Instant::now();
+                f();
+                best = best.min(t0.elapsed().as_secs_f64());
+            }
+            best * 1e6
+        };
+        let seed = timed(&mut || {
+            run_baseline(&target, &compiled, &env, AllocPolicy::Aligned).unwrap();
+        });
+        let dec = timed(&mut || {
+            run(&target, &compiled, &env, AllocPolicy::Aligned).unwrap();
+        });
+        let thr = timed(&mut || {
+            run_threaded(&target, &compiled, &prog, &env, AllocPolicy::Aligned).unwrap();
+        });
+        dec_ratios.push(seed / dec);
+        thr_ratios.push(seed / thr);
+        rows.push(vec![
+            spec.name.to_owned(),
+            format!("{seed:.1}"),
+            format!("{dec:.1}"),
+            format!("{thr:.1}"),
+            format!("{:.2}x", seed / dec),
+            format!("{:.2}x", seed / thr),
+            if prog.streamed_loops() > 0 {
+                format!("{}", prog.streamed_loops())
+            } else {
+                "-".to_string()
+            },
+        ]);
+    }
+    println!(
+        "{}",
+        format_table(
+            "Execution tiers — seed interpreter vs decoded dispatch vs closure-threaded (SSE, opt online)",
+            &[
+                "kernel",
+                "seed µs",
+                "decoded µs",
+                "threaded µs",
+                "decoded",
+                "threaded",
+                "streams"
+            ],
+            &rows
+        )
+    );
+    println!(
+        "geomean over shown kernels: decoded {:.2}x, threaded {:.2}x vs seed \
+         (full suite gated in BENCH_engine.json)\n",
+        geomean(dec_ratios.into_iter()),
+        geomean(thr_ratios.into_iter())
     );
 
     // Superinstruction fusion: the per-kernel inventory of fused steps

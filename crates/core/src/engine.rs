@@ -27,7 +27,7 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
 
 use vapor_ir::Kernel;
-use vapor_targets::{DecodedProgram, TargetDesc};
+use vapor_targets::{DecodedProgram, TargetDesc, ThreadedProgram};
 
 use crate::pipeline::{self, CompileConfig, Compiled, Flow, PipelineError};
 
@@ -108,6 +108,9 @@ pub struct EngineStats {
     /// Runtime-VL execution specializations currently cached (the VL
     /// dimension exists only here, never in the compile cache).
     pub vl_entries: usize,
+    /// Closure-threaded execution programs currently cached (the tier
+    /// below the decoded programs; see [`Engine::thread`]).
+    pub threaded_entries: usize,
 }
 
 /// Default bound on the per-VL decode cache. VL specializations are
@@ -117,27 +120,29 @@ pub struct EngineStats {
 /// without limit.
 pub const VL_CACHE_CAPACITY: usize = 64;
 
-/// A tiny LRU map: a `HashMap` plus a monotone use-stamp per entry.
-/// Lookups are O(1); the eviction scan is O(n) over at most
-/// `cap` entries, which at the capacities used here (tens) is cheaper
-/// than maintaining an intrusive list.
+/// A tiny LRU map over per-VL execution forms: a `HashMap` plus a
+/// monotone use-stamp per entry. Lookups are O(1); the eviction scan is
+/// O(n) over at most `cap` entries, which at the capacities used here
+/// (tens) is cheaper than maintaining an intrusive list. Generic over
+/// the cached value so the decoded and threaded tiers share one
+/// implementation.
 #[derive(Debug)]
-struct VlLru {
-    map: HashMap<(CacheKey, u32), (Arc<DecodedProgram>, u64)>,
+struct Lru<V> {
+    map: HashMap<(CacheKey, u32), (Arc<V>, u64)>,
     tick: u64,
     cap: usize,
 }
 
-impl VlLru {
-    fn new(cap: usize) -> VlLru {
-        VlLru {
+impl<V> Lru<V> {
+    fn new(cap: usize) -> Lru<V> {
+        Lru {
             map: HashMap::new(),
             tick: 0,
             cap: cap.max(1),
         }
     }
 
-    fn get(&mut self, key: &(CacheKey, u32)) -> Option<Arc<DecodedProgram>> {
+    fn get(&mut self, key: &(CacheKey, u32)) -> Option<Arc<V>> {
         self.tick += 1;
         let tick = self.tick;
         self.map.get_mut(key).map(|(v, stamp)| {
@@ -149,7 +154,7 @@ impl VlLru {
     /// Insert, evicting the least-recently-used entry when full. Like
     /// `entry().or_insert()`, a racing earlier insert wins: the caller
     /// gets the canonical `Arc`.
-    fn insert(&mut self, key: (CacheKey, u32), value: Arc<DecodedProgram>) -> Arc<DecodedProgram> {
+    fn insert(&mut self, key: (CacheKey, u32), value: Arc<V>) -> Arc<V> {
         self.tick += 1;
         if let Some((v, stamp)) = self.map.get_mut(&key) {
             *stamp = self.tick;
@@ -182,7 +187,13 @@ pub struct Engine {
     /// vector length. Keyed by the compile key *plus* the VL — "compile
     /// once" stays intact because the VL dimension first appears here.
     /// Bounded (LRU): see [`VL_CACHE_CAPACITY`].
-    vl_cache: Mutex<VlLru>,
+    vl_cache: Mutex<Lru<DecodedProgram>>,
+    /// Closure-threaded lowerings of specialized programs, keyed like
+    /// the VL cache. Unlike decoded specializations, fixed-width
+    /// entries live here too: threading is a real lowering pass (region
+    /// construction, stream analysis, arena layout), not a free
+    /// `Arc` clone of a baked-in artifact.
+    threaded_cache: Mutex<Lru<ThreadedProgram>>,
     /// Keys currently being compiled, so concurrent requests for the
     /// same tuple wait for the first compiler instead of duplicating
     /// the whole pipeline run.
@@ -225,7 +236,8 @@ impl Engine {
     pub fn with_vl_cache_capacity(cap: usize) -> Engine {
         Engine {
             cache: RwLock::new(HashMap::new()),
-            vl_cache: Mutex::new(VlLru::new(cap)),
+            vl_cache: Mutex::new(Lru::new(cap)),
+            threaded_cache: Mutex::new(Lru::new(cap)),
             inflight: Mutex::new(HashSet::new()),
             inflight_done: Condvar::new(),
             hits: AtomicU64::new(0),
@@ -428,6 +440,56 @@ impl Engine {
         Ok((compiled, lru.insert(key, prog)))
     }
 
+    /// Lower a compilation all the way to the closure-threaded
+    /// execution tier at a concrete vector length: [`Engine::specialize`]
+    /// resolves the (kernel, flow, target, config, VL) tuple to a
+    /// decoded program — with all of its caching and VL validation —
+    /// and the threading pass then flattens that decoded form into
+    /// regions over a contiguous register arena with precomputed
+    /// address streams (see [`ThreadedProgram`]).
+    ///
+    /// Threaded programs have their own bounded LRU keyed like the VL
+    /// cache; fixed-width targets are cached here too (the one width
+    /// they support is the key's VL).
+    ///
+    /// # Errors
+    /// Propagates compile-stage [`PipelineError`]s; rejects illegal VLs
+    /// and fixed-width/VL mismatches — the same contract as
+    /// [`Engine::specialize`].
+    pub fn thread(
+        &self,
+        kernel: &Kernel,
+        flow: Flow,
+        target: &TargetDesc,
+        cfg: &CompileConfig,
+        vl_bits: usize,
+    ) -> Result<(Arc<Compiled>, Arc<ThreadedProgram>), PipelineError> {
+        let (compiled, decoded) = self.specialize(kernel, flow, target, cfg, vl_bits)?;
+        let key = (
+            CacheKey {
+                kernel_fp: fingerprint(kernel),
+                flow,
+                target_fp: target_fingerprint(target),
+                cfg: cfg.clone(),
+            },
+            vl_bits as u32,
+        );
+        if let Some(hit) = self
+            .threaded_cache
+            .lock()
+            .expect("engine threaded cache poisoned")
+            .get(&key)
+        {
+            return Ok((compiled, hit));
+        }
+        let prog = Arc::new(ThreadedProgram::thread(&decoded, &compiled.jit.code));
+        let mut lru = self
+            .threaded_cache
+            .lock()
+            .expect("engine threaded cache poisoned");
+        Ok((compiled, lru.insert(key, prog)))
+    }
+
     /// Cache hit/miss counters and current size.
     pub fn stats(&self) -> EngineStats {
         EngineStats {
@@ -438,6 +500,12 @@ impl Engine {
                 .vl_cache
                 .lock()
                 .expect("engine vl cache poisoned")
+                .map
+                .len(),
+            threaded_entries: self
+                .threaded_cache
+                .lock()
+                .expect("engine threaded cache poisoned")
                 .map
                 .len(),
         }
@@ -453,13 +521,18 @@ impl Engine {
         self.len() == 0
     }
 
-    /// Drop every cached compilation and VL specialization (counters
-    /// are kept).
+    /// Drop every cached compilation, VL specialization, and threaded
+    /// lowering (counters are kept).
     pub fn clear(&self) {
         self.cache.write().expect("engine cache poisoned").clear();
         self.vl_cache
             .lock()
             .expect("engine vl cache poisoned")
+            .map
+            .clear();
+        self.threaded_cache
+            .lock()
+            .expect("engine threaded cache poisoned")
             .map
             .clear();
     }
@@ -774,6 +847,40 @@ mod tests {
             )
             .unwrap_err();
         assert!(err.0.contains("illegal runtime VL"), "{err}");
+    }
+
+    #[test]
+    fn threaded_lowerings_are_cached_per_vl_for_every_target_kind() {
+        let e = Engine::new();
+        let k = saxpy();
+        let cfg = CompileConfig::default();
+        // Fixed-width targets cache their threaded form (threading is a
+        // real lowering pass, unlike the free fixed-width decode).
+        let (_, t128) = e
+            .thread(&k, Flow::SplitVectorOpt, &sse(), &cfg, 128)
+            .unwrap();
+        let (_, t128b) = e
+            .thread(&k, Flow::SplitVectorOpt, &sse(), &cfg, 128)
+            .unwrap();
+        assert!(Arc::ptr_eq(&t128, &t128b), "second thread must hit");
+        assert_eq!(e.stats().threaded_entries, 1);
+        // VLA targets get one threaded form per VL, each matching its
+        // decoded specialization's width.
+        let sve = vapor_targets::sve();
+        let (_, s256) = e.thread(&k, Flow::SplitVectorOpt, &sve, &cfg, 256).unwrap();
+        let (_, s512) = e.thread(&k, Flow::SplitVectorOpt, &sve, &cfg, 512).unwrap();
+        assert_eq!(s256.vs, 32);
+        assert_eq!(s512.vs, 64);
+        assert_eq!(e.stats().threaded_entries, 3);
+        assert_eq!(e.stats().misses, 2, "threading never recompiles");
+        // Specialize's contract is inherited: mismatched fixed widths
+        // and illegal VLs are rejected, not threaded.
+        let err = e
+            .thread(&k, Flow::SplitVectorOpt, &sse(), &cfg, 256)
+            .unwrap_err();
+        assert!(err.0.contains("fixed at 128 bits"), "{err}");
+        e.clear();
+        assert_eq!(e.stats().threaded_entries, 0);
     }
 
     #[test]

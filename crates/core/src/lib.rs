@@ -47,6 +47,6 @@ pub mod run;
 pub use engine::{CompileJob, Engine, EngineStats, VL_CACHE_CAPACITY};
 pub use pipeline::{compile, offline_compile, CompileConfig, Compiled, Flow, PipelineError};
 pub use run::{
-    arrays_match, reference, run, run_baseline, run_specialized, run_specialized_wide, run_unfused,
-    run_wide, AllocPolicy, RunResult,
+    arrays_match, reference, run, run_baseline, run_specialized, run_specialized_wide,
+    run_threaded, run_unfused, run_wide, AllocPolicy, RunResult,
 };

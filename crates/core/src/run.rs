@@ -105,6 +105,28 @@ pub fn run_specialized_wide(
     Ok(read_back(&m, bases, stats))
 }
 
+/// Like [`run_specialized`], but executing through the closure-threaded
+/// tier: `prog` is the threaded lowering produced by `Engine::thread`
+/// (or `ThreadedProgram::thread`) for the same concrete-width
+/// `exec_target`. Array state, cycle counts and instruction counts are
+/// bit-identical to the decoded dispatch on every non-trapping
+/// execution — the decoded tier stays the differential oracle.
+///
+/// # Errors
+/// Returns [`Trap`] on VM contract violations and missing bindings; a
+/// mismatch between `exec_target` and `prog` traps up front.
+pub fn run_threaded(
+    exec_target: &TargetDesc,
+    compiled: &Compiled,
+    prog: &vapor_targets::ThreadedProgram,
+    env: &Bindings,
+    policy: AllocPolicy,
+) -> Result<RunResult, Trap> {
+    let (mut m, bases) = setup_machine(exec_target, compiled, env, policy, false)?;
+    let stats = m.run_threaded(prog)?;
+    Ok(read_back(&m, bases, stats))
+}
+
 /// Like [`run()`], but executing a freshly decoded *unfused* program —
 /// no superinstructions, one step per executable instruction. The
 /// baseline side of the fusion differential tests and benchmarks;

@@ -58,7 +58,9 @@ pub type SBinFn = fn(Value, Value) -> Value;
 
 /// Pick the specialized scalar kernel for an (operator, type) pair.
 /// Integer-only operators are only generated at integer types.
-fn sbin_fn(op: BinOp, ty: ScalarTy) -> Option<SBinFn> {
+/// Crate-visible so the threading pass (`thread.rs`) can recognize the
+/// `i64` add/sub kernels when proving an induction step affine.
+pub(crate) fn sbin_fn(op: BinOp, ty: ScalarTy) -> Option<SBinFn> {
     macro_rules! k {
         ($opvar:ident, $tyvar:ident) => {{
             fn kernel(a: Value, b: Value) -> Value {
@@ -257,7 +259,7 @@ fn vbin_fn(op: BinOp, ty: ScalarTy) -> Option<VBinFn> {
 /// register number collides with the [`NO_INDEX`] sentinel (neither is
 /// ever produced by the online compilers; such code falls back to the
 /// generic path rather than decoding wrong).
-fn flatten_addr(m: &AddrMode) -> Option<(SReg, u32, u8, i32)> {
+pub(crate) fn flatten_addr(m: &AddrMode) -> Option<(SReg, u32, u8, i32)> {
     let disp = i32::try_from(m.disp).ok()?;
     let idx = match m.idx {
         Some(r) if r.0 == NO_INDEX => return None,

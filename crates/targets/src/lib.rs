@@ -23,6 +23,7 @@ pub mod isa;
 pub mod machine;
 pub mod ports;
 pub mod target;
+pub mod thread;
 
 pub use cost::{helper_name, CostModel};
 pub use decode::{
@@ -40,6 +41,7 @@ pub use target::{
     altivec, avx, neon64, rvv, scalar_only, sse, sve, target, valid_vl, TargetDesc, TargetKind,
     VLA_MAX_BITS, VLA_MIN_BITS, VLA_TEST_BITS,
 };
+pub use thread::{disasm_threaded, Region, StreamDef, TAddr, TStep, ThreadedProgram};
 
 use vapor_ir::ScalarTy;
 

@@ -15,6 +15,7 @@ use crate::isa::{
     AddrMode, Cond, CvtDir, Half, HelperOp, MCode, MInst, MemAlign, ReduceOp, ShiftSrc,
 };
 use crate::target::TargetDesc;
+use crate::thread::{StreamDef, TAddr, TStep, ThreadedProgram};
 
 /// Maximum vector register width in bytes. The seed capped this at the
 /// paper's 2011-era 32 bytes; the vector-length-agnostic target family
@@ -508,6 +509,21 @@ impl<'t> Machine<'t> {
         Ok(out)
     }
 
+    /// The one fuel check shared by every dispatch tier: pre-charge
+    /// validation that executing `arity` more instructions stays within
+    /// the budget. The seed loop charges per instruction (`arity` 1),
+    /// the decoded loop per step (a superinstruction's full arity), the
+    /// threaded loop per straight-line region — all with identical trap
+    /// message and boundary semantics (`insts + arity > fuel` traps
+    /// *before* executing any of the charged instructions).
+    #[inline]
+    fn charge_fuel(&self, insts: u64, arity: u64) -> Result<(), Trap> {
+        if insts + arity > self.fuel {
+            return Err(Trap(format!("fuel exhausted after {insts} instructions")));
+        }
+        Ok(())
+    }
+
     /// Execute `code` from its first instruction until it falls off the
     /// end, re-deriving branch targets and instruction costs every step.
     /// Returns modeled cycles and instruction counts.
@@ -527,12 +543,7 @@ impl<'t> Machine<'t> {
         let cost = &self.target.cost;
 
         while pc < code.insts.len() {
-            if stats.insts >= self.fuel {
-                return Err(Trap(format!(
-                    "fuel exhausted after {} instructions",
-                    stats.insts
-                )));
-            }
+            self.charge_fuel(stats.insts, 1)?;
             let inst = &code.insts[pc];
             let mut next = pc + 1;
 
@@ -606,12 +617,7 @@ impl<'t> Machine<'t> {
         let mut stats = ExecStats::default();
 
         while let Some(d) = steps.get(pc) {
-            if stats.insts + u64::from(d.arity) > self.fuel {
-                return Err(Trap(format!(
-                    "fuel exhausted after {} instructions",
-                    stats.insts
-                )));
-            }
+            self.charge_fuel(stats.insts, u64::from(d.arity))?;
             let mut next = pc + 1;
             match &d.step {
                 DStep::Jump { target } => next = *target as usize,
@@ -868,6 +874,527 @@ impl<'t> Machine<'t> {
             pc = next;
         }
         Ok(stats)
+    }
+
+    /// Execute a closure-threaded program (see [`ThreadedProgram`]):
+    /// fuel and statistics are charged once per straight-line region
+    /// with the region's pre-summed exact cost, vector registers live in
+    /// one contiguous byte arena indexed by precomputed offsets, and
+    /// affine loop addresses stride precomputed cursors instead of being
+    /// recomputed per access. For every non-trapping execution the
+    /// observable results — memory, scalar and vector registers, spill
+    /// slots, `cycles` and `insts` — are bit-identical to
+    /// [`Machine::run_decoded`] on the source decoded program.
+    ///
+    /// Two documented boundary differences, both confined to *trapping*
+    /// executions: fuel traps fire at region granularity (the
+    /// regionized analogue of the fused-step contract — a region whose
+    /// constituents would cross the budget traps at the region boundary
+    /// without executing any of them), and a read of a never-written
+    /// vector register reads zeros instead of trapping (the arena
+    /// carries no per-register written bit; compiled programs never
+    /// read uninitialized registers — the decoded oracle would trap and
+    /// the differential suite would catch it). Bounds and alignment
+    /// checks remain per access and trap with the decoded messages.
+    ///
+    /// # Errors
+    /// Returns a [`Trap`] on contract violations, or if the program was
+    /// threaded for a target with a different vector width.
+    pub fn run_threaded(&mut self, prog: &ThreadedProgram) -> Result<ExecStats, Trap> {
+        if prog.vs != self.vs() {
+            return Err(Trap(format!(
+                "program threaded for VS={} executed on a VS={} machine",
+                prog.vs,
+                self.vs()
+            )));
+        }
+        // Monomorphize the hot loop on the arena slot stride so the
+        // scratch buffers are fixed-size stack arrays.
+        if prog.stride() == INLINE_VS {
+            self.run_threaded_impl::<INLINE_VS>(prog)
+        } else {
+            self.run_threaded_impl::<MAX_VS>(prog)
+        }
+    }
+
+    fn run_threaded_impl<const CAP: usize>(
+        &mut self,
+        prog: &ThreadedProgram,
+    ) -> Result<ExecStats, Trap> {
+        debug_assert_eq!(prog.stride(), CAP);
+        let vs = self.vs();
+        // Widest byte span an all-lanes vector op writes:
+        // `lanes(ty) * ty.size()` is `vs` for every type that fits and
+        // one 8-byte element on sub-element machines. Every arena write
+        // covers exactly `ew` bytes of a slot (zero-extending past the
+        // written lanes, the invariant `VBytes` keeps), and bytes past
+        // `ew` are zero for the slot's whole lifetime.
+        let ew = vs.max(8);
+        debug_assert!(ew <= CAP);
+        let nv = prog.n_vregs();
+        let steps = prog.steps();
+        let regions = prog.regions();
+        let mut stats = ExecStats::default();
+
+        // Seed the arena from the live register file (arguments may have
+        // been planted before execution).
+        let mut arena = vec![0u8; nv * CAP];
+        for (r, v) in self.vregs.iter().enumerate().take(nv) {
+            let nb = v.capacity().min(CAP);
+            arena[r * CAP..r * CAP + nb].copy_from_slice(&v[..nb]);
+        }
+        let mut st = TCtx {
+            defs: prog.streams(),
+            cursors: vec![0; prog.streams().len()],
+            valid: vec![false; prog.streams().len()],
+        };
+
+        let mut r = 0usize;
+        while let Some(reg) = regions.get(r) {
+            self.charge_fuel(stats.insts, reg.arity)?;
+            stats.insts += reg.arity;
+            stats.cycles += reg.cost;
+            // Control transfers only from a region's last step, so the
+            // whole charged region executes unless a step traps.
+            let mut next = r + 1;
+            for step in &steps[reg.first as usize..(reg.first + reg.n) as usize] {
+                match step {
+                    TStep::Jump { target } => next = *target as usize,
+                    TStep::Branch { cond, a, b, target } => {
+                        let (x, y) = (self.sint(*a)?, self.sint(*b)?);
+                        if take(*cond, x, y) {
+                            next = *target as usize;
+                        }
+                    }
+                    TStep::BranchImm {
+                        cond,
+                        a,
+                        imm,
+                        target,
+                    } => {
+                        let x = self.sint(*a)?;
+                        if take(*cond, x, *imm) {
+                            next = *target as usize;
+                        }
+                    }
+                    TStep::InitStreams { first, n } => {
+                        for s in *first as usize..(*first + *n) as usize {
+                            st.valid[s] = match self.stream_base(&st.defs[s]) {
+                                Some(c) => {
+                                    st.cursors[s] = c;
+                                    true
+                                }
+                                // Base registers not readable as ints:
+                                // the use sites fall back to the
+                                // per-access computation, which traps
+                                // exactly like the decoded tier.
+                                None => false,
+                            };
+                        }
+                    }
+                    TStep::VBin {
+                        dst, a, b, f, lanes, ..
+                    } => t_vbin::<CAP>(&mut arena, ew, *dst, *a, *b, *f, *lanes as usize),
+                    TStep::VUn {
+                        dst, a, f, lanes, ..
+                    } => {
+                        if dst != a {
+                            let (sa, sd) = slot1_mut::<CAP>(&mut arena, *a, *dst);
+                            sd.fill(0);
+                            f(sa, sd, *lanes as usize);
+                        } else {
+                            let mut tmp = [0u8; CAP];
+                            f(slot::<CAP>(&arena, *a), &mut tmp, *lanes as usize);
+                            arena[*dst as usize..*dst as usize + ew]
+                                .copy_from_slice(&tmp[..ew]);
+                        }
+                    }
+                    TStep::MovV { dst, src } => {
+                        // Whole-slot copy: both slots honor the
+                        // zeros-past-`ew` invariant, so this is exactly
+                        // the decoded register move.
+                        arena.copy_within(
+                            *src as usize..*src as usize + CAP,
+                            *dst as usize,
+                        );
+                    }
+                    TStep::VBinVl {
+                        dst,
+                        a,
+                        b,
+                        f,
+                        ty,
+                        max_lanes,
+                        ..
+                    } => {
+                        let n = (self.vl_bytes / ty.size()).min(*max_lanes as usize);
+                        t_vbin_vl::<CAP>(&mut arena, ew, *dst, *a, *b, *f, n);
+                    }
+                    TStep::VUnVl {
+                        dst,
+                        a,
+                        f,
+                        ty,
+                        max_lanes,
+                        ..
+                    } => {
+                        let n = (self.vl_bytes / ty.size()).min(*max_lanes as usize);
+                        if dst != a {
+                            let (sa, sd) = slot1_mut::<CAP>(&mut arena, *a, *dst);
+                            f(sa, sd, n);
+                        } else {
+                            let d = *dst as usize;
+                            let mut tmp = [0u8; CAP];
+                            tmp[..ew].copy_from_slice(&arena[d..d + ew]);
+                            f(slot::<CAP>(&arena, *a), &mut tmp, n);
+                            arena[d..d + ew].copy_from_slice(&tmp[..ew]);
+                        }
+                    }
+                    TStep::LoadV { dst, aligned, addr } => {
+                        self.t_load_v(&mut arena, ew, vs, *dst, *aligned, addr, &st)?
+                    }
+                    TStep::StoreV { src, aligned, addr } => {
+                        self.t_store_v(&arena, vs, *src, *aligned, addr, &st)?
+                    }
+                    TStep::LoadS { ty, dst, addr } => {
+                        let a = self.t_addr(addr, &st)?;
+                        self.mem.check(a, ty.size())?;
+                        let v = self.mem.read(*ty, a);
+                        self.set_sreg_checked(*dst, *ty, v);
+                    }
+                    TStep::StoreS { ty, src, addr } => {
+                        let a = self.t_addr(addr, &st)?;
+                        self.mem.check(a, ty.size())?;
+                        let v = self.coerce(*ty, self.sval(*src)?);
+                        self.mem.write(*ty, a, v);
+                    }
+                    TStep::LoadVl { ty, dst, addr } => {
+                        self.t_load_vl(&mut arena, ew, *ty, *dst, addr, &st)?
+                    }
+                    TStep::StoreVl { ty, src, addr } => {
+                        self.t_store_vl(&arena, *ty, *src, addr, &st)?
+                    }
+                    TStep::SBin {
+                        dst, a, b, f, ty, rty,
+                    } => {
+                        let x = self.coerce(*ty, self.sval(*a)?);
+                        let y = self.coerce(*ty, self.sval(*b)?);
+                        self.set_sreg_checked(*dst, *rty, f(x, y));
+                    }
+                    TStep::SBinImm {
+                        dst,
+                        a,
+                        imm,
+                        f,
+                        ty,
+                        rty,
+                    } => self.exec_sbin_imm(*dst, *a, *imm, *f, *ty, *rty)?,
+                    TStep::SBin2(p) => {
+                        let x = self.coerce(p.ty1, self.sval(p.a1)?);
+                        let y = self.coerce(p.ty1, self.sval(p.b1)?);
+                        self.set_sreg_checked(p.dst1, p.rty1, (p.f1)(x, y));
+                        let x = self.coerce(p.ty2, self.sval(p.a2)?);
+                        let y = self.coerce(p.ty2, self.sval(p.b2)?);
+                        self.set_sreg_checked(p.dst2, p.rty2, (p.f2)(x, y));
+                    }
+                    TStep::MovS { dst, src } => {
+                        let v = self.sval(*src)?;
+                        self.set_sreg(*dst, v);
+                    }
+                    TStep::MovImm { dst, v } => self.set_sreg(*dst, *v),
+                    TStep::Splat {
+                        dst,
+                        src,
+                        f,
+                        ty,
+                        lanes,
+                    } => {
+                        let v = self.coerce(*ty, self.sval(*src)?);
+                        let d = *dst as usize;
+                        let sd = &mut arena[d..d + CAP];
+                        sd.fill(0);
+                        f(v, sd, *lanes as usize);
+                    }
+                    TStep::VShiftImm {
+                        dst,
+                        a,
+                        f,
+                        imm,
+                        lanes,
+                        ..
+                    } => {
+                        if dst != a {
+                            let (sa, sd) = slot1_mut::<CAP>(&mut arena, *a, *dst);
+                            sd.fill(0);
+                            f(sa, *imm as i64, sd, *lanes as usize);
+                        } else {
+                            let mut tmp = [0u8; CAP];
+                            f(slot::<CAP>(&arena, *a), *imm as i64, &mut tmp, *lanes as usize);
+                            arena[*dst as usize..*dst as usize + ew]
+                                .copy_from_slice(&tmp[..ew]);
+                        }
+                    }
+                    TStep::VShiftReg {
+                        dst,
+                        a,
+                        f,
+                        amt,
+                        lanes,
+                        ..
+                    } => {
+                        let amt = self.sint(*amt)?;
+                        if dst != a {
+                            let (sa, sd) = slot1_mut::<CAP>(&mut arena, *a, *dst);
+                            sd.fill(0);
+                            f(sa, amt, sd, *lanes as usize);
+                        } else {
+                            let mut tmp = [0u8; CAP];
+                            f(slot::<CAP>(&arena, *a), amt, &mut tmp, *lanes as usize);
+                            arena[*dst as usize..*dst as usize + ew]
+                                .copy_from_slice(&tmp[..ew]);
+                        }
+                    }
+                    TStep::SpillLd { dst, slot } => {
+                        let v = self
+                            .slots
+                            .get(*slot as usize)
+                            .copied()
+                            .ok_or_else(|| Trap(format!("reload of unwritten slot {slot}")))?;
+                        self.set_sreg(*dst, v);
+                    }
+                    TStep::SpillSt { src, slot } => {
+                        let v = self.sval(*src)?;
+                        if self.slots.len() <= *slot as usize {
+                            self.slots.resize(*slot as usize + 1, Value::Int(0));
+                        }
+                        self.slots[*slot as usize] = v;
+                    }
+                    TStep::VReduce {
+                        dst,
+                        src,
+                        f,
+                        ty,
+                        lanes,
+                        ..
+                    } => {
+                        let v = f(slot::<CAP>(&arena, *src), *lanes as usize);
+                        self.set_sreg_checked(*dst, *ty, v);
+                    }
+                    // Superinstructions: constituents in order, every
+                    // register write included — same contract as the
+                    // decoded fused steps.
+                    TStep::LoadBinStore(p) => {
+                        self.t_load_v(&mut arena, ew, vs, p.load_dst, p.load_aligned, &p.load, &st)?;
+                        t_vbin::<CAP>(&mut arena, ew, p.dst, p.a, p.b, p.f, p.lanes as usize);
+                        self.t_store_v(&arena, vs, p.dst, p.store_aligned, &p.store, &st)?;
+                    }
+                    TStep::LoadBinBin(p) => {
+                        self.t_load_v(&mut arena, ew, vs, p.load_dst, p.load_aligned, &p.load, &st)?;
+                        t_vbin::<CAP>(&mut arena, ew, p.dst1, p.a1, p.b1, p.f1, p.lanes1 as usize);
+                        t_vbin::<CAP>(&mut arena, ew, p.dst2, p.a2, p.b2, p.f2, p.lanes2 as usize);
+                    }
+                    TStep::LoadBin(p) => {
+                        self.t_load_v(&mut arena, ew, vs, p.load_dst, p.load_aligned, &p.load, &st)?;
+                        t_vbin::<CAP>(&mut arena, ew, p.dst, p.a, p.b, p.f, p.lanes as usize);
+                    }
+                    TStep::BinStore(p) => {
+                        t_vbin::<CAP>(&mut arena, ew, p.dst, p.a, p.b, p.f, p.lanes as usize);
+                        self.t_store_v(&arena, vs, p.dst, p.store_aligned, &p.store, &st)?;
+                    }
+                    TStep::LoadBinStoreVl(p) => {
+                        self.t_load_vl(&mut arena, ew, p.load_ty, p.load_dst, &p.load, &st)?;
+                        let n = (self.vl_bytes / p.ty.size()).min(p.max_lanes as usize);
+                        t_vbin_vl::<CAP>(&mut arena, ew, p.dst, p.a, p.b, p.f, n);
+                        self.t_store_vl(&arena, p.store_ty, p.dst, &p.store, &st)?;
+                    }
+                    TStep::Latch(p) => {
+                        self.exec_sbin_imm(p.dst, p.a, p.imm, p.f, p.ty, p.rty)?;
+                        let x = self.sint(p.br_a)?;
+                        let y = if p.br_reg == crate::decode::NO_INDEX {
+                            p.br_imm
+                        } else {
+                            self.sint(crate::isa::SReg(p.br_reg))?
+                        };
+                        if take(p.cond, x, y) {
+                            next = p.target as usize;
+                            // Backedge taken: stride every live cursor of
+                            // this loop by its precomputed delta. Exact
+                            // by wrapping i64 arithmetic (see module
+                            // docs of `thread`).
+                            for s in
+                                p.first_stream as usize..(p.first_stream + p.n_streams) as usize
+                            {
+                                if st.valid[s] {
+                                    st.cursors[s] = st.cursors[s].wrapping_add(st.defs[s].delta);
+                                }
+                            }
+                        }
+                    }
+                    TStep::ScalarOp(inst) => self.exec_op(inst)?,
+                    TStep::VectorOp(inst) => {
+                        // Rare escape hatch: materialize the register
+                        // file, run the shared semantics, re-seed the
+                        // arena.
+                        self.t_flush(&arena, CAP, nv);
+                        self.exec_op(inst)?;
+                        t_fill(&self.vregs, &mut arena, CAP, nv);
+                    }
+                }
+            }
+            r = next;
+        }
+        self.t_flush(&arena, CAP, nv);
+        Ok(stats)
+    }
+
+    /// Affine base of a stream at loop entry, or `None` when a base
+    /// register is not readable as an int (undefined or float) — the
+    /// non-trapping probe; use sites then fall back to the per-access
+    /// address computation and its exact decoded trap.
+    fn stream_base(&self, d: &StreamDef) -> Option<i64> {
+        let Some(Value::Int(mut a)) = self.sregs.get(d.base.0 as usize).copied() else {
+            return None;
+        };
+        if d.idx != crate::decode::NO_INDEX {
+            let Some(Value::Int(i)) = self.sregs.get(d.idx as usize).copied() else {
+                return None;
+            };
+            a = a.wrapping_add(i.wrapping_mul(d.scale as i64));
+        }
+        Some(a.wrapping_add(d.disp as i64))
+    }
+
+    /// Resolve a threaded memory operand: stream cursor when live,
+    /// otherwise the flattened per-access computation.
+    #[inline]
+    fn t_addr(&self, addr: &TAddr, st: &TCtx) -> Result<u64, Trap> {
+        match *addr {
+            TAddr::Direct {
+                base,
+                idx,
+                scale,
+                disp,
+            } => self.fast_addr(base, idx, scale, disp),
+            TAddr::Stream(s) => {
+                let s = s as usize;
+                if !st.valid[s] {
+                    let d = &st.defs[s];
+                    return self.fast_addr(d.base, d.idx, d.scale, d.disp);
+                }
+                let a = st.cursors[s];
+                if a < 0 {
+                    return Err(Trap(format!("negative address {a}")));
+                }
+                Ok(a as u64)
+            }
+        }
+    }
+
+    /// Whole-register vector load into an arena slot.
+    #[inline]
+    fn t_load_v(
+        &mut self,
+        arena: &mut [u8],
+        ew: usize,
+        vs: usize,
+        dst: u32,
+        aligned: bool,
+        addr: &TAddr,
+        st: &TCtx,
+    ) -> Result<(), Trap> {
+        let a = self.t_addr(addr, st)?;
+        self.mem.check(a, vs)?;
+        if aligned && !(a as usize).is_multiple_of(vs) {
+            return Err(Trap(format!(
+                "aligned vector load from misaligned address {a} (VS={vs})"
+            )));
+        }
+        let d = dst as usize;
+        arena[d..d + vs].copy_from_slice(self.mem.slice(a, vs));
+        arena[d + vs..d + ew].fill(0);
+        Ok(())
+    }
+
+    /// Whole-register vector store from an arena slot.
+    #[inline]
+    fn t_store_v(
+        &mut self,
+        arena: &[u8],
+        vs: usize,
+        src: u32,
+        aligned: bool,
+        addr: &TAddr,
+        st: &TCtx,
+    ) -> Result<(), Trap> {
+        let a = self.t_addr(addr, st)?;
+        self.mem.check(a, vs)?;
+        if aligned && !(a as usize).is_multiple_of(vs) {
+            return Err(Trap(format!(
+                "aligned vector store to misaligned address {a} (VS={vs})"
+            )));
+        }
+        let s = src as usize;
+        self.mem.slice_mut(a, vs).copy_from_slice(&arena[s..s + vs]);
+        Ok(())
+    }
+
+    /// Predicated (element-aligned, zeroing) vector load into an arena
+    /// slot.
+    #[inline]
+    fn t_load_vl(
+        &mut self,
+        arena: &mut [u8],
+        ew: usize,
+        ty: ScalarTy,
+        dst: u32,
+        addr: &TAddr,
+        st: &TCtx,
+    ) -> Result<(), Trap> {
+        let a = self.t_addr(addr, st)?;
+        let bytes = self.vl_lanes(ty) * ty.size();
+        if bytes > 0 {
+            self.mem.check(a, bytes)?;
+        }
+        let d = dst as usize;
+        arena[d..d + ew].fill(0);
+        if bytes > 0 {
+            arena[d..d + bytes].copy_from_slice(self.mem.slice(a, bytes));
+        }
+        Ok(())
+    }
+
+    /// Predicated vector store from an arena slot.
+    #[inline]
+    fn t_store_vl(
+        &mut self,
+        arena: &[u8],
+        ty: ScalarTy,
+        src: u32,
+        addr: &TAddr,
+        st: &TCtx,
+    ) -> Result<(), Trap> {
+        let a = self.t_addr(addr, st)?;
+        let bytes = self.vl_lanes(ty) * ty.size();
+        if bytes > 0 {
+            self.mem.check(a, bytes)?;
+            let s = src as usize;
+            self.mem
+                .slice_mut(a, bytes)
+                .copy_from_slice(&arena[s..s + bytes]);
+        }
+        Ok(())
+    }
+
+    /// Materialize the register file from the arena (run exit and the
+    /// `VectorOp` escape hatch): each slot becomes a machine-sized
+    /// register, zero-extended past the arena stride.
+    fn t_flush(&mut self, arena: &[u8], cap: usize, nv: usize) {
+        for r in 0..nv {
+            let mut v = self.vzero();
+            let nb = v.capacity().min(cap);
+            v[..nb].copy_from_slice(&arena[r * cap..r * cap + nb]);
+            self.set_vreg(crate::isa::VReg(r as u32), v);
+        }
     }
 
     /// One fixed-width fast vector load (shared by the standalone step
@@ -1491,6 +2018,127 @@ fn take(cond: Cond, a: i64, b: i64) -> bool {
         Cond::Ge => a >= b,
         Cond::Eq => a == b,
         Cond::Ne => a != b,
+    }
+}
+
+/// Runtime stream state of one threaded execution: per-stream cursors
+/// plus the liveness bit set at loop entry ([`TStep::InitStreams`]).
+struct TCtx<'a> {
+    defs: &'a [StreamDef],
+    cursors: Vec<i64>,
+    valid: Vec<bool>,
+}
+
+/// One arena register slot (`CAP` bytes at byte offset `off`).
+#[inline]
+fn slot<const CAP: usize>(arena: &[u8], off: u32) -> &[u8] {
+    &arena[off as usize..off as usize + CAP]
+}
+
+/// Split one exclusive and one shared `CAP`-byte slot out of the arena.
+/// Callers must pass distinct offsets (slot offsets are multiples of
+/// `CAP`, so distinct offsets mean disjoint spans).
+#[inline]
+fn slot1_mut<const CAP: usize>(arena: &mut [u8], a: u32, dst: u32) -> (&[u8], &mut [u8]) {
+    debug_assert_ne!(dst, a);
+    debug_assert!(a as usize + CAP <= arena.len() && dst as usize + CAP <= arena.len());
+    let base = arena.as_mut_ptr();
+    // SAFETY: both spans are in bounds; offsets are distinct multiples
+    // of CAP, so the exclusive span cannot overlap the shared one.
+    unsafe {
+        (
+            std::slice::from_raw_parts(base.add(a as usize), CAP),
+            std::slice::from_raw_parts_mut(base.add(dst as usize), CAP),
+        )
+    }
+}
+
+/// Split one exclusive and two shared `CAP`-byte slots out of the
+/// arena. Callers must pass a destination distinct from both operands.
+#[inline]
+fn slot2_mut<const CAP: usize>(
+    arena: &mut [u8],
+    a: u32,
+    b: u32,
+    dst: u32,
+) -> (&[u8], &[u8], &mut [u8]) {
+    debug_assert!(dst != a && dst != b);
+    debug_assert!(
+        a as usize + CAP <= arena.len()
+            && b as usize + CAP <= arena.len()
+            && dst as usize + CAP <= arena.len()
+    );
+    let base = arena.as_mut_ptr();
+    // SAFETY: all spans are in bounds; offsets are multiples of CAP and
+    // dst differs from a and b, so the exclusive span cannot overlap
+    // either shared one (the two shared spans may alias each other,
+    // which shared references permit).
+    unsafe {
+        (
+            std::slice::from_raw_parts(base.add(a as usize), CAP),
+            std::slice::from_raw_parts(base.add(b as usize), CAP),
+            std::slice::from_raw_parts_mut(base.add(dst as usize), CAP),
+        )
+    }
+}
+
+/// All-lanes specialized vector binary op on arena slots — fresh
+/// (non-merging) semantics: every lane past the written ones is zero.
+/// Disjoint destinations are written in place; a destination aliasing
+/// an operand goes through a scratch register.
+#[inline]
+fn t_vbin<const CAP: usize>(
+    arena: &mut [u8],
+    ew: usize,
+    dst: u32,
+    a: u32,
+    b: u32,
+    f: VBinFn,
+    lanes: usize,
+) {
+    if dst != a && dst != b {
+        let (sa, sb, sd) = slot2_mut::<CAP>(arena, a, b, dst);
+        sd.fill(0);
+        f(sa, sb, sd, lanes);
+    } else {
+        let mut tmp = [0u8; CAP];
+        f(slot::<CAP>(arena, a), slot::<CAP>(arena, b), &mut tmp, lanes);
+        arena[dst as usize..dst as usize + ew].copy_from_slice(&tmp[..ew]);
+    }
+}
+
+/// Merging-predicated vector binary op on arena slots: lanes past the
+/// active VL keep the destination's old values, so the in-place path
+/// needs no seeding at all.
+#[inline]
+fn t_vbin_vl<const CAP: usize>(
+    arena: &mut [u8],
+    ew: usize,
+    dst: u32,
+    a: u32,
+    b: u32,
+    f: VBinFn,
+    n: usize,
+) {
+    if dst != a && dst != b {
+        let (sa, sb, sd) = slot2_mut::<CAP>(arena, a, b, dst);
+        f(sa, sb, sd, n);
+    } else {
+        let d = dst as usize;
+        let mut tmp = [0u8; CAP];
+        tmp[..ew].copy_from_slice(&arena[d..d + ew]);
+        f(slot::<CAP>(arena, a), slot::<CAP>(arena, b), &mut tmp, n);
+        arena[d..d + ew].copy_from_slice(&tmp[..ew]);
+    }
+}
+
+/// Re-seed the arena from the register file after a `VectorOp` escape.
+/// A free function so the shared borrow of `vregs` coexists with the
+/// mutable borrow of the caller-owned arena.
+fn t_fill(vregs: &[VBytes], arena: &mut [u8], cap: usize, nv: usize) {
+    for (r, v) in vregs.iter().enumerate().take(nv) {
+        let nb = v.capacity().min(cap);
+        arena[r * cap..r * cap + nb].copy_from_slice(&v[..nb]);
     }
 }
 

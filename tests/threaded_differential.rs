@@ -1,0 +1,134 @@
+//! Closure-threaded tier differential tests: every suite kernel on
+//! every target runs once through the decoded dispatch (the oracle) and
+//! once through the threaded tier — machine state, cycles and
+//! instruction counts must be bit-identical. The threaded tier flattens
+//! the register file into an arena, streams affine addresses, and
+//! charges fuel per region, but on non-trapping executions none of that
+//! may be observable: *any* difference is a threading bug.
+
+use vapor_core::{
+    arrays_match, run, run_specialized, run_threaded, AllocPolicy, CompileConfig, Engine, Flow,
+};
+use vapor_kernels::{suite, Scale};
+use vapor_targets::{avx, neon64, rvv, sse, sve};
+
+/// Threaded vs decoded on every fixed-width target, both online flows
+/// the fusion harness covers.
+#[test]
+fn threaded_and_decoded_dispatch_agree_on_every_suite_kernel() {
+    let engine = Engine::new();
+    let cfg = CompileConfig::default();
+    for spec in suite() {
+        let kernel = spec.kernel();
+        let env = spec.env(Scale::Test);
+        for target in [sse(), neon64(), avx()] {
+            for flow in [Flow::SplitVectorOpt, Flow::NativeVector] {
+                let vl = target.vs * 8;
+                let (compiled, prog) = engine
+                    .thread(&kernel, flow, &target, &cfg, vl)
+                    .unwrap_or_else(|e| panic!("{} [{flow} on {}]: {e}", spec.name, target.name));
+                let decoded = run(&target, &compiled, &env, AllocPolicy::Aligned)
+                    .unwrap_or_else(|e| panic!("{} [{flow} on {}]: {e}", spec.name, target.name));
+                let threaded = run_threaded(&target, &compiled, &prog, &env, AllocPolicy::Aligned)
+                    .unwrap_or_else(|e| panic!("{} [{flow} on {}]: {e}", spec.name, target.name));
+                for (name, expected) in decoded.out.arrays() {
+                    // Bit-exact: tolerance 0.
+                    arrays_match(expected, threaded.out.array(name).unwrap(), 0.0).unwrap_or_else(
+                        |e| {
+                            panic!(
+                                "{} [{flow} on {}]: array {name} diverged: {e}",
+                                spec.name, target.name
+                            )
+                        },
+                    );
+                }
+                assert_eq!(
+                    decoded.stats, threaded.stats,
+                    "{} [{flow} on {}]: cycles/insts diverged",
+                    spec.name, target.name
+                );
+            }
+        }
+    }
+}
+
+/// The same differential on the runtime-VL families across the full VL
+/// range: both sides go through the engine (`specialize` feeds the
+/// per-VL decode LRU, `thread` the threaded LRU) and execute at the
+/// concrete width.
+#[test]
+fn threaded_and_decoded_dispatch_agree_at_every_runtime_vl() {
+    let engine = Engine::new();
+    let cfg = CompileConfig::default();
+    for spec in suite() {
+        let kernel = spec.kernel();
+        let env = spec.env(Scale::Test);
+        for family in [sve(), rvv()] {
+            for vl in [128usize, 256, 512, 1024, 2048] {
+                let (compiled, decoded_prog) = engine
+                    .specialize(&kernel, Flow::SplitVectorOpt, &family, &cfg, vl)
+                    .unwrap_or_else(|e| panic!("{} @VL={vl}: {e}", spec.name));
+                let (_, threaded_prog) = engine
+                    .thread(&kernel, Flow::SplitVectorOpt, &family, &cfg, vl)
+                    .unwrap_or_else(|e| panic!("{} @VL={vl}: {e}", spec.name));
+                let exec = family.at_vl(vl);
+                let decoded =
+                    run_specialized(&exec, &compiled, &decoded_prog, &env, AllocPolicy::Aligned)
+                        .unwrap_or_else(|e| panic!("{} @VL={vl}: {e}", spec.name));
+                let threaded =
+                    run_threaded(&exec, &compiled, &threaded_prog, &env, AllocPolicy::Aligned)
+                        .unwrap_or_else(|e| panic!("{} @VL={vl}: {e}", spec.name));
+                for (name, expected) in decoded.out.arrays() {
+                    arrays_match(expected, threaded.out.array(name).unwrap(), 0.0).unwrap_or_else(
+                        |e| {
+                            panic!(
+                                "{} [{} @VL={vl}]: array {name} diverged: {e}",
+                                spec.name, family.name
+                            )
+                        },
+                    );
+                }
+                assert_eq!(
+                    decoded.stats, threaded.stats,
+                    "{} [{} @VL={vl}]: cycles/insts diverged",
+                    spec.name, family.name
+                );
+            }
+        }
+    }
+}
+
+/// Misaligned bases exercise the unaligned/guard paths of the threaded
+/// address streams: loads and stores must stride to exactly the same
+/// addresses the decoded dispatch recomputes, even when alignment
+/// guards steer the code down fallback paths.
+#[test]
+fn threaded_dispatch_agrees_under_misaligned_bases() {
+    let engine = Engine::new();
+    let cfg = CompileConfig::default();
+    for spec in suite() {
+        let kernel = spec.kernel();
+        let env = spec.env(Scale::Test);
+        let target = sse();
+        let vl = target.vs * 8;
+        for mis in [4usize, 8] {
+            let (compiled, prog) = engine
+                .thread(&kernel, Flow::SplitVectorOpt, &target, &cfg, vl)
+                .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+            let decoded = run(&target, &compiled, &env, AllocPolicy::Misaligned(mis))
+                .unwrap_or_else(|e| panic!("{} (mis={mis}): {e}", spec.name));
+            let threaded = run_threaded(&target, &compiled, &prog, &env, AllocPolicy::Misaligned(mis))
+                .unwrap_or_else(|e| panic!("{} (mis={mis}): {e}", spec.name));
+            for (name, expected) in decoded.out.arrays() {
+                arrays_match(expected, threaded.out.array(name).unwrap(), 0.0).unwrap_or_else(
+                    |e| panic!("{} (mis={mis}): array {name} diverged: {e}", spec.name),
+                );
+            }
+            assert_eq!(
+                decoded.stats, threaded.stats,
+                "{} (mis={mis}): cycles/insts diverged",
+                spec.name
+            );
+        }
+    }
+}
