@@ -11,7 +11,7 @@ use std::hint::black_box;
 use std::time::Instant;
 
 use vapor_bench::{ablation, fig5, fig6, size_and_time, table3};
-use vapor_core::{run, AllocPolicy, CompileConfig, Engine, Flow};
+use vapor_core::{CompileConfig, Engine, ExecRequest, Flow};
 use vapor_kernels::{find, Scale};
 use vapor_targets::{altivec, neon64, sse};
 
@@ -103,10 +103,11 @@ fn bench_vm() {
     let kernel = spec.kernel();
     let env = spec.env(Scale::Full);
     for flow in [Flow::SplitVectorOpt, Flow::SplitScalarOpt] {
-        let compiled = engine.compile(&kernel, flow, &target, &cfg).unwrap();
-        let us = best_us(20, || {
-            run(&target, &compiled, &env, AllocPolicy::Aligned).unwrap()
-        });
+        let req = ExecRequest::new(&kernel, &target, &env)
+            .flow(flow)
+            .config(cfg.clone());
+        engine.execute(&req).unwrap(); // warm the compile cache
+        let us = best_us(20, || engine.execute(&req).unwrap());
         report("vm_execute", &format!("saxpy_1024/{flow}"), us);
     }
 }

@@ -4,8 +4,9 @@
 //! 1. **Compilation caching** — a cache-hit `Engine::compile` versus a
 //!    cold end-to-end compile, over every suite kernel.
 //! 2. **Pre-decoded VM dispatch** — wall-clock `Machine` throughput of
-//!    the decoded program (`run`) versus the seed per-instruction
-//!    interpreter (`run_baseline`) on the saxpy/polybench suite.
+//!    the decoded program (`Tier::Decoded`) versus the seed
+//!    per-instruction interpreter (`Tier::Baseline`) on the
+//!    saxpy/polybench suite.
 //! 3. **Runtime-VL specialization** — what bringing up a *new* VL costs
 //!    under "compile once" (one re-specialization of the shared decode)
 //!    versus what a VL-keyed engine would pay (a full pipeline run).
@@ -22,10 +23,16 @@
 //!    kernel, with the per-kernel superinstruction hit counts.
 //! 7. **Closure-threaded tier** — the region-threaded program with the
 //!    flattened register arena and precomputed address streams
-//!    (`Engine::thread` + `run_threaded`) versus the seed interpreter
-//!    and versus the decoded dispatch, on the same suite. The threaded
-//!    run's `vm_cycles` are asserted equal to the decoded run's before
-//!    any number is written: the tiers share one cycle model.
+//!    (`Tier::Threaded`) versus the seed interpreter and versus the
+//!    decoded dispatch, on the same suite. The threaded run's
+//!    `vm_cycles` are asserted equal to the decoded run's before any
+//!    number is written: the tiers share one cycle model.
+//! 8. **Multi-tenant service stress** — thousands of mixed
+//!    compile/specialize/execute requests across threads through
+//!    `Engine::execute`, with p50/p99 latency and throughput; plus a
+//!    sharded vs single-lock contention A/B and a cold vs artifact-warm
+//!    compile A/B. Exact stats equalities (one lookup per request, one
+//!    compile per distinct tuple) are asserted inside the experiment.
 //!
 //! ```text
 //! cargo run --release -p vapor-bench --bin engine_bench [out.json] [--baseline=committed.json]
@@ -44,11 +51,9 @@ use std::hint::black_box;
 use std::time::Instant;
 
 use vapor_bench::Engine;
-use vapor_core::{
-    run, run_baseline, run_specialized, run_threaded, run_wide, AllocPolicy, CompileConfig, Flow,
-};
+use vapor_core::{CompileConfig, ExecRequest, Flow, Tier};
 use vapor_kernels::{suite, KernelSpec, Scale, SuiteKind};
-use vapor_targets::{sse, sve, DecodedProgram, VBytes, MAX_VS};
+use vapor_targets::{sse, sve, VBytes, MAX_VS};
 
 /// Best-of-`reps` wall time of `f`, in seconds.
 fn best_secs<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
@@ -119,18 +124,15 @@ fn dispatch_experiment(engine: &Engine) -> Vec<DispatchRow> {
     for spec in dispatch_suite() {
         let kernel = spec.kernel();
         let env = spec.env(Scale::Full);
-        let c = engine.compile(&kernel, flow, &target, &cfg).unwrap();
+        let decoded_req = ExecRequest::new(&kernel, &target, &env)
+            .flow(flow)
+            .config(cfg.clone());
+        let baseline_req = decoded_req.clone().tier(Tier::Baseline);
         // The cycle read doubles as the warmup so the first timed tier
         // does not pay the cold-cache cost of the kernel's arrays.
-        let cycles = run(&target, &c, &env, AllocPolicy::Aligned)
-            .unwrap()
-            .stats
-            .cycles;
-        let baseline_us = best_secs(9, || {
-            run_baseline(&target, &c, &env, AllocPolicy::Aligned).unwrap()
-        }) * 1e6;
-        let decoded_us =
-            best_secs(9, || run(&target, &c, &env, AllocPolicy::Aligned).unwrap()) * 1e6;
+        let cycles = engine.execute(&decoded_req).unwrap().stats.cycles;
+        let baseline_us = best_secs(9, || engine.execute(&baseline_req).unwrap()) * 1e6;
+        let decoded_us = best_secs(9, || engine.execute(&decoded_req).unwrap()) * 1e6;
         rows.push(DispatchRow {
             name: spec.name.to_owned(),
             baseline_us,
@@ -191,11 +193,12 @@ fn regmove_experiment(engine: &Engine) -> Vec<DispatchRow> {
     for spec in dispatch_suite() {
         let kernel = spec.kernel();
         let env = spec.env(Scale::Full);
-        let c = engine.compile(&kernel, flow, &target, &cfg).unwrap();
-        let sized_us = best_secs(5, || run(&target, &c, &env, AllocPolicy::Aligned).unwrap()) * 1e6;
-        let wide_us = best_secs(5, || {
-            run_wide(&target, &c, &env, AllocPolicy::Aligned).unwrap()
-        }) * 1e6;
+        let sized_req = ExecRequest::new(&kernel, &target, &env)
+            .flow(flow)
+            .config(cfg.clone());
+        let wide_req = sized_req.clone().wide_registers(true);
+        let sized_us = best_secs(5, || engine.execute(&sized_req).unwrap()) * 1e6;
+        let wide_us = best_secs(5, || engine.execute(&wide_req).unwrap()) * 1e6;
         rows.push(DispatchRow {
             name: spec.name.to_owned(),
             baseline_us: wide_us,
@@ -214,22 +217,18 @@ fn vla_dispatch_experiment(engine: &Engine) -> Vec<DispatchRow> {
     let cfg = CompileConfig::default();
     let flow = Flow::SplitVectorOpt;
     let vl = 512;
-    let exec = family.at_vl(vl);
     let mut rows = Vec::new();
     for spec in dispatch_suite() {
         let kernel = spec.kernel();
         let env = spec.env(Scale::Full);
-        let (compiled, prog) = engine.specialize(&kernel, flow, &family, &cfg, vl).unwrap();
-        let fast_us = best_secs(5, || {
-            run_specialized(&exec, &compiled, &prog, &env, AllocPolicy::Aligned).unwrap()
-        }) * 1e6;
-        let generic_us = best_secs(5, || {
-            run_baseline(&exec, &compiled, &env, AllocPolicy::Aligned).unwrap()
-        }) * 1e6;
-        let cycles = run_specialized(&exec, &compiled, &prog, &env, AllocPolicy::Aligned)
-            .unwrap()
-            .stats
-            .cycles;
+        let fast_req = ExecRequest::new(&kernel, &family, &env)
+            .flow(flow)
+            .config(cfg.clone())
+            .vl_bits(vl);
+        let generic_req = fast_req.clone().tier(Tier::Baseline);
+        let fast_us = best_secs(5, || engine.execute(&fast_req).unwrap()) * 1e6;
+        let generic_us = best_secs(5, || engine.execute(&generic_req).unwrap()) * 1e6;
+        let cycles = engine.execute(&fast_req).unwrap().stats.cycles;
         rows.push(DispatchRow {
             name: spec.name.to_owned(),
             baseline_us: generic_us,
@@ -250,7 +249,7 @@ struct ThreadedRow {
     cycles: u64,
 }
 
-/// Closure-threaded tier experiment: `Engine::thread` + `run_threaded`
+/// Closure-threaded tier experiment: the threaded tier
 /// versus both the seed interpreter (the speedup the JSON gates) and the
 /// decoded dispatch (the incremental win of this tier). The decoded tier
 /// is the differential oracle, so the threaded run's `ExecStats` are
@@ -259,30 +258,28 @@ fn threaded_experiment(engine: &Engine) -> Vec<ThreadedRow> {
     let target = sse();
     let cfg = CompileConfig::default();
     let flow = Flow::SplitVectorOpt;
-    let vl = target.vs * 8;
     let mut rows = Vec::new();
     for spec in dispatch_suite() {
         let kernel = spec.kernel();
         let env = spec.env(Scale::Full);
-        let (c, prog) = engine.thread(&kernel, flow, &target, &cfg, vl).unwrap();
+        let decoded_req = ExecRequest::new(&kernel, &target, &env)
+            .flow(flow)
+            .config(cfg.clone());
+        let baseline_req = decoded_req.clone().tier(Tier::Baseline);
+        let threaded_req = decoded_req.clone().tier(Tier::Threaded);
         // Oracle check first: it doubles as the warmup, so no tier's
         // timing loop pays the cold-cache cost of touching the kernel's
         // arrays for the first time.
-        let threaded = run_threaded(&target, &c, &prog, &env, AllocPolicy::Aligned).unwrap();
-        let decoded = run(&target, &c, &env, AllocPolicy::Aligned).unwrap();
+        let threaded = engine.execute(&threaded_req).unwrap();
+        let decoded = engine.execute(&decoded_req).unwrap();
         assert_eq!(
             threaded.stats, decoded.stats,
             "{}: threaded tier diverged from the decoded oracle",
             spec.name
         );
-        let baseline_us = best_secs(9, || {
-            run_baseline(&target, &c, &env, AllocPolicy::Aligned).unwrap()
-        }) * 1e6;
-        let decoded_us =
-            best_secs(9, || run(&target, &c, &env, AllocPolicy::Aligned).unwrap()) * 1e6;
-        let threaded_us = best_secs(9, || {
-            run_threaded(&target, &c, &prog, &env, AllocPolicy::Aligned).unwrap()
-        }) * 1e6;
+        let baseline_us = best_secs(9, || engine.execute(&baseline_req).unwrap()) * 1e6;
+        let decoded_us = best_secs(9, || engine.execute(&decoded_req).unwrap()) * 1e6;
+        let threaded_us = best_secs(9, || engine.execute(&threaded_req).unwrap()) * 1e6;
         rows.push(ThreadedRow {
             name: spec.name.to_owned(),
             baseline_us,
@@ -317,12 +314,13 @@ fn fusion_experiment(engine: &Engine) -> Vec<FusionRow> {
     for spec in dispatch_suite() {
         let kernel = spec.kernel();
         let env = spec.env(Scale::Full);
-        let c = engine.compile(&kernel, flow, &target, &cfg).unwrap();
-        let unfused = DecodedProgram::decode_unfused(&c.jit.code, &target).unwrap();
-        let fused_us = best_secs(5, || run(&target, &c, &env, AllocPolicy::Aligned).unwrap()) * 1e6;
-        let unfused_us = best_secs(5, || {
-            run_specialized(&target, &c, &unfused, &env, AllocPolicy::Aligned).unwrap()
-        }) * 1e6;
+        let fused_req = ExecRequest::new(&kernel, &target, &env)
+            .flow(flow)
+            .config(cfg.clone());
+        let unfused_req = fused_req.clone().fused(false);
+        let c = engine.execute(&fused_req).unwrap().compiled;
+        let fused_us = best_secs(5, || engine.execute(&fused_req).unwrap()) * 1e6;
+        let unfused_us = best_secs(5, || engine.execute(&unfused_req).unwrap()) * 1e6;
         let stats = c.jit.decoded.fusion_stats();
         rows.push(FusionRow {
             name: spec.name.to_owned(),
@@ -333,6 +331,236 @@ fn fusion_experiment(engine: &Engine) -> Vec<FusionRow> {
         });
     }
     rows
+}
+
+/// Summary of the multi-tenant service stress experiment.
+struct ServiceSummary {
+    threads: usize,
+    requests: usize,
+    p50_us: f64,
+    p99_us: f64,
+    throughput_rps: f64,
+    pool_reuses: u64,
+    pool_allocs: u64,
+    sharded_contended: u64,
+    single_contended: u64,
+    artifact_cold_us: f64,
+    artifact_warm_us: f64,
+}
+
+/// One planned request of the mixed storm (indices into the spec list;
+/// the plan is built up front so the expected distinct-tuple count — and
+/// therefore the exact miss count — is known before any thread runs).
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+struct PlannedReq {
+    spec: usize,
+    vla: bool,
+    tier: Tier,
+    fused: bool,
+}
+
+/// The service stress section: ≥1k mixed compile/specialize/execute
+/// requests across ≥4 threads against one shared engine, with
+/// per-request latencies (p50/p99), aggregate throughput, an exact
+/// stats-consistency check (hits + misses == requests; misses == the
+/// plan's distinct compile tuples — racing threads must deduplicate
+/// in-flight compiles, never duplicate or lose one), a sharded vs
+/// single-lock contention A/B, and a cold vs artifact-warm compile A/B.
+fn service_experiment() -> ServiceSummary {
+    let threads = std::thread::available_parallelism().map_or(4, |n| n.get().max(4));
+    let per_thread = 300usize;
+    let specs = dispatch_suite();
+    let sse_t = sse();
+    let sve_t = sve();
+    let envs: Vec<_> = specs.iter().map(|s| s.env(Scale::Test)).collect();
+    let kernels: Vec<_> = specs.iter().map(|s| s.kernel()).collect();
+
+    // The deterministic request mix: 50% decoded fixed-width, 20%
+    // runtime-VL specializations, 20% threaded tier, 10% unfused.
+    let plan_for = |tid: usize| -> Vec<PlannedReq> {
+        (0..per_thread)
+            .map(|i| {
+                let spec = (i * 7 + tid) % specs.len();
+                match i % 10 {
+                    0..=4 => PlannedReq {
+                        spec,
+                        vla: false,
+                        tier: Tier::Decoded,
+                        fused: true,
+                    },
+                    5 | 6 => PlannedReq {
+                        spec,
+                        vla: true,
+                        tier: Tier::Decoded,
+                        fused: true,
+                    },
+                    7 | 8 => PlannedReq {
+                        spec,
+                        vla: false,
+                        tier: Tier::Threaded,
+                        fused: true,
+                    },
+                    _ => PlannedReq {
+                        spec,
+                        vla: false,
+                        tier: Tier::Decoded,
+                        fused: false,
+                    },
+                }
+            })
+            .collect()
+    };
+    let plans: Vec<Vec<PlannedReq>> = (0..threads).map(plan_for).collect();
+    // The compile cache keys on (kernel, flow, target, cfg) only — the
+    // tier, fusion, and VL dimensions live in the execution caches — so
+    // the expected misses are the distinct (spec, target) pairs.
+    let distinct: std::collections::HashSet<(usize, bool)> =
+        plans.iter().flatten().map(|p| (p.spec, p.vla)).collect();
+
+    let engine = Engine::new();
+    let issued = threads * per_thread;
+    eprintln!("    storm: {threads} threads x {per_thread} mixed requests ...");
+    let start = Instant::now();
+    let mut latencies: Vec<f64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = plans
+            .iter()
+            .map(|plan| {
+                let engine = &engine;
+                let kernels = &kernels;
+                let envs = &envs;
+                let (sse_t, sve_t) = (&sse_t, &sve_t);
+                scope.spawn(move || {
+                    let mut lats = Vec::with_capacity(plan.len());
+                    for (i, p) in plan.iter().enumerate() {
+                        let target = if p.vla { sve_t } else { sse_t };
+                        let mut req = ExecRequest::new(&kernels[p.spec], target, &envs[p.spec])
+                            .tier(p.tier)
+                            .fused(p.fused);
+                        if p.vla {
+                            req = req.vl_bits([128, 512, 1024, 2048][i % 4]);
+                        }
+                        let t0 = Instant::now();
+                        engine
+                            .execute(&req)
+                            .unwrap_or_else(|e| panic!("{}: {e}", kernels[p.spec].name));
+                        lats.push(t0.elapsed().as_secs_f64() * 1e6);
+                    }
+                    lats
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("storm worker panicked"))
+            .collect()
+    });
+    let wall = start.elapsed().as_secs_f64();
+    let s = engine.stats();
+    // Exact stats equalities: every request is exactly one cache
+    // lookup, every distinct tuple is compiled exactly once (in-flight
+    // dedup), and every request cycles one arena through the pool.
+    assert_eq!(
+        s.hits + s.misses,
+        issued as u64,
+        "every request makes exactly one compile-cache lookup"
+    );
+    assert_eq!(
+        s.misses,
+        distinct.len() as u64,
+        "in-flight dedup: one compile per distinct tuple, none lost or duplicated"
+    );
+    assert_eq!(
+        s.pool_reuses + s.pool_allocs,
+        issued as u64,
+        "every request takes exactly one arena"
+    );
+    latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let pct = |p: f64| latencies[((latencies.len() - 1) as f64 * p) as usize];
+
+    // Contention A/B: the same hit-storm against a default-sharded and a
+    // single-lock engine; failed first-try lock acquisitions are counted
+    // inside the engine. (On a single-core host contention comes from
+    // preemption while a lock is held, so totals are small — the A/B
+    // ratio is the signal, not the absolute count.)
+    let contended = |shards: usize| {
+        let e = Engine::builder().shards(shards).build().unwrap();
+        let cfg = CompileConfig::default();
+        for k in &kernels {
+            e.compile(k, Flow::SplitVectorOpt, &sse_t, &cfg).unwrap();
+        }
+        std::thread::scope(|scope| {
+            for _ in 0..threads.max(8) {
+                let e = &e;
+                let kernels = &kernels;
+                let (cfg, sse_t) = (&cfg, &sse_t);
+                scope.spawn(move || {
+                    for _ in 0..20 {
+                        for k in kernels {
+                            black_box(e.compile(k, Flow::SplitVectorOpt, sse_t, cfg).unwrap());
+                        }
+                    }
+                });
+            }
+        });
+        e.stats().contended_locks
+    };
+    eprintln!("    contention A/B: sharded vs single-lock hit storm ...");
+    let sharded_contended = contended(vapor_core::DEFAULT_SHARDS);
+    let single_contended = contended(1);
+
+    // Artifact tier A/B: cold (full pipeline + write-back) vs warm (a
+    // fresh engine on the same store: offline stage skipped).
+    eprintln!("    artifact tier: cold vs warm process ...");
+    // CI sets VAPOR_ARTIFACT_DIR to keep (and upload) the store the
+    // cold engine writes; unset, the A/B runs in a scratch temp dir.
+    let (dir, keep) = match std::env::var_os("VAPOR_ARTIFACT_DIR") {
+        Some(d) => (std::path::PathBuf::from(d), true),
+        None => (
+            std::env::temp_dir().join(format!("vapor-service-bench-{}", std::process::id())),
+            false,
+        ),
+    };
+    let _ = std::fs::remove_dir_all(&dir);
+    let cfg = CompileConfig::default();
+    let cold_engine = Engine::builder().artifact_dir(&dir).build().unwrap();
+    let t0 = Instant::now();
+    for k in &kernels {
+        cold_engine
+            .compile(k, Flow::SplitVectorOpt, &sse_t, &cfg)
+            .unwrap();
+    }
+    let artifact_cold_us = t0.elapsed().as_secs_f64() * 1e6;
+    let warm_engine = Engine::builder().artifact_dir(&dir).build().unwrap();
+    let t0 = Instant::now();
+    for k in &kernels {
+        warm_engine
+            .compile(k, Flow::SplitVectorOpt, &sse_t, &cfg)
+            .unwrap();
+    }
+    let artifact_warm_us = t0.elapsed().as_secs_f64() * 1e6;
+    let ws = warm_engine.stats();
+    assert_eq!(
+        ws.artifact_hits,
+        kernels.len() as u64,
+        "the warm engine must serve every compile from the artifact store"
+    );
+    if !keep {
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    ServiceSummary {
+        threads,
+        requests: issued,
+        p50_us: pct(0.50),
+        p99_us: pct(0.99),
+        throughput_rps: issued as f64 / wall,
+        pool_reuses: s.pool_reuses,
+        pool_allocs: s.pool_allocs,
+        sharded_contended,
+        single_contended,
+        artifact_cold_us,
+        artifact_warm_us,
+    }
 }
 
 /// Pull a top-level `"key": <number>` out of a committed benchmark JSON
@@ -379,25 +607,25 @@ fn main() {
         .map(str::to_owned);
     let engine = Engine::new();
 
-    eprintln!("[1/7] compilation cache: cold vs hit ...");
+    eprintln!("[1/8] compilation cache: cold vs hit ...");
     let cache = cache_experiment(&engine);
     let cold_total: f64 = cache.iter().map(|r| r.cold_us).sum();
     let hit_total: f64 = cache.iter().map(|r| r.hit_us).sum();
     let cache_speedup = cold_total / hit_total;
 
-    eprintln!("[2/7] VM dispatch: seed interpreter vs pre-decoded ...");
+    eprintln!("[2/8] VM dispatch: seed interpreter vs pre-decoded ...");
     let dispatch = dispatch_experiment(&engine);
     let base_total: f64 = dispatch.iter().map(|r| r.baseline_us).sum();
     let dec_total: f64 = dispatch.iter().map(|r| r.decoded_us).sum();
     let dispatch_speedup = base_total / dec_total;
 
-    eprintln!("[3/7] runtime-VL specialization: re-specialize vs full recompile ...");
+    eprintln!("[3/8] runtime-VL specialization: re-specialize vs full recompile ...");
     let vl_rows = vl_specialize_experiment(&engine);
     let vl_fresh: f64 = vl_rows.iter().map(|r| r.baseline_us).sum();
     let vl_hit: f64 = vl_rows.iter().map(|r| r.decoded_us).sum();
     let vl_speedup = vl_fresh / vl_hit;
 
-    eprintln!("[4/7] register file: target-sized vs seed max-width ...");
+    eprintln!("[4/8] register file: target-sized vs seed max-width ...");
     let regmove = regmove_experiment(&engine);
     let wide_total: f64 = regmove.iter().map(|r| r.baseline_us).sum();
     let sized_total: f64 = regmove.iter().map(|r| r.decoded_us).sum();
@@ -408,25 +636,29 @@ fn main() {
     let regmove_bytes_wide = MAX_VS;
     let regmove_bytes_sized = std::mem::size_of::<VBytes>();
 
-    eprintln!("[5/7] VLA dispatch: generic predicated loop vs fast kernels ...");
+    eprintln!("[5/8] VLA dispatch: generic predicated loop vs fast kernels ...");
     let vla = vla_dispatch_experiment(&engine);
     let vla_base: f64 = vla.iter().map(|r| r.baseline_us).sum();
     let vla_fast: f64 = vla.iter().map(|r| r.decoded_us).sum();
     let vla_dispatch_speedup = vla_base / vla_fast;
 
-    eprintln!("[6/7] superinstruction fusion: fused vs unfused dispatch ...");
+    eprintln!("[6/8] superinstruction fusion: fused vs unfused dispatch ...");
     let fusion = fusion_experiment(&engine);
     let fusion_unfused: f64 = fusion.iter().map(|r| r.unfused_us).sum();
     let fusion_fused: f64 = fusion.iter().map(|r| r.fused_us).sum();
     let fusion_speedup = fusion_unfused / fusion_fused;
 
-    eprintln!("[7/7] closure-threaded tier: seed vs decoded vs threaded ...");
+    eprintln!("[7/8] closure-threaded tier: seed vs decoded vs threaded ...");
     let threaded = threaded_experiment(&engine);
     let thr_base: f64 = threaded.iter().map(|r| r.baseline_us).sum();
     let thr_dec: f64 = threaded.iter().map(|r| r.decoded_us).sum();
     let thr_thr: f64 = threaded.iter().map(|r| r.threaded_us).sum();
     let threaded_speedup = thr_base / thr_thr;
     let threaded_vs_decoded = thr_dec / thr_thr;
+
+    eprintln!("[8/8] multi-tenant service: mixed request storm ...");
+    let service = service_experiment();
+    let artifact_speedup = service.artifact_cold_us / service.artifact_warm_us;
 
     let mut j = String::new();
     j.push_str("{\n");
@@ -539,7 +771,33 @@ fn main() {
             r.cycles
         );
     }
-    j.push_str("  ]\n}\n");
+    j.push_str("  ],\n");
+    j.push_str("  \"service\": {\n");
+    let _ = writeln!(j, "    \"threads\": {},", service.threads);
+    let _ = writeln!(j, "    \"requests\": {},", service.requests);
+    let _ = writeln!(j, "    \"p50_us\": {:.2},", service.p50_us);
+    let _ = writeln!(j, "    \"p99_us\": {:.2},", service.p99_us);
+    let _ = writeln!(j, "    \"throughput_rps\": {:.1},", service.throughput_rps);
+    let _ = writeln!(j, "    \"pool_reuses\": {},", service.pool_reuses);
+    let _ = writeln!(j, "    \"pool_allocs\": {},", service.pool_allocs);
+    let _ = writeln!(
+        j,
+        "    \"sharded_contended\": {},",
+        service.sharded_contended
+    );
+    let _ = writeln!(j, "    \"single_contended\": {},", service.single_contended);
+    let _ = writeln!(
+        j,
+        "    \"artifact_cold_us\": {:.1},",
+        service.artifact_cold_us
+    );
+    let _ = writeln!(
+        j,
+        "    \"artifact_warm_us\": {:.1},",
+        service.artifact_warm_us
+    );
+    let _ = writeln!(j, "    \"artifact_speedup\": {artifact_speedup:.2}");
+    j.push_str("  }\n}\n");
 
     std::fs::write(&out_path, &j).unwrap_or_else(|e| panic!("write {out_path}: {e}"));
     println!("cache-hit compile speedup:    {cache_speedup:.1}x (floor ≥ 10x)");
@@ -558,6 +816,23 @@ fn main() {
         "closure-threaded tier:        {threaded_speedup:.3}x vs seed \
          ({threaded_vs_decoded:.3}x vs decoded, floor ≥ 1.2x)"
     );
+    println!(
+        "service storm:                {} reqs / {} threads, p50 {:.1}us p99 {:.1}us, \
+         {:.0} req/s",
+        service.requests, service.threads, service.p50_us, service.p99_us, service.throughput_rps
+    );
+    println!(
+        "  arena pool:                 {} reuses / {} allocs",
+        service.pool_reuses, service.pool_allocs
+    );
+    println!(
+        "  cache contention (A/B):     {} contended locks sharded vs {} single-lock",
+        service.sharded_contended, service.single_contended
+    );
+    println!(
+        "  artifact tier warm start:   {artifact_speedup:.2}x ({:.0}us cold -> {:.0}us warm)",
+        service.artifact_cold_us, service.artifact_warm_us
+    );
     println!("wrote {out_path}");
 
     // Regression gate: absolute floors, tightened by the committed
@@ -575,6 +850,9 @@ fn main() {
     // per-kernel superinstruction counts is what catches a silently
     // weakened pass exactly.
     let mut fusion_floor: f64 = 0.95;
+    // No absolute floor for the service storm (throughput is
+    // host-dependent); a committed baseline sets the 70% wall floor.
+    let mut service_floor: f64 = 0.0;
     if let Some(path) = baseline_path {
         let text =
             std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read baseline {path}: {e}"));
@@ -595,6 +873,10 @@ fn main() {
         // Present only in baselines recorded after the threaded-tier PR.
         if let Some(base_threaded) = json_number(&text, "threaded_speedup") {
             threaded_floor = threaded_floor.max(0.7 * base_threaded);
+        }
+        // Present only in baselines recorded after the service PR.
+        if let Some(base_service) = json_number(&text, "throughput_rps") {
+            service_floor = 0.7 * base_service;
         }
         println!(
             "baseline {path}: cache {base_cache:.1}x, dispatch {base_dispatch:.3}x \
@@ -677,6 +959,25 @@ fn main() {
         eprintln!(
             "REGRESSION: threaded-tier speedup {threaded_speedup:.3}x < threshold \
              {threaded_floor:.3}x"
+        );
+        fail = true;
+    }
+    if service.throughput_rps < service_floor {
+        eprintln!(
+            "REGRESSION: service throughput {:.0} req/s < threshold {service_floor:.0} req/s",
+            service.throughput_rps
+        );
+        fail = true;
+    }
+    // The sharded cache must never contend *more* than the single-lock
+    // configuration under the same hit storm. (Exact stats equalities —
+    // lookups, dedup'd misses, arena cycling — are asserted inside
+    // service_experiment itself.)
+    if service.single_contended < service.sharded_contended {
+        eprintln!(
+            "REGRESSION: sharded cache contended {} times vs {} for a single lock \
+             under the same hit storm",
+            service.sharded_contended, service.single_contended
         );
         fail = true;
     }

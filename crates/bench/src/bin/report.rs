@@ -108,9 +108,9 @@ fn main() {
         std::process::exit(2);
     }
 
-    const EXPERIMENTS: [&str; 11] = [
+    const EXPERIMENTS: [&str; 12] = [
         "fig5a", "fig5b", "ablation", "realign", "size", "fig6a", "fig6b", "fig6c", "table3",
-        "vla", "vmperf",
+        "vla", "vmperf", "service",
     ];
     let wanted: Vec<&str> = args
         .iter()
@@ -338,6 +338,15 @@ fn main() {
         print_vmperf(&engine, scale);
     }
 
+    if want("service") && target_filter.is_none() {
+        // Rendered from the committed BENCH_engine.json (the storm takes
+        // minutes at bench scale; `engine_bench` is its producer). A
+        // *requested* section that is absent is a hard error — a report
+        // that silently prints nothing would hide a stale benchmark file
+        // from CI.
+        printed |= print_service(wanted.contains(&"service"));
+    }
+
     if !printed {
         eprintln!(
             "nothing to report: no experiment matches the given filters. \
@@ -363,7 +372,7 @@ fn main() {
 /// loop on a runtime-VL machine, and what the superinstruction fusion
 /// pass collapses per kernel.
 fn print_vmperf(engine: &Engine, scale: Scale) {
-    use vapor_core::{run, run_baseline, run_specialized, run_threaded, AllocPolicy};
+    use vapor_core::{ExecRequest, Tier};
     use vapor_targets::{VBytes, MAX_VS};
 
     let sized = std::mem::size_of::<VBytes>();
@@ -398,7 +407,6 @@ fn print_vmperf(engine: &Engine, scale: Scale) {
 
     let family = sve();
     let vl = 512;
-    let exec = family.at_vl(vl);
     let cfg = CompileConfig::default();
     let mut rows = Vec::new();
     let mut ratios = Vec::new();
@@ -408,11 +416,10 @@ fn print_vmperf(engine: &Engine, scale: Scale) {
         }
         let kernel = spec.kernel();
         let env = spec.env(scale);
-        let Ok((compiled, prog)) =
-            engine.specialize(&kernel, vapor_core::Flow::SplitVectorOpt, &family, &cfg, vl)
-        else {
+        let fast_req = ExecRequest::new(&kernel, &family, &env).vl_bits(vl);
+        if engine.execute(&fast_req).is_err() {
             continue;
-        };
+        }
         let timed = |f: &mut dyn FnMut()| {
             let mut best = f64::INFINITY;
             for _ in 0..3 {
@@ -422,11 +429,12 @@ fn print_vmperf(engine: &Engine, scale: Scale) {
             }
             best * 1e6
         };
+        let generic_req = fast_req.clone().tier(Tier::Baseline);
         let fast = timed(&mut || {
-            run_specialized(&exec, &compiled, &prog, &env, AllocPolicy::Aligned).unwrap();
+            engine.execute(&fast_req).unwrap();
         });
         let generic = timed(&mut || {
-            run_baseline(&exec, &compiled, &env, AllocPolicy::Aligned).unwrap();
+            engine.execute(&generic_req).unwrap();
         });
         ratios.push(generic / fast);
         rows.push(vec![
@@ -467,7 +475,10 @@ fn print_vmperf(engine: &Engine, scale: Scale) {
         }
         let kernel = spec.kernel();
         let env = spec.env(scale);
-        let Ok((compiled, prog)) = engine.thread(
+        // The threaded program itself is still fetched for its stream
+        // inventory (the "streams" column); the timings all go through
+        // `Engine::execute`.
+        let Ok((_, prog)) = engine.thread(
             &kernel,
             vapor_core::Flow::SplitVectorOpt,
             &target,
@@ -485,14 +496,17 @@ fn print_vmperf(engine: &Engine, scale: Scale) {
             }
             best * 1e6
         };
+        let dec_req = ExecRequest::new(&kernel, &target, &env);
+        let seed_req = dec_req.clone().tier(Tier::Baseline);
+        let thr_req = dec_req.clone().tier(Tier::Threaded);
         let seed = timed(&mut || {
-            run_baseline(&target, &compiled, &env, AllocPolicy::Aligned).unwrap();
+            engine.execute(&seed_req).unwrap();
         });
         let dec = timed(&mut || {
-            run(&target, &compiled, &env, AllocPolicy::Aligned).unwrap();
+            engine.execute(&dec_req).unwrap();
         });
         let thr = timed(&mut || {
-            run_threaded(&target, &compiled, &prog, &env, AllocPolicy::Aligned).unwrap();
+            engine.execute(&thr_req).unwrap();
         });
         dec_ratios.push(seed / dec);
         thr_ratios.push(seed / thr);
@@ -577,6 +591,127 @@ fn print_vmperf(engine: &Engine, scale: Scale) {
          the predicated VLA form (ld.vl+op.vl+st.vl) fuses on the SVE/RVV family \
          (wall-clock fused-vs-unfused recorded in BENCH_engine.json)\n"
     );
+
+    // The service-layer view of the same engine: how the sharded,
+    // bounded compile cache and the arena pool behaved under everything
+    // this report just ran.
+    let s = engine.stats();
+    let rows = vec![
+        vec![
+            "compile cache".to_string(),
+            format!("{} entries / {} shards", s.entries, s.shards),
+            format!("{} hits, {} misses", s.hits, s.misses),
+            format!("{} evicted", s.evictions),
+        ],
+        vec![
+            "execution caches".to_string(),
+            format!("{} VL + {} threaded", s.vl_entries, s.threaded_entries),
+            "-".to_string(),
+            format!("{} evicted", s.exec_evictions),
+        ],
+        vec![
+            "lock contention".to_string(),
+            format!("{} contended acquisitions", s.contended_locks),
+            "-".to_string(),
+            "-".to_string(),
+        ],
+        vec![
+            "arena pool".to_string(),
+            format!("{} pooled reuses", s.pool_reuses),
+            format!("{} fresh allocations", s.pool_allocs),
+            "-".to_string(),
+        ],
+    ];
+    println!(
+        "{}",
+        format_table(
+            "Engine service layer — shard, eviction, and pooling counters for this run",
+            &["subsystem", "size", "traffic", "evictions"],
+            &rows
+        )
+    );
+}
+
+/// Pull a `"key": <number>` out of the committed benchmark JSON (no
+/// serde in the offline container; the format is `engine_bench`'s own
+/// writer's).
+fn json_number(text: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let at = text.find(&pat)? + pat.len();
+    let rest = text[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Render the multi-tenant service section of the committed
+/// `BENCH_engine.json`. Returns whether anything was printed; when the
+/// section was explicitly requested (`strict`) a missing file or a
+/// baseline predating the service PR exits non-zero instead of silently
+/// reporting nothing.
+fn print_service(strict: bool) -> bool {
+    let path = "BENCH_engine.json";
+    let missing = |what: &str| {
+        if strict {
+            eprintln!(
+                "service: {what} — regenerate with \
+                 `cargo run --release -p vapor-bench --bin engine_bench`"
+            );
+            std::process::exit(1);
+        }
+        false
+    };
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return missing(&format!("{path} not found"));
+    };
+    let Some(at) = text.find("\"service\":") else {
+        return missing(&format!("no \"service\" section in {path}"));
+    };
+    let sec = &text[at..];
+    let num = |key: &str| {
+        json_number(sec, key).unwrap_or_else(|| panic!("service section of {path} lacks \"{key}\""))
+    };
+    let rows = vec![
+        vec![
+            "mixed request storm".to_string(),
+            format!("{} requests / {} threads", num("requests"), num("threads")),
+            format!("{:.0} req/s", num("throughput_rps")),
+        ],
+        vec![
+            "latency".to_string(),
+            format!("p50 {:.1} µs", num("p50_us")),
+            format!("p99 {:.1} µs", num("p99_us")),
+        ],
+        vec![
+            "arena pool".to_string(),
+            format!("{} reuses", num("pool_reuses")),
+            format!("{} allocs", num("pool_allocs")),
+        ],
+        vec![
+            "cache contention A/B".to_string(),
+            format!("sharded: {} contended", num("sharded_contended")),
+            format!("single lock: {} contended", num("single_contended")),
+        ],
+        vec![
+            "artifact tier A/B".to_string(),
+            format!(
+                "cold {:.0} µs, warm {:.0} µs",
+                num("artifact_cold_us"),
+                num("artifact_warm_us")
+            ),
+            format!("{:.2}x warm-start speedup", num("artifact_speedup")),
+        ],
+    ];
+    println!(
+        "{}",
+        format_table(
+            &format!("Multi-tenant compile service — committed {path} stress section"),
+            &["metric", "value", "value"],
+            &rows
+        )
+    );
+    true
 }
 
 fn print_vla(engine: &Engine, family: &TargetDesc, scale: Scale) {

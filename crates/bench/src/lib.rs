@@ -10,7 +10,7 @@
 
 use std::collections::BTreeMap;
 
-use vapor_core::{run, run_specialized, AllocPolicy, CompileConfig, Flow};
+use vapor_core::{CompileConfig, ExecRequest, Flow};
 
 pub use vapor_core::{CompileJob, Engine};
 use vapor_ir::Kernel;
@@ -32,10 +32,12 @@ pub fn cycles(
     env: &vapor_ir::Bindings,
     cfg: &CompileConfig,
 ) -> u64 {
-    let c = engine
-        .compile(kernel, flow, target, cfg)
-        .unwrap_or_else(|e| panic!("{} [{flow}]: {e}", kernel.name));
-    run(target, &c, env, AllocPolicy::Aligned)
+    engine
+        .execute(
+            &ExecRequest::new(kernel, target, env)
+                .flow(flow)
+                .config(cfg.clone()),
+        )
         .unwrap_or_else(|e| panic!("{} [{flow} on {}]: {e}", kernel.name, target.name))
         .stats
         .cycles
@@ -184,8 +186,9 @@ pub fn table3(engine: &Engine, scale: Scale) -> Vec<Table3Row> {
         let oracle = vapor_core::reference(&kernel, &env).unwrap();
         let mut validated = true;
         for flow in [Flow::NativeVector, Flow::SplitVectorOpt] {
-            let c = engine.compile(&kernel, flow, &target, &cfg).unwrap();
-            let r = run(&target, &c, &env, AllocPolicy::Aligned).unwrap();
+            let r = engine
+                .execute(&ExecRequest::new(&kernel, &target, &env).flow(flow))
+                .unwrap();
             for (name, expected) in oracle.arrays() {
                 if vapor_core::arrays_match(expected, r.out.array(name).unwrap(), 2e-4).is_err() {
                     validated = false;
@@ -324,15 +327,17 @@ pub fn cycles_at_vl(
     env: &vapor_ir::Bindings,
     cfg: &CompileConfig,
 ) -> u64 {
-    let (compiled, prog) = engine
-        .specialize(kernel, flow, family, cfg, vl_bits)
-        .unwrap_or_else(|e| panic!("{} [{flow} @VL={vl_bits}]: {e}", kernel.name));
-    let exec = family.at_vl(vl_bits);
-    run_specialized(&exec, &compiled, &prog, env, AllocPolicy::Aligned)
+    engine
+        .execute(
+            &ExecRequest::new(kernel, family, env)
+                .flow(flow)
+                .config(cfg.clone())
+                .vl_bits(vl_bits),
+        )
         .unwrap_or_else(|e| {
             panic!(
                 "{} [{flow} on {} @VL={vl_bits}]: {e}",
-                kernel.name, exec.name
+                kernel.name, family.name
             )
         })
         .stats

@@ -1,5 +1,5 @@
 //! The compilation engine: a persistent, thread-safe service wrapping
-//! the end-to-end pipeline behind a content-addressed cache.
+//! the end-to-end pipeline behind a sharded, content-addressed cache.
 //!
 //! The paper's story is "vectorize once, run everywhere": the offline
 //! artifact is produced once and consumed by many online consumers. The
@@ -8,33 +8,52 @@
 //! hopeless for a service. [`Engine`] gives the repo the shape the
 //! related retargeting systems (Revec, SIMD-everywhere) have: a
 //! translation step that is computed once per distinct input and then
-//! shared.
+//! shared — and, since the multi-tenant rework, served concurrently:
 //!
 //! * **Content-addressed**: the cache key is a fingerprint of the kernel
 //!   *source text* (via the round-trip-stable pretty printer) plus the
-//!   [`Flow`], target name, and [`CompileConfig`] — two structurally
-//!   identical kernels hit the same entry no matter how they were built.
-//! * **Shared results**: values are `Arc<Compiled>`; a cache hit is a map
-//!   lookup returning the same allocation (pointer-equal), and the
-//!   pre-decoded VM program inside is shared with it.
-//! * **Concurrent**: [`Engine::compile_batch`] fans a set of compilation
-//!   jobs across `std::thread::scope` workers; the cache map is behind an
-//!   `RwLock`, and racing compilations of the same key are reconciled so
-//!   every caller observes one canonical `Arc` per key.
+//!   [`Flow`], target fingerprint, and [`CompileConfig`] — two
+//!   structurally identical kernels hit the same entry no matter how
+//!   they were built.
+//! * **Sharded**: the compile cache is split N ways by key hash
+//!   ([`EngineBuilder::shards`]); concurrent compiles and cache hits on
+//!   different shards never touch the same lock. Contended lock
+//!   acquisitions are counted ([`EngineStats::contended_locks`]) so the
+//!   sharding win is *measurable*, not folklore.
+//! * **Bounded**: every tier (compile, per-VL decode, threaded,
+//!   unfused) evicts least-recently-used entries at its configured
+//!   capacity, with evictions counted per tier.
+//! * **Pooled execution**: [`Engine::execute`] recycles machine memory
+//!   arenas through a bounded pool, so steady-state concurrent
+//!   executions stop allocating megabytes per request.
+//! * **Persistent**: with an artifact store attached
+//!   ([`EngineBuilder::artifact_dir`]), compile misses first consult an
+//!   on-disk store of encoded offline artifacts keyed by the content
+//!   hash; a warm process (or a fleet member sharing the directory)
+//!   skips the offline stage and pays only the online compile. Corrupt
+//!   or truncated artifacts are rejected by checksum and recompiled.
+//! * **Deduplicated**: racing compilations of the same key wait on the
+//!   first compiler (per-shard in-flight sets) so a thundering herd
+//!   runs the pipeline once, and every caller observes one canonical
+//!   `Arc` per key.
 
 use std::collections::{HashMap, HashSet};
+use std::hash::{Hash, Hasher};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, TryLockError};
+use std::time::Instant;
 
 use vapor_ir::Kernel;
 use vapor_targets::{DecodedProgram, TargetDesc, ThreadedProgram};
 
+use crate::artifact::{fnv1a_128, ArtifactStore};
 use crate::pipeline::{self, CompileConfig, Compiled, Flow, PipelineError};
 
 /// Cache key: kernel content fingerprint + everything else that affects
 /// the generated code.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
-struct CacheKey {
+pub(crate) struct CacheKey {
     /// 128-bit FNV-1a over the pretty-printed kernel (round-trip-stable,
     /// so this is a fingerprint of the kernel's *content*).
     kernel_fp: u128,
@@ -47,18 +66,25 @@ struct CacheKey {
     cfg: CompileConfig,
 }
 
-/// 128-bit FNV-1a (collision odds are negligible at suite scale, and a
-/// collision would only ever return a wrong — still valid — kernel to a
-/// caller that manufactured it deliberately).
-fn fnv1a_128(bytes: &[u8]) -> u128 {
-    const OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
-    const PRIME: u128 = 0x0000000001000000000000000000013b;
-    let mut h = OFFSET;
-    for &b in bytes {
-        h ^= b as u128;
-        h = h.wrapping_mul(PRIME);
+impl CacheKey {
+    /// The stable 128-bit identity of this key for the on-disk artifact
+    /// store (filenames must not depend on in-process hasher state).
+    fn artifact_id(&self) -> u128 {
+        fnv1a_128(
+            format!(
+                "{:032x}|{:?}|{:032x}|{:?}",
+                self.kernel_fp, self.flow, self.target_fp, self.cfg
+            )
+            .as_bytes(),
+        )
     }
-    h
+
+    /// Which of `n` shards this key lives in.
+    fn shard(&self, n: usize) -> usize {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.hash(&mut h);
+        (h.finish() % n as u64) as usize
+    }
 }
 
 /// Fingerprint a kernel's content.
@@ -96,21 +122,51 @@ impl<'a> CompileJob<'a> {
     }
 }
 
-/// Counters of the engine's cache behavior.
+/// Counters of the engine's cache, artifact-tier, and pool behavior.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct EngineStats {
-    /// Compilations answered from the cache.
+    /// Compilations answered from the in-memory cache.
     pub hits: u64,
-    /// Compilations that ran the pipeline.
+    /// Compilations that missed the in-memory cache (they ran the
+    /// online stage at least; with an artifact hit they skipped the
+    /// offline stage).
     pub misses: u64,
-    /// Entries currently cached.
+    /// Entries currently cached across all shards.
     pub entries: usize,
+    /// Compile-cache shard count.
+    pub shards: usize,
+    /// Compiled entries evicted (LRU) across all shards.
+    pub evictions: u64,
+    /// Execution-form entries evicted (LRU) across the per-VL decode,
+    /// threaded, and unfused caches.
+    pub exec_evictions: u64,
+    /// Shard-map lock acquisitions that found the lock held (the
+    /// contention the sharding exists to kill; compare shards=1 vs
+    /// shards=N under identical load).
+    pub contended_locks: u64,
+    /// Total nanoseconds spent compiling on the miss path (divide by
+    /// `misses` for the mean compile latency).
+    pub compile_ns: u64,
+    /// Misses served from the on-disk artifact store (offline stage
+    /// skipped).
+    pub artifact_hits: u64,
+    /// Misses that found no artifact on disk.
+    pub artifact_misses: u64,
+    /// Artifacts present but rejected (bad magic/truncation/checksum or
+    /// undecodable payload) and recompiled from source.
+    pub artifact_rejects: u64,
+    /// Artifacts written to the store.
+    pub artifact_writes: u64,
     /// Runtime-VL execution specializations currently cached (the VL
     /// dimension exists only here, never in the compile cache).
     pub vl_entries: usize,
     /// Closure-threaded execution programs currently cached (the tier
     /// below the decoded programs; see [`Engine::thread`]).
     pub threaded_entries: usize,
+    /// Executions that reused a pooled memory arena.
+    pub pool_reuses: u64,
+    /// Executions that allocated a fresh arena (pool empty).
+    pub pool_allocs: u64,
 }
 
 /// Default bound on the per-VL decode cache. VL specializations are
@@ -120,29 +176,40 @@ pub struct EngineStats {
 /// without limit.
 pub const VL_CACHE_CAPACITY: usize = 64;
 
-/// A tiny LRU map over per-VL execution forms: a `HashMap` plus a
-/// monotone use-stamp per entry. Lookups are O(1); the eviction scan is
-/// O(n) over at most `cap` entries, which at the capacities used here
-/// (tens) is cheaper than maintaining an intrusive list. Generic over
-/// the cached value so the decoded and threaded tiers share one
-/// implementation.
+/// Default compile-cache shard count.
+pub const DEFAULT_SHARDS: usize = 8;
+
+/// Default bound on cached compilations (total, across shards).
+pub const COMPILE_CACHE_CAPACITY: usize = 4096;
+
+/// Default bound on pooled execution arenas.
+pub const ARENA_POOL_CAPACITY: usize = 8;
+
+/// A tiny LRU map: a `HashMap` plus a monotone use-stamp per entry.
+/// Lookups are O(1); the eviction scan is O(n) over at most `cap`
+/// entries, which at the capacities used here (tens to a few thousand)
+/// is cheaper than maintaining an intrusive list. Generic over key and
+/// value so the compile shards and the decoded/threaded/unfused
+/// execution tiers share one implementation.
 #[derive(Debug)]
-struct Lru<V> {
-    map: HashMap<(CacheKey, u32), (Arc<V>, u64)>,
+struct Lru<K, V> {
+    map: HashMap<K, (Arc<V>, u64)>,
     tick: u64,
     cap: usize,
+    evictions: u64,
 }
 
-impl<V> Lru<V> {
-    fn new(cap: usize) -> Lru<V> {
+impl<K: Eq + Hash + Clone, V> Lru<K, V> {
+    fn new(cap: usize) -> Lru<K, V> {
         Lru {
             map: HashMap::new(),
             tick: 0,
             cap: cap.max(1),
+            evictions: 0,
         }
     }
 
-    fn get(&mut self, key: &(CacheKey, u32)) -> Option<Arc<V>> {
+    fn get(&mut self, key: &K) -> Option<Arc<V>> {
         self.tick += 1;
         let tick = self.tick;
         self.map.get_mut(key).map(|(v, stamp)| {
@@ -154,7 +221,7 @@ impl<V> Lru<V> {
     /// Insert, evicting the least-recently-used entry when full. Like
     /// `entry().or_insert()`, a racing earlier insert wins: the caller
     /// gets the canonical `Arc`.
-    fn insert(&mut self, key: (CacheKey, u32), value: Arc<V>) -> Arc<V> {
+    fn insert(&mut self, key: K, value: Arc<V>) -> Arc<V> {
         self.tick += 1;
         if let Some((v, stamp)) = self.map.get_mut(&key) {
             *stamp = self.tick;
@@ -167,7 +234,10 @@ impl<V> Lru<V> {
                 .min_by_key(|(_, (_, stamp))| *stamp)
                 .map(|(k, _)| k.clone());
             match lru {
-                Some(k) => self.map.remove(&k),
+                Some(k) => {
+                    self.map.remove(&k);
+                    self.evictions += 1;
+                }
                 None => break,
             };
         }
@@ -176,78 +246,258 @@ impl<V> Lru<V> {
     }
 }
 
+/// One compile-cache shard: a bounded LRU of compiled artifacts plus
+/// the in-flight set that deduplicates racing compilations of one key.
+#[derive(Debug)]
+struct Shard {
+    map: Mutex<Lru<CacheKey, Compiled>>,
+    /// Keys currently being compiled in this shard, so concurrent
+    /// requests for the same tuple wait for the first compiler instead
+    /// of duplicating the whole pipeline run.
+    inflight: Mutex<HashSet<CacheKey>>,
+    inflight_done: Condvar,
+}
+
+/// Configuration of an [`Engine`], built by [`Engine::builder`].
+#[derive(Debug, Clone)]
+pub struct EngineBuilder {
+    shards: usize,
+    compile_capacity: usize,
+    vl_capacity: usize,
+    threaded_capacity: usize,
+    pool_capacity: usize,
+    artifact_dir: Option<PathBuf>,
+}
+
+impl Default for EngineBuilder {
+    fn default() -> EngineBuilder {
+        EngineBuilder {
+            shards: DEFAULT_SHARDS,
+            compile_capacity: COMPILE_CACHE_CAPACITY,
+            vl_capacity: VL_CACHE_CAPACITY,
+            threaded_capacity: VL_CACHE_CAPACITY,
+            pool_capacity: ARENA_POOL_CAPACITY,
+            artifact_dir: None,
+        }
+    }
+}
+
+impl EngineBuilder {
+    /// Compile-cache shard count (default [`DEFAULT_SHARDS`]). One
+    /// shard reproduces the old single-lock cache — the A/B baseline
+    /// the service benchmark measures contention against.
+    pub fn shards(mut self, n: usize) -> EngineBuilder {
+        self.shards = n.max(1);
+        self
+    }
+
+    /// Total bound on cached compilations across all shards (default
+    /// [`COMPILE_CACHE_CAPACITY`]). Each shard holds its proportional
+    /// slice; LRU entries are evicted past it.
+    pub fn compile_cache_capacity(mut self, cap: usize) -> EngineBuilder {
+        self.compile_capacity = cap.max(1);
+        self
+    }
+
+    /// Bound on the per-VL decode LRU (default [`VL_CACHE_CAPACITY`]).
+    pub fn vl_cache_capacity(mut self, cap: usize) -> EngineBuilder {
+        self.vl_capacity = cap.max(1);
+        self
+    }
+
+    /// Bound on the closure-threaded program LRU (default
+    /// [`VL_CACHE_CAPACITY`]).
+    pub fn threaded_cache_capacity(mut self, cap: usize) -> EngineBuilder {
+        self.threaded_capacity = cap.max(1);
+        self
+    }
+
+    /// Bound on the pooled execution arenas kept for reuse (default
+    /// [`ARENA_POOL_CAPACITY`]). Zero disables pooling.
+    pub fn arena_pool_capacity(mut self, cap: usize) -> EngineBuilder {
+        self.pool_capacity = cap;
+        self
+    }
+
+    /// Attach the persistent artifact tier rooted at `dir`: compile
+    /// misses consult the on-disk store before running the offline
+    /// stage, and fresh offline artifacts are written back. Several
+    /// engines (processes) may share one directory — that is the
+    /// "simulated fleet" sharing compiles across restarts.
+    pub fn artifact_dir(mut self, dir: impl Into<PathBuf>) -> EngineBuilder {
+        self.artifact_dir = Some(dir.into());
+        self
+    }
+
+    /// Build the engine.
+    ///
+    /// # Errors
+    /// Fails only when an artifact directory was requested but cannot
+    /// be created/opened.
+    pub fn build(self) -> Result<Engine, PipelineError> {
+        let artifacts = match &self.artifact_dir {
+            Some(dir) => Some(
+                ArtifactStore::open(dir)
+                    .map_err(|e| PipelineError(format!("artifact store {}: {e}", dir.display())))?,
+            ),
+            None => None,
+        };
+        let per_shard = self.compile_capacity.div_ceil(self.shards).max(1);
+        let shards = (0..self.shards)
+            .map(|_| Shard {
+                map: Mutex::new(Lru::new(per_shard)),
+                inflight: Mutex::new(HashSet::new()),
+                inflight_done: Condvar::new(),
+            })
+            .collect();
+        Ok(Engine {
+            shards,
+            vl_cache: Mutex::new(Lru::new(self.vl_capacity)),
+            threaded_cache: Mutex::new(Lru::new(self.threaded_capacity)),
+            unfused_cache: Mutex::new(Lru::new(self.vl_capacity)),
+            artifacts,
+            arena_pool: Mutex::new(Vec::new()),
+            pool_capacity: self.pool_capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            contended: AtomicU64::new(0),
+            compile_ns: AtomicU64::new(0),
+            artifact_hits: AtomicU64::new(0),
+            artifact_misses: AtomicU64::new(0),
+            artifact_rejects: AtomicU64::new(0),
+            artifact_writes: AtomicU64::new(0),
+            pool_reuses: AtomicU64::new(0),
+            pool_allocs: AtomicU64::new(0),
+        })
+    }
+}
+
 /// A persistent compilation service. Cheap to share by reference across
 /// threads (`&Engine` is `Send + Sync`); create one per process (or per
 /// tenant) and route every compilation through it.
 #[derive(Debug)]
 pub struct Engine {
-    cache: RwLock<HashMap<CacheKey, Arc<Compiled>>>,
+    /// The sharded compile cache (see [`EngineBuilder::shards`]).
+    shards: Box<[Shard]>,
     /// Execution specializations of VLA compilations: the *same*
     /// `Arc<Compiled>` artifact, re-specialized per concrete runtime
     /// vector length. Keyed by the compile key *plus* the VL — "compile
     /// once" stays intact because the VL dimension first appears here.
     /// Bounded (LRU): see [`VL_CACHE_CAPACITY`].
-    vl_cache: Mutex<Lru<DecodedProgram>>,
+    vl_cache: Mutex<Lru<(CacheKey, u32), DecodedProgram>>,
     /// Closure-threaded lowerings of specialized programs, keyed like
     /// the VL cache. Unlike decoded specializations, fixed-width
     /// entries live here too: threading is a real lowering pass (region
     /// construction, stream analysis, arena layout), not a free
     /// `Arc` clone of a baked-in artifact.
-    threaded_cache: Mutex<Lru<ThreadedProgram>>,
-    /// Keys currently being compiled, so concurrent requests for the
-    /// same tuple wait for the first compiler instead of duplicating
-    /// the whole pipeline run.
-    inflight: Mutex<HashSet<CacheKey>>,
-    inflight_done: Condvar,
+    threaded_cache: Mutex<Lru<(CacheKey, u32), ThreadedProgram>>,
+    /// Unfused decodes (one step per instruction), keyed like the VL
+    /// cache — the `fused(false)` execution option of
+    /// [`crate::ExecRequest`], cached so fusion-ablation request storms
+    /// do not re-decode per request.
+    unfused_cache: Mutex<Lru<(CacheKey, u32), DecodedProgram>>,
+    /// The persistent artifact tier, when attached.
+    artifacts: Option<ArtifactStore>,
+    /// Recycled machine memory arenas for [`Engine::execute`].
+    arena_pool: Mutex<Vec<Vec<u8>>>,
+    pool_capacity: usize,
     hits: AtomicU64,
     misses: AtomicU64,
+    contended: AtomicU64,
+    compile_ns: AtomicU64,
+    artifact_hits: AtomicU64,
+    artifact_misses: AtomicU64,
+    artifact_rejects: AtomicU64,
+    artifact_writes: AtomicU64,
+    pool_reuses: AtomicU64,
+    pool_allocs: AtomicU64,
 }
 
 impl Default for Engine {
     fn default() -> Engine {
-        Engine::with_vl_cache_capacity(VL_CACHE_CAPACITY)
+        Engine::builder()
+            .build()
+            .expect("default engine has no artifact dir to fail on")
     }
 }
 
-/// Removes a key from the in-flight set (and wakes waiters) when the
-/// compiling thread finishes — on success, error, or panic.
+/// Removes a key from a shard's in-flight set (and wakes waiters) when
+/// the compiling thread finishes — on success, error, or panic.
 struct InflightGuard<'e> {
-    engine: &'e Engine,
+    shard: &'e Shard,
     key: CacheKey,
 }
 
 impl Drop for InflightGuard<'_> {
     fn drop(&mut self) {
-        let mut inflight = self.engine.inflight.lock().expect("inflight set poisoned");
+        let mut inflight = self.shard.inflight.lock().expect("inflight set poisoned");
         inflight.remove(&self.key);
-        self.engine.inflight_done.notify_all();
+        self.shard.inflight_done.notify_all();
     }
 }
 
 impl Engine {
-    /// An engine with an empty cache.
+    /// An engine with the default configuration (see [`EngineBuilder`]).
     pub fn new() -> Engine {
         Engine::default()
     }
 
-    /// An engine whose per-VL decode cache holds at most `cap` entries
-    /// (the compile cache stays unbounded — compiled artifacts are the
-    /// expensive, shared resource; VL decodes are cheap to rebuild).
+    /// Start configuring an engine: shard count, per-tier capacities,
+    /// artifact-store path, arena pool.
+    pub fn builder() -> EngineBuilder {
+        EngineBuilder::default()
+    }
+
+    /// **Deprecated** legacy constructor: an engine whose per-VL decode
+    /// cache holds at most `cap` entries. Use
+    /// `Engine::builder().vl_cache_capacity(cap).build()` — the builder
+    /// also exposes shard count, compile-cache bound, and the artifact
+    /// tier, none of which this constructor can reach.
     pub fn with_vl_cache_capacity(cap: usize) -> Engine {
-        Engine {
-            cache: RwLock::new(HashMap::new()),
-            vl_cache: Mutex::new(Lru::new(cap)),
-            threaded_cache: Mutex::new(Lru::new(cap)),
-            inflight: Mutex::new(HashSet::new()),
-            inflight_done: Condvar::new(),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
+        Engine::builder()
+            .vl_cache_capacity(cap)
+            .threaded_cache_capacity(cap)
+            .build()
+            .expect("no artifact dir to fail on")
+    }
+
+    /// Lock a shard map, counting contention: a lock found held is
+    /// exactly what the sharding exists to make rare, so every blocked
+    /// acquisition increments [`EngineStats::contended_locks`].
+    fn lock_shard<'a>(&self, shard: &'a Shard) -> MutexGuard<'a, Lru<CacheKey, Compiled>> {
+        match shard.map.try_lock() {
+            Ok(g) => g,
+            Err(TryLockError::WouldBlock) => {
+                self.contended.fetch_add(1, Ordering::Relaxed);
+                shard.map.lock().expect("engine cache poisoned")
+            }
+            Err(TryLockError::Poisoned(_)) => panic!("engine cache poisoned"),
+        }
+    }
+
+    pub(crate) fn key(
+        &self,
+        kernel: &Kernel,
+        flow: Flow,
+        target: &TargetDesc,
+        cfg: &CompileConfig,
+    ) -> CacheKey {
+        CacheKey {
+            kernel_fp: fingerprint(kernel),
+            flow,
+            target_fp: target_fingerprint(target),
+            cfg: cfg.clone(),
         }
     }
 
     /// Compile through the cache: on a hit, returns the *same*
     /// `Arc<Compiled>` as every previous call with an identical
     /// (kernel content, flow, target, config) tuple.
+    ///
+    /// On a miss, the persistent artifact tier (when attached) is
+    /// consulted first: a valid on-disk artifact skips the offline
+    /// stage; an absent one triggers the full pipeline and a
+    /// write-back; a corrupt one is rejected and recompiled.
     ///
     /// # Errors
     /// Propagates [`PipelineError`]s from any stage. Failures are not
@@ -260,40 +510,82 @@ impl Engine {
         target: &TargetDesc,
         cfg: &CompileConfig,
     ) -> Result<Arc<Compiled>, PipelineError> {
-        let key = CacheKey {
-            kernel_fp: fingerprint(kernel),
-            flow,
-            target_fp: target_fingerprint(target),
-            cfg: cfg.clone(),
-        };
+        let key = self.key(kernel, flow, target, cfg);
+        let shard = &self.shards[key.shard(self.shards.len())];
         // Fast path + in-flight claim: either the key is cached, or we
         // become its compiler, or we wait for whoever already is (a
         // failed compile wakes waiters without filling the cache; the
         // first waiter then claims the key and retries).
         loop {
-            if let Some(hit) = self.cache.read().expect("engine cache poisoned").get(&key) {
+            if let Some(hit) = self.lock_shard(shard).get(&key) {
                 self.hits.fetch_add(1, Ordering::Relaxed);
-                return Ok(Arc::clone(hit));
+                return Ok(hit);
             }
-            let mut inflight = self.inflight.lock().expect("inflight set poisoned");
+            let mut inflight = shard.inflight.lock().expect("inflight set poisoned");
             if !inflight.contains(&key) {
                 inflight.insert(key.clone());
                 break;
             }
-            let _unused = self
+            let _unused = shard
                 .inflight_done
                 .wait(inflight)
                 .expect("inflight set poisoned");
         }
         let _guard = InflightGuard {
-            engine: self,
+            shard,
             key: key.clone(),
         };
 
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let compiled = Arc::new(pipeline::compile(kernel, flow, target, cfg)?);
-        let mut map = self.cache.write().expect("engine cache poisoned");
-        Ok(Arc::clone(map.entry(key).or_insert(compiled)))
+        let start = Instant::now();
+        let compiled = Arc::new(self.compile_miss(kernel, flow, target, cfg, &key)?);
+        self.compile_ns
+            .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        Ok(self.lock_shard(shard).insert(key, compiled))
+    }
+
+    /// The miss path: artifact tier first (when attached), full
+    /// pipeline otherwise, with write-back of fresh offline artifacts.
+    fn compile_miss(
+        &self,
+        kernel: &Kernel,
+        flow: Flow,
+        target: &TargetDesc,
+        cfg: &CompileConfig,
+        key: &CacheKey,
+    ) -> Result<Compiled, PipelineError> {
+        let Some(store) = &self.artifacts else {
+            return pipeline::compile(kernel, flow, target, cfg);
+        };
+        let id = key.artifact_id();
+        match store.load(id) {
+            Ok(Some(bytes)) => {
+                match pipeline::online_compile(&kernel.name, &bytes, flow, target) {
+                    Ok(c) => {
+                        self.artifact_hits.fetch_add(1, Ordering::Relaxed);
+                        return Ok(c);
+                    }
+                    // Framed and checksummed but undecodable (e.g. a
+                    // stale format written by a different bytecode
+                    // version): reject and recompile.
+                    Err(_) => {
+                        self.artifact_rejects.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+            Ok(None) => {
+                self.artifact_misses.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(_) => {
+                self.artifact_rejects.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let (compiled, bytes) = pipeline::compile_encoded(kernel, flow, target, cfg)?;
+        // Best effort: a failed write only costs a future recompile.
+        if store.save(id, &bytes).is_ok() {
+            self.artifact_writes.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(compiled)
     }
 
     /// Compile without consulting or filling the cache. For timing
@@ -411,15 +703,7 @@ impl Engine {
                 "illegal runtime VL of {vl_bits} bits (must be a multiple of 128 in 128..=2048)"
             )));
         }
-        let key = (
-            CacheKey {
-                kernel_fp: fingerprint(kernel),
-                flow,
-                target_fp: target_fingerprint(target),
-                cfg: cfg.clone(),
-            },
-            vl_bits as u32,
-        );
+        let key = (self.key(kernel, flow, target, cfg), vl_bits as u32);
         if let Some(hit) = self
             .vl_cache
             .lock()
@@ -437,6 +721,46 @@ impl Engine {
                 .map_err(|e| PipelineError(format!("VL={vl_bits} specialization: {e}")))?,
         );
         let mut lru = self.vl_cache.lock().expect("engine vl cache poisoned");
+        Ok((compiled, lru.insert(key, prog)))
+    }
+
+    /// An *unfused* decode (one step per executable instruction) of the
+    /// cached compilation at a concrete VL — the `fused(false)` option
+    /// of [`crate::ExecRequest`], kept in its own bounded LRU so fusion
+    /// A/B storms do not re-decode per request. The same VL contract as
+    /// [`Engine::specialize`] applies.
+    ///
+    /// # Errors
+    /// Propagates compile-stage [`PipelineError`]s; rejects illegal VLs
+    /// and fixed-width/VL mismatches.
+    pub fn decode_unfused(
+        &self,
+        kernel: &Kernel,
+        flow: Flow,
+        target: &TargetDesc,
+        cfg: &CompileConfig,
+        vl_bits: usize,
+    ) -> Result<(Arc<Compiled>, Arc<DecodedProgram>), PipelineError> {
+        // Validate the (target, VL) pair exactly like specialize does.
+        let (compiled, _) = self.specialize(kernel, flow, target, cfg, vl_bits)?;
+        let key = (self.key(kernel, flow, target, cfg), vl_bits as u32);
+        if let Some(hit) = self
+            .unfused_cache
+            .lock()
+            .expect("engine unfused cache poisoned")
+            .get(&key)
+        {
+            return Ok((compiled, hit));
+        }
+        let exec = exec_target(target, vl_bits);
+        let prog = Arc::new(
+            DecodedProgram::decode_unfused(&compiled.jit.code, &exec)
+                .map_err(|e| PipelineError(format!("unfused decode: {e}")))?,
+        );
+        let mut lru = self
+            .unfused_cache
+            .lock()
+            .expect("engine unfused cache poisoned");
         Ok((compiled, lru.insert(key, prog)))
     }
 
@@ -465,15 +789,7 @@ impl Engine {
         vl_bits: usize,
     ) -> Result<(Arc<Compiled>, Arc<ThreadedProgram>), PipelineError> {
         let (compiled, decoded) = self.specialize(kernel, flow, target, cfg, vl_bits)?;
-        let key = (
-            CacheKey {
-                kernel_fp: fingerprint(kernel),
-                flow,
-                target_fp: target_fingerprint(target),
-                cfg: cfg.clone(),
-            },
-            vl_bits as u32,
-        );
+        let key = (self.key(kernel, flow, target, cfg), vl_bits as u32);
         if let Some(hit) = self
             .threaded_cache
             .lock()
@@ -490,30 +806,82 @@ impl Engine {
         Ok((compiled, lru.insert(key, prog)))
     }
 
-    /// Cache hit/miss counters and current size.
-    pub fn stats(&self) -> EngineStats {
-        EngineStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            entries: self.cache.read().expect("engine cache poisoned").len(),
-            vl_entries: self
-                .vl_cache
-                .lock()
-                .expect("engine vl cache poisoned")
-                .map
-                .len(),
-            threaded_entries: self
-                .threaded_cache
-                .lock()
-                .expect("engine threaded cache poisoned")
-                .map
-                .len(),
+    /// Take a recycled execution arena from the pool (or report the
+    /// need for a fresh allocation), counting reuse.
+    pub(crate) fn take_arena(&self) -> Option<Vec<u8>> {
+        let buf = self.arena_pool.lock().expect("arena pool poisoned").pop();
+        match &buf {
+            Some(_) => self.pool_reuses.fetch_add(1, Ordering::Relaxed),
+            None => self.pool_allocs.fetch_add(1, Ordering::Relaxed),
+        };
+        buf
+    }
+
+    /// Return an execution arena to the pool (dropped when full).
+    pub(crate) fn put_arena(&self, buf: Vec<u8>) {
+        let mut pool = self.arena_pool.lock().expect("arena pool poisoned");
+        if pool.len() < self.pool_capacity {
+            pool.push(buf);
         }
     }
 
-    /// Number of cached compilations.
+    /// The attached artifact store, if any.
+    pub fn artifact_store(&self) -> Option<&ArtifactStore> {
+        self.artifacts.as_ref()
+    }
+
+    /// Cache hit/miss/eviction/latency counters, artifact-tier and
+    /// arena-pool activity, and current sizes.
+    pub fn stats(&self) -> EngineStats {
+        let mut entries = 0usize;
+        let mut evictions = 0u64;
+        for s in self.shards.iter() {
+            let m = s.map.lock().expect("engine cache poisoned");
+            entries += m.map.len();
+            evictions += m.evictions;
+        }
+        let (vl_entries, vl_ev) = {
+            let m = self.vl_cache.lock().expect("engine vl cache poisoned");
+            (m.map.len(), m.evictions)
+        };
+        let (threaded_entries, thr_ev) = {
+            let m = self
+                .threaded_cache
+                .lock()
+                .expect("engine threaded cache poisoned");
+            (m.map.len(), m.evictions)
+        };
+        let unfused_ev = self
+            .unfused_cache
+            .lock()
+            .expect("engine unfused cache poisoned")
+            .evictions;
+        EngineStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries,
+            shards: self.shards.len(),
+            evictions,
+            exec_evictions: vl_ev + thr_ev + unfused_ev,
+            contended_locks: self.contended.load(Ordering::Relaxed),
+            compile_ns: self.compile_ns.load(Ordering::Relaxed),
+            artifact_hits: self.artifact_hits.load(Ordering::Relaxed),
+            artifact_misses: self.artifact_misses.load(Ordering::Relaxed),
+            artifact_rejects: self.artifact_rejects.load(Ordering::Relaxed),
+            artifact_writes: self.artifact_writes.load(Ordering::Relaxed),
+            vl_entries,
+            threaded_entries,
+            pool_reuses: self.pool_reuses.load(Ordering::Relaxed),
+            pool_allocs: self.pool_allocs.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of cached compilations (across shards).
     pub fn len(&self) -> usize {
-        self.cache.read().expect("engine cache poisoned").len()
+        self.shards
+            .iter()
+            .map(|s| s.map.lock().expect("engine cache poisoned").map.len())
+            .sum()
     }
 
     /// Whether the cache is empty.
@@ -521,10 +889,13 @@ impl Engine {
         self.len() == 0
     }
 
-    /// Drop every cached compilation, VL specialization, and threaded
-    /// lowering (counters are kept).
+    /// Drop every cached compilation, VL specialization, threaded
+    /// lowering, unfused decode, and pooled arena (counters and the
+    /// on-disk artifact store are kept).
     pub fn clear(&self) {
-        self.cache.write().expect("engine cache poisoned").clear();
+        for s in self.shards.iter() {
+            s.map.lock().expect("engine cache poisoned").map.clear();
+        }
         self.vl_cache
             .lock()
             .expect("engine vl cache poisoned")
@@ -535,6 +906,22 @@ impl Engine {
             .expect("engine threaded cache poisoned")
             .map
             .clear();
+        self.unfused_cache
+            .lock()
+            .expect("engine unfused cache poisoned")
+            .map
+            .clear();
+        self.arena_pool.lock().expect("arena pool poisoned").clear();
+    }
+}
+
+/// The concrete-width execution target of a (family, VL) pair: the
+/// family itself when fixed-width, `family.at_vl(vl)` when VLA.
+pub(crate) fn exec_target(target: &TargetDesc, vl_bits: usize) -> TargetDesc {
+    if target.vla {
+        target.at_vl(vl_bits)
+    } else {
+        target.clone()
     }
 }
 
@@ -564,6 +951,7 @@ mod tests {
         assert!(Arc::ptr_eq(&a, &b), "second compile must be a cache hit");
         let s = e.stats();
         assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+        assert!(s.compile_ns > 0, "miss latency must be recorded");
     }
 
     #[test]
@@ -784,6 +1172,7 @@ mod tests {
         assert!(Arc::ptr_eq(&p128, &p128b), "touched entry must still hit");
         let (_, _p512) = e.specialize(&k, flow, &t, &cfg, 512).unwrap();
         assert_eq!(e.stats().vl_entries, 2, "cache must stay bounded");
+        assert_eq!(e.stats().exec_evictions, 1, "eviction must be counted");
         // 256 was evicted: a fresh Arc comes back. 128 survived.
         let (_, p256b) = e.specialize(&k, flow, &t, &cfg, 256).unwrap();
         assert!(!Arc::ptr_eq(&p256, &p256b), "LRU entry must be evicted");
@@ -894,5 +1283,145 @@ mod tests {
         assert!(e.is_empty());
         let b = e.compile(&k, Flow::NativeScalar, &t, &cfg).unwrap();
         assert!(!Arc::ptr_eq(&a, &b), "cleared cache must recompile");
+    }
+
+    #[test]
+    fn builder_configures_shards_and_reports_them() {
+        let e = Engine::builder().shards(3).build().unwrap();
+        assert_eq!(e.stats().shards, 3);
+        let single = Engine::builder().shards(1).build().unwrap();
+        assert_eq!(single.stats().shards, 1);
+        // shards(0) is clamped, never a divide-by-zero.
+        let clamped = Engine::builder().shards(0).build().unwrap();
+        assert_eq!(clamped.stats().shards, 1);
+        assert_eq!(Engine::new().stats().shards, DEFAULT_SHARDS);
+    }
+
+    #[test]
+    fn compile_cache_is_bounded_and_counts_evictions() {
+        // One shard of capacity 2: the third distinct tuple evicts the
+        // least-recently-used compilation.
+        let e = Engine::builder()
+            .shards(1)
+            .compile_cache_capacity(2)
+            .build()
+            .unwrap();
+        let k = saxpy();
+        let t = sse();
+        let cfg = CompileConfig::default();
+        let a = e.compile(&k, Flow::NativeScalar, &t, &cfg).unwrap();
+        e.compile(&k, Flow::SplitScalarNaive, &t, &cfg).unwrap();
+        // Touch the first so the second becomes LRU.
+        e.compile(&k, Flow::NativeScalar, &t, &cfg).unwrap();
+        e.compile(&k, Flow::SplitScalarOpt, &t, &cfg).unwrap();
+        let s = e.stats();
+        assert_eq!(s.entries, 2, "cache must stay at capacity");
+        assert_eq!(s.evictions, 1, "the eviction must be counted");
+        // The touched entry survived; the LRU one recompiles.
+        let a2 = e.compile(&k, Flow::NativeScalar, &t, &cfg).unwrap();
+        assert!(Arc::ptr_eq(&a, &a2), "recently-used entry must survive");
+        e.compile(&k, Flow::SplitScalarNaive, &t, &cfg).unwrap();
+        assert_eq!(e.stats().misses, 4, "evicted tuple pays a recompile");
+    }
+
+    #[test]
+    fn shards_spread_keys() {
+        // With the default shard count, a handful of distinct tuples
+        // must not all land in one shard (the hash actually spreads).
+        let e = Engine::new();
+        let k = saxpy();
+        let cfg = CompileConfig::default();
+        for t in [sse(), altivec(), vapor_targets::sve()] {
+            for flow in Flow::ALL {
+                e.compile(&k, flow, &t, &cfg).unwrap();
+            }
+        }
+        let populated = e
+            .shards
+            .iter()
+            .filter(|s| !s.map.lock().unwrap().map.is_empty())
+            .count();
+        assert!(
+            populated > 1,
+            "18 tuples across {DEFAULT_SHARDS} shards must touch more than one"
+        );
+        assert_eq!(e.len(), 18);
+    }
+
+    fn scratch_store(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "vapor-engine-artifact-{}-{tag}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn artifact_tier_serves_warm_engines() {
+        let dir = scratch_store("warm");
+        let k = saxpy();
+        let t = sse();
+        let cfg = CompileConfig::default();
+
+        // Cold engine: artifact miss, full compile, write-back.
+        let cold = Engine::builder().artifact_dir(&dir).build().unwrap();
+        let a = cold.compile(&k, Flow::SplitVectorOpt, &t, &cfg).unwrap();
+        let s = cold.stats();
+        assert_eq!((s.artifact_misses, s.artifact_writes), (1, 1));
+        assert_eq!(s.artifact_hits, 0);
+        assert_eq!(cold.artifact_store().unwrap().len(), 1);
+
+        // Warm engine (fresh process simulation): in-memory miss, but
+        // the on-disk artifact skips the offline stage — and produces
+        // the same machine code.
+        let warm = Engine::builder().artifact_dir(&dir).build().unwrap();
+        let b = warm.compile(&k, Flow::SplitVectorOpt, &t, &cfg).unwrap();
+        let s = warm.stats();
+        assert_eq!((s.artifact_hits, s.artifact_misses), (1, 0));
+        assert_eq!(s.artifact_writes, 0, "a hit must not rewrite");
+        assert_eq!(s.misses, 1, "still an in-memory miss");
+        assert_eq!(a.jit.code, b.jit.code, "artifact path must be equivalent");
+        assert_eq!(a.bytecode_bytes, b.bytecode_bytes);
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_artifacts_are_rejected_and_recompiled() {
+        let dir = scratch_store("reject");
+        let k = saxpy();
+        let t = sse();
+        let cfg = CompileConfig::default();
+        let cold = Engine::builder().artifact_dir(&dir).build().unwrap();
+        let a = cold.compile(&k, Flow::SplitVectorOpt, &t, &cfg).unwrap();
+
+        // Flip a payload bit in the one stored artifact.
+        let store = cold.artifact_store().unwrap();
+        let entry = std::fs::read_dir(store.dir())
+            .unwrap()
+            .filter_map(Result::ok)
+            .find(|e| e.path().extension().is_some_and(|x| x == "vsart"))
+            .expect("one artifact on disk");
+        let mut bytes = std::fs::read(entry.path()).unwrap();
+        let mid = bytes.len() - 20;
+        bytes[mid] ^= 0x01;
+        std::fs::write(entry.path(), &bytes).unwrap();
+
+        // A warm engine rejects it, recompiles from source, and heals
+        // the store with a fresh write.
+        let warm = Engine::builder().artifact_dir(&dir).build().unwrap();
+        let b = warm.compile(&k, Flow::SplitVectorOpt, &t, &cfg).unwrap();
+        let s = warm.stats();
+        assert_eq!(s.artifact_rejects, 1, "corruption must be rejected");
+        assert_eq!(s.artifact_hits, 0);
+        assert_eq!(s.artifact_writes, 1, "the store must be healed");
+        assert_eq!(a.jit.code, b.jit.code);
+        // And the healed artifact now hits.
+        let third = Engine::builder().artifact_dir(&dir).build().unwrap();
+        third.compile(&k, Flow::SplitVectorOpt, &t, &cfg).unwrap();
+        assert_eq!(third.stats().artifact_hits, 1);
+
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -159,6 +159,22 @@ pub fn compile(
     target: &TargetDesc,
     cfg: &CompileConfig,
 ) -> Result<Compiled, PipelineError> {
+    compile_encoded(kernel, flow, target, cfg).map(|(c, _)| c)
+}
+
+/// [`compile`], additionally returning the encoded offline artifact —
+/// the exact bytes the engine's persistent artifact tier stores on disk
+/// so a later process can skip the offline stage entirely (see
+/// [`online_compile`]).
+///
+/// # Errors
+/// Returns a [`PipelineError`] if any stage rejects the kernel.
+pub fn compile_encoded(
+    kernel: &Kernel,
+    flow: Flow,
+    target: &TargetDesc,
+    cfg: &CompileConfig,
+) -> Result<(Compiled, Vec<u8>), PipelineError> {
     let (module, reports) = offline_compile(kernel, flow, target, cfg)?;
     let bytes = encode_module(&module);
     let bytecode_bytes = bytes.len();
@@ -167,11 +183,51 @@ pub fn compile(
     } else {
         decode_module(&bytes).map_err(|e| PipelineError(e.to_string()))?
     };
+    let compiled = online_stage(kernel.name.clone(), module, bytecode_bytes, flow, target)?;
+    Ok((
+        Compiled {
+            reports,
+            ..compiled
+        },
+        bytes,
+    ))
+}
+
+/// Run *only* the online stage over an already-encoded offline artifact
+/// — the warm-process path of the persistent artifact tier: the
+/// expensive offline vectorization was paid by an earlier process, this
+/// one just decodes the portable bytecode and JIT-compiles it. The
+/// result is execution-equivalent to a fresh [`compile`] of the same
+/// tuple (bit-identical machine state and `vm_cycles`); only the
+/// offline [`Compiled::reports`] are absent.
+///
+/// # Errors
+/// Returns a [`PipelineError`] when the bytes do not decode (a corrupt
+/// or truncated artifact) or the online stage rejects the function.
+pub fn online_compile(
+    name: &str,
+    bytes: &[u8],
+    flow: Flow,
+    target: &TargetDesc,
+) -> Result<Compiled, PipelineError> {
+    let module = decode_module(bytes).map_err(|e| PipelineError(e.to_string()))?;
+    online_stage(name.to_owned(), module, bytes.len(), flow, target)
+}
+
+/// The shared online stage: JIT-compile a decoded module's single
+/// function for `target` under `flow`'s pipeline.
+fn online_stage(
+    name: String,
+    module: BcModule,
+    bytecode_bytes: usize,
+    flow: Flow,
+    target: &TargetDesc,
+) -> Result<Compiled, PipelineError> {
     let func = module
         .funcs
         .into_iter()
         .next()
-        .expect("single function module");
+        .ok_or_else(|| PipelineError(format!("{name}: empty bytecode module")))?;
 
     let opts = JitOptions::new(flow.pipeline());
     let start = Instant::now();
@@ -180,12 +236,12 @@ pub fn compile(
     let online_time = start.elapsed();
 
     Ok(Compiled {
-        name: kernel.name.clone(),
+        name,
         func,
         jit,
         bytecode_bytes,
         online_time,
-        reports,
+        reports: Vec::new(),
     })
 }
 

@@ -30,7 +30,12 @@ pub struct RunResult {
     pub stats: ExecStats,
 }
 
-/// Execute compiled code against the given bindings.
+/// **Deprecated** shim: execute compiled code against the given
+/// bindings through the decoded tier. New code should build a
+/// [`crate::ExecRequest`] and call `Engine::execute` — it adds caching,
+/// arena pooling, tier/VL/fusion selection, and service stats; this
+/// shim is kept so pre-service call sites keep compiling and as the
+/// compat-test oracle.
 ///
 /// # Errors
 /// Returns [`Trap`] on VM contract violations (always a compiler bug in
@@ -46,6 +51,9 @@ pub fn run(
     Ok(read_back(&m, bases, stats))
 }
 
+/// **Deprecated** shim (see [`run()`]; use
+/// `ExecRequest::wide_registers(true)` with `Engine::execute` instead).
+///
 /// Like [`run()`], but forcing the seed-style register file: every
 /// vector register heap-backed at the full `MAX_VS` (2048-bit) width
 /// regardless of the target. Results and cycle counts are identical to
@@ -66,6 +74,9 @@ pub fn run_wide(
     Ok(read_back(&m, bases, stats))
 }
 
+/// **Deprecated** shim (see [`run()`]; use `ExecRequest::vl_bits` with
+/// `Engine::execute` instead).
+///
 /// Like [`run()`], but executing a runtime-VL specialization produced by
 /// `Engine::specialize`: `exec_target` must be the concrete-width
 /// description (`family.at_vl(vl_bits)`) whose decode produced `prog`.
@@ -87,6 +98,9 @@ pub fn run_specialized(
     Ok(read_back(&m, bases, stats))
 }
 
+/// **Deprecated** shim (see [`run()`]; use `ExecRequest::vl_bits` plus
+/// `ExecRequest::wide_registers(true)` with `Engine::execute` instead).
+///
 /// [`run_specialized`] with the seed-style max-width register file (see
 /// [`run_wide`]): the differential harness for runtime-VL machines,
 /// whose narrow specializations use inline registers.
@@ -105,6 +119,9 @@ pub fn run_specialized_wide(
     Ok(read_back(&m, bases, stats))
 }
 
+/// **Deprecated** shim (see [`run()`]; use
+/// `ExecRequest::tier(Tier::Threaded)` with `Engine::execute` instead).
+///
 /// Like [`run_specialized`], but executing through the closure-threaded
 /// tier: `prog` is the threaded lowering produced by `Engine::thread`
 /// (or `ThreadedProgram::thread`) for the same concrete-width
@@ -127,6 +144,9 @@ pub fn run_threaded(
     Ok(read_back(&m, bases, stats))
 }
 
+/// **Deprecated** shim (see [`run()`]; use `ExecRequest::fused(false)`
+/// with `Engine::execute` instead).
+///
 /// Like [`run()`], but executing a freshly decoded *unfused* program —
 /// no superinstructions, one step per executable instruction. The
 /// baseline side of the fusion differential tests and benchmarks;
@@ -147,6 +167,9 @@ pub fn run_unfused(
     Ok(read_back(&m, bases, stats))
 }
 
+/// **Deprecated** shim (see [`run()`]; use
+/// `ExecRequest::tier(Tier::Baseline)` with `Engine::execute` instead).
+///
 /// Like [`run()`], but executing through the seed per-instruction
 /// dispatch loop instead of the pre-decoded program. Kept as the
 /// baseline the engine benchmark measures the decoded dispatch against;
@@ -167,7 +190,7 @@ pub fn run_baseline(
 }
 
 /// Array placements of one execution: (name, base, length, element type).
-type Placements = Vec<(String, u64, usize, vapor_ir::ScalarTy)>;
+pub(crate) type Placements = Vec<(String, u64, usize, vapor_ir::ScalarTy)>;
 
 /// Build a machine, bind scalars, and place arrays per `policy`.
 fn setup_machine<'t>(
@@ -176,6 +199,21 @@ fn setup_machine<'t>(
     env: &Bindings,
     policy: AllocPolicy,
     wide_regs: bool,
+) -> Result<(Machine<'t>, Placements), Trap> {
+    setup_machine_with(target, compiled, env, policy, wide_regs, None)
+}
+
+/// [`setup_machine`], optionally recycling a memory arena from a
+/// previous execution (the engine's pooled-execution path): the buffer
+/// is re-zeroed over the required capacity instead of freshly
+/// allocated. Pass `None` for a cold allocation.
+pub(crate) fn setup_machine_with<'t>(
+    target: &'t TargetDesc,
+    compiled: &Compiled,
+    env: &Bindings,
+    policy: AllocPolicy,
+    wide_regs: bool,
+    arena: Option<Vec<u8>>,
 ) -> Result<(Machine<'t>, Placements), Trap> {
     let f = &compiled.func;
     // Memory: all arrays + the machine's guard padding either side +
@@ -196,7 +234,12 @@ fn setup_machine<'t>(
         })?;
         total += data.bytes.len() + 2 * pad + 2 * MAX_VS;
     }
-    let mut m = Machine::new(target, total);
+    let vs = target.vs.max(1);
+    let mem = match arena {
+        Some(buf) => Memory::recycled(buf, total, vs),
+        None => Memory::for_width(total, vs),
+    };
+    let mut m = Machine::with_memory(target, mem);
     m.set_wide_registers(wide_regs);
 
     for (i, p) in f.params.iter().enumerate() {
@@ -234,7 +277,11 @@ fn setup_machine<'t>(
 }
 
 /// Copy final array contents out of machine memory.
-fn read_back(m: &Machine<'_>, bases: Placements, stats: vapor_targets::ExecStats) -> RunResult {
+pub(crate) fn read_back(
+    m: &Machine<'_>,
+    bases: Placements,
+    stats: vapor_targets::ExecStats,
+) -> RunResult {
     let mut out = Bindings::new();
     for (name, base, len, elem) in bases {
         let bytes = m.mem.slice(base, len).to_vec();

@@ -80,6 +80,29 @@ impl Memory {
         }
     }
 
+    /// [`Memory::for_width`], but reusing `buf`'s backing allocation
+    /// instead of allocating a fresh image. The buffer is zeroed over
+    /// the required capacity (a memset over a warm allocation, not a
+    /// fresh `malloc`) — the pooled-execution path of a service that
+    /// must not allocate per request.
+    pub fn recycled(mut buf: Vec<u8>, capacity: usize, vs: usize) -> Memory {
+        let pad = Memory::pad_for(vs);
+        buf.clear();
+        buf.resize(capacity.max(GUARD + pad), 0);
+        Memory {
+            bytes: buf,
+            next: GUARD,
+            pad,
+        }
+    }
+
+    /// Surrender the backing allocation for reuse (see
+    /// [`Memory::recycled`]). The returned buffer's contents are
+    /// unspecified; only its capacity is meant to be reused.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.bytes
+    }
+
     /// Padding required either side of an array on a machine with
     /// `vs`-byte registers: floor-aligned realignment loads read up to
     /// one register *past* the floored window (`lvx a, lvx a+VS`), so
@@ -284,10 +307,18 @@ pub struct Machine<'t> {
 impl<'t> Machine<'t> {
     /// A machine for `target` with `mem_capacity` bytes of memory.
     pub fn new(target: &'t TargetDesc, mem_capacity: usize) -> Machine<'t> {
+        Machine::with_memory(target, Memory::for_width(mem_capacity, target.vs.max(1)))
+    }
+
+    /// A machine for `target` over an already-built memory image —
+    /// typically one recycled from a previous execution through
+    /// [`Memory::recycled`], so a service's steady-state executions
+    /// reuse one arena instead of allocating megabytes per request.
+    pub fn with_memory(target: &'t TargetDesc, mem: Memory) -> Machine<'t> {
         let vl_bytes = target.vs.max(1);
         Machine {
             target,
-            mem: Memory::for_width(mem_capacity, target.vs.max(1)),
+            mem,
             sregs: Vec::new(),
             vregs: Vec::new(),
             slots: Vec::new(),
@@ -296,6 +327,13 @@ impl<'t> Machine<'t> {
             spare: None,
             fuel: 2_000_000_000,
         }
+    }
+
+    /// Tear the machine down, surrendering the memory arena's backing
+    /// allocation for reuse by a later [`Machine::with_memory`] +
+    /// [`Memory::recycled`] pair.
+    pub fn into_arena(self) -> Vec<u8> {
+        self.mem.into_bytes()
     }
 
     /// Force the seed-style register file: every register heap-backed at
@@ -993,7 +1031,12 @@ impl<'t> Machine<'t> {
                         }
                     }
                     TStep::VBin {
-                        dst, a, b, f, lanes, ..
+                        dst,
+                        a,
+                        b,
+                        f,
+                        lanes,
+                        ..
                     } => t_vbin::<CAP>(&mut arena, ew, *dst, *a, *b, *f, *lanes as usize),
                     TStep::VUn {
                         dst, a, f, lanes, ..
@@ -1005,18 +1048,14 @@ impl<'t> Machine<'t> {
                         } else {
                             let mut tmp = [0u8; CAP];
                             f(slot::<CAP>(&arena, *a), &mut tmp, *lanes as usize);
-                            arena[*dst as usize..*dst as usize + ew]
-                                .copy_from_slice(&tmp[..ew]);
+                            arena[*dst as usize..*dst as usize + ew].copy_from_slice(&tmp[..ew]);
                         }
                     }
                     TStep::MovV { dst, src } => {
                         // Whole-slot copy: both slots honor the
                         // zeros-past-`ew` invariant, so this is exactly
                         // the decoded register move.
-                        arena.copy_within(
-                            *src as usize..*src as usize + CAP,
-                            *dst as usize,
-                        );
+                        arena.copy_within(*src as usize..*src as usize + CAP, *dst as usize);
                     }
                     TStep::VBinVl {
                         dst,
@@ -1075,7 +1114,12 @@ impl<'t> Machine<'t> {
                         self.t_store_vl(&arena, *ty, *src, addr, &st)?
                     }
                     TStep::SBin {
-                        dst, a, b, f, ty, rty,
+                        dst,
+                        a,
+                        b,
+                        f,
+                        ty,
+                        rty,
                     } => {
                         let x = self.coerce(*ty, self.sval(*a)?);
                         let y = self.coerce(*ty, self.sval(*b)?);
@@ -1129,9 +1173,13 @@ impl<'t> Machine<'t> {
                             f(sa, *imm as i64, sd, *lanes as usize);
                         } else {
                             let mut tmp = [0u8; CAP];
-                            f(slot::<CAP>(&arena, *a), *imm as i64, &mut tmp, *lanes as usize);
-                            arena[*dst as usize..*dst as usize + ew]
-                                .copy_from_slice(&tmp[..ew]);
+                            f(
+                                slot::<CAP>(&arena, *a),
+                                *imm as i64,
+                                &mut tmp,
+                                *lanes as usize,
+                            );
+                            arena[*dst as usize..*dst as usize + ew].copy_from_slice(&tmp[..ew]);
                         }
                     }
                     TStep::VShiftReg {
@@ -1150,8 +1198,7 @@ impl<'t> Machine<'t> {
                         } else {
                             let mut tmp = [0u8; CAP];
                             f(slot::<CAP>(&arena, *a), amt, &mut tmp, *lanes as usize);
-                            arena[*dst as usize..*dst as usize + ew]
-                                .copy_from_slice(&tmp[..ew]);
+                            arena[*dst as usize..*dst as usize + ew].copy_from_slice(&tmp[..ew]);
                         }
                     }
                     TStep::SpillLd { dst, slot } => {
@@ -1184,17 +1231,41 @@ impl<'t> Machine<'t> {
                     // register write included — same contract as the
                     // decoded fused steps.
                     TStep::LoadBinStore(p) => {
-                        self.t_load_v(&mut arena, ew, vs, p.load_dst, p.load_aligned, &p.load, &st)?;
+                        self.t_load_v(
+                            &mut arena,
+                            ew,
+                            vs,
+                            p.load_dst,
+                            p.load_aligned,
+                            &p.load,
+                            &st,
+                        )?;
                         t_vbin::<CAP>(&mut arena, ew, p.dst, p.a, p.b, p.f, p.lanes as usize);
                         self.t_store_v(&arena, vs, p.dst, p.store_aligned, &p.store, &st)?;
                     }
                     TStep::LoadBinBin(p) => {
-                        self.t_load_v(&mut arena, ew, vs, p.load_dst, p.load_aligned, &p.load, &st)?;
+                        self.t_load_v(
+                            &mut arena,
+                            ew,
+                            vs,
+                            p.load_dst,
+                            p.load_aligned,
+                            &p.load,
+                            &st,
+                        )?;
                         t_vbin::<CAP>(&mut arena, ew, p.dst1, p.a1, p.b1, p.f1, p.lanes1 as usize);
                         t_vbin::<CAP>(&mut arena, ew, p.dst2, p.a2, p.b2, p.f2, p.lanes2 as usize);
                     }
                     TStep::LoadBin(p) => {
-                        self.t_load_v(&mut arena, ew, vs, p.load_dst, p.load_aligned, &p.load, &st)?;
+                        self.t_load_v(
+                            &mut arena,
+                            ew,
+                            vs,
+                            p.load_dst,
+                            p.load_aligned,
+                            &p.load,
+                            &st,
+                        )?;
                         t_vbin::<CAP>(&mut arena, ew, p.dst, p.a, p.b, p.f, p.lanes as usize);
                     }
                     TStep::BinStore(p) => {
@@ -1292,6 +1363,7 @@ impl<'t> Machine<'t> {
 
     /// Whole-register vector load into an arena slot.
     #[inline]
+    #[allow(clippy::too_many_arguments)]
     fn t_load_v(
         &mut self,
         arena: &mut [u8],
@@ -2102,7 +2174,12 @@ fn t_vbin<const CAP: usize>(
         f(sa, sb, sd, lanes);
     } else {
         let mut tmp = [0u8; CAP];
-        f(slot::<CAP>(arena, a), slot::<CAP>(arena, b), &mut tmp, lanes);
+        f(
+            slot::<CAP>(arena, a),
+            slot::<CAP>(arena, b),
+            &mut tmp,
+            lanes,
+        );
         arena[dst as usize..dst as usize + ew].copy_from_slice(&tmp[..ew]);
     }
 }

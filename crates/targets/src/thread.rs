@@ -819,19 +819,18 @@ impl ThreadedProgram {
                 Some(d)
             };
             let first = streams.len() as u32;
-            let mut push =
-                |streams: &mut Vec<StreamDef>, i: usize, lg: u8, m: &FusedAddr| {
-                    if let Some(delta) = leg(m.base, m.idx, m.scale) {
-                        leg_stream.insert((i, lg), streams.len() as u32);
-                        streams.push(StreamDef {
-                            base: m.base,
-                            idx: m.idx,
-                            scale: m.scale,
-                            disp: m.disp,
-                            delta,
-                        });
-                    }
-                };
+            let mut push = |streams: &mut Vec<StreamDef>, i: usize, lg: u8, m: &FusedAddr| {
+                if let Some(delta) = leg(m.base, m.idx, m.scale) {
+                    leg_stream.insert((i, lg), streams.len() as u32);
+                    streams.push(StreamDef {
+                        base: m.base,
+                        idx: m.idx,
+                        scale: m.scale,
+                        disp: m.disp,
+                        delta,
+                    });
+                }
+            };
             for (i, d) in steps.iter().enumerate().take(j).skip(t) {
                 match &d.step {
                     DStep::LoadVFast {
@@ -1225,27 +1224,23 @@ impl ThreadedProgram {
                     store_aligned: p.store.aligned,
                     store: ta(i, 1, p.store.base, p.store.idx, p.store.scale, p.store.disp),
                 })),
-                DStep::FusedLoadBinStoreVl(p) => {
-                    TStep::LoadBinStoreVl(Box::new(TLoadBinStoreVl {
-                        load_ty: p.load_ty,
-                        load_dst: seen_v(p.load_dst, &mut max_vreg),
-                        load: ta(i, 0, p.load.base, p.load.idx, p.load.scale, p.load.disp),
-                        dst: seen_v(p.dst, &mut max_vreg),
-                        a: seen_v(p.a, &mut max_vreg),
-                        b: seen_v(p.b, &mut max_vreg),
-                        f: p.f,
-                        op: p.op,
-                        ty: p.ty,
-                        max_lanes: p.max_lanes,
-                        store_ty: p.store_ty,
-                        store: ta(i, 1, p.store.base, p.store.idx, p.store.scale, p.store.disp),
-                    }))
-                }
+                DStep::FusedLoadBinStoreVl(p) => TStep::LoadBinStoreVl(Box::new(TLoadBinStoreVl {
+                    load_ty: p.load_ty,
+                    load_dst: seen_v(p.load_dst, &mut max_vreg),
+                    load: ta(i, 0, p.load.base, p.load.idx, p.load.scale, p.load.disp),
+                    dst: seen_v(p.dst, &mut max_vreg),
+                    a: seen_v(p.a, &mut max_vreg),
+                    b: seen_v(p.b, &mut max_vreg),
+                    f: p.f,
+                    op: p.op,
+                    ty: p.ty,
+                    max_lanes: p.max_lanes,
+                    store_ty: p.store_ty,
+                    store: ta(i, 1, p.store.base, p.store.idx, p.store.scale, p.store.disp),
+                })),
                 DStep::FusedLatch(p) => {
-                    let (first_stream, n_streams) = latch_of
-                        .get(&i)
-                        .map(|&(f, c, _)| (f, c))
-                        .unwrap_or((0, 0));
+                    let (first_stream, n_streams) =
+                        latch_of.get(&i).map(|&(f, c, _)| (f, c)).unwrap_or((0, 0));
                     TStep::Latch(Box::new(TLatch {
                         dst: p.dst,
                         a: p.a,
@@ -1459,7 +1454,7 @@ impl ThreadedProgram {
             }
         }
 
-        let n_vregs = (code.n_vregs as u32).max(max_vreg) as usize;
+        let n_vregs = code.n_vregs.max(max_vreg) as usize;
         ThreadedProgram {
             steps: steps_out,
             regions,
@@ -1547,7 +1542,11 @@ fn tstep_str(step: &TStep, stride: usize) -> String {
             ty,
             lanes,
             ..
-        } => format!("  {} = v{op:?}.fast.{ty} {} ; {lanes} lanes", v(*dst), v(*a)),
+        } => format!(
+            "  {} = v{op:?}.fast.{ty} {} ; {lanes} lanes",
+            v(*dst),
+            v(*a)
+        ),
         TStep::MovV { dst, src } => format!("  {} = {} ; slot copy", v(*dst), v(*src)),
         TStep::VBinVl {
             dst,
@@ -1576,10 +1575,20 @@ fn tstep_str(step: &TStep, stride: usize) -> String {
             v(*a)
         ),
         TStep::LoadV { dst, aligned, addr } => {
-            format!("  {} = vld.fast.{} {}", v(*dst), au(*aligned), taddr_str(addr))
+            format!(
+                "  {} = vld.fast.{} {}",
+                v(*dst),
+                au(*aligned),
+                taddr_str(addr)
+            )
         }
         TStep::StoreV { src, aligned, addr } => {
-            format!("  vst.fast.{} {}, {}", au(*aligned), taddr_str(addr), v(*src))
+            format!(
+                "  vst.fast.{} {}, {}",
+                au(*aligned),
+                taddr_str(addr),
+                v(*src)
+            )
         }
         TStep::LoadS { ty, dst, addr } => format!("  {dst} = ld.fast.{ty} {}", taddr_str(addr)),
         TStep::StoreS { ty, src, addr } => format!("  st.fast.{ty} {}, {src}", taddr_str(addr)),
@@ -1663,7 +1672,10 @@ fn tstep_str(step: &TStep, stride: usize) -> String {
                 ReduceOp::Max => "max",
                 ReduceOp::Min => "min",
             };
-            format!("  {dst} = vreduce.fast.{o}.{ty} {} ; {lanes} lanes", v(*src))
+            format!(
+                "  {dst} = vreduce.fast.{o}.{ty} {} ; {lanes} lanes",
+                v(*src)
+            )
         }
         TStep::LoadBinStore(p) => format!(
             "  fuse3 {} = vld.{} {} | {} = v{:?}.{} {}, {} | vst.{} {}, {} ; {} lanes",
@@ -1757,7 +1769,10 @@ fn tstep_str(step: &TStep, stride: usize) -> String {
             )
         }
         TStep::ScalarOp(inst) => format!("{} ; scalar op", crate::disasm::disasm_inst(inst)),
-        TStep::VectorOp(inst) => format!("{} ; vector op (arena sync)", crate::disasm::disasm_inst(inst)),
+        TStep::VectorOp(inst) => format!(
+            "{} ; vector op (arena sync)",
+            crate::disasm::disasm_inst(inst)
+        ),
     }
 }
 

@@ -9,7 +9,7 @@
 //! cargo run --release --example custom_kernel
 //! ```
 
-use vapor_core::{reference, run, AllocPolicy, CompileConfig, Engine, Flow};
+use vapor_core::{reference, Engine, ExecRequest};
 use vapor_ir::{ArrayData, BinOp, Bindings, Expr, KernelBuilder, ScalarTy};
 use vapor_targets::{altivec, sse};
 use vapor_vectorizer::{vectorize, VectorizeOptions};
@@ -63,13 +63,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let oracle = reference(&kernel, &env)?;
     let engine = Engine::new();
     for target in [sse(), altivec()] {
-        let c = engine.compile(
-            &kernel,
-            Flow::SplitVectorOpt,
-            &target,
-            &CompileConfig::default(),
-        )?;
-        let r = run(&target, &c, &env, AllocPolicy::Aligned)?;
+        let r = engine.execute(&ExecRequest::new(&kernel, &target, &env))?;
+        let c = &r.compiled;
         vapor_core::arrays_match(oracle.array("y").unwrap(), r.out.array("y").unwrap(), 1e-5)
             .map_err(vapor_core::PipelineError)?;
         println!(

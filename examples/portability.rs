@@ -10,7 +10,7 @@
 //! cargo run --release --example portability
 //! ```
 
-use vapor_core::{reference, run, AllocPolicy, CompileConfig, Engine, Flow};
+use vapor_core::{reference, Engine, ExecRequest};
 use vapor_ir::{ArrayData, Bindings, ScalarTy, Value};
 use vapor_targets::{altivec, neon64, scalar_only, sse};
 
@@ -47,13 +47,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let engine = Engine::new();
     for target in [sse(), altivec(), neon64(), scalar_only()] {
-        let c = engine.compile(
-            &kernel,
-            Flow::SplitVectorOpt,
-            &target,
-            &CompileConfig::default(),
-        )?;
-        let r = run(&target, &c, &env, AllocPolicy::Aligned)?;
+        let r = engine.execute(&ExecRequest::new(&kernel, &target, &env))?;
+        let c = &r.compiled;
         let got = match r.out.array("out").unwrap().get(0) {
             Value::Float(v) => v,
             v => panic!("unexpected {v:?}"),
@@ -108,16 +103,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("=== {} — one artifact, any runtime VL ===", family.name);
     let mut first = true;
     for vl_bits in vapor_targets::VLA_TEST_BITS {
-        let (c, prog) = engine.specialize(
-            &kernel,
-            Flow::SplitVectorOpt,
-            &family,
-            &CompileConfig::default(),
-            vl_bits,
-        )?;
+        let r = engine.execute(&ExecRequest::new(&kernel, &family, &env).vl_bits(vl_bits))?;
         if first {
             first = false;
-            let text = vapor_targets::disasm(&c.jit.code);
+            let text = vapor_targets::disasm(&r.compiled.jit.code);
             for l in text
                 .lines()
                 .filter(|l| l.contains("setvl") || l.contains(".vl"))
@@ -126,8 +115,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 println!("   {l}");
             }
         }
-        let exec = family.at_vl(vl_bits);
-        let r = vapor_core::run_specialized(&exec, &c, &prog, &env, AllocPolicy::Aligned)?;
         let got = match r.out.array("out").unwrap().get(0) {
             Value::Float(v) => v,
             v => panic!("unexpected {v:?}"),

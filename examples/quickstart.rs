@@ -9,7 +9,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use vapor_core::{arrays_match, reference, run, AllocPolicy, CompileConfig, Engine, Flow};
+use vapor_core::{arrays_match, reference, Engine, ExecRequest, Flow};
 use vapor_ir::{ArrayData, Bindings, ScalarTy};
 use vapor_targets::{altivec, avx, neon64, scalar_only, sse};
 
@@ -42,11 +42,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "target", "vector cycles", "scalar cycles", "speedup"
     );
     for target in [sse(), altivec(), neon64(), avx(), scalar_only()] {
-        let cfg = CompileConfig::default();
-        let vector = engine.compile(&kernel, Flow::SplitVectorOpt, &target, &cfg)?;
-        let scalar = engine.compile(&kernel, Flow::SplitScalarOpt, &target, &cfg)?;
-        let rv = run(&target, &vector, &env, AllocPolicy::Aligned)?;
-        let rs = run(&target, &scalar, &env, AllocPolicy::Aligned)?;
+        let req = ExecRequest::new(&kernel, &target, &env);
+        let rv = engine.execute(&req.clone().flow(Flow::SplitVectorOpt))?;
+        let rs = engine.execute(&req.flow(Flow::SplitScalarOpt))?;
 
         // Every target computes the same values.
         arrays_match(oracle.array("y").unwrap(), rv.out.array("y").unwrap(), 1e-6)

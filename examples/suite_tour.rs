@@ -5,14 +5,13 @@
 //! cargo run --release --example suite_tour
 //! ```
 
-use vapor_core::{run, AllocPolicy, CompileConfig, CompileJob, Engine, Flow};
+use vapor_core::{CompileJob, Engine, ExecRequest, Flow};
 use vapor_kernels::{suite, Scale};
 use vapor_targets::sse;
 use vapor_vectorizer::{vectorize, VectorizeOptions};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let target = sse();
-    let cfg = CompileConfig::default();
     let engine = Engine::new();
 
     // Pre-compile the whole tour as one parallel batch; the loop below
@@ -47,10 +46,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
 
         let env = spec.env(Scale::Test);
-        let vec = engine.compile(&kernel, Flow::SplitVectorOpt, &target, &cfg)?;
-        let sca = engine.compile(&kernel, Flow::SplitScalarOpt, &target, &cfg)?;
-        let cv = run(&target, &vec, &env, AllocPolicy::Aligned)?.stats.cycles;
-        let cs = run(&target, &sca, &env, AllocPolicy::Aligned)?.stats.cycles;
+        let req = ExecRequest::new(&kernel, &target, &env);
+        let cv = engine
+            .execute(&req.clone().flow(Flow::SplitVectorOpt))?
+            .stats
+            .cycles;
+        let cs = engine
+            .execute(&req.flow(Flow::SplitScalarOpt))?
+            .stats
+            .cycles;
 
         println!(
             "{:<18} {:<11} {:>7.2}x {:<34}",

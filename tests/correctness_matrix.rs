@@ -2,9 +2,7 @@
 //! through every flow, executed on every target, must match the
 //! reference interpreter.
 
-use vapor_core::{
-    arrays_match, reference, run, run_specialized, AllocPolicy, CompileConfig, Engine, Flow,
-};
+use vapor_core::{arrays_match, reference, AllocPolicy, Engine, ExecRequest, Flow};
 use vapor_kernels::{suite, Scale};
 use vapor_targets::{altivec, avx, neon64, rvv, scalar_only, sse, sve, TargetDesc, VLA_TEST_BITS};
 
@@ -25,7 +23,6 @@ fn targets() -> Vec<TargetDesc> {
 #[test]
 fn every_kernel_every_flow_every_target_matches_oracle() {
     let engine = Engine::new();
-    let cfg = CompileConfig::default();
     for spec in suite() {
         let kernel = spec.kernel();
         let env = spec.env(Scale::Test);
@@ -33,15 +30,8 @@ fn every_kernel_every_flow_every_target_matches_oracle() {
             .unwrap_or_else(|e| panic!("{}: oracle failed: {e}", spec.name));
         for target in targets() {
             for flow in Flow::ALL {
-                let compiled = engine
-                    .compile(&kernel, flow, &target, &cfg)
-                    .unwrap_or_else(|e| {
-                        panic!(
-                            "{} [{flow} on {}]: compile failed: {e}",
-                            spec.name, target.name
-                        )
-                    });
-                let result = run(&target, &compiled, &env, AllocPolicy::Aligned)
+                let result = engine
+                    .execute(&ExecRequest::new(&kernel, &target, &env).flow(flow))
                     .unwrap_or_else(|e| panic!("{} [{flow} on {}]: {e}", spec.name, target.name));
                 for (name, expected) in oracle.arrays() {
                     let actual = result.out.array(name).unwrap();
@@ -66,7 +56,6 @@ fn vla_targets_match_oracle_at_every_runtime_vl() {
     // integer elements); float reductions get the same reassociation
     // tolerance as the fixed-width matrix.
     let engine = Engine::new();
-    let cfg = CompileConfig::default();
     for spec in suite() {
         let kernel = spec.kernel();
         let env = spec.env(Scale::Test);
@@ -80,20 +69,15 @@ fn vla_targets_match_oracle_at_every_runtime_vl() {
             ] {
                 let mut cycles_by_vl = Vec::new();
                 for vl in VLA_TEST_BITS {
-                    let (compiled, prog) = engine
-                        .specialize(&kernel, flow, &family, &cfg, vl)
+                    let result = engine
+                        .execute(
+                            &ExecRequest::new(&kernel, &family, &env)
+                                .flow(flow)
+                                .vl_bits(vl),
+                        )
                         .unwrap_or_else(|e| {
-                            panic!(
-                                "{} [{flow} on {} @VL={vl}]: compile failed: {e}",
-                                spec.name, family.name
-                            )
+                            panic!("{} [{flow} on {} @VL={vl}]: {e}", spec.name, family.name)
                         });
-                    let exec = family.at_vl(vl);
-                    let result =
-                        run_specialized(&exec, &compiled, &prog, &env, AllocPolicy::Aligned)
-                            .unwrap_or_else(|e| {
-                                panic!("{} [{flow} on {} @VL={vl}]: {e}", spec.name, family.name)
-                            });
                     for (name, expected) in oracle.arrays() {
                         let actual = result.out.array(name).unwrap();
                         arrays_match(expected, actual, 2e-4).unwrap_or_else(|e| {
@@ -130,15 +114,14 @@ fn misaligned_arrays_still_execute_correctly() {
     // The fall-back (no-hints) versions must be correct when the runtime
     // cannot align arrays (split flows; the runtime check then fails).
     let engine = Engine::new();
-    let cfg = CompileConfig::default();
     for spec in suite().into_iter().filter(|s| s.expect_vectorized) {
         let kernel = spec.kernel();
         let env = spec.env(Scale::Test);
         let oracle = reference(&kernel, &env).unwrap();
         for target in [sse(), altivec(), neon64()] {
-            let flow = Flow::SplitVectorOpt;
-            let compiled = engine.compile(&kernel, flow, &target, &cfg).unwrap();
-            let result = run(&target, &compiled, &env, AllocPolicy::Misaligned(4))
+            let req = ExecRequest::new(&kernel, &target, &env).policy(AllocPolicy::Misaligned(4));
+            let result = engine
+                .execute(&req)
                 .unwrap_or_else(|e| panic!("{} on {}: {e}", spec.name, target.name));
             for (name, expected) in oracle.arrays() {
                 arrays_match(expected, result.out.array(name).unwrap(), 2e-4).unwrap_or_else(|e| {

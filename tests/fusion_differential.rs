@@ -5,9 +5,7 @@
 //! sized-vs-wide register-file harness: fusion is a pure dispatch-layer
 //! optimization, so *any* observable difference is a fusion bug.
 
-use vapor_core::{
-    arrays_match, run, run_specialized, run_unfused, AllocPolicy, CompileConfig, Engine, Flow,
-};
+use vapor_core::{arrays_match, CompileConfig, Engine, ExecRequest, Flow};
 use vapor_kernels::{suite, Scale};
 use vapor_targets::{avx, neon64, rvv, sse, sve, DecodedProgram};
 
@@ -16,16 +14,17 @@ use vapor_targets::{avx, neon64, rvv, sse, sve, DecodedProgram};
 #[test]
 fn fused_and_unfused_dispatch_agree_on_every_suite_kernel() {
     let engine = Engine::new();
-    let cfg = CompileConfig::default();
     for spec in suite() {
         let kernel = spec.kernel();
         let env = spec.env(Scale::Test);
         for target in [sse(), neon64(), avx()] {
             for flow in [Flow::SplitVectorOpt, Flow::NativeVector] {
-                let compiled = engine.compile(&kernel, flow, &target, &cfg).unwrap();
-                let fused = run(&target, &compiled, &env, AllocPolicy::Aligned)
+                let req = ExecRequest::new(&kernel, &target, &env).flow(flow);
+                let fused = engine
+                    .execute(&req)
                     .unwrap_or_else(|e| panic!("{} [{flow} on {}]: {e}", spec.name, target.name));
-                let unfused = run_unfused(&target, &compiled, &env, AllocPolicy::Aligned)
+                let unfused = engine
+                    .execute(&req.clone().fused(false))
                     .unwrap_or_else(|e| panic!("{} [{flow} on {}]: {e}", spec.name, target.name));
                 for (name, expected) in fused.out.arrays() {
                     // Bit-exact: tolerance 0.
@@ -55,23 +54,18 @@ fn fused_and_unfused_dispatch_agree_on_every_suite_kernel() {
 #[test]
 fn fused_and_unfused_dispatch_agree_at_every_runtime_vl() {
     let engine = Engine::new();
-    let cfg = CompileConfig::default();
     for spec in suite() {
         let kernel = spec.kernel();
         let env = spec.env(Scale::Test);
         for family in [sve(), rvv()] {
             for vl in [128usize, 256, 512, 1024, 2048] {
-                let (compiled, prog) = engine
-                    .specialize(&kernel, Flow::SplitVectorOpt, &family, &cfg, vl)
+                let req = ExecRequest::new(&kernel, &family, &env).vl_bits(vl);
+                let fused = engine
+                    .execute(&req)
                     .unwrap_or_else(|e| panic!("{} @VL={vl}: {e}", spec.name));
-                let exec = family.at_vl(vl);
-                let fused = run_specialized(&exec, &compiled, &prog, &env, AllocPolicy::Aligned)
+                let unfused = engine
+                    .execute(&req.clone().fused(false))
                     .unwrap_or_else(|e| panic!("{} @VL={vl}: {e}", spec.name));
-                let unfused_prog =
-                    DecodedProgram::decode_unfused(&compiled.jit.code, &exec).unwrap();
-                let unfused =
-                    run_specialized(&exec, &compiled, &unfused_prog, &env, AllocPolicy::Aligned)
-                        .unwrap_or_else(|e| panic!("{} @VL={vl}: {e}", spec.name));
                 for (name, expected) in fused.out.arrays() {
                     arrays_match(expected, unfused.out.array(name).unwrap(), 0.0).unwrap_or_else(
                         |e| {

@@ -3,7 +3,7 @@
 
 use std::sync::OnceLock;
 
-use vapor_core::{run, AllocPolicy, CompileConfig, Engine, Flow};
+use vapor_core::{CompileConfig, Engine, ExecRequest, Flow};
 use vapor_jit::Pipeline;
 use vapor_kernels::{find, Scale};
 use vapor_targets::{altivec, neon64, scalar_only, sse};
@@ -19,10 +19,8 @@ fn full_cycles(name: &str, flow: Flow, target: &vapor_targets::TargetDesc) -> u6
     let spec = find(name).unwrap();
     let kernel = spec.kernel();
     let env = spec.env(Scale::Full);
-    let c = engine()
-        .compile(&kernel, flow, target, &CompileConfig::default())
-        .unwrap();
-    run(target, &c, &env, AllocPolicy::Aligned)
+    engine()
+        .execute(&ExecRequest::new(&kernel, target, &env).flow(flow))
         .unwrap()
         .stats
         .cycles
@@ -141,11 +139,15 @@ fn mmm_guard_resolution_differs_between_pipelines() {
     // relative to the optimizing pipeline, which precomputes conditions
     // at entry (same counts, hoisted) — observable through cycles:
     let env = spec.env(Scale::Full);
-    let rn = run(&altivec(), &naive, &env, AllocPolicy::Aligned)
+    let target = altivec();
+    let req = ExecRequest::new(&kernel, &target, &env);
+    let rn = engine()
+        .execute(&req.clone().flow(Flow::SplitVectorNaive))
         .unwrap()
         .stats
         .cycles;
-    let ro = run(&altivec(), &opt, &env, AllocPolicy::Aligned)
+    let ro = engine()
+        .execute(&req.flow(Flow::SplitVectorOpt))
         .unwrap()
         .stats
         .cycles;

@@ -10,7 +10,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use vapor_core::{arrays_match, reference, run, AllocPolicy, CompileConfig, Engine, Flow};
+use vapor_core::{arrays_match, reference, AllocPolicy, Engine, ExecRequest, Flow};
 use vapor_ir::{ArrayData, BinOp, Bindings, Expr, Kernel, KernelBuilder, ScalarTy};
 use vapor_targets::{altivec, neon64, sse};
 
@@ -109,7 +109,6 @@ fn check_kernel(engine: &Engine, kernel: &Kernel, n: usize, data: &[i64], mis: u
         .set_array("x", ArrayData::from_ints(ScalarTy::I32, data))
         .set_array("y", ArrayData::zeroed(ScalarTy::I32, n.max(1)));
     let oracle = reference(kernel, &env).expect("oracle");
-    let cfg = CompileConfig::default();
     for target in [sse(), altivec(), neon64()] {
         for flow in [Flow::SplitVectorOpt, Flow::SplitVectorNaive] {
             // A JIT that owns allocation never sees misaligned bases: the
@@ -121,10 +120,11 @@ fn check_kernel(engine: &Engine, kernel: &Kernel, n: usize, data: &[i64], mis: u
             } else {
                 AllocPolicy::Misaligned(mis)
             };
-            let c = engine
-                .compile(kernel, flow, &target, &cfg)
-                .unwrap_or_else(|e| panic!("{flow} on {}: {e}", target.name));
-            let r = run(&target, &c, &env, policy)
+            let req = ExecRequest::new(kernel, &target, &env)
+                .flow(flow)
+                .policy(policy);
+            let r = engine
+                .execute(&req)
                 .unwrap_or_else(|e| panic!("{flow} on {}: {e}", target.name));
             arrays_match(oracle.array("y").unwrap(), r.out.array("y").unwrap(), 0.0)
                 .unwrap_or_else(|e| {
@@ -358,12 +358,10 @@ fn random_interleaved_stores_match_oracle() {
             .set_array("x", ArrayData::from_ints(ScalarTy::I32, &data))
             .set_array("y", ArrayData::zeroed(ScalarTy::I32, 2 * n.max(1)));
         let oracle = reference(&kernel, &env).unwrap();
-        let cfg = CompileConfig::default();
         for target in [sse(), altivec(), neon64()] {
-            let c = engine
-                .compile(&kernel, Flow::SplitVectorOpt, &target, &cfg)
+            let r = engine
+                .execute(&ExecRequest::new(&kernel, &target, &env))
                 .unwrap();
-            let r = run(&target, &c, &env, AllocPolicy::Aligned).unwrap();
             arrays_match(oracle.array("y").unwrap(), r.out.array("y").unwrap(), 0.0)
                 .unwrap_or_else(|e| panic!("{} (n={n}): {e}", target.name));
         }

@@ -3,10 +3,7 @@
 //! max-width file on every suite kernel, and real VLA compilations must
 //! actually hit the predicated fast-dispatch kernels.
 
-use vapor_core::{
-    arrays_match, run, run_specialized, run_specialized_wide, run_wide, AllocPolicy, CompileConfig,
-    Engine, Flow,
-};
+use vapor_core::{arrays_match, CompileConfig, Engine, ExecRequest, Flow};
 use vapor_kernels::{suite, Scale};
 use vapor_targets::{avx, neon64, rvv, sse, sve, DStep};
 
@@ -17,16 +14,17 @@ use vapor_targets::{avx, neon64, rvv, sse, sve, DStep};
 #[test]
 fn sized_and_max_register_files_agree_on_every_suite_kernel() {
     let engine = Engine::new();
-    let cfg = CompileConfig::default();
     for spec in suite() {
         let kernel = spec.kernel();
         let env = spec.env(Scale::Test);
         for target in [sse(), neon64(), avx()] {
             for flow in [Flow::SplitVectorOpt, Flow::NativeVector] {
-                let compiled = engine.compile(&kernel, flow, &target, &cfg).unwrap();
-                let sized = run(&target, &compiled, &env, AllocPolicy::Aligned)
+                let req = ExecRequest::new(&kernel, &target, &env).flow(flow);
+                let sized = engine
+                    .execute(&req)
                     .unwrap_or_else(|e| panic!("{} [{flow} on {}]: {e}", spec.name, target.name));
-                let wide = run_wide(&target, &compiled, &env, AllocPolicy::Aligned)
+                let wide = engine
+                    .execute(&req.clone().wide_registers(true))
                     .unwrap_or_else(|e| panic!("{} [{flow} on {}]: {e}", spec.name, target.name));
                 for (name, expected) in sized.out.arrays() {
                     // Bit-exact: tolerance 0.
@@ -56,21 +54,18 @@ fn sized_and_max_register_files_agree_on_every_suite_kernel() {
 #[test]
 fn sized_and_max_register_files_agree_at_every_runtime_vl() {
     let engine = Engine::new();
-    let cfg = CompileConfig::default();
     for spec in suite() {
         let kernel = spec.kernel();
         let env = spec.env(Scale::Test);
         for family in [sve(), rvv()] {
             for vl in [128usize, 256, 512, 2048] {
-                let (compiled, prog) = engine
-                    .specialize(&kernel, Flow::SplitVectorOpt, &family, &cfg, vl)
+                let req = ExecRequest::new(&kernel, &family, &env).vl_bits(vl);
+                let sized = engine
+                    .execute(&req)
                     .unwrap_or_else(|e| panic!("{} @VL={vl}: {e}", spec.name));
-                let exec = family.at_vl(vl);
-                let sized = run_specialized(&exec, &compiled, &prog, &env, AllocPolicy::Aligned)
+                let wide = engine
+                    .execute(&req.clone().wide_registers(true))
                     .unwrap_or_else(|e| panic!("{} @VL={vl}: {e}", spec.name));
-                let wide =
-                    run_specialized_wide(&exec, &compiled, &prog, &env, AllocPolicy::Aligned)
-                        .unwrap_or_else(|e| panic!("{} @VL={vl}: {e}", spec.name));
                 for (name, expected) in sized.out.arrays() {
                     arrays_match(expected, wide.out.array(name).unwrap(), 0.0).unwrap_or_else(
                         |e| {

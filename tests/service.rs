@@ -1,0 +1,324 @@
+//! Service-layer integration tests: the engine under concurrent
+//! multi-tenant load (stats consistency, in-flight dedup, arena
+//! pooling), the bounded sharded cache, and the persistent artifact
+//! tier (round-trip differential, corruption rejection) — plus the
+//! compatibility contract of the deprecated `run_*` shims against the
+//! unified [`vapor_core::ExecRequest`] API.
+
+use std::collections::HashSet;
+use std::path::PathBuf;
+
+use vapor_core::{
+    arrays_match, run, run_baseline, run_threaded, run_unfused, run_wide, AllocPolicy,
+    CompileConfig, Engine, ExecRequest, Flow, Tier,
+};
+use vapor_kernels::{suite, Scale};
+use vapor_targets::{sse, sve};
+
+/// A unique scratch directory under the system temp dir. The tests
+/// clean up after themselves; a leftover directory from a killed run is
+/// ignored (removed on entry).
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("vapor-service-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Many threads hammer one engine with a mixed request plan. The
+/// engine's counters must reconcile exactly: every request is one
+/// compile-cache lookup, every distinct (kernel, target) tuple compiles
+/// exactly once no matter how many threads race it (in-flight dedup
+/// must neither lose nor duplicate a compile), and every request takes
+/// exactly one arena from the pool.
+#[test]
+fn concurrent_hammer_keeps_stats_exact_and_dedups_inflight_compiles() {
+    let threads = 8usize;
+    let per_thread = 40usize;
+    let specs: Vec<_> = suite().into_iter().take(6).collect();
+    let kernels: Vec<_> = specs.iter().map(|s| s.kernel()).collect();
+    let envs: Vec<_> = specs.iter().map(|s| s.env(Scale::Test)).collect();
+    let sse_t = sse();
+    let sve_t = sve();
+
+    let engine = Engine::new();
+    let mut distinct: HashSet<(usize, bool)> = HashSet::new();
+    for tid in 0..threads {
+        for i in 0..per_thread {
+            distinct.insert(((i + tid) % specs.len(), i % 3 == 0));
+        }
+    }
+    std::thread::scope(|scope| {
+        for tid in 0..threads {
+            let engine = &engine;
+            let kernels = &kernels;
+            let envs = &envs;
+            let (sse_t, sve_t) = (&sse_t, &sve_t);
+            scope.spawn(move || {
+                for i in 0..per_thread {
+                    let spec = (i + tid) % kernels.len();
+                    let vla = i % 3 == 0;
+                    let target = if vla { sve_t } else { sse_t };
+                    let mut req = ExecRequest::new(&kernels[spec], target, &envs[spec]);
+                    if vla {
+                        req = req.vl_bits(if i % 2 == 0 { 256 } else { 1024 });
+                    }
+                    if i % 5 == 4 {
+                        req = req.tier(Tier::Threaded);
+                    }
+                    engine.execute(&req).unwrap();
+                }
+            });
+        }
+    });
+    let s = engine.stats();
+    let issued = (threads * per_thread) as u64;
+    assert_eq!(s.hits + s.misses, issued, "one cache lookup per request");
+    assert_eq!(
+        s.misses,
+        distinct.len() as u64,
+        "one compile per distinct tuple — in-flight dedup lost or duplicated work"
+    );
+    assert_eq!(s.entries, distinct.len());
+    assert_eq!(
+        s.pool_reuses + s.pool_allocs,
+        issued,
+        "one arena per request"
+    );
+    assert!(
+        s.pool_reuses > 0,
+        "a hammer this long must recycle pooled arenas"
+    );
+}
+
+/// The compile cache is bounded per shard: a working set larger than
+/// the configured capacity must evict (counted) instead of growing
+/// without bound.
+#[test]
+fn compile_cache_stays_within_its_configured_bound() {
+    let engine = Engine::builder()
+        .shards(2)
+        .compile_cache_capacity(4)
+        .build()
+        .unwrap();
+    let cfg = CompileConfig::default();
+    let target = sse();
+    let specs: Vec<_> = suite().into_iter().take(12).collect();
+    for spec in &specs {
+        engine
+            .compile(&spec.kernel(), Flow::SplitVectorOpt, &target, &cfg)
+            .unwrap();
+    }
+    let s = engine.stats();
+    // Per-shard capacity is ceil(4/2) = 2, so at most 4 entries total.
+    assert!(s.entries <= 4, "cache grew past its bound: {}", s.entries);
+    assert_eq!(s.evictions, (specs.len() - s.entries) as u64);
+    assert_eq!(s.shards, 2);
+}
+
+/// Round-trip differential over the suite: artifacts written by one
+/// engine and decoded by a second (fresh) engine on the same store must
+/// produce bit-identical machine state and `vm_cycles` — the on-disk
+/// bytecode tier is not allowed to perturb execution in any observable
+/// way.
+#[test]
+fn artifact_round_trip_executes_bit_identically_across_engines() {
+    let dir = scratch("roundtrip");
+    let writer = Engine::builder().artifact_dir(&dir).build().unwrap();
+    let reader = Engine::builder().artifact_dir(&dir).build().unwrap();
+    let target = sse();
+    for spec in suite() {
+        let kernel = spec.kernel();
+        let env = spec.env(Scale::Test);
+        let req = ExecRequest::new(&kernel, &target, &env);
+        let fresh = writer.execute(&req).unwrap();
+        let warm = reader.execute(&req).unwrap();
+        for (name, expected) in fresh.out.arrays() {
+            // Bit-exact: tolerance 0.
+            arrays_match(expected, warm.out.array(name).unwrap(), 0.0)
+                .unwrap_or_else(|e| panic!("{}: array {name} diverged: {e}", spec.name));
+        }
+        assert_eq!(
+            fresh.stats, warm.stats,
+            "{}: artifact-decoded compile diverged in cycles/insts",
+            spec.name
+        );
+    }
+    let ws = writer.stats();
+    let rs = reader.stats();
+    assert_eq!(ws.artifact_writes, 32, "one artifact per suite kernel");
+    assert_eq!(
+        rs.artifact_hits, 32,
+        "the second engine must serve every compile from disk"
+    );
+    assert_eq!(rs.artifact_rejects, 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Corrupted and truncated artifacts must be rejected (counted), never
+/// trusted — and the engine must transparently recompile from source
+/// and heal the store with a fresh artifact.
+#[test]
+fn corrupted_and_truncated_artifacts_are_rejected_and_healed() {
+    let dir = scratch("corrupt");
+    let spec = &suite()[0];
+    let kernel = spec.kernel();
+    let env = spec.env(Scale::Test);
+    let target = sse();
+    let req = ExecRequest::new(&kernel, &target, &env);
+
+    let writer = Engine::builder().artifact_dir(&dir).build().unwrap();
+    let good = writer.execute(&req).unwrap();
+    let store = writer.artifact_store().unwrap();
+    let path = std::fs::read_dir(store.dir())
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .find(|p| p.extension().is_some_and(|e| e == "vsart"))
+        .expect("the writer engine must have persisted an artifact");
+
+    let pristine = std::fs::read(&path).unwrap();
+    for (tag, mangle) in [
+        ("flipped payload byte", {
+            let mut b = pristine.clone();
+            let mid = b.len() / 2;
+            b[mid] ^= 0xff;
+            b
+        }),
+        ("truncated file", pristine[..pristine.len() / 2].to_vec()),
+        ("bad magic", {
+            let mut b = pristine.clone();
+            b[0] ^= 0xff;
+            b
+        }),
+    ] {
+        std::fs::write(&path, &mangle).unwrap();
+        let victim = Engine::builder().artifact_dir(&dir).build().unwrap();
+        let healed = victim.execute(&req).unwrap();
+        let s = victim.stats();
+        assert_eq!(s.artifact_rejects, 1, "{tag}: must reject, not trust");
+        assert_eq!(s.artifact_hits, 0, "{tag}: a reject is not a hit");
+        assert_eq!(
+            healed.stats, good.stats,
+            "{tag}: recompile-after-reject diverged"
+        );
+        assert_eq!(
+            s.artifact_writes, 1,
+            "{tag}: the store must be healed with a fresh artifact"
+        );
+        // The healed artifact is valid again: the next engine hits it.
+        let verify = Engine::builder().artifact_dir(&dir).build().unwrap();
+        verify.execute(&req).unwrap();
+        assert_eq!(verify.stats().artifact_hits, 1, "{tag}: heal did not stick");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Every deprecated `run_*` shim must behave exactly like the
+/// `ExecRequest` it documents itself as — same arrays bit-for-bit, same
+/// stats — so downstream code can migrate mechanically.
+#[test]
+fn deprecated_shims_match_the_unified_api() {
+    let engine = Engine::new();
+    let cfg = CompileConfig::default();
+    let spec = suite().into_iter().find(|s| s.name == "saxpy_fp").unwrap();
+    let kernel = spec.kernel();
+    let env = spec.env(Scale::Test);
+    let target = sse();
+    let compiled = engine
+        .compile(&kernel, Flow::SplitVectorOpt, &target, &cfg)
+        .unwrap();
+    let base_req = ExecRequest::new(&kernel, &target, &env);
+
+    let pairs: Vec<(&str, vapor_core::RunResult, vapor_core::RunResult)> = vec![
+        (
+            "run",
+            run(&target, &compiled, &env, AllocPolicy::Aligned).unwrap(),
+            engine.execute(&base_req).unwrap().run_result(),
+        ),
+        (
+            "run_wide",
+            run_wide(&target, &compiled, &env, AllocPolicy::Aligned).unwrap(),
+            engine
+                .execute(&base_req.clone().wide_registers(true))
+                .unwrap()
+                .run_result(),
+        ),
+        (
+            "run_unfused",
+            run_unfused(&target, &compiled, &env, AllocPolicy::Aligned).unwrap(),
+            engine
+                .execute(&base_req.clone().fused(false))
+                .unwrap()
+                .run_result(),
+        ),
+        (
+            "run_baseline",
+            run_baseline(&target, &compiled, &env, AllocPolicy::Aligned).unwrap(),
+            engine
+                .execute(&base_req.clone().tier(Tier::Baseline))
+                .unwrap()
+                .run_result(),
+        ),
+        (
+            "run_threaded",
+            {
+                let (c, prog) = engine
+                    .thread(&kernel, Flow::SplitVectorOpt, &target, &cfg, target.vs * 8)
+                    .unwrap();
+                run_threaded(&target, &c, &prog, &env, AllocPolicy::Aligned).unwrap()
+            },
+            {
+                engine
+                    .execute(&base_req.clone().tier(Tier::Threaded))
+                    .unwrap()
+                    .run_result()
+            },
+        ),
+    ];
+    for (name, shim, unified) in pairs {
+        assert_eq!(shim.stats, unified.stats, "{name}: stats diverged");
+        for (arr, expected) in shim.out.arrays() {
+            arrays_match(expected, unified.out.array(arr).unwrap(), 0.0)
+                .unwrap_or_else(|e| panic!("{name}: array {arr} diverged: {e}"));
+        }
+    }
+}
+
+/// The builder wires every knob through to the running engine and its
+/// stats, and `Engine::new()` keeps the documented defaults.
+#[test]
+fn builder_configuration_is_observable() {
+    let engine = Engine::builder()
+        .shards(3)
+        .compile_cache_capacity(9)
+        .arena_pool_capacity(2)
+        .build()
+        .unwrap();
+    assert_eq!(engine.stats().shards, 3);
+
+    let default = Engine::new();
+    assert_eq!(default.stats().shards, vapor_core::DEFAULT_SHARDS);
+    assert!(default.artifact_store().is_none());
+
+    // Zero shards is clamped to one lock, never a div-by-zero.
+    let one = Engine::builder().shards(0).build().unwrap();
+    assert_eq!(one.stats().shards, 1);
+}
+
+/// Sequential executions must recycle the pooled arena instead of
+/// reallocating: after the first request warms the pool, subsequent
+/// requests are allocation-free on the arena path.
+#[test]
+fn arena_pool_recycles_across_sequential_requests() {
+    let engine = Engine::new();
+    let spec = &suite()[0];
+    let kernel = spec.kernel();
+    let env = spec.env(Scale::Test);
+    let target = sse();
+    let req = ExecRequest::new(&kernel, &target, &env);
+    for _ in 0..10 {
+        engine.execute(&req).unwrap();
+    }
+    let s = engine.stats();
+    assert_eq!(s.pool_allocs, 1, "only the first request may allocate");
+    assert_eq!(s.pool_reuses, 9, "every later request must reuse the arena");
+}

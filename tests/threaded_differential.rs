@@ -6,9 +6,7 @@
 //! charges fuel per region, but on non-trapping executions none of that
 //! may be observable: *any* difference is a threading bug.
 
-use vapor_core::{
-    arrays_match, run, run_specialized, run_threaded, AllocPolicy, CompileConfig, Engine, Flow,
-};
+use vapor_core::{arrays_match, AllocPolicy, Engine, ExecRequest, Flow, Tier};
 use vapor_kernels::{suite, Scale};
 use vapor_targets::{avx, neon64, rvv, sse, sve};
 
@@ -17,19 +15,17 @@ use vapor_targets::{avx, neon64, rvv, sse, sve};
 #[test]
 fn threaded_and_decoded_dispatch_agree_on_every_suite_kernel() {
     let engine = Engine::new();
-    let cfg = CompileConfig::default();
     for spec in suite() {
         let kernel = spec.kernel();
         let env = spec.env(Scale::Test);
         for target in [sse(), neon64(), avx()] {
             for flow in [Flow::SplitVectorOpt, Flow::NativeVector] {
-                let vl = target.vs * 8;
-                let (compiled, prog) = engine
-                    .thread(&kernel, flow, &target, &cfg, vl)
+                let req = ExecRequest::new(&kernel, &target, &env).flow(flow);
+                let decoded = engine
+                    .execute(&req)
                     .unwrap_or_else(|e| panic!("{} [{flow} on {}]: {e}", spec.name, target.name));
-                let decoded = run(&target, &compiled, &env, AllocPolicy::Aligned)
-                    .unwrap_or_else(|e| panic!("{} [{flow} on {}]: {e}", spec.name, target.name));
-                let threaded = run_threaded(&target, &compiled, &prog, &env, AllocPolicy::Aligned)
+                let threaded = engine
+                    .execute(&req.clone().tier(Tier::Threaded))
                     .unwrap_or_else(|e| panic!("{} [{flow} on {}]: {e}", spec.name, target.name));
                 for (name, expected) in decoded.out.arrays() {
                     // Bit-exact: tolerance 0.
@@ -59,25 +55,18 @@ fn threaded_and_decoded_dispatch_agree_on_every_suite_kernel() {
 #[test]
 fn threaded_and_decoded_dispatch_agree_at_every_runtime_vl() {
     let engine = Engine::new();
-    let cfg = CompileConfig::default();
     for spec in suite() {
         let kernel = spec.kernel();
         let env = spec.env(Scale::Test);
         for family in [sve(), rvv()] {
             for vl in [128usize, 256, 512, 1024, 2048] {
-                let (compiled, decoded_prog) = engine
-                    .specialize(&kernel, Flow::SplitVectorOpt, &family, &cfg, vl)
+                let req = ExecRequest::new(&kernel, &family, &env).vl_bits(vl);
+                let decoded = engine
+                    .execute(&req)
                     .unwrap_or_else(|e| panic!("{} @VL={vl}: {e}", spec.name));
-                let (_, threaded_prog) = engine
-                    .thread(&kernel, Flow::SplitVectorOpt, &family, &cfg, vl)
+                let threaded = engine
+                    .execute(&req.clone().tier(Tier::Threaded))
                     .unwrap_or_else(|e| panic!("{} @VL={vl}: {e}", spec.name));
-                let exec = family.at_vl(vl);
-                let decoded =
-                    run_specialized(&exec, &compiled, &decoded_prog, &env, AllocPolicy::Aligned)
-                        .unwrap_or_else(|e| panic!("{} @VL={vl}: {e}", spec.name));
-                let threaded =
-                    run_threaded(&exec, &compiled, &threaded_prog, &env, AllocPolicy::Aligned)
-                        .unwrap_or_else(|e| panic!("{} @VL={vl}: {e}", spec.name));
                 for (name, expected) in decoded.out.arrays() {
                     arrays_match(expected, threaded.out.array(name).unwrap(), 0.0).unwrap_or_else(
                         |e| {
@@ -105,19 +94,17 @@ fn threaded_and_decoded_dispatch_agree_at_every_runtime_vl() {
 #[test]
 fn threaded_dispatch_agrees_under_misaligned_bases() {
     let engine = Engine::new();
-    let cfg = CompileConfig::default();
     for spec in suite() {
         let kernel = spec.kernel();
         let env = spec.env(Scale::Test);
         let target = sse();
-        let vl = target.vs * 8;
         for mis in [4usize, 8] {
-            let (compiled, prog) = engine
-                .thread(&kernel, Flow::SplitVectorOpt, &target, &cfg, vl)
-                .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
-            let decoded = run(&target, &compiled, &env, AllocPolicy::Misaligned(mis))
+            let req = ExecRequest::new(&kernel, &target, &env).policy(AllocPolicy::Misaligned(mis));
+            let decoded = engine
+                .execute(&req)
                 .unwrap_or_else(|e| panic!("{} (mis={mis}): {e}", spec.name));
-            let threaded = run_threaded(&target, &compiled, &prog, &env, AllocPolicy::Misaligned(mis))
+            let threaded = engine
+                .execute(&req.clone().tier(Tier::Threaded))
                 .unwrap_or_else(|e| panic!("{} (mis={mis}): {e}", spec.name));
             for (name, expected) in decoded.out.arrays() {
                 arrays_match(expected, threaded.out.array(name).unwrap(), 0.0).unwrap_or_else(

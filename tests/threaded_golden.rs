@@ -46,7 +46,13 @@ fn threaded_disassembly_matches_goldens_on_fixed_width() {
         let spec = suite().into_iter().find(|s| s.name == name).unwrap();
         let target = sse();
         let (_, prog) = engine
-            .thread(&spec.kernel(), Flow::SplitVectorOpt, &target, &cfg, target.vs * 8)
+            .thread(
+                &spec.kernel(),
+                Flow::SplitVectorOpt,
+                &target,
+                &cfg,
+                target.vs * 8,
+            )
             .unwrap();
         check_golden(&format!("threaded_{name}_sse"), &disasm_threaded(&prog));
     }
@@ -76,11 +82,21 @@ fn threaded_disassembly_matches_goldens_on_runtime_vl() {
 fn affine_golden_kernels_stream_their_loops() {
     let engine = Engine::new();
     let cfg = CompileConfig::default();
-    for (name, streams) in [("saxpy_fp", true), ("convolve_s32", true), ("seidel_fp", false)] {
+    for (name, streams) in [
+        ("saxpy_fp", true),
+        ("convolve_s32", true),
+        ("seidel_fp", false),
+    ] {
         let spec = suite().into_iter().find(|s| s.name == name).unwrap();
         let target = sse();
         let (_, prog) = engine
-            .thread(&spec.kernel(), Flow::SplitVectorOpt, &target, &cfg, target.vs * 8)
+            .thread(
+                &spec.kernel(),
+                Flow::SplitVectorOpt,
+                &target,
+                &cfg,
+                target.vs * 8,
+            )
             .unwrap();
         assert_eq!(
             prog.streamed_loops() > 0,
