@@ -33,6 +33,12 @@
 //!    sharded vs single-lock contention A/B and a cold vs artifact-warm
 //!    compile A/B. Exact stats equalities (one lookup per request, one
 //!    compile per distinct tuple) are asserted inside the experiment.
+//! 9. **Allen–Kennedy distribution** — the former floor kernels
+//!    (`lu`/`ludcmp`/`seidel`): vector-flow vs scalar-flow wall clock,
+//!    the per-kernel count of vectorized loops and recorded dependence
+//!    SCCs, and a deterministic check that toggling
+//!    `CompileConfig::no_distribution` leaves these kernels' `vm_cycles`
+//!    bit-identical (their distribution verdicts are report-only).
 //!
 //! ```text
 //! cargo run --release -p vapor-bench --bin engine_bench [out.json] [--baseline=committed.json]
@@ -333,6 +339,70 @@ fn fusion_experiment(engine: &Engine) -> Vec<FusionRow> {
     rows
 }
 
+/// One row of the distribution experiment: a former floor kernel's
+/// vector-vs-scalar gain plus the planner's distribution stats.
+struct DistributionRow {
+    name: String,
+    scalar_us: f64,
+    vector_us: f64,
+    cycles: u64,
+    vector_loops: usize,
+    scc_parts: usize,
+}
+
+/// Allen–Kennedy distribution experiment: the solver kernels the planner
+/// historically rejected whole. `lu`/`ludcmp` now vectorize their inner
+/// loops (the "moving toward the pack" gain the wall clock records);
+/// `seidel` stays scalar but must carry its SCC partition. None of the
+/// three emits a *distributed* loop, so disabling distribution must not
+/// change their `vm_cycles` — asserted here, deterministically, before
+/// any number is written.
+fn distribution_experiment(engine: &Engine) -> Vec<DistributionRow> {
+    let target = sse();
+    let cfg = CompileConfig::default();
+    let no_dist = CompileConfig {
+        no_distribution: true,
+        ..CompileConfig::default()
+    };
+    let mut rows = Vec::new();
+    for spec in suite() {
+        if !["lu_fp", "ludcmp_fp", "seidel_fp"].contains(&spec.name) {
+            continue;
+        }
+        let kernel = spec.kernel();
+        let env = spec.env(Scale::Full);
+        let vec_req = ExecRequest::new(&kernel, &target, &env)
+            .flow(Flow::SplitVectorOpt)
+            .config(cfg.clone());
+        let sca_req = vec_req.clone().flow(Flow::SplitScalarOpt);
+        let vec_run = engine.execute(&vec_req).unwrap();
+        let c = vec_run.compiled;
+        let vector_loops = c.reports.iter().filter(|r| r.vectorized).count();
+        let scc_parts: usize = c.reports.iter().map(|r| r.parts.len()).sum();
+        let nodist_cycles = engine
+            .execute(&vec_req.clone().config(no_dist.clone()))
+            .unwrap()
+            .stats
+            .cycles;
+        assert_eq!(
+            vec_run.stats.cycles, nodist_cycles,
+            "{}: no_distribution changed emission on a kernel with no distributed loop",
+            spec.name
+        );
+        let scalar_us = best_secs(5, || engine.execute(&sca_req).unwrap()) * 1e6;
+        let vector_us = best_secs(5, || engine.execute(&vec_req).unwrap()) * 1e6;
+        rows.push(DistributionRow {
+            name: spec.name.to_owned(),
+            scalar_us,
+            vector_us,
+            cycles: vec_run.stats.cycles,
+            vector_loops,
+            scc_parts,
+        });
+    }
+    rows
+}
+
 /// Summary of the multi-tenant service stress experiment.
 struct ServiceSummary {
     threads: usize,
@@ -607,25 +677,25 @@ fn main() {
         .map(str::to_owned);
     let engine = Engine::new();
 
-    eprintln!("[1/8] compilation cache: cold vs hit ...");
+    eprintln!("[1/9] compilation cache: cold vs hit ...");
     let cache = cache_experiment(&engine);
     let cold_total: f64 = cache.iter().map(|r| r.cold_us).sum();
     let hit_total: f64 = cache.iter().map(|r| r.hit_us).sum();
     let cache_speedup = cold_total / hit_total;
 
-    eprintln!("[2/8] VM dispatch: seed interpreter vs pre-decoded ...");
+    eprintln!("[2/9] VM dispatch: seed interpreter vs pre-decoded ...");
     let dispatch = dispatch_experiment(&engine);
     let base_total: f64 = dispatch.iter().map(|r| r.baseline_us).sum();
     let dec_total: f64 = dispatch.iter().map(|r| r.decoded_us).sum();
     let dispatch_speedup = base_total / dec_total;
 
-    eprintln!("[3/8] runtime-VL specialization: re-specialize vs full recompile ...");
+    eprintln!("[3/9] runtime-VL specialization: re-specialize vs full recompile ...");
     let vl_rows = vl_specialize_experiment(&engine);
     let vl_fresh: f64 = vl_rows.iter().map(|r| r.baseline_us).sum();
     let vl_hit: f64 = vl_rows.iter().map(|r| r.decoded_us).sum();
     let vl_speedup = vl_fresh / vl_hit;
 
-    eprintln!("[4/8] register file: target-sized vs seed max-width ...");
+    eprintln!("[4/9] register file: target-sized vs seed max-width ...");
     let regmove = regmove_experiment(&engine);
     let wide_total: f64 = regmove.iter().map(|r| r.baseline_us).sum();
     let sized_total: f64 = regmove.iter().map(|r| r.decoded_us).sum();
@@ -636,19 +706,19 @@ fn main() {
     let regmove_bytes_wide = MAX_VS;
     let regmove_bytes_sized = std::mem::size_of::<VBytes>();
 
-    eprintln!("[5/8] VLA dispatch: generic predicated loop vs fast kernels ...");
+    eprintln!("[5/9] VLA dispatch: generic predicated loop vs fast kernels ...");
     let vla = vla_dispatch_experiment(&engine);
     let vla_base: f64 = vla.iter().map(|r| r.baseline_us).sum();
     let vla_fast: f64 = vla.iter().map(|r| r.decoded_us).sum();
     let vla_dispatch_speedup = vla_base / vla_fast;
 
-    eprintln!("[6/8] superinstruction fusion: fused vs unfused dispatch ...");
+    eprintln!("[6/9] superinstruction fusion: fused vs unfused dispatch ...");
     let fusion = fusion_experiment(&engine);
     let fusion_unfused: f64 = fusion.iter().map(|r| r.unfused_us).sum();
     let fusion_fused: f64 = fusion.iter().map(|r| r.fused_us).sum();
     let fusion_speedup = fusion_unfused / fusion_fused;
 
-    eprintln!("[7/8] closure-threaded tier: seed vs decoded vs threaded ...");
+    eprintln!("[7/9] closure-threaded tier: seed vs decoded vs threaded ...");
     let threaded = threaded_experiment(&engine);
     let thr_base: f64 = threaded.iter().map(|r| r.baseline_us).sum();
     let thr_dec: f64 = threaded.iter().map(|r| r.decoded_us).sum();
@@ -656,9 +726,26 @@ fn main() {
     let threaded_speedup = thr_base / thr_thr;
     let threaded_vs_decoded = thr_dec / thr_thr;
 
-    eprintln!("[8/8] multi-tenant service: mixed request storm ...");
+    eprintln!("[8/9] multi-tenant service: mixed request storm ...");
     let service = service_experiment();
     let artifact_speedup = service.artifact_cold_us / service.artifact_warm_us;
+
+    eprintln!("[9/9] Allen–Kennedy distribution: floor-kernel vector gains ...");
+    let distribution = distribution_experiment(&engine);
+    // The summary speedup covers the kernels that actually vectorize
+    // (seidel is a genuine recurrence — its row documents the SCC, not a
+    // gain).
+    let dist_scalar: f64 = distribution
+        .iter()
+        .filter(|r| r.vector_loops > 0)
+        .map(|r| r.scalar_us)
+        .sum();
+    let dist_vector: f64 = distribution
+        .iter()
+        .filter(|r| r.vector_loops > 0)
+        .map(|r| r.vector_us)
+        .sum();
+    let distribution_speedup = dist_scalar / dist_vector;
 
     let mut j = String::new();
     j.push_str("{\n");
@@ -674,6 +761,23 @@ fn main() {
     let _ = writeln!(j, "  \"fusion_speedup\": {fusion_speedup:.3},");
     let _ = writeln!(j, "  \"threaded_speedup\": {threaded_speedup:.3},");
     let _ = writeln!(j, "  \"threaded_vs_decoded\": {threaded_vs_decoded:.3},");
+    let _ = writeln!(j, "  \"distribution_speedup\": {distribution_speedup:.3},");
+    j.push_str("  \"distribution\": [\n");
+    for (i, r) in distribution.iter().enumerate() {
+        let sep = if i + 1 == distribution.len() { "" } else { "," };
+        let _ = writeln!(
+            j,
+            "    {{\"kernel\": \"{}\", \"scalar_us\": {:.2}, \"vector_us\": {:.2}, \"speedup\": {:.3}, \"vm_cycles\": {}, \"vector_loops\": {}, \"scc_parts\": {}}}{sep}",
+            r.name,
+            r.scalar_us,
+            r.vector_us,
+            r.scalar_us / r.vector_us,
+            r.cycles,
+            r.vector_loops,
+            r.scc_parts
+        );
+    }
+    j.push_str("  ],\n");
     j.push_str("  \"compile\": [\n");
     for (i, r) in cache.iter().enumerate() {
         let sep = if i + 1 == cache.len() { "" } else { "," };
@@ -833,6 +937,10 @@ fn main() {
         "  artifact tier warm start:   {artifact_speedup:.2}x ({:.0}us cold -> {:.0}us warm)",
         service.artifact_cold_us, service.artifact_warm_us
     );
+    println!(
+        "distribution floor kernels:   {distribution_speedup:.3}x vector vs scalar on the \
+         vectorizing solvers (floor ≥ 1.0x)"
+    );
     println!("wrote {out_path}");
 
     // Regression gate: absolute floors, tightened by the committed
@@ -850,6 +958,10 @@ fn main() {
     // per-kernel superinstruction counts is what catches a silently
     // weakened pass exactly.
     let mut fusion_floor: f64 = 0.95;
+    // The vectorizing solvers must never run slower under the vector
+    // flow than the scalar flow; a committed baseline raises the bar to
+    // 70% of the recorded gain.
+    let mut distribution_floor: f64 = 1.0;
     // No absolute floor for the service storm (throughput is
     // host-dependent); a committed baseline sets the 70% wall floor.
     let mut service_floor: f64 = 0.0;
@@ -877,6 +989,10 @@ fn main() {
         // Present only in baselines recorded after the service PR.
         if let Some(base_service) = json_number(&text, "throughput_rps") {
             service_floor = 0.7 * base_service;
+        }
+        // Present only in baselines recorded after the distribution PR.
+        if let Some(base_dist) = json_number(&text, "distribution_speedup") {
+            distribution_floor = distribution_floor.max(0.7 * base_dist);
         }
         println!(
             "baseline {path}: cache {base_cache:.1}x, dispatch {base_dispatch:.3}x \
@@ -908,6 +1024,24 @@ fn main() {
                         "REGRESSION: {} executed {} VM cycles through the threaded tier, \
                          committed baseline says {want} (deterministic counter; exact match \
                          required)",
+                        r.name, r.cycles
+                    );
+                    fail = true;
+                }
+                _ => {}
+            }
+        }
+        // The distribution rows' vm_cycles are deterministic (vector
+        // flow, decoded tier), so they too are gated on exact equality
+        // (present only in baselines recorded after the distribution
+        // PR). This is what pins seidel: a planner change that silently
+        // flips its emission shows up as a cycle drift here.
+        for r in &distribution {
+            match baseline_row_number(&text, "distribution", &r.name, "vm_cycles") {
+                Some(want) if want != r.cycles => {
+                    eprintln!(
+                        "REGRESSION: {} executed {} VM cycles under the vector flow, committed \
+                         baseline says {want} (deterministic counter; exact match required)",
                         r.name, r.cycles
                     );
                     fail = true;
@@ -959,6 +1093,13 @@ fn main() {
         eprintln!(
             "REGRESSION: threaded-tier speedup {threaded_speedup:.3}x < threshold \
              {threaded_floor:.3}x"
+        );
+        fail = true;
+    }
+    if distribution_speedup < distribution_floor {
+        eprintln!(
+            "REGRESSION: distribution floor-kernel speedup {distribution_speedup:.3}x < \
+             threshold {distribution_floor:.3}x"
         );
         fail = true;
     }

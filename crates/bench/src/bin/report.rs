@@ -592,6 +592,82 @@ fn print_vmperf(engine: &Engine, scale: Scale) {
          (wall-clock fused-vs-unfused recorded in BENCH_engine.json)\n"
     );
 
+    // Planner verdicts: why every scalar loop stayed scalar, per loop
+    // and — where Allen–Kennedy distribution ran — per dependence SCC.
+    // The category match below is exhaustive on purpose: adding a
+    // rejection category without a human description here is a compile
+    // error, and an unvectorized loop with *no* typed reason panics —
+    // rejections must never regress into mystery.
+    use vapor_vectorizer::RejectCategory;
+    let describe = |c: RejectCategory| -> &'static str {
+        match c {
+            RejectCategory::NonAffine => "non-affine subscript or bound",
+            RejectCategory::UnsupportedStride => "unsupported access stride",
+            RejectCategory::Dependence => "unresolved memory dependence",
+            RejectCategory::Recurrence => "true recurrence (dependence cycle)",
+            RejectCategory::Bounds => "unanalyzable loop bounds",
+            RejectCategory::UnsupportedTypes => "unsupported element types",
+            RejectCategory::TargetUnsupported => "target lacks the operation",
+            RejectCategory::NoVectorWork => "nothing profitable to vectorize",
+            RejectCategory::EmitFailure => "vector emission failed",
+        }
+    };
+    let mut rows = Vec::new();
+    for spec in suite() {
+        let kernel = spec.kernel();
+        let Ok(c) = engine.compile(
+            &kernel,
+            vapor_core::Flow::SplitVectorOpt,
+            &vapor_targets::sse(),
+            &cfg,
+        ) else {
+            continue;
+        };
+        for r in &c.reports {
+            if r.vectorized && r.parts.is_empty() {
+                continue; // plainly-vector loops have no scalarization story
+            }
+            let reason = match (&r.reason, r.vectorized) {
+                (Some(rej), _) => format!("{} — {}", describe(rej.category), rej.detail),
+                (None, true) => "-".to_string(),
+                (None, false) => panic!(
+                    "{}: unvectorized loop without a typed reason: {}",
+                    spec.name, r.description
+                ),
+            };
+            let parts = if r.parts.is_empty() {
+                "-".to_string()
+            } else {
+                r.parts
+                    .iter()
+                    .map(|p| {
+                        format!(
+                            "{:?}={}",
+                            p.stmts,
+                            if p.vectorized { "vec" } else { "scalar" }
+                        )
+                    })
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            };
+            rows.push(vec![
+                spec.name.to_owned(),
+                r.description.clone(),
+                if r.vectorized { "vector" } else { "scalar" }.to_string(),
+                reason,
+                parts,
+            ]);
+        }
+    }
+    println!(
+        "{}",
+        format_table(
+            "Planner verdicts — scalar loops, typed reasons, and SCC partitions (SSE, opt online)",
+            &["kernel", "loop", "verdict", "why scalar", "sccs"],
+            &rows
+        )
+    );
+
     // The service-layer view of the same engine: how the sharded,
     // bounded compile cache and the arena pool behaved under everything
     // this report just ran.

@@ -99,6 +99,9 @@ pub struct CompileConfig {
     /// Disable the offline optimized-realignment scheme (§III-A design
     /// choice ablation).
     pub no_realign_reuse: bool,
+    /// Disable Allen–Kennedy loop distribution (recurrence loops are
+    /// rejected whole instead of split per dependence SCC).
+    pub no_distribution: bool,
 }
 
 /// A fully compiled kernel plus the artifacts the experiments measure.
@@ -135,6 +138,7 @@ pub fn offline_compile(
             native: matches!(flow, Flow::NativeVector).then(|| target.clone()),
             no_alignment_opts: cfg.no_alignment_opts,
             no_realign_reuse: cfg.no_realign_reuse,
+            no_distribution: cfg.no_distribution,
         };
         let r = vectorize(kernel, &opts);
         (r.func, r.reports)

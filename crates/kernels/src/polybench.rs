@@ -2,8 +2,11 @@
 //! paper prepared them (§IV-B): loop interchange and array layout
 //! transposition to expose unit strides, scalar promotion of
 //! accumulators. `lu`, `ludcmp`, and `seidel` are kept in their natural
-//! form — they "require loop skewing … incompatible with the current
-//! auto-vectorizer" and must be *rejected* by the vectorizer.
+//! form — the paper's vectorizer rejected them ("require loop skewing …
+//! incompatible with the current auto-vectorizer"). With bound-aware
+//! dependence solving and subtraction reductions, `lu` and `ludcmp` now
+//! vectorize their inner loops; `seidel`'s in-place distance-1 recurrence
+//! remains scalar (it genuinely needs skewing).
 //!
 //! All arrays are globals (Polybench style), which a native compiler may
 //! align; dimension parameters stay runtime values so the row-alignment
@@ -231,8 +234,10 @@ kernel gramschmidt_fp(long n, global float a[], global float r[], global float q
   }
 }";
 
-/// Linear solver: LU decomposition — *not vectorizable* without loop
-/// skewing (unanalyzable dependences); the vectorizer must reject it.
+/// Linear solver: LU decomposition. The inner `j` update loop vectorizes
+/// once the planner solves the `a[n*i+k]` conflict against the `j = k+1`
+/// lower bound and proves `n*(i-k)` row combinations carry no small
+/// distance; the outer elimination order stays serial.
 pub const LU: &str = "
 kernel lu_fp(long n, global float a[]) {
   for (long k = 0; k < n; k++) {
@@ -245,8 +250,10 @@ kernel lu_fp(long n, global float a[]) {
   }
 }";
 
-/// Linear solver: LU with forward substitution — also rejected (inner
-/// bounds depend on outer variables; subtraction-shaped recurrence).
+/// Linear solver: LU with forward substitution. The subtraction-shaped
+/// accumulation `s = s - a*y` is recognized as a reduction (per-lane
+/// differences, plus-fold epilogue), so the inner loop vectorizes under
+/// its triangular bound.
 pub const LUDCMP: &str = "
 kernel ludcmp_fp(long n, global float a[], global float b[], global float y[]) {
   float s;
@@ -290,7 +297,8 @@ kernel jacobi_fp(long n, global float a[], global float b[]) {
 }";
 
 /// Stencil: Gauss-Seidel, in place — carried dependence of distance 1;
-/// the vectorizer must reject it (paper: requires skewing).
+/// the body is a single dependence SCC, so even Allen–Kennedy
+/// distribution leaves it scalar (paper: requires skewing).
 pub const SEIDEL: &str = "
 kernel seidel_fp(long n, global float a[]) {
   for (long i = 1; i < n - 1; i++) {

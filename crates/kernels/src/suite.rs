@@ -226,8 +226,8 @@ pub fn suite() -> Vec<KernelSpec> {
         p("gemver_fp", polybench::GEMVER, true, &[Reduction]),
         p("bicg_fp", polybench::BICG, true, &[Reduction]),
         p("gramschmidt_fp", polybench::GRAMSCHMIDT, true, &[Reduction]),
-        p("lu_fp", polybench::LU, false, &[]),
-        p("ludcmp_fp", polybench::LUDCMP, false, &[]),
+        p("lu_fp", polybench::LU, true, &[Versioned, Realign]),
+        p("ludcmp_fp", polybench::LUDCMP, true, &[Reduction]),
         p("adi_fp", polybench::ADI, true, &[]),
         p("jacobi_fp", polybench::JACOBI, true, &[Realign]),
         p("seidel_fp", polybench::SEIDEL, false, &[]),

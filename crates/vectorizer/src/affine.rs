@@ -93,7 +93,7 @@ impl Affine {
         Some(self)
     }
 
-    fn scale_const(mut self, c: i64) -> Option<Affine> {
+    pub(crate) fn scale_const(mut self, c: i64) -> Option<Affine> {
         for coeff in self.loops.values_mut() {
             *coeff = match *coeff {
                 Coeff::Const(x) => Coeff::Const(x * c),

@@ -13,11 +13,15 @@
 //! models the monolithic offline compiler used as the baseline.
 
 pub mod affine;
+pub mod depgraph;
 pub mod scalar_emit;
 pub mod slp;
 pub mod support;
 pub mod transform;
 
 pub use affine::{analyze, Affine, Coeff};
+pub use depgraph::{classify_dep, DepClass, DepGraph, RejectCategory, Rejection, Scc};
 pub use scalar_emit::{emit_scalar_function, new_function, ScalarEmitter};
-pub use transform::{vectorize, Feature, LoopReport, VectorizeOptions, VectorizeResult};
+pub use transform::{
+    vectorize, Feature, LoopReport, PartReport, VectorizeOptions, VectorizeResult,
+};

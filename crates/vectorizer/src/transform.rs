@@ -18,6 +18,7 @@ use vapor_ir::{infer_expr, ArrayId, ArrayKind, BinOp, Expr, Kernel, ScalarTy, St
 use vapor_targets::TargetDesc;
 
 use crate::affine::{analyze, Affine, Coeff};
+use crate::depgraph::{classify_dep, DepClass, DepGraph, RejectCategory, Rejection, Scc};
 use crate::scalar_emit::{new_function, split_const_offset, ScalarEmitter};
 
 /// The modulo base for misalignment hints: "a large modulo (currently set
@@ -27,7 +28,9 @@ pub const HINT_MOD: u32 = 32;
 /// Constant element offsets below this bound are assumed smaller than any
 /// runtime array dimension when deciding symbolic-stride independence
 /// (stencil ±k offsets across rows). The experiment dimensions are ≥ 32.
-pub const SMALL_DIFF: i64 = 16;
+/// Lives in `depgraph` with the dependence classifier; re-exported here
+/// for compatibility.
+pub use crate::depgraph::SMALL_DIFF;
 
 /// Vectorization features exercised by a loop (Table 2's annotations).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -59,12 +62,28 @@ pub enum Feature {
 pub struct LoopReport {
     /// Human-readable loop identification.
     pub description: String,
-    /// Whether the loop was vectorized.
+    /// Whether the loop (or at least one distributed sub-loop) was
+    /// vectorized.
     pub vectorized: bool,
     /// Features used.
     pub features: Vec<Feature>,
     /// Rejection reason when not vectorized.
-    pub reason: Option<String>,
+    pub reason: Option<Rejection>,
+    /// Per-SCC verdicts when Allen–Kennedy distribution analyzed the
+    /// loop body (empty for undistributed loops).
+    pub parts: Vec<PartReport>,
+}
+
+/// Outcome of one SCC of a distributed loop.
+#[derive(Debug, Clone)]
+pub struct PartReport {
+    /// Top-level statement indices (into the original loop body) of the
+    /// statements in this component, ascending.
+    pub stmts: Vec<usize>,
+    /// Whether this sub-loop was vectorized.
+    pub vectorized: bool,
+    /// Why it stayed scalar.
+    pub reason: Option<Rejection>,
 }
 
 /// Options of the offline stage.
@@ -84,6 +103,10 @@ pub struct VectorizeOptions {
     /// choice that "having the offline compiler generate already
     /// optimized bytecode is better".
     pub no_realign_reuse: bool,
+    /// Disable Allen–Kennedy loop distribution: loops whose bodies mix
+    /// vectorizable statements with true recurrences are rejected whole
+    /// (the historical behavior) instead of being split per SCC.
+    pub no_distribution: bool,
 }
 
 /// Result of vectorizing a kernel.
@@ -138,6 +161,18 @@ struct LoopPlan {
     /// Whether this is outer-loop vectorization (serial loops inside).
     #[allow(dead_code)]
     outer: bool,
+}
+
+/// Result of an Allen–Kennedy distribution attempt on a rejected loop.
+enum DistOutcome {
+    /// Distributed sub-loops were emitted into `out`; the flag says
+    /// whether at least one of them vectorized.
+    Emitted(bool),
+    /// Nothing vectorizable: no emission change (the caller keeps the
+    /// speculative scalar body), but the report carries the SCC verdicts.
+    ReportedOnly,
+    /// Distribution does not apply; report the whole-loop reason.
+    NotApplicable,
 }
 
 struct Vx<'k> {
@@ -221,7 +256,7 @@ impl<'k> Vx<'k> {
             any_inner |= self.vx_stmt(f, &mut inner_out, st);
         }
         if !any_inner {
-            match self.analyze_loop(*var, *step, body) {
+            match self.analyze_loop(*var, *step, lo, hi, body) {
                 Ok(plan) => {
                     // Discard the speculative scalar emission of the body.
                     f.regs.truncate(before_regs.max(f.params.len()));
@@ -248,6 +283,7 @@ impl<'k> Vx<'k> {
                                 vectorized: true,
                                 features,
                                 reason: None,
+                                parts: Vec::new(),
                             });
                             return true;
                         }
@@ -257,7 +293,11 @@ impl<'k> Vx<'k> {
                                 description: desc,
                                 vectorized: false,
                                 features: Vec::new(),
-                                reason: Some(reason),
+                                reason: Some(Rejection::new(
+                                    RejectCategory::EmitFailure,
+                                    reason,
+                                )),
+                                parts: Vec::new(),
                             });
                             self.emit_plain_loop(f, out, *var, lo, hi, *step, body);
                             return false;
@@ -265,12 +305,28 @@ impl<'k> Vx<'k> {
                     }
                 }
                 Err(reason) => {
-                    self.reports.push(LoopReport {
-                        description: format!("loop over {}", self.kernel.var(*var).name),
-                        vectorized: false,
-                        features: Vec::new(),
-                        reason: Some(reason),
-                    });
+                    // Allen–Kennedy: before giving up on the whole loop,
+                    // try to distribute it per dependence SCC.
+                    match self.try_distribute(f, out, *var, lo, hi, *step, body, before_regs, report_mark)
+                    {
+                        DistOutcome::Emitted(vectorized) => return vectorized,
+                        DistOutcome::ReportedOnly => {
+                            // SCC structure recorded; the speculative
+                            // scalar emission below stays byte-identical.
+                        }
+                        DistOutcome::NotApplicable => {
+                            self.reports.push(LoopReport {
+                                description: format!(
+                                    "loop over {}",
+                                    self.kernel.var(*var).name
+                                ),
+                                vectorized: false,
+                                features: Vec::new(),
+                                reason: Some(reason),
+                                parts: Vec::new(),
+                            });
+                        }
+                    }
                 }
             }
         }
@@ -320,6 +376,285 @@ impl<'k> Vx<'k> {
     }
 
     // ------------------------------------------------------------------
+    // Allen–Kennedy loop distribution
+    // ------------------------------------------------------------------
+
+    /// Build the statement dependence graph for a *flat* loop body:
+    /// memory edges from [`classify_dep`] over same-array store/access
+    /// pairs, plus scalar def-use edges (statements sharing a local must
+    /// stay fused — we do not perform scalar expansion). Returns `None`
+    /// when the body is not distributable (nested loops, non-affine
+    /// subscripts).
+    fn statement_graph(
+        &self,
+        iv: VarId,
+        body: &[Stmt],
+        lo_aff: Option<&Affine>,
+        hi_aff: Option<&Affine>,
+    ) -> Option<DepGraph> {
+        if body.iter().any(|s| matches!(s, Stmt::For { .. })) {
+            return None;
+        }
+        struct Acc {
+            stmt: usize,
+            array: ArrayId,
+            affine: Affine,
+            is_store: bool,
+        }
+        let mut accs: Vec<Acc> = Vec::new();
+        for (si, s) in body.iter().enumerate() {
+            let mut note = |array: ArrayId, idx: &Expr, is_store: bool| -> Option<()> {
+                accs.push(Acc {
+                    stmt: si,
+                    array,
+                    affine: analyze(self.kernel, idx)?,
+                    is_store,
+                });
+                Some(())
+            };
+            match s {
+                Stmt::Store {
+                    array,
+                    index,
+                    value,
+                } => {
+                    note(*array, index, true)?;
+                    for (a, idx) in value.loads() {
+                        note(a, idx, false)?;
+                    }
+                }
+                Stmt::Assign { value, .. } => {
+                    for (a, idx) in value.loads() {
+                        note(a, idx, false)?;
+                    }
+                }
+                Stmt::For { .. } => unreachable!("checked above"),
+            }
+        }
+        let mut g = DepGraph::new(body.len());
+        for (i, s) in accs.iter().enumerate() {
+            if !s.is_store {
+                continue;
+            }
+            for (j, x) in accs.iter().enumerate() {
+                if i == j || x.array != s.array {
+                    continue;
+                }
+                match classify_dep(iv, &s.affine, &x.affine, lo_aff, hi_aff) {
+                    DepClass::Independent => {}
+                    DepClass::SameIteration => {
+                        // Loop-independent dependence: preserved as long
+                        // as the textual statement order is kept.
+                        if s.stmt != x.stmt {
+                            g.add_edge(s.stmt.min(x.stmt), s.stmt.max(x.stmt));
+                        }
+                    }
+                    DepClass::Carried(d) => {
+                        // d > 0: the store's iteration precedes the
+                        // conflicting access — the store's loop must run
+                        // first (a self-edge marks a recurrence).
+                        if d > 0 {
+                            g.add_edge(s.stmt, x.stmt);
+                        } else {
+                            g.add_edge(x.stmt, s.stmt);
+                        }
+                    }
+                    DepClass::Unknown(_) => g.fuse(s.stmt, x.stmt),
+                }
+            }
+        }
+        // Scalar def-use: any two statements touching the same local stay
+        // fused; a non-reduction self-accumulation is a recurrence.
+        for (si, s) in body.iter().enumerate() {
+            let Stmt::Assign { var, value } = s else {
+                continue;
+            };
+            if value.uses_var(*var) && reduction_of(self.kernel, *var, value).is_none() {
+                g.add_edge(si, si);
+            }
+            for (sj, t) in body.iter().enumerate() {
+                if si == sj {
+                    continue;
+                }
+                let uses = match t {
+                    Stmt::Assign {
+                        var: v2,
+                        value: val2,
+                    } => v2 == var || val2.uses_var(*var),
+                    Stmt::Store { index, value, .. } => {
+                        index.uses_var(*var) || value.uses_var(*var)
+                    }
+                    Stmt::For { .. } => unreachable!("checked above"),
+                };
+                if uses {
+                    g.fuse(si, sj);
+                }
+            }
+        }
+        Some(g)
+    }
+
+    /// Distribute a rejected loop per dependence SCC (Allen–Kennedy):
+    /// acyclic components are re-planned and emitted as separate vector
+    /// loops, cyclic components (true recurrences) become scalar residual
+    /// loops, all in topological dependence order.
+    #[allow(clippy::too_many_arguments)]
+    fn try_distribute(
+        &mut self,
+        f: &mut BcFunction,
+        out: &mut Vec<BcStmt>,
+        iv: VarId,
+        lo: &Expr,
+        hi: &Expr,
+        step: i64,
+        body: &[Stmt],
+        before_regs: usize,
+        report_mark: usize,
+    ) -> DistOutcome {
+        if self.opts.no_distribution || step != 1 || body.is_empty() {
+            return DistOutcome::NotApplicable;
+        }
+        let lo_aff = analyze(self.kernel, lo);
+        let hi_aff = analyze(self.kernel, hi);
+        let Some(graph) = self.statement_graph(iv, body, lo_aff.as_ref(), hi_aff.as_ref()) else {
+            return DistOutcome::NotApplicable;
+        };
+        let sccs = graph.sccs();
+        if sccs.len() == 1 && !sccs[0].cyclic {
+            // One acyclic component is the undistributed loop itself; the
+            // whole-loop analysis already explained the rejection.
+            return DistOutcome::NotApplicable;
+        }
+        // Plan every component before emitting anything.
+        let mut plans: Vec<(Scc, Vec<Stmt>, Result<LoopPlan, Rejection>)> = Vec::new();
+        let mut any_vec = false;
+        for scc in sccs {
+            let stmts: Vec<Stmt> = scc.stmts.iter().map(|&i| body[i].clone()).collect();
+            let planned = if scc.cyclic {
+                Err(Rejection::new(
+                    RejectCategory::Recurrence,
+                    "dependence cycle (true recurrence)",
+                ))
+            } else {
+                self.analyze_loop(iv, step, lo, hi, &stmts)
+            };
+            any_vec |= planned.is_ok();
+            plans.push((scc, stmts, planned));
+        }
+        let desc = if plans.len() > 1 {
+            format!(
+                "loop over {} (distributed into {} sub-loops)",
+                self.kernel.var(iv).name,
+                plans.len()
+            )
+        } else {
+            format!("loop over {}", self.kernel.var(iv).name)
+        };
+        if !any_vec {
+            // Nothing to gain from splitting: keep the speculative scalar
+            // emission (byte-identical bytecode) and only enrich the
+            // report with the SCC structure.
+            let n = plans.len();
+            let parts: Vec<PartReport> = plans
+                .into_iter()
+                .map(|(scc, _, planned)| PartReport {
+                    stmts: scc.stmts,
+                    vectorized: false,
+                    reason: planned.err(),
+                })
+                .collect();
+            let detail = if n == 1 {
+                "loop body forms a single dependence cycle (true recurrence)".to_owned()
+            } else {
+                format!("none of the {n} distributed components is vectorizable")
+            };
+            self.reports.push(LoopReport {
+                description: desc,
+                vectorized: false,
+                features: Vec::new(),
+                reason: Some(Rejection::new(RejectCategory::Recurrence, detail)),
+                parts,
+            });
+            return DistOutcome::ReportedOnly;
+        }
+        // Discard the speculative scalar emission; emit the distributed
+        // sub-loops in dependence order.
+        f.regs.truncate(before_regs.max(f.params.len()));
+        self.reports.truncate(report_mark);
+        self.em.vmap.retain(|_, r| (r.0 as usize) < f.regs.len());
+        let mut features: Vec<Feature> = Vec::new();
+        let mut parts: Vec<PartReport> = Vec::new();
+        let mut vectorized_any = false;
+        for (scc, stmts, planned) in plans {
+            match planned {
+                Ok(plan) => {
+                    let regs_mark = f.regs.len();
+                    let mut part_features = plan.features.clone();
+                    let mut vec_out = Vec::new();
+                    match self.emit_vectorized(
+                        f,
+                        &mut vec_out,
+                        iv,
+                        lo,
+                        hi,
+                        &stmts,
+                        plan,
+                        &mut part_features,
+                    ) {
+                        Ok(()) => {
+                            out.extend(vec_out);
+                            for ft in part_features {
+                                if !features.contains(&ft) {
+                                    features.push(ft);
+                                }
+                            }
+                            vectorized_any = true;
+                            parts.push(PartReport {
+                                stmts: scc.stmts,
+                                vectorized: true,
+                                reason: None,
+                            });
+                        }
+                        Err(e) => {
+                            f.regs.truncate(regs_mark.max(f.params.len()));
+                            self.em.vmap.retain(|_, r| (r.0 as usize) < f.regs.len());
+                            self.emit_plain_loop(f, out, iv, lo, hi, step, &stmts);
+                            parts.push(PartReport {
+                                stmts: scc.stmts,
+                                vectorized: false,
+                                reason: Some(Rejection::new(RejectCategory::EmitFailure, e)),
+                            });
+                        }
+                    }
+                }
+                Err(rej) => {
+                    self.emit_plain_loop(f, out, iv, lo, hi, step, &stmts);
+                    parts.push(PartReport {
+                        stmts: scc.stmts,
+                        vectorized: false,
+                        reason: Some(rej),
+                    });
+                }
+            }
+        }
+        self.reports.push(LoopReport {
+            description: desc,
+            vectorized: vectorized_any,
+            features,
+            reason: if vectorized_any {
+                None
+            } else {
+                Some(Rejection::new(
+                    RejectCategory::EmitFailure,
+                    "all distributed sub-loops failed emission",
+                ))
+            },
+            parts,
+        });
+        DistOutcome::Emitted(vectorized_any)
+    }
+
+    // ------------------------------------------------------------------
     // Analysis
     // ------------------------------------------------------------------
 
@@ -359,8 +694,8 @@ impl<'k> Vx<'k> {
         iv: VarId,
         body: &[Stmt],
         out: &mut Vec<AccessInfo>,
-    ) -> Result<(), String> {
-        let mut err = None;
+    ) -> Result<(), Rejection> {
+        let mut err: Option<Rejection> = None;
         for s in body {
             s.walk(&mut |st| {
                 let mut note =
@@ -372,9 +707,12 @@ impl<'k> Vx<'k> {
                         }),
                         None => {
                             err.get_or_insert_with(|| {
-                                format!(
-                                    "non-affine subscript into {}[]",
-                                    self.kernel.array(array).name
+                                Rejection::new(
+                                    RejectCategory::NonAffine,
+                                    format!(
+                                        "non-affine subscript into {}[]",
+                                        self.kernel.array(array).name
+                                    ),
                                 )
                             });
                         }
@@ -400,7 +738,10 @@ impl<'k> Vx<'k> {
                         for e in [lo, hi] {
                             if e.uses_var(iv) {
                                 err.get_or_insert_with(|| {
-                                    "inner loop bound depends on the vectorized variable".into()
+                                    Rejection::new(
+                                        RejectCategory::Bounds,
+                                        "inner loop bound depends on the vectorized variable",
+                                    )
                                 });
                             }
                         }
@@ -414,21 +755,33 @@ impl<'k> Vx<'k> {
         }
     }
 
-    fn analyze_loop(&self, iv: VarId, step: i64, body: &[Stmt]) -> Result<LoopPlan, String> {
+    fn analyze_loop(
+        &self,
+        iv: VarId,
+        step: i64,
+        lo: &Expr,
+        hi: &Expr,
+        body: &[Stmt],
+    ) -> Result<LoopPlan, Rejection> {
         if step != 1 {
-            return Err(format!("loop step {step} != 1"));
+            return Err(Rejection::new(
+                RejectCategory::Bounds,
+                format!("loop step {step} != 1"),
+            ));
         }
         let mut accesses = Vec::new();
         self.collect_accesses(iv, body, &mut accesses)?;
         if accesses.is_empty() {
-            return Err("no memory accesses to vectorize".into());
+            return Err(Rejection::new(
+                RejectCategory::NoVectorWork,
+                "no memory accesses to vectorize",
+            ));
         }
 
         // --- stride legality w.r.t. the candidate variable ---
         let mut arrays = Vec::new();
         let mut stored = Vec::new();
         let mut sym_strides: Vec<(ArrayId, VarId)> = Vec::new();
-        let mut any_contig_store = false;
         for a in &accesses {
             match a.affine.coeff_of(iv) {
                 Coeff::Const(0) => {}
@@ -436,15 +789,21 @@ impl<'k> Vx<'k> {
                 Coeff::Const(s) if (2..=4).contains(&s) && !a.is_store => {}
                 Coeff::Const(2) if a.is_store => {}
                 Coeff::Const(s) => {
-                    return Err(format!(
-                        "unsupported stride {s} into {}[]",
-                        self.kernel.array(a.array).name
+                    return Err(Rejection::new(
+                        RejectCategory::UnsupportedStride,
+                        format!(
+                            "unsupported stride {s} into {}[]",
+                            self.kernel.array(a.array).name
+                        ),
                     ))
                 }
                 Coeff::Sym(..) => {
-                    return Err(format!(
-                        "non-unit symbolic stride into {}[]",
-                        self.kernel.array(a.array).name
+                    return Err(Rejection::new(
+                        RejectCategory::UnsupportedStride,
+                        format!(
+                            "non-unit symbolic stride into {}[]",
+                            self.kernel.array(a.array).name
+                        ),
                     ))
                 }
             }
@@ -453,16 +812,16 @@ impl<'k> Vx<'k> {
             }
             if a.is_store {
                 if !a.affine.uses_loop(iv) {
-                    return Err(format!(
-                        "store into {}[] invariant of the loop variable",
-                        self.kernel.array(a.array).name
+                    return Err(Rejection::new(
+                        RejectCategory::UnsupportedStride,
+                        format!(
+                            "store into {}[] invariant of the loop variable",
+                            self.kernel.array(a.array).name
+                        ),
                     ));
                 }
                 if !stored.contains(&a.array) {
                     stored.push(a.array);
-                }
-                if a.affine.coeff_of(iv) == Coeff::Const(1) {
-                    any_contig_store = true;
                 }
             }
             // Symbolic-stride terms of *other* loop variables need
@@ -476,21 +835,25 @@ impl<'k> Vx<'k> {
                         sym_strides.push((a.array, *p));
                     }
                 } else if let Coeff::Sym(..) = c {
-                    return Err("scaled symbolic stride term".into());
+                    return Err(Rejection::new(
+                        RejectCategory::UnsupportedStride,
+                        "scaled symbolic stride term",
+                    ));
                 }
             }
         }
-        let _ = any_contig_store;
 
         // --- dependence check (§II(a)): same-array store/other pairs ---
         //
         // Policy per §III-B(b): the offline compiler cannot know VF, so a
         // loop with *any* finite carried dependence distance is rejected
-        // ("the former conservative approach"). A constant element
-        // difference that the iv stride cannot produce means independence
-        // (e.g. a ±1-element stencil offset across rows that are a
-        // symbolic dimension apart — "practically infinite" distance; we
-        // assume runtime dimensions exceed [`SMALL_DIFF`]).
+        // ("the former conservative approach"); such loops get a second
+        // chance via Allen–Kennedy distribution in `try_distribute`.
+        // [`classify_dep`] proves independence for offsets the iv stride
+        // cannot produce, solvable out-of-bounds conflicts, and whole-row
+        // combinations (see `depgraph`).
+        let lo_aff = analyze(self.kernel, lo);
+        let hi_aff = analyze(self.kernel, hi);
         for (i, s) in accesses.iter().enumerate() {
             if !s.is_store {
                 continue;
@@ -500,54 +863,19 @@ impl<'k> Vx<'k> {
                     continue;
                 }
                 let name = &self.kernel.array(s.array).name;
-                let diff = s
-                    .affine
-                    .minus(&x.affine)
-                    .ok_or_else(|| format!("unanalyzable dependence on {name}[]"))?;
-                let d = match diff.as_const() {
-                    Some(d) => d,
-                    None => {
-                        // A difference of one whole runtime dimension
-                        // (±n + small const) is a dependence at distance
-                        // ~n — "practically infinite" (§III-B(b)) under
-                        // the dims ≥ SMALL_DIFF assumption.
-                        let row_distance = diff.loops.is_empty()
-                            && diff.params.len() == 1
-                            && diff.params.values().all(|c| c.abs() == 1)
-                            && diff.konst.abs() < SMALL_DIFF
-                            && s.affine.coeff_of(iv) == Coeff::Const(1)
-                            && x.affine.coeff_of(iv) == Coeff::Const(1);
-                        if row_distance {
-                            continue;
-                        }
-                        return Err(format!("unanalyzable dependence on {name}[]"));
+                match classify_dep(iv, &s.affine, &x.affine, lo_aff.as_ref(), hi_aff.as_ref()) {
+                    DepClass::Independent | DepClass::SameIteration => {}
+                    DepClass::Carried(d) => {
+                        return Err(Rejection::new(
+                            RejectCategory::Dependence,
+                            format!("loop-carried dependence of distance {d} on {name}[]"),
+                        ));
                     }
-                };
-                if d == 0 {
-                    continue;
-                }
-                match (s.affine.coeff_of(iv), x.affine.coeff_of(iv)) {
-                    (a, b) if a != b => {
-                        return Err(format!("mismatched iv strides with offset on {name}[]"))
-                    }
-                    (Coeff::Const(m), _) => {
-                        if m != 0 && d % m == 0 {
-                            return Err(format!(
-                                "loop-carried dependence of distance {} on {name}[]",
-                                d / m
-                            ));
-                        } else if m == 0 {
-                            return Err(format!("iv-invariant conflicting accesses on {name}[]"));
-                        }
-                        // stride cannot produce the offset: independent
-                    }
-                    (Coeff::Sym(..), _) => {
-                        if d.abs() >= SMALL_DIFF {
-                            return Err(format!(
-                                "possibly-carried dependence (offset {d}) on {name}[]"
-                            ));
-                        }
-                        // |d| < any runtime dimension: independent
+                    DepClass::Unknown(detail) => {
+                        return Err(Rejection::new(
+                            RejectCategory::Dependence,
+                            format!("{detail} on {name}[]"),
+                        ));
                     }
                 }
             }
@@ -562,9 +890,12 @@ impl<'k> Vx<'k> {
                 // reduction.
                 if value.uses_var(*var) {
                     reduction_of(self.kernel, *var, value).ok_or_else(|| {
-                        format!(
-                            "scalar {} carries a non-reduction dependence",
-                            self.kernel.var(*var).name
+                        Rejection::new(
+                            RejectCategory::Recurrence,
+                            format!(
+                                "scalar {} carries a non-reduction dependence",
+                                self.kernel.var(*var).name
+                            ),
                         )
                     })?;
                     if !features.contains(&Feature::Reduction) {
@@ -600,14 +931,17 @@ impl<'k> Vx<'k> {
         let vf_ty = *elem_tys
             .iter()
             .min_by_key(|t| t.size())
-            .ok_or_else(|| "no element types".to_owned())?;
+            .ok_or_else(|| Rejection::new(RejectCategory::NoVectorWork, "no element types"))?;
         for t in &elem_tys {
             if t.size() != vf_ty.size() && t.size() != 2 * vf_ty.size() {
                 // The SAD pattern (u8 data, i32 accumulator) is the one
                 // supported exception, recognized per-reduction later.
                 let is_sad_acc = t.size() == 4 * vf_ty.size();
                 if !is_sad_acc {
-                    return Err(format!("mixed element widths {vf_ty} vs {t}"));
+                    return Err(Rejection::new(
+                        RejectCategory::UnsupportedTypes,
+                        format!("mixed element widths {vf_ty} vs {t}"),
+                    ));
                 }
             }
         }
@@ -625,12 +959,18 @@ impl<'k> Vx<'k> {
                     continue;
                 }
                 if !t.supports_elem(*ty) {
-                    return Err(format!("target {} lacks vector {ty}", t.name));
+                    return Err(Rejection::new(
+                        RejectCategory::TargetUnsupported,
+                        format!("target {} lacks vector {ty}", t.name),
+                    ));
                 }
             }
             for c in &op_classes {
                 if !crate::support::target_claims_class(t, *c) {
-                    return Err(format!("target {} lacks {:?}", t.name, c));
+                    return Err(Rejection::new(
+                        RejectCategory::TargetUnsupported,
+                        format!("target {} lacks {:?}", t.name, c),
+                    ));
                 }
                 // A native compiler's cost model sees that the backend
                 // expands the idiom into library calls and keeps the loop
@@ -640,9 +980,12 @@ impl<'k> Vx<'k> {
                 let helper_backed = (*c == OpClass::WidenMult && t.widen_mult_via_helper)
                     || (*c == OpClass::Cvt && t.cvt_via_helper);
                 if helper_backed {
-                    return Err(format!(
-                        "target {} expands {:?} via library calls (not profitable)",
-                        t.name, c
+                    return Err(Rejection::new(
+                        RejectCategory::TargetUnsupported,
+                        format!(
+                            "target {} expands {:?} via library calls (not profitable)",
+                            t.name, c
+                        ),
                     ));
                 }
             }
@@ -928,7 +1271,9 @@ impl<'k> Vx<'k> {
             out.push(BcStmt::Def {
                 dst: partial,
                 op: match red.op {
-                    BinOp::Add => Op::ReducPlus(red.acc_ty, red.vacc),
+                    // Sub accumulates s₀ − partial sums across the lanes,
+                    // so the lane sum is the reduced value.
+                    BinOp::Add | BinOp::Sub => Op::ReducPlus(red.acc_ty, red.vacc),
                     BinOp::Max => Op::ReducMax(red.acc_ty, red.vacc),
                     BinOp::Min => Op::ReducMin(red.acc_ty, red.vacc),
                     _ => unreachable!(),
@@ -1052,10 +1397,13 @@ fn scan_op_classes(k: &Kernel, body: &[Stmt], out: &mut Vec<OpClass>) {
     }
 }
 
-/// Recognized reduction: `local = local op e` with `op ∈ {+, min, max}`.
+/// Recognized reduction: `local = local op e` with `op ∈ {+, -, min, max}`.
+/// `-` is recognized on the left side only (`s = s - e`); it accumulates
+/// per-lane differences and folds with a plus-reduction, since
+/// Σ lanes = s₀ − Σ e.
 fn reduction_of<'e>(k: &Kernel, local: VarId, value: &'e Expr) -> Option<(BinOp, &'e Expr)> {
     if let Expr::Bin { op, lhs, rhs } = value {
-        if !matches!(op, BinOp::Add | BinOp::Min | BinOp::Max) {
+        if !matches!(op, BinOp::Add | BinOp::Sub | BinOp::Min | BinOp::Max) {
             return None;
         }
         if matches!(&**lhs, Expr::Var(v) if *v == local) && !rhs.uses_var(local) {
@@ -1712,12 +2060,24 @@ impl<'a, 'k> ArmEmitter<'a, 'k> {
         let s_ty = self.kernel().var(local).ty;
         let kind;
         let acc_ty;
-        if let Some((a, b, in_ty)) = dot_pattern(self.kernel(), e, s_ty, self.vf_ty) {
+        // The dot/SAD idioms accumulate with `+=` only; a min/max/sub of
+        // the same multiply shape is a plain reduction.
+        let dot = if op == BinOp::Add {
+            dot_pattern(self.kernel(), e, s_ty, self.vf_ty)
+        } else {
+            None
+        };
+        let sad = if op == BinOp::Add {
+            sad_pattern(self.kernel(), e, s_ty, self.vf_ty)
+        } else {
+            None
+        };
+        if let Some((a, b, in_ty)) = dot {
             kind = ReductionKind::Dot { a, b, in_ty };
             acc_ty = in_ty.widened().unwrap();
             self.feature(Feature::DotProduct);
             self.feature(Feature::Reduction);
-        } else if let Some((a, b)) = sad_pattern(self.kernel(), e, s_ty, self.vf_ty) {
+        } else if let Some((a, b)) = sad {
             kind = ReductionKind::Sad { a, b };
             acc_ty = ScalarTy::U32;
             self.feature(Feature::AbsDiff);
@@ -1751,7 +2111,9 @@ impl<'a, 'k> ArmEmitter<'a, 'k> {
             Operand::Reg(c)
         };
         let neutral = match op {
-            BinOp::Add => {
+            // Sub lanes start at 0 too: lane k accumulates −Σ eₖ and the
+            // plus-fold recovers s₀ − Σ e.
+            BinOp::Add | BinOp::Sub => {
                 if acc_ty.is_float() {
                     Operand::ConstF(0.0)
                 } else {
